@@ -1,0 +1,113 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * spanning (`-t`) vs random backbone initialisation (Algorithm 1),
+//! * the entropy parameter `h` (Figure 5's knob),
+//! * the cut-preserving rules `k = 1`, `k = 2`, `k = n`,
+//! * the vertex heap of EMD vs a naive full re-scan (the complexity argument
+//!   of Section 4.3),
+//! * the log-space evaluation of the `(n choose k)_Σ` coefficients.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ugs_bench::{ExperimentConfig, Workload};
+use ugs_core::kcut::CutRuleCoefficients;
+use ugs_core::prelude::*;
+use ugs_datasets::Scale;
+
+fn ablations(c: &mut Criterion) {
+    let config = ExperimentConfig::for_scale(Scale::Tiny);
+    let workload = Workload::generate(&config);
+    let g = &workload.flickr;
+    let alpha = 0.16;
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+
+    // Backbone construction.
+    for (label, kind) in [("random", BackboneKind::Random), ("spanning", BackboneKind::SpanningForests)] {
+        group.bench_function(format!("backbone_{label}"), |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                let mut cfg = BackboneConfig::default();
+                cfg.kind = kind;
+                build_backbone(g, alpha, &cfg, &mut rng).unwrap()
+            })
+        });
+    }
+
+    // Entropy parameter h.
+    for h in [0.0, 0.05, 1.0] {
+        group.bench_with_input(BenchmarkId::new("gdb_entropy_h", h), &h, |b, &h| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                SparsifierSpec::gdb().alpha(alpha).entropy_h(h).sparsify(g, &mut rng).unwrap()
+            })
+        });
+    }
+
+    // Cut-preserving rules.
+    for (label, rule) in [("k1", CutRule::Degree), ("k2", CutRule::Cuts(2)), ("kn", CutRule::AllCuts)] {
+        group.bench_function(format!("gdb_cut_rule_{label}"), |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                SparsifierSpec::gdb().alpha(alpha).cut_rule(rule).sparsify(g, &mut rng).unwrap()
+            })
+        });
+    }
+
+    // EMD (restructuring) vs GDB (fixed backbone): the cost of the E-phase.
+    group.bench_function("emd_vs_gdb_emd", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            SparsifierSpec::emd().alpha(alpha).sparsify(g, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("emd_vs_gdb_gdb", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            SparsifierSpec::gdb().alpha(alpha).sparsify(g, &mut rng).unwrap()
+        })
+    });
+
+    // Indexed vertex heap vs rebuilding a sorted vector every update — the
+    // data-structure choice behind EMD's E-phase complexity.
+    let priorities: Vec<f64> = (0..2_000).map(|i| (i as f64 * 0.37).sin()).collect();
+    group.bench_function("indexed_heap_update_pop", |b| {
+        b.iter(|| {
+            let mut heap = graph_algos::IndexedMaxHeap::from_priorities(&priorities);
+            for i in 0..1_000 {
+                heap.update(i, priorities[i] * 2.0);
+            }
+            heap.pop()
+        })
+    });
+    group.bench_function("naive_resort_per_update", |b| {
+        b.iter(|| {
+            let mut values = priorities.clone();
+            let mut top = 0usize;
+            for i in 0..1_000 {
+                values[i] *= 2.0;
+                // naive: full scan to find the maximum after each update
+                top = (0..values.len())
+                    .max_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap())
+                    .unwrap();
+            }
+            top
+        })
+    });
+
+    // Coefficients of the general k-cut rule in log space.
+    for k in [2usize, 100, 10_000] {
+        group.bench_with_input(BenchmarkId::new("kcut_coefficients", k), &k, |b, &k| {
+            b.iter(|| CutRuleCoefficients::new(100_000, k))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

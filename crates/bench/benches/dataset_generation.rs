@@ -1,0 +1,54 @@
+//! Cost of generating the Table 1 workloads: the Flickr/Twitter-shaped
+//! social networks, the density-sweep synthetics and the Forest-Fire
+//! reduction.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ugs_datasets::prelude::*;
+
+fn dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+
+    group.bench_function("flickr_like_tiny", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            flickr_like(Scale::Tiny, &mut rng)
+        })
+    });
+    group.bench_function("twitter_like_tiny", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            twitter_like(Scale::Tiny, &mut rng)
+        })
+    });
+
+    let mut rng = SmallRng::seed_from_u64(2);
+    let base = flickr_like(Scale::Tiny, &mut rng);
+    group.bench_function("forest_fire_sample_100", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            forest_fire_sample(&base, 100, 0.7, &mut rng)
+        })
+    });
+    let (small_base, _) = forest_fire_sample(&base, 60, 0.7, &mut rng);
+    group.bench_function("density_sweep_60v", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(4);
+            density_sweep(&small_base, ProbabilityModel::FlickrLike, &mut rng)
+        })
+    });
+    group.bench_function("erdos_renyi_200v", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            erdos_renyi(200, 0.1, ProbabilityModel::TwitterLike, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dataset_generation);
+criterion_main!(benches);

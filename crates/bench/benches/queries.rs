@@ -1,0 +1,68 @@
+//! Monte-Carlo query cost on the original vs the sparsified graph
+//! (the runtime side of Figures 10–12).
+//!
+//! Sampling a possible world costs `O(|E|)`, so queries on an `α`-sparsified
+//! graph are roughly `1/α` times cheaper per sample — and because the
+//! sparsified graph has lower entropy, fewer samples are needed for the same
+//! confidence (Figure 12).  These benches measure the per-query cost of the
+//! four workloads on the original and on a GDB-sparsified Flickr-shaped
+//! graph.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ugs_bench::{ExperimentConfig, Workload};
+use ugs_core::prelude::*;
+use ugs_datasets::Scale;
+use ugs_queries::prelude::*;
+
+fn query_costs(c: &mut Criterion) {
+    let config = ExperimentConfig::for_scale(Scale::Tiny);
+    let workload = Workload::generate(&config);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let sparsified = SparsifierSpec::gdb()
+        .alpha(0.16)
+        .sparsify(&workload.flickr, &mut rng)
+        .expect("sparsification succeeds")
+        .graph;
+    let pairs = random_pairs(workload.flickr.num_vertices(), 30, &mut rng);
+    let mc = MonteCarlo::worlds(30);
+
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+
+    for (label, graph) in [("original", &workload.flickr), ("gdb_alpha16", &sparsified)] {
+        group.bench_function(format!("pagerank_{label}"), |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(11);
+                expected_pagerank(graph, &mc, &mut rng)
+            })
+        });
+        group.bench_function(format!("clustering_{label}"), |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(11);
+                expected_clustering_coefficients(graph, &mc, &mut rng)
+            })
+        });
+        group.bench_function(format!("sp_rl_{label}"), |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(11);
+                pair_queries(graph, &pairs, &mc, &mut rng)
+            })
+        });
+        group.bench_function(format!("variance_pagerank_{label}"), |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(11);
+                estimator_variance(4, |_| {
+                    expected_pagerank(graph, &MonteCarlo::worlds(8), &mut rng)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_costs);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Sparsification running-time benchmarks (Figures 4(b) and 9).
+//!
+//! The paper's timing claims: LP is orders of magnitude slower than GDB/EMD
+//! (Figure 4(b)); GDB and EMD terminate within about a minute on the real
+//! graphs and scale linearly with `α|E|`, while NI is more than an order of
+//! magnitude slower (Figure 9).  These benches time every method on the
+//! tiny-scale datasets so `cargo bench` finishes quickly; run the `exp_fig4`
+//! and `exp_fig9` binaries for the full sweep.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ugs_bench::{ExperimentConfig, Workload};
+use ugs_core::prelude::*;
+use ugs_datasets::Scale;
+
+fn bench_config(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("sparsifiers");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+}
+
+fn sparsifier_times(c: &mut Criterion) {
+    let config = ExperimentConfig::for_scale(Scale::Tiny);
+    let workload = Workload::generate(&config);
+    let reduced = workload.flickr_reduced(&config);
+    let mut group = bench_config(c);
+
+    for alpha_pct in [8.0_f64, 16.0, 32.0, 64.0] {
+        let alpha = alpha_pct / 100.0;
+        // Figure 9: NI / GDB / EMD on the Flickr-shaped graph.
+        let methods: Vec<(&str, Box<dyn Sparsifier>)> = vec![
+            ("GDB", Box::new(SparsifierSpec::gdb().alpha(alpha))),
+            (
+                "EMD",
+                Box::new(SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative)),
+            ),
+            ("NI", Box::new(ugs_baselines::NagamochiIbaraki::new(alpha))),
+            ("SS", Box::new(ugs_baselines::SpannerSparsifier::new(alpha))),
+        ];
+        for (name, method) in methods {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fig9_flickr_{name}"), alpha_pct),
+                &alpha,
+                |b, _| {
+                    b.iter(|| {
+                        let mut rng = SmallRng::seed_from_u64(1);
+                        method.sparsify_dyn(&workload.flickr, &mut rng).unwrap()
+                    })
+                },
+            );
+        }
+        // Figure 4(b): LP vs GDB vs EMD on the reduced instance (LP is only
+        // feasible there).
+        let reduced_methods: Vec<(&str, Box<dyn Sparsifier>)> = vec![
+            ("LP", Box::new(SparsifierSpec::lp().alpha(alpha))),
+            ("GDB", Box::new(SparsifierSpec::gdb().alpha(alpha))),
+            ("EMD", Box::new(SparsifierSpec::emd().alpha(alpha))),
+        ];
+        for (name, method) in reduced_methods {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fig4b_reduced_{name}"), alpha_pct),
+                &alpha,
+                |b, _| {
+                    b.iter(|| {
+                        let mut rng = SmallRng::seed_from_u64(1);
+                        method.sparsify_dyn(&reduced, &mut rng).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sparsifier_times);
+criterion_main!(benches);

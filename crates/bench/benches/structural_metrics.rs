@@ -1,0 +1,61 @@
+//! Cost of the structural evaluation metrics used by Table 2 and
+//! Figures 4(a), 5, 6, 7 and 8: degree-discrepancy MAE, sampled cut
+//! discrepancy, relative entropy and the earth mover's distance.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ugs_bench::{ExperimentConfig, Workload};
+use ugs_core::prelude::*;
+use ugs_datasets::Scale;
+use ugs_metrics::cuts::CutSamplingConfig;
+use ugs_metrics::degree::MetricDiscrepancy;
+
+fn metric_costs(c: &mut Criterion) {
+    let config = ExperimentConfig::for_scale(Scale::Tiny);
+    let workload = Workload::generate(&config);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let sparsified = SparsifierSpec::emd()
+        .alpha(0.16)
+        .sparsify(&workload.flickr, &mut rng)
+        .expect("sparsification succeeds")
+        .graph;
+
+    let mut group = c.benchmark_group("structural_metrics");
+    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+
+    group.bench_function("degree_discrepancy_mae", |b| {
+        b.iter(|| {
+            ugs_metrics::degree_discrepancy_mae(
+                &workload.flickr,
+                &sparsified,
+                MetricDiscrepancy::Absolute,
+            )
+        })
+    });
+    group.bench_function("cut_discrepancy_mae_200cuts", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            ugs_metrics::cut_discrepancy_mae(
+                &workload.flickr,
+                &sparsified,
+                &CutSamplingConfig { num_cuts: 200, max_cardinality: workload.flickr.num_vertices() },
+                &mut rng,
+            )
+        })
+    });
+    group.bench_function("relative_entropy", |b| {
+        b.iter(|| ugs_metrics::relative_entropy(&workload.flickr, &sparsified))
+    });
+    let samples_a: Vec<f64> = (0..2_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let samples_b: Vec<f64> = (0..2_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+    group.bench_function("earth_movers_distance_2000", |b| {
+        b.iter(|| ugs_metrics::earth_movers_distance(&samples_a, &samples_b))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, metric_costs);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Runs every experiment (Table 1–2, Figures 4–12) in sequence.
+//!
+//! Usage: `cargo run --release -p ugs-bench --bin exp_all [-- --scale tiny|small|medium|paper]`
+
+fn main() {
+    let config = ugs_bench::ExperimentConfig::from_env_and_args();
+    println!("# Full experiment sweep (scale {:?}, seed {})\n", config.scale, config.seed);
+    let started = std::time::Instant::now();
+    let (table1, reports) = ugs_bench::experiments::run_all(&config);
+    println!("== table1 — dataset characteristics");
+    println!("{table1}");
+    ugs_bench::print_reports(&reports);
+    println!("total experiment time: {:?}", started.elapsed());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 11: earth movers distance of PR and SP vs density.
+//!
+//! Usage: `cargo run --release -p ugs-bench --bin exp_fig11 [-- --scale tiny|small|medium|paper]`
+
+fn main() {
+    let config = ugs_bench::ExperimentConfig::from_env_and_args();
+    println!("# Figure 11: earth movers distance of PR and SP vs density (scale {:?}, seed {})\n", config.scale, config.seed);
+    ugs_bench::print_reports(&ugs_bench::experiments::run_fig11(&config));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 12: relative variance of the MC estimators.
+//!
+//! Usage: `cargo run --release -p ugs-bench --bin exp_fig12 [-- --scale tiny|small|medium|paper]`
+
+fn main() {
+    let config = ugs_bench::ExperimentConfig::from_env_and_args();
+    println!("# Figure 12: relative variance of the MC estimators (scale {:?}, seed {})\n", config.scale, config.seed);
+    ugs_bench::print_reports(&ugs_bench::experiments::run_fig12(&config));
+}

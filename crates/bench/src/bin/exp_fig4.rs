@@ -1,0 +1,9 @@
+//! Regenerates Figure 4: cut discrepancy of the proposed variants and LP/GDB/EMD execution time.
+//!
+//! Usage: `cargo run --release -p ugs-bench --bin exp_fig4 [-- --scale tiny|small|medium|paper]`
+
+fn main() {
+    let config = ugs_bench::ExperimentConfig::from_env_and_args();
+    println!("# Figure 4: cut discrepancy of the proposed variants and LP/GDB/EMD execution time (scale {:?}, seed {})\n", config.scale, config.seed);
+    ugs_bench::print_reports(&ugs_bench::experiments::run_fig4(&config));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 6: degree and cut discrepancy vs alpha against the NI/SS baselines.
+//!
+//! Usage: `cargo run --release -p ugs-bench --bin exp_fig6 [-- --scale tiny|small|medium|paper]`
+
+fn main() {
+    let config = ugs_bench::ExperimentConfig::from_env_and_args();
+    println!("# Figure 6: degree and cut discrepancy vs alpha against the NI/SS baselines (scale {:?}, seed {})\n", config.scale, config.seed);
+    ugs_bench::print_reports(&ugs_bench::experiments::run_fig6(&config));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 7: degree and cut discrepancy vs graph density (synthetic datasets).
+//!
+//! Usage: `cargo run --release -p ugs-bench --bin exp_fig7 [-- --scale tiny|small|medium|paper]`
+
+fn main() {
+    let config = ugs_bench::ExperimentConfig::from_env_and_args();
+    println!("# Figure 7: degree and cut discrepancy vs graph density (synthetic datasets) (scale {:?}, seed {})\n", config.scale, config.seed);
+    ugs_bench::print_reports(&ugs_bench::experiments::run_fig7(&config));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 8: relative entropy of the sparsified graphs.
+//!
+//! Usage: `cargo run --release -p ugs-bench --bin exp_fig8 [-- --scale tiny|small|medium|paper]`
+
+fn main() {
+    let config = ugs_bench::ExperimentConfig::from_env_and_args();
+    println!("# Figure 8: relative entropy of the sparsified graphs (scale {:?}, seed {})\n", config.scale, config.seed);
+    ugs_bench::print_reports(&ugs_bench::experiments::run_fig8(&config));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 9: sparsification running time.
+//!
+//! Usage: `cargo run --release -p ugs-bench --bin exp_fig9 [-- --scale tiny|small|medium|paper]`
+
+fn main() {
+    let config = ugs_bench::ExperimentConfig::from_env_and_args();
+    println!("# Figure 9: sparsification running time (scale {:?}, seed {})\n", config.scale, config.seed);
+    ugs_bench::print_reports(&ugs_bench::experiments::run_fig9(&config));
+}

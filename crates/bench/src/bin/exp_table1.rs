@@ -1,0 +1,9 @@
+//! Regenerates Table 1: characteristics of every dataset.
+//!
+//! Usage: `cargo run --release -p ugs-bench --bin exp_table1 [-- --scale tiny|small|medium|paper]`
+
+fn main() {
+    let config = ugs_bench::ExperimentConfig::from_env_and_args();
+    println!("# Table 1: dataset characteristics (scale {:?}, seed {})\n", config.scale, config.seed);
+    println!("{}", ugs_bench::experiments::run_table1(&config));
+}

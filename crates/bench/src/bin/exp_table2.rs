@@ -1,0 +1,9 @@
+//! Regenerates Table 2: MAE of the absolute degree discrepancy for every proposed variant.
+//!
+//! Usage: `cargo run --release -p ugs-bench --bin exp_table2 [-- --scale tiny|small|medium|paper]`
+
+fn main() {
+    let config = ugs_bench::ExperimentConfig::from_env_and_args();
+    println!("# Table 2: MAE of the absolute degree discrepancy for every proposed variant (scale {:?}, seed {})\n", config.scale, config.seed);
+    ugs_bench::print_reports(&ugs_bench::experiments::run_table2(&config));
+}

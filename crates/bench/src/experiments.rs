@@ -1,0 +1,667 @@
+//! One function per table/figure of the paper's evaluation (Section 6).
+//!
+//! Every function takes an [`ExperimentConfig`], generates the workload
+//! deterministically from the config seed, runs the sweep and returns
+//! [`ExperimentReport`]s whose rows/series correspond to what the paper
+//! plots.  Absolute numbers differ from the paper (different hardware, and
+//! synthetic stand-ins for the non-redistributable datasets); the *shape* —
+//! which method wins, by roughly what factor, where the crossovers are — is
+//! what `EXPERIMENTS.md` tracks.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ugs_core::prelude::*;
+use ugs_metrics::cuts::CutSamplingConfig;
+use ugs_metrics::degree::MetricDiscrepancy;
+use ugs_metrics::{
+    cut_discrepancy_mae, degree_discrepancy_mae, earth_movers_distance, relative_entropy,
+    ExperimentReport,
+};
+use ugs_queries::prelude::*;
+use uncertain_graph::{GraphStatistics, UncertainGraph};
+
+use crate::{proposed_variants, representative_methods, ExperimentConfig, Workload};
+
+fn sparsify(
+    method: &dyn Sparsifier,
+    g: &UncertainGraph,
+    rng: &mut SmallRng,
+) -> SparsifyOutput {
+    method.sparsify_dyn(g, rng).unwrap_or_else(|err| {
+        panic!("sparsifier {} failed: {err}", method.name());
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — dataset characteristics
+// ---------------------------------------------------------------------------
+
+/// Table 1: vertices, edges, |E|/|V|, E[p], E[d] of every dataset.
+pub fn run_table1(config: &ExperimentConfig) -> String {
+    let workload = Workload::generate(config);
+    let sweep = workload.density_sweep(config);
+    let mut out = String::new();
+    out.push_str(&GraphStatistics::table_header());
+    out.push('\n');
+    out.push_str(&GraphStatistics::compute(&workload.flickr).table_row("Flickr"));
+    out.push('\n');
+    out.push_str(&GraphStatistics::compute(&workload.twitter).table_row("Twitter"));
+    out.push('\n');
+    for (density, graph) in &sweep {
+        let name = format!("Synth-{:.0}%", density * 100.0);
+        out.push_str(&GraphStatistics::compute(graph).table_row(&name));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — MAE of the absolute degree discrepancy for every proposed variant
+// ---------------------------------------------------------------------------
+
+/// Table 2: MAE of `δA(u)` on the Forest-Fire-reduced Flickr instance for
+/// LP/GDB/EMD variants with random and spanning (-t) backbones, `α` 8–64 %.
+pub fn run_table2(config: &ExperimentConfig) -> Vec<ExperimentReport> {
+    let workload = Workload::generate(config);
+    let reduced = workload.flickr_reduced(config);
+    let mut rng = config.rng("table2");
+    let mut report = ExperimentReport::new(
+        "table2",
+        "MAE of absolute degree discrepancy δA(u), Flickr reduced",
+        "α (%)",
+        "MAE of δA(u)",
+    );
+    for (&alpha_pct, alpha) in config.alphas_percent.iter().zip(config.alphas()) {
+        for (name, method) in proposed_variants(alpha) {
+            let out = sparsify(method.as_ref(), &reduced, &mut rng);
+            let mae = degree_discrepancy_mae(&reduced, &out.graph, MetricDiscrepancy::Absolute);
+            report.push(name, alpha_pct, mae);
+        }
+    }
+    vec![report]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — cut discrepancy of the variants and execution time of LP/GDB/EMD
+// ---------------------------------------------------------------------------
+
+/// Figure 4(a): MAE of the cut discrepancy `δA(S)` vs `α` for the proposed
+/// variants; Figure 4(b): execution time of LP, GDB, EMD vs `α`
+/// (Flickr reduced).
+pub fn run_fig4(config: &ExperimentConfig) -> Vec<ExperimentReport> {
+    let workload = Workload::generate(config);
+    let reduced = workload.flickr_reduced(config);
+    let mut rng = config.rng("fig4");
+    let cut_config =
+        CutSamplingConfig { num_cuts: config.num_cuts, max_cardinality: reduced.num_vertices() };
+
+    let mut cut_report = ExperimentReport::new(
+        "fig4a",
+        "MAE of cut discrepancy δA(S), Flickr reduced",
+        "α (%)",
+        "MAE of δA(S)",
+    );
+    let mut time_report = ExperimentReport::new(
+        "fig4b",
+        "Execution time of LP / GDB / EMD, Flickr reduced",
+        "α (%)",
+        "seconds",
+    );
+
+    let variant_subset =
+        ["EMD^R-t", "EMD^A", "GDB^R-t", "GDB^A", "GDB^A_2", "GDB^A_n"];
+    for (&alpha_pct, alpha) in config.alphas_percent.iter().zip(config.alphas()) {
+        for (name, method) in proposed_variants(alpha) {
+            if variant_subset.contains(&name.as_str()) {
+                let out = sparsify(method.as_ref(), &reduced, &mut rng);
+                let mae = cut_discrepancy_mae(&reduced, &out.graph, &cut_config, &mut rng);
+                cut_report.push(name.clone(), alpha_pct, mae);
+            }
+        }
+        for (name, method) in [
+            ("LP", Box::new(SparsifierSpec::lp().alpha(alpha)) as Box<dyn Sparsifier>),
+            ("GDB", Box::new(SparsifierSpec::gdb().alpha(alpha))),
+            ("EMD", Box::new(SparsifierSpec::emd().alpha(alpha))),
+        ] {
+            let start = Instant::now();
+            let _ = sparsify(method.as_ref(), &reduced, &mut rng);
+            time_report.push(name, alpha_pct, start.elapsed().as_secs_f64());
+        }
+    }
+    vec![cut_report, time_report]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — effect of the entropy parameter h
+// ---------------------------------------------------------------------------
+
+/// Figure 5: MAE of `δA(u)` (a) and relative entropy (b) of GDB for
+/// `h ∈ {0, 0.01, 0.05, 0.1, 0.5, 1}` vs `α` (Flickr reduced).
+pub fn run_fig5(config: &ExperimentConfig) -> Vec<ExperimentReport> {
+    let workload = Workload::generate(config);
+    let reduced = workload.flickr_reduced(config);
+    let mut rng = config.rng("fig5");
+    let mut mae_report = ExperimentReport::new(
+        "fig5a",
+        "Effect of h on the MAE of δA(u) (GDB, Flickr reduced)",
+        "α (%)",
+        "MAE of δA(u)",
+    );
+    let mut entropy_report = ExperimentReport::new(
+        "fig5b",
+        "Effect of h on the relative entropy H(G')/H(G) (GDB, Flickr reduced)",
+        "α (%)",
+        "H(G')/H(G)",
+    );
+    for (&alpha_pct, alpha) in config.alphas_percent.iter().zip(config.alphas()) {
+        for h in [0.0, 0.01, 0.05, 0.1, 0.5, 1.0] {
+            let spec = SparsifierSpec::gdb().alpha(alpha).entropy_h(h).max_iterations(100);
+            let out = spec.sparsify(&reduced, &mut rng).expect("GDB succeeds");
+            let label = format!("h={h}");
+            mae_report.push(
+                label.clone(),
+                alpha_pct,
+                degree_discrepancy_mae(&reduced, &out.graph, MetricDiscrepancy::Absolute),
+            );
+            entropy_report.push(label, alpha_pct, out.diagnostics.relative_entropy());
+        }
+    }
+    vec![mae_report, entropy_report]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — structural comparison against the benchmarks (real datasets)
+// ---------------------------------------------------------------------------
+
+/// Figure 6: MAE of `δA(u)` and `δA(S)` vs `α` for NI, SS, GDB, EMD on the
+/// Flickr- and Twitter-shaped datasets.
+pub fn run_fig6(config: &ExperimentConfig) -> Vec<ExperimentReport> {
+    let workload = Workload::generate(config);
+    let mut reports = Vec::new();
+    for (dataset_name, graph) in [("flickr", &workload.flickr), ("twitter", &workload.twitter)] {
+        let mut rng = config.rng(&format!("fig6-{dataset_name}"));
+        let cut_config =
+            CutSamplingConfig { num_cuts: config.num_cuts, max_cardinality: graph.num_vertices() };
+        let mut degree_report = ExperimentReport::new(
+            format!("fig6-degree-{dataset_name}"),
+            format!("MAE of δA(u) vs α ({dataset_name})"),
+            "α (%)",
+            "MAE of δA(u)",
+        );
+        let mut cut_report = ExperimentReport::new(
+            format!("fig6-cut-{dataset_name}"),
+            format!("MAE of δA(S) vs α ({dataset_name})"),
+            "α (%)",
+            "MAE of δA(S)",
+        );
+        for (&alpha_pct, alpha) in config.alphas_percent.iter().zip(config.alphas()) {
+            for (name, method) in representative_methods(alpha) {
+                let out = sparsify(method.as_ref(), graph, &mut rng);
+                degree_report.push(
+                    name.clone(),
+                    alpha_pct,
+                    degree_discrepancy_mae(graph, &out.graph, MetricDiscrepancy::Absolute),
+                );
+                cut_report.push(
+                    name,
+                    alpha_pct,
+                    cut_discrepancy_mae(graph, &out.graph, &cut_config, &mut rng),
+                );
+            }
+        }
+        reports.push(degree_report);
+        reports.push(cut_report);
+    }
+    reports
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — structural comparison vs graph density (synthetic datasets)
+// ---------------------------------------------------------------------------
+
+/// Figure 7: MAE of `δA(u)` and `δA(S)` vs graph density (15–90 % of the
+/// complete graph) at `α = 16 %`.
+pub fn run_fig7(config: &ExperimentConfig) -> Vec<ExperimentReport> {
+    let workload = Workload::generate(config);
+    let sweep = workload.density_sweep(config);
+    let mut rng = config.rng("fig7");
+    let alpha = 0.16;
+    let mut degree_report = ExperimentReport::new(
+        "fig7a",
+        "MAE of δA(u) vs density (synthetic, α = 16%)",
+        "density (%)",
+        "MAE of δA(u)",
+    );
+    let mut cut_report = ExperimentReport::new(
+        "fig7b",
+        "MAE of δA(S) vs density (synthetic, α = 16%)",
+        "density (%)",
+        "MAE of δA(S)",
+    );
+    for (density, graph) in &sweep {
+        let density_pct = density * 100.0;
+        let cut_config =
+            CutSamplingConfig { num_cuts: config.num_cuts, max_cardinality: graph.num_vertices() };
+        for (name, method) in representative_methods(alpha) {
+            let out = sparsify(method.as_ref(), graph, &mut rng);
+            degree_report.push(
+                name.clone(),
+                density_pct,
+                degree_discrepancy_mae(graph, &out.graph, MetricDiscrepancy::Absolute),
+            );
+            cut_report.push(
+                name,
+                density_pct,
+                cut_discrepancy_mae(graph, &out.graph, &cut_config, &mut rng),
+            );
+        }
+    }
+    vec![degree_report, cut_report]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — relative entropy
+// ---------------------------------------------------------------------------
+
+/// Figure 8: relative entropy `H(G')/H(G)` vs `α` (Flickr, Twitter) and vs
+/// density (synthetic, `α = 16 %`).
+pub fn run_fig8(config: &ExperimentConfig) -> Vec<ExperimentReport> {
+    let workload = Workload::generate(config);
+    let mut reports = Vec::new();
+    for (dataset_name, graph) in [("flickr", &workload.flickr), ("twitter", &workload.twitter)] {
+        let mut rng = config.rng(&format!("fig8-{dataset_name}"));
+        let mut report = ExperimentReport::new(
+            format!("fig8-{dataset_name}"),
+            format!("relative entropy H(G')/H(G) vs α ({dataset_name})"),
+            "α (%)",
+            "H(G')/H(G)",
+        );
+        for (&alpha_pct, alpha) in config.alphas_percent.iter().zip(config.alphas()) {
+            for (name, method) in representative_methods(alpha) {
+                let out = sparsify(method.as_ref(), graph, &mut rng);
+                report.push(name, alpha_pct, relative_entropy(graph, &out.graph));
+            }
+        }
+        reports.push(report);
+    }
+    // synthetic density sweep at fixed α
+    let sweep = workload.density_sweep(config);
+    let mut rng = config.rng("fig8-synthetic");
+    let mut report = ExperimentReport::new(
+        "fig8-synthetic",
+        "relative entropy H(G')/H(G) vs density (synthetic, α = 16%)",
+        "density (%)",
+        "H(G')/H(G)",
+    );
+    for (density, graph) in &sweep {
+        for (name, method) in representative_methods(0.16) {
+            let out = sparsify(method.as_ref(), graph, &mut rng);
+            report.push(name, density * 100.0, relative_entropy(graph, &out.graph));
+        }
+    }
+    reports.push(report);
+    reports
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — sparsification running time
+// ---------------------------------------------------------------------------
+
+/// Figure 9: wall-clock sparsification time vs `α` for NI, GDB and EMD on
+/// the Flickr- and Twitter-shaped datasets (the paper omits SS because it
+/// needs hours).
+pub fn run_fig9(config: &ExperimentConfig) -> Vec<ExperimentReport> {
+    let workload = Workload::generate(config);
+    let mut reports = Vec::new();
+    for (dataset_name, graph) in [("flickr", &workload.flickr), ("twitter", &workload.twitter)] {
+        let mut rng = config.rng(&format!("fig9-{dataset_name}"));
+        let mut report = ExperimentReport::new(
+            format!("fig9-{dataset_name}"),
+            format!("sparsification time vs α ({dataset_name})"),
+            "α (%)",
+            "seconds",
+        );
+        for (&alpha_pct, alpha) in config.alphas_percent.iter().zip(config.alphas()) {
+            for (name, method) in representative_methods(alpha) {
+                if name == "SS" {
+                    continue;
+                }
+                let start = Instant::now();
+                let _ = sparsify(method.as_ref(), graph, &mut rng);
+                report.push(name, alpha_pct, start.elapsed().as_secs_f64());
+            }
+        }
+        reports.push(report);
+    }
+    reports
+}
+
+// ---------------------------------------------------------------------------
+// Figures 10–11 — query quality (earth mover's distance)
+// ---------------------------------------------------------------------------
+
+/// The four query workloads evaluated on one graph; observation vectors are
+/// directly comparable between the original and a sparsified graph.
+struct QueryObservations {
+    pagerank: Vec<f64>,
+    clustering: Vec<f64>,
+    distance: Vec<f64>,
+    reliability: Vec<f64>,
+}
+
+fn evaluate_queries(
+    g: &UncertainGraph,
+    pairs: &[(usize, usize)],
+    mc: &MonteCarlo,
+    rng: &mut SmallRng,
+) -> QueryObservations {
+    let pagerank = expected_pagerank(g, mc, rng);
+    let clustering = expected_clustering_coefficients(g, mc, rng);
+    let pair_result = pair_queries(g, pairs, mc, rng);
+    QueryObservations {
+        pagerank,
+        clustering,
+        distance: pair_result.mean_distance,
+        reliability: pair_result.reliability,
+    }
+}
+
+/// Figure 10: earth mover's distance of PR, SP, RL and CC between the
+/// original and the sparsified graphs, vs `α`, on both datasets.
+pub fn run_fig10(config: &ExperimentConfig) -> Vec<ExperimentReport> {
+    let workload = Workload::generate(config);
+    let mc = MonteCarlo::worlds(config.num_worlds);
+    let mut reports = Vec::new();
+    for (dataset_name, graph) in [("flickr", &workload.flickr), ("twitter", &workload.twitter)] {
+        let mut rng = config.rng(&format!("fig10-{dataset_name}"));
+        let pairs = random_pairs(graph.num_vertices(), config.num_pairs, &mut rng);
+        let reference = evaluate_queries(graph, &pairs, &mc, &mut rng);
+
+        let mut pr = ExperimentReport::new(
+            format!("fig10-pr-{dataset_name}"),
+            format!("D_em of PageRank vs α ({dataset_name})"),
+            "α (%)",
+            "D_em",
+        );
+        let mut sp = ExperimentReport::new(
+            format!("fig10-sp-{dataset_name}"),
+            format!("D_em of shortest-path distance vs α ({dataset_name})"),
+            "α (%)",
+            "D_em",
+        );
+        let mut rl = ExperimentReport::new(
+            format!("fig10-rl-{dataset_name}"),
+            format!("D_em of reliability vs α ({dataset_name})"),
+            "α (%)",
+            "D_em",
+        );
+        let mut cc = ExperimentReport::new(
+            format!("fig10-cc-{dataset_name}"),
+            format!("D_em of clustering coefficient vs α ({dataset_name})"),
+            "α (%)",
+            "D_em",
+        );
+        for (&alpha_pct, alpha) in config.alphas_percent.iter().zip(config.alphas()) {
+            for (name, method) in representative_methods(alpha) {
+                let out = sparsify(method.as_ref(), graph, &mut rng);
+                let observed = evaluate_queries(&out.graph, &pairs, &mc, &mut rng);
+                pr.push(
+                    name.clone(),
+                    alpha_pct,
+                    earth_movers_distance(&reference.pagerank, &observed.pagerank),
+                );
+                sp.push(
+                    name.clone(),
+                    alpha_pct,
+                    earth_movers_distance(&reference.distance, &observed.distance),
+                );
+                rl.push(
+                    name.clone(),
+                    alpha_pct,
+                    earth_movers_distance(&reference.reliability, &observed.reliability),
+                );
+                cc.push(
+                    name,
+                    alpha_pct,
+                    earth_movers_distance(&reference.clustering, &observed.clustering),
+                );
+            }
+        }
+        reports.extend([pr, sp, rl, cc]);
+    }
+    reports
+}
+
+/// Figure 11: earth mover's distance of PR and SP vs density (synthetic,
+/// `α = 16 %`).
+pub fn run_fig11(config: &ExperimentConfig) -> Vec<ExperimentReport> {
+    let workload = Workload::generate(config);
+    let sweep = workload.density_sweep(config);
+    let mc = MonteCarlo::worlds(config.num_worlds);
+    let mut rng = config.rng("fig11");
+    let mut pr_report = ExperimentReport::new(
+        "fig11a",
+        "D_em of PageRank vs density (synthetic, α = 16%)",
+        "density (%)",
+        "D_em",
+    );
+    let mut sp_report = ExperimentReport::new(
+        "fig11b",
+        "D_em of shortest-path distance vs density (synthetic, α = 16%)",
+        "density (%)",
+        "D_em",
+    );
+    for (density, graph) in &sweep {
+        let pairs = random_pairs(graph.num_vertices(), config.num_pairs, &mut rng);
+        let reference = evaluate_queries(graph, &pairs, &mc, &mut rng);
+        for (name, method) in representative_methods(0.16) {
+            let out = sparsify(method.as_ref(), graph, &mut rng);
+            let observed = evaluate_queries(&out.graph, &pairs, &mc, &mut rng);
+            pr_report.push(
+                name.clone(),
+                density * 100.0,
+                earth_movers_distance(&reference.pagerank, &observed.pagerank),
+            );
+            sp_report.push(
+                name,
+                density * 100.0,
+                earth_movers_distance(&reference.distance, &observed.distance),
+            );
+        }
+    }
+    vec![pr_report, sp_report]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — relative variance of the MC estimators
+// ---------------------------------------------------------------------------
+
+/// Figure 12: relative variance `σ̂(G')/σ̂(G)` of the PR, SP, RL and CC
+/// Monte-Carlo estimators vs `α`, on both datasets.
+pub fn run_fig12(config: &ExperimentConfig) -> Vec<ExperimentReport> {
+    let workload = Workload::generate(config);
+    let mc = MonteCarlo::worlds(config.variance_worlds);
+    let num_pairs = config.num_pairs.min(60);
+    let mut reports = Vec::new();
+    for (dataset_name, graph) in [("flickr", &workload.flickr), ("twitter", &workload.twitter)] {
+        let mut rng = config.rng(&format!("fig12-{dataset_name}"));
+        let pairs = random_pairs(graph.num_vertices(), num_pairs, &mut rng);
+
+        // Per-query variance of the estimator on an arbitrary graph.
+        let variance_of = |g: &UncertainGraph, rng: &mut SmallRng| -> [VarianceEstimate; 4] {
+            let seeds: Vec<u64> = (0..3).map(|_| rng.gen()).collect();
+            let pr = {
+                let mut local = SmallRng::seed_from_u64(seeds[0]);
+                estimator_variance(config.variance_repetitions, |_| {
+                    expected_pagerank(g, &mc, &mut local)
+                })
+            };
+            let cc = {
+                let mut local = SmallRng::seed_from_u64(seeds[1]);
+                estimator_variance(config.variance_repetitions, |_| {
+                    expected_clustering_coefficients(g, &mc, &mut local)
+                })
+            };
+            let (sp, rl) = {
+                let mut local = SmallRng::seed_from_u64(seeds[2]);
+                let mut distances: Vec<Vec<f64>> = Vec::new();
+                let mut reliabilities: Vec<Vec<f64>> = Vec::new();
+                for _ in 0..config.variance_repetitions {
+                    let result = pair_queries(g, &pairs, &mc, &mut local);
+                    distances.push(result.mean_distance);
+                    reliabilities.push(result.reliability);
+                }
+                let mut d_iter = distances.into_iter();
+                let sp = estimator_variance(config.variance_repetitions, |_| {
+                    d_iter.next().expect("one vector per repetition")
+                });
+                let mut r_iter = reliabilities.into_iter();
+                let rl = estimator_variance(config.variance_repetitions, |_| {
+                    r_iter.next().expect("one vector per repetition")
+                });
+                (sp, rl)
+            };
+            [pr, sp, rl, cc]
+        };
+
+        let reference = variance_of(graph, &mut rng);
+        let query_names = ["pr", "sp", "rl", "cc"];
+        let mut per_query_reports: Vec<ExperimentReport> = query_names
+            .iter()
+            .map(|q| {
+                ExperimentReport::new(
+                    format!("fig12-{q}-{dataset_name}"),
+                    format!("relative variance of {} vs α ({dataset_name})", q.to_uppercase()),
+                    "α (%)",
+                    "σ̂(G')/σ̂(G)",
+                )
+            })
+            .collect();
+        for (&alpha_pct, alpha) in config.alphas_percent.iter().zip(config.alphas()) {
+            for (name, method) in representative_methods(alpha) {
+                let out = sparsify(method.as_ref(), graph, &mut rng);
+                let observed = variance_of(&out.graph, &mut rng);
+                for (idx, report) in per_query_reports.iter_mut().enumerate() {
+                    report.push(name.clone(), alpha_pct, observed[idx].relative_to(&reference[idx]));
+                }
+            }
+        }
+        reports.extend(per_query_reports);
+    }
+    reports
+}
+
+// ---------------------------------------------------------------------------
+// Everything at once
+// ---------------------------------------------------------------------------
+
+/// Runs every experiment and returns all reports (Table 1 is returned as a
+/// pre-rendered string because it is a plain statistics table).
+pub fn run_all(config: &ExperimentConfig) -> (String, Vec<ExperimentReport>) {
+    let table1 = run_table1(config);
+    let mut reports = Vec::new();
+    reports.extend(run_table2(config));
+    reports.extend(run_fig4(config));
+    reports.extend(run_fig5(config));
+    reports.extend(run_fig6(config));
+    reports.extend(run_fig7(config));
+    reports.extend(run_fig8(config));
+    reports.extend(run_fig9(config));
+    reports.extend(run_fig10(config));
+    reports.extend(run_fig11(config));
+    reports.extend(run_fig12(config));
+    (table1, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugs_datasets::Scale;
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut config = ExperimentConfig::for_scale(Scale::Tiny);
+        // keep the self-test fast
+        config.alphas_percent = vec![16.0, 64.0];
+        config.num_worlds = 20;
+        config.num_pairs = 15;
+        config.num_cuts = 50;
+        config.variance_repetitions = 4;
+        config.variance_worlds = 8;
+        config
+    }
+
+    #[test]
+    fn table1_lists_every_dataset() {
+        let text = run_table1(&tiny_config());
+        for name in ["Flickr", "Twitter", "Synth-15%", "Synth-90%"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn table2_covers_all_variants_and_ratios() {
+        let config = tiny_config();
+        let reports = run_table2(&config);
+        assert_eq!(reports.len(), 1);
+        let report = &reports[0];
+        assert_eq!(report.methods().len(), 12);
+        assert_eq!(report.xs(), vec![16.0, 64.0]);
+        // every measured MAE is finite and non-negative
+        for p in &report.points {
+            assert!(p.value.is_finite() && p.value >= 0.0);
+        }
+        // the proposed methods beat the naive GDB^A_n variant at α = 64 %
+        let emd = report.value("EMD^R-t", 64.0).unwrap();
+        let naive = report.value("GDB^A_n", 64.0).unwrap();
+        assert!(emd <= naive + 1e-9, "EMD^R-t {emd} vs GDB^A_n {naive}");
+    }
+
+    #[test]
+    fn fig5_reports_cover_the_h_sweep() {
+        let config = tiny_config();
+        let reports = run_fig5(&config);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].methods().len(), 6);
+        // h = 1 must reach at most the degree error of h = 0 at the largest α
+        let h1 = reports[0].value("h=1", 64.0).unwrap();
+        let h0 = reports[0].value("h=0", 64.0).unwrap();
+        assert!(h1 <= h0 + 1e-9, "h=1 {h1} vs h=0 {h0}");
+        // and relative entropy values are within [0, 1]
+        for p in &reports[1].points {
+            assert!(p.value >= 0.0 && p.value <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig6_shape_matches_the_paper() {
+        let config = tiny_config();
+        let reports = run_fig6(&config);
+        assert_eq!(reports.len(), 4);
+        // On the Flickr-shaped dataset the proposed methods must beat both
+        // baselines on degree preservation at every measured α.
+        let degree_flickr = &reports[0];
+        for &alpha in &[16.0, 64.0] {
+            let gdb = degree_flickr.value("GDB", alpha).unwrap();
+            let emd = degree_flickr.value("EMD", alpha).unwrap();
+            let ni = degree_flickr.value("NI", alpha).unwrap();
+            let ss = degree_flickr.value("SS", alpha).unwrap();
+            assert!(gdb < ni && gdb < ss, "α={alpha}: GDB {gdb} vs NI {ni}, SS {ss}");
+            assert!(emd < ni && emd < ss, "α={alpha}: EMD {emd} vs NI {ni}, SS {ss}");
+        }
+    }
+
+    #[test]
+    fn fig9_reports_time_for_three_methods() {
+        let config = tiny_config();
+        let reports = run_fig9(&config);
+        assert_eq!(reports.len(), 2);
+        for report in &reports {
+            assert_eq!(report.methods().len(), 3); // NI, GDB, EMD — no SS
+            for p in &report.points {
+                assert!(p.value >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! Implementation of the CLI subcommands.
+//!
+//! Every command returns its report as a `String` so it can be unit tested
+//! without capturing stdout; `main` only prints the result.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uncertain_graph::{io, GraphStatistics, UncertainGraph};
+
+use crate::args::{ArgsError, ParsedArgs};
+use ugs_baselines::{NagamochiIbaraki, SpannerSparsifier};
+use ugs_core::prelude::*;
+use ugs_datasets::prelude::*;
+use ugs_metrics::cuts::CutSamplingConfig;
+use ugs_metrics::degree::MetricDiscrepancy;
+use ugs_queries::prelude::*;
+
+/// Errors surfaced to the user by the CLI.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing / validation error.
+    Args(ArgsError),
+    /// Graph I/O or validation error.
+    Graph(uncertain_graph::GraphError),
+    /// Sparsification error.
+    Sparsify(SparsifyError),
+    /// Any other user-facing problem.
+    Message(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Graph(e) => write!(f, "{e}"),
+            CliError::Sparsify(e) => write!(f, "{e}"),
+            CliError::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+impl From<uncertain_graph::GraphError> for CliError {
+    fn from(e: uncertain_graph::GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+impl From<SparsifyError> for CliError {
+    fn from(e: SparsifyError) -> Self {
+        CliError::Sparsify(e)
+    }
+}
+
+/// The usage / help text.
+pub fn usage() -> String {
+    "ugs — uncertain graph sparsification toolkit
+
+USAGE:
+    ugs <command> [arguments] [--option value ...]
+
+COMMANDS:
+    generate   --dataset flickr|twitter|er --scale tiny|small|medium|paper
+               [--seed N] [--er-vertices N] [--er-density Q] --output FILE
+               Generate a synthetic uncertain graph and write it as a text edge list.
+
+    stats      <graph.txt>
+               Print Table-1-style statistics of an uncertain graph.
+
+    sparsify   <graph.txt> --alpha A [--method gdb|emd|lp|ni|ss]
+               [--discrepancy absolute|relative] [--backbone random|spanning|local-degree]
+               [--h H] [--k K] [--seed N] [--output FILE]
+               Sparsify the graph to A·|E| edges and report diagnostics.
+
+    query      <graph.txt> --query pagerank|cc|sp|rl|connectivity|knn
+               [--worlds N] [--pairs N] [--top K] [--source V] [--seed N]
+               Run a Monte-Carlo query and print a summary.
+
+    compare    <original.txt> <sparsified.txt> [--worlds N] [--pairs N] [--cuts N] [--seed N]
+               Compare a sparsified graph against its original (degree/cut MAE,
+               relative entropy, earth mover's distance of PageRank and reliability).
+
+    help       Show this message.
+"
+    .to_string()
+}
+
+fn load(path: &str) -> Result<UncertainGraph, CliError> {
+    Ok(io::read_text_file(path)?)
+}
+
+/// `ugs generate`.
+pub fn generate(args: &ParsedArgs) -> Result<String, CliError> {
+    let dataset = args.option_or("dataset", "flickr");
+    let scale_name = args.option_or("scale", "tiny");
+    let scale = Scale::parse(&scale_name).ok_or_else(|| CliError::Message(format!(
+        "unknown scale {scale_name:?}; expected tiny|small|medium|paper"
+    )))?;
+    let seed = args.u64_or("seed", 42)?;
+    let output = args.required("output")?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graph = match dataset.as_str() {
+        "flickr" => flickr_like(scale, &mut rng),
+        "twitter" => twitter_like(scale, &mut rng),
+        "er" => {
+            let vertices = args.usize_or("er-vertices", 500)?;
+            let density = args.f64_or("er-density", 0.05)?;
+            erdos_renyi(vertices, density, ProbabilityModel::FlickrLike, &mut rng)
+        }
+        other => {
+            return Err(CliError::Message(format!(
+                "unknown dataset {other:?}; expected flickr|twitter|er"
+            )))
+        }
+    };
+    io::write_text_file(&graph, output)?;
+    let stats = GraphStatistics::compute(&graph);
+    Ok(format!(
+        "wrote {} ({} vertices, {} edges, E[p] = {:.3}) to {}",
+        dataset, stats.num_vertices, stats.num_edges, stats.mean_edge_probability, output
+    ))
+}
+
+/// `ugs stats`.
+pub fn stats(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = args.positional(0, "graph.txt")?;
+    let graph = load(path)?;
+    let stats = GraphStatistics::compute(&graph);
+    let mut out = String::new();
+    out.push_str(&GraphStatistics::table_header());
+    out.push('\n');
+    out.push_str(&stats.table_row(path));
+    out.push('\n');
+    out.push_str(&format!(
+        "entropy: {:.2} bits   density: {:.4}   support connected: {}\n",
+        stats.entropy, stats.density, stats.support_connected
+    ));
+    Ok(out)
+}
+
+fn build_sparsifier(args: &ParsedArgs, alpha: f64) -> Result<Box<dyn Sparsifier>, CliError> {
+    let method = args.option_or("method", "gdb");
+    let discrepancy = match args.option_or("discrepancy", "absolute").as_str() {
+        "absolute" | "abs" => DiscrepancyKind::Absolute,
+        "relative" | "rel" => DiscrepancyKind::Relative,
+        other => {
+            return Err(CliError::Message(format!(
+                "unknown discrepancy {other:?}; expected absolute|relative"
+            )))
+        }
+    };
+    let backbone = match args.option_or("backbone", "spanning").as_str() {
+        "random" => BackboneKind::Random,
+        "spanning" => BackboneKind::SpanningForests,
+        "local-degree" => BackboneKind::LocalDegree,
+        other => {
+            return Err(CliError::Message(format!(
+                "unknown backbone {other:?}; expected random|spanning|local-degree"
+            )))
+        }
+    };
+    let h = args.f64_or("h", 0.05)?;
+    let k = args.usize_or("k", 1)?;
+    let cut_rule = if k <= 1 { CutRule::Degree } else { CutRule::Cuts(k) };
+    let spec = |base: SparsifierSpec| {
+        base.alpha(alpha).discrepancy(discrepancy).backbone(backbone).entropy_h(h).cut_rule(cut_rule)
+    };
+    Ok(match method.as_str() {
+        "gdb" => Box::new(spec(SparsifierSpec::gdb())),
+        "emd" => Box::new(spec(SparsifierSpec::emd())),
+        "lp" => Box::new(spec(SparsifierSpec::lp())),
+        "ni" => Box::new(NagamochiIbaraki::new(alpha)),
+        "ss" => Box::new(SpannerSparsifier::new(alpha)),
+        other => {
+            return Err(CliError::Message(format!(
+                "unknown method {other:?}; expected gdb|emd|lp|ni|ss"
+            )))
+        }
+    })
+}
+
+/// `ugs sparsify`.
+pub fn sparsify(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = args.positional(0, "graph.txt")?;
+    let alpha = args.f64_or("alpha", 0.16)?;
+    let seed = args.u64_or("seed", 42)?;
+    let graph = load(path)?;
+    let sparsifier = build_sparsifier(args, alpha)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let output = sparsifier.sparsify_dyn(&graph, &mut rng)?;
+    let mut report = format!(
+        "method          : {}\nedges           : {} -> {}\nrelative entropy: {:.4}\ndegree MAE      : {:.6}\niterations      : {}\ntime            : {:?}\n",
+        output.diagnostics.method,
+        graph.num_edges(),
+        output.graph.num_edges(),
+        output.diagnostics.relative_entropy(),
+        ugs_metrics::degree_discrepancy_mae(&graph, &output.graph, MetricDiscrepancy::Absolute),
+        output.diagnostics.iterations,
+        output.diagnostics.elapsed,
+    );
+    if let Some(out_path) = args.options.get("output") {
+        io::write_text_file(&output.graph, out_path)?;
+        report.push_str(&format!("written to      : {out_path}\n"));
+    }
+    Ok(report)
+}
+
+/// `ugs query`.
+pub fn query(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = args.positional(0, "graph.txt")?;
+    let graph = load(path)?;
+    let query = args.option_or("query", "pagerank");
+    let worlds = args.usize_or("worlds", 500)?;
+    let seed = args.u64_or("seed", 42)?;
+    let mc = MonteCarlo::worlds(worlds);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let top = args.usize_or("top", 10)?;
+    match query.as_str() {
+        "pagerank" | "pr" => {
+            let scores = expected_pagerank(&graph, &mc, &mut rng);
+            Ok(format_top("expected PageRank", &scores, top))
+        }
+        "cc" | "clustering" => {
+            let scores = expected_clustering_coefficients(&graph, &mc, &mut rng);
+            Ok(format_top("expected clustering coefficient", &scores, top))
+        }
+        "sp" | "rl" | "reliability" | "distance" => {
+            let pairs = random_pairs(graph.num_vertices(), args.usize_or("pairs", 100)?, &mut rng);
+            let result = pair_queries(&graph, &pairs, &mc, &mut rng);
+            let finite = result.finite_distances();
+            let mean_sp = finite.iter().sum::<f64>() / finite.len().max(1) as f64;
+            let mean_rl =
+                result.reliability.iter().sum::<f64>() / result.reliability.len().max(1) as f64;
+            Ok(format!(
+                "pairs evaluated      : {}\nmean shortest path   : {:.3} hops (over {} reachable pairs)\nmean reliability     : {:.3}\n",
+                pairs.len(),
+                mean_sp,
+                finite.len(),
+                mean_rl
+            ))
+        }
+        "connectivity" => {
+            let estimate = ugs_queries::connectivity_query(&graph, &mc, &mut rng);
+            Ok(format!(
+                "P(connected)             : {:.4}\nexpected #components     : {:.3}\nexpected largest component: {:.2} vertices\nexpected isolated fraction: {:.4}\n",
+                estimate.probability_connected,
+                estimate.expected_components,
+                estimate.expected_largest_component,
+                estimate.expected_isolated_fraction
+            ))
+        }
+        "knn" => {
+            let source = args.usize_or("source", 0)?;
+            let neighbors = k_nearest_neighbors(&graph, source, top, &mc, &mut rng);
+            let mut out = format!("{top} nearest neighbours of vertex {source}:\n");
+            for n in neighbors {
+                out.push_str(&format!(
+                    "  vertex {:>6}  E[distance] {:.3}  reachability {:.3}\n",
+                    n.vertex, n.expected_distance, n.reachability
+                ));
+            }
+            Ok(out)
+        }
+        other => Err(CliError::Message(format!(
+            "unknown query {other:?}; expected pagerank|cc|sp|rl|connectivity|knn"
+        ))),
+    }
+}
+
+fn format_top(label: &str, scores: &[f64], top: usize) -> String {
+    let mut ranked: Vec<usize> = (0..scores.len()).collect();
+    ranked.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = format!("top {} vertices by {label}:\n", top.min(scores.len()));
+    for &v in ranked.iter().take(top) {
+        out.push_str(&format!("  vertex {:>6}  {:.6}\n", v, scores[v]));
+    }
+    out
+}
+
+/// `ugs compare`.
+pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
+    let original = load(args.positional(0, "original.txt")?)?;
+    let sparsified = load(args.positional(1, "sparsified.txt")?)?;
+    if original.num_vertices() != sparsified.num_vertices() {
+        return Err(CliError::Message(format!(
+            "vertex counts differ: {} vs {}",
+            original.num_vertices(),
+            sparsified.num_vertices()
+        )));
+    }
+    let seed = args.u64_or("seed", 42)?;
+    let worlds = args.usize_or("worlds", 200)?;
+    let num_pairs = args.usize_or("pairs", 100)?;
+    let num_cuts = args.usize_or("cuts", 500)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mc = MonteCarlo::worlds(worlds);
+
+    let degree_mae =
+        ugs_metrics::degree_discrepancy_mae(&original, &sparsified, MetricDiscrepancy::Absolute);
+    let cut_mae = ugs_metrics::cut_discrepancy_mae(
+        &original,
+        &sparsified,
+        &CutSamplingConfig { num_cuts, max_cardinality: original.num_vertices() },
+        &mut rng,
+    );
+    let rel_entropy = ugs_metrics::relative_entropy(&original, &sparsified);
+
+    let pr_original = expected_pagerank(&original, &mc, &mut rng);
+    let pr_sparse = expected_pagerank(&sparsified, &mc, &mut rng);
+    let pairs = random_pairs(original.num_vertices(), num_pairs, &mut rng);
+    let rl_original = pair_queries(&original, &pairs, &mc, &mut rng);
+    let rl_sparse = pair_queries(&sparsified, &pairs, &mc, &mut rng);
+
+    Ok(format!(
+        "edges                  : {} -> {}\ndegree discrepancy MAE : {:.6}\ncut discrepancy MAE    : {:.6}\nrelative entropy       : {:.4}\nD_em (PageRank)        : {:.6}\nD_em (reliability)     : {:.6}\n",
+        original.num_edges(),
+        sparsified.num_edges(),
+        degree_mae,
+        cut_mae,
+        rel_entropy,
+        ugs_metrics::earth_movers_distance(&pr_original, &pr_sparse),
+        ugs_metrics::earth_movers_distance(&rl_original.reliability, &rl_sparse.reliability),
+    ))
+}
+
+/// Dispatches a parsed command line.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "stats" => stats(args),
+        "sparsify" => sparsify(args),
+        "query" => query(args),
+        "compare" => compare(args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Message(format!("unknown command {other:?}\n\n{}", usage()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ugs-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    fn write_toy_graph(name: &str) -> String {
+        let g = UncertainGraph::from_edges(
+            6,
+            [
+                (0, 1, 0.9),
+                (1, 2, 0.8),
+                (2, 3, 0.7),
+                (3, 4, 0.6),
+                (4, 5, 0.5),
+                (5, 0, 0.4),
+                (0, 2, 0.3),
+                (1, 3, 0.2),
+                (2, 4, 0.35),
+                (3, 5, 0.45),
+            ],
+        )
+        .unwrap();
+        let path = temp_path(name);
+        io::write_text_file(&g, &path).unwrap();
+        path.to_string_lossy().to_string()
+    }
+
+    #[test]
+    fn generate_then_stats_round_trip() {
+        let out = temp_path("generated.txt").to_string_lossy().to_string();
+        let args = ParsedArgs::parse([
+            "generate", "--dataset", "twitter", "--scale", "tiny", "--seed", "7", "--output", &out,
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("wrote twitter"));
+        let stats_args = ParsedArgs::parse(["stats", out.as_str()]).unwrap();
+        let report = run(&stats_args).unwrap();
+        assert!(report.contains("entropy"));
+        assert!(report.contains("200"));
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn generate_rejects_unknown_inputs() {
+        let args =
+            ParsedArgs::parse(["generate", "--dataset", "mars", "--output", "/tmp/x"]).unwrap();
+        assert!(run(&args).is_err());
+        let args =
+            ParsedArgs::parse(["generate", "--scale", "galactic", "--output", "/tmp/x"]).unwrap();
+        assert!(run(&args).is_err());
+        let args = ParsedArgs::parse(["generate"]).unwrap();
+        assert!(run(&args).is_err()); // missing --output
+    }
+
+    #[test]
+    fn sparsify_writes_output_and_reports_diagnostics() {
+        let input = write_toy_graph("sparsify-in.txt");
+        let output = temp_path("sparsify-out.txt").to_string_lossy().to_string();
+        let args = ParsedArgs::parse([
+            "sparsify", &input, "--alpha", "0.5", "--method", "emd", "--discrepancy", "relative",
+            "--output", &output,
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("EMD^R-t"), "{report}");
+        assert!(report.contains("10 -> 5"), "{report}");
+        let written = io::read_text_file(&output).unwrap();
+        assert_eq!(written.num_edges(), 5);
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn sparsify_supports_every_method_name() {
+        let input = write_toy_graph("methods.txt");
+        for method in ["gdb", "emd", "lp", "ni", "ss"] {
+            let args = ParsedArgs::parse([
+                "sparsify", &input, "--alpha", "0.5", "--method", method, "--backbone", "random",
+            ])
+            .unwrap();
+            let report = run(&args).unwrap();
+            assert!(report.contains("edges"), "{method}: {report}");
+        }
+        let bad = ParsedArgs::parse(["sparsify", &input, "--method", "magic"]).unwrap();
+        assert!(run(&bad).is_err());
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn query_commands_produce_summaries() {
+        let input = write_toy_graph("query.txt");
+        for (query, needle) in [
+            ("pagerank", "PageRank"),
+            ("cc", "clustering"),
+            ("sp", "reliability"),
+            ("connectivity", "P(connected)"),
+            ("knn", "nearest neighbours"),
+        ] {
+            let args = ParsedArgs::parse([
+                "query", &input, "--query", query, "--worlds", "50", "--pairs", "5", "--top", "3",
+            ])
+            .unwrap();
+            let report = run(&args).unwrap();
+            assert!(report.contains(needle), "{query}: {report}");
+        }
+        let bad = ParsedArgs::parse(["query", &input, "--query", "nope"]).unwrap();
+        assert!(run(&bad).is_err());
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn compare_reports_all_metrics() {
+        let input = write_toy_graph("compare-in.txt");
+        let sparse_path = temp_path("compare-sparse.txt").to_string_lossy().to_string();
+        let sparsify_args = ParsedArgs::parse([
+            "sparsify", &input, "--alpha", "0.5", "--output", &sparse_path,
+        ])
+        .unwrap();
+        run(&sparsify_args).unwrap();
+        let args = ParsedArgs::parse([
+            "compare", &input, &sparse_path, "--worlds", "50", "--pairs", "5", "--cuts", "50",
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        for needle in ["degree discrepancy", "cut discrepancy", "relative entropy", "D_em"] {
+            assert!(report.contains(needle), "{report}");
+        }
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&sparse_path).ok();
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let help = run(&ParsedArgs::parse(["help"]).unwrap()).unwrap();
+        assert!(help.contains("USAGE"));
+        assert!(run(&ParsedArgs::parse(["frobnicate"]).unwrap()).is_err());
+    }
+}

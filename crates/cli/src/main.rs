@@ -1,0 +1,39 @@
+//! `ugs` — command-line interface for the uncertain-graph-sparsification
+//! workspace.
+//!
+//! ```text
+//! ugs generate --dataset flickr --scale tiny --output graph.txt
+//! ugs stats graph.txt
+//! ugs sparsify graph.txt --alpha 0.16 --method emd --output sparse.txt
+//! ugs query sparse.txt --query pagerank --worlds 500
+//! ugs compare graph.txt sparse.txt
+//! ```
+//!
+//! Run `ugs help` for the full option list.
+
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        println!("{}", commands::usage());
+        return;
+    }
+    let parsed = match ParsedArgs::parse(raw) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(report) => println!("{report}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! Backbone Graph Initialization (`BGI`, Algorithm 1).
+//!
+//! Every sparsifier of the paper starts from an unweighted *backbone graph*
+//! `G_b` with exactly `α|E|` edges.  Two constructions are evaluated:
+//!
+//! * **Random backbone** (variants without the `-t` suffix): Monte-Carlo
+//!   sampling of the original edges by their probabilities until `α|E|`
+//!   distinct edges have been collected.  Simple, but may disconnect the
+//!   graph for small `α`.
+//! * **Spanning backbone** (`-t` variants, Algorithm 1): repeatedly extract
+//!   maximum spanning forests (probabilities as weights) until the backbone
+//!   holds `α'|E|` edges, then top up the remaining `(α − α')|E|` edges by
+//!   probability-proportional sampling.  `α'` is the minimum of `0.5·α` and
+//!   the share of edges covered by the first six spanning forests, exactly
+//!   as in the paper's experiments.
+
+use rand::Rng;
+use uncertain_graph::{EdgeId, UncertainGraph};
+
+use crate::error::SparsifyError;
+use graph_algos::spanning::maximum_spanning_forest;
+
+/// Which backbone construction to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackboneKind {
+    /// Monte-Carlo sampling of edges by probability (no connectivity
+    /// guarantee).  The paper's variants without the `-t` suffix.
+    Random,
+    /// Algorithm 1: iterated maximum spanning forests followed by random
+    /// sampling.  The paper's `-t` variants.
+    SpanningForests,
+    /// Local Degree (Lindner et al. [24], mentioned in Section 3.3 as an
+    /// alternative initialisation): every vertex keeps the edges towards its
+    /// highest-expected-degree neighbours (hubs), the share per vertex being
+    /// `α`; the selection is then adjusted to exactly `α|E|` edges by
+    /// probability-proportional sampling.  No connectivity guarantee.
+    LocalDegree,
+}
+
+impl Default for BackboneKind {
+    fn default() -> Self {
+        BackboneKind::SpanningForests
+    }
+}
+
+/// Tuning knobs of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackboneConfig {
+    /// Which construction to run.
+    pub kind: BackboneKind,
+    /// Maximum number of spanning forests extracted before switching to
+    /// random sampling (the paper uses 6).
+    pub max_spanning_forests: usize,
+    /// The spanning phase stops once the backbone holds
+    /// `spanning_fraction · α|E|` edges (the paper uses 0.5).
+    pub spanning_fraction: f64,
+}
+
+impl Default for BackboneConfig {
+    fn default() -> Self {
+        BackboneConfig {
+            kind: BackboneKind::SpanningForests,
+            max_spanning_forests: 6,
+            spanning_fraction: 0.5,
+        }
+    }
+}
+
+impl BackboneConfig {
+    /// A configuration using the random (Monte-Carlo) backbone.
+    pub fn random() -> Self {
+        BackboneConfig { kind: BackboneKind::Random, ..Default::default() }
+    }
+
+    /// A configuration using the spanning-forest backbone of Algorithm 1.
+    pub fn spanning() -> Self {
+        BackboneConfig::default()
+    }
+}
+
+/// Computes the number of edges a sparsified graph must contain:
+/// `round(α·|E|)`, at least 1.
+pub fn target_edge_count(g: &UncertainGraph, alpha: f64) -> Result<usize, SparsifyError> {
+    if g.num_edges() == 0 {
+        return Err(SparsifyError::EmptyGraph);
+    }
+    if !(alpha > 0.0 && alpha < 1.0) || !alpha.is_finite() {
+        return Err(SparsifyError::InvalidAlpha { alpha });
+    }
+    let target = (alpha * g.num_edges() as f64).round() as usize;
+    if target == 0 {
+        return Err(SparsifyError::NoEdgesSelected { alpha, num_edges: g.num_edges() });
+    }
+    Ok(target.min(g.num_edges()))
+}
+
+/// Builds a backbone with exactly [`target_edge_count`] edges.
+///
+/// The returned edge ids refer to `g`.  With
+/// [`BackboneKind::SpanningForests`] the backbone is connected whenever the
+/// support of `g` is connected and `α|E| ≥ |V| − 1`.
+pub fn build_backbone<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    alpha: f64,
+    config: &BackboneConfig,
+    rng: &mut R,
+) -> Result<Vec<EdgeId>, SparsifyError> {
+    let target = target_edge_count(g, alpha)?;
+    if config.spanning_fraction < 0.0 || config.spanning_fraction > 1.0 {
+        return Err(SparsifyError::InvalidParameter {
+            name: "spanning_fraction",
+            message: format!("{} is outside [0, 1]", config.spanning_fraction),
+        });
+    }
+    match config.kind {
+        BackboneKind::Random => Ok(random_backbone(g, target, rng)),
+        BackboneKind::SpanningForests => Ok(spanning_backbone(g, target, config, rng)),
+        BackboneKind::LocalDegree => Ok(local_degree_backbone(g, target, alpha, rng)),
+    }
+}
+
+/// Local Degree backbone: each vertex nominates the `⌈α·deg(u)⌉` incident
+/// edges whose other endpoint has the highest expected degree; the union of
+/// all nominations is trimmed (dropping the nominations towards the
+/// lowest-degree endpoints first) or topped up by probability-proportional
+/// sampling to exactly `target` edges.
+fn local_degree_backbone<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    target: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> Vec<EdgeId> {
+    let expected_degrees = g.expected_degrees();
+    let mut selected = vec![false; g.num_edges()];
+    // Score of a nomination: the expected degree of the hub endpoint.
+    let mut nominated: Vec<(f64, EdgeId)> = Vec::new();
+    for u in g.vertices() {
+        let mut incident: Vec<(f64, EdgeId)> =
+            g.neighbors(u).map(|(v, e, _)| (expected_degrees[v], e)).collect();
+        incident.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let quota = ((alpha * incident.len() as f64).ceil() as usize).min(incident.len());
+        for &(score, e) in incident.iter().take(quota) {
+            if !selected[e] {
+                selected[e] = true;
+                nominated.push((score, e));
+            }
+        }
+    }
+    let mut backbone: Vec<EdgeId>;
+    if nominated.len() > target {
+        // Keep the nominations towards the highest-degree hubs.
+        nominated.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+        backbone = nominated.into_iter().take(target).map(|(_, e)| e).collect();
+    } else {
+        backbone = nominated.into_iter().map(|(_, e)| e).collect();
+        let mut kept = vec![false; g.num_edges()];
+        for &e in &backbone {
+            kept[e] = true;
+        }
+        fill_by_weighted_sampling(g, &mut kept, &mut backbone, target, rng);
+    }
+    backbone.sort_unstable();
+    backbone
+}
+
+/// Monte-Carlo backbone: repeatedly sweep the edges in random order, keeping
+/// each with its probability, until `target` distinct edges are collected.
+/// If the probabilities are so small that sweeps stall, the remaining slots
+/// are filled by probability-weighted sampling without replacement so the
+/// procedure always terminates.
+fn random_backbone<R: Rng + ?Sized>(g: &UncertainGraph, target: usize, rng: &mut R) -> Vec<EdgeId> {
+    let m = g.num_edges();
+    let mut selected = vec![false; m];
+    let mut backbone = Vec::with_capacity(target);
+    let mut order: Vec<EdgeId> = (0..m).collect();
+    // A generous but bounded number of Bernoulli sweeps.
+    const MAX_SWEEPS: usize = 64;
+    'outer: for _ in 0..MAX_SWEEPS {
+        shuffle(&mut order, rng);
+        for &e in &order {
+            if backbone.len() >= target {
+                break 'outer;
+            }
+            if !selected[e] && rng.gen::<f64>() < g.edge_probability(e) {
+                selected[e] = true;
+                backbone.push(e);
+            }
+        }
+        if backbone.len() >= target {
+            break;
+        }
+    }
+    if backbone.len() < target {
+        fill_by_weighted_sampling(g, &mut selected, &mut backbone, target, rng);
+    }
+    backbone
+}
+
+/// Algorithm 1.
+fn spanning_backbone<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    target: usize,
+    config: &BackboneConfig,
+    rng: &mut R,
+) -> Vec<EdgeId> {
+    let m = g.num_edges();
+    let edges: Vec<(usize, usize, f64)> = g.edges().map(|e| (e.u, e.v, e.p)).collect();
+    let mut selected = vec![false; m];
+    let mut backbone: Vec<EdgeId> = Vec::with_capacity(target);
+
+    // Spanning phase: keep extracting maximum spanning forests of the
+    // remaining edges until α'|E| edges are gathered or the forest budget is
+    // exhausted.
+    let spanning_target =
+        ((config.spanning_fraction * target as f64).floor() as usize).min(target);
+    let mut remaining: Vec<EdgeId> = (0..m).collect();
+    for _ in 0..config.max_spanning_forests {
+        if backbone.len() >= spanning_target || remaining.is_empty() {
+            break;
+        }
+        let forest = maximum_spanning_forest(g.num_vertices(), &edges, &remaining);
+        if forest.is_empty() {
+            break;
+        }
+        for &e in &forest {
+            if backbone.len() >= target {
+                break;
+            }
+            if !selected[e] {
+                selected[e] = true;
+                backbone.push(e);
+            }
+        }
+        let in_forest: std::collections::HashSet<EdgeId> = forest.into_iter().collect();
+        remaining.retain(|e| !in_forest.contains(e));
+    }
+
+    // Sampling phase: the rest of the backbone comes from Bernoulli sweeps on
+    // the remaining edges, with the same bounded-retry fallback as the random
+    // backbone.
+    const MAX_SWEEPS: usize = 64;
+    let mut order = remaining;
+    'outer: for _ in 0..MAX_SWEEPS {
+        if backbone.len() >= target {
+            break;
+        }
+        shuffle(&mut order, rng);
+        for &e in &order {
+            if backbone.len() >= target {
+                break 'outer;
+            }
+            if !selected[e] && rng.gen::<f64>() < g.edge_probability(e) {
+                selected[e] = true;
+                backbone.push(e);
+            }
+        }
+    }
+    if backbone.len() < target {
+        fill_by_weighted_sampling(g, &mut selected, &mut backbone, target, rng);
+    }
+    backbone
+}
+
+/// Probability-weighted sampling without replacement of the still-unselected
+/// edges until the backbone reaches `target` edges.
+fn fill_by_weighted_sampling<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    selected: &mut [bool],
+    backbone: &mut Vec<EdgeId>,
+    target: usize,
+    rng: &mut R,
+) {
+    let mut pool: Vec<EdgeId> = (0..g.num_edges()).filter(|&e| !selected[e]).collect();
+    while backbone.len() < target && !pool.is_empty() {
+        let total: f64 = pool.iter().map(|&e| g.edge_probability(e)).sum();
+        let chosen_idx = if total <= 0.0 {
+            rng.gen_range(0..pool.len())
+        } else {
+            let mut ticket = rng.gen::<f64>() * total;
+            let mut idx = pool.len() - 1;
+            for (i, &e) in pool.iter().enumerate() {
+                ticket -= g.edge_probability(e);
+                if ticket <= 0.0 {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        };
+        let e = pool.swap_remove(chosen_idx);
+        selected[e] = true;
+        backbone.push(e);
+    }
+}
+
+/// Fisher–Yates shuffle (kept local to avoid depending on `rand`'s `seq`
+/// feature surface).
+fn shuffle<R: Rng + ?Sized, T>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Returns `true` if the listed edges of `g` form a connected spanning
+/// subgraph of `g`'s vertex set (used by tests and property checks).
+pub fn edges_span_connected(g: &UncertainGraph, edges: &[EdgeId]) -> bool {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return true;
+    }
+    let mut uf = graph_algos::UnionFind::new(n);
+    for &e in edges {
+        let (u, v) = g.edge_endpoints(e);
+        uf.union(u, v);
+    }
+    uf.num_sets() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use uncertain_graph::UncertainGraphBuilder;
+
+    /// A connected random-ish graph with 20 vertices and 60 edges.
+    fn test_graph(seed: u64) -> UncertainGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 20;
+        let mut b = UncertainGraphBuilder::new(n);
+        // ring for connectivity
+        for u in 0..n {
+            b.add_edge(u, (u + 1) % n, 0.2 + 0.6 * rng.gen::<f64>()).unwrap();
+        }
+        let mut added = n;
+        while added < 60 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v && b.add_edge_if_absent(u, v, 0.05 + 0.9 * rng.gen::<f64>()).unwrap() {
+                added += 1;
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn target_edge_count_validates_inputs() {
+        let g = test_graph(1);
+        assert_eq!(target_edge_count(&g, 0.5).unwrap(), 30);
+        assert!(matches!(target_edge_count(&g, 0.0), Err(SparsifyError::InvalidAlpha { .. })));
+        assert!(matches!(target_edge_count(&g, 1.0), Err(SparsifyError::InvalidAlpha { .. })));
+        assert!(matches!(target_edge_count(&g, -0.2), Err(SparsifyError::InvalidAlpha { .. })));
+        assert!(matches!(
+            target_edge_count(&g, f64::NAN),
+            Err(SparsifyError::InvalidAlpha { .. })
+        ));
+        let empty = UncertainGraph::from_edges(3, []).unwrap();
+        assert!(matches!(target_edge_count(&empty, 0.5), Err(SparsifyError::EmptyGraph)));
+        let tiny = UncertainGraph::from_edges(3, [(0, 1, 0.5)]).unwrap();
+        assert!(matches!(
+            target_edge_count(&tiny, 0.01),
+            Err(SparsifyError::NoEdgesSelected { .. })
+        ));
+    }
+
+    #[test]
+    fn random_backbone_has_exact_size_and_unique_edges() {
+        let g = test_graph(2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for alpha in [0.1, 0.25, 0.5, 0.9] {
+            let bb = build_backbone(&g, alpha, &BackboneConfig::random(), &mut rng).unwrap();
+            assert_eq!(bb.len(), target_edge_count(&g, alpha).unwrap());
+            let unique: std::collections::HashSet<_> = bb.iter().collect();
+            assert_eq!(unique.len(), bb.len());
+            assert!(bb.iter().all(|&e| e < g.num_edges()));
+        }
+    }
+
+    #[test]
+    fn spanning_backbone_is_connected_when_alpha_allows() {
+        let g = test_graph(3);
+        let mut rng = SmallRng::seed_from_u64(11);
+        // α|E| = 0.5 * 60 = 30 >= |V| - 1 = 19, so the spanning backbone must
+        // connect all vertices.
+        let bb = build_backbone(&g, 0.5, &BackboneConfig::spanning(), &mut rng).unwrap();
+        assert_eq!(bb.len(), 30);
+        assert!(edges_span_connected(&g, &bb));
+    }
+
+    #[test]
+    fn random_backbone_needs_no_connectivity() {
+        // Not asserting disconnection (it may connect by chance), just that
+        // the function is total and respects the size for low-probability
+        // graphs where Bernoulli sweeps alone would stall.
+        let g = UncertainGraph::from_edges(
+            6,
+            [(0, 1, 1e-6), (1, 2, 1e-6), (2, 3, 1e-6), (3, 4, 1e-6), (4, 5, 1e-6), (5, 0, 1e-6)],
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let bb = build_backbone(&g, 0.5, &BackboneConfig::random(), &mut rng).unwrap();
+        assert_eq!(bb.len(), 3);
+    }
+
+    #[test]
+    fn spanning_phase_prefers_high_probability_edges() {
+        // Star + one heavy chord: the first spanning forest must contain the
+        // heaviest edges.
+        let g = UncertainGraph::from_edges(
+            5,
+            [(0, 1, 0.9), (0, 2, 0.9), (0, 3, 0.9), (0, 4, 0.9), (1, 2, 0.01), (3, 4, 0.01)],
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let bb = build_backbone(&g, 0.67, &BackboneConfig::spanning(), &mut rng).unwrap();
+        assert_eq!(bb.len(), 4);
+        // all four 0.9 star edges outrank the chords in the spanning phase +
+        // weighted fill
+        let star_edges = bb.iter().filter(|&&e| g.edge_probability(e) > 0.5).count();
+        assert!(star_edges >= 2, "expected the spanning phase to pick heavy edges");
+        assert!(edges_span_connected(&g, &bb));
+    }
+
+    #[test]
+    fn invalid_spanning_fraction_is_rejected() {
+        let g = test_graph(4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let bad = BackboneConfig { spanning_fraction: 1.5, ..Default::default() };
+        assert!(matches!(
+            build_backbone(&g, 0.5, &bad, &mut rng),
+            Err(SparsifyError::InvalidParameter { name: "spanning_fraction", .. })
+        ));
+    }
+
+    #[test]
+    fn backbones_are_reproducible_with_the_same_seed() {
+        let g = test_graph(5);
+        let a = build_backbone(&g, 0.4, &BackboneConfig::spanning(), &mut SmallRng::seed_from_u64(9))
+            .unwrap();
+        let b = build_backbone(&g, 0.4, &BackboneConfig::spanning(), &mut SmallRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn local_degree_backbone_prefers_hub_edges() {
+        // A hub (vertex 0) with many reliable spokes plus a sparse periphery:
+        // Local Degree must keep spoke edges (towards the hub) ahead of
+        // peripheral edges.
+        let mut b = UncertainGraphBuilder::new(12);
+        for leaf in 1..8usize {
+            b.add_edge(0, leaf, 0.8).unwrap();
+        }
+        for periph in 8..12usize {
+            b.add_edge(periph, periph - 7, 0.2).unwrap();
+        }
+        let g = b.build();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let config = BackboneConfig { kind: BackboneKind::LocalDegree, ..Default::default() };
+        let bb = build_backbone(&g, 0.5, &config, &mut rng).unwrap();
+        assert_eq!(bb.len(), target_edge_count(&g, 0.5).unwrap());
+        let hub_edges = bb
+            .iter()
+            .filter(|&&e| {
+                let (u, v) = g.edge_endpoints(e);
+                u == 0 || v == 0
+            })
+            .count();
+        assert!(
+            hub_edges as f64 >= bb.len() as f64 * 0.5,
+            "expected mostly hub edges, got {hub_edges}/{}",
+            bb.len()
+        );
+        // determinism and validity
+        let unique: std::collections::HashSet<_> = bb.iter().collect();
+        assert_eq!(unique.len(), bb.len());
+    }
+
+    #[test]
+    fn local_degree_backbone_has_exact_size_on_dense_graphs() {
+        let g = test_graph(8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let config = BackboneConfig { kind: BackboneKind::LocalDegree, ..Default::default() };
+        for alpha in [0.1, 0.3, 0.7] {
+            let bb = build_backbone(&g, alpha, &config, &mut rng).unwrap();
+            assert_eq!(bb.len(), target_edge_count(&g, alpha).unwrap());
+        }
+    }
+
+    #[test]
+    fn default_config_matches_paper_settings() {
+        let c = BackboneConfig::default();
+        assert_eq!(c.kind, BackboneKind::SpanningForests);
+        assert_eq!(c.max_spanning_forests, 6);
+        assert!((c.spanning_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(BackboneKind::default(), BackboneKind::SpanningForests);
+    }
+}

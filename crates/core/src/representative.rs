@@ -1,0 +1,209 @@
+//! Deterministic *representative instances* of uncertain graphs.
+//!
+//! The closest prior work the paper discusses ([29, 30], "the pursuit of a
+//! good possible world") does not sparsify: it extracts a single
+//! **deterministic** graph whose vertex degrees approximate the *expected*
+//! degrees of the uncertain graph, so that conventional graph algorithms can
+//! be run once instead of over many sampled worlds.  The paper contrasts its
+//! own output (an uncertain graph with tunable size and reduced entropy)
+//! against these zero-entropy representatives: a representative cannot answer
+//! inherently probabilistic queries (reliability, probability of
+//! connectivity) and offers no control over its edge count.
+//!
+//! This module implements the two representative extractors so that the
+//! comparison can be made inside this workspace as well:
+//!
+//! * [`most_probable_world`] — keeps every edge with `p_e > 0.5`
+//!   (the maximum-likelihood world under independent edges),
+//! * [`average_degree_rewiring`] — the greedy `ADR`-style extractor: starting
+//!   from the most probable world, it greedily inserts or removes the edge
+//!   that most reduces the total absolute degree discrepancy
+//!   `Σ_u |d_G(u) − d_R(u)|`, until no single change improves it.
+//!
+//! Both return a [`PossibleWorld`] over the original graph, plus summary
+//! statistics used in tests and benchmarks.
+
+use uncertain_graph::{PossibleWorld, UncertainGraph};
+
+/// Summary of a representative instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepresentativeStats {
+    /// Number of edges in the representative.
+    pub num_edges: usize,
+    /// Total absolute degree discrepancy `Σ_u |d_G(u) − d_R(u)|` between the
+    /// expected degrees of the uncertain graph and the (integer) degrees of
+    /// the representative.
+    pub degree_discrepancy: f64,
+    /// Number of greedy edit steps performed (0 for the most probable world).
+    pub edits: usize,
+}
+
+/// The most probable possible world: every edge with probability greater
+/// than ½ is kept, all others are dropped.
+pub fn most_probable_world(g: &UncertainGraph) -> (PossibleWorld, RepresentativeStats) {
+    let mask: Vec<bool> = g.probabilities().iter().map(|&p| p > 0.5).collect();
+    let world = PossibleWorld::new(mask);
+    let stats = RepresentativeStats {
+        num_edges: world.num_present(),
+        degree_discrepancy: total_degree_discrepancy(g, &world),
+        edits: 0,
+    };
+    (world, stats)
+}
+
+/// Greedy degree-preserving representative in the spirit of `ADR` [29]:
+/// starting from the most probable world, repeatedly flips (inserts or
+/// deletes) the single edge whose flip most decreases the total absolute
+/// degree discrepancy, until no flip improves it or `max_edits` is reached.
+pub fn average_degree_rewiring(
+    g: &UncertainGraph,
+    max_edits: usize,
+) -> (PossibleWorld, RepresentativeStats) {
+    let expected = g.expected_degrees();
+    let mut present: Vec<bool> = g.probabilities().iter().map(|&p| p > 0.5).collect();
+    let mut degrees: Vec<f64> = vec![0.0; g.num_vertices()];
+    for e in g.edges() {
+        if present[e.id] {
+            degrees[e.u] += 1.0;
+            degrees[e.v] += 1.0;
+        }
+    }
+    let mut edits = 0usize;
+    while edits < max_edits {
+        // The gain of flipping edge e is the reduction in
+        // |δ(u)| + |δ(v)| caused by changing both endpoint degrees by ±1.
+        let mut best: Option<(usize, f64)> = None;
+        for e in g.edges() {
+            let sign = if present[e.id] { -1.0 } else { 1.0 };
+            let du_before = (expected[e.u] - degrees[e.u]).abs();
+            let dv_before = (expected[e.v] - degrees[e.v]).abs();
+            let du_after = (expected[e.u] - (degrees[e.u] + sign)).abs();
+            let dv_after = (expected[e.v] - (degrees[e.v] + sign)).abs();
+            let gain = (du_before - du_after) + (dv_before - dv_after);
+            if gain > 1e-12 && best.map_or(true, |(_, bg)| gain > bg) {
+                best = Some((e.id, gain));
+            }
+        }
+        let Some((edge, _)) = best else { break };
+        let (u, v) = g.edge_endpoints(edge);
+        let sign = if present[edge] { -1.0 } else { 1.0 };
+        present[edge] = !present[edge];
+        degrees[u] += sign;
+        degrees[v] += sign;
+        edits += 1;
+    }
+    let world = PossibleWorld::new(present);
+    let stats = RepresentativeStats {
+        num_edges: world.num_present(),
+        degree_discrepancy: total_degree_discrepancy(g, &world),
+        edits,
+    };
+    (world, stats)
+}
+
+/// Total absolute discrepancy between the expected degrees of `g` and the
+/// integer degrees of the deterministic world `world`.
+pub fn total_degree_discrepancy(g: &UncertainGraph, world: &PossibleWorld) -> f64 {
+    let expected = g.expected_degrees();
+    let mut degrees = vec![0.0f64; g.num_vertices()];
+    for e in g.edges() {
+        if world.contains(e.id) {
+            degrees[e.u] += 1.0;
+            degrees[e.v] += 1.0;
+        }
+    }
+    expected.iter().zip(degrees.iter()).map(|(a, b)| (a - b).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> UncertainGraph {
+        UncertainGraph::from_edges(
+            5,
+            [
+                (0, 1, 0.9),
+                (1, 2, 0.8),
+                (2, 3, 0.55),
+                (3, 4, 0.3),
+                (4, 0, 0.2),
+                (0, 2, 0.45),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn most_probable_world_keeps_majority_edges() {
+        let g = toy();
+        let (world, stats) = most_probable_world(&g);
+        assert_eq!(stats.num_edges, 3); // 0.9, 0.8, 0.55
+        assert!(world.contains(0) && world.contains(1) && world.contains(2));
+        assert!(!world.contains(3) && !world.contains(4) && !world.contains(5));
+        assert_eq!(stats.edits, 0);
+        assert!(stats.degree_discrepancy > 0.0);
+    }
+
+    #[test]
+    fn rewiring_never_increases_the_degree_discrepancy() {
+        let g = toy();
+        let (_, baseline) = most_probable_world(&g);
+        let (_, improved) = average_degree_rewiring(&g, 100);
+        assert!(improved.degree_discrepancy <= baseline.degree_discrepancy + 1e-12);
+    }
+
+    #[test]
+    fn rewiring_respects_the_edit_budget() {
+        let g = toy();
+        let (_, stats) = average_degree_rewiring(&g, 1);
+        assert!(stats.edits <= 1);
+        let (_, stats) = average_degree_rewiring(&g, 0);
+        assert_eq!(stats.edits, 0);
+    }
+
+    #[test]
+    fn rewiring_terminates_at_a_local_optimum() {
+        let g = toy();
+        let (world, stats) = average_degree_rewiring(&g, 1_000);
+        // Re-running from the produced world: no single flip should improve.
+        let expected = g.expected_degrees();
+        let mut degrees = vec![0.0; g.num_vertices()];
+        for e in g.edges() {
+            if world.contains(e.id) {
+                degrees[e.u] += 1.0;
+                degrees[e.v] += 1.0;
+            }
+        }
+        for e in g.edges() {
+            let sign = if world.contains(e.id) { -1.0 } else { 1.0 };
+            let before = (expected[e.u] - degrees[e.u]).abs() + (expected[e.v] - degrees[e.v]).abs();
+            let after = (expected[e.u] - (degrees[e.u] + sign)).abs()
+                + (expected[e.v] - (degrees[e.v] + sign)).abs();
+            assert!(after >= before - 1e-9, "flip of edge {} would still improve", e.id);
+        }
+        assert!(stats.edits < 1_000);
+    }
+
+    #[test]
+    fn deterministic_graph_is_its_own_representative() {
+        let g = UncertainGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let (world, stats) = average_degree_rewiring(&g, 10);
+        assert_eq!(world.num_present(), 2);
+        assert!(stats.degree_discrepancy < 1e-12);
+        assert_eq!(stats.edits, 0);
+    }
+
+    #[test]
+    fn representative_cannot_express_probabilistic_queries() {
+        // The paper's argument for sparsification over representatives: a
+        // deterministic instance reports connectivity as 0/1, while the
+        // uncertain graph has an intermediate probability.
+        let g = UncertainGraph::from_edges(2, [(0, 1, 0.6)]).unwrap();
+        let (world, _) = most_probable_world(&g);
+        let deterministic_answer = world.is_connected(&g);
+        let true_probability = uncertain_graph::worlds::exact_connected_probability(&g).unwrap();
+        assert!(deterministic_answer); // representative says "connected"
+        assert!((true_probability - 0.6).abs() < 1e-12); // truth is 0.6
+    }
+}

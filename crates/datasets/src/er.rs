@@ -1,0 +1,66 @@
+//! Erdős–Rényi uncertain graphs (used by tests, property checks and
+//! micro-benchmarks).
+
+use rand::Rng;
+use uncertain_graph::{UncertainGraph, UncertainGraphBuilder};
+
+use crate::probability::ProbabilityModel;
+
+/// Generates a `G(n, q)` Erdős–Rényi graph: every unordered vertex pair is an
+/// edge independently with probability `q`, and every generated edge gets an
+/// existence probability drawn from `probabilities`.
+///
+/// # Panics
+/// Panics if `q` is not in `[0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(
+    num_vertices: usize,
+    q: f64,
+    probabilities: ProbabilityModel,
+    rng: &mut R,
+) -> UncertainGraph {
+    assert!((0.0..=1.0).contains(&q), "edge density must be in [0, 1]");
+    let expected = (q * (num_vertices.saturating_sub(1) * num_vertices) as f64 / 2.0) as usize;
+    let mut builder = UncertainGraphBuilder::with_capacity(num_vertices, expected);
+    for u in 0..num_vertices {
+        for v in (u + 1)..num_vertices {
+            if rng.gen::<f64>() < q {
+                builder.add_edge(u, v, probabilities.sample(rng)).expect("generated edges are valid");
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_concentrates_around_the_expectation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 200;
+        let q = 0.1;
+        let g = erdos_renyi(n, q, ProbabilityModel::Fixed(0.5), &mut rng);
+        let expected = q * (n * (n - 1) / 2) as f64;
+        assert!((g.num_edges() as f64 - expected).abs() < 0.15 * expected);
+        assert_eq!(g.num_vertices(), n);
+    }
+
+    #[test]
+    fn extreme_densities_work() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let empty = erdos_renyi(20, 0.0, ProbabilityModel::Fixed(0.5), &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi(20, 1.0, ProbabilityModel::Fixed(0.5), &mut rng);
+        assert_eq!(full.num_edges(), 190);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge density")]
+    fn invalid_density_panics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        erdos_renyi(10, 1.2, ProbabilityModel::Fixed(0.5), &mut rng);
+    }
+}

@@ -1,0 +1,137 @@
+//! Preferential-attachment (Barabási–Albert style) topology generator.
+//!
+//! Social networks like Flickr and Twitter have heavy-tailed degree
+//! distributions with pronounced hubs; preferential attachment reproduces
+//! that shape.  The generator attaches each new vertex to `edges_per_vertex`
+//! existing vertices chosen proportionally to their current degree (with
+//! rejection of duplicates), yielding a connected simple graph with
+//! `≈ n · edges_per_vertex` edges.
+
+use rand::Rng;
+use uncertain_graph::{UncertainGraph, UncertainGraphBuilder};
+
+use crate::probability::ProbabilityModel;
+
+/// Generates a preferential-attachment uncertain graph.
+///
+/// * `num_vertices` — number of vertices (≥ 2),
+/// * `edges_per_vertex` — edges added per arriving vertex (`m` in the BA
+///   model); the result has roughly `num_vertices · edges_per_vertex` edges,
+/// * `probabilities` — distribution of the edge probabilities.
+///
+/// # Panics
+/// Panics if `num_vertices < 2` or `edges_per_vertex == 0`.
+pub fn preferential_attachment<R: Rng + ?Sized>(
+    num_vertices: usize,
+    edges_per_vertex: usize,
+    probabilities: ProbabilityModel,
+    rng: &mut R,
+) -> UncertainGraph {
+    assert!(num_vertices >= 2, "need at least two vertices");
+    assert!(edges_per_vertex >= 1, "need at least one edge per vertex");
+    let m = edges_per_vertex;
+    let mut builder = UncertainGraphBuilder::with_capacity(num_vertices, num_vertices * m);
+    // Repeated-endpoint list: choosing a uniform element is equivalent to
+    // degree-proportional vertex selection.
+    let mut endpoint_pool: Vec<usize> = Vec::with_capacity(2 * num_vertices * m);
+
+    // Seed: a small clique over the first min(m+1, n) vertices so early
+    // arrivals have enough attachment targets.
+    let seed = (m + 1).min(num_vertices);
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            builder.add_edge(u, v, probabilities.sample(rng)).expect("seed edges are valid");
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+
+    for v in seed..num_vertices {
+        let targets = m.min(v);
+        let mut attached = 0usize;
+        let mut attempts = 0usize;
+        while attached < targets {
+            attempts += 1;
+            let target = if endpoint_pool.is_empty() || attempts > 50 * m {
+                // Fallback: uniform choice (also breaks pathological rejection
+                // loops on tiny graphs).
+                rng.gen_range(0..v)
+            } else {
+                endpoint_pool[rng.gen_range(0..endpoint_pool.len())]
+            };
+            if target == v || builder.contains_edge(v, target) {
+                continue;
+            }
+            builder
+                .add_edge(v, target, probabilities.sample(rng))
+                .expect("generated edges are valid");
+            endpoint_pool.push(v);
+            endpoint_pool.push(target);
+            attached += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_connected_simple_graph_of_expected_size() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = preferential_attachment(500, 4, ProbabilityModel::Fixed(0.5), &mut rng);
+        assert_eq!(g.num_vertices(), 500);
+        // seed clique C(5,2)=10 edges, then (500-5)*4 = 1980
+        assert_eq!(g.num_edges(), 10 + 495 * 4);
+        assert!(g.support_is_connected());
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = preferential_attachment(2_000, 3, ProbabilityModel::Fixed(0.5), &mut rng);
+        let mut degrees: Vec<usize> = g.vertices().map(|u| g.degree(u)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let max_degree = degrees[0];
+        let median = degrees[g.num_vertices() / 2];
+        // Hubs: the maximum degree dwarfs the median degree.
+        assert!(
+            max_degree >= 8 * median,
+            "max degree {max_degree} vs median {median} — not heavy tailed"
+        );
+    }
+
+    #[test]
+    fn probabilities_come_from_the_requested_model() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = preferential_attachment(300, 5, ProbabilityModel::FlickrLike, &mut rng);
+        let mean = g.mean_edge_probability();
+        assert!((mean - 0.09).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn tiny_graphs_are_handled() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = preferential_attachment(2, 1, ProbabilityModel::Fixed(1.0), &mut rng);
+        assert_eq!(g.num_edges(), 1);
+        let g = preferential_attachment(3, 5, ProbabilityModel::Fixed(1.0), &mut rng);
+        assert!(g.support_is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vertices")]
+    fn zero_vertices_panic() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        preferential_attachment(1, 2, ProbabilityModel::Fixed(0.5), &mut rng);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = preferential_attachment(100, 3, ProbabilityModel::TwitterLike, &mut SmallRng::seed_from_u64(7));
+        let b = preferential_attachment(100, 3, ProbabilityModel::TwitterLike, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(uncertain_graph::io::to_json(&a).unwrap(), uncertain_graph::io::to_json(&b).unwrap());
+    }
+}

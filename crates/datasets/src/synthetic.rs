@@ -1,0 +1,129 @@
+//! The density-sweep synthetic datasets of Table 1 (bottom).
+//!
+//! The paper takes a 1 000-vertex induced subgraph of Flickr and adds edges
+//! between uniformly random vertex pairs until the graph reaches 15 %, 30 %,
+//! 50 % and 90 % of the complete graph, drawing the new probabilities from
+//! the same distribution as the original.  [`densified`] reproduces exactly
+//! that construction; [`density_sweep`] produces the standard four-point
+//! sweep used in Figures 7, 8(c) and 11.
+
+use rand::Rng;
+use uncertain_graph::{UncertainGraph, UncertainGraphBuilder};
+
+use crate::probability::ProbabilityModel;
+
+/// Adds uniformly random edges to `base` until it contains
+/// `density · |V|(|V|−1)/2` edges; new probabilities are drawn from
+/// `probabilities`.
+///
+/// If the base graph already meets or exceeds the requested density it is
+/// returned unchanged (the construction only ever *adds* edges).
+///
+/// # Panics
+/// Panics if `density` is not in `(0, 1]`.
+pub fn densified<R: Rng + ?Sized>(
+    base: &UncertainGraph,
+    density: f64,
+    probabilities: ProbabilityModel,
+    rng: &mut R,
+) -> UncertainGraph {
+    assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+    let n = base.num_vertices();
+    let complete = n * (n - 1) / 2;
+    let target = (density * complete as f64).round() as usize;
+    if target <= base.num_edges() {
+        return base.clone();
+    }
+    let mut builder = UncertainGraphBuilder::with_capacity(n, target);
+    for e in base.edges() {
+        builder.add_edge(e.u, e.v, e.p).expect("base edges are valid");
+    }
+    while builder.num_edges() < target {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let _ = builder
+            .add_edge_if_absent(u, v, probabilities.sample(rng))
+            .expect("generated edges are valid");
+    }
+    builder.build()
+}
+
+/// The paper's four-density sweep (15 %, 30 %, 50 %, 90 % of the complete
+/// graph) built from one common base graph.  Returns `(density, graph)`
+/// pairs in increasing density order.
+pub fn density_sweep<R: Rng + ?Sized>(
+    base: &UncertainGraph,
+    probabilities: ProbabilityModel,
+    rng: &mut R,
+) -> Vec<(f64, UncertainGraph)> {
+    [0.15, 0.30, 0.50, 0.90]
+        .iter()
+        .map(|&d| (d, densified(base, d, probabilities, rng)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::preferential_attachment;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use uncertain_graph::GraphStatistics;
+
+    fn base(seed: u64, n: usize) -> UncertainGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        preferential_attachment(n, 6, ProbabilityModel::FlickrLike, &mut rng)
+    }
+
+    #[test]
+    fn densified_reaches_the_requested_density_and_keeps_base_edges() {
+        let base = base(1, 100);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let dense = densified(&base, 0.3, ProbabilityModel::FlickrLike, &mut rng);
+        let complete = 100 * 99 / 2;
+        assert_eq!(dense.num_edges(), (0.3 * complete as f64).round() as usize);
+        // every base edge survives with its probability
+        for e in base.edges() {
+            let id = dense.find_edge(e.u, e.v).expect("base edge kept");
+            assert!((dense.edge_probability(id) - e.p).abs() < 1e-12);
+        }
+        let stats = GraphStatistics::compute(&dense);
+        assert!((stats.density - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn density_sweep_produces_increasing_densities_with_similar_probabilities() {
+        let base = base(3, 80);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let sweep = density_sweep(&base, ProbabilityModel::FlickrLike, &mut rng);
+        assert_eq!(sweep.len(), 4);
+        let mut last_edges = 0;
+        for (density, g) in &sweep {
+            assert!(g.num_edges() > last_edges);
+            last_edges = g.num_edges();
+            let stats = GraphStatistics::compute(g);
+            assert!((stats.density - density).abs() < 0.02);
+            assert!((stats.mean_edge_probability - 0.09).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in (0, 1]")]
+    fn invalid_density_panics() {
+        let base = base(5, 20);
+        let mut rng = SmallRng::seed_from_u64(1);
+        densified(&base, 1.5, ProbabilityModel::FlickrLike, &mut rng);
+    }
+
+    #[test]
+    fn base_denser_than_target_is_returned_unchanged() {
+        let base = base(6, 30); // 30 vertices, ~150+ edges out of 435 possible
+        let mut rng = SmallRng::seed_from_u64(1);
+        let result = densified(&base, 0.05, ProbabilityModel::FlickrLike, &mut rng);
+        assert_eq!(result.num_edges(), base.num_edges());
+        assert_eq!(result, base);
+    }
+}

@@ -1,0 +1,132 @@
+//! Unweighted deterministic graphs in CSR form.
+//!
+//! A [`DeterministicGraph`] is the materialisation of one possible world of
+//! an uncertain graph (or any plain undirected graph).  The Monte-Carlo query
+//! engine builds one per sampled world and runs classical algorithms
+//! (BFS, PageRank, clustering coefficient, …) on it.
+
+use uncertain_graph::{PossibleWorld, UncertainGraph};
+
+/// An undirected, unweighted graph in compressed-sparse-row form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterministicGraph {
+    num_vertices: usize,
+    num_edges: usize,
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl DeterministicGraph {
+    /// Builds a graph from an explicit undirected edge list.  Self loops and
+    /// duplicate edges are kept as provided (the caller is responsible for
+    /// simplicity if required).
+    pub fn from_edges(num_vertices: usize, edges: &[(usize, usize)]) -> Self {
+        let mut degree = vec![0usize; num_vertices];
+        for &(u, v) in edges {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        offsets.push(0);
+        for d in &degree {
+            let last = *offsets.last().expect("non-empty");
+            offsets.push(last + d);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; edges.len() * 2];
+        for &(u, v) in edges {
+            neighbors[cursor[u]] = v as u32;
+            cursor[u] += 1;
+            neighbors[cursor[v]] = u as u32;
+            cursor[v] += 1;
+        }
+        DeterministicGraph { num_vertices, num_edges: edges.len(), offsets, neighbors }
+    }
+
+    /// Materialises the possible world `world` of the uncertain graph `g`.
+    pub fn from_world(g: &UncertainGraph, world: &PossibleWorld) -> Self {
+        let edges: Vec<(usize, usize)> =
+            world.present_edges().map(|e| g.edge_endpoints(e)).collect();
+        Self::from_edges(g.num_vertices(), &edges)
+    }
+
+    /// Materialises the *support* of `g` (every edge present).
+    pub fn support(g: &UncertainGraph) -> Self {
+        let edges: Vec<(usize, usize)> = g.edges().map(|e| (e.u, e.v)).collect();
+        Self::from_edges(g.num_vertices(), &edges)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Neighbourhood of `u` as a slice.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.neighbors[self.offsets[u]..self.offsets[u + 1]].iter().map(|&v| v as usize)
+    }
+
+    /// Neighbourhood of `u` as the raw `u32` slice (used by hot loops).
+    #[inline]
+    pub fn neighbor_slice(&self, u: usize) -> &[u32] {
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_graph::UncertainGraph;
+
+    #[test]
+    fn from_edges_builds_symmetric_adjacency() {
+        let g = DeterministicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(g.neighbors(3).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(g.neighbor_slice(2), &[1, 3]);
+    }
+
+    #[test]
+    fn from_world_keeps_only_present_edges() {
+        let ug = UncertainGraph::from_edges(3, [(0, 1, 0.5), (1, 2, 0.5)]).unwrap();
+        let world = uncertain_graph::PossibleWorld::new(vec![true, false]);
+        let g = DeterministicGraph::from_world(&ug, &world);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn support_keeps_all_edges() {
+        let ug = UncertainGraph::from_edges(3, [(0, 1, 0.2), (1, 2, 0.2), (0, 2, 0.2)]).unwrap();
+        let g = DeterministicGraph::support(&ug);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DeterministicGraph::from_edges(2, &[]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.neighbors(1).count(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Shortest paths: Dijkstra on weighted graphs and hop distances on
+//! deterministic graphs.
+//!
+//! The paper's `SP` query is the *expected shortest-path distance between a
+//! pair of vertices over the connected possible worlds*; individual worlds
+//! are unweighted, so hop distances (BFS) suffice there.  Dijkstra is needed
+//! by the spanner baseline machinery and by weighted analyses (most-probable
+//! paths under the `-log p` transform).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::dgraph::DeterministicGraph;
+use crate::traversal;
+use crate::wgraph::WeightedGraph;
+
+/// Re-export of the BFS hop-distance primitive for convenience.
+pub use crate::traversal::bfs_distances as bfs_hop_distances;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    vertex: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest distance pops
+        // first.  NaN never occurs because weights are validated non-negative.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest path distances on a weighted graph with
+/// non-negative weights.  Unreachable vertices get `f64::INFINITY`.
+///
+/// # Panics
+/// Panics (debug assertion) if a negative weight is encountered.
+pub fn dijkstra(g: &WeightedGraph, source: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapItem { dist: 0.0, vertex: source });
+    while let Some(HeapItem { dist: d, vertex: u }) = heap.pop() {
+        if d > dist[u] {
+            continue; // stale entry
+        }
+        for (v, _, w) in g.neighbors(u) {
+            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(HeapItem { dist: nd, vertex: v });
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest weighted distance between a pair of vertices, or `None` if
+/// disconnected.
+pub fn dijkstra_pair(g: &WeightedGraph, source: usize, target: usize) -> Option<f64> {
+    let dist = dijkstra(g, source);
+    if dist[target].is_finite() {
+        Some(dist[target])
+    } else {
+        None
+    }
+}
+
+/// Average hop distance between `pairs` in the deterministic graph `g`,
+/// counting only pairs that are connected.  Returns `(average, connected
+/// pairs)`; the average is 0 when no pair is connected.
+pub fn average_pair_hop_distance(g: &DeterministicGraph, pairs: &[(usize, usize)]) -> (f64, usize) {
+    let mut total = 0usize;
+    let mut connected = 0usize;
+    for &(s, t) in pairs {
+        if let Some(d) = traversal::bfs_pair_distance(g, s, t) {
+            total += d;
+            connected += 1;
+        }
+    }
+    if connected == 0 {
+        (0.0, 0)
+    } else {
+        (total as f64 / connected as f64, connected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_square() -> WeightedGraph {
+        // 0 -1.0- 1
+        // |        |
+        // 4.0     1.0
+        // |        |
+        // 3 -1.0- 2
+        WeightedGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 4.0)])
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheaper_multi_hop_path() {
+        let g = weighted_square();
+        let dist = dijkstra(&g, 0);
+        assert_eq!(dist[0], 0.0);
+        assert_eq!(dist[1], 1.0);
+        assert_eq!(dist[2], 2.0);
+        assert_eq!(dist[3], 3.0); // via 1,2 — not the direct 4.0 edge
+    }
+
+    #[test]
+    fn dijkstra_marks_unreachable_as_infinite() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0)]);
+        let dist = dijkstra(&g, 0);
+        assert!(dist[2].is_infinite());
+        assert_eq!(dijkstra_pair(&g, 0, 2), None);
+        assert_eq!(dijkstra_pair(&g, 0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn dijkstra_handles_zero_weight_edges() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 0.0), (1, 2, 2.0)]);
+        let dist = dijkstra(&g, 0);
+        assert_eq!(dist, vec![0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_on_unit_weights() {
+        let edges = [(0usize, 1usize), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)];
+        let unit: Vec<(usize, usize, f64)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        let wg = WeightedGraph::from_edges(5, &unit);
+        let dg = DeterministicGraph::from_edges(5, &edges);
+        for s in 0..5 {
+            let dd = dijkstra(&wg, s);
+            let bd = traversal::bfs_distances(&dg, s);
+            for v in 0..5 {
+                assert_eq!(dd[v] as usize, bd[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn average_pair_distance_skips_disconnected_pairs() {
+        let g = DeterministicGraph::from_edges(5, &[(0, 1), (1, 2)]);
+        let pairs = [(0, 2), (0, 1), (0, 4), (3, 4)];
+        let (avg, connected) = average_pair_hop_distance(&g, &pairs);
+        assert_eq!(connected, 2);
+        assert!((avg - 1.5).abs() < 1e-12);
+        let (avg, connected) = average_pair_hop_distance(&g, &[(0, 4)]);
+        assert_eq!(connected, 0);
+        assert_eq!(avg, 0.0);
+    }
+}

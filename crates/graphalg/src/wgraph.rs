@@ -1,0 +1,159 @@
+//! Weighted undirected graphs in CSR form.
+//!
+//! The deterministic-sparsification baselines of the paper operate on
+//! weighted graphs obtained by transforming edge probabilities
+//! (`w = ⌊p / p_min⌉` for the Nagamochi–Ibaraki cut sparsifier,
+//! `w = -log p` for the Baswana–Sen spanner).  [`WeightedGraph`] provides the
+//! CSR adjacency those algorithms need, together with conversions from an
+//! [`UncertainGraph`].  Edge identifiers are preserved across the conversion
+//! so the baselines can map selected edges back to the original uncertain
+//! graph.
+
+use uncertain_graph::UncertainGraph;
+
+/// An undirected graph with `f64` edge weights in CSR form.
+///
+/// Edges keep the identifier of the uncertain-graph edge they came from
+/// (or just their insertion index when built from a raw edge list).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    num_vertices: usize,
+    /// `(u, v, weight)` per edge, indexed by edge id.
+    edges: Vec<(u32, u32, f64)>,
+    offsets: Vec<usize>,
+    /// `(neighbour, edge id)` pairs.
+    adj: Vec<(u32, u32)>,
+}
+
+impl WeightedGraph {
+    /// Builds a weighted graph from an edge list.
+    pub fn from_edges(num_vertices: usize, edges: &[(usize, usize, f64)]) -> Self {
+        let mut degree = vec![0usize; num_vertices];
+        for &(u, v, _) in edges {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        offsets.push(0);
+        for d in &degree {
+            let last = *offsets.last().expect("non-empty");
+            offsets.push(last + d);
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![(0u32, 0u32); edges.len() * 2];
+        let mut stored = Vec::with_capacity(edges.len());
+        for (e, &(u, v, w)) in edges.iter().enumerate() {
+            stored.push((u as u32, v as u32, w));
+            adj[cursor[u]] = (v as u32, e as u32);
+            cursor[u] += 1;
+            adj[cursor[v]] = (u as u32, e as u32);
+            cursor[v] += 1;
+        }
+        WeightedGraph { num_vertices, edges: stored, offsets, adj }
+    }
+
+    /// Converts an uncertain graph to a weighted graph through an arbitrary
+    /// probability-to-weight transform.  Edge ids are preserved.
+    pub fn from_uncertain_with<F>(g: &UncertainGraph, mut transform: F) -> Self
+    where
+        F: FnMut(f64) -> f64,
+    {
+        let edges: Vec<(usize, usize, f64)> =
+            g.edges().map(|e| (e.u, e.v, transform(e.p))).collect();
+        Self::from_edges(g.num_vertices(), &edges)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Endpoints and weight of edge `e`.
+    #[inline]
+    pub fn edge(&self, e: usize) -> (usize, usize, f64) {
+        let (u, v, w) = self.edges[e];
+        (u as usize, v as usize, w)
+    }
+
+    /// Weight of edge `e`.
+    #[inline]
+    pub fn weight(&self, e: usize) -> f64 {
+        self.edges[e].2
+    }
+
+    /// Mutable access to the weight of edge `e` (the Nagamochi–Ibaraki
+    /// forest decomposition decrements weights in place).
+    pub fn weight_mut(&mut self, e: usize) -> &mut f64 {
+        &mut self.edges[e].2
+    }
+
+    /// Iterator over `(edge id, u, v, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, usize, f64)> + '_ {
+        self.edges.iter().enumerate().map(|(e, &(u, v, w))| (e, u as usize, v as usize, w))
+    }
+
+    /// Neighbourhood of `u` as `(neighbour, edge id, weight)` triples.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.adj[self.offsets[u]..self.offsets[u + 1]]
+            .iter()
+            .map(move |&(v, e)| (v as usize, e as usize, self.edges[e as usize].2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_graph::UncertainGraph;
+
+    #[test]
+    fn from_edges_preserves_weights_and_ids() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 2.5), (1, 2, 0.5)]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge(0), (0, 1, 2.5));
+        assert_eq!(g.weight(1), 0.5);
+        assert_eq!(g.degree(1), 2);
+        let ns: Vec<(usize, usize, f64)> = g.neighbors(1).collect();
+        assert!(ns.contains(&(0, 0, 2.5)));
+        assert!(ns.contains(&(2, 1, 0.5)));
+    }
+
+    #[test]
+    fn from_uncertain_applies_transform_and_keeps_edge_ids() {
+        let ug = UncertainGraph::from_edges(3, [(0, 1, 0.5), (1, 2, 0.25)]).unwrap();
+        let wg = WeightedGraph::from_uncertain_with(&ug, |p| -p.ln());
+        assert_eq!(wg.num_edges(), 2);
+        assert!((wg.weight(0) - 0.5f64.ln().abs()).abs() < 1e-12);
+        assert!((wg.weight(1) - 0.25f64.ln().abs()).abs() < 1e-12);
+        // edge ids line up with the uncertain graph
+        let (u, v, _) = wg.edge(1);
+        assert_eq!(ug.edge_endpoints(1), (u, v));
+    }
+
+    #[test]
+    fn weight_mut_allows_in_place_updates() {
+        let mut g = WeightedGraph::from_edges(2, &[(0, 1, 3.0)]);
+        *g.weight_mut(0) -= 1.0;
+        assert_eq!(g.weight(0), 2.0);
+    }
+
+    #[test]
+    fn edges_iterator_reports_all() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 2.0)]);
+        let all: Vec<(usize, usize, usize, f64)> = g.edges().collect();
+        assert_eq!(all, vec![(0, 0, 1, 1.0), (1, 2, 3, 2.0)]);
+    }
+}

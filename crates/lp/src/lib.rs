@@ -1,0 +1,36 @@
+//! # lp-solver
+//!
+//! A small, dependency-free dense **simplex** linear-programming solver.
+//!
+//! The uncertain-graph sparsification paper (Section 4.1, Theorem 1) shows
+//! that the probability assignment minimising the degree discrepancy `Δ1` of
+//! a fixed backbone graph is the solution of the linear program
+//!
+//! ```text
+//!   maximise   Σ_e p'_e
+//!   subject to A_b p' ≤ d          (one row per vertex: expected degrees)
+//!              0 ≤ p'_e ≤ 1        (box constraints)
+//! ```
+//!
+//! where `A_b` is the incidence matrix of the backbone and `d` the expected
+//! degree vector of the original graph.  The paper uses an off-the-shelf LP
+//! solver; this crate provides the equivalent functionality implemented from
+//! scratch so that the whole reproduction is self-contained:
+//!
+//! * [`LpProblem`] — a builder for `maximise cᵀx  s.t.  Ax ≤ b, 0 ≤ x ≤ u`
+//!   with sparse constraint rows,
+//! * [`solve`] — a standard primal simplex on the dense tableau (upper bounds
+//!   are expanded into additional rows), suitable for the moderate problem
+//!   sizes at which the paper itself can afford to run LP.
+//!
+//! The solver requires `b ≥ 0` (true for degree vectors), in which case the
+//! all-slack basis is feasible and no phase-1 is needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{LpError, LpProblem, LpSolution, LpStatus};
+pub use simplex::solve;

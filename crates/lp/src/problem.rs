@@ -1,0 +1,279 @@
+//! Problem and solution types for the simplex solver.
+
+use std::fmt;
+
+/// Errors raised while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A variable index exceeded the number of variables.
+    VariableOutOfRange {
+        /// Offending variable index.
+        variable: usize,
+        /// Number of variables in the problem.
+        num_variables: usize,
+    },
+    /// A constraint right-hand side was negative; this solver requires
+    /// `b ≥ 0` so that the slack basis is feasible.
+    NegativeRhs {
+        /// Index of the offending constraint.
+        constraint: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A coefficient, bound or right-hand side was not finite.
+    NotFinite {
+        /// Human-readable description of where the value appeared.
+        context: String,
+    },
+    /// An upper bound was negative.
+    NegativeUpperBound {
+        /// Offending variable index.
+        variable: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The simplex iteration limit was exceeded (extremely unlikely with
+    /// Bland's rule; indicates a degenerate, numerically hostile input).
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::VariableOutOfRange { variable, num_variables } => {
+                write!(f, "variable {variable} out of range ({num_variables} variables)")
+            }
+            LpError::NegativeRhs { constraint, value } => {
+                write!(f, "constraint {constraint} has negative right-hand side {value}")
+            }
+            LpError::NotFinite { context } => write!(f, "non-finite value in {context}"),
+            LpError::NegativeUpperBound { variable, value } => {
+                write!(f, "variable {variable} has negative upper bound {value}")
+            }
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex exceeded the iteration limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Termination status of the simplex solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+/// Result of solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Optimal values of the variables (meaningful only when
+    /// `status == Optimal`).
+    pub values: Vec<f64>,
+    /// Objective value `cᵀx` at `values`.
+    pub objective: f64,
+    /// Number of simplex pivots performed.
+    pub iterations: usize,
+}
+
+/// A linear program in the form
+/// `maximise cᵀx  subject to  Ax ≤ b,  0 ≤ x ≤ u`.
+///
+/// Constraint rows are stored sparsely; upper bounds default to `+∞`
+/// (i.e. only the implicit `x ≥ 0` applies).
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    num_variables: usize,
+    objective: Vec<f64>,
+    /// Each constraint: sparse row `(variable, coefficient)` plus rhs.
+    constraints: Vec<(Vec<(usize, f64)>, f64)>,
+    upper_bounds: Vec<f64>,
+}
+
+impl LpProblem {
+    /// Creates a problem with `num_variables` variables, zero objective and
+    /// no constraints.
+    pub fn new(num_variables: usize) -> Self {
+        LpProblem {
+            num_variables,
+            objective: vec![0.0; num_variables],
+            constraints: Vec::new(),
+            upper_bounds: vec![f64::INFINITY; num_variables],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.num_variables
+    }
+
+    /// Number of explicit constraints (not counting box constraints).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    pub fn set_objective(&mut self, var: usize, coefficient: f64) -> Result<&mut Self, LpError> {
+        self.check_var(var)?;
+        if !coefficient.is_finite() {
+            return Err(LpError::NotFinite { context: format!("objective coefficient of x{var}") });
+        }
+        self.objective[var] = coefficient;
+        Ok(self)
+    }
+
+    /// Sets all objective coefficients at once.
+    pub fn set_objective_vector(&mut self, coefficients: &[f64]) -> Result<&mut Self, LpError> {
+        for (var, &c) in coefficients.iter().enumerate() {
+            self.set_objective(var, c)?;
+        }
+        Ok(self)
+    }
+
+    /// Sets the upper bound of variable `var` (`x_var ≤ bound`).
+    pub fn set_upper_bound(&mut self, var: usize, bound: f64) -> Result<&mut Self, LpError> {
+        self.check_var(var)?;
+        if bound.is_nan() {
+            return Err(LpError::NotFinite { context: format!("upper bound of x{var}") });
+        }
+        if bound < 0.0 {
+            return Err(LpError::NegativeUpperBound { variable: var, value: bound });
+        }
+        self.upper_bounds[var] = bound;
+        Ok(self)
+    }
+
+    /// Adds the constraint `Σ coefficients_i · x_i ≤ rhs` with a sparse row.
+    pub fn add_le_constraint(
+        &mut self,
+        row: &[(usize, f64)],
+        rhs: f64,
+    ) -> Result<&mut Self, LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NotFinite { context: "constraint right-hand side".into() });
+        }
+        if rhs < 0.0 {
+            return Err(LpError::NegativeRhs { constraint: self.constraints.len(), value: rhs });
+        }
+        for &(var, coefficient) in row {
+            self.check_var(var)?;
+            if !coefficient.is_finite() {
+                return Err(LpError::NotFinite {
+                    context: format!("coefficient of x{var} in constraint {}", self.constraints.len()),
+                });
+            }
+        }
+        self.constraints.push((row.to_vec(), rhs));
+        Ok(self)
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Upper bounds per variable (`+∞` when unbounded above).
+    pub fn upper_bounds(&self) -> &[f64] {
+        &self.upper_bounds
+    }
+
+    /// Constraint rows.
+    pub fn constraints(&self) -> &[(Vec<(usize, f64)>, f64)] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks whether `x` satisfies every constraint and bound up to `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_variables {
+            return false;
+        }
+        for (var, &v) in x.iter().enumerate() {
+            if v < -tol || v > self.upper_bounds[var] + tol {
+                return false;
+            }
+        }
+        for (row, rhs) in &self.constraints {
+            let lhs: f64 = row.iter().map(|&(var, c)| c * x[var]).sum();
+            if lhs > rhs + tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn check_var(&self, var: usize) -> Result<(), LpError> {
+        if var < self.num_variables {
+            Ok(())
+        } else {
+            Err(LpError::VariableOutOfRange { variable: var, num_variables: self.num_variables })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_indices_and_values() {
+        let mut p = LpProblem::new(2);
+        assert!(p.set_objective(0, 1.0).is_ok());
+        assert!(matches!(p.set_objective(5, 1.0), Err(LpError::VariableOutOfRange { .. })));
+        assert!(matches!(p.set_objective(1, f64::NAN), Err(LpError::NotFinite { .. })));
+        assert!(matches!(p.set_upper_bound(0, -1.0), Err(LpError::NegativeUpperBound { .. })));
+        assert!(matches!(p.set_upper_bound(0, f64::NAN), Err(LpError::NotFinite { .. })));
+        assert!(matches!(p.add_le_constraint(&[(0, 1.0)], -2.0), Err(LpError::NegativeRhs { .. })));
+        assert!(matches!(
+            p.add_le_constraint(&[(9, 1.0)], 2.0),
+            Err(LpError::VariableOutOfRange { .. })
+        ));
+        assert!(matches!(
+            p.add_le_constraint(&[(0, f64::INFINITY)], 2.0),
+            Err(LpError::NotFinite { .. })
+        ));
+        assert!(p.add_le_constraint(&[(0, 1.0), (1, 2.0)], 3.0).is_ok());
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.num_variables(), 2);
+    }
+
+    #[test]
+    fn feasibility_and_objective_evaluation() {
+        let mut p = LpProblem::new(2);
+        p.set_objective_vector(&[1.0, 1.0]).unwrap();
+        p.set_upper_bound(0, 1.0).unwrap();
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 1.5).unwrap();
+        assert!(p.is_feasible(&[0.5, 0.5], 1e-9));
+        assert!(!p.is_feasible(&[2.0, 0.0], 1e-9)); // violates upper bound
+        assert!(!p.is_feasible(&[-0.1, 0.0], 1e-9)); // violates x >= 0
+        assert!(!p.is_feasible(&[1.0, 1.0], 1e-9)); // violates constraint
+        assert!(!p.is_feasible(&[1.0], 1e-9)); // wrong dimension
+        assert!((p.objective_value(&[0.25, 0.5]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_display() {
+        for err in [
+            LpError::VariableOutOfRange { variable: 1, num_variables: 1 },
+            LpError::NegativeRhs { constraint: 0, value: -1.0 },
+            LpError::NotFinite { context: "x".into() },
+            LpError::NegativeUpperBound { variable: 0, value: -2.0 },
+            LpError::IterationLimit { limit: 10 },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

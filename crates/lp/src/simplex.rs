@@ -1,0 +1,294 @@
+//! Dense primal simplex on the standard tableau.
+//!
+//! The problem `maximise cᵀx  s.t.  Ax ≤ b, 0 ≤ x ≤ u` (with `b ≥ 0`) is
+//! converted to standard form by adding one slack variable per constraint and
+//! one extra `x_i ≤ u_i` row per finite upper bound.  Because every
+//! right-hand side is non-negative the all-slack basis is feasible, so a
+//! single primal phase suffices.  Pivoting uses Dantzig's rule (most negative
+//! reduced cost) with a fallback to Bland's rule when cycling is suspected,
+//! which guarantees termination.
+
+use crate::problem::{LpError, LpProblem, LpSolution, LpStatus};
+
+/// Numerical tolerance used for optimality and ratio tests.
+const EPS: f64 = 1e-9;
+
+/// Solves a linear program with the primal simplex method.
+///
+/// Returns [`LpStatus::Optimal`] with the optimal point, or
+/// [`LpStatus::Unbounded`] when the objective can grow without limit.
+pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    let n = problem.num_variables();
+
+    // Collect rows: the explicit constraints plus one row per finite upper
+    // bound.
+    let mut rows: Vec<(Vec<(usize, f64)>, f64)> = problem.constraints().to_vec();
+    for (var, &ub) in problem.upper_bounds().iter().enumerate() {
+        if ub.is_finite() {
+            rows.push((vec![(var, 1.0)], ub));
+        }
+    }
+    let m = rows.len();
+
+    // Tableau layout: m rows of [structural | slack | rhs], then the
+    // objective row (negated costs) at index m.
+    let width = n + m + 1;
+    let mut tableau = vec![vec![0.0f64; width]; m + 1];
+    for (i, (row, rhs)) in rows.iter().enumerate() {
+        for &(var, coefficient) in row {
+            tableau[i][var] += coefficient;
+        }
+        tableau[i][n + i] = 1.0;
+        tableau[i][n + m] = *rhs;
+    }
+    for (var, &c) in problem.objective().iter().enumerate() {
+        tableau[m][var] = -c;
+    }
+
+    // basis[i] = column currently basic in row i.
+    let mut basis: Vec<usize> = (0..m).map(|i| n + i).collect();
+
+    let iteration_limit = 50 * (n + m + 10);
+    let mut iterations = 0usize;
+    // Switch to Bland's rule after a while to guarantee termination on
+    // degenerate problems.
+    let bland_after = 10 * (n + m + 10);
+
+    loop {
+        // --- entering variable -------------------------------------------------
+        let entering = if iterations < bland_after {
+            // Dantzig: most negative reduced cost.
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &cost) in tableau[m][..n + m].iter().enumerate() {
+                if cost < -EPS && best.map_or(true, |(_, b)| cost < b) {
+                    best = Some((j, cost));
+                }
+            }
+            best.map(|(j, _)| j)
+        } else {
+            // Bland: smallest index with negative reduced cost.
+            tableau[m][..n + m].iter().position(|&cost| cost < -EPS)
+        };
+        let Some(entering) = entering else {
+            break; // optimal
+        };
+
+        // --- leaving variable (minimum ratio test) ----------------------------
+        let mut leaving: Option<(usize, f64)> = None;
+        for i in 0..m {
+            let a = tableau[i][entering];
+            if a > EPS {
+                let ratio = tableau[i][n + m] / a;
+                let better = match leaving {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li])
+                    }
+                };
+                if better {
+                    leaving = Some((i, ratio));
+                }
+            }
+        }
+        let Some((pivot_row, _)) = leaving else {
+            return Ok(LpSolution {
+                status: LpStatus::Unbounded,
+                values: vec![0.0; n],
+                objective: f64::INFINITY,
+                iterations,
+            });
+        };
+
+        // --- pivot -------------------------------------------------------------
+        pivot(&mut tableau, pivot_row, entering, n + m);
+        basis[pivot_row] = entering;
+
+        iterations += 1;
+        if iterations > iteration_limit {
+            return Err(LpError::IterationLimit { limit: iteration_limit });
+        }
+    }
+
+    // Read the solution off the basis.
+    let mut values = vec![0.0f64; n];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            values[b] = tableau[i][n + m].max(0.0);
+        }
+    }
+    let objective = problem.objective_value(&values);
+    Ok(LpSolution { status: LpStatus::Optimal, values, objective, iterations })
+}
+
+fn pivot(tableau: &mut [Vec<f64>], pivot_row: usize, pivot_col: usize, rhs_col: usize) {
+    let pivot_value = tableau[pivot_row][pivot_col];
+    debug_assert!(pivot_value.abs() > EPS, "pivot on a (near-)zero element");
+    // Normalise the pivot row.
+    for x in tableau[pivot_row].iter_mut() {
+        *x /= pivot_value;
+    }
+    tableau[pivot_row][pivot_col] = 1.0;
+    // Eliminate the pivot column from every other row.
+    let pivot_row_copy = tableau[pivot_row].clone();
+    for (i, row) in tableau.iter_mut().enumerate() {
+        if i == pivot_row {
+            continue;
+        }
+        let factor = row[pivot_col];
+        if factor.abs() <= EPS {
+            row[pivot_col] = 0.0;
+            continue;
+        }
+        for (x, &p) in row.iter_mut().zip(pivot_row_copy.iter()) {
+            *x -= factor * p;
+        }
+        row[pivot_col] = 0.0;
+    }
+    let _ = rhs_col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::LpProblem;
+
+    fn solve_expect_optimal(p: &LpProblem) -> LpSolution {
+        let sol = solve(p).expect("solver error");
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(p.is_feasible(&sol.values, 1e-6), "solution {:?} infeasible", sol.values);
+        sol
+    }
+
+    #[test]
+    fn textbook_two_variable_problem() {
+        // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => (2, 6), obj 36.
+        let mut p = LpProblem::new(2);
+        p.set_objective_vector(&[3.0, 5.0]).unwrap();
+        p.add_le_constraint(&[(0, 1.0)], 4.0).unwrap();
+        p.add_le_constraint(&[(1, 2.0)], 12.0).unwrap();
+        p.add_le_constraint(&[(0, 3.0), (1, 2.0)], 18.0).unwrap();
+        let sol = solve_expect_optimal(&p);
+        assert!((sol.objective - 36.0).abs() < 1e-6);
+        assert!((sol.values[0] - 2.0).abs() < 1e-6);
+        assert!((sol.values[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn upper_bounds_are_respected() {
+        // max x + y  s.t. x + y <= 10, x <= 1, y <= 2  => 3.
+        let mut p = LpProblem::new(2);
+        p.set_objective_vector(&[1.0, 1.0]).unwrap();
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 10.0).unwrap();
+        p.set_upper_bound(0, 1.0).unwrap();
+        p.set_upper_bound(1, 2.0).unwrap();
+        let sol = solve_expect_optimal(&p);
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_problem_is_detected() {
+        let mut p = LpProblem::new(1);
+        p.set_objective(0, 1.0).unwrap();
+        // no constraints, no upper bound
+        let sol = solve(&p).unwrap();
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn zero_objective_is_trivially_optimal() {
+        let mut p = LpProblem::new(3);
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], 5.0).unwrap();
+        let sol = solve_expect_optimal(&p);
+        assert_eq!(sol.objective, 0.0);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Several redundant constraints through the origin.
+        let mut p = LpProblem::new(2);
+        p.set_objective_vector(&[1.0, 1.0]).unwrap();
+        p.add_le_constraint(&[(0, 1.0), (1, -1.0)], 0.0).unwrap();
+        p.add_le_constraint(&[(0, -1.0), (1, 1.0)], 0.0).unwrap();
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0)], 2.0).unwrap();
+        let sol = solve_expect_optimal(&p);
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+        assert!((sol.values[0] - 1.0).abs() < 1e-6);
+        assert!((sol.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degree_style_problem_matches_known_optimum() {
+        // The Figure 2 backbone of the paper: vertices u1..u4 with expected
+        // degrees d = (0.8, 0.6, 0.6, 1.0) in the original graph and backbone
+        // edges (u1,u4), (u2,u4), (u3,u4).  maximise p1+p2+p3 subject to
+        //   p1 <= 0.8, p2 <= 0.6, p3 <= 0.6, p1+p2+p3 <= 1.0, p <= 1.
+        // Optimum total = 1.0.
+        let mut p = LpProblem::new(3);
+        p.set_objective_vector(&[1.0, 1.0, 1.0]).unwrap();
+        for i in 0..3 {
+            p.set_upper_bound(i, 1.0).unwrap();
+        }
+        p.add_le_constraint(&[(0, 1.0)], 0.8).unwrap();
+        p.add_le_constraint(&[(1, 1.0)], 0.6).unwrap();
+        p.add_le_constraint(&[(2, 1.0)], 0.6).unwrap();
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], 1.0).unwrap();
+        let sol = solve_expect_optimal(&p);
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_problems_match_brute_force_vertex_enumeration() {
+        // For 2-variable problems the optimum lies at a vertex of the
+        // feasible polygon; brute-force over a fine grid provides a lower
+        // bound the simplex must match or exceed.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..25 {
+            let mut p = LpProblem::new(2);
+            let c = [rng.gen_range(0.0..3.0), rng.gen_range(0.0..3.0)];
+            p.set_objective_vector(&c).unwrap();
+            p.set_upper_bound(0, rng.gen_range(0.5..2.0)).unwrap();
+            p.set_upper_bound(1, rng.gen_range(0.5..2.0)).unwrap();
+            for _ in 0..3 {
+                let row = [(0, rng.gen_range(0.1..2.0)), (1, rng.gen_range(0.1..2.0))];
+                p.add_le_constraint(&row, rng.gen_range(0.5..3.0)).unwrap();
+            }
+            let sol = solve_expect_optimal(&p);
+            // Grid search for a feasible point with a better objective.
+            let mut best = 0.0f64;
+            let steps = 60;
+            for i in 0..=steps {
+                for j in 0..=steps {
+                    let x = [
+                        p.upper_bounds()[0] * i as f64 / steps as f64,
+                        p.upper_bounds()[1] * j as f64 / steps as f64,
+                    ];
+                    if p.is_feasible(&x, 1e-9) {
+                        best = best.max(p.objective_value(&x));
+                    }
+                }
+            }
+            assert!(
+                sol.objective >= best - 1e-6,
+                "simplex {} worse than grid {}",
+                sol.objective,
+                best
+            );
+        }
+    }
+
+    #[test]
+    fn three_variable_resource_allocation() {
+        // max 2x + 3y + z s.t. x+y+z <= 10, x + 2y <= 8, y + 3z <= 9, x,y,z >= 0
+        let mut p = LpProblem::new(3);
+        p.set_objective_vector(&[2.0, 3.0, 1.0]).unwrap();
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], 10.0).unwrap();
+        p.add_le_constraint(&[(0, 1.0), (1, 2.0)], 8.0).unwrap();
+        p.add_le_constraint(&[(1, 1.0), (2, 3.0)], 9.0).unwrap();
+        let sol = solve_expect_optimal(&p);
+        // Optimum: x = 8, y = 0, z = 2  => 2*8 + 0 + 2 = 18.
+        assert!((sol.objective - 18.0).abs() < 1e-5, "objective {}", sol.objective);
+    }
+}

@@ -1,0 +1,119 @@
+//! Earth mover's distance between empirical result distributions
+//! (Equation 17, Figures 10–11).
+//!
+//! To compare how well a sparsified graph `G'` approximates a query `Q` on
+//! the original graph `G`, the paper collects the observed outcomes of `Q`
+//! on both graphs, forms the two empirical cumulative distributions and
+//! measures the minimum amount of "work" needed to align them:
+//!
+//! ```text
+//! D_em(G, G', Q) = Σ_i |F_G(x_i) − F_G'(x_i)| · (x_i − x_{i-1})
+//! ```
+//!
+//! over the ordered union `{x_0 < x_1 < … < x_M}` of all observed outcomes.
+//! For one-dimensional distributions this equals the 1-Wasserstein distance.
+
+/// Earth mover's distance between two observation multisets.
+///
+/// Non-finite observations (e.g. the `NaN` distance of a never-connected
+/// pair) are ignored.  Returns 0 when either side has no finite
+/// observations.
+pub fn earth_movers_distance(original: &[f64], sparsified: &[f64]) -> f64 {
+    let mut a: Vec<f64> = original.iter().copied().filter(|x| x.is_finite()).collect();
+    let mut b: Vec<f64> = sparsified.iter().copied().filter(|x| x.is_finite()).collect();
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+
+    // Ordered union of the supports.
+    let mut support: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    support.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    support.dedup();
+
+    let cdf = |sorted: &[f64], x: f64| -> f64 {
+        // fraction of observations ≤ x
+        let idx = sorted.partition_point(|&v| v <= x);
+        idx as f64 / sorted.len() as f64
+    };
+
+    let mut distance = 0.0;
+    for window in support.windows(2) {
+        let (x_prev, x) = (window[0], window[1]);
+        // |F_G(x_{i-1}) − F_G'(x_{i-1})| weighted by the gap to the next
+        // support point: the CDFs are step functions, constant on
+        // [x_{i-1}, x_i).
+        distance += (cdf(&a, x_prev) - cdf(&b, x_prev)).abs() * (x - x_prev);
+    }
+    distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(earth_movers_distance(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn point_masses_have_distance_equal_to_their_gap() {
+        assert!((earth_movers_distance(&[0.0], &[3.0]) - 3.0).abs() < 1e-12);
+        assert!((earth_movers_distance(&[3.0], &[0.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_distribution_distance_equals_the_shift() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| i as f64 + 2.5).collect();
+        assert!((earth_movers_distance(&a, &b) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_equals_mean_difference_for_sorted_paired_samples() {
+        // For equal-size samples the 1-Wasserstein distance is the mean
+        // absolute difference of the order statistics.
+        let a = [0.0, 1.0, 5.0, 9.0];
+        let b = [0.5, 2.0, 4.0, 12.0];
+        let expected = (0.5 + 1.0 + 1.0 + 3.0) / 4.0;
+        assert!((earth_movers_distance(&a, &b) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_and_nonnegative() {
+        let a = [0.1, 0.7, 0.3];
+        let b = [0.9, 0.2];
+        let d1 = earth_movers_distance(&a, &b);
+        let d2 = earth_movers_distance(&b, &a);
+        assert!(d1 >= 0.0);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_observations_are_ignored() {
+        let a = [1.0, f64::NAN, 2.0];
+        let b = [1.0, 2.0];
+        assert!(earth_movers_distance(&a, &b).abs() < 1e-12);
+        assert_eq!(earth_movers_distance(&[f64::NAN], &[1.0]), 0.0);
+        assert_eq!(earth_movers_distance(&[], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds_on_random_samples() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let a: Vec<f64> = (0..30).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let b: Vec<f64> = (0..30).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let c: Vec<f64> = (0..30).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let ab = earth_movers_distance(&a, &b);
+            let bc = earth_movers_distance(&b, &c);
+            let ac = earth_movers_distance(&a, &c);
+            assert!(ac <= ab + bc + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # ugs-queries
+//!
+//! Monte-Carlo query evaluation over uncertain graphs — the workloads of
+//! Section 6.3 of the paper:
+//!
+//! * **PR** — expected PageRank of every vertex,
+//! * **CC** — expected local clustering coefficient of every vertex,
+//! * **SP** — expected shortest-path (hop) distance of a vertex pair over the
+//!   possible worlds in which the pair is connected,
+//! * **RL** — reliability: the probability that a vertex pair is connected.
+//!
+//! All queries follow the same pattern: sample `N` possible worlds
+//! (`O(|E|)` per world — the reason sparsification speeds queries up),
+//! evaluate the deterministic kernel from `graph-algos` inside each world and
+//! aggregate.  [`MonteCarlo`] controls the number of worlds and optional
+//! multi-threading (crossbeam scoped threads, one RNG stream per thread).
+//! [`variance`] estimates the run-to-run variance of the whole estimator,
+//! which the paper uses to show that low-entropy sparsified graphs need far
+//! fewer samples (Figure 12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod knn;
+pub mod mc;
+pub mod node_queries;
+pub mod pair_queries;
+pub mod pairs;
+pub mod variance;
+
+pub use components::{connectivity_query, expected_degree_histogram, ConnectivityEstimate};
+pub use knn::{k_nearest_neighbors, knn_overlap, Neighbor};
+pub use mc::MonteCarlo;
+pub use node_queries::{expected_clustering_coefficients, expected_pagerank};
+pub use pair_queries::{pair_queries, PairQueryResult};
+pub use pairs::random_pairs;
+pub use variance::{estimator_variance, VarianceEstimate};
+
+/// Commonly used items, suitable for a glob import.
+pub mod prelude {
+    pub use crate::components::{connectivity_query, ConnectivityEstimate};
+    pub use crate::knn::{k_nearest_neighbors, knn_overlap, Neighbor};
+    pub use crate::mc::MonteCarlo;
+    pub use crate::node_queries::{expected_clustering_coefficients, expected_pagerank};
+    pub use crate::pair_queries::{pair_queries, PairQueryResult};
+    pub use crate::pairs::random_pairs;
+    pub use crate::variance::{estimator_variance, VarianceEstimate};
+}

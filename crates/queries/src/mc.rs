@@ -1,0 +1,202 @@
+//! Monte-Carlo world-sampling driver.
+//!
+//! Sampling a possible world costs one Bernoulli draw per edge, and every
+//! query must be evaluated inside every sampled world, so the per-world work
+//! dominates query cost.  The driver supports an optional multi-threaded mode
+//! (crossbeam scoped threads) in which each thread samples and evaluates its
+//! share of the worlds with an independent RNG stream derived from the
+//! caller's RNG, so results remain reproducible for a fixed seed and thread
+//! count.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uncertain_graph::{UncertainGraph, WorldSampler};
+
+use graph_algos::DeterministicGraph;
+
+/// Configuration of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    /// Number of possible worlds to sample (the paper uses 500 for the
+    /// query-quality experiments).
+    pub num_worlds: usize,
+    /// Number of worker threads; 1 means fully sequential evaluation.
+    pub threads: usize,
+}
+
+impl Default for MonteCarlo {
+    fn default() -> Self {
+        MonteCarlo { num_worlds: 500, threads: 1 }
+    }
+}
+
+impl MonteCarlo {
+    /// A sequential run over `num_worlds` sampled worlds.
+    pub fn worlds(num_worlds: usize) -> Self {
+        MonteCarlo { num_worlds, threads: 1 }
+    }
+
+    /// Enables multi-threaded evaluation with `threads` workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Samples `num_worlds` worlds, materialises each as a
+    /// [`DeterministicGraph`] and folds `per_world` over them, summing the
+    /// per-world accumulator vectors element-wise.
+    ///
+    /// `per_world` must return a vector of fixed length `accumulator_len`
+    /// (one slot per vertex, per pair, …).  The return value is the
+    /// element-wise **sum** over worlds — callers divide by
+    /// [`MonteCarlo::num_worlds`] (or by per-slot counters they track
+    /// themselves) to obtain averages.
+    pub fn accumulate<R, F>(
+        &self,
+        g: &UncertainGraph,
+        accumulator_len: usize,
+        rng: &mut R,
+        per_world: F,
+    ) -> Vec<f64>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&DeterministicGraph, &mut [f64]) + Sync,
+    {
+        if self.num_worlds == 0 {
+            return vec![0.0; accumulator_len];
+        }
+        if self.threads <= 1 {
+            let mut rng = SmallRng::seed_from_u64(rng.gen());
+            return accumulate_sequential(g, accumulator_len, self.num_worlds, &mut rng, &per_world);
+        }
+        // Split the worlds across threads; each thread gets its own RNG
+        // stream seeded from the caller's RNG.
+        let threads = self.threads.min(self.num_worlds);
+        let seeds: Vec<u64> = (0..threads).map(|_| rng.gen()).collect();
+        let base = self.num_worlds / threads;
+        let extra = self.num_worlds % threads;
+        let partials = parking_lot::Mutex::new(vec![vec![0.0; accumulator_len]; threads]);
+        crossbeam::thread::scope(|scope| {
+            for (idx, &seed) in seeds.iter().enumerate() {
+                let worlds = base + usize::from(idx < extra);
+                let per_world = &per_world;
+                let partials = &partials;
+                scope.spawn(move |_| {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let local =
+                        accumulate_sequential(g, accumulator_len, worlds, &mut rng, per_world);
+                    partials.lock()[idx] = local;
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        let partials = partials.into_inner();
+        let mut total = vec![0.0; accumulator_len];
+        for partial in partials {
+            for (t, p) in total.iter_mut().zip(partial.iter()) {
+                *t += p;
+            }
+        }
+        total
+    }
+}
+
+fn accumulate_sequential<F>(
+    g: &UncertainGraph,
+    accumulator_len: usize,
+    num_worlds: usize,
+    rng: &mut SmallRng,
+    per_world: &F,
+) -> Vec<f64>
+where
+    F: Fn(&DeterministicGraph, &mut [f64]),
+{
+    let sampler = WorldSampler::new();
+    let mut total = vec![0.0; accumulator_len];
+    let mut scratch = vec![0.0; accumulator_len];
+    for _ in 0..num_worlds {
+        let world = sampler.sample(g, rng);
+        let dg = DeterministicGraph::from_world(g, &world);
+        scratch.iter_mut().for_each(|x| *x = 0.0);
+        per_world(&dg, &mut scratch);
+        for (t, s) in total.iter_mut().zip(scratch.iter()) {
+            *t += s;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy() -> UncertainGraph {
+        UncertainGraph::from_edges(4, [(0, 1, 0.5), (1, 2, 0.25), (2, 3, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn accumulate_counts_edge_frequencies() {
+        let g = toy();
+        let mc = MonteCarlo::worlds(20_000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let totals = mc.accumulate(&g, 3, &mut rng, |world, acc| {
+            // count presence of each original edge through vertex degrees
+            acc[0] += f64::from(world.degree(0) == 1);
+            acc[1] += f64::from(world.degree(3) == 1);
+            acc[2] += world.num_edges() as f64;
+        });
+        let freq0 = totals[0] / 20_000.0;
+        let freq1 = totals[1] / 20_000.0;
+        let mean_edges = totals[2] / 20_000.0;
+        assert!((freq0 - 0.5).abs() < 0.02);
+        assert!((freq1 - 1.0).abs() < 1e-12);
+        assert!((mean_edges - 1.75).abs() < 0.03);
+    }
+
+    #[test]
+    fn zero_worlds_returns_zero_vector() {
+        let g = toy();
+        let mc = MonteCarlo::worlds(0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let totals = mc.accumulate(&g, 5, &mut rng, |_, _| panic!("must not be called"));
+        assert_eq!(totals, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_statistically() {
+        let g = toy();
+        let sequential = MonteCarlo::worlds(8_000);
+        let parallel = MonteCarlo::worlds(8_000).with_threads(4);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let s = sequential.accumulate(&g, 1, &mut rng, |world, acc| {
+            acc[0] += world.num_edges() as f64;
+        });
+        let p = parallel.accumulate(&g, 1, &mut rng, |world, acc| {
+            acc[0] += world.num_edges() as f64;
+        });
+        let mean_s = s[0] / 8_000.0;
+        let mean_p = p[0] / 8_000.0;
+        assert!((mean_s - mean_p).abs() < 0.05, "{mean_s} vs {mean_p}");
+    }
+
+    #[test]
+    fn with_threads_clamps_to_at_least_one() {
+        let mc = MonteCarlo::worlds(10).with_threads(0);
+        assert_eq!(mc.threads, 1);
+        assert_eq!(MonteCarlo::default().num_worlds, 500);
+    }
+
+    #[test]
+    fn same_seed_gives_identical_results_sequentially() {
+        let g = toy();
+        let mc = MonteCarlo::worlds(100);
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            mc.accumulate(&g, 1, &mut rng, |world, acc| acc[0] += world.num_edges() as f64)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

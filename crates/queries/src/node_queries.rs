@@ -1,0 +1,142 @@
+//! Vertex-centric Monte-Carlo queries: expected PageRank (`PR`) and expected
+//! local clustering coefficient (`CC`).
+
+use rand::Rng;
+use uncertain_graph::UncertainGraph;
+
+use crate::mc::MonteCarlo;
+use graph_algos::clustering::local_clustering_coefficients;
+use graph_algos::pagerank::{pagerank, PageRankConfig};
+
+/// Expected PageRank of every vertex: deterministic PageRank averaged over
+/// sampled possible worlds.
+pub fn expected_pagerank<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    mc: &MonteCarlo,
+    rng: &mut R,
+) -> Vec<f64> {
+    expected_pagerank_with(g, mc, &PageRankConfig::default(), rng)
+}
+
+/// [`expected_pagerank`] with an explicit PageRank configuration.
+pub fn expected_pagerank_with<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    mc: &MonteCarlo,
+    config: &PageRankConfig,
+    rng: &mut R,
+) -> Vec<f64> {
+    let n = g.num_vertices();
+    if mc.num_worlds == 0 || n == 0 {
+        return vec![0.0; n];
+    }
+    let totals = mc.accumulate(g, n, rng, |world, acc| {
+        let pr = pagerank(world, config);
+        for (a, p) in acc.iter_mut().zip(pr.iter()) {
+            *a += p;
+        }
+    });
+    totals.into_iter().map(|x| x / mc.num_worlds as f64).collect()
+}
+
+/// Expected local clustering coefficient of every vertex, averaged over
+/// sampled possible worlds.
+pub fn expected_clustering_coefficients<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    mc: &MonteCarlo,
+    rng: &mut R,
+) -> Vec<f64> {
+    let n = g.num_vertices();
+    if mc.num_worlds == 0 || n == 0 {
+        return vec![0.0; n];
+    }
+    let totals = mc.accumulate(g, n, rng, |world, acc| {
+        let cc = local_clustering_coefficients(world);
+        for (a, c) in acc.iter_mut().zip(cc.iter()) {
+            *a += c;
+        }
+    });
+    totals.into_iter().map(|x| x / mc.num_worlds as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_graph_matches_deterministic_kernels() {
+        // All probabilities 1 → every world is the support graph, so the MC
+        // estimate equals the deterministic value exactly.
+        let g = UncertainGraph::from_edges(
+            4,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 1.0)],
+        )
+        .unwrap();
+        let mc = MonteCarlo::worlds(16);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pr = expected_pagerank(&g, &mc, &mut rng);
+        let support = graph_algos::DeterministicGraph::support(&g);
+        let exact_pr = pagerank(&support, &PageRankConfig::default());
+        for (a, b) in pr.iter().zip(exact_pr.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let cc = expected_clustering_coefficients(&g, &mc, &mut rng);
+        let exact_cc = local_clustering_coefficients(&support);
+        for (a, b) in cc.iter().zip(exact_cc.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pagerank_estimates_sum_to_one_per_world_on_average() {
+        let g = UncertainGraph::from_edges(5, [(0, 1, 0.5), (1, 2, 0.4), (2, 3, 0.6), (3, 4, 0.7)])
+            .unwrap();
+        let mc = MonteCarlo::worlds(300);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let pr = expected_pagerank(&g, &mc, &mut rng);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(pr.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn clustering_coefficient_matches_closed_form_on_a_triangle() {
+        // In a triangle with edge probability p on one edge and 1 on the
+        // others, cc(0) is the probability that edge (1,2) exists.
+        let p = 0.3;
+        let g = UncertainGraph::from_edges(3, [(0, 1, 1.0), (0, 2, 1.0), (1, 2, p)]).unwrap();
+        let mc = MonteCarlo::worlds(40_000);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let cc = expected_clustering_coefficients(&g, &mc, &mut rng);
+        assert!((cc[0] - p).abs() < 0.02, "cc[0] = {}", cc[0]);
+        // vertices 1 and 2 have degree 2 only when (1,2) exists, giving cc 1;
+        // otherwise degree 1 and cc 0, so the expectation is also p.
+        assert!((cc[1] - p).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_worlds_yield_zero_vectors() {
+        let g = UncertainGraph::from_edges(3, [(0, 1, 0.5)]).unwrap();
+        let mc = MonteCarlo::worlds(0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(expected_pagerank(&g, &mc, &mut rng), vec![0.0; 3]);
+        assert_eq!(expected_clustering_coefficients(&g, &mc, &mut rng), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn hub_vertices_receive_higher_expected_pagerank() {
+        // A star with reliable spokes: the centre must dominate.
+        let g = UncertainGraph::from_edges(
+            6,
+            [(0, 1, 0.9), (0, 2, 0.9), (0, 3, 0.9), (0, 4, 0.9), (0, 5, 0.9)],
+        )
+        .unwrap();
+        let mc = MonteCarlo::worlds(400);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pr = expected_pagerank(&g, &mc, &mut rng);
+        for leaf in 1..6 {
+            assert!(pr[0] > pr[leaf]);
+        }
+    }
+}

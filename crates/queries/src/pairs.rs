@@ -1,0 +1,94 @@
+//! Random vertex-pair selection for pairwise queries.
+//!
+//! The paper evaluates shortest-path distance and reliability on 1 000 random
+//! vertex pairs (evaluating all pairs is infeasible on the real datasets).
+
+use rand::Rng;
+
+/// Draws `count` distinct unordered vertex pairs `(u, v)`, `u ≠ v`, uniformly
+/// at random from a graph with `num_vertices` vertices.
+///
+/// If the graph has fewer than `count` possible pairs, all pairs are
+/// returned (in random order).
+pub fn random_pairs<R: Rng + ?Sized>(
+    num_vertices: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<(usize, usize)> {
+    if num_vertices < 2 || count == 0 {
+        return Vec::new();
+    }
+    let total_pairs = num_vertices * (num_vertices - 1) / 2;
+    if count >= total_pairs {
+        // Enumerate everything and shuffle.
+        let mut all = Vec::with_capacity(total_pairs);
+        for u in 0..num_vertices {
+            for v in (u + 1)..num_vertices {
+                all.push((u, v));
+            }
+        }
+        for i in (1..all.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            all.swap(i, j);
+        }
+        return all;
+    }
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    let mut pairs = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let u = rng.gen_range(0..num_vertices);
+        let v = rng.gen_range(0..num_vertices);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            pairs.push(key);
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pairs_are_distinct_valid_and_exactly_counted() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pairs = random_pairs(50, 200, &mut rng);
+        assert_eq!(pairs.len(), 200);
+        let unique: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(unique.len(), 200);
+        for &(u, v) in &pairs {
+            assert!(u < v, "pairs are normalised");
+            assert!(v < 50);
+        }
+    }
+
+    #[test]
+    fn requesting_more_pairs_than_exist_returns_all() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pairs = random_pairs(5, 1000, &mut rng);
+        assert_eq!(pairs.len(), 10);
+        let unique: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(unique.len(), 10);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_empty() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(random_pairs(1, 10, &mut rng).is_empty());
+        assert!(random_pairs(0, 10, &mut rng).is_empty());
+        assert!(random_pairs(10, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn pair_sampling_is_reproducible() {
+        let a = random_pairs(30, 50, &mut SmallRng::seed_from_u64(9));
+        let b = random_pairs(30, 50, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Run-to-run variance of Monte-Carlo estimators (Section 6.3, Figure 12).
+//!
+//! Different executions of the same Monte-Carlo estimator yield different
+//! results; the paper quantifies this with the unbiased sample variance over
+//! 100 repetitions and compares `σ̂(G')/σ̂(G)` between the sparsified and the
+//! original graph.  A low relative variance means far fewer samples are
+//! needed on the sparsified graph for the same confidence width, since
+//! `N'/N = (σ(G')/σ(G))²`.
+//!
+//! Estimators in this workspace return a *vector* of per-item values (one
+//! per vertex or per pair); [`estimator_variance`] therefore reports the
+//! per-item unbiased variances and summarises them by their mean, which is
+//! the scalar used in the figures.
+
+/// Variance of a repeated vector-valued estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarianceEstimate {
+    /// Unbiased per-item variance across repetitions.
+    pub per_item: Vec<f64>,
+    /// Per-item mean across repetitions.
+    pub mean: Vec<f64>,
+    /// Number of repetitions.
+    pub repetitions: usize,
+}
+
+impl VarianceEstimate {
+    /// Mean of the per-item variances — the scalar summary used when
+    /// comparing graphs.
+    pub fn mean_variance(&self) -> f64 {
+        if self.per_item.is_empty() {
+            0.0
+        } else {
+            self.per_item.iter().sum::<f64>() / self.per_item.len() as f64
+        }
+    }
+
+    /// Ratio of this estimate's mean variance to a baseline's (the paper's
+    /// relative variance `σ̂(G')/σ̂(G)`); 0 when the baseline variance is 0.
+    pub fn relative_to(&self, baseline: &VarianceEstimate) -> f64 {
+        let base = baseline.mean_variance();
+        if base <= 0.0 {
+            0.0
+        } else {
+            self.mean_variance() / base
+        }
+    }
+}
+
+/// Runs `estimator` `repetitions` times and computes per-item mean and
+/// unbiased variance.  Non-finite observations (e.g. the `NAN` distance of a
+/// never-connected pair) are treated as missing for that item and repetition.
+///
+/// # Panics
+/// Panics if the estimator returns vectors of inconsistent lengths.
+pub fn estimator_variance<F>(repetitions: usize, mut estimator: F) -> VarianceEstimate
+where
+    F: FnMut(usize) -> Vec<f64>,
+{
+    assert!(repetitions >= 2, "variance needs at least two repetitions");
+    let mut runs: Vec<Vec<f64>> = Vec::with_capacity(repetitions);
+    for rep in 0..repetitions {
+        let values = estimator(rep);
+        if let Some(first) = runs.first() {
+            assert_eq!(first.len(), values.len(), "estimator changed its output length");
+        }
+        runs.push(values);
+    }
+    let items = runs.first().map_or(0, Vec::len);
+    let mut mean = vec![0.0; items];
+    let mut per_item = vec![0.0; items];
+    for item in 0..items {
+        let observations: Vec<f64> =
+            runs.iter().map(|r| r[item]).filter(|x| x.is_finite()).collect();
+        if observations.len() < 2 {
+            mean[item] = observations.first().copied().unwrap_or(0.0);
+            per_item[item] = 0.0;
+            continue;
+        }
+        let n = observations.len() as f64;
+        let m = observations.iter().sum::<f64>() / n;
+        let var = observations.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1.0);
+        mean[item] = m;
+        per_item[item] = var;
+    }
+    VarianceEstimate { per_item, mean, repetitions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn constant_estimator_has_zero_variance() {
+        let estimate = estimator_variance(10, |_| vec![1.0, 2.0, 3.0]);
+        assert_eq!(estimate.per_item, vec![0.0; 3]);
+        assert_eq!(estimate.mean, vec![1.0, 2.0, 3.0]);
+        assert_eq!(estimate.mean_variance(), 0.0);
+        assert_eq!(estimate.repetitions, 10);
+    }
+
+    #[test]
+    fn known_variance_is_recovered() {
+        // Alternating 0/1 observations: sample variance with n=2k is
+        // k/(2k-1) * ... simpler: for values {0,1} repeated 50/50, unbiased
+        // variance = n/(n-1) * 0.25.
+        let reps = 100;
+        let estimate = estimator_variance(reps, |rep| vec![(rep % 2) as f64]);
+        let expected = (reps as f64) / (reps as f64 - 1.0) * 0.25;
+        assert!((estimate.per_item[0] - expected).abs() < 1e-12);
+        assert!((estimate.mean[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_observations_are_skipped() {
+        let estimate = estimator_variance(4, |rep| {
+            if rep == 0 {
+                vec![f64::NAN, 1.0]
+            } else {
+                vec![2.0, 1.0]
+            }
+        });
+        assert_eq!(estimate.per_item, vec![0.0, 0.0]);
+        assert_eq!(estimate.mean, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn relative_variance_compares_estimators() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let noisy = estimator_variance(200, |_| vec![rng.gen_range(0.0..1.0)]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let tight = estimator_variance(200, |_| vec![0.5 + 0.01 * rng.gen_range(-1.0..1.0)]);
+        let ratio = tight.relative_to(&noisy);
+        assert!(ratio < 0.05, "ratio {ratio}");
+        let zero = estimator_variance(5, |_| vec![1.0]);
+        assert_eq!(noisy.relative_to(&zero), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two repetitions")]
+    fn single_repetition_panics() {
+        estimator_variance(1, |_| vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed its output length")]
+    fn inconsistent_lengths_panic() {
+        estimator_variance(3, |rep| vec![0.0; rep + 1]);
+    }
+
+    #[test]
+    fn empty_observation_vectors_are_fine() {
+        let estimate = estimator_variance(3, |_| Vec::new());
+        assert_eq!(estimate.mean_variance(), 0.0);
+        assert!(estimate.per_item.is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Validated construction of [`UncertainGraph`] values.
+
+use std::collections::HashMap;
+
+use crate::error::{validate_probability, GraphError};
+use crate::graph::{UncertainGraph, VertexId};
+
+/// Incremental, validating builder for [`UncertainGraph`].
+///
+/// The builder enforces the invariants assumed by the paper and by every
+/// algorithm in this workspace:
+///
+/// * vertex identifiers are in `0..num_vertices`,
+/// * no self loops,
+/// * no parallel edges (in either orientation),
+/// * probabilities are in `(0, 1]`.
+///
+/// ```
+/// use uncertain_graph::UncertainGraphBuilder;
+///
+/// let mut b = UncertainGraphBuilder::new(3);
+/// b.add_edge(0, 1, 0.4).unwrap();
+/// b.add_edge(1, 2, 1.0).unwrap();
+/// assert!(b.add_edge(1, 0, 0.2).is_err()); // parallel edge
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UncertainGraphBuilder {
+    num_vertices: usize,
+    endpoints: Vec<(u32, u32)>,
+    probabilities: Vec<f64>,
+    seen: HashMap<(u32, u32), usize>,
+}
+
+impl UncertainGraphBuilder {
+    /// Creates a builder for a graph with `num_vertices` vertices and no
+    /// edges yet.
+    pub fn new(num_vertices: usize) -> Self {
+        UncertainGraphBuilder {
+            num_vertices,
+            endpoints: Vec::new(),
+            probabilities: Vec::new(),
+            seen: HashMap::new(),
+        }
+    }
+
+    /// Creates a builder with pre-allocated room for `num_edges` edges.
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
+        UncertainGraphBuilder {
+            num_vertices,
+            endpoints: Vec::with_capacity(num_edges),
+            probabilities: Vec::with_capacity(num_edges),
+            seen: HashMap::with_capacity(num_edges),
+        }
+    }
+
+    /// Number of vertices the final graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Normalised key used for duplicate detection.
+    fn key(u: VertexId, v: VertexId) -> (u32, u32) {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        (a as u32, b as u32)
+    }
+
+    /// Returns `true` if an edge between `u` and `v` has already been added.
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.seen.contains_key(&Self::key(u, v))
+    }
+
+    /// Adds an undirected uncertain edge `(u, v)` with probability `p`.
+    ///
+    /// Returns the edge id on success.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, p: f64) -> Result<usize, GraphError> {
+        if u >= self.num_vertices {
+            return Err(GraphError::VertexOutOfRange { vertex: u, num_vertices: self.num_vertices });
+        }
+        if v >= self.num_vertices {
+            return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: self.num_vertices });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        validate_probability(p)?;
+        let key = Self::key(u, v);
+        if self.seen.contains_key(&key) {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        let id = self.endpoints.len();
+        self.seen.insert(key, id);
+        self.endpoints.push((u as u32, v as u32));
+        self.probabilities.push(p);
+        Ok(id)
+    }
+
+    /// Adds the edge if it is not present yet, otherwise leaves the existing
+    /// probability untouched.  Returns `true` if the edge was inserted.
+    ///
+    /// Useful for generators that may propose the same pair twice.
+    pub fn add_edge_if_absent(&mut self, u: VertexId, v: VertexId, p: f64) -> Result<bool, GraphError> {
+        if self.contains_edge(u, v) {
+            Ok(false)
+        } else {
+            self.add_edge(u, v, p)?;
+            Ok(true)
+        }
+    }
+
+    /// Finalises the builder into an immutable-topology [`UncertainGraph`].
+    pub fn build(self) -> UncertainGraph {
+        UncertainGraph::from_validated_parts(self.num_vertices, self.endpoints, self.probabilities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_empty_graph() {
+        let g = UncertainGraphBuilder::new(5).build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertices() {
+        let mut b = UncertainGraphBuilder::new(2);
+        assert!(matches!(b.add_edge(2, 0, 0.5), Err(GraphError::VertexOutOfRange { vertex: 2, .. })));
+        assert!(matches!(b.add_edge(0, 5, 0.5), Err(GraphError::VertexOutOfRange { vertex: 5, .. })));
+    }
+
+    #[test]
+    fn rejects_self_loops_and_bad_probabilities() {
+        let mut b = UncertainGraphBuilder::new(3);
+        assert!(matches!(b.add_edge(1, 1, 0.5), Err(GraphError::SelfLoop { vertex: 1 })));
+        assert!(matches!(b.add_edge(0, 1, 0.0), Err(GraphError::InvalidProbability { .. })));
+        assert!(matches!(b.add_edge(0, 1, -3.0), Err(GraphError::InvalidProbability { .. })));
+        assert!(matches!(b.add_edge(0, 1, 2.0), Err(GraphError::InvalidProbability { .. })));
+    }
+
+    #[test]
+    fn rejects_parallel_edges_in_both_orientations() {
+        let mut b = UncertainGraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        assert!(matches!(b.add_edge(0, 1, 0.7), Err(GraphError::DuplicateEdge { .. })));
+        assert!(matches!(b.add_edge(1, 0, 0.7), Err(GraphError::DuplicateEdge { .. })));
+        assert_eq!(b.num_edges(), 1);
+    }
+
+    #[test]
+    fn add_edge_if_absent_is_idempotent() {
+        let mut b = UncertainGraphBuilder::new(3);
+        assert!(b.add_edge_if_absent(0, 1, 0.5).unwrap());
+        assert!(!b.add_edge_if_absent(1, 0, 0.9).unwrap());
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert!((g.edge_probability(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_ids_are_insertion_order() {
+        let mut b = UncertainGraphBuilder::with_capacity(4, 3);
+        let e0 = b.add_edge(0, 1, 0.1).unwrap();
+        let e1 = b.add_edge(1, 2, 0.2).unwrap();
+        let e2 = b.add_edge(2, 3, 0.3).unwrap();
+        assert_eq!((e0, e1, e2), (0, 1, 2));
+        let g = b.build();
+        assert!((g.edge_probability(1) - 0.2).abs() < 1e-12);
+        assert_eq!(g.edge_endpoints(2), (2, 3));
+    }
+
+    #[test]
+    fn contains_edge_tracks_insertions() {
+        let mut b = UncertainGraphBuilder::new(4);
+        assert!(!b.contains_edge(0, 1));
+        b.add_edge(0, 1, 0.3).unwrap();
+        assert!(b.contains_edge(0, 1));
+        assert!(b.contains_edge(1, 0));
+        assert!(!b.contains_edge(2, 3));
+    }
+}

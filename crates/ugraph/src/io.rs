@@ -1,0 +1,271 @@
+//! Reading and writing uncertain graphs.
+//!
+//! Two formats are supported:
+//!
+//! * **Text edge list** — one `u v p` triple per line, `#`-prefixed comment
+//!   lines and blank lines ignored.  A header comment carries the number of
+//!   vertices so isolated vertices survive a round trip.  This matches the
+//!   de-facto format used by published uncertain-graph datasets (Flickr,
+//!   Twitter, BIOMINE, …).
+//! * **Serde** — [`SerializableGraph`] is a `serde`-friendly mirror of
+//!   [`UncertainGraph`] that can be written as JSON (or any serde format) and
+//!   converted back, plus a compact binary encoding built on [`bytes`].
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::graph::UncertainGraph;
+
+/// A serde-serializable mirror of an [`UncertainGraph`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SerializableGraph {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Edge list `(u, v, p)`.
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+impl From<&UncertainGraph> for SerializableGraph {
+    fn from(g: &UncertainGraph) -> Self {
+        SerializableGraph {
+            num_vertices: g.num_vertices(),
+            edges: g.edges().map(|e| (e.u, e.v, e.p)).collect(),
+        }
+    }
+}
+
+impl TryFrom<SerializableGraph> for UncertainGraph {
+    type Error = GraphError;
+
+    fn try_from(s: SerializableGraph) -> Result<Self, Self::Error> {
+        UncertainGraph::from_edges(s.num_vertices, s.edges)
+    }
+}
+
+/// Writes `g` in the text edge-list format to an arbitrary writer.
+pub fn write_text<W: Write>(g: &UncertainGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# uncertain graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(w, "# vertices {}", g.num_vertices())?;
+    for e in g.edges() {
+        writeln!(w, "{} {} {}", e.u, e.v, e.p)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes `g` as a text edge list to a file path.
+pub fn write_text_file<P: AsRef<Path>>(g: &UncertainGraph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_text(g, file)
+}
+
+/// Reads an uncertain graph from the text edge-list format.
+///
+/// If no `# vertices N` header is present, the number of vertices is inferred
+/// as `max vertex id + 1`.
+pub fn read_text<R: BufRead>(reader: R) -> Result<UncertainGraph, GraphError> {
+    let mut declared_vertices: Option<usize> = None;
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut max_vertex = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("vertices") {
+                if let Some(n) = parts.next() {
+                    declared_vertices = Some(n.parse().map_err(|_| GraphError::Parse {
+                        line: lineno,
+                        message: format!("invalid vertex count {n:?}"),
+                    })?);
+                }
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_field = |part: Option<&str>, what: &str| -> Result<String, GraphError> {
+            part.map(str::to_owned).ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                message: format!("missing {what}"),
+            })
+        };
+        let u: usize = parse_field(parts.next(), "source vertex")?.parse().map_err(|_| {
+            GraphError::Parse { line: lineno, message: "invalid source vertex".into() }
+        })?;
+        let v: usize = parse_field(parts.next(), "target vertex")?.parse().map_err(|_| {
+            GraphError::Parse { line: lineno, message: "invalid target vertex".into() }
+        })?;
+        let p: f64 = parse_field(parts.next(), "probability")?.parse().map_err(|_| {
+            GraphError::Parse { line: lineno, message: "invalid probability".into() }
+        })?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse { line: lineno, message: "trailing fields".into() });
+        }
+        max_vertex = max_vertex.max(u).max(v);
+        edges.push((u, v, p));
+    }
+    let num_vertices = declared_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_vertex + 1 });
+    UncertainGraph::from_edges(num_vertices, edges)
+}
+
+/// Reads an uncertain graph from a text edge-list file.
+pub fn read_text_file<P: AsRef<Path>>(path: P) -> Result<UncertainGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_text(std::io::BufReader::new(file))
+}
+
+/// Serialises `g` to a JSON string.
+pub fn to_json(g: &UncertainGraph) -> Result<String, GraphError> {
+    serde_json::to_string(&SerializableGraph::from(g)).map_err(|e| GraphError::Io(e.to_string()))
+}
+
+/// Deserialises an uncertain graph from a JSON string produced by
+/// [`to_json`].
+pub fn from_json(json: &str) -> Result<UncertainGraph, GraphError> {
+    let s: SerializableGraph =
+        serde_json::from_str(json).map_err(|e| GraphError::Parse { line: 0, message: e.to_string() })?;
+    s.try_into()
+}
+
+/// Magic bytes identifying the compact binary encoding.
+const BINARY_MAGIC: &[u8; 4] = b"UGS1";
+
+/// Encodes `g` into a compact binary representation:
+/// magic, `u64` vertex count, `u64` edge count, then `(u32, u32, f64)` per
+/// edge in little-endian order.
+pub fn to_bytes(g: &UncertainGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 16 + g.num_edges() * 16);
+    buf.put_slice(BINARY_MAGIC);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for e in g.edges() {
+        buf.put_u32_le(e.u as u32);
+        buf.put_u32_le(e.v as u32);
+        buf.put_f64_le(e.p);
+    }
+    buf.freeze()
+}
+
+/// Decodes a graph previously encoded with [`to_bytes`].
+pub fn from_bytes(mut data: &[u8]) -> Result<UncertainGraph, GraphError> {
+    if data.len() < 20 || &data[..4] != BINARY_MAGIC {
+        return Err(GraphError::Parse { line: 0, message: "bad magic for binary graph".into() });
+    }
+    data.advance(4);
+    let num_vertices = data.get_u64_le() as usize;
+    let num_edges = data.get_u64_le() as usize;
+    if data.remaining() < num_edges * 16 {
+        return Err(GraphError::Parse { line: 0, message: "truncated binary graph".into() });
+    }
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let u = data.get_u32_le() as usize;
+        let v = data.get_u32_le() as usize;
+        let p = data.get_f64_le();
+        edges.push((u, v, p));
+    }
+    UncertainGraph::from_edges(num_vertices, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> UncertainGraph {
+        UncertainGraph::from_edges(5, [(0, 1, 0.25), (1, 2, 0.5), (3, 4, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn text_round_trip_preserves_graph() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let back = read_text(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.num_vertices(), 5);
+        assert_eq!(back.num_edges(), 3);
+        assert!((back.edge_probability(back.find_edge(1, 2).unwrap()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_reader_infers_vertex_count_without_header() {
+        let input = "0 1 0.3\n2 5 0.9\n";
+        let g = read_text(std::io::Cursor::new(input)).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_reader_skips_comments_and_blank_lines() {
+        let input = "# a comment\n\n0 1 0.3\n   \n# another\n1 2 0.4\n";
+        let g = read_text(std::io::Cursor::new(input)).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_reader_reports_line_numbers_on_errors() {
+        let input = "0 1 0.3\n0 oops 0.4\n";
+        match read_text(std::io::Cursor::new(input)) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let input = "0 1\n";
+        assert!(matches!(read_text(std::io::Cursor::new(input)), Err(GraphError::Parse { line: 1, .. })));
+        let input = "0 1 0.5 9\n";
+        assert!(matches!(read_text(std::io::Cursor::new(input)), Err(GraphError::Parse { line: 1, .. })));
+        let input = "# vertices nope\n0 1 0.5\n";
+        assert!(matches!(read_text(std::io::Cursor::new(input)), Err(GraphError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn text_file_round_trip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("ugs-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.txt");
+        write_text_file(&g, &path).unwrap();
+        let back = read_text_file(&path).unwrap();
+        assert_eq!(back.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let g = sample();
+        let json = to_json(&g).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(SerializableGraph::from(&g), SerializableGraph::from(&back));
+        assert!(from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(SerializableGraph::from(&g), SerializableGraph::from(&back));
+    }
+
+    #[test]
+    fn binary_rejects_corrupt_input() {
+        assert!(from_bytes(b"??").is_err());
+        assert!(from_bytes(b"XXXX0000000000000000").is_err());
+        let g = sample();
+        let bytes = to_bytes(&g);
+        assert!(from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn serializable_graph_rejects_invalid_edges_on_conversion() {
+        let s = SerializableGraph { num_vertices: 2, edges: vec![(0, 1, 2.0)] };
+        assert!(UncertainGraph::try_from(s).is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! Possible-world semantics: exact enumeration and Monte-Carlo sampling.
+//!
+//! An uncertain graph `G = (V, E, p)` denotes a distribution over the
+//! `2^|E|` deterministic graphs (*possible worlds*) obtained by keeping each
+//! edge independently with its probability.  The probability of a world
+//! `G ⊑ 𝒢` with edge set `E_G ⊆ E` is
+//!
+//! ```text
+//! Pr(G) = Π_{e ∈ E_G} p_e · Π_{e ∈ E \ E_G} (1 - p_e)
+//! ```
+//!
+//! [`enumerate_worlds`] iterates all worlds exactly (only feasible for small
+//! `|E|`); [`WorldSampler`] draws independent Monte-Carlo worlds for graphs of
+//! any size.  Both represent a world as a [`PossibleWorld`] edge mask over the
+//! parent graph, which downstream algorithms (connected components, shortest
+//! paths, PageRank, …) can interpret without copying the topology.
+
+use rand::Rng;
+
+use crate::error::GraphError;
+use crate::graph::{EdgeId, UncertainGraph, VertexId};
+
+/// Maximum number of edges for which exact possible-world enumeration is
+/// permitted (`2^26` worlds ≈ 67 million — a few seconds of work).
+pub const MAX_ENUMERATION_EDGES: usize = 26;
+
+/// One deterministic possible world of an uncertain graph, represented as an
+/// inclusion mask over the parent graph's edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PossibleWorld {
+    present: Vec<bool>,
+}
+
+impl PossibleWorld {
+    /// Creates a world from an explicit inclusion mask.
+    pub fn new(present: Vec<bool>) -> Self {
+        PossibleWorld { present }
+    }
+
+    /// Creates the world in which every edge of `g` is present.
+    pub fn full(g: &UncertainGraph) -> Self {
+        PossibleWorld { present: vec![true; g.num_edges()] }
+    }
+
+    /// Creates the world with no edges.
+    pub fn empty(g: &UncertainGraph) -> Self {
+        PossibleWorld { present: vec![false; g.num_edges()] }
+    }
+
+    /// Returns `true` if edge `e` exists in this world.
+    #[inline]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.present[e]
+    }
+
+    /// Number of edges in the mask (present or not) — equals the parent
+    /// graph's edge count.
+    pub fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Returns `true` if the mask covers zero edges.
+    pub fn is_empty(&self) -> bool {
+        self.present.is_empty()
+    }
+
+    /// Number of edges present in this world.
+    pub fn num_present(&self) -> usize {
+        self.present.iter().filter(|&&b| b).count()
+    }
+
+    /// The raw inclusion mask.
+    pub fn mask(&self) -> &[bool] {
+        &self.present
+    }
+
+    /// Iterator over the ids of the edges present in this world.
+    pub fn present_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.present.iter().enumerate().filter(|(_, &b)| b).map(|(e, _)| e)
+    }
+
+    /// Probability of this world under graph `g`.
+    ///
+    /// # Panics
+    /// Panics if the mask length differs from `g.num_edges()`.
+    pub fn probability(&self, g: &UncertainGraph) -> f64 {
+        assert_eq!(self.present.len(), g.num_edges(), "world mask does not match graph");
+        let mut pr = 1.0;
+        for (e, &present) in self.present.iter().enumerate() {
+            let p = g.edge_probability(e);
+            pr *= if present { p } else { 1.0 - p };
+        }
+        pr
+    }
+
+    /// Returns `true` if all vertices of `g` belong to a single connected
+    /// component in this world.  Isolated-vertex graphs with `|V| ≤ 1` are
+    /// connected by convention.
+    pub fn is_connected(&self, g: &UncertainGraph) -> bool {
+        let n = g.num_vertices();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack: Vec<VertexId> = vec![0];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(u) = stack.pop() {
+            for (v, e, _) in g.neighbors(u) {
+                if self.present[e] && !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Connected components of this world as a label vector (`labels[u]` is
+    /// the component id of `u`, components numbered from 0 in discovery
+    /// order), plus the number of components.
+    pub fn connected_components(&self, g: &UncertainGraph) -> (Vec<usize>, usize) {
+        let n = g.num_vertices();
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0usize;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if labels[start] != usize::MAX {
+                continue;
+            }
+            labels[start] = next;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for (v, e, _) in g.neighbors(u) {
+                    if self.present[e] && labels[v] == usize::MAX {
+                        labels[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (labels, next)
+    }
+}
+
+/// Monte-Carlo sampler of possible worlds.
+///
+/// Sampling a world costs `O(|E|)` random draws, the dominant cost of every
+/// sampling-based query evaluation — which is precisely why sparsification
+/// (fewer edges) speeds queries up.
+#[derive(Debug, Clone, Default)]
+pub struct WorldSampler;
+
+impl WorldSampler {
+    /// Creates a sampler.
+    pub fn new() -> Self {
+        WorldSampler
+    }
+
+    /// Draws one world from `g` using `rng`.
+    pub fn sample<R: Rng + ?Sized>(&self, g: &UncertainGraph, rng: &mut R) -> PossibleWorld {
+        let present = g
+            .probabilities()
+            .iter()
+            .map(|&p| rng.gen::<f64>() < p)
+            .collect();
+        PossibleWorld::new(present)
+    }
+
+    /// Draws `count` independent worlds.
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        g: &UncertainGraph,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<PossibleWorld> {
+        (0..count).map(|_| self.sample(g, rng)).collect()
+    }
+}
+
+/// Exactly enumerates all `2^|E|` worlds of `g`, calling `visit(world, pr)`
+/// for each.  Fails if the graph has more than [`MAX_ENUMERATION_EDGES`]
+/// edges.
+pub fn enumerate_worlds<F>(g: &UncertainGraph, mut visit: F) -> Result<(), GraphError>
+where
+    F: FnMut(&PossibleWorld, f64),
+{
+    let m = g.num_edges();
+    if m > MAX_ENUMERATION_EDGES {
+        return Err(GraphError::TooManyEdgesForEnumeration {
+            num_edges: m,
+            max_edges: MAX_ENUMERATION_EDGES,
+        });
+    }
+    let total = 1u64 << m;
+    let mut mask = vec![false; m];
+    for bits in 0..total {
+        let mut pr = 1.0;
+        for e in 0..m {
+            let present = (bits >> e) & 1 == 1;
+            mask[e] = present;
+            let p = g.edge_probability(e);
+            pr *= if present { p } else { 1.0 - p };
+        }
+        let world = PossibleWorld::new(mask.clone());
+        visit(&world, pr);
+    }
+    Ok(())
+}
+
+/// Exact probability that a query predicate holds, by enumeration
+/// (Equation 1 of the paper).  Only feasible for small graphs.
+pub fn exact_query_probability<Q>(g: &UncertainGraph, mut predicate: Q) -> Result<f64, GraphError>
+where
+    Q: FnMut(&PossibleWorld) -> bool,
+{
+    let mut total = 0.0;
+    enumerate_worlds(g, |world, pr| {
+        if predicate(world) {
+            total += pr;
+        }
+    })?;
+    Ok(total)
+}
+
+/// Exact probability that the uncertain graph is connected (single connected
+/// component spanning all vertices), computed by enumeration.
+///
+/// For Figure 1(a) of the paper this returns ≈ 0.219.
+pub fn exact_connected_probability(g: &UncertainGraph) -> Result<f64, GraphError> {
+    exact_query_probability(g, |world| world.is_connected(g))
+}
+
+/// Monte-Carlo estimate of the probability that `predicate` holds, using
+/// `samples` sampled worlds.
+pub fn estimate_query_probability<Q, R>(
+    g: &UncertainGraph,
+    samples: usize,
+    rng: &mut R,
+    mut predicate: Q,
+) -> f64
+where
+    Q: FnMut(&PossibleWorld) -> bool,
+    R: Rng + ?Sized,
+{
+    if samples == 0 {
+        return 0.0;
+    }
+    let sampler = WorldSampler::new();
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let world = sampler.sample(g, rng);
+        if predicate(&world) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn figure1a() -> UncertainGraph {
+        UncertainGraph::from_edges(
+            4,
+            [(0, 1, 0.3), (0, 2, 0.3), (0, 3, 0.3), (1, 2, 0.3), (1, 3, 0.3), (2, 3, 0.3)],
+        )
+        .unwrap()
+    }
+
+    fn figure1b() -> UncertainGraph {
+        UncertainGraph::from_edges(4, [(0, 1, 0.6), (1, 2, 0.6), (2, 3, 0.6)]).unwrap()
+    }
+
+    #[test]
+    fn world_probability_sums_to_one() {
+        let g = figure1a();
+        let mut total = 0.0;
+        enumerate_worlds(&g, |_, pr| total += pr).unwrap();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure1_connected_probabilities_match_paper() {
+        // The paper reports Pr[G connected] = 0.219 for Figure 1(a) and
+        // 0.216 for the sparsified graph of Figure 1(b).
+        let p_a = exact_connected_probability(&figure1a()).unwrap();
+        assert!((p_a - 0.219).abs() < 2e-3, "got {p_a}");
+        let p_b = exact_connected_probability(&figure1b()).unwrap();
+        assert!((p_b - 0.216).abs() < 1e-9, "got {p_b}");
+    }
+
+    #[test]
+    fn enumeration_counts_all_worlds() {
+        let g = UncertainGraph::from_edges(3, [(0, 1, 0.5), (1, 2, 0.5)]).unwrap();
+        let mut count = 0usize;
+        enumerate_worlds(&g, |_, _| count += 1).unwrap();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn enumeration_rejects_large_graphs() {
+        let edges: Vec<(usize, usize, f64)> =
+            (0..40).map(|i| (i, i + 1, 0.5)).collect();
+        let g = UncertainGraph::from_edges(41, edges).unwrap();
+        assert!(matches!(
+            enumerate_worlds(&g, |_, _| ()),
+            Err(GraphError::TooManyEdgesForEnumeration { .. })
+        ));
+    }
+
+    #[test]
+    fn world_mask_and_probability() {
+        let g = UncertainGraph::from_edges(3, [(0, 1, 0.25), (1, 2, 0.5)]).unwrap();
+        let w = PossibleWorld::new(vec![true, false]);
+        assert!(w.contains(0));
+        assert!(!w.contains(1));
+        assert_eq!(w.num_present(), 1);
+        assert_eq!(w.present_edges().collect::<Vec<_>>(), vec![0]);
+        assert!((w.probability(&g) - 0.25 * 0.5).abs() < 1e-12);
+        assert_eq!(PossibleWorld::full(&g).num_present(), 2);
+        assert_eq!(PossibleWorld::empty(&g).num_present(), 0);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn connectivity_and_components_of_worlds() {
+        let g = UncertainGraph::from_edges(4, [(0, 1, 0.9), (1, 2, 0.9), (2, 3, 0.9)]).unwrap();
+        let all = PossibleWorld::full(&g);
+        assert!(all.is_connected(&g));
+        let (labels, k) = all.connected_components(&g);
+        assert_eq!(k, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+
+        let broken = PossibleWorld::new(vec![true, false, true]);
+        assert!(!broken.is_connected(&g));
+        let (labels, k) = broken.connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn sampler_matches_expected_edge_frequency() {
+        let g = UncertainGraph::from_edges(2, [(0, 1, 0.25)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let sampler = WorldSampler::new();
+        let worlds = sampler.sample_many(&g, 20_000, &mut rng);
+        let freq =
+            worlds.iter().filter(|w| w.contains(0)).count() as f64 / worlds.len() as f64;
+        assert!((freq - 0.25).abs() < 0.02, "frequency {freq}");
+    }
+
+    #[test]
+    fn monte_carlo_estimate_approaches_exact_value() {
+        let g = figure1a();
+        let exact = exact_connected_probability(&g).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let estimate = estimate_query_probability(&g, 30_000, &mut rng, |w| w.is_connected(&g));
+        assert!((estimate - exact).abs() < 0.02, "estimate {estimate} vs exact {exact}");
+        assert_eq!(estimate_query_probability(&g, 0, &mut rng, |_| true), 0.0);
+    }
+
+    #[test]
+    fn exact_query_probability_for_edge_presence_is_its_probability() {
+        let g = UncertainGraph::from_edges(3, [(0, 1, 0.37), (1, 2, 0.8)]).unwrap();
+        let p = exact_query_probability(&g, |w| w.contains(0)).unwrap();
+        assert!((p - 0.37).abs() < 1e-12);
+    }
+}

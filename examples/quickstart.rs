@@ -1,0 +1,70 @@
+//! Quickstart: build an uncertain graph, sparsify it with every method, and
+//! compare structural fidelity, entropy and query accuracy.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ugs::metrics::degree::MetricDiscrepancy;
+use ugs::prelude::*;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(42);
+
+    // A Flickr-shaped uncertain social network: heavy-tailed degrees, low
+    // edge probabilities (mean ≈ 0.09).
+    let g = ugs::datasets::flickr_like(Scale::Tiny, &mut rng);
+    println!("{}", GraphStatistics::table_header());
+    println!("{}", GraphStatistics::compute(&g).table_row("original"));
+    println!();
+
+    let alpha = 0.16;
+    let sparsifiers: Vec<Box<dyn Sparsifier>> = vec![
+        Box::new(SparsifierSpec::gdb().alpha(alpha)),
+        Box::new(
+            SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative),
+        ),
+        Box::new(NagamochiIbaraki::new(alpha)),
+        Box::new(SpannerSparsifier::new(alpha)),
+    ];
+
+    // Reference query answers on the original graph.
+    let mc = MonteCarlo::worlds(200);
+    let pairs = random_pairs(g.num_vertices(), 100, &mut rng);
+    let pr_original = ugs::queries::expected_pagerank(&g, &mc, &mut rng);
+    let pairs_original = pair_queries(&g, &pairs, &mc, &mut rng);
+
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "method", "edges", "degree MAE", "rel. H", "D_em (PR)", "D_em (RL)", "time"
+    );
+    for sparsifier in &sparsifiers {
+        let output = sparsifier
+            .sparsify_dyn(&g, &mut rng)
+            .expect("sparsification succeeds on a connected graph");
+        let sparse = &output.graph;
+
+        let degree_mae = degree_discrepancy_mae(&g, sparse, MetricDiscrepancy::Absolute);
+        let pr_sparse = ugs::queries::expected_pagerank(sparse, &mc, &mut rng);
+        let pairs_sparse = pair_queries(sparse, &pairs, &mc, &mut rng);
+        let dem_pr = earth_movers_distance(&pr_original, &pr_sparse);
+        let dem_rl = earth_movers_distance(&pairs_original.reliability, &pairs_sparse.reliability);
+
+        println!(
+            "{:<10} {:>8} {:>12.5} {:>10.4} {:>12.6} {:>12.6} {:>8.1?}",
+            sparsifier.name(),
+            sparse.num_edges(),
+            degree_mae,
+            output.diagnostics.relative_entropy(),
+            dem_pr,
+            dem_rl,
+            output.diagnostics.elapsed,
+        );
+    }
+
+    println!();
+    println!(
+        "The proposed sparsifiers (GDB/EMD) should show markedly lower degree MAE, \
+         lower relative entropy and lower earth mover's distance than the NI/SS baselines."
+    );
+}

@@ -1,0 +1,72 @@
+//! Influence ranking in an uncertain social network.
+//!
+//! In social networks edge probabilities model the influence users exert on
+//! each other (the paper's Twitter dataset).  Ranking users by *expected
+//! PageRank* over the possible worlds is a standard influence measure, but it
+//! requires many Monte-Carlo samples on a large uncertain graph.  This
+//! example sparsifies a Twitter-shaped network with GDB and EMD and shows
+//! that the influence ranking (top-k overlap and earth mover's distance of
+//! the PageRank distribution) is preserved while sampling becomes much
+//! cheaper, whereas the spanner baseline distorts the ranking.
+//!
+//! Run with `cargo run --release --example social_influence_pagerank`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ugs::prelude::*;
+
+/// Overlap between the top-`k` vertices of two score vectors.
+fn top_k_overlap(a: &[f64], b: &[f64], k: usize) -> f64 {
+    let top = |scores: &[f64]| -> std::collections::HashSet<usize> {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).unwrap());
+        idx.into_iter().take(k).collect()
+    };
+    let ta = top(a);
+    let tb = top(b);
+    ta.intersection(&tb).count() as f64 / k as f64
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let g = ugs::datasets::twitter_like(Scale::Tiny, &mut rng);
+    println!("{}", GraphStatistics::table_header());
+    println!("{}", GraphStatistics::compute(&g).table_row("twitter-like"));
+    println!();
+
+    let alpha = 0.16;
+    let mc = MonteCarlo::worlds(300);
+    let reference = ugs::queries::expected_pagerank(&g, &mc, &mut rng);
+
+    let sparsifiers: Vec<Box<dyn Sparsifier>> = vec![
+        Box::new(SparsifierSpec::gdb().alpha(alpha)),
+        Box::new(SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative)),
+        Box::new(SpannerSparsifier::new(alpha)),
+    ];
+
+    println!(
+        "{:<10} {:>10} {:>14} {:>14} {:>12}",
+        "method", "edges", "top-20 overlap", "D_em(PR)", "rel. H"
+    );
+    for sparsifier in &sparsifiers {
+        let out = sparsifier.sparsify_dyn(&g, &mut rng).expect("sparsification succeeds");
+        let pr = ugs::queries::expected_pagerank(&out.graph, &mc, &mut rng);
+        let overlap = top_k_overlap(&reference, &pr, 20);
+        let dem = earth_movers_distance(&reference, &pr);
+        println!(
+            "{:<10} {:>10} {:>14.2} {:>14.6} {:>12.4}",
+            sparsifier.name(),
+            out.graph.num_edges(),
+            overlap,
+            dem,
+            out.diagnostics.relative_entropy()
+        );
+    }
+
+    println!();
+    println!(
+        "GDB/EMD keep the influence ranking (high top-20 overlap, small D_em) while \
+         reducing entropy; the spanner baseline keeps probabilities untouched and loses \
+         both accuracy and the entropy reduction."
+    );
+}

@@ -1,0 +1,83 @@
+//! # ugs — Uncertain Graph Sparsification
+//!
+//! A reproduction of *“Uncertain Graph Sparsification”* (Parchas, Papailiou,
+//! Papadias, Bonchi — ICDE 2019 / TKDE), packaged as a workspace of focused
+//! crates and re-exported here as a single convenient facade.
+//!
+//! Given an uncertain graph `G = (V, E, p)` (every edge has an existence
+//! probability) and a ratio `α ∈ (0, 1)`, the library produces a sparsified
+//! uncertain graph `G' = (V, E', p')` with `|E'| = α|E|` that preserves the
+//! expected vertex degrees / cut sizes of `G`, has lower entropy, and can be
+//! used in place of `G` for Monte-Carlo query answering (PageRank, shortest
+//! path distance, reliability, clustering coefficient) at a fraction of the
+//! cost.
+//!
+//! ## Crates
+//!
+//! | Re-export | Crate | Contents |
+//! |-----------|-------|----------|
+//! | [`graph`] | `uncertain-graph` | the `UncertainGraph` type, possible worlds, entropy, I/O |
+//! | [`algo`] | `graph-algos` | union-find, spanning forests, BFS/Dijkstra, PageRank, clustering, indexed heap |
+//! | [`lp`] | `lp-solver` | dense simplex used by the LP reference method |
+//! | [`sparsify`] | `ugs-core` | backbone initialisation, `GDB`, `EMD`, LP assignment, `SparsifierSpec` |
+//! | [`baselines`] | `ugs-baselines` | the `NI` and `SS` baselines adapted from deterministic sparsification |
+//! | [`queries`] | `ugs-queries` | Monte-Carlo query engine + estimator variance |
+//! | [`metrics`] | `ugs-metrics` | degree/cut discrepancy MAE, relative entropy, earth mover's distance |
+//! | [`datasets`] | `ugs-datasets` | Flickr/Twitter-shaped generators, density sweep, Forest Fire sampling |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ugs::prelude::*;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! // A Flickr-shaped uncertain social network (tiny scale for the doctest).
+//! let g = ugs::datasets::flickr_like(ugs::datasets::Scale::Tiny, &mut rng);
+//!
+//! // Sparsify to 16% of the edges with EMD (relative discrepancy, spanning
+//! // backbone — the paper's best variant).
+//! let spec = SparsifierSpec::emd()
+//!     .alpha(0.16)
+//!     .discrepancy(DiscrepancyKind::Relative)
+//!     .entropy_h(0.05);
+//! let sparse = spec.sparsify(&g, &mut rng).unwrap();
+//! assert_eq!(sparse.graph.num_edges(), (0.16 * g.num_edges() as f64).round() as usize);
+//! assert!(sparse.graph.entropy() < g.entropy());
+//!
+//! // Degrees are preserved...
+//! let mae = ugs::metrics::degree_discrepancy_mae(
+//!     &g,
+//!     &sparse.graph,
+//!     ugs::metrics::degree::MetricDiscrepancy::Absolute,
+//! );
+//! assert!(mae < 1.0);
+//!
+//! // ...and queries on the sparsified graph approximate queries on G.
+//! let mc = MonteCarlo::worlds(50);
+//! let pr_sparse = ugs::queries::expected_pagerank(&sparse.graph, &mc, &mut rng);
+//! assert_eq!(pr_sparse.len(), g.num_vertices());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use graph_algos as algo;
+pub use lp_solver as lp;
+pub use ugs_baselines as baselines;
+pub use ugs_core as sparsify;
+pub use ugs_datasets as datasets;
+pub use ugs_metrics as metrics;
+pub use ugs_queries as queries;
+pub use uncertain_graph as graph;
+
+/// The most commonly used items from every crate in the workspace.
+pub mod prelude {
+    pub use graph_algos::prelude::*;
+    pub use ugs_baselines::prelude::*;
+    pub use ugs_core::prelude::*;
+    pub use ugs_datasets::prelude::*;
+    pub use ugs_metrics::prelude::*;
+    pub use ugs_queries::prelude::*;
+    pub use uncertain_graph::prelude::*;
+}

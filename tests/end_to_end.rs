@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: generate → sparsify (every method) →
+//! query → evaluate, exercising the whole public API exactly as a downstream
+//! user would.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ugs::metrics::degree::MetricDiscrepancy;
+use ugs::prelude::*;
+
+fn flickr_tiny(seed: u64) -> UncertainGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    ugs::datasets::flickr_like(Scale::Tiny, &mut rng)
+}
+
+fn all_sparsifiers(alpha: f64) -> Vec<Box<dyn Sparsifier>> {
+    vec![
+        Box::new(SparsifierSpec::gdb().alpha(alpha)),
+        Box::new(SparsifierSpec::gdb().alpha(alpha).backbone(BackboneKind::Random)),
+        Box::new(SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative)),
+        Box::new(SparsifierSpec::lp().alpha(alpha)),
+        Box::new(NagamochiIbaraki::new(alpha)),
+        Box::new(SpannerSparsifier::new(alpha)),
+    ]
+}
+
+#[test]
+fn every_method_produces_a_valid_sparsified_graph() {
+    let g = flickr_tiny(1);
+    let alpha = 0.2;
+    let target = (alpha * g.num_edges() as f64).round() as usize;
+    let mut rng = SmallRng::seed_from_u64(9);
+    for sparsifier in all_sparsifiers(alpha) {
+        let out = sparsifier.sparsify_dyn(&g, &mut rng).expect("method must succeed");
+        assert_eq!(out.graph.num_vertices(), g.num_vertices(), "{}", sparsifier.name());
+        assert_eq!(out.graph.num_edges(), target, "{}", sparsifier.name());
+        for e in out.graph.edges() {
+            assert!(e.p > 0.0 && e.p <= 1.0, "{}: invalid probability {}", sparsifier.name(), e.p);
+            assert!(g.has_edge(e.u, e.v), "{}: edge not in the original graph", sparsifier.name());
+        }
+        assert_eq!(out.diagnostics.target_edges, target);
+        assert!(out.diagnostics.entropy_original > 0.0);
+    }
+}
+
+#[test]
+fn proposed_methods_preserve_degrees_better_than_baselines() {
+    // The core claim of Figures 6–7: GDB and EMD have (much) lower degree
+    // discrepancy than NI and SS at the same ratio.
+    let g = flickr_tiny(2);
+    let alpha = 0.16;
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mae = |s: &dyn Sparsifier, rng: &mut SmallRng| {
+        let out = s.sparsify_dyn(&g, rng).unwrap();
+        degree_discrepancy_mae(&g, &out.graph, MetricDiscrepancy::Absolute)
+    };
+    let gdb = mae(&SparsifierSpec::gdb().alpha(alpha), &mut rng);
+    let emd = mae(
+        &SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative),
+        &mut rng,
+    );
+    let ni = mae(&NagamochiIbaraki::new(alpha), &mut rng);
+    let ss = mae(&SpannerSparsifier::new(alpha), &mut rng);
+    assert!(gdb < ni && gdb < ss, "GDB {gdb} vs NI {ni} / SS {ss}");
+    assert!(emd < ni && emd < ss, "EMD {emd} vs NI {ni} / SS {ss}");
+}
+
+#[test]
+fn proposed_methods_reduce_entropy_baselines_do_not() {
+    // Figure 8: relative entropy of GDB/EMD is far below the baselines'.
+    let g = flickr_tiny(3);
+    let alpha = 0.16;
+    let mut rng = SmallRng::seed_from_u64(13);
+    let rel_entropy = |s: &dyn Sparsifier, rng: &mut SmallRng| {
+        let out = s.sparsify_dyn(&g, rng).unwrap();
+        out.diagnostics.relative_entropy()
+    };
+    let gdb = rel_entropy(&SparsifierSpec::gdb().alpha(alpha), &mut rng);
+    let emd = rel_entropy(
+        &SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative),
+        &mut rng,
+    );
+    let ss = rel_entropy(&SpannerSparsifier::new(alpha), &mut rng);
+    assert!(gdb < ss, "GDB {gdb} should be below SS {ss}");
+    assert!(emd < ss, "EMD {emd} should be below SS {ss}");
+    assert!(gdb < 1.0 && emd < 1.0 && ss <= 1.0);
+}
+
+#[test]
+fn queries_on_sparsified_graph_track_the_original() {
+    // Figure 10's shape: the proposed sparsifier approximates PR and RL on
+    // the original graph, and does so better than the spanner baseline.
+    let g = flickr_tiny(4);
+    let mut rng = SmallRng::seed_from_u64(17);
+    let emd_out = SparsifierSpec::emd()
+        .alpha(0.25)
+        .discrepancy(DiscrepancyKind::Relative)
+        .sparsify(&g, &mut rng)
+        .unwrap();
+    let ss_out = SpannerSparsifier::new(0.25).sparsify(&g, &mut rng).unwrap();
+
+    let mc = MonteCarlo::worlds(150);
+    let pr_g = ugs::queries::expected_pagerank(&g, &mc, &mut rng);
+    let pr_emd = ugs::queries::expected_pagerank(&emd_out.graph, &mc, &mut rng);
+    let pr_ss = ugs::queries::expected_pagerank(&ss_out.graph, &mc, &mut rng);
+    assert_eq!(pr_g.len(), pr_emd.len());
+    let dem_pr_emd = earth_movers_distance(&pr_g, &pr_emd);
+    let dem_pr_ss = earth_movers_distance(&pr_g, &pr_ss);
+    // PageRank values live on a 1/n scale; the distributions must be close
+    // and EMD must beat the probability-blind spanner baseline.
+    assert!(dem_pr_emd < 2.0 / g.num_vertices() as f64, "D_em(PR) = {dem_pr_emd}");
+    assert!(dem_pr_emd <= dem_pr_ss, "EMD {dem_pr_emd} vs SS {dem_pr_ss}");
+
+    let pairs = random_pairs(g.num_vertices(), 60, &mut rng);
+    let pq_g = pair_queries(&g, &pairs, &mc, &mut rng);
+    let pq_emd = pair_queries(&emd_out.graph, &pairs, &mc, &mut rng);
+    let pq_ss = pair_queries(&ss_out.graph, &pairs, &mc, &mut rng);
+    let dem_rl_emd = earth_movers_distance(&pq_g.reliability, &pq_emd.reliability);
+    let dem_rl_ss = earth_movers_distance(&pq_g.reliability, &pq_ss.reliability);
+    assert!(dem_rl_emd < 0.4, "D_em(RL) = {dem_rl_emd}");
+    // At this tiny scale the reliability errors of EMD and SS are close (the
+    // decisive gap of Figure 10(c,g) appears at realistic sizes — see the
+    // fig10 experiment binary); only require EMD not to be substantially
+    // worse.
+    assert!(dem_rl_emd <= 1.25 * dem_rl_ss, "EMD {dem_rl_emd} vs SS {dem_rl_ss}");
+}
+
+#[test]
+fn sparsification_reduces_estimator_variance() {
+    // Figure 12's shape: the MC estimator on the sparsified graph has lower
+    // run-to-run variance than on the original (thanks to entropy reduction).
+    let g = flickr_tiny(5);
+    let mut rng = SmallRng::seed_from_u64(23);
+    let out = SparsifierSpec::gdb().alpha(0.16).sparsify(&g, &mut rng).unwrap();
+
+    let mc = MonteCarlo::worlds(30);
+    let mut seeds = SmallRng::seed_from_u64(99);
+    let mut variance_of = |graph: &UncertainGraph| {
+        let mut local = SmallRng::seed_from_u64(seeds.next_u64());
+        estimator_variance(15, |_| ugs::queries::expected_pagerank(graph, &mc, &mut local))
+    };
+    let var_original = variance_of(&g);
+    let var_sparse = variance_of(&out.graph);
+    let ratio = var_sparse.relative_to(&var_original);
+    assert!(ratio < 1.0, "relative variance {ratio} should drop below 1");
+}
+
+#[test]
+fn graph_io_round_trips_through_all_formats() {
+    let g = flickr_tiny(6);
+    // text
+    let mut buffer = Vec::new();
+    ugs::graph::io::write_text(&g, &mut buffer).unwrap();
+    let text_back = ugs::graph::io::read_text(std::io::Cursor::new(buffer)).unwrap();
+    assert_eq!(text_back.num_edges(), g.num_edges());
+    // json
+    let json = ugs::graph::io::to_json(&g).unwrap();
+    let json_back = ugs::graph::io::from_json(&json).unwrap();
+    assert_eq!(json_back.num_edges(), g.num_edges());
+    // binary
+    let bytes = ugs::graph::io::to_bytes(&g);
+    let bin_back = ugs::graph::io::from_bytes(&bytes).unwrap();
+    assert_eq!(bin_back.num_edges(), g.num_edges());
+    // probabilities survive exactly
+    for e in g.edges() {
+        let id = bin_back.find_edge(e.u, e.v).unwrap();
+        assert_eq!(bin_back.edge_probability(id), e.p);
+    }
+}
+
+#[test]
+fn forest_fire_reduction_plus_lp_reference_pipeline() {
+    // The paper's Table 2 pipeline: reduce the graph with Forest Fire
+    // sampling, then compare LP (optimal Δ1 on the backbone) against GDB.
+    let g = flickr_tiny(7);
+    let mut rng = SmallRng::seed_from_u64(31);
+    let (reduced, _) = ugs::datasets::forest_fire_sample(&g, 80, 0.7, &mut rng);
+    assert_eq!(reduced.num_vertices(), 80);
+
+    let lp = SparsifierSpec::lp().alpha(0.3).sparsify(&reduced, &mut rng).unwrap();
+    let gdb = SparsifierSpec::gdb().alpha(0.3).entropy_h(1.0).sparsify(&reduced, &mut rng).unwrap();
+    let lp_mae = degree_discrepancy_mae(&reduced, &lp.graph, MetricDiscrepancy::Absolute);
+    let gdb_mae = degree_discrepancy_mae(&reduced, &gdb.graph, MetricDiscrepancy::Absolute);
+    // Both must be small; LP is the optimum for its own backbone, GDB must be
+    // in the same ballpark (Table 2 shows them within a small factor).
+    assert!(lp_mae.is_finite() && gdb_mae.is_finite());
+    assert!(gdb_mae <= 5.0 * lp_mae + 0.05, "GDB {gdb_mae} vs LP {lp_mae}");
+}
+
+use rand::RngCore;

@@ -1,0 +1,236 @@
+//! Property-based tests (proptest) of the core invariants: sparsifier
+//! contracts, data-structure invariants and metric properties hold for
+//! arbitrary random inputs, not just the hand-picked fixtures of the unit
+//! tests.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ugs::prelude::*;
+
+/// Strategy: a random connected uncertain graph with `n ∈ [4, 24]` vertices,
+/// a spanning ring plus extra random edges and probabilities in (0, 1].
+fn uncertain_graph_strategy() -> impl Strategy<Value = UncertainGraph> {
+    (4usize..24, 0usize..40, any::<u64>()).prop_map(|(n, extra, seed)| {
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = UncertainGraphBuilder::new(n);
+        for u in 0..n {
+            b.add_edge(u, (u + 1) % n, rng.gen_range(0.05..=1.0)).unwrap();
+        }
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                let _ = b.add_edge_if_absent(u, v, rng.gen_range(0.05..=1.0));
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// |E'| = round(α|E|), the vertex set is preserved, every probability is
+    /// in (0, 1], every kept edge exists in the original graph — for every
+    /// method.
+    #[test]
+    fn sparsifier_contract_holds(
+        g in uncertain_graph_strategy(),
+        alpha in 0.2f64..0.9,
+        seed in any::<u64>(),
+        method in 0usize..4,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sparsifier: Box<dyn Sparsifier> = match method {
+            0 => Box::new(SparsifierSpec::gdb().alpha(alpha)),
+            1 => Box::new(SparsifierSpec::emd().alpha(alpha)),
+            2 => Box::new(NagamochiIbaraki::new(alpha)),
+            _ => Box::new(SpannerSparsifier::new(alpha)),
+        };
+        let out = sparsifier.sparsify_dyn(&g, &mut rng).unwrap();
+        let target = (alpha * g.num_edges() as f64).round() as usize;
+        prop_assert_eq!(out.graph.num_edges(), target.min(g.num_edges()));
+        prop_assert_eq!(out.graph.num_vertices(), g.num_vertices());
+        for e in out.graph.edges() {
+            prop_assert!(e.p > 0.0 && e.p <= 1.0);
+            prop_assert!(g.has_edge(e.u, e.v));
+        }
+    }
+
+    /// GDB with h = 1 and the degree rule never produces a worse Δ1 than the
+    /// raw backbone it started from, and never exceeds the original expected
+    /// degrees by more than numerical noise... (Lemma 1's direction).
+    #[test]
+    fn gdb_improves_on_the_raw_backbone(
+        g in uncertain_graph_strategy(),
+        alpha in 0.3f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let backbone = build_backbone(&g, alpha, &BackboneConfig::spanning(), &mut rng).unwrap();
+        let config = GdbConfig { entropy_h: 1.0, ..Default::default() };
+        let result = ugs::sparsify::gdb::gradient_descent_assign(&g, &backbone, &config).unwrap();
+        prop_assert!(result.final_objective() <= result.objective_trace[0] + 1e-9);
+        for &(_, p) in &result.probabilities {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    /// The spanning backbone of Algorithm 1 is connected whenever α allows a
+    /// spanning tree.
+    #[test]
+    fn spanning_backbone_is_connected(
+        g in uncertain_graph_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let n = g.num_vertices() as f64;
+        let m = g.num_edges() as f64;
+        // pick α large enough for a spanning tree to fit
+        let alpha = ((n / m) + 0.3).min(0.95);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let backbone = build_backbone(&g, alpha, &BackboneConfig::spanning(), &mut rng).unwrap();
+        prop_assert!(ugs::sparsify::backbone::edges_span_connected(&g, &backbone));
+    }
+
+    /// Entropy invariants: H(G) ≥ 0, the relative entropy of a sparsified
+    /// graph produced with h = 0 never exceeds 1, and dropping edges without
+    /// touching probabilities always lowers entropy.
+    #[test]
+    fn entropy_invariants(
+        g in uncertain_graph_strategy(),
+        seed in any::<u64>(),
+    ) {
+        prop_assert!(g.entropy() >= 0.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = SparsifierSpec::gdb().alpha(0.5).entropy_h(0.0)
+            .sparsify(&g, &mut rng).unwrap();
+        prop_assert!(out.diagnostics.relative_entropy() <= 1.0 + 1e-9);
+        // plain subgraph (SS-style, original probabilities) also reduces entropy
+        let keep: Vec<usize> = (0..g.num_edges()).step_by(2).collect();
+        let sub = g.subgraph_with_edges(keep).unwrap();
+        prop_assert!(sub.entropy() <= g.entropy() + 1e-9);
+    }
+
+    /// The earth mover's distance is a metric-like quantity: non-negative,
+    /// symmetric, zero for identical samples and shift-equivariant.
+    #[test]
+    fn earth_movers_distance_properties(
+        mut a in prop::collection::vec(0.0f64..100.0, 1..60),
+        b in prop::collection::vec(0.0f64..100.0, 1..60),
+        shift in 0.0f64..10.0,
+    ) {
+        let d_ab = earth_movers_distance(&a, &b);
+        let d_ba = earth_movers_distance(&b, &a);
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        prop_assert!(earth_movers_distance(&a, &a) < 1e-12);
+        let shifted: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        prop_assert!((earth_movers_distance(&a, &shifted) - shift).abs() < 1e-9);
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    }
+
+    /// Union-find maintains the number of connected components of the edges
+    /// merged so far.
+    #[test]
+    fn union_find_component_count(
+        n in 2usize..40,
+        edges in prop::collection::vec((0usize..40, 0usize..40), 0..80),
+    ) {
+        let mut uf = UnionFind::new(n);
+        let mut adjacency = vec![vec![]; n];
+        for &(u, v) in edges.iter().filter(|(u, v)| u < &n && v < &n && u != v) {
+            uf.union(u, v);
+            adjacency[u].push(v);
+            adjacency[v].push(u);
+        }
+        // brute-force component count
+        let mut seen = vec![false; n];
+        let mut components = 0;
+        for start in 0..n {
+            if seen[start] { continue; }
+            components += 1;
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(u) = stack.pop() {
+                for &v in &adjacency[u] {
+                    if !seen[v] { seen[v] = true; stack.push(v); }
+                }
+            }
+        }
+        prop_assert_eq!(uf.num_sets(), components);
+    }
+
+    /// The indexed max-heap drains keys in priority order regardless of the
+    /// interleaving of pushes and updates.
+    #[test]
+    fn indexed_heap_drains_sorted(
+        priorities in prop::collection::vec(-1e6f64..1e6, 1..120),
+        updates in prop::collection::vec((0usize..120, -1e6f64..1e6), 0..60),
+    ) {
+        let mut heap = IndexedMaxHeap::from_priorities(&priorities);
+        let mut expected = priorities.clone();
+        for &(key, value) in updates.iter().filter(|(k, _)| *k < priorities.len()) {
+            heap.update(key, value);
+            expected[key] = value;
+        }
+        let drained = heap.into_sorted_vec();
+        prop_assert_eq!(drained.len(), expected.len());
+        for window in drained.windows(2) {
+            prop_assert!(window[0].1 >= window[1].1);
+        }
+        // multiset equality of priorities
+        let mut got: Vec<f64> = drained.iter().map(|&(_, p)| p).collect();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in got.iter().zip(expected.iter()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Possible-world probabilities are a distribution: a sampled world's
+    /// probability is positive and exact enumeration of small graphs sums to
+    /// one.
+    #[test]
+    fn world_probabilities_form_a_distribution(
+        g in uncertain_graph_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let world = WorldSampler::new().sample(&g, &mut rng);
+        prop_assert!(world.probability(&g) >= 0.0);
+        prop_assert_eq!(world.len(), g.num_edges());
+        if g.num_edges() <= 12 {
+            let mut total = 0.0;
+            ugs::graph::worlds::enumerate_worlds(&g, |_, pr| total += pr).unwrap();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Expected degrees equal the per-vertex sum of incident probabilities
+    /// and their total equals twice the probability mass.
+    #[test]
+    fn expected_degree_identities(g in uncertain_graph_strategy()) {
+        let degrees = g.expected_degrees();
+        let total: f64 = degrees.iter().sum();
+        prop_assert!((total - 2.0 * g.expected_num_edges()).abs() < 1e-9);
+        for u in g.vertices() {
+            prop_assert!((degrees[u] - g.expected_degree(u)).abs() < 1e-9);
+        }
+    }
+
+    /// Text serialisation round-trips arbitrary graphs.
+    #[test]
+    fn graph_text_io_round_trips(g in uncertain_graph_strategy()) {
+        let mut buffer = Vec::new();
+        ugs::graph::io::write_text(&g, &mut buffer).unwrap();
+        let back = ugs::graph::io::read_text(std::io::Cursor::new(buffer)).unwrap();
+        prop_assert_eq!(back.num_vertices(), g.num_vertices());
+        prop_assert_eq!(back.num_edges(), g.num_edges());
+        for e in g.edges() {
+            let id = back.find_edge(e.u, e.v).unwrap();
+            prop_assert!((back.edge_probability(id) - e.p).abs() < 1e-9);
+        }
+    }
+}
