@@ -48,7 +48,12 @@ pub struct NiConfig {
 
 impl Default for NiConfig {
     fn default() -> Self {
-        NiConfig { alpha: 0.16, epsilon_step: 1.25, max_calibration_rounds: 40, max_weight: 1_000 }
+        NiConfig {
+            alpha: 0.16,
+            epsilon_step: 1.25,
+            max_calibration_rounds: 40,
+            max_weight: 1_000,
+        }
     }
 }
 
@@ -62,7 +67,12 @@ impl NagamochiIbaraki {
     /// Creates the baseline with ratio `alpha` and default calibration
     /// settings.
     pub fn new(alpha: f64) -> Self {
-        NagamochiIbaraki { config: NiConfig { alpha, ..Default::default() } }
+        NagamochiIbaraki {
+            config: NiConfig {
+                alpha,
+                ..Default::default()
+            },
+        }
     }
 
     /// Creates the baseline from a full configuration.
@@ -103,7 +113,9 @@ impl NagamochiIbaraki {
 
         // Initial ε = sqrt(|V| ln|V| / (α|E|)).
         let ln_n = (n.max(2) as f64).ln();
-        let mut epsilon = ((n as f64) * ln_n / (config.alpha * m as f64)).sqrt().max(1e-6);
+        let mut epsilon = ((n as f64) * ln_n / (config.alpha * m as f64))
+            .sqrt()
+            .max(1e-6);
 
         // Calibrate ε until the sampled sparsifier is no larger than α|E|.
         let mut selection: Option<Vec<(EdgeId, f64)>> = None;
@@ -141,7 +153,15 @@ impl NagamochiIbaraki {
         let by_id: std::collections::HashMap<EdgeId, f64> = assignment.drain(..).collect();
         let assignment: Vec<(EdgeId, f64)> = resized
             .into_iter()
-            .map(|e| (e, by_id.get(&e).copied().unwrap_or_else(|| g.edge_probability(e))))
+            .map(|e| {
+                (
+                    e,
+                    by_id
+                        .get(&e)
+                        .copied()
+                        .unwrap_or_else(|| g.edge_probability(e)),
+                )
+            })
             .collect();
 
         let graph = materialize(g, &assignment)?;
@@ -237,13 +257,17 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut b = UncertainGraphBuilder::new(n);
         for u in 0..n {
-            b.add_edge(u, (u + 1) % n, rng.gen_range(p_low..p_high)).unwrap();
+            b.add_edge(u, (u + 1) % n, rng.gen_range(p_low..p_high))
+                .unwrap();
         }
         let mut added = n;
         while added < m {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
-            if u != v && b.add_edge_if_absent(u, v, rng.gen_range(p_low..p_high)).unwrap() {
+            if u != v
+                && b.add_edge_if_absent(u, v, rng.gen_range(p_low..p_high))
+                    .unwrap()
+            {
                 added += 1;
             }
         }
@@ -317,7 +341,11 @@ mod tests {
         // probability redistribution" the paper blames for NI's poor degree
         // and cut preservation.
         let g = random_graph(5, 30, 150, 0.8, 0.99);
-        let p_min = g.probabilities().iter().copied().fold(f64::INFINITY, f64::min);
+        let p_min = g
+            .probabilities()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         let mut rng = SmallRng::seed_from_u64(11);
         let out = NagamochiIbaraki::new(0.3).sparsify(&g, &mut rng).unwrap();
         for e in out.graph.edges() {
@@ -327,7 +355,11 @@ mod tests {
             // topped-up edges keep the original value; everything is capped
             // at 1.
             assert!(e.p <= 1.0 + 1e-12);
-            assert!(e.p >= p_min - 1e-12, "probability {} fell below p_min {p_min}", e.p);
+            assert!(
+                e.p >= p_min - 1e-12,
+                "probability {} fell below p_min {p_min}",
+                e.p
+            );
             assert!(
                 e.p >= original.min(p_min * (original / p_min).floor()) - 1e-9,
                 "probability {} dropped far below the original {original}",
@@ -353,10 +385,16 @@ mod tests {
             NagamochiIbaraki::new(0.0).sparsify(&g, &mut rng),
             Err(SparsifyError::InvalidAlpha { .. })
         ));
-        let bad = NagamochiIbaraki::with_config(NiConfig { epsilon_step: 1.0, ..Default::default() });
+        let bad = NagamochiIbaraki::with_config(NiConfig {
+            epsilon_step: 1.0,
+            ..Default::default()
+        });
         assert!(matches!(
             bad.sparsify(&g, &mut rng),
-            Err(SparsifyError::InvalidParameter { name: "epsilon_step", .. })
+            Err(SparsifyError::InvalidParameter {
+                name: "epsilon_step",
+                ..
+            })
         ));
     }
 

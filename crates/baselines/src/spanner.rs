@@ -35,7 +35,11 @@ pub struct SpannerConfig {
 
 impl Default for SpannerConfig {
     fn default() -> Self {
-        SpannerConfig { alpha: 0.16, max_calibration_rounds: 12, max_t: 32 }
+        SpannerConfig {
+            alpha: 0.16,
+            max_calibration_rounds: 12,
+            max_t: 32,
+        }
     }
 }
 
@@ -49,7 +53,12 @@ impl SpannerSparsifier {
     /// Creates the baseline with ratio `alpha` and default calibration
     /// settings.
     pub fn new(alpha: f64) -> Self {
-        SpannerSparsifier { config: SpannerConfig { alpha, ..Default::default() } }
+        SpannerSparsifier {
+            config: SpannerConfig {
+                alpha,
+                ..Default::default()
+            },
+        }
     }
 
     /// Creates the baseline from a full configuration.
@@ -81,8 +90,8 @@ impl SpannerSparsifier {
 
         let mut selection = Vec::new();
         let mut calibration_rounds = 0usize;
-        for round in 0..config.max_calibration_rounds {
-            calibration_rounds = round + 1;
+        while calibration_rounds < config.max_calibration_rounds {
+            calibration_rounds += 1;
             selection = baswana_sen_spanner(g, &weights, t, rng);
             if selection.len() <= target || t >= config.max_t {
                 break;
@@ -92,8 +101,10 @@ impl SpannerSparsifier {
 
         // Keep the original probabilities and adjust to exactly α|E| edges.
         let resized = resize_selection(g, selection, target, rng);
-        let assignment: Vec<(EdgeId, f64)> =
-            resized.into_iter().map(|e| (e, g.edge_probability(e))).collect();
+        let assignment: Vec<(EdgeId, f64)> = resized
+            .into_iter()
+            .map(|e| (e, g.edge_probability(e)))
+            .collect();
 
         let graph = materialize(g, &assignment)?;
         let diagnostics = Diagnostics {
@@ -159,7 +170,8 @@ fn baswana_sen_spanner<R: Rng + ?Sized>(
     // ---------------- Phase 1: t − 1 clustering iterations ----------------
     for _ in 1..t {
         // Sample the surviving clusters.
-        let cluster_ids: std::collections::HashSet<usize> = cluster.iter().flatten().copied().collect();
+        let cluster_ids: std::collections::HashSet<usize> =
+            cluster.iter().flatten().copied().collect();
         if cluster_ids.is_empty() {
             break;
         }
@@ -197,7 +209,10 @@ fn baswana_sen_spanner<R: Rng + ?Sized>(
                 .iter()
                 .filter(|(c, _)| sampled.contains(c))
                 .min_by(|a, b| {
-                    a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal).then(a.1 .1.cmp(&b.1 .1))
+                    a.1 .0
+                        .partial_cmp(&b.1 .0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.1 .1.cmp(&b.1 .1))
                 })
                 .map(|(&c, &(w, e))| (c, w, e));
 
@@ -257,7 +272,7 @@ fn baswana_sen_spanner<R: Rng + ?Sized>(
                 *entry = (w, e);
             }
         }
-        for (_, &(_, e)) in &best_per_cluster {
+        for &(_, e) in best_per_cluster.values() {
             add_edge(e, &mut spanner, &mut in_spanner);
         }
     }
@@ -274,7 +289,10 @@ fn baswana_sen_spanner<R: Rng + ?Sized>(
     if uf.num_sets() > 1 {
         let mut order: Vec<EdgeId> = (0..g.num_edges()).filter(|&e| !in_spanner[e]).collect();
         order.sort_by(|&a, &b| {
-            weights[a].partial_cmp(&weights[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            weights[a]
+                .partial_cmp(&weights[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         for e in order {
             let (u, v) = g.edge_endpoints(e);
@@ -301,13 +319,17 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut b = UncertainGraphBuilder::new(n);
         for u in 0..n {
-            b.add_edge(u, (u + 1) % n, rng.gen_range(0.05..0.95)).unwrap();
+            b.add_edge(u, (u + 1) % n, rng.gen_range(0.05..0.95))
+                .unwrap();
         }
         let mut added = n;
         while added < m {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
-            if u != v && b.add_edge_if_absent(u, v, rng.gen_range(0.05..0.95)).unwrap() {
+            if u != v
+                && b.add_edge_if_absent(u, v, rng.gen_range(0.05..0.95))
+                    .unwrap()
+            {
                 added += 1;
             }
         }
@@ -319,7 +341,9 @@ mod tests {
         let g = random_graph(1, 40, 240);
         for alpha in [0.15, 0.3, 0.6] {
             let mut rng = SmallRng::seed_from_u64(5);
-            let out = SpannerSparsifier::new(alpha).sparsify(&g, &mut rng).unwrap();
+            let out = SpannerSparsifier::new(alpha)
+                .sparsify(&g, &mut rng)
+                .unwrap();
             let expected = (alpha * 240.0).round() as usize;
             assert_eq!(out.graph.num_edges(), expected, "alpha {alpha}");
             // SS performs no probability redistribution at all.

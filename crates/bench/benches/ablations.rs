@@ -24,15 +24,23 @@ fn ablations(c: &mut Criterion) {
     let alpha = 0.16;
 
     let mut group = c.benchmark_group("ablations");
-    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
 
     // Backbone construction.
-    for (label, kind) in [("random", BackboneKind::Random), ("spanning", BackboneKind::SpanningForests)] {
+    for (label, kind) in [
+        ("random", BackboneKind::Random),
+        ("spanning", BackboneKind::SpanningForests),
+    ] {
         group.bench_function(format!("backbone_{label}"), |b| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(1);
-                let mut cfg = BackboneConfig::default();
-                cfg.kind = kind;
+                let cfg = BackboneConfig {
+                    kind,
+                    ..Default::default()
+                };
                 build_backbone(g, alpha, &cfg, &mut rng).unwrap()
             })
         });
@@ -43,17 +51,29 @@ fn ablations(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("gdb_entropy_h", h), &h, |b, &h| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(1);
-                SparsifierSpec::gdb().alpha(alpha).entropy_h(h).sparsify(g, &mut rng).unwrap()
+                SparsifierSpec::gdb()
+                    .alpha(alpha)
+                    .entropy_h(h)
+                    .sparsify(g, &mut rng)
+                    .unwrap()
             })
         });
     }
 
     // Cut-preserving rules.
-    for (label, rule) in [("k1", CutRule::Degree), ("k2", CutRule::Cuts(2)), ("kn", CutRule::AllCuts)] {
+    for (label, rule) in [
+        ("k1", CutRule::Degree),
+        ("k2", CutRule::Cuts(2)),
+        ("kn", CutRule::AllCuts),
+    ] {
         group.bench_function(format!("gdb_cut_rule_{label}"), |b| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(1);
-                SparsifierSpec::gdb().alpha(alpha).cut_rule(rule).sparsify(g, &mut rng).unwrap()
+                SparsifierSpec::gdb()
+                    .alpha(alpha)
+                    .cut_rule(rule)
+                    .sparsify(g, &mut rng)
+                    .unwrap()
             })
         });
     }
@@ -62,13 +82,19 @@ fn ablations(c: &mut Criterion) {
     group.bench_function("emd_vs_gdb_emd", |b| {
         b.iter(|| {
             let mut rng = SmallRng::seed_from_u64(1);
-            SparsifierSpec::emd().alpha(alpha).sparsify(g, &mut rng).unwrap()
+            SparsifierSpec::emd()
+                .alpha(alpha)
+                .sparsify(g, &mut rng)
+                .unwrap()
         })
     });
     group.bench_function("emd_vs_gdb_gdb", |b| {
         b.iter(|| {
             let mut rng = SmallRng::seed_from_u64(1);
-            SparsifierSpec::gdb().alpha(alpha).sparsify(g, &mut rng).unwrap()
+            SparsifierSpec::gdb()
+                .alpha(alpha)
+                .sparsify(g, &mut rng)
+                .unwrap()
         })
     });
 
@@ -78,8 +104,8 @@ fn ablations(c: &mut Criterion) {
     group.bench_function("indexed_heap_update_pop", |b| {
         b.iter(|| {
             let mut heap = graph_algos::IndexedMaxHeap::from_priorities(&priorities);
-            for i in 0..1_000 {
-                heap.update(i, priorities[i] * 2.0);
+            for (i, &priority) in priorities.iter().enumerate().take(1_000) {
+                heap.update(i, priority * 2.0);
             }
             heap.pop()
         })

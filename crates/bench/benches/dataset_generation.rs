@@ -11,7 +11,10 @@ use ugs_datasets::prelude::*;
 
 fn dataset_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("dataset_generation");
-    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
 
     group.bench_function("flickr_like_tiny", |b| {
         b.iter(|| {

@@ -31,7 +31,10 @@ fn query_costs(c: &mut Criterion) {
     let mc = MonteCarlo::worlds(30);
 
     let mut group = c.benchmark_group("queries");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
 
     for (label, graph) in [("original", &workload.flickr), ("gdb_alpha16", &sparsified)] {
         group.bench_function(format!("pagerank_{label}"), |b| {

@@ -16,9 +16,14 @@ use ugs_bench::{ExperimentConfig, Workload};
 use ugs_core::prelude::*;
 use ugs_datasets::Scale;
 
-fn bench_config(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+fn bench_config(
+    c: &mut Criterion,
+) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
     let mut group = c.benchmark_group("sparsifiers");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     group
 }
 
@@ -35,7 +40,11 @@ fn sparsifier_times(c: &mut Criterion) {
             ("GDB", Box::new(SparsifierSpec::gdb().alpha(alpha))),
             (
                 "EMD",
-                Box::new(SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative)),
+                Box::new(
+                    SparsifierSpec::emd()
+                        .alpha(alpha)
+                        .discrepancy(DiscrepancyKind::Relative),
+                ),
             ),
             ("NI", Box::new(ugs_baselines::NagamochiIbaraki::new(alpha))),
             ("SS", Box::new(ugs_baselines::SpannerSparsifier::new(alpha))),

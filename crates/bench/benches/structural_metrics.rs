@@ -24,7 +24,10 @@ fn metric_costs(c: &mut Criterion) {
         .graph;
 
     let mut group = c.benchmark_group("structural_metrics");
-    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
 
     group.bench_function("degree_discrepancy_mae", |b| {
         b.iter(|| {
@@ -41,7 +44,10 @@ fn metric_costs(c: &mut Criterion) {
             ugs_metrics::cut_discrepancy_mae(
                 &workload.flickr,
                 &sparsified,
-                &CutSamplingConfig { num_cuts: 200, max_cardinality: workload.flickr.num_vertices() },
+                &CutSamplingConfig {
+                    num_cuts: 200,
+                    max_cardinality: workload.flickr.num_vertices(),
+                },
                 &mut rng,
             )
         })

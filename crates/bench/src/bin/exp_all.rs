@@ -4,7 +4,10 @@
 
 fn main() {
     let config = ugs_bench::ExperimentConfig::from_env_and_args();
-    println!("# Full experiment sweep (scale {:?}, seed {})\n", config.scale, config.seed);
+    println!(
+        "# Full experiment sweep (scale {:?}, seed {})\n",
+        config.scale, config.seed
+    );
     let started = std::time::Instant::now();
     let (table1, reports) = ugs_bench::experiments::run_all(&config);
     println!("== table1 — dataset characteristics");

@@ -4,6 +4,9 @@
 
 fn main() {
     let config = ugs_bench::ExperimentConfig::from_env_and_args();
-    println!("# Figure 10: earth movers distance of PR, SP, RL, CC vs alpha (scale {:?}, seed {})\n", config.scale, config.seed);
+    println!(
+        "# Figure 10: earth movers distance of PR, SP, RL, CC vs alpha (scale {:?}, seed {})\n",
+        config.scale, config.seed
+    );
     ugs_bench::print_reports(&ugs_bench::experiments::run_fig10(&config));
 }

@@ -4,6 +4,9 @@
 
 fn main() {
     let config = ugs_bench::ExperimentConfig::from_env_and_args();
-    println!("# Table 1: dataset characteristics (scale {:?}, seed {})\n", config.scale, config.seed);
+    println!(
+        "# Table 1: dataset characteristics (scale {:?}, seed {})\n",
+        config.scale, config.seed
+    );
     println!("{}", ugs_bench::experiments::run_table1(&config));
 }

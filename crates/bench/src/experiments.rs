@@ -24,11 +24,7 @@ use uncertain_graph::{GraphStatistics, UncertainGraph};
 
 use crate::{proposed_variants, representative_methods, ExperimentConfig, Workload};
 
-fn sparsify(
-    method: &dyn Sparsifier,
-    g: &UncertainGraph,
-    rng: &mut SmallRng,
-) -> SparsifyOutput {
+fn sparsify(method: &dyn Sparsifier, g: &UncertainGraph, rng: &mut SmallRng) -> SparsifyOutput {
     method.sparsify_dyn(g, rng).unwrap_or_else(|err| {
         panic!("sparsifier {} failed: {err}", method.name());
     })
@@ -94,8 +90,10 @@ pub fn run_fig4(config: &ExperimentConfig) -> Vec<ExperimentReport> {
     let workload = Workload::generate(config);
     let reduced = workload.flickr_reduced(config);
     let mut rng = config.rng("fig4");
-    let cut_config =
-        CutSamplingConfig { num_cuts: config.num_cuts, max_cardinality: reduced.num_vertices() };
+    let cut_config = CutSamplingConfig {
+        num_cuts: config.num_cuts,
+        max_cardinality: reduced.num_vertices(),
+    };
 
     let mut cut_report = ExperimentReport::new(
         "fig4a",
@@ -110,8 +108,7 @@ pub fn run_fig4(config: &ExperimentConfig) -> Vec<ExperimentReport> {
         "seconds",
     );
 
-    let variant_subset =
-        ["EMD^R-t", "EMD^A", "GDB^R-t", "GDB^A", "GDB^A_2", "GDB^A_n"];
+    let variant_subset = ["EMD^R-t", "EMD^A", "GDB^R-t", "GDB^A", "GDB^A_2", "GDB^A_n"];
     for (&alpha_pct, alpha) in config.alphas_percent.iter().zip(config.alphas()) {
         for (name, method) in proposed_variants(alpha) {
             if variant_subset.contains(&name.as_str()) {
@@ -121,7 +118,10 @@ pub fn run_fig4(config: &ExperimentConfig) -> Vec<ExperimentReport> {
             }
         }
         for (name, method) in [
-            ("LP", Box::new(SparsifierSpec::lp().alpha(alpha)) as Box<dyn Sparsifier>),
+            (
+                "LP",
+                Box::new(SparsifierSpec::lp().alpha(alpha)) as Box<dyn Sparsifier>,
+            ),
             ("GDB", Box::new(SparsifierSpec::gdb().alpha(alpha))),
             ("EMD", Box::new(SparsifierSpec::emd().alpha(alpha))),
         ] {
@@ -157,7 +157,10 @@ pub fn run_fig5(config: &ExperimentConfig) -> Vec<ExperimentReport> {
     );
     for (&alpha_pct, alpha) in config.alphas_percent.iter().zip(config.alphas()) {
         for h in [0.0, 0.01, 0.05, 0.1, 0.5, 1.0] {
-            let spec = SparsifierSpec::gdb().alpha(alpha).entropy_h(h).max_iterations(100);
+            let spec = SparsifierSpec::gdb()
+                .alpha(alpha)
+                .entropy_h(h)
+                .max_iterations(100);
             let out = spec.sparsify(&reduced, &mut rng).expect("GDB succeeds");
             let label = format!("h={h}");
             mae_report.push(
@@ -182,8 +185,10 @@ pub fn run_fig6(config: &ExperimentConfig) -> Vec<ExperimentReport> {
     let mut reports = Vec::new();
     for (dataset_name, graph) in [("flickr", &workload.flickr), ("twitter", &workload.twitter)] {
         let mut rng = config.rng(&format!("fig6-{dataset_name}"));
-        let cut_config =
-            CutSamplingConfig { num_cuts: config.num_cuts, max_cardinality: graph.num_vertices() };
+        let cut_config = CutSamplingConfig {
+            num_cuts: config.num_cuts,
+            max_cardinality: graph.num_vertices(),
+        };
         let mut degree_report = ExperimentReport::new(
             format!("fig6-degree-{dataset_name}"),
             format!("MAE of δA(u) vs α ({dataset_name})"),
@@ -242,8 +247,10 @@ pub fn run_fig7(config: &ExperimentConfig) -> Vec<ExperimentReport> {
     );
     for (density, graph) in &sweep {
         let density_pct = density * 100.0;
-        let cut_config =
-            CutSamplingConfig { num_cuts: config.num_cuts, max_cardinality: graph.num_vertices() };
+        let cut_config = CutSamplingConfig {
+            num_cuts: config.num_cuts,
+            max_cardinality: graph.num_vertices(),
+        };
         for (name, method) in representative_methods(alpha) {
             let out = sparsify(method.as_ref(), graph, &mut rng);
             degree_report.push(
@@ -533,7 +540,10 @@ pub fn run_fig12(config: &ExperimentConfig) -> Vec<ExperimentReport> {
             .map(|q| {
                 ExperimentReport::new(
                     format!("fig12-{q}-{dataset_name}"),
-                    format!("relative variance of {} vs α ({dataset_name})", q.to_uppercase()),
+                    format!(
+                        "relative variance of {} vs α ({dataset_name})",
+                        q.to_uppercase()
+                    ),
                     "α (%)",
                     "σ̂(G')/σ̂(G)",
                 )
@@ -544,7 +554,11 @@ pub fn run_fig12(config: &ExperimentConfig) -> Vec<ExperimentReport> {
                 let out = sparsify(method.as_ref(), graph, &mut rng);
                 let observed = variance_of(&out.graph, &mut rng);
                 for (idx, report) in per_query_reports.iter_mut().enumerate() {
-                    report.push(name.clone(), alpha_pct, observed[idx].relative_to(&reference[idx]));
+                    report.push(
+                        name.clone(),
+                        alpha_pct,
+                        observed[idx].relative_to(&reference[idx]),
+                    );
                 }
             }
         }
@@ -647,8 +661,14 @@ mod tests {
             let emd = degree_flickr.value("EMD", alpha).unwrap();
             let ni = degree_flickr.value("NI", alpha).unwrap();
             let ss = degree_flickr.value("SS", alpha).unwrap();
-            assert!(gdb < ni && gdb < ss, "α={alpha}: GDB {gdb} vs NI {ni}, SS {ss}");
-            assert!(emd < ni && emd < ss, "α={alpha}: EMD {emd} vs NI {ni}, SS {ss}");
+            assert!(
+                gdb < ni && gdb < ss,
+                "α={alpha}: GDB {gdb} vs NI {ni}, SS {ss}"
+            );
+            assert!(
+                emd < ni && emd < ss,
+                "α={alpha}: EMD {emd} vs NI {ni}, SS {ss}"
+            );
         }
     }
 

@@ -176,8 +176,7 @@ impl Workload {
     /// experiments.
     pub fn flickr_reduced(&self, config: &ExperimentConfig) -> UncertainGraph {
         let mut rng = config.rng("flickr-reduced");
-        let (reduced, _) =
-            forest_fire_sample(&self.flickr, config.reduced_vertices, 0.7, &mut rng);
+        let (reduced, _) = forest_fire_sample(&self.flickr, config.reduced_vertices, 0.7, &mut rng);
         reduced
     }
 
@@ -197,16 +196,25 @@ impl Workload {
 /// `SS` baselines.
 pub fn representative_methods(alpha: f64) -> Vec<(String, Box<dyn Sparsifier>)> {
     vec![
-        ("NI".to_string(), Box::new(NagamochiIbaraki::new(alpha)) as Box<dyn Sparsifier>),
+        (
+            "NI".to_string(),
+            Box::new(NagamochiIbaraki::new(alpha)) as Box<dyn Sparsifier>,
+        ),
         ("SS".to_string(), Box::new(SpannerSparsifier::new(alpha))),
         (
             "GDB".to_string(),
-            Box::new(SparsifierSpec::gdb().alpha(alpha).backbone(BackboneKind::Random)),
+            Box::new(
+                SparsifierSpec::gdb()
+                    .alpha(alpha)
+                    .backbone(BackboneKind::Random),
+            ),
         ),
         (
             "EMD".to_string(),
             Box::new(
-                SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative),
+                SparsifierSpec::emd()
+                    .alpha(alpha)
+                    .discrepancy(DiscrepancyKind::Relative),
             ),
         ),
     ]
@@ -219,8 +227,14 @@ pub fn proposed_variants(alpha: f64) -> Vec<(String, Box<dyn Sparsifier>)> {
     let random = BackboneKind::Random;
     let spanning = BackboneKind::SpanningForests;
     vec![
-        ("LP".into(), Box::new(SparsifierSpec::lp().alpha(alpha).backbone(random)) as Box<dyn Sparsifier>),
-        ("GDB^A".into(), Box::new(SparsifierSpec::gdb().alpha(alpha).backbone(random))),
+        (
+            "LP".into(),
+            Box::new(SparsifierSpec::lp().alpha(alpha).backbone(random)) as Box<dyn Sparsifier>,
+        ),
+        (
+            "GDB^A".into(),
+            Box::new(SparsifierSpec::gdb().alpha(alpha).backbone(random)),
+        ),
         (
             "GDB^R".into(),
             Box::new(
@@ -232,13 +246,26 @@ pub fn proposed_variants(alpha: f64) -> Vec<(String, Box<dyn Sparsifier>)> {
         ),
         (
             "GDB^A_2".into(),
-            Box::new(SparsifierSpec::gdb().alpha(alpha).backbone(random).cut_rule(CutRule::Cuts(2))),
+            Box::new(
+                SparsifierSpec::gdb()
+                    .alpha(alpha)
+                    .backbone(random)
+                    .cut_rule(CutRule::Cuts(2)),
+            ),
         ),
         (
             "GDB^A_n".into(),
-            Box::new(SparsifierSpec::gdb().alpha(alpha).backbone(random).cut_rule(CutRule::AllCuts)),
+            Box::new(
+                SparsifierSpec::gdb()
+                    .alpha(alpha)
+                    .backbone(random)
+                    .cut_rule(CutRule::AllCuts),
+            ),
         ),
-        ("EMD^A".into(), Box::new(SparsifierSpec::emd().alpha(alpha).backbone(random))),
+        (
+            "EMD^A".into(),
+            Box::new(SparsifierSpec::emd().alpha(alpha).backbone(random)),
+        ),
         (
             "EMD^R".into(),
             Box::new(
@@ -248,8 +275,14 @@ pub fn proposed_variants(alpha: f64) -> Vec<(String, Box<dyn Sparsifier>)> {
                     .discrepancy(DiscrepancyKind::Relative),
             ),
         ),
-        ("LP-t".into(), Box::new(SparsifierSpec::lp().alpha(alpha).backbone(spanning))),
-        ("GDB^A-t".into(), Box::new(SparsifierSpec::gdb().alpha(alpha).backbone(spanning))),
+        (
+            "LP-t".into(),
+            Box::new(SparsifierSpec::lp().alpha(alpha).backbone(spanning)),
+        ),
+        (
+            "GDB^A-t".into(),
+            Box::new(SparsifierSpec::gdb().alpha(alpha).backbone(spanning)),
+        ),
         (
             "GDB^R-t".into(),
             Box::new(
@@ -259,7 +292,10 @@ pub fn proposed_variants(alpha: f64) -> Vec<(String, Box<dyn Sparsifier>)> {
                     .discrepancy(DiscrepancyKind::Relative),
             ),
         ),
-        ("EMD^A-t".into(), Box::new(SparsifierSpec::emd().alpha(alpha).backbone(spanning))),
+        (
+            "EMD^A-t".into(),
+            Box::new(SparsifierSpec::emd().alpha(alpha).backbone(spanning)),
+        ),
         (
             "EMD^R-t".into(),
             Box::new(
@@ -276,7 +312,10 @@ pub fn proposed_variants(alpha: f64) -> Vec<(String, Box<dyn Sparsifier>)> {
 pub fn print_reports(reports: &[ugs_metrics::ExperimentReport]) {
     for report in reports {
         println!("== {} — {}", report.id, report.description);
-        println!("   rows: method, columns: {}, values: {}", report.x_label, report.y_label);
+        println!(
+            "   rows: method, columns: {}, values: {}",
+            report.x_label, report.y_label
+        );
         println!("{}", report.to_table().render());
     }
 }

@@ -44,8 +44,15 @@ impl std::fmt::Display for ArgsError {
             ArgsError::MissingCommand => write!(f, "no command given; try `ugs help`"),
             ArgsError::MissingOption(name) => write!(f, "missing required option --{name}"),
             ArgsError::MissingPositional(name) => write!(f, "missing required argument <{name}>"),
-            ArgsError::InvalidValue { option, value, expected } => {
-                write!(f, "invalid value {value:?} for --{option}: expected {expected}")
+            ArgsError::InvalidValue {
+                option,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid value {value:?} for --{option}: expected {expected}"
+                )
             }
         }
     }
@@ -62,7 +69,10 @@ impl ParsedArgs {
     {
         let mut iter = raw.into_iter().map(Into::into).peekable();
         let command = iter.next().ok_or(ArgsError::MissingCommand)?;
-        let mut parsed = ParsedArgs { command, ..Default::default() };
+        let mut parsed = ParsedArgs {
+            command,
+            ..Default::default()
+        };
         while let Some(token) = iter.next() {
             if let Some(key) = token.strip_prefix("--") {
                 let value = match iter.peek() {
@@ -87,7 +97,10 @@ impl ParsedArgs {
 
     /// A string option with a default.
     pub fn option_or(&self, key: &str, default: &str) -> String {
-        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// A required string option.
@@ -166,17 +179,32 @@ mod tests {
 
     #[test]
     fn missing_command_and_arguments_are_reported() {
-        assert_eq!(ParsedArgs::parse(Vec::<String>::new()), Err(ArgsError::MissingCommand));
+        assert_eq!(
+            ParsedArgs::parse(Vec::<String>::new()),
+            Err(ArgsError::MissingCommand)
+        );
         let parsed = ParsedArgs::parse(["stats"]).unwrap();
-        assert!(matches!(parsed.positional(0, "input"), Err(ArgsError::MissingPositional(_))));
-        assert!(matches!(parsed.required("alpha"), Err(ArgsError::MissingOption(_))));
+        assert!(matches!(
+            parsed.positional(0, "input"),
+            Err(ArgsError::MissingPositional(_))
+        ));
+        assert!(matches!(
+            parsed.required("alpha"),
+            Err(ArgsError::MissingOption(_))
+        ));
     }
 
     #[test]
     fn numeric_options_validate_their_values() {
         let parsed = ParsedArgs::parse(["q", "--alpha", "zero", "--worlds", "-3"]).unwrap();
-        assert!(matches!(parsed.f64_or("alpha", 0.1), Err(ArgsError::InvalidValue { .. })));
-        assert!(matches!(parsed.usize_or("worlds", 5), Err(ArgsError::InvalidValue { .. })));
+        assert!(matches!(
+            parsed.f64_or("alpha", 0.1),
+            Err(ArgsError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            parsed.usize_or("worlds", 5),
+            Err(ArgsError::InvalidValue { .. })
+        ));
         assert_eq!(parsed.usize_or("missing", 7).unwrap(), 7);
         assert_eq!(parsed.u64_or("missing", 9).unwrap(), 9);
     }
@@ -202,7 +230,11 @@ mod tests {
             ArgsError::MissingCommand,
             ArgsError::MissingOption("alpha".into()),
             ArgsError::MissingPositional("input".into()),
-            ArgsError::InvalidValue { option: "alpha".into(), value: "x".into(), expected: "a number".into() },
+            ArgsError::InvalidValue {
+                option: "alpha".into(),
+                value: "x".into(),
+                expected: "a number".into(),
+            },
         ] {
             assert!(!err.to_string().is_empty());
         }

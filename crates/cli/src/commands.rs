@@ -79,9 +79,14 @@ COMMANDS:
 
     query      <graph.txt> --query pagerank|cc|sp|rl|connectivity|knn
                [--worlds N] [--pairs N] [--top K] [--source V] [--seed N]
-               Run a Monte-Carlo query and print a summary.
+               [--threads N] [--sequential] [--mode auto|skip|per-edge]
+               Run a Monte-Carlo query and print a summary.  Worlds are
+               evaluated on all cores by default (--threads 0 = auto);
+               --sequential forces the machine-independent single-thread
+               path and --mode overrides the world-sampling strategy.
 
     compare    <original.txt> <sparsified.txt> [--worlds N] [--pairs N] [--cuts N] [--seed N]
+               [--threads N] [--sequential] [--mode auto|skip|per-edge]
                Compare a sparsified graph against its original (degree/cut MAE,
                relative entropy, earth mover's distance of PageRank and reliability).
 
@@ -98,9 +103,11 @@ fn load(path: &str) -> Result<UncertainGraph, CliError> {
 pub fn generate(args: &ParsedArgs) -> Result<String, CliError> {
     let dataset = args.option_or("dataset", "flickr");
     let scale_name = args.option_or("scale", "tiny");
-    let scale = Scale::parse(&scale_name).ok_or_else(|| CliError::Message(format!(
-        "unknown scale {scale_name:?}; expected tiny|small|medium|paper"
-    )))?;
+    let scale = Scale::parse(&scale_name).ok_or_else(|| {
+        CliError::Message(format!(
+            "unknown scale {scale_name:?}; expected tiny|small|medium|paper"
+        ))
+    })?;
     let seed = args.u64_or("seed", 42)?;
     let output = args.required("output")?;
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -166,9 +173,17 @@ fn build_sparsifier(args: &ParsedArgs, alpha: f64) -> Result<Box<dyn Sparsifier>
     };
     let h = args.f64_or("h", 0.05)?;
     let k = args.usize_or("k", 1)?;
-    let cut_rule = if k <= 1 { CutRule::Degree } else { CutRule::Cuts(k) };
+    let cut_rule = if k <= 1 {
+        CutRule::Degree
+    } else {
+        CutRule::Cuts(k)
+    };
     let spec = |base: SparsifierSpec| {
-        base.alpha(alpha).discrepancy(discrepancy).backbone(backbone).entropy_h(h).cut_rule(cut_rule)
+        base.alpha(alpha)
+            .discrepancy(discrepancy)
+            .backbone(backbone)
+            .entropy_h(h)
+            .cut_rule(cut_rule)
     };
     Ok(match method.as_str() {
         "gdb" => Box::new(spec(SparsifierSpec::gdb())),
@@ -210,14 +225,40 @@ pub fn sparsify(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// Builds the Monte-Carlo configuration shared by `query` and `compare`:
+/// `--worlds`, `--threads` (0 = all cores), `--sequential` and `--mode`.
+fn monte_carlo_config(args: &ParsedArgs, default_worlds: usize) -> Result<MonteCarlo, CliError> {
+    let worlds = args.usize_or("worlds", default_worlds)?;
+    let threads = if args.flag("sequential") {
+        1
+    } else {
+        match args.usize_or("threads", 0)? {
+            0 => ugs_queries::mc::available_threads(),
+            n => n,
+        }
+    };
+    let method = match args.option_or("mode", "auto").as_str() {
+        "auto" => SampleMethod::Auto,
+        "skip" => SampleMethod::Skip,
+        "per-edge" | "peredge" => SampleMethod::PerEdge,
+        other => {
+            return Err(CliError::Message(format!(
+                "unknown sampling mode {other:?}; expected auto|skip|per-edge"
+            )))
+        }
+    };
+    Ok(MonteCarlo::worlds(worlds)
+        .with_threads(threads)
+        .with_method(method))
+}
+
 /// `ugs query`.
 pub fn query(args: &ParsedArgs) -> Result<String, CliError> {
     let path = args.positional(0, "graph.txt")?;
     let graph = load(path)?;
     let query = args.option_or("query", "pagerank");
-    let worlds = args.usize_or("worlds", 500)?;
     let seed = args.u64_or("seed", 42)?;
-    let mc = MonteCarlo::worlds(worlds);
+    let mc = monte_carlo_config(args, 500)?;
     let mut rng = SmallRng::seed_from_u64(seed);
     let top = args.usize_or("top", 10)?;
     match query.as_str() {
@@ -274,7 +315,11 @@ pub fn query(args: &ParsedArgs) -> Result<String, CliError> {
 
 fn format_top(label: &str, scores: &[f64], top: usize) -> String {
     let mut ranked: Vec<usize> = (0..scores.len()).collect();
-    ranked.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = format!("top {} vertices by {label}:\n", top.min(scores.len()));
     for &v in ranked.iter().take(top) {
         out.push_str(&format!("  vertex {:>6}  {:.6}\n", v, scores[v]));
@@ -294,18 +339,20 @@ pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
         )));
     }
     let seed = args.u64_or("seed", 42)?;
-    let worlds = args.usize_or("worlds", 200)?;
     let num_pairs = args.usize_or("pairs", 100)?;
     let num_cuts = args.usize_or("cuts", 500)?;
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mc = MonteCarlo::worlds(worlds);
+    let mc = monte_carlo_config(args, 200)?;
 
     let degree_mae =
         ugs_metrics::degree_discrepancy_mae(&original, &sparsified, MetricDiscrepancy::Absolute);
     let cut_mae = ugs_metrics::cut_discrepancy_mae(
         &original,
         &sparsified,
-        &CutSamplingConfig { num_cuts, max_cardinality: original.num_vertices() },
+        &CutSamplingConfig {
+            num_cuts,
+            max_cardinality: original.num_vertices(),
+        },
         &mut rng,
     );
     let rel_entropy = ugs_metrics::relative_entropy(&original, &sparsified);
@@ -337,7 +384,10 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "query" => query(args),
         "compare" => compare(args),
         "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(CliError::Message(format!("unknown command {other:?}\n\n{}", usage()))),
+        other => Err(CliError::Message(format!(
+            "unknown command {other:?}\n\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -377,7 +427,15 @@ mod tests {
     fn generate_then_stats_round_trip() {
         let out = temp_path("generated.txt").to_string_lossy().to_string();
         let args = ParsedArgs::parse([
-            "generate", "--dataset", "twitter", "--scale", "tiny", "--seed", "7", "--output", &out,
+            "generate",
+            "--dataset",
+            "twitter",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--output",
+            &out,
         ])
         .unwrap();
         let report = run(&args).unwrap();
@@ -406,8 +464,16 @@ mod tests {
         let input = write_toy_graph("sparsify-in.txt");
         let output = temp_path("sparsify-out.txt").to_string_lossy().to_string();
         let args = ParsedArgs::parse([
-            "sparsify", &input, "--alpha", "0.5", "--method", "emd", "--discrepancy", "relative",
-            "--output", &output,
+            "sparsify",
+            &input,
+            "--alpha",
+            "0.5",
+            "--method",
+            "emd",
+            "--discrepancy",
+            "relative",
+            "--output",
+            &output,
         ])
         .unwrap();
         let report = run(&args).unwrap();
@@ -424,7 +490,14 @@ mod tests {
         let input = write_toy_graph("methods.txt");
         for method in ["gdb", "emd", "lp", "ni", "ss"] {
             let args = ParsedArgs::parse([
-                "sparsify", &input, "--alpha", "0.5", "--method", method, "--backbone", "random",
+                "sparsify",
+                &input,
+                "--alpha",
+                "0.5",
+                "--method",
+                method,
+                "--backbone",
+                "random",
             ])
             .unwrap();
             let report = run(&args).unwrap();
@@ -458,20 +531,62 @@ mod tests {
     }
 
     #[test]
+    fn query_honours_engine_options() {
+        let input = write_toy_graph("query-engine.txt");
+        // same seed + sequential ⇒ identical reports, whatever the mode
+        let run_with = |extra: &[&str]| {
+            let mut argv = vec!["query", &input, "--query", "pagerank", "--worlds", "80"];
+            argv.extend_from_slice(extra);
+            run(&ParsedArgs::parse(argv).unwrap()).unwrap()
+        };
+        let sequential_a = run_with(&["--sequential"]);
+        let sequential_b = run_with(&["--sequential"]);
+        assert_eq!(sequential_a, sequential_b);
+        let skip = run_with(&["--sequential", "--mode", "skip"]);
+        let per_edge = run_with(&["--sequential", "--mode", "per-edge"]);
+        assert!(skip.contains("PageRank") && per_edge.contains("PageRank"));
+        let threaded = run_with(&["--threads", "2"]);
+        assert!(threaded.contains("PageRank"));
+        let bad = ParsedArgs::parse(["query", &input, "--mode", "psychic"]).unwrap();
+        assert!(run(&bad).is_err());
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
     fn compare_reports_all_metrics() {
         let input = write_toy_graph("compare-in.txt");
-        let sparse_path = temp_path("compare-sparse.txt").to_string_lossy().to_string();
+        let sparse_path = temp_path("compare-sparse.txt")
+            .to_string_lossy()
+            .to_string();
         let sparsify_args = ParsedArgs::parse([
-            "sparsify", &input, "--alpha", "0.5", "--output", &sparse_path,
+            "sparsify",
+            &input,
+            "--alpha",
+            "0.5",
+            "--output",
+            &sparse_path,
         ])
         .unwrap();
         run(&sparsify_args).unwrap();
         let args = ParsedArgs::parse([
-            "compare", &input, &sparse_path, "--worlds", "50", "--pairs", "5", "--cuts", "50",
+            "compare",
+            &input,
+            &sparse_path,
+            "--worlds",
+            "50",
+            "--pairs",
+            "5",
+            "--cuts",
+            "50",
         ])
         .unwrap();
         let report = run(&args).unwrap();
-        for needle in ["degree discrepancy", "cut discrepancy", "relative entropy", "D_em"] {
+        for needle in [
+            "degree discrepancy",
+            "cut discrepancy",
+            "relative entropy",
+            "D_em",
+        ] {
             assert!(report.contains(needle), "{report}");
         }
         std::fs::remove_file(&input).ok();

@@ -1,0 +1,278 @@
+//! A minimal, dependency-free, API-compatible subset of the `criterion`
+//! benchmark harness.
+//!
+//! The workspace builds fully offline, so `cargo bench` runs against this
+//! shim instead of the real criterion.  It implements the slice of the API
+//! the benches use — `criterion_group!` / `criterion_main!`, benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`
+//! and the `sample_size` / `measurement_time` / `warm_up_time` knobs — with a
+//! simple adaptive timing loop that reports the mean iteration time.
+//!
+//! Measurements are printed in a criterion-like one-line format:
+//!
+//! ```text
+//! group/name              time: [   12.345 µs]   (10 samples)
+//! ```
+//!
+//! [`Bencher::mean_time`] additionally exposes the measured mean to callers
+//! that want to persist results (the workspace's `mc_engine` bench records a
+//! JSON trajectory this way).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of a parameterised benchmark: `name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing state handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: u64,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: first for the warm-up window, then until
+    /// either the measurement window elapses or `sample_size` samples were
+    /// taken, and records the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            black_box(routine());
+            iterations += 1;
+            let elapsed = started.elapsed();
+            if iterations >= self.sample_size && elapsed >= self.measurement_time {
+                self.mean = elapsed / iterations as u32;
+                break;
+            }
+            if elapsed >= 2 * self.measurement_time {
+                self.mean = elapsed / iterations as u32;
+                break;
+            }
+        }
+    }
+
+    /// Mean time of one iteration, available after [`Bencher::iter`] ran.
+    pub fn mean_time(&self) -> Duration {
+        self.mean
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos() as f64;
+    if nanos < 1_000.0 {
+        format!("{nanos:9.3} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:9.3} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:9.3} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:9.3} s ", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Measurement markers (API compatibility with criterion's
+/// `measurement::WallTime`; the shim always measures wall time).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Configuration shared by a group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c, M = measurement::WallTime> {
+    name: String,
+    sample_size: u64,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    criterion: &'c mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Target measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!(
+            "{:<44} time: [{}]   ({} samples)",
+            format!("{}/{}", self.name, id),
+            format_duration(bencher.mean_time()),
+            self.sample_size
+        );
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.name, id), bencher.mean_time()));
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// All `(name, mean time)` pairs measured so far, in execution order.
+    pub fn measurements(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(5)
+                .measurement_time(Duration::from_millis(5))
+                .warm_up_time(Duration::from_millis(1));
+            group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        assert_eq!(c.measurements().len(), 2);
+        assert!(c.measurements()[0].1 > Duration::ZERO);
+        assert_eq!(c.measurements()[1].0, "g/param/3");
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("x", 7).to_string(), "x/7");
+    }
+
+    #[test]
+    fn duration_formatting_covers_scales() {
+        assert!(format_duration(Duration::from_nanos(5)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(5)).contains('s'));
+    }
+}

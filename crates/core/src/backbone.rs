@@ -21,13 +21,14 @@ use crate::error::SparsifyError;
 use graph_algos::spanning::maximum_spanning_forest;
 
 /// Which backbone construction to use.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum BackboneKind {
     /// Monte-Carlo sampling of edges by probability (no connectivity
     /// guarantee).  The paper's variants without the `-t` suffix.
     Random,
     /// Algorithm 1: iterated maximum spanning forests followed by random
     /// sampling.  The paper's `-t` variants.
+    #[default]
     SpanningForests,
     /// Local Degree (Lindner et al. [24], mentioned in Section 3.3 as an
     /// alternative initialisation): every vertex keeps the edges towards its
@@ -35,12 +36,6 @@ pub enum BackboneKind {
     /// `α`; the selection is then adjusted to exactly `α|E|` edges by
     /// probability-proportional sampling.  No connectivity guarantee.
     LocalDegree,
-}
-
-impl Default for BackboneKind {
-    fn default() -> Self {
-        BackboneKind::SpanningForests
-    }
 }
 
 /// Tuning knobs of Algorithm 1.
@@ -69,7 +64,10 @@ impl Default for BackboneConfig {
 impl BackboneConfig {
     /// A configuration using the random (Monte-Carlo) backbone.
     pub fn random() -> Self {
-        BackboneConfig { kind: BackboneKind::Random, ..Default::default() }
+        BackboneConfig {
+            kind: BackboneKind::Random,
+            ..Default::default()
+        }
     }
 
     /// A configuration using the spanning-forest backbone of Algorithm 1.
@@ -84,12 +82,15 @@ pub fn target_edge_count(g: &UncertainGraph, alpha: f64) -> Result<usize, Sparsi
     if g.num_edges() == 0 {
         return Err(SparsifyError::EmptyGraph);
     }
-    if !(alpha > 0.0 && alpha < 1.0) || !alpha.is_finite() {
+    if !(alpha > 0.0 && alpha < 1.0 && alpha.is_finite()) {
         return Err(SparsifyError::InvalidAlpha { alpha });
     }
     let target = (alpha * g.num_edges() as f64).round() as usize;
     if target == 0 {
-        return Err(SparsifyError::NoEdgesSelected { alpha, num_edges: g.num_edges() });
+        return Err(SparsifyError::NoEdgesSelected {
+            alpha,
+            num_edges: g.num_edges(),
+        });
     }
     Ok(target.min(g.num_edges()))
 }
@@ -135,8 +136,10 @@ fn local_degree_backbone<R: Rng + ?Sized>(
     // Score of a nomination: the expected degree of the hub endpoint.
     let mut nominated: Vec<(f64, EdgeId)> = Vec::new();
     for u in g.vertices() {
-        let mut incident: Vec<(f64, EdgeId)> =
-            g.neighbors(u).map(|(v, e, _)| (expected_degrees[v], e)).collect();
+        let mut incident: Vec<(f64, EdgeId)> = g
+            .neighbors(u)
+            .map(|(v, e, _)| (expected_degrees[v], e))
+            .collect();
         incident.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let quota = ((alpha * incident.len() as f64).ceil() as usize).min(incident.len());
         for &(score, e) in incident.iter().take(quota) {
@@ -149,7 +152,11 @@ fn local_degree_backbone<R: Rng + ?Sized>(
     let mut backbone: Vec<EdgeId>;
     if nominated.len() > target {
         // Keep the nominations towards the highest-degree hubs.
-        nominated.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+        nominated.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
         backbone = nominated.into_iter().take(target).map(|(_, e)| e).collect();
     } else {
         backbone = nominated.into_iter().map(|(_, e)| e).collect();
@@ -211,8 +218,7 @@ fn spanning_backbone<R: Rng + ?Sized>(
     // Spanning phase: keep extracting maximum spanning forests of the
     // remaining edges until α'|E| edges are gathered or the forest budget is
     // exhausted.
-    let spanning_target =
-        ((config.spanning_fraction * target as f64).floor() as usize).min(target);
+    let spanning_target = ((config.spanning_fraction * target as f64).floor() as usize).min(target);
     let mut remaining: Vec<EdgeId> = (0..m).collect();
     for _ in 0..config.max_spanning_forests {
         if backbone.len() >= spanning_target || remaining.is_empty() {
@@ -331,13 +337,17 @@ mod tests {
         let mut b = UncertainGraphBuilder::new(n);
         // ring for connectivity
         for u in 0..n {
-            b.add_edge(u, (u + 1) % n, 0.2 + 0.6 * rng.gen::<f64>()).unwrap();
+            b.add_edge(u, (u + 1) % n, 0.2 + 0.6 * rng.gen::<f64>())
+                .unwrap();
         }
         let mut added = n;
         while added < 60 {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
-            if u != v && b.add_edge_if_absent(u, v, 0.05 + 0.9 * rng.gen::<f64>()).unwrap() {
+            if u != v
+                && b.add_edge_if_absent(u, v, 0.05 + 0.9 * rng.gen::<f64>())
+                    .unwrap()
+            {
                 added += 1;
             }
         }
@@ -348,15 +358,27 @@ mod tests {
     fn target_edge_count_validates_inputs() {
         let g = test_graph(1);
         assert_eq!(target_edge_count(&g, 0.5).unwrap(), 30);
-        assert!(matches!(target_edge_count(&g, 0.0), Err(SparsifyError::InvalidAlpha { .. })));
-        assert!(matches!(target_edge_count(&g, 1.0), Err(SparsifyError::InvalidAlpha { .. })));
-        assert!(matches!(target_edge_count(&g, -0.2), Err(SparsifyError::InvalidAlpha { .. })));
+        assert!(matches!(
+            target_edge_count(&g, 0.0),
+            Err(SparsifyError::InvalidAlpha { .. })
+        ));
+        assert!(matches!(
+            target_edge_count(&g, 1.0),
+            Err(SparsifyError::InvalidAlpha { .. })
+        ));
+        assert!(matches!(
+            target_edge_count(&g, -0.2),
+            Err(SparsifyError::InvalidAlpha { .. })
+        ));
         assert!(matches!(
             target_edge_count(&g, f64::NAN),
             Err(SparsifyError::InvalidAlpha { .. })
         ));
         let empty = UncertainGraph::from_edges(3, []).unwrap();
-        assert!(matches!(target_edge_count(&empty, 0.5), Err(SparsifyError::EmptyGraph)));
+        assert!(matches!(
+            target_edge_count(&empty, 0.5),
+            Err(SparsifyError::EmptyGraph)
+        ));
         let tiny = UncertainGraph::from_edges(3, [(0, 1, 0.5)]).unwrap();
         assert!(matches!(
             target_edge_count(&tiny, 0.01),
@@ -395,7 +417,14 @@ mod tests {
         // graphs where Bernoulli sweeps alone would stall.
         let g = UncertainGraph::from_edges(
             6,
-            [(0, 1, 1e-6), (1, 2, 1e-6), (2, 3, 1e-6), (3, 4, 1e-6), (4, 5, 1e-6), (5, 0, 1e-6)],
+            [
+                (0, 1, 1e-6),
+                (1, 2, 1e-6),
+                (2, 3, 1e-6),
+                (3, 4, 1e-6),
+                (4, 5, 1e-6),
+                (5, 0, 1e-6),
+            ],
         )
         .unwrap();
         let mut rng = SmallRng::seed_from_u64(5);
@@ -409,7 +438,14 @@ mod tests {
         // heaviest edges.
         let g = UncertainGraph::from_edges(
             5,
-            [(0, 1, 0.9), (0, 2, 0.9), (0, 3, 0.9), (0, 4, 0.9), (1, 2, 0.01), (3, 4, 0.01)],
+            [
+                (0, 1, 0.9),
+                (0, 2, 0.9),
+                (0, 3, 0.9),
+                (0, 4, 0.9),
+                (1, 2, 0.01),
+                (3, 4, 0.01),
+            ],
         )
         .unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
@@ -418,7 +454,10 @@ mod tests {
         // all four 0.9 star edges outrank the chords in the spanning phase +
         // weighted fill
         let star_edges = bb.iter().filter(|&&e| g.edge_probability(e) > 0.5).count();
-        assert!(star_edges >= 2, "expected the spanning phase to pick heavy edges");
+        assert!(
+            star_edges >= 2,
+            "expected the spanning phase to pick heavy edges"
+        );
         assert!(edges_span_connected(&g, &bb));
     }
 
@@ -426,20 +465,36 @@ mod tests {
     fn invalid_spanning_fraction_is_rejected() {
         let g = test_graph(4);
         let mut rng = SmallRng::seed_from_u64(0);
-        let bad = BackboneConfig { spanning_fraction: 1.5, ..Default::default() };
+        let bad = BackboneConfig {
+            spanning_fraction: 1.5,
+            ..Default::default()
+        };
         assert!(matches!(
             build_backbone(&g, 0.5, &bad, &mut rng),
-            Err(SparsifyError::InvalidParameter { name: "spanning_fraction", .. })
+            Err(SparsifyError::InvalidParameter {
+                name: "spanning_fraction",
+                ..
+            })
         ));
     }
 
     #[test]
     fn backbones_are_reproducible_with_the_same_seed() {
         let g = test_graph(5);
-        let a = build_backbone(&g, 0.4, &BackboneConfig::spanning(), &mut SmallRng::seed_from_u64(9))
-            .unwrap();
-        let b = build_backbone(&g, 0.4, &BackboneConfig::spanning(), &mut SmallRng::seed_from_u64(9))
-            .unwrap();
+        let a = build_backbone(
+            &g,
+            0.4,
+            &BackboneConfig::spanning(),
+            &mut SmallRng::seed_from_u64(9),
+        )
+        .unwrap();
+        let b = build_backbone(
+            &g,
+            0.4,
+            &BackboneConfig::spanning(),
+            &mut SmallRng::seed_from_u64(9),
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 
@@ -457,7 +512,10 @@ mod tests {
         }
         let g = b.build();
         let mut rng = SmallRng::seed_from_u64(4);
-        let config = BackboneConfig { kind: BackboneKind::LocalDegree, ..Default::default() };
+        let config = BackboneConfig {
+            kind: BackboneKind::LocalDegree,
+            ..Default::default()
+        };
         let bb = build_backbone(&g, 0.5, &config, &mut rng).unwrap();
         assert_eq!(bb.len(), target_edge_count(&g, 0.5).unwrap());
         let hub_edges = bb
@@ -481,7 +539,10 @@ mod tests {
     fn local_degree_backbone_has_exact_size_on_dense_graphs() {
         let g = test_graph(8);
         let mut rng = SmallRng::seed_from_u64(2);
-        let config = BackboneConfig { kind: BackboneKind::LocalDegree, ..Default::default() };
+        let config = BackboneConfig {
+            kind: BackboneKind::LocalDegree,
+            ..Default::default()
+        };
         for alpha in [0.1, 0.3, 0.7] {
             let bb = build_backbone(&g, alpha, &config, &mut rng).unwrap();
             assert_eq!(bb.len(), target_edge_count(&g, alpha).unwrap());

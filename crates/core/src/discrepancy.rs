@@ -63,7 +63,11 @@ impl DegreeTracker {
     pub fn new(g: &UncertainGraph, kind: DiscrepancyKind) -> Self {
         let original = g.expected_degrees();
         let delta = original.clone();
-        DegreeTracker { original, delta, kind }
+        DegreeTracker {
+            original,
+            delta,
+            kind,
+        }
     }
 
     /// The discrepancy kind this tracker scores.
@@ -124,7 +128,9 @@ impl DegreeTracker {
     /// The objective `D1 = Σ_u δ(u)²` (Section 4.2), using the tracker's
     /// discrepancy kind.
     pub fn objective(&self) -> f64 {
-        (0..self.original.len()).map(|u| self.delta(u).powi(2)).sum()
+        (0..self.original.len())
+            .map(|u| self.delta(u).powi(2))
+            .sum()
     }
 
     /// Sum of absolute values `Δ1 = Σ_u |δ(u)|` (the quantity Problem 1
@@ -178,8 +184,17 @@ mod tests {
     use uncertain_graph::UncertainGraph;
 
     fn toy() -> UncertainGraph {
-        UncertainGraph::from_edges(4, [(0, 1, 0.4), (1, 2, 0.2), (2, 3, 0.4), (0, 3, 0.2), (0, 2, 0.1)])
-            .unwrap()
+        UncertainGraph::from_edges(
+            4,
+            [
+                (0, 1, 0.4),
+                (1, 2, 0.2),
+                (2, 3, 0.4),
+                (0, 3, 0.2),
+                (0, 2, 0.1),
+            ],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -220,8 +235,8 @@ mod tests {
         assert!((t.delta_abs(3) - before[3]).abs() < 1e-12);
         // now undo it
         t.apply_edge_change(0, 1, 0.4, 0.0);
-        for u in 0..4 {
-            assert!((t.delta_abs(u) - before[u]).abs() < 1e-12);
+        for (u, &b) in before.iter().enumerate() {
+            assert!((t.delta_abs(u) - b).abs() < 1e-12);
         }
     }
 

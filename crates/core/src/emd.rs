@@ -123,10 +123,12 @@ pub fn expectation_maximization_sparsify(
     }
     for &e in backbone {
         if e >= g.num_edges() {
-            return Err(SparsifyError::Graph(uncertain_graph::GraphError::EdgeOutOfRange {
-                edge: e,
-                num_edges: g.num_edges(),
-            }));
+            return Err(SparsifyError::Graph(
+                uncertain_graph::GraphError::EdgeOutOfRange {
+                    edge: e,
+                    num_edges: g.num_edges(),
+                },
+            ));
         }
     }
 
@@ -171,7 +173,9 @@ pub fn expectation_maximization_sparsify(
                 let gain = insertion_gain(state, candidate, p);
                 let better = match best {
                     None => true,
-                    Some((be, _, bg)) => gain > bg + 1e-15 || (gain >= bg - 1e-15 && candidate < be),
+                    Some((be, _, bg)) => {
+                        gain > bg + 1e-15 || (gain >= bg - 1e-15 && candidate < be)
+                    }
                 };
                 if better {
                     best = Some((candidate, p, gain));
@@ -182,8 +186,7 @@ pub fn expectation_maximization_sparsify(
             }
             consider(&state, e);
 
-            let (chosen, prob, _) =
-                best.expect("at least the removed edge itself is a candidate");
+            let (chosen, prob, _) = best.expect("at least the removed edge itself is a candidate");
             state.insert_edge(chosen, prob);
             let (cu, cv) = g.edge_endpoints(chosen);
             heap.update(cu, state.tracker.delta(cu).abs());
@@ -212,7 +215,10 @@ pub fn expectation_maximization_sparsify(
         }
     }
 
-    let probabilities = current_backbone.iter().map(|&e| (e, state.prob[e])).collect();
+    let probabilities = current_backbone
+        .iter()
+        .map(|&e| (e, state.prob[e]))
+        .collect();
     Ok(EmdResult {
         probabilities,
         iterations,
@@ -250,7 +256,13 @@ mod tests {
     fn figure2_graph() -> (UncertainGraph, Vec<EdgeId>) {
         let g = UncertainGraph::from_edges(
             4,
-            [(0, 1, 0.4), (0, 2, 0.2), (0, 3, 0.2), (1, 3, 0.2), (2, 3, 0.1)],
+            [
+                (0, 1, 0.4),
+                (0, 2, 0.2),
+                (0, 3, 0.2),
+                (1, 3, 0.2),
+                (2, 3, 0.1),
+            ],
         )
         .unwrap();
         (g, vec![2, 3, 4])
@@ -260,13 +272,17 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut b = UncertainGraphBuilder::new(n);
         for u in 0..n {
-            b.add_edge(u, (u + 1) % n, 0.1 + 0.8 * rng.gen::<f64>()).unwrap();
+            b.add_edge(u, (u + 1) % n, 0.1 + 0.8 * rng.gen::<f64>())
+                .unwrap();
         }
         let mut added = n;
         while added < m {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
-            if u != v && b.add_edge_if_absent(u, v, 0.05 + 0.9 * rng.gen::<f64>()).unwrap() {
+            if u != v
+                && b.add_edge_if_absent(u, v, 0.05 + 0.9 * rng.gen::<f64>())
+                    .unwrap()
+            {
                 added += 1;
             }
         }
@@ -278,12 +294,19 @@ mod tests {
         let g = random_graph(1, 30, 120);
         let mut rng = SmallRng::seed_from_u64(5);
         let backbone = build_backbone(&g, 0.3, &BackboneConfig::spanning(), &mut rng).unwrap();
-        let config = EmdConfig { entropy_h: 1.0, ..Default::default() };
+        let config = EmdConfig {
+            entropy_h: 1.0,
+            ..Default::default()
+        };
         let result = expectation_maximization_sparsify(&g, &backbone, &config).unwrap();
         assert_eq!(result.probabilities.len(), backbone.len());
         let unique: std::collections::HashSet<_> =
             result.probabilities.iter().map(|&(e, _)| e).collect();
-        assert_eq!(unique.len(), backbone.len(), "duplicate edges in the result");
+        assert_eq!(
+            unique.len(),
+            backbone.len(),
+            "duplicate edges in the result"
+        );
         for &(e, p) in &result.probabilities {
             assert!(e < g.num_edges());
             assert!((0.0..=1.0).contains(&p), "p = {p}");
@@ -298,17 +321,27 @@ mod tests {
         let emd = expectation_maximization_sparsify(
             &g,
             &backbone,
-            &EmdConfig { entropy_h: 1.0, ..Default::default() },
+            &EmdConfig {
+                entropy_h: 1.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         let gdb = gradient_descent_assign(
             &g,
             &backbone,
-            &GdbConfig { entropy_h: 1.0, ..Default::default() },
+            &GdbConfig {
+                entropy_h: 1.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(emd.final_objective() <= gdb.final_objective() + 1e-9);
-        assert!(emd.final_objective() < 0.1, "EMD objective {}", emd.final_objective());
+        assert!(
+            emd.final_objective() < 0.1,
+            "EMD objective {}",
+            emd.final_objective()
+        );
         assert!(emd.swaps >= 1, "expected at least one backbone swap");
     }
 
@@ -317,7 +350,11 @@ mod tests {
         let g = random_graph(2, 25, 90);
         let mut rng = SmallRng::seed_from_u64(3);
         let backbone = build_backbone(&g, 0.25, &BackboneConfig::random(), &mut rng).unwrap();
-        let config = EmdConfig { entropy_h: 1.0, max_iterations: 10, ..Default::default() };
+        let config = EmdConfig {
+            entropy_h: 1.0,
+            max_iterations: 10,
+            ..Default::default()
+        };
         let result = expectation_maximization_sparsify(&g, &backbone, &config).unwrap();
         for w in result.objective_trace.windows(2) {
             assert!(w[1] <= w[0] + 1e-6, "trace {:?}", result.objective_trace);
@@ -332,8 +369,14 @@ mod tests {
             let g = random_graph(seed + 10, 20, 70);
             let mut rng = SmallRng::seed_from_u64(seed);
             let backbone = build_backbone(&g, 0.3, &BackboneConfig::random(), &mut rng).unwrap();
-            let gdb_cfg = GdbConfig { entropy_h: 1.0, ..Default::default() };
-            let emd_cfg = EmdConfig { entropy_h: 1.0, ..Default::default() };
+            let gdb_cfg = GdbConfig {
+                entropy_h: 1.0,
+                ..Default::default()
+            };
+            let emd_cfg = EmdConfig {
+                entropy_h: 1.0,
+                ..Default::default()
+            };
             let gdb = gradient_descent_assign(&g, &backbone, &gdb_cfg).unwrap();
             let emd = expectation_maximization_sparsify(&g, &backbone, &emd_cfg).unwrap();
             assert!(
@@ -375,25 +418,43 @@ mod tests {
             expectation_maximization_sparsify(
                 &g,
                 &backbone,
-                &EmdConfig { entropy_h: 2.0, ..Default::default() }
+                &EmdConfig {
+                    entropy_h: 2.0,
+                    ..Default::default()
+                }
             ),
-            Err(SparsifyError::InvalidParameter { name: "entropy_h", .. })
+            Err(SparsifyError::InvalidParameter {
+                name: "entropy_h",
+                ..
+            })
         ));
         assert!(matches!(
             expectation_maximization_sparsify(
                 &g,
                 &backbone,
-                &EmdConfig { tolerance: f64::NAN, ..Default::default() }
+                &EmdConfig {
+                    tolerance: f64::NAN,
+                    ..Default::default()
+                }
             ),
-            Err(SparsifyError::InvalidParameter { name: "tolerance", .. })
+            Err(SparsifyError::InvalidParameter {
+                name: "tolerance",
+                ..
+            })
         ));
         assert!(matches!(
             expectation_maximization_sparsify(
                 &g,
                 &backbone,
-                &EmdConfig { max_iterations: 0, ..Default::default() }
+                &EmdConfig {
+                    max_iterations: 0,
+                    ..Default::default()
+                }
             ),
-            Err(SparsifyError::InvalidParameter { name: "max_iterations", .. })
+            Err(SparsifyError::InvalidParameter {
+                name: "max_iterations",
+                ..
+            })
         ));
         assert!(matches!(
             expectation_maximization_sparsify(&g, &[], &EmdConfig::default()),
@@ -417,6 +478,10 @@ mod tests {
         let mut after_state = AssignmentState::new(&g, &backbone, DiscrepancyKind::Absolute);
         after_state.insert_edge(0, p);
         let after = after_state.tracker.objective();
-        assert!((before - after - gain).abs() < 1e-12, "gain {gain} vs {}", before - after);
+        assert!(
+            (before - after - gain).abs() < 1e-12,
+            "gain {gain} vs {}",
+            before - after
+        );
     }
 }

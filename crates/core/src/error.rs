@@ -70,11 +70,23 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let cases: Vec<(SparsifyError, &str)> = vec![
-            (SparsifyError::InvalidAlpha { alpha: 1.5 }, "must be in (0, 1)"),
-            (SparsifyError::NoEdgesSelected { alpha: 0.001, num_edges: 10 }, "zero edges"),
+            (
+                SparsifyError::InvalidAlpha { alpha: 1.5 },
+                "must be in (0, 1)",
+            ),
+            (
+                SparsifyError::NoEdgesSelected {
+                    alpha: 0.001,
+                    num_edges: 10,
+                },
+                "zero edges",
+            ),
             (SparsifyError::EmptyGraph, "no edges"),
             (
-                SparsifyError::InvalidParameter { name: "h", message: "must be in [0,1]".into() },
+                SparsifyError::InvalidParameter {
+                    name: "h",
+                    message: "must be in [0,1]".into(),
+                },
                 "invalid parameter h",
             ),
             (SparsifyError::Lp("iteration limit".into()), "LP solver"),

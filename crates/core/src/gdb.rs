@@ -16,10 +16,11 @@ use crate::error::SparsifyError;
 use crate::kcut::CutRuleCoefficients;
 
 /// Which objective the gradient descent minimises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CutRule {
     /// Preserve expected vertex degrees (`k = 1`, Equation 9).  Supports both
     /// absolute and relative discrepancies through the `π` weights.
+    #[default]
     Degree,
     /// Preserve expected cut sizes for all cardinalities up to `k`
     /// (Equation 13/14).  Defined on the absolute discrepancy.
@@ -28,12 +29,6 @@ pub enum CutRule {
     /// probability mass over the remaining edges.  Equivalent to random
     /// probability reassignment; included as the `GDB^A_n` baseline variant.
     AllCuts,
-}
-
-impl Default for CutRule {
-    fn default() -> Self {
-        CutRule::Degree
-    }
 }
 
 /// Configuration of the `GDB` probability-assignment loop.
@@ -136,7 +131,11 @@ pub(crate) struct AssignmentState<'g> {
 
 impl<'g> AssignmentState<'g> {
     /// Builds the state for `backbone` with the original probabilities.
-    pub(crate) fn new(graph: &'g UncertainGraph, backbone: &[EdgeId], kind: DiscrepancyKind) -> Self {
+    pub(crate) fn new(
+        graph: &'g UncertainGraph,
+        backbone: &[EdgeId],
+        kind: DiscrepancyKind,
+    ) -> Self {
         let mut state = AssignmentState {
             graph,
             prob: vec![0.0; graph.num_edges()],
@@ -292,10 +291,12 @@ pub fn gradient_descent_assign(
     }
     for &e in backbone {
         if e >= g.num_edges() {
-            return Err(SparsifyError::Graph(uncertain_graph::GraphError::EdgeOutOfRange {
-                edge: e,
-                num_edges: g.num_edges(),
-            }));
+            return Err(SparsifyError::Graph(
+                uncertain_graph::GraphError::EdgeOutOfRange {
+                    edge: e,
+                    num_edges: g.num_edges(),
+                },
+            ));
         }
     }
 
@@ -310,8 +311,13 @@ pub fn gradient_descent_assign(
     for _ in 0..config.max_iterations {
         let before = state.tracker.objective();
         for &e in backbone {
-            let new_p =
-                damped_update(&state, coefficients.as_ref(), config.cut_rule, config.entropy_h, e);
+            let new_p = damped_update(
+                &state,
+                coefficients.as_ref(),
+                config.cut_rule,
+                config.entropy_h,
+                e,
+            );
             state.set_probability(e, new_p);
         }
         let after = state.tracker.objective();
@@ -323,7 +329,12 @@ pub fn gradient_descent_assign(
     }
 
     let probabilities = backbone.iter().map(|&e| (e, state.prob[e])).collect();
-    Ok(GdbResult { probabilities, iterations, objective_trace: trace, entropy: state.entropy() })
+    Ok(GdbResult {
+        probabilities,
+        iterations,
+        objective_trace: trace,
+        entropy: state.entropy(),
+    })
 }
 
 #[cfg(test)]
@@ -358,10 +369,17 @@ mod tests {
     #[test]
     fn objective_never_increases_and_entropy_drops_with_h1() {
         let (g, backbone) = figure2_graph();
-        let config = GdbConfig { entropy_h: 1.0, ..Default::default() };
+        let config = GdbConfig {
+            entropy_h: 1.0,
+            ..Default::default()
+        };
         let result = gradient_descent_assign(&g, &backbone, &config).unwrap();
         for w in result.objective_trace.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "objective increased: {:?}", result.objective_trace);
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "objective increased: {:?}",
+                result.objective_trace
+            );
         }
         // The paper reports the objective improving from 0.56 to 0.36 on this
         // example (with h = 1); coordinate descent converges to the exact
@@ -381,7 +399,10 @@ mod tests {
     fn probabilities_stay_in_unit_interval() {
         let (g, backbone) = figure2_graph();
         for h in [0.0, 0.05, 0.5, 1.0] {
-            let config = GdbConfig { entropy_h: h, ..Default::default() };
+            let config = GdbConfig {
+                entropy_h: h,
+                ..Default::default()
+            };
             let result = gradient_descent_assign(&g, &backbone, &config).unwrap();
             for &(_, p) in &result.probabilities {
                 assert!((0.0..=1.0).contains(&p), "h={h}, p={p}");
@@ -392,7 +413,10 @@ mod tests {
     #[test]
     fn h_zero_never_increases_edge_entropy() {
         let (g, backbone) = figure2_graph();
-        let config = GdbConfig { entropy_h: 0.0, ..Default::default() };
+        let config = GdbConfig {
+            entropy_h: 0.0,
+            ..Default::default()
+        };
         let result = gradient_descent_assign(&g, &backbone, &config).unwrap();
         for &(e, p) in &result.probabilities {
             let original = g.edge_probability(e);
@@ -406,19 +430,41 @@ mod tests {
     #[test]
     fn h_one_yields_lower_objective_than_h_zero() {
         let (g, backbone) = figure2_graph();
-        let zero = gradient_descent_assign(&g, &backbone, &GdbConfig { entropy_h: 0.0, ..Default::default() })
-            .unwrap();
-        let one = gradient_descent_assign(&g, &backbone, &GdbConfig { entropy_h: 1.0, ..Default::default() })
-            .unwrap();
+        let zero = gradient_descent_assign(
+            &g,
+            &backbone,
+            &GdbConfig {
+                entropy_h: 0.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let one = gradient_descent_assign(
+            &g,
+            &backbone,
+            &GdbConfig {
+                entropy_h: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(one.final_objective() <= zero.final_objective() + 1e-12);
         // with h = 0 every per-edge move must keep that edge's entropy from
         // rising, so the total assignment entropy cannot exceed the entropy
         // the same edges had in the original graph.
         let h0_entropy = assignment_entropy(
-            &zero.probabilities.iter().map(|&(_, p)| p).collect::<Vec<_>>(),
+            &zero
+                .probabilities
+                .iter()
+                .map(|&(_, p)| p)
+                .collect::<Vec<_>>(),
         );
         let backbone_original_entropy = assignment_entropy(
-            &zero.probabilities.iter().map(|&(e, _)| g.edge_probability(e)).collect::<Vec<_>>(),
+            &zero
+                .probabilities
+                .iter()
+                .map(|&(e, _)| g.edge_probability(e))
+                .collect::<Vec<_>>(),
         );
         assert!(h0_entropy <= backbone_original_entropy + 1e-9);
     }
@@ -449,7 +495,11 @@ mod tests {
     #[test]
     fn k2_rule_improves_cut_discrepancy_over_the_raw_backbone() {
         let (g, backbone) = figure2_graph();
-        let config = GdbConfig { cut_rule: CutRule::Cuts(2), entropy_h: 1.0, ..Default::default() };
+        let config = GdbConfig {
+            cut_rule: CutRule::Cuts(2),
+            entropy_h: 1.0,
+            ..Default::default()
+        };
         let result = gradient_descent_assign(&g, &backbone, &config).unwrap();
         for &(_, p) in &result.probabilities {
             assert!((0.0..=1.0).contains(&p));
@@ -489,9 +539,17 @@ mod tests {
             result.probabilities.iter().copied().collect();
         let backbone_set: std::collections::HashSet<usize> = backbone.iter().copied().collect();
         let tuned_d2 = d2(&|e| tuned.get(&e).copied().unwrap_or(0.0));
-        let raw_d2 =
-            d2(&|e| if backbone_set.contains(&e) { g.edge_probability(e) } else { 0.0 });
-        assert!(tuned_d2 <= raw_d2 + 1e-9, "tuned {tuned_d2} vs raw {raw_d2}");
+        let raw_d2 = d2(&|e| {
+            if backbone_set.contains(&e) {
+                g.edge_probability(e)
+            } else {
+                0.0
+            }
+        });
+        assert!(
+            tuned_d2 <= raw_d2 + 1e-9,
+            "tuned {tuned_d2} vs raw {raw_d2}"
+        );
     }
 
     #[test]
@@ -499,7 +557,11 @@ mod tests {
         // GDB^A_n redistributes the whole missing mass onto every edge, so on
         // a low-probability graph every kept edge is driven towards 1.
         let (g, backbone) = figure2_graph();
-        let config = GdbConfig { cut_rule: CutRule::AllCuts, entropy_h: 1.0, ..Default::default() };
+        let config = GdbConfig {
+            cut_rule: CutRule::AllCuts,
+            entropy_h: 1.0,
+            ..Default::default()
+        };
         let result = gradient_descent_assign(&g, &backbone, &config).unwrap();
         // missing mass is large (≈ 0.8) so each edge should exceed its
         // original probability.
@@ -524,25 +586,49 @@ mod tests {
     #[test]
     fn invalid_configurations_are_rejected() {
         let (g, backbone) = figure2_graph();
-        let bad_h = GdbConfig { entropy_h: 1.5, ..Default::default() };
+        let bad_h = GdbConfig {
+            entropy_h: 1.5,
+            ..Default::default()
+        };
         assert!(matches!(
             gradient_descent_assign(&g, &backbone, &bad_h),
-            Err(SparsifyError::InvalidParameter { name: "entropy_h", .. })
+            Err(SparsifyError::InvalidParameter {
+                name: "entropy_h",
+                ..
+            })
         ));
-        let bad_tol = GdbConfig { tolerance: -1.0, ..Default::default() };
+        let bad_tol = GdbConfig {
+            tolerance: -1.0,
+            ..Default::default()
+        };
         assert!(matches!(
             gradient_descent_assign(&g, &backbone, &bad_tol),
-            Err(SparsifyError::InvalidParameter { name: "tolerance", .. })
+            Err(SparsifyError::InvalidParameter {
+                name: "tolerance",
+                ..
+            })
         ));
-        let bad_iter = GdbConfig { max_iterations: 0, ..Default::default() };
+        let bad_iter = GdbConfig {
+            max_iterations: 0,
+            ..Default::default()
+        };
         assert!(matches!(
             gradient_descent_assign(&g, &backbone, &bad_iter),
-            Err(SparsifyError::InvalidParameter { name: "max_iterations", .. })
+            Err(SparsifyError::InvalidParameter {
+                name: "max_iterations",
+                ..
+            })
         ));
-        let bad_k = GdbConfig { cut_rule: CutRule::Cuts(0), ..Default::default() };
+        let bad_k = GdbConfig {
+            cut_rule: CutRule::Cuts(0),
+            ..Default::default()
+        };
         assert!(matches!(
             gradient_descent_assign(&g, &backbone, &bad_k),
-            Err(SparsifyError::InvalidParameter { name: "cut_rule", .. })
+            Err(SparsifyError::InvalidParameter {
+                name: "cut_rule",
+                ..
+            })
         ));
         assert!(matches!(
             gradient_descent_assign(&g, &[], &GdbConfig::default()),
@@ -557,7 +643,11 @@ mod tests {
     #[test]
     fn iteration_cap_is_respected() {
         let (g, backbone) = figure2_graph();
-        let config = GdbConfig { max_iterations: 1, tolerance: 0.0, ..Default::default() };
+        let config = GdbConfig {
+            max_iterations: 1,
+            tolerance: 0.0,
+            ..Default::default()
+        };
         let result = gradient_descent_assign(&g, &backbone, &config).unwrap();
         assert_eq!(result.iterations, 1);
         assert_eq!(result.objective_trace.len(), 2);
@@ -583,4 +673,3 @@ mod tests {
         assert!((state.tracker.total_deficit() - expected_total).abs() < 1e-12);
     }
 }
-

@@ -35,19 +35,18 @@ pub struct LpAssignResult {
 
 /// Computes the `Δ1`-optimal probability assignment for the backbone
 /// (Theorem 1).
-pub fn lp_assign(
-    g: &UncertainGraph,
-    backbone: &[EdgeId],
-) -> Result<LpAssignResult, SparsifyError> {
+pub fn lp_assign(g: &UncertainGraph, backbone: &[EdgeId]) -> Result<LpAssignResult, SparsifyError> {
     if backbone.is_empty() {
         return Err(SparsifyError::EmptyGraph);
     }
     for &e in backbone {
         if e >= g.num_edges() {
-            return Err(SparsifyError::Graph(uncertain_graph::GraphError::EdgeOutOfRange {
-                edge: e,
-                num_edges: g.num_edges(),
-            }));
+            return Err(SparsifyError::Graph(
+                uncertain_graph::GraphError::EdgeOutOfRange {
+                    edge: e,
+                    num_edges: g.num_edges(),
+                },
+            ));
         }
     }
 
@@ -55,8 +54,12 @@ pub fn lp_assign(
     let mut problem = LpProblem::new(backbone.len());
     // Objective: maximise Σ p'_e; box constraints 0 ≤ p' ≤ 1.
     for var in 0..backbone.len() {
-        problem.set_objective(var, 1.0).map_err(|e| SparsifyError::Lp(e.to_string()))?;
-        problem.set_upper_bound(var, 1.0).map_err(|e| SparsifyError::Lp(e.to_string()))?;
+        problem
+            .set_objective(var, 1.0)
+            .map_err(|e| SparsifyError::Lp(e.to_string()))?;
+        problem
+            .set_upper_bound(var, 1.0)
+            .map_err(|e| SparsifyError::Lp(e.to_string()))?;
     }
     // One row per vertex touched by the backbone: Σ_{e ∋ u} p'_e ≤ d_u.
     let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); g.num_vertices()];
@@ -75,7 +78,10 @@ pub fn lp_assign(
 
     let solution = lp_solver::solve(&problem).map_err(|e| SparsifyError::Lp(e.to_string()))?;
     if solution.status != LpStatus::Optimal {
-        return Err(SparsifyError::Lp(format!("unexpected LP status {:?}", solution.status)));
+        return Err(SparsifyError::Lp(format!(
+            "unexpected LP status {:?}",
+            solution.status
+        )));
     }
     let probabilities = backbone
         .iter()
@@ -98,7 +104,13 @@ mod tests {
     fn figure2_graph() -> (UncertainGraph, Vec<EdgeId>) {
         let g = UncertainGraph::from_edges(
             4,
-            [(0, 1, 0.4), (0, 2, 0.2), (0, 3, 0.2), (1, 3, 0.2), (2, 3, 0.1)],
+            [
+                (0, 1, 0.4),
+                (0, 2, 0.2),
+                (0, 3, 0.2),
+                (1, 3, 0.2),
+                (2, 3, 0.1),
+            ],
         )
         .unwrap();
         (g, vec![2, 3, 4])
@@ -139,7 +151,10 @@ mod tests {
         let gdb = gradient_descent_assign(
             &g,
             &backbone,
-            &GdbConfig { entropy_h: 1.0, ..Default::default() },
+            &GdbConfig {
+                entropy_h: 1.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         let lp_delta1 = delta1(&g, &lp.probabilities);

@@ -80,7 +80,7 @@ pub fn average_degree_rewiring(
             let du_after = (expected[e.u] - (degrees[e.u] + sign)).abs();
             let dv_after = (expected[e.v] - (degrees[e.v] + sign)).abs();
             let gain = (du_before - du_after) + (dv_before - dv_after);
-            if gain > 1e-12 && best.map_or(true, |(_, bg)| gain > bg) {
+            if gain > 1e-12 && best.is_none_or(|(_, bg)| gain > bg) {
                 best = Some((e.id, gain));
             }
         }
@@ -112,7 +112,11 @@ pub fn total_degree_discrepancy(g: &UncertainGraph, world: &PossibleWorld) -> f6
             degrees[e.v] += 1.0;
         }
     }
-    expected.iter().zip(degrees.iter()).map(|(a, b)| (a - b).abs()).sum()
+    expected
+        .iter()
+        .zip(degrees.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum()
 }
 
 #[cfg(test)]
@@ -177,10 +181,15 @@ mod tests {
         }
         for e in g.edges() {
             let sign = if world.contains(e.id) { -1.0 } else { 1.0 };
-            let before = (expected[e.u] - degrees[e.u]).abs() + (expected[e.v] - degrees[e.v]).abs();
+            let before =
+                (expected[e.u] - degrees[e.u]).abs() + (expected[e.v] - degrees[e.v]).abs();
             let after = (expected[e.u] - (degrees[e.u] + sign)).abs()
                 + (expected[e.v] - (degrees[e.v] + sign)).abs();
-            assert!(after >= before - 1e-9, "flip of edge {} would still improve", e.id);
+            assert!(
+                after >= before - 1e-9,
+                "flip of edge {} would still improve",
+                e.id
+            );
         }
         assert!(stats.edits < 1_000);
     }

@@ -256,7 +256,12 @@ impl SparsifierSpec {
             match self.method {
                 Method::Gdb => {
                     let result = gradient_descent_assign(g, &backbone, &gdb_config)?;
-                    (result.probabilities, result.iterations, 0, result.objective_trace)
+                    (
+                        result.probabilities,
+                        result.iterations,
+                        0,
+                        result.objective_trace,
+                    )
                 }
                 Method::Emd => {
                     let config = EmdConfig {
@@ -267,7 +272,12 @@ impl SparsifierSpec {
                         gdb: gdb_config,
                     };
                     let result = expectation_maximization_sparsify(g, &backbone, &config)?;
-                    (result.probabilities, result.iterations, result.swaps, result.objective_trace)
+                    (
+                        result.probabilities,
+                        result.iterations,
+                        result.swaps,
+                        result.objective_trace,
+                    )
                 }
                 Method::Lp => {
                     let result = lp_assign(g, &backbone)?;
@@ -311,9 +321,16 @@ pub fn materialize(
     g: &UncertainGraph,
     assignment: &[(EdgeId, f64)],
 ) -> Result<UncertainGraph, SparsifyError> {
-    let edges = assignment
-        .iter()
-        .map(|&(e, p)| (e, if p > MIN_PROBABILITY { p.min(1.0) } else { MIN_PROBABILITY }));
+    let edges = assignment.iter().map(|&(e, p)| {
+        (
+            e,
+            if p > MIN_PROBABILITY {
+                p.min(1.0)
+            } else {
+                MIN_PROBABILITY
+            },
+        )
+    });
     Ok(g.subgraph_with_probabilities(edges)?)
 }
 
@@ -328,13 +345,17 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut b = UncertainGraphBuilder::new(n);
         for u in 0..n {
-            b.add_edge(u, (u + 1) % n, 0.1 + 0.8 * rng.gen::<f64>()).unwrap();
+            b.add_edge(u, (u + 1) % n, 0.1 + 0.8 * rng.gen::<f64>())
+                .unwrap();
         }
         let mut added = n;
         while added < m {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
-            if u != v && b.add_edge_if_absent(u, v, 0.05 + 0.9 * rng.gen::<f64>()).unwrap() {
+            if u != v
+                && b.add_edge_if_absent(u, v, 0.05 + 0.9 * rng.gen::<f64>())
+                    .unwrap()
+            {
                 added += 1;
             }
         }
@@ -352,7 +373,12 @@ mod tests {
         ] {
             let mut rng = SmallRng::seed_from_u64(3);
             let out = spec.sparsify(&g, &mut rng).unwrap();
-            assert_eq!(out.graph.num_edges(), expected_edges, "{}", spec.display_name());
+            assert_eq!(
+                out.graph.num_edges(),
+                expected_edges,
+                "{}",
+                spec.display_name()
+            );
             assert_eq!(out.graph.num_vertices(), g.num_vertices());
             assert_eq!(out.diagnostics.target_edges, expected_edges);
             for e in out.graph.edges() {
@@ -367,7 +393,10 @@ mod tests {
         // α = 0.7 keeps more edges than the expected edge count, so the
         // optimal assignment does not fully saturate at probability 1 and a
         // strictly positive (but reduced) entropy remains.
-        for spec in [SparsifierSpec::gdb().alpha(0.7), SparsifierSpec::emd().alpha(0.7)] {
+        for spec in [
+            SparsifierSpec::gdb().alpha(0.7),
+            SparsifierSpec::emd().alpha(0.7),
+        ] {
             let mut rng = SmallRng::seed_from_u64(5);
             let out = spec.sparsify(&g, &mut rng).unwrap();
             assert!(
@@ -378,7 +407,11 @@ mod tests {
                 out.diagnostics.entropy_original
             );
             let rel = out.diagnostics.relative_entropy();
-            assert!(rel > 0.0 && rel < 1.0, "{}: rel = {rel}", spec.display_name());
+            assert!(
+                rel > 0.0 && rel < 1.0,
+                "{}: rel = {rel}",
+                spec.display_name()
+            );
         }
     }
 
@@ -390,7 +423,10 @@ mod tests {
         // small α (Section 6.3).
         let g = test_graph(2, 30, 120);
         let mut rng = SmallRng::seed_from_u64(5);
-        let out = SparsifierSpec::gdb().alpha(0.3).sparsify(&g, &mut rng).unwrap();
+        let out = SparsifierSpec::gdb()
+            .alpha(0.3)
+            .sparsify(&g, &mut rng)
+            .unwrap();
         let deterministic = out.graph.edges().filter(|e| e.p >= 1.0 - 1e-12).count();
         assert!(deterministic as f64 >= 0.9 * out.graph.num_edges() as f64);
         assert!(out.diagnostics.relative_entropy() < 0.05);
@@ -400,7 +436,11 @@ mod tests {
     fn gdb_reduces_degree_discrepancy_relative_to_raw_backbone() {
         let g = test_graph(3, 30, 120);
         let mut rng = SmallRng::seed_from_u64(9);
-        let out = SparsifierSpec::gdb().alpha(0.3).entropy_h(1.0).sparsify(&g, &mut rng).unwrap();
+        let out = SparsifierSpec::gdb()
+            .alpha(0.3)
+            .entropy_h(1.0)
+            .sparsify(&g, &mut rng)
+            .unwrap();
         let trace = &out.diagnostics.objective_trace;
         assert!(trace.last().unwrap() < trace.first().unwrap());
     }
@@ -409,7 +449,9 @@ mod tests {
     fn display_names_follow_paper_notation() {
         assert_eq!(SparsifierSpec::gdb().display_name(), "GDB^A-t");
         assert_eq!(
-            SparsifierSpec::gdb().backbone(BackboneKind::Random).display_name(),
+            SparsifierSpec::gdb()
+                .backbone(BackboneKind::Random)
+                .display_name(),
             "GDB^A"
         );
         assert_eq!(
@@ -461,7 +503,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         for alpha in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
             let result = SparsifierSpec::gdb().alpha(alpha).sparsify(&g, &mut rng);
-            assert!(matches!(result, Err(SparsifyError::InvalidAlpha { .. })), "alpha {alpha}");
+            assert!(
+                matches!(result, Err(SparsifyError::InvalidAlpha { .. })),
+                "alpha {alpha}"
+            );
         }
     }
 
@@ -473,7 +518,7 @@ mod tests {
         assert_eq!(s.num_edges(), 3);
         let probs: Vec<f64> = s.edges().map(|e| e.p).collect();
         assert!(probs.iter().all(|&p| p > 0.0 && p <= 1.0));
-        assert!(probs.iter().any(|&p| p == MIN_PROBABILITY));
+        assert!(probs.contains(&MIN_PROBABILITY));
     }
 
     #[test]
@@ -492,4 +537,3 @@ mod tests {
         assert_eq!(d.relative_entropy(), 0.0);
     }
 }
-

@@ -24,7 +24,9 @@ pub fn erdos_renyi<R: Rng + ?Sized>(
     for u in 0..num_vertices {
         for v in (u + 1)..num_vertices {
             if rng.gen::<f64>() < q {
-                builder.add_edge(u, v, probabilities.sample(rng)).expect("generated edges are valid");
+                builder
+                    .add_edge(u, v, probabilities.sample(rng))
+                    .expect("generated edges are valid");
             }
         }
     }

@@ -59,8 +59,11 @@ pub fn forest_fire_sample<R: Rng + ?Sized>(
             }
             // Geometric(1 - p) number of neighbours to burn: keep drawing
             // while a biased coin comes up heads.
-            let unburned: Vec<VertexId> =
-                g.neighbors(v).map(|(u, _, _)| u).filter(|&u| !burned[u]).collect();
+            let unburned: Vec<VertexId> = g
+                .neighbors(v)
+                .map(|(u, _, _)| u)
+                .filter(|&u| !burned[u])
+                .collect();
             if unburned.is_empty() {
                 continue;
             }
@@ -88,8 +91,9 @@ pub fn forest_fire_sample<R: Rng + ?Sized>(
         }
     }
 
-    let (subgraph, mapping) =
-        g.induced_subgraph(&burned_order).expect("burned vertices are valid");
+    let (subgraph, mapping) = g
+        .induced_subgraph(&burned_order)
+        .expect("burned vertices are valid");
     (subgraph, mapping)
 }
 
@@ -124,7 +128,9 @@ mod tests {
         let (sub, mapping) = forest_fire_sample(&g, 100, 0.6, &mut rng);
         for e in sub.edges() {
             let (ou, ov) = (mapping[e.u], mapping[e.v]);
-            let original = g.find_edge(ou, ov).expect("induced edge exists in the original");
+            let original = g
+                .find_edge(ou, ov)
+                .expect("induced edge exists in the original");
             assert!((g.edge_probability(original) - e.p).abs() < 1e-12);
         }
     }
@@ -138,7 +144,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(6);
         let (sub, _) = forest_fire_sample(&g, 200, 0.7, &mut rng);
         let mean_degree = 2.0 * sub.num_edges() as f64 / sub.num_vertices() as f64;
-        assert!(mean_degree >= 1.0, "mean degree {mean_degree} too low for a burned sample");
+        assert!(
+            mean_degree >= 1.0,
+            "mean degree {mean_degree} too low for a burned sample"
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub fn preferential_attachment<R: Rng + ?Sized>(
     let seed = (m + 1).min(num_vertices);
     for u in 0..seed {
         for v in (u + 1)..seed {
-            builder.add_edge(u, v, probabilities.sample(rng)).expect("seed edges are valid");
+            builder
+                .add_edge(u, v, probabilities.sample(rng))
+                .expect("seed edges are valid");
             endpoint_pool.push(u);
             endpoint_pool.push(v);
         }
@@ -130,8 +132,21 @@ mod tests {
 
     #[test]
     fn generation_is_reproducible() {
-        let a = preferential_attachment(100, 3, ProbabilityModel::TwitterLike, &mut SmallRng::seed_from_u64(7));
-        let b = preferential_attachment(100, 3, ProbabilityModel::TwitterLike, &mut SmallRng::seed_from_u64(7));
-        assert_eq!(uncertain_graph::io::to_json(&a).unwrap(), uncertain_graph::io::to_json(&b).unwrap());
+        let a = preferential_attachment(
+            100,
+            3,
+            ProbabilityModel::TwitterLike,
+            &mut SmallRng::seed_from_u64(7),
+        );
+        let b = preferential_attachment(
+            100,
+            3,
+            ProbabilityModel::TwitterLike,
+            &mut SmallRng::seed_from_u64(7),
+        );
+        assert_eq!(
+            uncertain_graph::io::to_json(&a).unwrap(),
+            uncertain_graph::io::to_json(&b).unwrap()
+        );
     }
 }

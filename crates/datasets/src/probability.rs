@@ -103,7 +103,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         for model in [
             ProbabilityModel::Fixed(0.3),
-            ProbabilityModel::Uniform { low: 0.1, high: 0.9 },
+            ProbabilityModel::Uniform {
+                low: 0.1,
+                high: 0.9,
+            },
             ProbabilityModel::FlickrLike,
             ProbabilityModel::TwitterLike,
         ] {
@@ -138,18 +141,43 @@ mod tests {
             .iter()
             .filter(|&&p| p > 0.9)
             .count();
-        assert!(near_one > 500, "expected a deterministic tail, got {near_one}");
+        assert!(
+            near_one > 500,
+            "expected a deterministic tail, got {near_one}"
+        );
     }
 
     #[test]
     fn fixed_and_uniform_models_behave_as_configured() {
         let mut rng = SmallRng::seed_from_u64(2);
         assert_eq!(ProbabilityModel::Fixed(0.4).sample(&mut rng), 0.4);
-        let mean = empirical_mean(ProbabilityModel::Uniform { low: 0.2, high: 0.6 }, 50_000);
+        let mean = empirical_mean(
+            ProbabilityModel::Uniform {
+                low: 0.2,
+                high: 0.6,
+            },
+            50_000,
+        );
         assert!((mean - 0.4).abs() < 0.01);
-        assert_eq!(ProbabilityModel::Uniform { low: 0.5, high: 0.5 }.sample(&mut rng), 0.5);
+        assert_eq!(
+            ProbabilityModel::Uniform {
+                low: 0.5,
+                high: 0.5
+            }
+            .sample(&mut rng),
+            0.5
+        );
         assert!((ProbabilityModel::Fixed(0.4).approximate_mean() - 0.4).abs() < 1e-12);
-        assert!((ProbabilityModel::Uniform { low: 0.2, high: 0.6 }.approximate_mean() - 0.4).abs() < 1e-12);
+        assert!(
+            (ProbabilityModel::Uniform {
+                low: 0.2,
+                high: 0.6
+            }
+            .approximate_mean()
+                - 0.4)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -97,7 +97,11 @@ mod tests {
         let g = flickr_like(Scale::Small, &mut rng);
         let stats = GraphStatistics::compute(&g);
         assert_eq!(stats.num_vertices, 1_000);
-        assert!(stats.edge_vertex_ratio > 20.0, "ratio {}", stats.edge_vertex_ratio);
+        assert!(
+            stats.edge_vertex_ratio > 20.0,
+            "ratio {}",
+            stats.edge_vertex_ratio
+        );
         assert!((stats.mean_edge_probability - 0.09).abs() < 0.03);
         assert!(stats.support_connected);
     }

@@ -36,7 +36,9 @@ pub fn densified<R: Rng + ?Sized>(
     }
     let mut builder = UncertainGraphBuilder::with_capacity(n, target);
     for e in base.edges() {
-        builder.add_edge(e.u, e.v, e.p).expect("base edges are valid");
+        builder
+            .add_edge(e.u, e.v, e.p)
+            .expect("base edges are valid");
     }
     while builder.num_edges() < target {
         let u = rng.gen_range(0..n);

@@ -111,7 +111,10 @@ mod tests {
         let g = DeterministicGraph::from_edges(4, &[(0, 1)]);
         let cc = local_clustering_coefficients(&g);
         assert_eq!(cc, vec![0.0; 4]);
-        assert_eq!(average_clustering_coefficient(&DeterministicGraph::from_edges(0, &[])), 0.0);
+        assert_eq!(
+            average_clustering_coefficient(&DeterministicGraph::from_edges(0, &[])),
+            0.0
+        );
     }
 
     #[test]

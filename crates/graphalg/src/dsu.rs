@@ -15,7 +15,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `len` singleton sets `{0}, {1}, …, {len-1}`.
     pub fn new(len: usize) -> Self {
-        UnionFind { parent: (0..len).collect(), rank: vec![0; len], num_sets: len }
+        UnionFind {
+            parent: (0..len).collect(),
+            rank: vec![0; len],
+            num_sets: len,
+        }
     }
 
     /// Number of elements.

@@ -101,7 +101,11 @@ impl IndexedMaxHeap {
     /// # Panics
     /// Panics if `key` is outside the capacity the heap was built with.
     pub fn push_or_update(&mut self, key: usize, priority: f64) {
-        assert!(key < self.pos.len(), "key {key} exceeds heap capacity {}", self.pos.len());
+        assert!(
+            key < self.pos.len(),
+            "key {key} exceeds heap capacity {}",
+            self.pos.len()
+        );
         if self.contains(key) {
             self.update(key, priority);
         } else {
@@ -160,7 +164,9 @@ impl IndexedMaxHeap {
         // *smaller* key winning so results are deterministic.
         let pa = if pa.is_nan() { f64::NEG_INFINITY } else { pa };
         let pb = if pb.is_nan() { f64::NEG_INFINITY } else { pb };
-        pa.partial_cmp(&pb).expect("NaN handled above").then(kb.cmp(&ka))
+        pa.partial_cmp(&pb)
+            .expect("NaN handled above")
+            .then(kb.cmp(&ka))
     }
 
     fn greater(&self, slot_a: usize, slot_b: usize) -> bool {
@@ -229,7 +235,10 @@ mod tests {
         assert_eq!(h.len(), 3);
         assert_eq!(h.peek(), Some((1, 2.5)));
         let sorted = h.into_sorted_vec();
-        assert_eq!(sorted.iter().map(|&(k, _)| k).collect::<Vec<_>>(), vec![1, 2, 0]);
+        assert_eq!(
+            sorted.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![1, 2, 0]
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, max_iterations: 100, tolerance: 1e-10 }
+        PageRankConfig {
+            damping: 0.85,
+            max_iterations: 100,
+            tolerance: 1e-10,
+        }
     }
 }
 
@@ -39,21 +43,24 @@ pub fn pagerank(g: &DeterministicGraph, config: &PageRankConfig) -> Vec<f64> {
     let mut next = vec![0.0; n];
     for _ in 0..config.max_iterations {
         // Mass from dangling vertices is spread uniformly.
-        let dangling_mass: f64 =
-            (0..n).filter(|&u| g.degree(u) == 0).map(|u| rank[u]).sum();
+        let dangling_mass: f64 = (0..n).filter(|&u| g.degree(u) == 0).map(|u| rank[u]).sum();
         let base = (1.0 - config.damping) * uniform + config.damping * dangling_mass * uniform;
         next.iter_mut().for_each(|x| *x = base);
-        for u in 0..n {
+        for (u, &rank_u) in rank.iter().enumerate() {
             let deg = g.degree(u);
             if deg == 0 {
                 continue;
             }
-            let share = config.damping * rank[u] / deg as f64;
+            let share = config.damping * rank_u / deg as f64;
             for v in g.neighbors(u) {
                 next[v] += share;
             }
         }
-        let delta: f64 = rank.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f64 = rank
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         std::mem::swap(&mut rank, &mut next);
         if delta < config.tolerance {
             break;
@@ -115,10 +122,21 @@ mod tests {
     #[test]
     fn respects_iteration_limit() {
         let g = DeterministicGraph::from_edges(3, &[(0, 1), (1, 2)]);
-        let rough = pagerank(&g, &PageRankConfig { damping: 0.85, max_iterations: 1, tolerance: 0.0 });
+        let rough = pagerank(
+            &g,
+            &PageRankConfig {
+                damping: 0.85,
+                max_iterations: 1,
+                tolerance: 0.0,
+            },
+        );
         let precise = pagerank(&g, &PageRankConfig::default());
         // With only one iteration the result should differ from the converged one.
-        let diff: f64 = rough.iter().zip(precise.iter()).map(|(a, b)| (a - b).abs()).sum();
+        let diff: f64 = rough
+            .iter()
+            .zip(precise.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(diff > 1e-6);
     }
 }

@@ -53,7 +53,10 @@ pub fn dijkstra(g: &WeightedGraph, source: usize) -> Vec<f64> {
     let mut dist = vec![f64::INFINITY; n];
     let mut heap = BinaryHeap::new();
     dist[source] = 0.0;
-    heap.push(HeapItem { dist: 0.0, vertex: source });
+    heap.push(HeapItem {
+        dist: 0.0,
+        vertex: source,
+    });
     while let Some(HeapItem { dist: d, vertex: u }) = heap.pop() {
         if d > dist[u] {
             continue; // stale entry
@@ -63,7 +66,10 @@ pub fn dijkstra(g: &WeightedGraph, source: usize) -> Vec<f64> {
             let nd = d + w;
             if nd < dist[v] {
                 dist[v] = nd;
-                heap.push(HeapItem { dist: nd, vertex: v });
+                heap.push(HeapItem {
+                    dist: nd,
+                    vertex: v,
+                });
             }
         }
     }

@@ -25,7 +25,11 @@ pub fn maximum_spanning_forest(
 ) -> Vec<usize> {
     let mut order: Vec<usize> = candidates.to_vec();
     order.sort_by(|&a, &b| {
-        edges[b].2.partial_cmp(&edges[a].2).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        edges[b]
+            .2
+            .partial_cmp(&edges[a].2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     let mut uf = UnionFind::new(num_vertices);
     let mut forest = Vec::new();
@@ -42,7 +46,10 @@ pub fn maximum_spanning_forest(
 }
 
 /// Convenience wrapper: maximum spanning forest over *all* edges.
-pub fn maximum_spanning_forest_all(num_vertices: usize, edges: &[(usize, usize, f64)]) -> Vec<usize> {
+pub fn maximum_spanning_forest_all(
+    num_vertices: usize,
+    edges: &[(usize, usize, f64)],
+) -> Vec<usize> {
     let all: Vec<usize> = (0..edges.len()).collect();
     maximum_spanning_forest(num_vertices, edges, &all)
 }
@@ -50,7 +57,10 @@ pub fn maximum_spanning_forest_all(num_vertices: usize, edges: &[(usize, usize, 
 /// Total weight of a maximum spanning forest over all edges (useful for
 /// testing and for sanity checks in the backbone construction).
 pub fn maximum_spanning_tree_weight(num_vertices: usize, edges: &[(usize, usize, f64)]) -> f64 {
-    maximum_spanning_forest_all(num_vertices, edges).iter().map(|&e| edges[e].2).sum()
+    maximum_spanning_forest_all(num_vertices, edges)
+        .iter()
+        .map(|&e| edges[e].2)
+        .sum()
 }
 
 /// Decomposes the candidate edges into successive maximum spanning forests
@@ -89,10 +99,10 @@ mod tests {
     fn toy_edges() -> Vec<(usize, usize, f64)> {
         // A square with one heavy diagonal.
         vec![
-            (0, 1, 0.9), // 0
-            (1, 2, 0.8), // 1
-            (2, 3, 0.7), // 2
-            (3, 0, 0.1), // 3
+            (0, 1, 0.9),  // 0
+            (1, 2, 0.8),  // 1
+            (2, 3, 0.7),  // 2
+            (3, 0, 0.1),  // 3
             (0, 2, 0.95), // 4
         ]
     }

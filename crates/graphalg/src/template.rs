@@ -1,0 +1,155 @@
+//! Precomputed *support template* of an uncertain graph: everything the
+//! Monte-Carlo engine needs to materialise a sampled possible world as a
+//! [`crate::DeterministicGraph`] without allocating.
+//!
+//! The template is built once per graph and holds the edge endpoint table
+//! plus a CSR image of the full support (offsets / neighbour / edge-id
+//! arrays).  Each world is then materialised by *compacting* into reusable
+//! per-thread scratch buffers — either from a present-edge list (cost
+//! `O(|V| + present)`, the skip-sampling fast path) or from an edge mask by
+//! filtering the support CSR (cost `O(|V| + 2|E|)`).  Both paths perform
+//! zero heap allocations once the scratch buffers have reached capacity.
+
+use uncertain_graph::UncertainGraph;
+
+/// Immutable per-graph data shared by every world materialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldTemplate {
+    num_vertices: usize,
+    /// Endpoints of every edge, indexed by edge id.
+    endpoints: Vec<(u32, u32)>,
+    /// CSR offsets over the full support (length `|V| + 1`).
+    support_offsets: Vec<u32>,
+    /// Support neighbours, `2|E|` entries.
+    support_neighbors: Vec<u32>,
+    /// Edge id of every support adjacency entry, parallel to
+    /// `support_neighbors`.
+    support_edge_ids: Vec<u32>,
+}
+
+impl WorldTemplate {
+    /// Builds the template for `g` (one `O(|V| + |E|)` pass).
+    pub fn new(g: &UncertainGraph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let endpoints: Vec<(u32, u32)> = g.edges().map(|e| (e.u as u32, e.v as u32)).collect();
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, v) in &endpoints {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0u32; 2 * m];
+        let mut edge_ids = vec![0u32; 2 * m];
+        for (e, &(u, v)) in endpoints.iter().enumerate() {
+            let cu = cursor[u as usize] as usize;
+            neighbors[cu] = v;
+            edge_ids[cu] = e as u32;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            neighbors[cv] = u;
+            edge_ids[cv] = e as u32;
+            cursor[v as usize] += 1;
+        }
+        WorldTemplate {
+            num_vertices: n,
+            endpoints,
+            support_offsets: offsets,
+            support_neighbors: neighbors,
+            support_edge_ids: edge_ids,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges of the full support.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Endpoints `(u, v)` of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: usize) -> (u32, u32) {
+        self.endpoints[e]
+    }
+
+    /// The support-CSR adjacency range of vertex `u` as parallel
+    /// `(neighbors, edge_ids)` slices.
+    #[inline]
+    pub fn support_adjacency(&self, u: usize) -> (&[u32], &[u32]) {
+        let lo = self.support_offsets[u] as usize;
+        let hi = self.support_offsets[u + 1] as usize;
+        (
+            &self.support_neighbors[lo..hi],
+            &self.support_edge_ids[lo..hi],
+        )
+    }
+
+    /// Degree of `u` in the full support.
+    #[inline]
+    pub fn support_degree(&self, u: usize) -> usize {
+        (self.support_offsets[u + 1] - self.support_offsets[u]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> UncertainGraph {
+        UncertainGraph::from_edges(4, [(0, 1, 0.5), (1, 2, 0.25), (2, 3, 1.0), (0, 2, 0.75)])
+            .unwrap()
+    }
+
+    #[test]
+    fn template_mirrors_the_support_graph() {
+        let g = toy();
+        let t = WorldTemplate::new(&g);
+        assert_eq!(t.num_vertices(), 4);
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(t.endpoints(0), (0, 1));
+        assert_eq!(t.support_degree(0), 2);
+        assert_eq!(t.support_degree(2), 3);
+        let (neighbors, edge_ids) = t.support_adjacency(2);
+        let mut pairs: Vec<(u32, u32)> = neighbors
+            .iter()
+            .copied()
+            .zip(edge_ids.iter().copied())
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 3), (1, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn adjacency_entries_agree_with_endpoints() {
+        let g = toy();
+        let t = WorldTemplate::new(&g);
+        for u in 0..t.num_vertices() {
+            let (neighbors, edge_ids) = t.support_adjacency(u);
+            for (&v, &e) in neighbors.iter().zip(edge_ids) {
+                let (a, b) = t.endpoints(e as usize);
+                assert!(
+                    (a, b) == (u as u32, v) || (a, b) == (v, u as u32),
+                    "edge {e} endpoints {a},{b} vs adjacency {u},{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_template() {
+        let g = UncertainGraph::from_edges(3, []).unwrap();
+        let t = WorldTemplate::new(&g);
+        assert_eq!(t.num_edges(), 0);
+        assert_eq!(t.support_degree(1), 0);
+        assert_eq!(t.support_adjacency(0).0.len(), 0);
+    }
+}

@@ -144,12 +144,12 @@ mod tests {
         let g = DeterministicGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]);
         for s in 0..6 {
             let full = bfs_distances(&g, s);
-            for t in 0..6 {
+            for (t, &expected) in full.iter().enumerate() {
                 let pair = bfs_pair_distance(&g, s, t);
-                if full[t] == usize::MAX {
+                if expected == usize::MAX {
                     assert_eq!(pair, None);
                 } else {
-                    assert_eq!(pair, Some(full[t]));
+                    assert_eq!(pair, Some(expected));
                 }
             }
         }

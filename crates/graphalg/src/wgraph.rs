@@ -49,7 +49,12 @@ impl WeightedGraph {
             adj[cursor[v]] = (u as u32, e as u32);
             cursor[v] += 1;
         }
-        WeightedGraph { num_vertices, edges: stored, offsets, adj }
+        WeightedGraph {
+            num_vertices,
+            edges: stored,
+            offsets,
+            adj,
+        }
     }
 
     /// Converts an uncertain graph to a weighted graph through an arbitrary
@@ -102,7 +107,10 @@ impl WeightedGraph {
 
     /// Iterator over `(edge id, u, v, weight)`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, usize, f64)> + '_ {
-        self.edges.iter().enumerate().map(|(e, &(u, v, w))| (e, u as usize, v as usize, w))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(e, &(u, v, w))| (e, u as usize, v as usize, w))
     }
 
     /// Neighbourhood of `u` as `(neighbour, edge id, weight)` triples.

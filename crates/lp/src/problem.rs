@@ -43,11 +43,20 @@ pub enum LpError {
 impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LpError::VariableOutOfRange { variable, num_variables } => {
-                write!(f, "variable {variable} out of range ({num_variables} variables)")
+            LpError::VariableOutOfRange {
+                variable,
+                num_variables,
+            } => {
+                write!(
+                    f,
+                    "variable {variable} out of range ({num_variables} variables)"
+                )
             }
             LpError::NegativeRhs { constraint, value } => {
-                write!(f, "constraint {constraint} has negative right-hand side {value}")
+                write!(
+                    f,
+                    "constraint {constraint} has negative right-hand side {value}"
+                )
             }
             LpError::NotFinite { context } => write!(f, "non-finite value in {context}"),
             LpError::NegativeUpperBound { variable, value } => {
@@ -125,7 +134,9 @@ impl LpProblem {
     pub fn set_objective(&mut self, var: usize, coefficient: f64) -> Result<&mut Self, LpError> {
         self.check_var(var)?;
         if !coefficient.is_finite() {
-            return Err(LpError::NotFinite { context: format!("objective coefficient of x{var}") });
+            return Err(LpError::NotFinite {
+                context: format!("objective coefficient of x{var}"),
+            });
         }
         self.objective[var] = coefficient;
         Ok(self)
@@ -143,10 +154,15 @@ impl LpProblem {
     pub fn set_upper_bound(&mut self, var: usize, bound: f64) -> Result<&mut Self, LpError> {
         self.check_var(var)?;
         if bound.is_nan() {
-            return Err(LpError::NotFinite { context: format!("upper bound of x{var}") });
+            return Err(LpError::NotFinite {
+                context: format!("upper bound of x{var}"),
+            });
         }
         if bound < 0.0 {
-            return Err(LpError::NegativeUpperBound { variable: var, value: bound });
+            return Err(LpError::NegativeUpperBound {
+                variable: var,
+                value: bound,
+            });
         }
         self.upper_bounds[var] = bound;
         Ok(self)
@@ -159,16 +175,24 @@ impl LpProblem {
         rhs: f64,
     ) -> Result<&mut Self, LpError> {
         if !rhs.is_finite() {
-            return Err(LpError::NotFinite { context: "constraint right-hand side".into() });
+            return Err(LpError::NotFinite {
+                context: "constraint right-hand side".into(),
+            });
         }
         if rhs < 0.0 {
-            return Err(LpError::NegativeRhs { constraint: self.constraints.len(), value: rhs });
+            return Err(LpError::NegativeRhs {
+                constraint: self.constraints.len(),
+                value: rhs,
+            });
         }
         for &(var, coefficient) in row {
             self.check_var(var)?;
             if !coefficient.is_finite() {
                 return Err(LpError::NotFinite {
-                    context: format!("coefficient of x{var} in constraint {}", self.constraints.len()),
+                    context: format!(
+                        "coefficient of x{var} in constraint {}",
+                        self.constraints.len()
+                    ),
                 });
             }
         }
@@ -193,7 +217,11 @@ impl LpProblem {
 
     /// Evaluates the objective at a point.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum()
+        self.objective
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum()
     }
 
     /// Checks whether `x` satisfies every constraint and bound up to `tol`.
@@ -219,7 +247,10 @@ impl LpProblem {
         if var < self.num_variables {
             Ok(())
         } else {
-            Err(LpError::VariableOutOfRange { variable: var, num_variables: self.num_variables })
+            Err(LpError::VariableOutOfRange {
+                variable: var,
+                num_variables: self.num_variables,
+            })
         }
     }
 }
@@ -232,11 +263,26 @@ mod tests {
     fn builder_validates_indices_and_values() {
         let mut p = LpProblem::new(2);
         assert!(p.set_objective(0, 1.0).is_ok());
-        assert!(matches!(p.set_objective(5, 1.0), Err(LpError::VariableOutOfRange { .. })));
-        assert!(matches!(p.set_objective(1, f64::NAN), Err(LpError::NotFinite { .. })));
-        assert!(matches!(p.set_upper_bound(0, -1.0), Err(LpError::NegativeUpperBound { .. })));
-        assert!(matches!(p.set_upper_bound(0, f64::NAN), Err(LpError::NotFinite { .. })));
-        assert!(matches!(p.add_le_constraint(&[(0, 1.0)], -2.0), Err(LpError::NegativeRhs { .. })));
+        assert!(matches!(
+            p.set_objective(5, 1.0),
+            Err(LpError::VariableOutOfRange { .. })
+        ));
+        assert!(matches!(
+            p.set_objective(1, f64::NAN),
+            Err(LpError::NotFinite { .. })
+        ));
+        assert!(matches!(
+            p.set_upper_bound(0, -1.0),
+            Err(LpError::NegativeUpperBound { .. })
+        ));
+        assert!(matches!(
+            p.set_upper_bound(0, f64::NAN),
+            Err(LpError::NotFinite { .. })
+        ));
+        assert!(matches!(
+            p.add_le_constraint(&[(0, 1.0)], -2.0),
+            Err(LpError::NegativeRhs { .. })
+        ));
         assert!(matches!(
             p.add_le_constraint(&[(9, 1.0)], 2.0),
             Err(LpError::VariableOutOfRange { .. })
@@ -267,10 +313,21 @@ mod tests {
     #[test]
     fn errors_display() {
         for err in [
-            LpError::VariableOutOfRange { variable: 1, num_variables: 1 },
-            LpError::NegativeRhs { constraint: 0, value: -1.0 },
-            LpError::NotFinite { context: "x".into() },
-            LpError::NegativeUpperBound { variable: 0, value: -2.0 },
+            LpError::VariableOutOfRange {
+                variable: 1,
+                num_variables: 1,
+            },
+            LpError::NegativeRhs {
+                constraint: 0,
+                value: -1.0,
+            },
+            LpError::NotFinite {
+                context: "x".into(),
+            },
+            LpError::NegativeUpperBound {
+                variable: 0,
+                value: -2.0,
+            },
             LpError::IterationLimit { limit: 10 },
         ] {
             assert!(!err.to_string().is_empty());

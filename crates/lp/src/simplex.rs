@@ -60,7 +60,7 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
             // Dantzig: most negative reduced cost.
             let mut best: Option<(usize, f64)> = None;
             for (j, &cost) in tableau[m][..n + m].iter().enumerate() {
-                if cost < -EPS && best.map_or(true, |(_, b)| cost < b) {
+                if cost < -EPS && best.is_none_or(|(_, b)| cost < b) {
                     best = Some((j, cost));
                 }
             }
@@ -105,7 +105,9 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
 
         iterations += 1;
         if iterations > iteration_limit {
-            return Err(LpError::IterationLimit { limit: iteration_limit });
+            return Err(LpError::IterationLimit {
+                limit: iteration_limit,
+            });
         }
     }
 
@@ -117,7 +119,12 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         }
     }
     let objective = problem.objective_value(&values);
-    Ok(LpSolution { status: LpStatus::Optimal, values, objective, iterations })
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        values,
+        objective,
+        iterations,
+    })
 }
 
 fn pivot(tableau: &mut [Vec<f64>], pivot_row: usize, pivot_col: usize, rhs_col: usize) {
@@ -155,7 +162,11 @@ mod tests {
     fn solve_expect_optimal(p: &LpProblem) -> LpSolution {
         let sol = solve(p).expect("solver error");
         assert_eq!(sol.status, LpStatus::Optimal);
-        assert!(p.is_feasible(&sol.values, 1e-6), "solution {:?} infeasible", sol.values);
+        assert!(
+            p.is_feasible(&sol.values, 1e-6),
+            "solution {:?} infeasible",
+            sol.values
+        );
         sol
     }
 
@@ -197,7 +208,8 @@ mod tests {
     #[test]
     fn zero_objective_is_trivially_optimal() {
         let mut p = LpProblem::new(3);
-        p.add_le_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], 5.0).unwrap();
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], 5.0)
+            .unwrap();
         let sol = solve_expect_optimal(&p);
         assert_eq!(sol.objective, 0.0);
         assert_eq!(sol.iterations, 0);
@@ -232,7 +244,8 @@ mod tests {
         p.add_le_constraint(&[(0, 1.0)], 0.8).unwrap();
         p.add_le_constraint(&[(1, 1.0)], 0.6).unwrap();
         p.add_le_constraint(&[(2, 1.0)], 0.6).unwrap();
-        p.add_le_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], 1.0).unwrap();
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], 1.0)
+            .unwrap();
         let sol = solve_expect_optimal(&p);
         assert!((sol.objective - 1.0).abs() < 1e-6);
     }
@@ -284,11 +297,16 @@ mod tests {
         // max 2x + 3y + z s.t. x+y+z <= 10, x + 2y <= 8, y + 3z <= 9, x,y,z >= 0
         let mut p = LpProblem::new(3);
         p.set_objective_vector(&[2.0, 3.0, 1.0]).unwrap();
-        p.add_le_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], 10.0).unwrap();
+        p.add_le_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], 10.0)
+            .unwrap();
         p.add_le_constraint(&[(0, 1.0), (1, 2.0)], 8.0).unwrap();
         p.add_le_constraint(&[(1, 1.0), (2, 3.0)], 9.0).unwrap();
         let sol = solve_expect_optimal(&p);
         // Optimum: x = 8, y = 0, z = 2  => 2*8 + 0 + 2 = 18.
-        assert!((sol.objective - 18.0).abs() < 1e-5, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 18.0).abs() < 1e-5,
+            "objective {}",
+            sol.objective
+        );
     }
 }

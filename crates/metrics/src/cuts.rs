@@ -22,13 +22,19 @@ pub struct CutSamplingConfig {
 
 impl Default for CutSamplingConfig {
     fn default() -> Self {
-        CutSamplingConfig { num_cuts: 1000, max_cardinality: usize::MAX }
+        CutSamplingConfig {
+            num_cuts: 1000,
+            max_cardinality: usize::MAX,
+        }
     }
 }
 
 /// Expected size of the cut induced by the vertex set `members` in `g`.
 pub fn expected_cut_size(g: &UncertainGraph, in_set: &[bool]) -> f64 {
-    g.edges().filter(|e| in_set[e.u] != in_set[e.v]).map(|e| e.p).sum()
+    g.edges()
+        .filter(|e| in_set[e.u] != in_set[e.v])
+        .map(|e| e.p)
+        .sum()
 }
 
 /// Mean absolute error of the cut discrepancy over `config.num_cuts` randomly
@@ -88,7 +94,10 @@ pub fn exact_cut_discrepancy_mae(
 ) -> f64 {
     assert_eq!(original.num_vertices(), sparsified.num_vertices());
     let n = original.num_vertices();
-    assert!(n <= 20, "exact enumeration is exponential; use the sampled metric");
+    assert!(
+        n <= 20,
+        "exact enumeration is exponential; use the sampled metric"
+    );
     if n < 2 {
         return 0.0;
     }
@@ -133,7 +142,14 @@ mod tests {
     fn original() -> UncertainGraph {
         UncertainGraph::from_edges(
             5,
-            [(0, 1, 0.4), (0, 2, 0.2), (0, 3, 0.2), (1, 3, 0.2), (2, 3, 0.1), (3, 4, 0.7)],
+            [
+                (0, 1, 0.4),
+                (0, 2, 0.2),
+                (0, 3, 0.2),
+                (1, 3, 0.2),
+                (2, 3, 0.1),
+                (3, 4, 0.7),
+            ],
         )
         .unwrap()
     }
@@ -154,7 +170,10 @@ mod tests {
     fn identical_graphs_have_zero_discrepancy() {
         let g = original();
         let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(cut_discrepancy_mae(&g, &g, &CutSamplingConfig::default(), &mut rng), 0.0);
+        assert_eq!(
+            cut_discrepancy_mae(&g, &g, &CutSamplingConfig::default(), &mut rng),
+            0.0
+        );
         assert_eq!(exact_cut_discrepancy_mae(&g, &g, 5), 0.0);
     }
 
@@ -167,7 +186,10 @@ mod tests {
         let sampled = cut_discrepancy_mae(
             &g,
             &s,
-            &CutSamplingConfig { num_cuts: 60_000, max_cardinality: 4 },
+            &CutSamplingConfig {
+                num_cuts: 60_000,
+                max_cardinality: 4,
+            },
             &mut rng,
         );
         assert!(
@@ -184,8 +206,12 @@ mod tests {
         // Exact over all singletons = mean over vertices of |δA(u)|.
         let d0 = g.expected_degrees();
         let d1 = s.expected_degrees();
-        let manual: f64 =
-            d0.iter().zip(d1.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() / d0.len() as f64;
+        let manual: f64 = d0
+            .iter()
+            .zip(d1.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / d0.len() as f64;
         assert!((exact - manual).abs() < 1e-12);
     }
 
@@ -193,13 +219,19 @@ mod tests {
     fn degenerate_inputs_return_zero() {
         let g = UncertainGraph::from_edges(1, []).unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(cut_discrepancy_mae(&g, &g, &CutSamplingConfig::default(), &mut rng), 0.0);
+        assert_eq!(
+            cut_discrepancy_mae(&g, &g, &CutSamplingConfig::default(), &mut rng),
+            0.0
+        );
         let g2 = original();
         assert_eq!(
             cut_discrepancy_mae(
                 &g2,
                 &g2,
-                &CutSamplingConfig { num_cuts: 0, max_cardinality: 3 },
+                &CutSamplingConfig {
+                    num_cuts: 0,
+                    max_cardinality: 3
+                },
                 &mut rng
             ),
             0.0

@@ -75,7 +75,13 @@ mod tests {
     fn original() -> UncertainGraph {
         UncertainGraph::from_edges(
             4,
-            [(0, 1, 0.4), (0, 2, 0.2), (0, 3, 0.2), (1, 3, 0.2), (2, 3, 0.1)],
+            [
+                (0, 1, 0.4),
+                (0, 2, 0.2),
+                (0, 3, 0.2),
+                (1, 3, 0.2),
+                (2, 3, 0.1),
+            ],
         )
         .unwrap()
     }
@@ -83,9 +89,18 @@ mod tests {
     #[test]
     fn identical_graphs_have_zero_error() {
         let g = original();
-        assert_eq!(degree_discrepancy_mae(&g, &g, MetricDiscrepancy::Absolute), 0.0);
-        assert_eq!(degree_discrepancy_mae(&g, &g, MetricDiscrepancy::Relative), 0.0);
-        assert_eq!(degree_discrepancy_max(&g, &g, MetricDiscrepancy::Absolute), 0.0);
+        assert_eq!(
+            degree_discrepancy_mae(&g, &g, MetricDiscrepancy::Absolute),
+            0.0
+        );
+        assert_eq!(
+            degree_discrepancy_mae(&g, &g, MetricDiscrepancy::Relative),
+            0.0
+        );
+        assert_eq!(
+            degree_discrepancy_max(&g, &g, MetricDiscrepancy::Absolute),
+            0.0
+        );
     }
 
     #[test]
@@ -112,7 +127,10 @@ mod tests {
     fn isolated_original_vertices_do_not_blow_up_relative_error() {
         let g = UncertainGraph::from_edges(3, [(0, 1, 0.5)]).unwrap();
         let s = UncertainGraph::from_edges(3, [(0, 1, 0.5)]).unwrap();
-        assert_eq!(degree_discrepancy_mae(&g, &s, MetricDiscrepancy::Relative), 0.0);
+        assert_eq!(
+            degree_discrepancy_mae(&g, &s, MetricDiscrepancy::Relative),
+            0.0
+        );
     }
 
     #[test]
@@ -126,6 +144,9 @@ mod tests {
     #[test]
     fn empty_graphs_have_zero_error() {
         let g = UncertainGraph::from_edges(0, []).unwrap();
-        assert_eq!(degree_discrepancy_mae(&g, &g, MetricDiscrepancy::Absolute), 0.0);
+        assert_eq!(
+            degree_discrepancy_mae(&g, &g, MetricDiscrepancy::Absolute),
+            0.0
+        );
     }
 }

@@ -20,7 +20,11 @@
 /// observations.
 pub fn earth_movers_distance(original: &[f64], sparsified: &[f64]) -> f64 {
     let mut a: Vec<f64> = original.iter().copied().filter(|x| x.is_finite()).collect();
-    let mut b: Vec<f64> = sparsified.iter().copied().filter(|x| x.is_finite()).collect();
+    let mut b: Vec<f64> = sparsified
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .collect();
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }

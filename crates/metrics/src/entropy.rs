@@ -17,7 +17,11 @@ pub fn fraction_deterministic_edges(g: &UncertainGraph) -> f64 {
     if g.num_edges() == 0 {
         return 0.0;
     }
-    let deterministic = g.probabilities().iter().filter(|&&p| p >= 1.0 - 1e-9).count();
+    let deterministic = g
+        .probabilities()
+        .iter()
+        .filter(|&&p| p >= 1.0 - 1e-9)
+        .count();
     deterministic as f64 / g.num_edges() as f64
 }
 

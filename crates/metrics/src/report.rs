@@ -1,11 +1,11 @@
 //! Small containers the experiment binaries use to print paper-style tables
 //! and figure series, and to persist results as JSON for `EXPERIMENTS.md`.
 
-use serde::{Deserialize, Serialize};
+use minijson::{ObjBuilder, Value};
 
 /// One point of a figure series: a method evaluated at an x-coordinate
 /// (sparsification ratio, density, …).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeriesPoint {
     /// Method name (`"GDB"`, `"EMD"`, `"NI"`, `"SS"`, …).
     pub method: String,
@@ -18,13 +18,17 @@ pub struct SeriesPoint {
 impl SeriesPoint {
     /// Creates a point.
     pub fn new(method: impl Into<String>, x: f64, value: f64) -> Self {
-        SeriesPoint { method: method.into(), x, value }
+        SeriesPoint {
+            method: method.into(),
+            x,
+            value,
+        }
     }
 }
 
 /// A complete experiment result: an identifier (e.g. `"fig6a"`), a
 /// description, axis labels and the measured series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Identifier matching the paper (e.g. `"table2"`, `"fig10_pr_flickr"`).
     pub id: String,
@@ -111,7 +115,60 @@ impl ExperimentReport {
 
     /// Serialises the report as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialises")
+        let points: Vec<Value> = self
+            .points
+            .iter()
+            .map(|p| {
+                ObjBuilder::new()
+                    .field("method", p.method.as_str())
+                    .field("x", p.x)
+                    .field("value", p.value)
+                    .build()
+            })
+            .collect();
+        ObjBuilder::new()
+            .field("id", self.id.as_str())
+            .field("description", self.description.as_str())
+            .field("x_label", self.x_label.as_str())
+            .field("y_label", self.y_label.as_str())
+            .field("points", Value::Arr(points))
+            .build()
+            .pretty()
+    }
+
+    /// Parses a JSON document produced by [`ExperimentReport::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let value = Value::parse(json).map_err(|e| e.to_string())?;
+        let str_field = |key: &str| -> Result<String, String> {
+            value
+                .get_str(key)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or invalid `{key}`"))
+        };
+        let mut report = ExperimentReport::new(
+            str_field("id")?,
+            str_field("description")?,
+            str_field("x_label")?,
+            str_field("y_label")?,
+        );
+        let points = value
+            .get("points")
+            .and_then(Value::as_array)
+            .ok_or("missing or invalid `points`")?;
+        for (i, point) in points.iter().enumerate() {
+            let parsed = (|| {
+                Some((
+                    point.get_str("method")?,
+                    point.get_f64("x")?,
+                    point.get_f64("value")?,
+                ))
+            })();
+            match parsed {
+                Some((method, x, v)) => report.push(method, x, v),
+                None => return Err(format!("point {i} is not a {{method, x, value}} object")),
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -135,7 +192,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given header cells.
     pub fn new(header: Vec<String>) -> Self {
-        TextTable { header, rows: Vec::new() }
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded or truncated to the header width).
@@ -214,9 +274,12 @@ mod tests {
     fn report_round_trips_through_json() {
         let mut report = ExperimentReport::new("t", "d", "x", "y");
         report.push("A", 1.0, 2.0);
+        report.push("B", 0.5, -3.25);
         let json = report.to_json();
-        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        let back = ExperimentReport::from_json(&json).unwrap();
         assert_eq!(report, back);
+        assert!(ExperimentReport::from_json("{}").is_err());
+        assert!(ExperimentReport::from_json("[oops").is_err());
     }
 
     #[test]

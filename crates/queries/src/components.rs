@@ -56,7 +56,9 @@ pub fn connectivity_query<R: Rng + ?Sized>(
             sizes[label] += 1;
         }
         let largest = sizes.iter().copied().max().unwrap_or(0);
-        let isolated = (0..world.num_vertices()).filter(|&u| world.degree(u) == 0).count();
+        let isolated = (0..world.num_vertices())
+            .filter(|&u| world.degree(u) == 0)
+            .count();
         acc[0] += count as f64;
         acc[1] += largest as f64;
         acc[2] += f64::from(count == 1);
@@ -90,8 +92,10 @@ pub fn expected_degree_histogram<R: Rng + ?Sized>(
             acc[world.degree(u)] += 1.0;
         }
     });
-    let mut histogram: Vec<f64> =
-        totals.into_iter().map(|x| x / mc.num_worlds as f64).collect();
+    let mut histogram: Vec<f64> = totals
+        .into_iter()
+        .map(|x| x / mc.num_worlds as f64)
+        .collect();
     while histogram.len() > 1 && histogram.last() == Some(&0.0) {
         histogram.pop();
     }
@@ -109,7 +113,14 @@ mod tests {
         // K4 with p = 0.3 on every edge: Pr[connected] ≈ 0.219 (Figure 1).
         let g = UncertainGraph::from_edges(
             4,
-            [(0, 1, 0.3), (0, 2, 0.3), (0, 3, 0.3), (1, 2, 0.3), (1, 3, 0.3), (2, 3, 0.3)],
+            [
+                (0, 1, 0.3),
+                (0, 2, 0.3),
+                (0, 3, 0.3),
+                (1, 2, 0.3),
+                (1, 3, 0.3),
+                (2, 3, 0.3),
+            ],
         )
         .unwrap();
         let mc = MonteCarlo::worlds(40_000);

@@ -1,0 +1,329 @@
+//! The reusable world-sampling engine: samples possible worlds and
+//! materialises them as [`DeterministicGraph`]s with **zero heap
+//! allocations per world** in steady state.
+//!
+//! The engine splits per-graph from per-world state:
+//!
+//! * [`WorldEngine`] — immutable, built once per graph: a
+//!   [`SkipSampler`] (edges sorted by descending probability, geometric
+//!   skips — `O(Σ pₑ)` expected draws per world) and a
+//!   [`WorldTemplate`] (edge endpoint table + support CSR).  Shareable
+//!   across threads.
+//! * [`WorldScratch`] — mutable, one per thread: the present-edge buffer and
+//!   a [`DeterministicGraph`] whose CSR buffers are recycled world after
+//!   world.
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use uncertain_graph::UncertainGraph;
+//! use ugs_queries::engine::WorldEngine;
+//!
+//! let g = UncertainGraph::from_edges(3, [(0, 1, 0.9), (1, 2, 0.4)]).unwrap();
+//! let engine = WorldEngine::new(&g);
+//! let mut scratch = engine.make_scratch();
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! for _ in 0..100 {
+//!     let world = engine.sample_world(&mut rng, &mut scratch);
+//!     assert!(world.num_edges() <= 2); // no allocation happened here
+//! }
+//! ```
+
+use rand::Rng;
+use uncertain_graph::{SkipSampler, UncertainGraph, WorldSampler};
+
+use graph_algos::{DeterministicGraph, WorldTemplate};
+
+/// How the engine draws the Bernoulli edge outcomes of a world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SampleMethod {
+    /// Pick automatically: skip-sampling when the mean edge probability is
+    /// at most [`SampleMethod::AUTO_SKIP_THRESHOLD`] (the sparsified-graph
+    /// regime the paper targets), per-edge otherwise.
+    #[default]
+    Auto,
+    /// One Bernoulli draw per edge in edge-id order — consumes the RNG
+    /// exactly like [`WorldSampler::sample`], so results are bit-identical
+    /// to the pre-engine driver for the same seed.
+    PerEdge,
+    /// Geometric skip-sampling over the edges sorted by descending
+    /// probability: `O(Σ pₑ)` expected draws per world.
+    Skip,
+}
+
+impl SampleMethod {
+    /// Mean edge probability at or below which [`SampleMethod::Auto`]
+    /// selects skip-sampling.  Above it, a plain per-edge sweep is cheaper
+    /// than paying a logarithm per (almost always present) edge.
+    pub const AUTO_SKIP_THRESHOLD: f64 = 0.5;
+}
+
+/// Per-thread scratch state: reused buffers for one world at a time.
+///
+/// Create with [`WorldEngine::make_scratch`]; every buffer is pre-sized for
+/// the engine's graph so the sample–materialise cycle never allocates.
+#[derive(Debug, Clone)]
+pub struct WorldScratch {
+    /// Present edge ids of the current world.
+    present: Vec<u32>,
+    /// Endpoints of the present edges (resolved once per world, so the
+    /// materialisation passes scan sequentially instead of gathering from
+    /// the edge table).
+    endpoints: Vec<(u32, u32)>,
+    /// The materialised world (buffers recycled between worlds).
+    world: DeterministicGraph,
+}
+
+impl WorldScratch {
+    /// Present edge ids of the most recently sampled world.
+    pub fn present_edges(&self) -> &[u32] {
+        &self.present
+    }
+
+    /// The most recently materialised world.
+    pub fn world(&self) -> &DeterministicGraph {
+        &self.world
+    }
+}
+
+/// Immutable world-sampling engine for one uncertain graph.
+///
+/// Construction costs one `O(|E| log |E|)` sort (for the skip order) and one
+/// `O(|V| + |E|)` pass (for the support template); afterwards
+/// [`WorldEngine::sample_world`] runs in `O(|V| + Σ pₑ)` expected time per
+/// world with zero heap allocations.
+#[derive(Debug, Clone)]
+pub struct WorldEngine<'g> {
+    graph: &'g UncertainGraph,
+    sampler: SkipSampler,
+    template: WorldTemplate,
+    method: SampleMethod,
+}
+
+impl<'g> WorldEngine<'g> {
+    /// Builds the engine for `g` with [`SampleMethod::Auto`].
+    pub fn new(g: &'g UncertainGraph) -> Self {
+        WorldEngine {
+            sampler: SkipSampler::new(g),
+            template: WorldTemplate::new(g),
+            method: SampleMethod::Auto,
+            graph: g,
+        }
+    }
+
+    /// Overrides the sampling method.
+    pub fn with_method(mut self, method: SampleMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// The graph this engine samples from.
+    pub fn graph(&self) -> &'g UncertainGraph {
+        self.graph
+    }
+
+    /// The support template shared by every materialised world.
+    pub fn template(&self) -> &WorldTemplate {
+        &self.template
+    }
+
+    /// The method the engine will actually use (resolves
+    /// [`SampleMethod::Auto`] from the mean edge probability, in O(1)).
+    pub fn effective_method(&self) -> SampleMethod {
+        match self.method {
+            SampleMethod::Auto => {
+                let m = self.sampler.num_edges();
+                let mean = if m == 0 {
+                    0.0
+                } else {
+                    self.sampler.expected_present() / m as f64
+                };
+                if mean <= SampleMethod::AUTO_SKIP_THRESHOLD {
+                    SampleMethod::Skip
+                } else {
+                    SampleMethod::PerEdge
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Creates a pre-sized per-thread scratch.
+    pub fn make_scratch(&self) -> WorldScratch {
+        WorldScratch {
+            present: Vec::with_capacity(self.template.num_edges()),
+            endpoints: Vec::with_capacity(self.template.num_edges()),
+            world: DeterministicGraph::with_capacity_for(&self.template),
+        }
+    }
+
+    /// Samples one world and materialises it into `scratch`, returning the
+    /// materialised [`DeterministicGraph`].  Allocation-free in steady
+    /// state.
+    pub fn sample_world<'s, R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &'s mut WorldScratch,
+    ) -> &'s DeterministicGraph {
+        match self.effective_method() {
+            SampleMethod::PerEdge => {
+                WorldSampler::new().sample_present_into(self.graph, rng, &mut scratch.present);
+            }
+            SampleMethod::Skip => {
+                self.sampler.sample_present_into(rng, &mut scratch.present);
+            }
+            SampleMethod::Auto => unreachable!("effective_method always resolves Auto"),
+        }
+        // Resolve endpoints once; the two materialisation passes then run
+        // over this compact sequential buffer.
+        scratch.endpoints.clear();
+        scratch.endpoints.extend(
+            scratch
+                .present
+                .iter()
+                .map(|&e| self.template.endpoints(e as usize)),
+        );
+        scratch
+            .world
+            .materialize_from_endpoints(self.template.num_vertices(), &scratch.endpoints);
+        &scratch.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use uncertain_graph::PossibleWorld;
+
+    fn toy(p: f64) -> UncertainGraph {
+        UncertainGraph::from_edges(
+            5,
+            [
+                (0, 1, p),
+                (1, 2, p),
+                (2, 3, p),
+                (3, 4, p),
+                (4, 0, p),
+                (0, 2, p),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn auto_method_tracks_mean_probability() {
+        let sparse = toy(0.2);
+        let dense = toy(0.9);
+        assert_eq!(
+            WorldEngine::new(&sparse).effective_method(),
+            SampleMethod::Skip
+        );
+        assert_eq!(
+            WorldEngine::new(&dense).effective_method(),
+            SampleMethod::PerEdge
+        );
+        let forced = WorldEngine::new(&dense).with_method(SampleMethod::Skip);
+        assert_eq!(forced.effective_method(), SampleMethod::Skip);
+    }
+
+    #[test]
+    fn per_edge_mode_reproduces_the_reference_sampler_exactly() {
+        // Same seed ⇒ the engine's per-edge mode draws the exact same worlds
+        // as the legacy `WorldSampler::sample` path, world after world.
+        let g = toy(0.4);
+        let engine = WorldEngine::new(&g).with_method(SampleMethod::PerEdge);
+        let mut scratch = engine.make_scratch();
+        let mut rng_engine = SmallRng::seed_from_u64(99);
+        let mut rng_reference = SmallRng::seed_from_u64(99);
+        let reference = WorldSampler::new();
+        for _ in 0..500 {
+            engine.sample_world(&mut rng_engine, &mut scratch);
+            let world = reference.sample(&g, &mut rng_reference);
+            let expected: Vec<u32> = world.present_edges().map(|e| e as u32).collect();
+            assert_eq!(scratch.present_edges(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn sampled_worlds_match_reference_materialisation() {
+        // For every method, the materialised CSR must equal what the legacy
+        // from_world path builds for the same edge set.
+        let g = toy(0.35);
+        for method in [SampleMethod::PerEdge, SampleMethod::Skip] {
+            let engine = WorldEngine::new(&g).with_method(method);
+            let mut scratch = engine.make_scratch();
+            let mut rng = SmallRng::seed_from_u64(11);
+            for _ in 0..200 {
+                engine.sample_world(&mut rng, &mut scratch);
+                let mut mask = vec![false; g.num_edges()];
+                for &e in scratch.present_edges() {
+                    mask[e as usize] = true;
+                }
+                let world = scratch.world();
+                let reference = DeterministicGraph::from_world(&g, &PossibleWorld::new(mask));
+                assert_eq!(world.num_vertices(), reference.num_vertices());
+                assert_eq!(world.num_edges(), reference.num_edges());
+                for u in 0..world.num_vertices() {
+                    let mut got: Vec<usize> = world.neighbors(u).collect();
+                    let mut want: Vec<usize> = reference.neighbors(u).collect();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "{method:?} vertex {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_sampling_matches_edge_frequencies() {
+        let g =
+            UncertainGraph::from_edges(4, [(0, 1, 0.05), (1, 2, 0.35), (2, 3, 0.85), (0, 3, 1.0)])
+                .unwrap();
+        let engine = WorldEngine::new(&g).with_method(SampleMethod::Skip);
+        let mut scratch = engine.make_scratch();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let worlds = 60_000;
+        let mut hits = [0usize; 4];
+        for _ in 0..worlds {
+            engine.sample_world(&mut rng, &mut scratch);
+            for &e in scratch.present_edges() {
+                hits[e as usize] += 1;
+            }
+        }
+        for (e, &expected) in [0.05, 0.35, 0.85, 1.0].iter().enumerate() {
+            let freq = hits[e] as f64 / worlds as f64;
+            assert!(
+                (freq - expected).abs() < 0.01,
+                "edge {e}: {freq} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_do_not_grow_after_warmup() {
+        let g = toy(0.5);
+        let engine = WorldEngine::new(&g).with_method(SampleMethod::Skip);
+        let mut scratch = engine.make_scratch();
+        let mut rng = SmallRng::seed_from_u64(5);
+        engine.sample_world(&mut rng, &mut scratch);
+        let present_cap = scratch.present.capacity();
+        for _ in 0..1_000 {
+            engine.sample_world(&mut rng, &mut scratch);
+        }
+        assert_eq!(scratch.present.capacity(), present_cap);
+    }
+
+    #[test]
+    fn empty_graph_samples_empty_worlds() {
+        let g = UncertainGraph::from_edges(3, []).unwrap();
+        let engine = WorldEngine::new(&g);
+        let mut scratch = engine.make_scratch();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let world = engine.sample_world(&mut rng, &mut scratch);
+        assert_eq!(world.num_edges(), 0);
+        assert_eq!(world.num_vertices(), 3);
+        assert_eq!(world.degree(2), 0);
+    }
+}

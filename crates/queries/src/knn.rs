@@ -68,7 +68,11 @@ pub fn k_nearest_neighbors<R: Rng + ?Sized>(
         a.expected_distance
             .partial_cmp(&b.expected_distance)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(b.reachability.partial_cmp(&a.reachability).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                b.reachability
+                    .partial_cmp(&a.reachability)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
             .then(a.vertex.cmp(&b.vertex))
     });
     neighbors.truncate(k);
@@ -93,11 +97,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn path_graph() -> UncertainGraph {
-        UncertainGraph::from_edges(
-            5,
-            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)],
-        )
-        .unwrap()
+        UncertainGraph::from_edges(5, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]).unwrap()
     }
 
     #[test]
@@ -123,8 +123,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let knn = k_nearest_neighbors(&g, 0, 4, &mc, &mut rng);
         assert_eq!(knn[0].vertex, 1);
-        assert!(knn.iter().all(|n| n.vertex != 3), "unreachable vertex must not appear");
-        let v2 = knn.iter().find(|n| n.vertex == 2).expect("vertex 2 occasionally reachable");
+        assert!(
+            knn.iter().all(|n| n.vertex != 3),
+            "unreachable vertex must not appear"
+        );
+        let v2 = knn
+            .iter()
+            .find(|n| n.vertex == 2)
+            .expect("vertex 2 occasionally reachable");
         assert!((v2.reachability - 0.05).abs() < 0.02);
     }
 
@@ -142,12 +148,28 @@ mod tests {
     #[test]
     fn overlap_measures_agreement() {
         let a = vec![
-            Neighbor { vertex: 1, expected_distance: 1.0, reachability: 1.0 },
-            Neighbor { vertex: 2, expected_distance: 2.0, reachability: 1.0 },
+            Neighbor {
+                vertex: 1,
+                expected_distance: 1.0,
+                reachability: 1.0,
+            },
+            Neighbor {
+                vertex: 2,
+                expected_distance: 2.0,
+                reachability: 1.0,
+            },
         ];
         let b = vec![
-            Neighbor { vertex: 2, expected_distance: 1.5, reachability: 0.9 },
-            Neighbor { vertex: 3, expected_distance: 2.5, reachability: 0.8 },
+            Neighbor {
+                vertex: 2,
+                expected_distance: 1.5,
+                reachability: 0.9,
+            },
+            Neighbor {
+                vertex: 3,
+                expected_distance: 2.5,
+                reachability: 0.8,
+            },
         ];
         assert!((knn_overlap(&a, &b) - 0.5).abs() < 1e-12);
         assert_eq!(knn_overlap(&a, &a), 1.0);

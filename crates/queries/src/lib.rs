@@ -1,27 +1,67 @@
 //! # ugs-queries
 //!
 //! Monte-Carlo query evaluation over uncertain graphs — the workloads of
-//! Section 6.3 of the paper:
+//! Section 6.3 of the paper (expected PageRank, expected clustering
+//! coefficient, shortest-path distance, reliability, connectivity, k-NN) —
+//! built on a **zero-allocation world-sampling engine**.
 //!
-//! * **PR** — expected PageRank of every vertex,
-//! * **CC** — expected local clustering coefficient of every vertex,
-//! * **SP** — expected shortest-path (hop) distance of a vertex pair over the
-//!   possible worlds in which the pair is connected,
-//! * **RL** — reliability: the probability that a vertex pair is connected.
+//! ## The engine
 //!
-//! All queries follow the same pattern: sample `N` possible worlds
-//! (`O(|E|)` per world — the reason sparsification speeds queries up),
-//! evaluate the deterministic kernel from `graph-algos` inside each world and
-//! aggregate.  [`MonteCarlo`] controls the number of worlds and optional
-//! multi-threading (crossbeam scoped threads, one RNG stream per thread).
-//! [`variance`] estimates the run-to-run variance of the whole estimator,
-//! which the paper uses to show that low-entropy sparsified graphs need far
-//! fewer samples (Figure 12).
+//! Sampling-based query answering spends almost all of its time drawing and
+//! materialising possible worlds, so the engine optimises exactly that
+//! cycle:
+//!
+//! * [`engine::WorldEngine`] is built once per graph: it sorts the edges by
+//!   descending probability for **skip-sampling** (geometric jumps directly
+//!   between present edges — `O(Σ pₑ)` expected RNG work per world instead
+//!   of one Bernoulli draw per edge) and precomputes a CSR *support
+//!   template* (endpoint table + offsets/neighbour/edge-id arrays).
+//! * [`engine::WorldScratch`] is the per-thread state: each world is
+//!   compacted into its reusable buffers, so steady-state sampling and
+//!   materialisation perform **zero heap allocations**.
+//! * [`MonteCarlo`] drives the loop: sequentially, or across
+//!   `std::thread::scope` workers that return their partial accumulators by
+//!   value on join (no locks).  Seeds are derived per worker from the
+//!   caller's RNG, so results are reproducible for a fixed seed and thread
+//!   count; the per-edge sampling mode is additionally bit-identical to the
+//!   pre-engine driver (guarded by [`mc::accumulate_reference`]).
+//!
+//! The speedup compounds with the paper's headline result: a sparsified
+//! graph `G'` has fewer edges *and* lower entropy, so each world is cheaper
+//! to draw (`Σ pₑ` shrinks) and fewer worlds are needed for the same
+//! confidence ([`variance`], Figure 12).
+//!
+//! ## Queries
+//!
+//! All queries follow the same pattern: sample `N` worlds through the
+//! engine, evaluate a deterministic kernel from `graph-algos` inside each
+//! world and aggregate.
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use uncertain_graph::UncertainGraph;
+//! use ugs_queries::prelude::*;
+//!
+//! let g = UncertainGraph::from_edges(4, [(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.7)]).unwrap();
+//! let mut rng = SmallRng::seed_from_u64(7);
+//!
+//! // Sequential, machine-independent run…
+//! let mc = MonteCarlo::worlds(500);
+//! let pr = expected_pagerank(&g, &mc, &mut rng);
+//! assert_eq!(pr.len(), 4);
+//!
+//! // …or one worker per core (deterministic for a fixed thread count).
+//! let mc = MonteCarlo::parallel(500);
+//! let estimate = connectivity_query(&g, &mc, &mut rng);
+//! assert!(estimate.probability_connected <= 1.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod components;
+pub mod engine;
 pub mod knn;
 pub mod mc;
 pub mod node_queries;
@@ -30,6 +70,7 @@ pub mod pairs;
 pub mod variance;
 
 pub use components::{connectivity_query, expected_degree_histogram, ConnectivityEstimate};
+pub use engine::{SampleMethod, WorldEngine, WorldScratch};
 pub use knn::{k_nearest_neighbors, knn_overlap, Neighbor};
 pub use mc::MonteCarlo;
 pub use node_queries::{expected_clustering_coefficients, expected_pagerank};
@@ -40,6 +81,7 @@ pub use variance::{estimator_variance, VarianceEstimate};
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
     pub use crate::components::{connectivity_query, ConnectivityEstimate};
+    pub use crate::engine::{SampleMethod, WorldEngine, WorldScratch};
     pub use crate::knn::{k_nearest_neighbors, knn_overlap, Neighbor};
     pub use crate::mc::MonteCarlo;
     pub use crate::node_queries::{expected_clustering_coefficients, expected_pagerank};

@@ -1,17 +1,37 @@
-//! Monte-Carlo world-sampling driver.
+//! Monte-Carlo driver built on the zero-allocation world engine.
 //!
-//! Sampling a possible world costs one Bernoulli draw per edge, and every
-//! query must be evaluated inside every sampled world, so the per-world work
-//! dominates query cost.  The driver supports an optional multi-threaded mode
-//! (crossbeam scoped threads) in which each thread samples and evaluates its
-//! share of the worlds with an independent RNG stream derived from the
-//! caller's RNG, so results remain reproducible for a fixed seed and thread
-//! count.
+//! Every query samples `N` possible worlds and folds a per-world kernel over
+//! them.  The driver owes its throughput to two properties of
+//! [`crate::engine::WorldEngine`]:
+//!
+//! * **skip-sampling** — drawing a world costs `O(Σ pₑ)` expected RNG work
+//!   instead of one Bernoulli draw per edge, a large win on the low-entropy
+//!   sparsified graphs the paper produces;
+//! * **scratch reuse** — each world is materialised by compacting into
+//!   per-thread scratch buffers, so the sample–materialise cycle performs
+//!   zero heap allocations in steady state.
+//!
+//! Multi-threaded runs use `std::thread::scope`: the worlds are split
+//! deterministically across workers, every worker owns its scratch and RNG
+//! stream, and partial accumulators are returned from the joined threads
+//! (no shared mutable state, no locks).
+//!
+//! ## Reproducibility
+//!
+//! `accumulate` draws exactly `min(threads, num_worlds).max(1)` seeds from
+//! the caller's RNG with `rng.gen::<u64>()` — one per worker — and nothing
+//! else, so the caller RNG advances by that many draws regardless of what
+//! the workers do.  For a fixed seed, fixed thread count and fixed sampling
+//! method the result is bit-for-bit deterministic.  With
+//! [`SampleMethod::PerEdge`] the sequential path is additionally
+//! bit-identical to the pre-engine driver (one Bernoulli draw per edge; see
+//! [`accumulate_reference`], kept as the regression oracle).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use uncertain_graph::{UncertainGraph, WorldSampler};
 
+use crate::engine::{SampleMethod, WorldEngine};
 use graph_algos::DeterministicGraph;
 
 /// Configuration of a Monte-Carlo run.
@@ -22,18 +42,50 @@ pub struct MonteCarlo {
     pub num_worlds: usize,
     /// Number of worker threads; 1 means fully sequential evaluation.
     pub threads: usize,
+    /// How worlds are sampled; [`SampleMethod::Auto`] picks skip-sampling
+    /// on sparse-probability graphs.
+    pub method: SampleMethod,
 }
 
 impl Default for MonteCarlo {
+    /// 500 worlds on all available cores with automatic sampling.
     fn default() -> Self {
-        MonteCarlo { num_worlds: 500, threads: 1 }
+        MonteCarlo {
+            num_worlds: 500,
+            threads: available_threads(),
+            method: SampleMethod::Auto,
+        }
     }
 }
 
+/// The number of worker threads a parallel run uses by default
+/// (`std::thread::available_parallelism`, falling back to 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 impl MonteCarlo {
-    /// A sequential run over `num_worlds` sampled worlds.
+    /// A sequential run over `num_worlds` sampled worlds.  Sequential runs
+    /// are machine-independent: the same seed yields the same result on any
+    /// host (parallel runs are deterministic only for a fixed thread
+    /// count).
     pub fn worlds(num_worlds: usize) -> Self {
-        MonteCarlo { num_worlds, threads: 1 }
+        MonteCarlo {
+            num_worlds,
+            threads: 1,
+            method: SampleMethod::Auto,
+        }
+    }
+
+    /// A run over `num_worlds` worlds on all available cores.
+    pub fn parallel(num_worlds: usize) -> Self {
+        MonteCarlo {
+            num_worlds,
+            threads: available_threads(),
+            method: SampleMethod::Auto,
+        }
     }
 
     /// Enables multi-threaded evaluation with `threads` workers.
@@ -42,15 +94,25 @@ impl MonteCarlo {
         self
     }
 
-    /// Samples `num_worlds` worlds, materialises each as a
-    /// [`DeterministicGraph`] and folds `per_world` over them, summing the
-    /// per-world accumulator vectors element-wise.
+    /// Overrides the world-sampling method.
+    pub fn with_method(mut self, method: SampleMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Samples `num_worlds` worlds through the world engine, materialises
+    /// each as a [`DeterministicGraph`] and folds `per_world` over them,
+    /// summing the per-world accumulator vectors element-wise.
     ///
-    /// `per_world` must return a vector of fixed length `accumulator_len`
-    /// (one slot per vertex, per pair, …).  The return value is the
-    /// element-wise **sum** over worlds — callers divide by
-    /// [`MonteCarlo::num_worlds`] (or by per-slot counters they track
+    /// `per_world` must return its observations through a vector of fixed
+    /// length `accumulator_len` (one slot per vertex, per pair, …).  The
+    /// return value is the element-wise **sum** over worlds — callers divide
+    /// by [`MonteCarlo::num_worlds`] (or by per-slot counters they track
     /// themselves) to obtain averages.
+    ///
+    /// The caller RNG advances by exactly `min(threads, num_worlds).max(1)`
+    /// `u64` draws — one seed per worker — or zero draws when
+    /// `num_worlds == 0`.
     pub fn accumulate<R, F>(
         &self,
         g: &UncertainGraph,
@@ -65,32 +127,40 @@ impl MonteCarlo {
         if self.num_worlds == 0 {
             return vec![0.0; accumulator_len];
         }
-        if self.threads <= 1 {
-            let mut rng = SmallRng::seed_from_u64(rng.gen());
-            return accumulate_sequential(g, accumulator_len, self.num_worlds, &mut rng, &per_world);
+        let engine = WorldEngine::new(g).with_method(self.method);
+        let threads = self.threads.clamp(1, self.num_worlds);
+        let seeds: Vec<u64> = (0..threads).map(|_| rng.gen::<u64>()).collect();
+        if threads == 1 {
+            return run_worlds(
+                &engine,
+                accumulator_len,
+                self.num_worlds,
+                seeds[0],
+                &per_world,
+            );
         }
-        // Split the worlds across threads; each thread gets its own RNG
-        // stream seeded from the caller's RNG.
-        let threads = self.threads.min(self.num_worlds);
-        let seeds: Vec<u64> = (0..threads).map(|_| rng.gen()).collect();
+        // Deterministic split: worker `idx` evaluates `base + (idx < extra)`
+        // worlds with its own RNG stream, and hands its partial accumulator
+        // back through `join` — no shared mutable state.
         let base = self.num_worlds / threads;
         let extra = self.num_worlds % threads;
-        let partials = parking_lot::Mutex::new(vec![vec![0.0; accumulator_len]; threads]);
-        crossbeam::thread::scope(|scope| {
-            for (idx, &seed) in seeds.iter().enumerate() {
-                let worlds = base + usize::from(idx < extra);
-                let per_world = &per_world;
-                let partials = &partials;
-                scope.spawn(move |_| {
-                    let mut rng = SmallRng::seed_from_u64(seed);
-                    let local =
-                        accumulate_sequential(g, accumulator_len, worlds, &mut rng, per_world);
-                    partials.lock()[idx] = local;
-                });
-            }
-        })
-        .expect("worker thread panicked");
-        let partials = partials.into_inner();
+        let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .enumerate()
+                .map(|(idx, &seed)| {
+                    let engine = &engine;
+                    let per_world = &per_world;
+                    let worlds = base + usize::from(idx < extra);
+                    scope
+                        .spawn(move || run_worlds(engine, accumulator_len, worlds, seed, per_world))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("worker thread panicked"))
+                .collect()
+        });
         let mut total = vec![0.0; accumulator_len];
         for partial in partials {
             for (t, p) in total.iter_mut().zip(partial.iter()) {
@@ -101,25 +171,64 @@ impl MonteCarlo {
     }
 }
 
-fn accumulate_sequential<F>(
-    g: &UncertainGraph,
+/// One worker's share: its own RNG stream, its own scratch, a local
+/// accumulator pair — returned to the caller when the worker joins.
+fn run_worlds<F>(
+    engine: &WorldEngine<'_>,
     accumulator_len: usize,
     num_worlds: usize,
-    rng: &mut SmallRng,
+    seed: u64,
     per_world: &F,
 ) -> Vec<f64>
 where
     F: Fn(&DeterministicGraph, &mut [f64]),
 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scratch = engine.make_scratch();
+    let mut total = vec![0.0; accumulator_len];
+    let mut local = vec![0.0; accumulator_len];
+    for _ in 0..num_worlds {
+        let world = engine.sample_world(&mut rng, &mut scratch);
+        local.iter_mut().for_each(|x| *x = 0.0);
+        per_world(world, &mut local);
+        for (t, s) in total.iter_mut().zip(local.iter()) {
+            *t += s;
+        }
+    }
+    total
+}
+
+/// The pre-engine sequential driver: allocates a fresh world mask and a
+/// fresh CSR per world (`WorldSampler::sample` +
+/// [`DeterministicGraph::from_world`]).
+///
+/// Kept as the regression oracle and benchmark baseline: for the same seed
+/// it must produce bit-identical accumulators to
+/// `MonteCarlo::worlds(n).with_method(SampleMethod::PerEdge)`.
+pub fn accumulate_reference<R, F>(
+    g: &UncertainGraph,
+    accumulator_len: usize,
+    num_worlds: usize,
+    rng: &mut R,
+    per_world: F,
+) -> Vec<f64>
+where
+    R: Rng + ?Sized,
+    F: Fn(&DeterministicGraph, &mut [f64]),
+{
+    if num_worlds == 0 {
+        return vec![0.0; accumulator_len];
+    }
+    let mut rng = SmallRng::seed_from_u64(rng.gen::<u64>());
     let sampler = WorldSampler::new();
     let mut total = vec![0.0; accumulator_len];
-    let mut scratch = vec![0.0; accumulator_len];
+    let mut local = vec![0.0; accumulator_len];
     for _ in 0..num_worlds {
-        let world = sampler.sample(g, rng);
+        let world = sampler.sample(g, &mut rng);
         let dg = DeterministicGraph::from_world(g, &world);
-        scratch.iter_mut().for_each(|x| *x = 0.0);
-        per_world(&dg, &mut scratch);
-        for (t, s) in total.iter_mut().zip(scratch.iter()) {
+        local.iter_mut().for_each(|x| *x = 0.0);
+        per_world(&dg, &mut local);
+        for (t, s) in total.iter_mut().zip(local.iter()) {
             *t += s;
         }
     }
@@ -156,12 +265,14 @@ mod tests {
     }
 
     #[test]
-    fn zero_worlds_returns_zero_vector() {
+    fn zero_worlds_returns_zero_vector_without_consuming_rng() {
         let g = toy();
         let mc = MonteCarlo::worlds(0);
         let mut rng = SmallRng::seed_from_u64(1);
         let totals = mc.accumulate(&g, 5, &mut rng, |_, _| panic!("must not be called"));
         assert_eq!(totals, vec![0.0; 5]);
+        let mut untouched = SmallRng::seed_from_u64(1);
+        assert_eq!(rng.gen::<u64>(), untouched.gen::<u64>());
     }
 
     #[test]
@@ -186,17 +297,105 @@ mod tests {
         let mc = MonteCarlo::worlds(10).with_threads(0);
         assert_eq!(mc.threads, 1);
         assert_eq!(MonteCarlo::default().num_worlds, 500);
+        assert!(MonteCarlo::default().threads >= 1);
+        assert!(MonteCarlo::parallel(10).threads >= 1);
     }
 
     #[test]
     fn same_seed_gives_identical_results_sequentially() {
         let g = toy();
-        let mc = MonteCarlo::worlds(100);
+        for method in [
+            SampleMethod::Auto,
+            SampleMethod::PerEdge,
+            SampleMethod::Skip,
+        ] {
+            let mc = MonteCarlo::worlds(100).with_method(method);
+            let run = |seed: u64| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                mc.accumulate(&g, 1, &mut rng, |world, acc| {
+                    acc[0] += world.num_edges() as f64
+                })
+            };
+            assert_eq!(run(7), run(7), "{method:?}");
+            assert_ne!(run(7), run(8), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn same_seed_and_thread_count_is_deterministic_in_parallel() {
+        let g = toy();
+        let mc = MonteCarlo::worlds(1_000).with_threads(3);
         let run = |seed: u64| {
             let mut rng = SmallRng::seed_from_u64(seed);
-            mc.accumulate(&g, 1, &mut rng, |world, acc| acc[0] += world.num_edges() as f64)
+            mc.accumulate(&g, 4, &mut rng, |world, acc| {
+                for (u, slot) in acc.iter_mut().enumerate() {
+                    *slot += world.degree(u) as f64;
+                }
+            })
         };
-        assert_eq!(run(7), run(7));
-        assert_ne!(run(7), run(8));
+        assert_eq!(run(21), run(21));
+    }
+
+    #[test]
+    fn per_edge_mode_is_bit_identical_to_the_reference_driver() {
+        // The regression contract of the engine refactor: same seed ⇒ the
+        // sequential per-edge path reproduces the pre-engine driver exactly,
+        // bit for bit.
+        let g = toy();
+        let kernel = |world: &DeterministicGraph, acc: &mut [f64]| {
+            acc[0] += world.num_edges() as f64;
+            for u in 0..world.num_vertices() {
+                acc[1] += (world.degree(u) * world.degree(u)) as f64;
+            }
+        };
+        let mut rng_new = SmallRng::seed_from_u64(1234);
+        let mc = MonteCarlo::worlds(500).with_method(SampleMethod::PerEdge);
+        let new = mc.accumulate(&g, 2, &mut rng_new, kernel);
+        let mut rng_old = SmallRng::seed_from_u64(1234);
+        let old = accumulate_reference(&g, 2, 500, &mut rng_old, kernel);
+        assert_eq!(new, old);
+        // Both consumed exactly one seed draw from the caller RNG.
+        assert_eq!(rng_new.gen::<u64>(), rng_old.gen::<u64>());
+    }
+
+    #[test]
+    fn caller_rng_advances_by_exactly_the_worker_count() {
+        let g = toy();
+        for (threads, num_worlds, expected_draws) in [(1, 50, 1), (4, 50, 4), (8, 3, 3)] {
+            let mc = MonteCarlo::worlds(num_worlds).with_threads(threads);
+            let mut rng = SmallRng::seed_from_u64(5);
+            mc.accumulate(&g, 1, &mut rng, |_, acc| acc[0] += 1.0);
+            let mut expected = SmallRng::seed_from_u64(5);
+            for _ in 0..expected_draws {
+                expected.gen::<u64>();
+            }
+            assert_eq!(
+                rng.gen::<u64>(),
+                expected.gen::<u64>(),
+                "threads={threads} worlds={num_worlds}"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_and_per_edge_agree_statistically() {
+        let g = toy();
+        let kernel = |world: &DeterministicGraph, acc: &mut [f64]| {
+            acc[0] += world.num_edges() as f64;
+        };
+        let mut rng = SmallRng::seed_from_u64(9);
+        let skip = MonteCarlo::worlds(30_000)
+            .with_method(SampleMethod::Skip)
+            .accumulate(&g, 1, &mut rng, kernel);
+        let per_edge = MonteCarlo::worlds(30_000)
+            .with_method(SampleMethod::PerEdge)
+            .accumulate(&g, 1, &mut rng, kernel);
+        let mean_skip = skip[0] / 30_000.0;
+        let mean_per_edge = per_edge[0] / 30_000.0;
+        assert!((mean_skip - 1.75).abs() < 0.02, "skip {mean_skip}");
+        assert!(
+            (mean_skip - mean_per_edge).abs() < 0.03,
+            "{mean_skip} vs {mean_per_edge}"
+        );
     }
 }

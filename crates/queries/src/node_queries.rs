@@ -35,7 +35,10 @@ pub fn expected_pagerank_with<R: Rng + ?Sized>(
             *a += p;
         }
     });
-    totals.into_iter().map(|x| x / mc.num_worlds as f64).collect()
+    totals
+        .into_iter()
+        .map(|x| x / mc.num_worlds as f64)
+        .collect()
 }
 
 /// Expected local clustering coefficient of every vertex, averaged over
@@ -55,7 +58,10 @@ pub fn expected_clustering_coefficients<R: Rng + ?Sized>(
             *a += c;
         }
     });
-    totals.into_iter().map(|x| x / mc.num_worlds as f64).collect()
+    totals
+        .into_iter()
+        .map(|x| x / mc.num_worlds as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -70,7 +76,13 @@ mod tests {
         // estimate equals the deterministic value exactly.
         let g = UncertainGraph::from_edges(
             4,
-            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 1.0)],
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 0, 1.0),
+                (0, 2, 1.0),
+            ],
         )
         .unwrap();
         let mc = MonteCarlo::worlds(16);
@@ -121,7 +133,10 @@ mod tests {
         let mc = MonteCarlo::worlds(0);
         let mut rng = SmallRng::seed_from_u64(2);
         assert_eq!(expected_pagerank(&g, &mc, &mut rng), vec![0.0; 3]);
-        assert_eq!(expected_clustering_coefficients(&g, &mc, &mut rng), vec![0.0; 3]);
+        assert_eq!(
+            expected_clustering_coefficients(&g, &mc, &mut rng),
+            vec![0.0; 3]
+        );
     }
 
     #[test]
@@ -129,7 +144,13 @@ mod tests {
         // A star with reliable spokes: the centre must dominate.
         let g = UncertainGraph::from_edges(
             6,
-            [(0, 1, 0.9), (0, 2, 0.9), (0, 3, 0.9), (0, 4, 0.9), (0, 5, 0.9)],
+            [
+                (0, 1, 0.9),
+                (0, 2, 0.9),
+                (0, 3, 0.9),
+                (0, 4, 0.9),
+                (0, 5, 0.9),
+            ],
         )
         .unwrap();
         let mc = MonteCarlo::worlds(400);

@@ -37,7 +37,11 @@ impl PairQueryResult {
     /// The `SP` observations with never-connected pairs removed (used when
     /// building empirical distributions).
     pub fn finite_distances(&self) -> Vec<f64> {
-        self.mean_distance.iter().copied().filter(|d| d.is_finite()).collect()
+        self.mean_distance
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .collect()
     }
 }
 
@@ -61,7 +65,8 @@ pub fn pair_queries<R: Rng + ?Sized>(
 
     // Group the pairs by source vertex so that one BFS per world serves all
     // pairs sharing that source.
-    let mut by_source: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut by_source: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
     for (idx, &(u, _)) in pairs.iter().enumerate() {
         by_source.entry(u).or_default().push(idx);
     }
@@ -127,8 +132,7 @@ mod tests {
 
     #[test]
     fn deterministic_path_graph_has_exact_distances_and_full_reliability() {
-        let g =
-            UncertainGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let g = UncertainGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
         let pairs = vec![(0, 3), (0, 1), (1, 3)];
         let mc = MonteCarlo::worlds(50);
         let mut rng = SmallRng::seed_from_u64(1);
@@ -178,11 +182,8 @@ mod tests {
     fn shortest_path_uses_alternative_routes_when_available() {
         // Square 0-1-2-3-0: distance(0,2) is 2 whenever any of the two
         // 2-hop routes survives.
-        let g = UncertainGraph::from_edges(
-            4,
-            [(0, 1, 0.7), (1, 2, 0.7), (2, 3, 0.7), (3, 0, 0.7)],
-        )
-        .unwrap();
+        let g = UncertainGraph::from_edges(4, [(0, 1, 0.7), (1, 2, 0.7), (2, 3, 0.7), (3, 0, 0.7)])
+            .unwrap();
         let pairs = vec![(0, 2)];
         let mc = MonteCarlo::worlds(20_000);
         let mut rng = SmallRng::seed_from_u64(3);

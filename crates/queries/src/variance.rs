@@ -61,7 +61,11 @@ where
     for rep in 0..repetitions {
         let values = estimator(rep);
         if let Some(first) = runs.first() {
-            assert_eq!(first.len(), values.len(), "estimator changed its output length");
+            assert_eq!(
+                first.len(),
+                values.len(),
+                "estimator changed its output length"
+            );
         }
         runs.push(values);
     }
@@ -69,8 +73,11 @@ where
     let mut mean = vec![0.0; items];
     let mut per_item = vec![0.0; items];
     for item in 0..items {
-        let observations: Vec<f64> =
-            runs.iter().map(|r| r[item]).filter(|x| x.is_finite()).collect();
+        let observations: Vec<f64> = runs
+            .iter()
+            .map(|r| r[item])
+            .filter(|x| x.is_finite())
+            .collect();
         if observations.len() < 2 {
             mean[item] = observations.first().copied().unwrap_or(0.0);
             per_item[item] = 0.0;
@@ -82,7 +89,11 @@ where
         mean[item] = m;
         per_item[item] = var;
     }
-    VarianceEstimate { per_item, mean, repetitions }
+    VarianceEstimate {
+        per_item,
+        mean,
+        repetitions,
+    }
 }
 
 #[cfg(test)]

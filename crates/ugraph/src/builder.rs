@@ -81,10 +81,16 @@ impl UncertainGraphBuilder {
     /// Returns the edge id on success.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId, p: f64) -> Result<usize, GraphError> {
         if u >= self.num_vertices {
-            return Err(GraphError::VertexOutOfRange { vertex: u, num_vertices: self.num_vertices });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                num_vertices: self.num_vertices,
+            });
         }
         if v >= self.num_vertices {
-            return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: self.num_vertices });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.num_vertices,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -105,7 +111,12 @@ impl UncertainGraphBuilder {
     /// probability untouched.  Returns `true` if the edge was inserted.
     ///
     /// Useful for generators that may propose the same pair twice.
-    pub fn add_edge_if_absent(&mut self, u: VertexId, v: VertexId, p: f64) -> Result<bool, GraphError> {
+    pub fn add_edge_if_absent(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        p: f64,
+    ) -> Result<bool, GraphError> {
         if self.contains_edge(u, v) {
             Ok(false)
         } else {
@@ -134,25 +145,49 @@ mod tests {
     #[test]
     fn rejects_out_of_range_vertices() {
         let mut b = UncertainGraphBuilder::new(2);
-        assert!(matches!(b.add_edge(2, 0, 0.5), Err(GraphError::VertexOutOfRange { vertex: 2, .. })));
-        assert!(matches!(b.add_edge(0, 5, 0.5), Err(GraphError::VertexOutOfRange { vertex: 5, .. })));
+        assert!(matches!(
+            b.add_edge(2, 0, 0.5),
+            Err(GraphError::VertexOutOfRange { vertex: 2, .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 5, 0.5),
+            Err(GraphError::VertexOutOfRange { vertex: 5, .. })
+        ));
     }
 
     #[test]
     fn rejects_self_loops_and_bad_probabilities() {
         let mut b = UncertainGraphBuilder::new(3);
-        assert!(matches!(b.add_edge(1, 1, 0.5), Err(GraphError::SelfLoop { vertex: 1 })));
-        assert!(matches!(b.add_edge(0, 1, 0.0), Err(GraphError::InvalidProbability { .. })));
-        assert!(matches!(b.add_edge(0, 1, -3.0), Err(GraphError::InvalidProbability { .. })));
-        assert!(matches!(b.add_edge(0, 1, 2.0), Err(GraphError::InvalidProbability { .. })));
+        assert!(matches!(
+            b.add_edge(1, 1, 0.5),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, 0.0),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, -3.0),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, 2.0),
+            Err(GraphError::InvalidProbability { .. })
+        ));
     }
 
     #[test]
     fn rejects_parallel_edges_in_both_orientations() {
         let mut b = UncertainGraphBuilder::new(3);
         b.add_edge(0, 1, 0.5).unwrap();
-        assert!(matches!(b.add_edge(0, 1, 0.7), Err(GraphError::DuplicateEdge { .. })));
-        assert!(matches!(b.add_edge(1, 0, 0.7), Err(GraphError::DuplicateEdge { .. })));
+        assert!(matches!(
+            b.add_edge(0, 1, 0.7),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(1, 0, 0.7),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
         assert_eq!(b.num_edges(), 1);
     }
 

@@ -91,7 +91,14 @@ mod tests {
         // the ratio direction: the sparsified graph has lower entropy.
         let g = UncertainGraph::from_edges(
             4,
-            [(0, 1, 0.3), (0, 2, 0.3), (0, 3, 0.3), (1, 2, 0.3), (1, 3, 0.3), (2, 3, 0.3)],
+            [
+                (0, 1, 0.3),
+                (0, 2, 0.3),
+                (0, 3, 0.3),
+                (1, 2, 0.3),
+                (1, 3, 0.3),
+                (2, 3, 0.3),
+            ],
         )
         .unwrap();
         let s = UncertainGraph::from_edges(4, [(0, 1, 0.6), (1, 2, 0.6), (2, 3, 0.6)]).unwrap();

@@ -64,12 +64,18 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "vertex {vertex} out of range for a graph with {num_vertices} vertices"
             ),
             GraphError::EdgeOutOfRange { edge, num_edges } => {
-                write!(f, "edge {edge} out of range for a graph with {num_edges} edges")
+                write!(
+                    f,
+                    "edge {edge} out of range for a graph with {num_edges} edges"
+                )
             }
             GraphError::InvalidProbability { value } => {
                 write!(f, "edge probability {value} is outside (0, 1]")
@@ -77,11 +83,16 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop { vertex } => write!(f, "self loop on vertex {vertex}"),
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
             GraphError::MissingEdge { u, v } => write!(f, "edge ({u}, {v}) does not exist"),
-            GraphError::TooManyEdgesForEnumeration { num_edges, max_edges } => write!(
+            GraphError::TooManyEdgesForEnumeration {
+                num_edges,
+                max_edges,
+            } => write!(
                 f,
                 "exact enumeration supports at most {max_edges} edges, graph has {num_edges}"
             ),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
@@ -136,24 +147,48 @@ mod tests {
     fn errors_display_useful_messages() {
         let cases: Vec<(GraphError, &str)> = vec![
             (
-                GraphError::VertexOutOfRange { vertex: 7, num_vertices: 5 },
+                GraphError::VertexOutOfRange {
+                    vertex: 7,
+                    num_vertices: 5,
+                },
                 "vertex 7 out of range",
             ),
-            (GraphError::EdgeOutOfRange { edge: 9, num_edges: 3 }, "edge 9 out of range"),
-            (GraphError::InvalidProbability { value: 2.0 }, "outside (0, 1]"),
+            (
+                GraphError::EdgeOutOfRange {
+                    edge: 9,
+                    num_edges: 3,
+                },
+                "edge 9 out of range",
+            ),
+            (
+                GraphError::InvalidProbability { value: 2.0 },
+                "outside (0, 1]",
+            ),
             (GraphError::SelfLoop { vertex: 3 }, "self loop"),
             (GraphError::DuplicateEdge { u: 1, v: 2 }, "duplicate edge"),
             (GraphError::MissingEdge { u: 0, v: 4 }, "does not exist"),
             (
-                GraphError::TooManyEdgesForEnumeration { num_edges: 64, max_edges: 30 },
+                GraphError::TooManyEdgesForEnumeration {
+                    num_edges: 64,
+                    max_edges: 30,
+                },
                 "exact enumeration",
             ),
-            (GraphError::Parse { line: 12, message: "bad float".into() }, "line 12"),
+            (
+                GraphError::Parse {
+                    line: 12,
+                    message: "bad float".into(),
+                },
+                "line 12",
+            ),
             (GraphError::Io("disk on fire".into()), "disk on fire"),
         ];
         for (err, needle) in cases {
             let shown = err.to_string();
-            assert!(shown.contains(needle), "{shown:?} should contain {needle:?}");
+            assert!(
+                shown.contains(needle),
+                "{shown:?} should contain {needle:?}"
+            );
         }
     }
 

@@ -107,7 +107,13 @@ impl UncertainGraph {
             adj[cursor[v as usize]] = (u, e as u32);
             cursor[v as usize] += 1;
         }
-        UncertainGraph { num_vertices, endpoints, probabilities, offsets, adj }
+        UncertainGraph {
+            num_vertices,
+            endpoints,
+            probabilities,
+            offsets,
+            adj,
+        }
     }
 
     /// Number of vertices `|V|`.
@@ -135,9 +141,16 @@ impl UncertainGraph {
 
     /// Iterator over all edges in identifier order.
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.endpoints.iter().zip(self.probabilities.iter()).enumerate().map(|(id, (&(u, v), &p))| {
-            EdgeRef { id, u: u as usize, v: v as usize, p }
-        })
+        self.endpoints
+            .iter()
+            .zip(self.probabilities.iter())
+            .enumerate()
+            .map(|(id, (&(u, v), &p))| EdgeRef {
+                id,
+                u: u as usize,
+                v: v as usize,
+                p,
+            })
     }
 
     /// Endpoints `(u, v)` of edge `e`.
@@ -154,7 +167,12 @@ impl UncertainGraph {
     #[inline]
     pub fn edge(&self, e: EdgeId) -> EdgeRef {
         let (u, v) = self.edge_endpoints(e);
-        EdgeRef { id: e, u, v, p: self.probabilities[e] }
+        EdgeRef {
+            id: e,
+            u,
+            v,
+            p: self.probabilities[e],
+        }
     }
 
     /// Probability of edge `e`.
@@ -172,7 +190,10 @@ impl UncertainGraph {
     /// edge does not exist.  The adjacency structure is untouched.
     pub fn set_edge_probability(&mut self, e: EdgeId, p: f64) -> Result<(), GraphError> {
         if e >= self.num_edges() {
-            return Err(GraphError::EdgeOutOfRange { edge: e, num_edges: self.num_edges() });
+            return Err(GraphError::EdgeOutOfRange {
+                edge: e,
+                num_edges: self.num_edges(),
+            });
         }
         validate_probability(p)?;
         self.probabilities[e] = p;
@@ -222,7 +243,11 @@ impl UncertainGraph {
             return None;
         }
         // Scan the smaller adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adj[self.offsets[a]..self.offsets[a + 1]]
             .iter()
             .find(|&&(w, _)| w as usize == b)
@@ -292,7 +317,10 @@ impl UncertainGraph {
         let mut builder = crate::builder::UncertainGraphBuilder::new(self.num_vertices);
         for (e, p) in edges {
             if e >= self.num_edges() {
-                return Err(GraphError::EdgeOutOfRange { edge: e, num_edges: self.num_edges() });
+                return Err(GraphError::EdgeOutOfRange {
+                    edge: e,
+                    num_edges: self.num_edges(),
+                });
             }
             let (u, v) = self.edge_endpoints(e);
             builder.add_edge(u, v, p)?;
@@ -310,7 +338,10 @@ impl UncertainGraph {
             .into_iter()
             .map(|e| {
                 if e >= self.num_edges() {
-                    Err(GraphError::EdgeOutOfRange { edge: e, num_edges: self.num_edges() })
+                    Err(GraphError::EdgeOutOfRange {
+                        edge: e,
+                        num_edges: self.num_edges(),
+                    })
                 } else {
                     Ok((e, self.probabilities[e]))
                 }
@@ -322,11 +353,17 @@ impl UncertainGraph {
     /// Builds the induced subgraph on a set of vertices, relabelling the kept
     /// vertices to `0..k` in the order given. Returns the new graph along with
     /// the mapping `new id -> old id`.
-    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> Result<(UncertainGraph, Vec<VertexId>), GraphError> {
+    pub fn induced_subgraph(
+        &self,
+        vertices: &[VertexId],
+    ) -> Result<(UncertainGraph, Vec<VertexId>), GraphError> {
         let mut new_id = vec![usize::MAX; self.num_vertices];
         for (i, &v) in vertices.iter().enumerate() {
             if v >= self.num_vertices {
-                return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: self.num_vertices });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    num_vertices: self.num_vertices,
+                });
             }
             new_id[v] = i;
         }
@@ -350,7 +387,14 @@ mod tests {
     fn figure1a() -> UncertainGraph {
         UncertainGraph::from_edges(
             4,
-            [(0, 1, 0.3), (0, 2, 0.3), (0, 3, 0.3), (1, 2, 0.3), (1, 3, 0.3), (2, 3, 0.3)],
+            [
+                (0, 1, 0.3),
+                (0, 2, 0.3),
+                (0, 3, 0.3),
+                (1, 2, 0.3),
+                (1, 3, 0.3),
+                (2, 3, 0.3),
+            ],
         )
         .unwrap()
     }
@@ -455,7 +499,11 @@ mod tests {
     fn subgraph_with_probabilities_keeps_vertex_set() {
         let g = figure1a();
         // Figure 1(b): the sparsified graph keeps half the edges with p = 0.6.
-        let kept = vec![(g.find_edge(0, 1).unwrap(), 0.6), (g.find_edge(1, 2).unwrap(), 0.6), (g.find_edge(2, 3).unwrap(), 0.6)];
+        let kept = vec![
+            (g.find_edge(0, 1).unwrap(), 0.6),
+            (g.find_edge(1, 2).unwrap(), 0.6),
+            (g.find_edge(2, 3).unwrap(), 0.6),
+        ];
         let s = g.subgraph_with_probabilities(kept).unwrap();
         assert_eq!(s.num_vertices(), 4);
         assert_eq!(s.num_edges(), 3);

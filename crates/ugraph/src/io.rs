@@ -1,27 +1,28 @@
 //! Reading and writing uncertain graphs.
 //!
-//! Two formats are supported:
+//! Three formats are supported:
 //!
 //! * **Text edge list** — one `u v p` triple per line, `#`-prefixed comment
 //!   lines and blank lines ignored.  A header comment carries the number of
 //!   vertices so isolated vertices survive a round trip.  This matches the
 //!   de-facto format used by published uncertain-graph datasets (Flickr,
 //!   Twitter, BIOMINE, …).
-//! * **Serde** — [`SerializableGraph`] is a `serde`-friendly mirror of
-//!   [`UncertainGraph`] that can be written as JSON (or any serde format) and
-//!   converted back, plus a compact binary encoding built on [`bytes`].
+//! * **JSON** — [`SerializableGraph`] is a plain mirror of
+//!   [`UncertainGraph`] written and read with the workspace's dependency-free
+//!   `minijson` crate ([`to_json`] / [`from_json`]).
+//! * **Binary** — a compact little-endian encoding ([`to_bytes`] /
+//!   [`from_bytes`]) that round-trips probabilities exactly.
 
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
+use minijson::{ObjBuilder, Value};
 
 use crate::error::GraphError;
 use crate::graph::UncertainGraph;
 
-/// A serde-serializable mirror of an [`UncertainGraph`].
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+/// A serialisation-friendly mirror of an [`UncertainGraph`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct SerializableGraph {
     /// Number of vertices.
     pub num_vertices: usize,
@@ -46,10 +47,58 @@ impl TryFrom<SerializableGraph> for UncertainGraph {
     }
 }
 
+impl SerializableGraph {
+    /// Renders the mirror as a compact JSON document.
+    pub fn to_json(&self) -> String {
+        let edges: Vec<Value> = self
+            .edges
+            .iter()
+            .map(|&(u, v, p)| Value::Arr(vec![u.into(), v.into(), p.into()]))
+            .collect();
+        ObjBuilder::new()
+            .field("num_vertices", self.num_vertices)
+            .field("edges", Value::Arr(edges))
+            .build()
+            .render()
+    }
+
+    /// Parses a JSON document produced by [`SerializableGraph::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, GraphError> {
+        let parse_err = |message: String| GraphError::Parse { line: 0, message };
+        let value = Value::parse(json).map_err(|e| parse_err(e.to_string()))?;
+        let num_vertices = value
+            .get_usize("num_vertices")
+            .ok_or_else(|| parse_err("missing or invalid `num_vertices`".into()))?;
+        let edge_values = value
+            .get("edges")
+            .and_then(Value::as_array)
+            .ok_or_else(|| parse_err("missing or invalid `edges`".into()))?;
+        let mut edges = Vec::with_capacity(edge_values.len());
+        for (i, edge) in edge_values.iter().enumerate() {
+            let triple = edge.as_array().filter(|t| t.len() == 3);
+            let parsed =
+                triple.and_then(|t| Some((t[0].as_usize()?, t[1].as_usize()?, t[2].as_f64()?)));
+            match parsed {
+                Some(triple) => edges.push(triple),
+                None => return Err(parse_err(format!("edge {i} is not a [u, v, p] triple"))),
+            }
+        }
+        Ok(SerializableGraph {
+            num_vertices,
+            edges,
+        })
+    }
+}
+
 /// Writes `g` in the text edge-list format to an arbitrary writer.
 pub fn write_text<W: Write>(g: &UncertainGraph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# uncertain graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# uncertain graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     writeln!(w, "# vertices {}", g.num_vertices())?;
     for e in g.edges() {
         writeln!(w, "{} {} {}", e.u, e.v, e.p)?;
@@ -98,22 +147,35 @@ pub fn read_text<R: BufRead>(reader: R) -> Result<UncertainGraph, GraphError> {
                 message: format!("missing {what}"),
             })
         };
-        let u: usize = parse_field(parts.next(), "source vertex")?.parse().map_err(|_| {
-            GraphError::Parse { line: lineno, message: "invalid source vertex".into() }
-        })?;
-        let v: usize = parse_field(parts.next(), "target vertex")?.parse().map_err(|_| {
-            GraphError::Parse { line: lineno, message: "invalid target vertex".into() }
-        })?;
-        let p: f64 = parse_field(parts.next(), "probability")?.parse().map_err(|_| {
-            GraphError::Parse { line: lineno, message: "invalid probability".into() }
-        })?;
+        let u: usize = parse_field(parts.next(), "source vertex")?
+            .parse()
+            .map_err(|_| GraphError::Parse {
+                line: lineno,
+                message: "invalid source vertex".into(),
+            })?;
+        let v: usize = parse_field(parts.next(), "target vertex")?
+            .parse()
+            .map_err(|_| GraphError::Parse {
+                line: lineno,
+                message: "invalid target vertex".into(),
+            })?;
+        let p: f64 = parse_field(parts.next(), "probability")?
+            .parse()
+            .map_err(|_| GraphError::Parse {
+                line: lineno,
+                message: "invalid probability".into(),
+            })?;
         if parts.next().is_some() {
-            return Err(GraphError::Parse { line: lineno, message: "trailing fields".into() });
+            return Err(GraphError::Parse {
+                line: lineno,
+                message: "trailing fields".into(),
+            });
         }
         max_vertex = max_vertex.max(u).max(v);
         edges.push((u, v, p));
     }
-    let num_vertices = declared_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_vertex + 1 });
+    let num_vertices =
+        declared_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_vertex + 1 });
     UncertainGraph::from_edges(num_vertices, edges)
 }
 
@@ -125,15 +187,13 @@ pub fn read_text_file<P: AsRef<Path>>(path: P) -> Result<UncertainGraph, GraphEr
 
 /// Serialises `g` to a JSON string.
 pub fn to_json(g: &UncertainGraph) -> Result<String, GraphError> {
-    serde_json::to_string(&SerializableGraph::from(g)).map_err(|e| GraphError::Io(e.to_string()))
+    Ok(SerializableGraph::from(g).to_json())
 }
 
 /// Deserialises an uncertain graph from a JSON string produced by
 /// [`to_json`].
 pub fn from_json(json: &str) -> Result<UncertainGraph, GraphError> {
-    let s: SerializableGraph =
-        serde_json::from_str(json).map_err(|e| GraphError::Parse { line: 0, message: e.to_string() })?;
-    s.try_into()
+    SerializableGraph::from_json(json)?.try_into()
 }
 
 /// Magic bytes identifying the compact binary encoding.
@@ -142,35 +202,40 @@ const BINARY_MAGIC: &[u8; 4] = b"UGS1";
 /// Encodes `g` into a compact binary representation:
 /// magic, `u64` vertex count, `u64` edge count, then `(u32, u32, f64)` per
 /// edge in little-endian order.
-pub fn to_bytes(g: &UncertainGraph) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + 16 + g.num_edges() * 16);
-    buf.put_slice(BINARY_MAGIC);
-    buf.put_u64_le(g.num_vertices() as u64);
-    buf.put_u64_le(g.num_edges() as u64);
+pub fn to_bytes(g: &UncertainGraph) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + 16 + g.num_edges() * 16);
+    buf.extend_from_slice(BINARY_MAGIC);
+    buf.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+    buf.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
     for e in g.edges() {
-        buf.put_u32_le(e.u as u32);
-        buf.put_u32_le(e.v as u32);
-        buf.put_f64_le(e.p);
+        buf.extend_from_slice(&(e.u as u32).to_le_bytes());
+        buf.extend_from_slice(&(e.v as u32).to_le_bytes());
+        buf.extend_from_slice(&e.p.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a graph previously encoded with [`to_bytes`].
-pub fn from_bytes(mut data: &[u8]) -> Result<UncertainGraph, GraphError> {
+pub fn from_bytes(data: &[u8]) -> Result<UncertainGraph, GraphError> {
+    let corrupt = |message: &str| GraphError::Parse {
+        line: 0,
+        message: message.into(),
+    };
     if data.len() < 20 || &data[..4] != BINARY_MAGIC {
-        return Err(GraphError::Parse { line: 0, message: "bad magic for binary graph".into() });
+        return Err(corrupt("bad magic for binary graph"));
     }
-    data.advance(4);
-    let num_vertices = data.get_u64_le() as usize;
-    let num_edges = data.get_u64_le() as usize;
-    if data.remaining() < num_edges * 16 {
-        return Err(GraphError::Parse { line: 0, message: "truncated binary graph".into() });
+    let read_u64 = |at: usize| u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes"));
+    let num_vertices = read_u64(4) as usize;
+    let num_edges = read_u64(12) as usize;
+    let body = &data[20..];
+    if body.len() < num_edges.saturating_mul(16) {
+        return Err(corrupt("truncated binary graph"));
     }
     let mut edges = Vec::with_capacity(num_edges);
-    for _ in 0..num_edges {
-        let u = data.get_u32_le() as usize;
-        let v = data.get_u32_le() as usize;
-        let p = data.get_f64_le();
+    for chunk in body.chunks_exact(16).take(num_edges) {
+        let u = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")) as usize;
+        let v = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes")) as usize;
+        let p = f64::from_le_bytes(chunk[8..16].try_into().expect("8 bytes"));
         edges.push((u, v, p));
     }
     UncertainGraph::from_edges(num_vertices, edges)
@@ -218,11 +283,20 @@ mod tests {
             other => panic!("expected parse error, got {other:?}"),
         }
         let input = "0 1\n";
-        assert!(matches!(read_text(std::io::Cursor::new(input)), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(
+            read_text(std::io::Cursor::new(input)),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
         let input = "0 1 0.5 9\n";
-        assert!(matches!(read_text(std::io::Cursor::new(input)), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(
+            read_text(std::io::Cursor::new(input)),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
         let input = "# vertices nope\n0 1 0.5\n";
-        assert!(matches!(read_text(std::io::Cursor::new(input)), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(
+            read_text(std::io::Cursor::new(input)),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
     }
 
     #[test]
@@ -247,6 +321,26 @@ mod tests {
     }
 
     #[test]
+    fn json_rejects_structurally_wrong_documents() {
+        assert!(
+            from_json(r#"{"edges": []}"#).is_err(),
+            "missing num_vertices"
+        );
+        assert!(
+            from_json(r#"{"num_vertices": 3}"#).is_err(),
+            "missing edges"
+        );
+        assert!(
+            from_json(r#"{"num_vertices": 3, "edges": [[0, 1]]}"#).is_err(),
+            "short triple"
+        );
+        assert!(
+            from_json(r#"{"num_vertices": 3, "edges": [[0, "x", 0.5]]}"#).is_err(),
+            "non-numeric vertex"
+        );
+    }
+
+    #[test]
     fn binary_round_trip() {
         let g = sample();
         let bytes = to_bytes(&g);
@@ -265,7 +359,10 @@ mod tests {
 
     #[test]
     fn serializable_graph_rejects_invalid_edges_on_conversion() {
-        let s = SerializableGraph { num_vertices: 2, edges: vec![(0, 1, 2.0)] };
+        let s = SerializableGraph {
+            num_vertices: 2,
+            edges: vec![(0, 1, 2.0)],
+        };
         assert!(UncertainGraph::try_from(s).is_err());
     }
 }

@@ -61,7 +61,7 @@ pub use builder::UncertainGraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeId, EdgeRef, UncertainGraph, VertexId};
 pub use stats::GraphStatistics;
-pub use worlds::{PossibleWorld, WorldSampler};
+pub use worlds::{PossibleWorld, SkipSampler, WorldSampler};
 
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
@@ -70,5 +70,5 @@ pub mod prelude {
     pub use crate::error::GraphError;
     pub use crate::graph::{EdgeId, EdgeRef, UncertainGraph, VertexId};
     pub use crate::stats::GraphStatistics;
-    pub use crate::worlds::{PossibleWorld, WorldSampler};
+    pub use crate::worlds::{PossibleWorld, SkipSampler, WorldSampler};
 }

@@ -1,14 +1,15 @@
 //! Summary statistics of uncertain graphs (Table 1 of the paper).
 
-use serde::{Deserialize, Serialize};
+use minijson::{ObjBuilder, Value};
 
 use crate::entropy::graph_entropy;
+use crate::error::GraphError;
 use crate::graph::UncertainGraph;
 
 /// Per-dataset characteristics as reported in Table 1 of the paper:
 /// vertices, edges, density `|E|/|V|`, mean edge probability `E[p_e]` and
 /// mean expected degree `E[d_u]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphStatistics {
     /// Number of vertices `|V|`.
     pub num_vertices: usize,
@@ -42,12 +43,20 @@ impl GraphStatistics {
         } else {
             expected_degrees.iter().sum::<f64>() / n as f64
         };
-        let complete_edges = if n < 2 { 0.0 } else { n as f64 * (n as f64 - 1.0) / 2.0 };
+        let complete_edges = if n < 2 {
+            0.0
+        } else {
+            n as f64 * (n as f64 - 1.0) / 2.0
+        };
         GraphStatistics {
             num_vertices: n,
             num_edges: m,
             edge_vertex_ratio: if n == 0 { 0.0 } else { m as f64 / n as f64 },
-            density: if complete_edges == 0.0 { 0.0 } else { m as f64 / complete_edges },
+            density: if complete_edges == 0.0 {
+                0.0
+            } else {
+                m as f64 / complete_edges
+            },
             mean_edge_probability: g.mean_edge_probability(),
             mean_expected_degree,
             max_expected_degree,
@@ -77,6 +86,51 @@ impl GraphStatistics {
             "dataset", "vertices", "edges", "|E|/|V|", "E[p]", "E[d]"
         )
     }
+
+    /// Renders the statistics as a compact JSON object.
+    pub fn to_json(&self) -> String {
+        ObjBuilder::new()
+            .field("num_vertices", self.num_vertices)
+            .field("num_edges", self.num_edges)
+            .field("edge_vertex_ratio", self.edge_vertex_ratio)
+            .field("density", self.density)
+            .field("mean_edge_probability", self.mean_edge_probability)
+            .field("mean_expected_degree", self.mean_expected_degree)
+            .field("max_expected_degree", self.max_expected_degree)
+            .field("entropy", self.entropy)
+            .field("support_connected", self.support_connected)
+            .build()
+            .render()
+    }
+
+    /// Parses a JSON object produced by [`GraphStatistics::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, GraphError> {
+        let parse_err = |message: String| GraphError::Parse { line: 0, message };
+        let value = Value::parse(json).map_err(|e| parse_err(e.to_string()))?;
+        let f64_field = |key: &str| {
+            value
+                .get_f64(key)
+                .ok_or_else(|| parse_err(format!("missing or invalid `{key}`")))
+        };
+        Ok(GraphStatistics {
+            num_vertices: value
+                .get_usize("num_vertices")
+                .ok_or_else(|| parse_err("missing or invalid `num_vertices`".into()))?,
+            num_edges: value
+                .get_usize("num_edges")
+                .ok_or_else(|| parse_err("missing or invalid `num_edges`".into()))?,
+            edge_vertex_ratio: f64_field("edge_vertex_ratio")?,
+            density: f64_field("density")?,
+            mean_edge_probability: f64_field("mean_edge_probability")?,
+            mean_expected_degree: f64_field("mean_expected_degree")?,
+            max_expected_degree: f64_field("max_expected_degree")?,
+            entropy: f64_field("entropy")?,
+            support_connected: value
+                .get("support_connected")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| parse_err("missing or invalid `support_connected`".into()))?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +141,14 @@ mod tests {
     fn statistics_of_figure1a() {
         let g = UncertainGraph::from_edges(
             4,
-            [(0, 1, 0.3), (0, 2, 0.3), (0, 3, 0.3), (1, 2, 0.3), (1, 3, 0.3), (2, 3, 0.3)],
+            [
+                (0, 1, 0.3),
+                (0, 2, 0.3),
+                (0, 3, 0.3),
+                (1, 2, 0.3),
+                (1, 3, 0.3),
+                (2, 3, 0.3),
+            ],
         )
         .unwrap();
         let s = GraphStatistics::compute(&g);
@@ -129,8 +190,10 @@ mod tests {
     fn statistics_serialize_round_trip() {
         let g = UncertainGraph::from_edges(3, [(0, 1, 0.5), (1, 2, 0.25)]).unwrap();
         let s = GraphStatistics::compute(&g);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: GraphStatistics = serde_json::from_str(&json).unwrap();
+        let json = s.to_json();
+        let back = GraphStatistics::from_json(&json).unwrap();
         assert_eq!(s, back);
+        assert!(GraphStatistics::from_json("{}").is_err());
+        assert!(GraphStatistics::from_json("not json").is_err());
     }
 }

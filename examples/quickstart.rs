@@ -22,14 +22,18 @@ fn main() {
     let sparsifiers: Vec<Box<dyn Sparsifier>> = vec![
         Box::new(SparsifierSpec::gdb().alpha(alpha)),
         Box::new(
-            SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative),
+            SparsifierSpec::emd()
+                .alpha(alpha)
+                .discrepancy(DiscrepancyKind::Relative),
         ),
         Box::new(NagamochiIbaraki::new(alpha)),
         Box::new(SpannerSparsifier::new(alpha)),
     ];
 
-    // Reference query answers on the original graph.
-    let mc = MonteCarlo::worlds(200);
+    // Reference query answers on the original graph, evaluated on all cores
+    // through the zero-allocation world engine (one RNG stream per worker;
+    // results are deterministic for a fixed seed and thread count).
+    let mc = MonteCarlo::parallel(200);
     let pairs = random_pairs(g.num_vertices(), 100, &mut rng);
     let pr_original = ugs::queries::expected_pagerank(&g, &mc, &mut rng);
     let pairs_original = pair_queries(&g, &pairs, &mc, &mut rng);

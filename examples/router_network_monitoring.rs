@@ -25,7 +25,8 @@ fn router_network(rng: &mut SmallRng) -> UncertainGraph {
     let mut b = UncertainGraphBuilder::new(n);
     // Core ring + chords: very reliable links.
     for i in 0..core {
-        b.add_edge(i, (i + 1) % core, rng.gen_range(0.95..0.999)).unwrap();
+        b.add_edge(i, (i + 1) % core, rng.gen_range(0.95..0.999))
+            .unwrap();
     }
     for i in 0..core {
         let _ = b.add_edge_if_absent(i, (i + core / 2) % core, rng.gen_range(0.9..0.99));
@@ -67,9 +68,9 @@ fn main() {
     let core_and_agg = 8 + 32;
     let pairs: Vec<(usize, usize)> = (0..80)
         .map(|_| {
-            let u = core_and_agg + rng.gen_range(0..160);
+            let u = core_and_agg + rng.gen_range(0..160usize);
             let v = loop {
-                let v = core_and_agg + rng.gen_range(0..160);
+                let v = core_and_agg + rng.gen_range(0..160usize);
                 if v != u {
                     break v;
                 }
@@ -100,13 +101,11 @@ fn main() {
             .sparsify(&net, &mut rng)
             .expect("sparsification succeeds");
         let result = pair_queries(&out.graph, &pairs, &mc, &mut rng);
-        let dem_sp =
-            earth_movers_distance(&reference.mean_distance, &result.mean_distance);
+        let dem_sp = earth_movers_distance(&reference.mean_distance, &result.mean_distance);
         let dem_rl = earth_movers_distance(&reference.reliability, &result.reliability);
         let sp = result.finite_distances();
         let mean_sp = sp.iter().sum::<f64>() / sp.len().max(1) as f64;
-        let mean_rl =
-            result.reliability.iter().sum::<f64>() / result.reliability.len() as f64;
+        let mean_rl = result.reliability.iter().sum::<f64>() / result.reliability.len() as f64;
         println!(
             "{:>5.0}% {:>8} {:>12.4} {:>12.4} {:>12.3} {:>12.3}",
             alpha * 100.0,

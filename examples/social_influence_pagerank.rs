@@ -35,12 +35,17 @@ fn main() {
     println!();
 
     let alpha = 0.16;
-    let mc = MonteCarlo::worlds(300);
+    // All cores, one seed-derived RNG stream per worker.
+    let mc = MonteCarlo::parallel(300);
     let reference = ugs::queries::expected_pagerank(&g, &mc, &mut rng);
 
     let sparsifiers: Vec<Box<dyn Sparsifier>> = vec![
         Box::new(SparsifierSpec::gdb().alpha(alpha)),
-        Box::new(SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative)),
+        Box::new(
+            SparsifierSpec::emd()
+                .alpha(alpha)
+                .discrepancy(DiscrepancyKind::Relative),
+        ),
         Box::new(SpannerSparsifier::new(alpha)),
     ];
 
@@ -49,7 +54,9 @@ fn main() {
         "method", "edges", "top-20 overlap", "D_em(PR)", "rel. H"
     );
     for sparsifier in &sparsifiers {
-        let out = sparsifier.sparsify_dyn(&g, &mut rng).expect("sparsification succeeds");
+        let out = sparsifier
+            .sparsify_dyn(&g, &mut rng)
+            .expect("sparsification succeeds");
         let pr = ugs::queries::expected_pagerank(&out.graph, &mc, &mut rng);
         let overlap = top_k_overlap(&reference, &pr, 20);
         let dem = earth_movers_distance(&reference, &pr);

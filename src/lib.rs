@@ -21,7 +21,7 @@
 //! | [`lp`] | `lp-solver` | dense simplex used by the LP reference method |
 //! | [`sparsify`] | `ugs-core` | backbone initialisation, `GDB`, `EMD`, LP assignment, `SparsifierSpec` |
 //! | [`baselines`] | `ugs-baselines` | the `NI` and `SS` baselines adapted from deterministic sparsification |
-//! | [`queries`] | `ugs-queries` | Monte-Carlo query engine + estimator variance |
+//! | [`queries`] | `ugs-queries` | zero-allocation Monte-Carlo world engine, queries, estimator variance |
 //! | [`metrics`] | `ugs-metrics` | degree/cut discrepancy MAE, relative entropy, earth mover's distance |
 //! | [`datasets`] | `ugs-datasets` | Flickr/Twitter-shaped generators, density sweep, Forest Fire sampling |
 //!
@@ -53,10 +53,27 @@
 //! );
 //! assert!(mae < 1.0);
 //!
-//! // ...and queries on the sparsified graph approximate queries on G.
-//! let mc = MonteCarlo::worlds(50);
+//! // ...and queries on the sparsified graph approximate queries on G — at a
+//! // fraction of the cost: every query runs on the world engine, which
+//! // skip-samples worlds in O(Σ pₑ) expected time and materialises them
+//! // into reusable scratch buffers (zero allocations per world).  On the
+//! // low-probability sparsified graph the skip path shines.
+//! let mc = MonteCarlo::worlds(50); // sequential & machine-independent
 //! let pr_sparse = ugs::queries::expected_pagerank(&sparse.graph, &mc, &mut rng);
 //! assert_eq!(pr_sparse.len(), g.num_vertices());
+//!
+//! // One worker per core: worlds are split deterministically, each worker
+//! // owns an RNG stream seeded from `rng`, and partial accumulators come
+//! // back by value on join.  Same seed + same thread count ⇒ same answer.
+//! let mc = MonteCarlo::parallel(50);
+//! let pr_parallel = ugs::queries::expected_pagerank(&sparse.graph, &mc, &mut rng);
+//! assert_eq!(pr_parallel.len(), g.num_vertices());
+//!
+//! // The engine is also usable directly for custom per-world evaluation.
+//! let engine = WorldEngine::new(&sparse.graph);
+//! let mut scratch = engine.make_scratch();
+//! let world = engine.sample_world(&mut rng, &mut scratch);
+//! assert!(world.num_edges() <= sparse.graph.num_edges());
 //! ```
 
 #![forbid(unsafe_code)]

@@ -15,8 +15,16 @@ fn flickr_tiny(seed: u64) -> UncertainGraph {
 fn all_sparsifiers(alpha: f64) -> Vec<Box<dyn Sparsifier>> {
     vec![
         Box::new(SparsifierSpec::gdb().alpha(alpha)),
-        Box::new(SparsifierSpec::gdb().alpha(alpha).backbone(BackboneKind::Random)),
-        Box::new(SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative)),
+        Box::new(
+            SparsifierSpec::gdb()
+                .alpha(alpha)
+                .backbone(BackboneKind::Random),
+        ),
+        Box::new(
+            SparsifierSpec::emd()
+                .alpha(alpha)
+                .discrepancy(DiscrepancyKind::Relative),
+        ),
         Box::new(SparsifierSpec::lp().alpha(alpha)),
         Box::new(NagamochiIbaraki::new(alpha)),
         Box::new(SpannerSparsifier::new(alpha)),
@@ -30,12 +38,28 @@ fn every_method_produces_a_valid_sparsified_graph() {
     let target = (alpha * g.num_edges() as f64).round() as usize;
     let mut rng = SmallRng::seed_from_u64(9);
     for sparsifier in all_sparsifiers(alpha) {
-        let out = sparsifier.sparsify_dyn(&g, &mut rng).expect("method must succeed");
-        assert_eq!(out.graph.num_vertices(), g.num_vertices(), "{}", sparsifier.name());
+        let out = sparsifier
+            .sparsify_dyn(&g, &mut rng)
+            .expect("method must succeed");
+        assert_eq!(
+            out.graph.num_vertices(),
+            g.num_vertices(),
+            "{}",
+            sparsifier.name()
+        );
         assert_eq!(out.graph.num_edges(), target, "{}", sparsifier.name());
         for e in out.graph.edges() {
-            assert!(e.p > 0.0 && e.p <= 1.0, "{}: invalid probability {}", sparsifier.name(), e.p);
-            assert!(g.has_edge(e.u, e.v), "{}: edge not in the original graph", sparsifier.name());
+            assert!(
+                e.p > 0.0 && e.p <= 1.0,
+                "{}: invalid probability {}",
+                sparsifier.name(),
+                e.p
+            );
+            assert!(
+                g.has_edge(e.u, e.v),
+                "{}: edge not in the original graph",
+                sparsifier.name()
+            );
         }
         assert_eq!(out.diagnostics.target_edges, target);
         assert!(out.diagnostics.entropy_original > 0.0);
@@ -55,7 +79,9 @@ fn proposed_methods_preserve_degrees_better_than_baselines() {
     };
     let gdb = mae(&SparsifierSpec::gdb().alpha(alpha), &mut rng);
     let emd = mae(
-        &SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative),
+        &SparsifierSpec::emd()
+            .alpha(alpha)
+            .discrepancy(DiscrepancyKind::Relative),
         &mut rng,
     );
     let ni = mae(&NagamochiIbaraki::new(alpha), &mut rng);
@@ -76,7 +102,9 @@ fn proposed_methods_reduce_entropy_baselines_do_not() {
     };
     let gdb = rel_entropy(&SparsifierSpec::gdb().alpha(alpha), &mut rng);
     let emd = rel_entropy(
-        &SparsifierSpec::emd().alpha(alpha).discrepancy(DiscrepancyKind::Relative),
+        &SparsifierSpec::emd()
+            .alpha(alpha)
+            .discrepancy(DiscrepancyKind::Relative),
         &mut rng,
     );
     let ss = rel_entropy(&SpannerSparsifier::new(alpha), &mut rng);
@@ -107,8 +135,14 @@ fn queries_on_sparsified_graph_track_the_original() {
     let dem_pr_ss = earth_movers_distance(&pr_g, &pr_ss);
     // PageRank values live on a 1/n scale; the distributions must be close
     // and EMD must beat the probability-blind spanner baseline.
-    assert!(dem_pr_emd < 2.0 / g.num_vertices() as f64, "D_em(PR) = {dem_pr_emd}");
-    assert!(dem_pr_emd <= dem_pr_ss, "EMD {dem_pr_emd} vs SS {dem_pr_ss}");
+    assert!(
+        dem_pr_emd < 2.0 / g.num_vertices() as f64,
+        "D_em(PR) = {dem_pr_emd}"
+    );
+    assert!(
+        dem_pr_emd <= dem_pr_ss,
+        "EMD {dem_pr_emd} vs SS {dem_pr_ss}"
+    );
 
     let pairs = random_pairs(g.num_vertices(), 60, &mut rng);
     let pq_g = pair_queries(&g, &pairs, &mc, &mut rng);
@@ -121,7 +155,10 @@ fn queries_on_sparsified_graph_track_the_original() {
     // decisive gap of Figure 10(c,g) appears at realistic sizes — see the
     // fig10 experiment binary); only require EMD not to be substantially
     // worse.
-    assert!(dem_rl_emd <= 1.25 * dem_rl_ss, "EMD {dem_rl_emd} vs SS {dem_rl_ss}");
+    assert!(
+        dem_rl_emd <= 1.25 * dem_rl_ss,
+        "EMD {dem_rl_emd} vs SS {dem_rl_ss}"
+    );
 }
 
 #[test]
@@ -130,13 +167,18 @@ fn sparsification_reduces_estimator_variance() {
     // run-to-run variance than on the original (thanks to entropy reduction).
     let g = flickr_tiny(5);
     let mut rng = SmallRng::seed_from_u64(23);
-    let out = SparsifierSpec::gdb().alpha(0.16).sparsify(&g, &mut rng).unwrap();
+    let out = SparsifierSpec::gdb()
+        .alpha(0.16)
+        .sparsify(&g, &mut rng)
+        .unwrap();
 
     let mc = MonteCarlo::worlds(30);
     let mut seeds = SmallRng::seed_from_u64(99);
     let mut variance_of = |graph: &UncertainGraph| {
         let mut local = SmallRng::seed_from_u64(seeds.next_u64());
-        estimator_variance(15, |_| ugs::queries::expected_pagerank(graph, &mc, &mut local))
+        estimator_variance(15, |_| {
+            ugs::queries::expected_pagerank(graph, &mc, &mut local)
+        })
     };
     let var_original = variance_of(&g);
     let var_sparse = variance_of(&out.graph);
@@ -176,14 +218,24 @@ fn forest_fire_reduction_plus_lp_reference_pipeline() {
     let (reduced, _) = ugs::datasets::forest_fire_sample(&g, 80, 0.7, &mut rng);
     assert_eq!(reduced.num_vertices(), 80);
 
-    let lp = SparsifierSpec::lp().alpha(0.3).sparsify(&reduced, &mut rng).unwrap();
-    let gdb = SparsifierSpec::gdb().alpha(0.3).entropy_h(1.0).sparsify(&reduced, &mut rng).unwrap();
+    let lp = SparsifierSpec::lp()
+        .alpha(0.3)
+        .sparsify(&reduced, &mut rng)
+        .unwrap();
+    let gdb = SparsifierSpec::gdb()
+        .alpha(0.3)
+        .entropy_h(1.0)
+        .sparsify(&reduced, &mut rng)
+        .unwrap();
     let lp_mae = degree_discrepancy_mae(&reduced, &lp.graph, MetricDiscrepancy::Absolute);
     let gdb_mae = degree_discrepancy_mae(&reduced, &gdb.graph, MetricDiscrepancy::Absolute);
     // Both must be small; LP is the optimum for its own backbone, GDB must be
     // in the same ballpark (Table 2 shows them within a small factor).
     assert!(lp_mae.is_finite() && gdb_mae.is_finite());
-    assert!(gdb_mae <= 5.0 * lp_mae + 0.05, "GDB {gdb_mae} vs LP {lp_mae}");
+    assert!(
+        gdb_mae <= 5.0 * lp_mae + 0.05,
+        "GDB {gdb_mae} vs LP {lp_mae}"
+    );
 }
 
 use rand::RngCore;

@@ -1,143 +1,170 @@
-//! Property-based tests (proptest) of the core invariants: sparsifier
-//! contracts, data-structure invariants and metric properties hold for
-//! arbitrary random inputs, not just the hand-picked fixtures of the unit
-//! tests.
+//! Property-based tests of the core invariants: sparsifier contracts,
+//! data-structure invariants, metric properties and — new with the world
+//! engine — sampling-path equivalence hold for arbitrary random inputs, not
+//! just the hand-picked fixtures of the unit tests.
+//!
+//! The workspace builds offline, so instead of `proptest` this file uses a
+//! small deterministic harness: every property runs over `CASES` seeds, each
+//! seed derives all inputs for one case from its own `SmallRng` stream, and
+//! failures report the offending case number so they can be replayed.
 
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, RngCore, SeedableRng};
 use ugs::prelude::*;
 
-/// Strategy: a random connected uncertain graph with `n ∈ [4, 24]` vertices,
-/// a spanning ring plus extra random edges and probabilities in (0, 1].
-fn uncertain_graph_strategy() -> impl Strategy<Value = UncertainGraph> {
-    (4usize..24, 0usize..40, any::<u64>()).prop_map(|(n, extra, seed)| {
-        use rand::Rng;
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut b = UncertainGraphBuilder::new(n);
-        for u in 0..n {
-            b.add_edge(u, (u + 1) % n, rng.gen_range(0.05..=1.0)).unwrap();
+/// Number of random cases per property (proptest used 48 before).
+const CASES: u64 = 48;
+
+/// Runs `property` over `CASES` deterministic cases, labelling failures.
+fn for_each_case(name: &str, mut property: impl FnMut(&mut SmallRng)) {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0000 ^ (case.wrapping_mul(0x9E37_79B9)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut rng);
+        }));
+        if let Err(payload) = result {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            panic!("property {name:?} failed on case {case}: {message}");
         }
-        for _ in 0..extra {
-            let u = rng.gen_range(0..n);
-            let v = rng.gen_range(0..n);
-            if u != v {
-                let _ = b.add_edge_if_absent(u, v, rng.gen_range(0.05..=1.0));
-            }
-        }
-        b.build()
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A random connected uncertain graph with `n ∈ [4, 24)` vertices, a
+/// spanning ring plus extra random edges and probabilities in (0, 1].
+fn random_graph(rng: &mut SmallRng) -> UncertainGraph {
+    let n = rng.gen_range(4usize..24);
+    let extra = rng.gen_range(0usize..40);
+    let mut b = UncertainGraphBuilder::new(n);
+    for u in 0..n {
+        b.add_edge(u, (u + 1) % n, rng.gen_range(0.05..=1.0))
+            .unwrap();
+    }
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            let _ = b.add_edge_if_absent(u, v, rng.gen_range(0.05..=1.0));
+        }
+    }
+    b.build()
+}
 
-    /// |E'| = round(α|E|), the vertex set is preserved, every probability is
-    /// in (0, 1], every kept edge exists in the original graph — for every
-    /// method.
-    #[test]
-    fn sparsifier_contract_holds(
-        g in uncertain_graph_strategy(),
-        alpha in 0.2f64..0.9,
-        seed in any::<u64>(),
-        method in 0usize..4,
-    ) {
-        let mut rng = SmallRng::seed_from_u64(seed);
+/// |E'| = round(α|E|), the vertex set is preserved, every probability is in
+/// (0, 1], every kept edge exists in the original graph — for every method.
+#[test]
+fn sparsifier_contract_holds() {
+    for_each_case("sparsifier_contract_holds", |rng| {
+        let g = random_graph(rng);
+        let alpha = rng.gen_range(0.2f64..0.9);
+        let method = rng.gen_range(0usize..4);
         let sparsifier: Box<dyn Sparsifier> = match method {
             0 => Box::new(SparsifierSpec::gdb().alpha(alpha)),
             1 => Box::new(SparsifierSpec::emd().alpha(alpha)),
             2 => Box::new(NagamochiIbaraki::new(alpha)),
             _ => Box::new(SpannerSparsifier::new(alpha)),
         };
-        let out = sparsifier.sparsify_dyn(&g, &mut rng).unwrap();
+        let out = sparsifier.sparsify_dyn(&g, rng).unwrap();
         let target = (alpha * g.num_edges() as f64).round() as usize;
-        prop_assert_eq!(out.graph.num_edges(), target.min(g.num_edges()));
-        prop_assert_eq!(out.graph.num_vertices(), g.num_vertices());
+        assert_eq!(out.graph.num_edges(), target.min(g.num_edges()));
+        assert_eq!(out.graph.num_vertices(), g.num_vertices());
         for e in out.graph.edges() {
-            prop_assert!(e.p > 0.0 && e.p <= 1.0);
-            prop_assert!(g.has_edge(e.u, e.v));
+            assert!(e.p > 0.0 && e.p <= 1.0);
+            assert!(g.has_edge(e.u, e.v));
         }
-    }
+    });
+}
 
-    /// GDB with h = 1 and the degree rule never produces a worse Δ1 than the
-    /// raw backbone it started from, and never exceeds the original expected
-    /// degrees by more than numerical noise... (Lemma 1's direction).
-    #[test]
-    fn gdb_improves_on_the_raw_backbone(
-        g in uncertain_graph_strategy(),
-        alpha in 0.3f64..0.9,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let backbone = build_backbone(&g, alpha, &BackboneConfig::spanning(), &mut rng).unwrap();
-        let config = GdbConfig { entropy_h: 1.0, ..Default::default() };
+/// GDB with h = 1 and the degree rule never produces a worse Δ1 than the raw
+/// backbone it started from, and keeps probabilities valid (Lemma 1's
+/// direction).
+#[test]
+fn gdb_improves_on_the_raw_backbone() {
+    for_each_case("gdb_improves_on_the_raw_backbone", |rng| {
+        let g = random_graph(rng);
+        let alpha = rng.gen_range(0.3f64..0.9);
+        let backbone = build_backbone(&g, alpha, &BackboneConfig::spanning(), rng).unwrap();
+        let config = GdbConfig {
+            entropy_h: 1.0,
+            ..Default::default()
+        };
         let result = ugs::sparsify::gdb::gradient_descent_assign(&g, &backbone, &config).unwrap();
-        prop_assert!(result.final_objective() <= result.objective_trace[0] + 1e-9);
+        assert!(result.final_objective() <= result.objective_trace[0] + 1e-9);
         for &(_, p) in &result.probabilities {
-            prop_assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&p));
         }
-    }
+    });
+}
 
-    /// The spanning backbone of Algorithm 1 is connected whenever α allows a
-    /// spanning tree.
-    #[test]
-    fn spanning_backbone_is_connected(
-        g in uncertain_graph_strategy(),
-        seed in any::<u64>(),
-    ) {
+/// The spanning backbone of Algorithm 1 is connected whenever α allows a
+/// spanning tree.
+#[test]
+fn spanning_backbone_is_connected() {
+    for_each_case("spanning_backbone_is_connected", |rng| {
+        let g = random_graph(rng);
         let n = g.num_vertices() as f64;
         let m = g.num_edges() as f64;
         // pick α large enough for a spanning tree to fit
         let alpha = ((n / m) + 0.3).min(0.95);
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let backbone = build_backbone(&g, alpha, &BackboneConfig::spanning(), &mut rng).unwrap();
-        prop_assert!(ugs::sparsify::backbone::edges_span_connected(&g, &backbone));
-    }
+        let backbone = build_backbone(&g, alpha, &BackboneConfig::spanning(), rng).unwrap();
+        assert!(ugs::sparsify::backbone::edges_span_connected(&g, &backbone));
+    });
+}
 
-    /// Entropy invariants: H(G) ≥ 0, the relative entropy of a sparsified
-    /// graph produced with h = 0 never exceeds 1, and dropping edges without
-    /// touching probabilities always lowers entropy.
-    #[test]
-    fn entropy_invariants(
-        g in uncertain_graph_strategy(),
-        seed in any::<u64>(),
-    ) {
-        prop_assert!(g.entropy() >= 0.0);
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let out = SparsifierSpec::gdb().alpha(0.5).entropy_h(0.0)
-            .sparsify(&g, &mut rng).unwrap();
-        prop_assert!(out.diagnostics.relative_entropy() <= 1.0 + 1e-9);
+/// Entropy invariants: H(G) ≥ 0, the relative entropy of a sparsified graph
+/// produced with h = 0 never exceeds 1, and dropping edges without touching
+/// probabilities always lowers entropy.
+#[test]
+fn entropy_invariants() {
+    for_each_case("entropy_invariants", |rng| {
+        let g = random_graph(rng);
+        assert!(g.entropy() >= 0.0);
+        let out = SparsifierSpec::gdb()
+            .alpha(0.5)
+            .entropy_h(0.0)
+            .sparsify(&g, rng)
+            .unwrap();
+        assert!(out.diagnostics.relative_entropy() <= 1.0 + 1e-9);
         // plain subgraph (SS-style, original probabilities) also reduces entropy
         let keep: Vec<usize> = (0..g.num_edges()).step_by(2).collect();
         let sub = g.subgraph_with_edges(keep).unwrap();
-        prop_assert!(sub.entropy() <= g.entropy() + 1e-9);
-    }
+        assert!(sub.entropy() <= g.entropy() + 1e-9);
+    });
+}
 
-    /// The earth mover's distance is a metric-like quantity: non-negative,
-    /// symmetric, zero for identical samples and shift-equivariant.
-    #[test]
-    fn earth_movers_distance_properties(
-        mut a in prop::collection::vec(0.0f64..100.0, 1..60),
-        b in prop::collection::vec(0.0f64..100.0, 1..60),
-        shift in 0.0f64..10.0,
-    ) {
+/// The earth mover's distance is a metric-like quantity: non-negative,
+/// symmetric, zero for identical samples and shift-equivariant.
+#[test]
+fn earth_movers_distance_properties() {
+    for_each_case("earth_movers_distance_properties", |rng| {
+        let len_a = rng.gen_range(1usize..60);
+        let len_b = rng.gen_range(1usize..60);
+        let a: Vec<f64> = (0..len_a).map(|_| rng.gen_range(0.0f64..100.0)).collect();
+        let b: Vec<f64> = (0..len_b).map(|_| rng.gen_range(0.0f64..100.0)).collect();
+        let shift = rng.gen_range(0.0f64..10.0);
         let d_ab = earth_movers_distance(&a, &b);
         let d_ba = earth_movers_distance(&b, &a);
-        prop_assert!(d_ab >= 0.0);
-        prop_assert!((d_ab - d_ba).abs() < 1e-9);
-        prop_assert!(earth_movers_distance(&a, &a) < 1e-12);
+        assert!(d_ab >= 0.0);
+        assert!((d_ab - d_ba).abs() < 1e-9);
+        assert!(earth_movers_distance(&a, &a) < 1e-12);
         let shifted: Vec<f64> = a.iter().map(|x| x + shift).collect();
-        prop_assert!((earth_movers_distance(&a, &shifted) - shift).abs() < 1e-9);
-        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    }
+        assert!((earth_movers_distance(&a, &shifted) - shift).abs() < 1e-9);
+    });
+}
 
-    /// Union-find maintains the number of connected components of the edges
-    /// merged so far.
-    #[test]
-    fn union_find_component_count(
-        n in 2usize..40,
-        edges in prop::collection::vec((0usize..40, 0usize..40), 0..80),
-    ) {
+/// Union-find maintains the number of connected components of the edges
+/// merged so far.
+#[test]
+fn union_find_component_count() {
+    for_each_case("union_find_component_count", |rng| {
+        let n = rng.gen_range(2usize..40);
+        let num_edges = rng.gen_range(0usize..80);
+        let edges: Vec<(usize, usize)> = (0..num_edges)
+            .map(|_| (rng.gen_range(0..40), rng.gen_range(0..40)))
+            .collect();
         let mut uf = UnionFind::new(n);
         let mut adjacency = vec![vec![]; n];
         for &(u, v) in edges.iter().filter(|(u, v)| u < &n && v < &n && u != v) {
@@ -149,26 +176,36 @@ proptest! {
         let mut seen = vec![false; n];
         let mut components = 0;
         for start in 0..n {
-            if seen[start] { continue; }
+            if seen[start] {
+                continue;
+            }
             components += 1;
             let mut stack = vec![start];
             seen[start] = true;
             while let Some(u) = stack.pop() {
                 for &v in &adjacency[u] {
-                    if !seen[v] { seen[v] = true; stack.push(v); }
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
                 }
             }
         }
-        prop_assert_eq!(uf.num_sets(), components);
-    }
+        assert_eq!(uf.num_sets(), components);
+    });
+}
 
-    /// The indexed max-heap drains keys in priority order regardless of the
-    /// interleaving of pushes and updates.
-    #[test]
-    fn indexed_heap_drains_sorted(
-        priorities in prop::collection::vec(-1e6f64..1e6, 1..120),
-        updates in prop::collection::vec((0usize..120, -1e6f64..1e6), 0..60),
-    ) {
+/// The indexed max-heap drains keys in priority order regardless of the
+/// interleaving of pushes and updates.
+#[test]
+fn indexed_heap_drains_sorted() {
+    for_each_case("indexed_heap_drains_sorted", |rng| {
+        let len = rng.gen_range(1usize..120);
+        let priorities: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
+        let num_updates = rng.gen_range(0usize..60);
+        let updates: Vec<(usize, f64)> = (0..num_updates)
+            .map(|_| (rng.gen_range(0usize..120), rng.gen_range(-1e6f64..1e6)))
+            .collect();
         let mut heap = IndexedMaxHeap::from_priorities(&priorities);
         let mut expected = priorities.clone();
         for &(key, value) in updates.iter().filter(|(k, _)| *k < priorities.len()) {
@@ -176,61 +213,136 @@ proptest! {
             expected[key] = value;
         }
         let drained = heap.into_sorted_vec();
-        prop_assert_eq!(drained.len(), expected.len());
+        assert_eq!(drained.len(), expected.len());
         for window in drained.windows(2) {
-            prop_assert!(window[0].1 >= window[1].1);
+            assert!(window[0].1 >= window[1].1);
         }
         // multiset equality of priorities
         let mut got: Vec<f64> = drained.iter().map(|&(_, p)| p).collect();
         got.sort_by(|a, b| a.partial_cmp(b).unwrap());
         expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (a, b) in got.iter().zip(expected.iter()) {
-            prop_assert!((a - b).abs() < 1e-12);
+            assert!((a - b).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    /// Possible-world probabilities are a distribution: a sampled world's
-    /// probability is positive and exact enumeration of small graphs sums to
-    /// one.
-    #[test]
-    fn world_probabilities_form_a_distribution(
-        g in uncertain_graph_strategy(),
-        seed in any::<u64>(),
-    ) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let world = WorldSampler::new().sample(&g, &mut rng);
-        prop_assert!(world.probability(&g) >= 0.0);
-        prop_assert_eq!(world.len(), g.num_edges());
+/// Possible-world probabilities are a distribution: a sampled world's
+/// probability is positive and exact enumeration of small graphs sums to one.
+#[test]
+fn world_probabilities_form_a_distribution() {
+    for_each_case("world_probabilities_form_a_distribution", |rng| {
+        let g = random_graph(rng);
+        let world = WorldSampler::new().sample(&g, rng);
+        assert!(world.probability(&g) >= 0.0);
+        assert_eq!(world.len(), g.num_edges());
         if g.num_edges() <= 12 {
             let mut total = 0.0;
             ugs::graph::worlds::enumerate_worlds(&g, |_, pr| total += pr).unwrap();
-            prop_assert!((total - 1.0).abs() < 1e-9);
+            assert!((total - 1.0).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// Expected degrees equal the per-vertex sum of incident probabilities
-    /// and their total equals twice the probability mass.
-    #[test]
-    fn expected_degree_identities(g in uncertain_graph_strategy()) {
+/// The skip-sampling engine is equivalent to the legacy per-edge Bernoulli
+/// path: over many worlds of a random graph, per-edge presence frequencies
+/// agree with the edge probabilities (and hence with each other) within
+/// binomial tolerance.
+#[test]
+fn skip_sampling_matches_per_edge_frequencies() {
+    for_each_case("skip_sampling_matches_per_edge_frequencies", |rng| {
+        let g = random_graph(rng);
+        let worlds = 4_000usize;
+        let tolerance = 4.0 * (0.25f64 / worlds as f64).sqrt(); // 4σ of a Bernoulli mean
+        let count_frequencies = |method: SampleMethod, rng: &mut SmallRng| -> Vec<f64> {
+            let engine = WorldEngine::new(&g).with_method(method);
+            let mut scratch = engine.make_scratch();
+            let mut hits = vec![0usize; g.num_edges()];
+            for _ in 0..worlds {
+                engine.sample_world(rng, &mut scratch);
+                for &e in scratch.present_edges() {
+                    hits[e as usize] += 1;
+                }
+            }
+            hits.into_iter().map(|h| h as f64 / worlds as f64).collect()
+        };
+        let skip = count_frequencies(SampleMethod::Skip, rng);
+        let per_edge = count_frequencies(SampleMethod::PerEdge, rng);
+        for e in 0..g.num_edges() {
+            let p = g.edge_probability(e);
+            assert!(
+                (skip[e] - p).abs() < tolerance,
+                "skip frequency {} vs probability {p} on edge {e}",
+                skip[e]
+            );
+            assert!(
+                (per_edge[e] - p).abs() < tolerance,
+                "per-edge frequency {} vs probability {p} on edge {e}",
+                per_edge[e]
+            );
+        }
+    });
+}
+
+/// The engine's sequential per-edge path produces bit-identical accumulators
+/// to the legacy allocate-per-world driver for the same seed, on arbitrary
+/// graphs and a non-trivial kernel.
+#[test]
+fn engine_per_edge_path_is_bit_identical_to_legacy_driver() {
+    for_each_case(
+        "engine_per_edge_path_is_bit_identical_to_legacy_driver",
+        |rng| {
+            let g = random_graph(rng);
+            let n = g.num_vertices();
+            let kernel = |world: &ugs::algo::DeterministicGraph, acc: &mut [f64]| {
+                acc[0] += world.num_edges() as f64;
+                for u in 0..world.num_vertices() {
+                    acc[1 + u] += world.degree(u) as f64;
+                }
+            };
+            let seed = rng.gen::<u64>();
+            let mc = MonteCarlo::worlds(64).with_method(SampleMethod::PerEdge);
+            let mut rng_new = SmallRng::seed_from_u64(seed);
+            let new = mc.accumulate(&g, 1 + n, &mut rng_new, kernel);
+            let mut rng_old = SmallRng::seed_from_u64(seed);
+            let old = ugs::queries::mc::accumulate_reference(&g, 1 + n, 64, &mut rng_old, kernel);
+            assert_eq!(new, old);
+        },
+    );
+}
+
+/// Expected degrees equal the per-vertex sum of incident probabilities and
+/// their total equals twice the probability mass.
+#[test]
+fn expected_degree_identities() {
+    for_each_case("expected_degree_identities", |rng| {
+        let g = random_graph(rng);
         let degrees = g.expected_degrees();
         let total: f64 = degrees.iter().sum();
-        prop_assert!((total - 2.0 * g.expected_num_edges()).abs() < 1e-9);
+        assert!((total - 2.0 * g.expected_num_edges()).abs() < 1e-9);
         for u in g.vertices() {
-            prop_assert!((degrees[u] - g.expected_degree(u)).abs() < 1e-9);
+            assert!((degrees[u] - g.expected_degree(u)).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// Text serialisation round-trips arbitrary graphs.
-    #[test]
-    fn graph_text_io_round_trips(g in uncertain_graph_strategy()) {
+/// Text serialisation round-trips arbitrary graphs.
+#[test]
+fn graph_text_io_round_trips() {
+    for_each_case("graph_text_io_round_trips", |rng| {
+        let g = random_graph(rng);
         let mut buffer = Vec::new();
         ugs::graph::io::write_text(&g, &mut buffer).unwrap();
         let back = ugs::graph::io::read_text(std::io::Cursor::new(buffer)).unwrap();
-        prop_assert_eq!(back.num_vertices(), g.num_vertices());
-        prop_assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.num_vertices(), g.num_vertices());
+        assert_eq!(back.num_edges(), g.num_edges());
         for e in g.edges() {
             let id = back.find_edge(e.u, e.v).unwrap();
-            prop_assert!((back.edge_probability(id) - e.p).abs() < 1e-9);
+            assert!((back.edge_probability(id) - e.p).abs() < 1e-9);
         }
-    }
+    });
 }
+
+// Silence the unused-import lint: `RngCore` is part of the prelude contract
+// exercised above via `gen`/`gen_range`.
+const _: fn(&mut SmallRng) -> u64 = <SmallRng as RngCore>::next_u64;
