@@ -90,6 +90,15 @@ COMMANDS:
                Compare a sparsified graph against its original (degree/cut MAE,
                relative entropy, earth mover's distance of PageRank and reliability).
 
+    batch      <graph.txt> --queries q1,q2,... [--worlds N] [--pairs N] [--top K]
+               [--source V] [--seed N] [--threads N] [--sequential]
+               [--mode auto|skip|per-edge] [--compact]
+               Evaluate several Monte-Carlo queries over ONE shared set of
+               sampled worlds (queries: pagerank|cc|sp|connectivity|
+               degree-hist|edge-freq|knn) and print the results as JSON.
+               Sampling and world materialisation are paid once for the whole
+               query mix instead of once per query.
+
     help       Show this message.
 "
     .to_string()
@@ -313,15 +322,207 @@ pub fn query(args: &ParsedArgs) -> Result<String, CliError> {
     }
 }
 
-fn format_top(label: &str, scores: &[f64], top: usize) -> String {
+/// `ugs batch`: one shared sampling pass over `--worlds` possible worlds
+/// feeding every query named in `--queries`, reported as a JSON document.
+pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
+    use minijson::{ObjBuilder, Value};
+
+    let path = args.positional(0, "graph.txt")?;
+    let graph = load(path)?;
+    let n = graph.num_vertices();
+    let seed = args.u64_or("seed", 42)?;
+    let mc = monte_carlo_config(args, 500)?;
+    let top = args.usize_or("top", 10)?;
+    let list = args.option_or("queries", "pagerank,connectivity");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let mut batch = QueryBatch::new(&graph, &mc);
+    let mut h_pagerank = None;
+    let mut h_clustering = None;
+    let mut h_pairs = None;
+    let mut h_connectivity = None;
+    let mut h_histogram = None;
+    let mut h_edge_freq = None;
+    let mut h_knn = None;
+    let mut order: Vec<&'static str> = Vec::new();
+    for query in list.split(',').map(str::trim).filter(|q| !q.is_empty()) {
+        let canonical = match query {
+            "pagerank" | "pr" => {
+                if h_pagerank.is_none() {
+                    h_pagerank = Some(batch.register(PageRankObserver::new(&graph)));
+                }
+                "pagerank"
+            }
+            "cc" | "clustering" => {
+                if h_clustering.is_none() {
+                    h_clustering = Some(batch.register(ClusteringObserver::new(&graph)));
+                }
+                "clustering"
+            }
+            "sp" | "rl" | "reliability" | "distance" => {
+                if h_pairs.is_none() {
+                    let pairs = random_pairs(n, args.usize_or("pairs", 100)?, &mut rng);
+                    h_pairs = Some(batch.register(PairQueriesObserver::new(&pairs)));
+                }
+                "sp"
+            }
+            "connectivity" => {
+                if h_connectivity.is_none() {
+                    h_connectivity = Some(batch.register(ConnectivityObserver::new(&graph)));
+                }
+                "connectivity"
+            }
+            "degree-hist" | "degrees" => {
+                if h_histogram.is_none() {
+                    h_histogram = Some(batch.register(DegreeHistogramObserver::new(&graph)));
+                }
+                "degree_histogram"
+            }
+            "edge-freq" | "frequencies" => {
+                if h_edge_freq.is_none() {
+                    h_edge_freq = Some(batch.register(EdgeFrequencyObserver::new(&graph)));
+                }
+                "edge_frequencies"
+            }
+            "knn" => {
+                if h_knn.is_none() {
+                    let source = args.usize_or("source", 0)?;
+                    if source >= n {
+                        return Err(CliError::Message(format!(
+                            "--source {source} out of range (graph has {n} vertices)"
+                        )));
+                    }
+                    h_knn = Some(batch.register(KnnObserver::new(&graph, source, top)));
+                }
+                "knn"
+            }
+            other => {
+                return Err(CliError::Message(format!(
+                    "unknown query {other:?}; expected \
+                     pagerank|cc|sp|connectivity|degree-hist|edge-freq|knn"
+                )))
+            }
+        };
+        if !order.contains(&canonical) {
+            order.push(canonical);
+        }
+    }
+    if batch.num_observers() == 0 {
+        return Err(CliError::Message(
+            "no queries given; try --queries pagerank,connectivity".to_string(),
+        ));
+    }
+
+    let mut results = batch.run(&mut rng);
+    let ranked = |scores: &[f64]| -> Value {
+        Value::Arr(
+            ranked_vertices(scores, top)
+                .into_iter()
+                .map(|v| {
+                    ObjBuilder::new()
+                        .field("vertex", v)
+                        .field("score", scores[v])
+                        .build()
+                })
+                .collect(),
+        )
+    };
+    let mut queries: Vec<(String, Value)> = Vec::new();
+    for name in order {
+        let value = match name {
+            "pagerank" => ranked(&results.take(h_pagerank.expect("registered"))),
+            "clustering" => ranked(&results.take(h_clustering.expect("registered"))),
+            "sp" => {
+                let pair_result = results.take(h_pairs.expect("registered"));
+                let finite = pair_result.finite_distances();
+                let mean_sp = finite.iter().sum::<f64>() / finite.len().max(1) as f64;
+                let mean_rl = pair_result.reliability.iter().sum::<f64>()
+                    / pair_result.reliability.len().max(1) as f64;
+                ObjBuilder::new()
+                    .field("pairs", pair_result.pairs.len())
+                    .field("reachable_pairs", finite.len())
+                    .field("mean_shortest_path", mean_sp)
+                    .field("mean_reliability", mean_rl)
+                    .build()
+            }
+            "connectivity" => {
+                let estimate = results.take(h_connectivity.expect("registered"));
+                ObjBuilder::new()
+                    .field("probability_connected", estimate.probability_connected)
+                    .field("expected_components", estimate.expected_components)
+                    .field(
+                        "expected_largest_component",
+                        estimate.expected_largest_component,
+                    )
+                    .field(
+                        "expected_isolated_fraction",
+                        estimate.expected_isolated_fraction,
+                    )
+                    .build()
+            }
+            "degree_histogram" => Value::Arr(
+                results
+                    .take(h_histogram.expect("registered"))
+                    .into_iter()
+                    .map(Value::from)
+                    .collect(),
+            ),
+            "edge_frequencies" => Value::Arr(
+                results
+                    .take(h_edge_freq.expect("registered"))
+                    .into_iter()
+                    .map(Value::from)
+                    .collect(),
+            ),
+            "knn" => Value::Arr(
+                results
+                    .take(h_knn.expect("registered"))
+                    .into_iter()
+                    .map(|neighbor| {
+                        ObjBuilder::new()
+                            .field("vertex", neighbor.vertex)
+                            .field("expected_distance", neighbor.expected_distance)
+                            .field("reachability", neighbor.reachability)
+                            .build()
+                    })
+                    .collect(),
+            ),
+            other => unreachable!("unregistered canonical query {other}"),
+        };
+        queries.push((name.to_string(), value));
+    }
+    let document = ObjBuilder::new()
+        .field("graph", path)
+        .field("worlds", mc.num_worlds)
+        .field("threads", mc.threads)
+        .field("mode", args.option_or("mode", "auto"))
+        .field("seed", seed as f64)
+        .field("queries", Value::Obj(queries))
+        .build();
+    Ok(if args.flag("compact") {
+        document.render()
+    } else {
+        document.pretty()
+    })
+}
+
+/// The top `top` vertex ids by descending score, ties broken by ascending
+/// vertex id — the ranking shared by `query` and `batch` reports.
+fn ranked_vertices(scores: &[f64], top: usize) -> Vec<usize> {
     let mut ranked: Vec<usize> = (0..scores.len()).collect();
     ranked.sort_by(|&a, &b| {
         scores[b]
             .partial_cmp(&scores[a])
             .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
+    ranked.truncate(top);
+    ranked
+}
+
+fn format_top(label: &str, scores: &[f64], top: usize) -> String {
     let mut out = format!("top {} vertices by {label}:\n", top.min(scores.len()));
-    for &v in ranked.iter().take(top) {
+    for v in ranked_vertices(scores, top) {
         out.push_str(&format!("  vertex {:>6}  {:.6}\n", v, scores[v]));
     }
     out
@@ -383,6 +584,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "sparsify" => sparsify(args),
         "query" => query(args),
         "compare" => compare(args),
+        "batch" => batch(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Message(format!(
             "unknown command {other:?}\n\n{}",
@@ -549,6 +751,63 @@ mod tests {
         assert!(threaded.contains("PageRank"));
         let bad = ParsedArgs::parse(["query", &input, "--mode", "psychic"]).unwrap();
         assert!(run(&bad).is_err());
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn batch_evaluates_several_queries_in_one_json_report() {
+        let input = write_toy_graph("batch.txt");
+        let args = ParsedArgs::parse([
+            "batch",
+            &input,
+            "--queries",
+            "pagerank,cc,sp,connectivity,degree-hist,edge-freq,knn",
+            "--worlds",
+            "60",
+            "--pairs",
+            "5",
+            "--top",
+            "3",
+            "--sequential",
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        let doc = minijson::Value::parse(&report).expect("valid JSON");
+        assert_eq!(doc.get_usize("worlds"), Some(60));
+        let queries = doc.get("queries").expect("queries object");
+        for key in [
+            "pagerank",
+            "clustering",
+            "sp",
+            "connectivity",
+            "degree_histogram",
+            "edge_frequencies",
+            "knn",
+        ] {
+            assert!(queries.get(key).is_some(), "{key} missing: {report}");
+        }
+        assert_eq!(
+            queries
+                .get("pagerank")
+                .and_then(|v| v.as_array())
+                .map(<[_]>::len),
+            Some(3)
+        );
+        // Deterministic: same seed, same report, byte for byte.
+        assert_eq!(report, run(&args).unwrap());
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn batch_rejects_bad_query_lists() {
+        let input = write_toy_graph("batch-bad.txt");
+        let bad = ParsedArgs::parse(["batch", &input, "--queries", "psychic"]).unwrap();
+        assert!(run(&bad).is_err());
+        let empty = ParsedArgs::parse(["batch", &input, "--queries", ","]).unwrap();
+        assert!(run(&empty).is_err());
+        let out_of_range =
+            ParsedArgs::parse(["batch", &input, "--queries", "knn", "--source", "999"]).unwrap();
+        assert!(run(&out_of_range).is_err());
         std::fs::remove_file(&input).ok();
     }
 

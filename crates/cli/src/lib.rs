@@ -1,0 +1,12 @@
+//! Library surface of the `ugs` command-line interface.
+//!
+//! The binary in `main.rs` is a thin shell over this crate: argument parsing
+//! lives in [`args`] and every subcommand in [`commands`] returns its report
+//! as a `String`, so the whole CLI is testable in-process (the workspace's
+//! end-to-end suite drives it exactly like a shell user would, minus the
+//! process boundary).
+
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;

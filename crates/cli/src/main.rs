@@ -11,10 +11,8 @@
 //!
 //! Run `ugs help` for the full option list.
 
-mod args;
-mod commands;
-
-use args::ParsedArgs;
+use ugs_cli::args::ParsedArgs;
+use ugs_cli::commands;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();

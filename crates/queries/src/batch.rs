@@ -1,0 +1,519 @@
+//! Batched multi-query evaluation over **shared** sampled worlds.
+//!
+//! Every Monte-Carlo query in this crate spends most of its time drawing and
+//! materialising possible worlds.  When an experiment mixes `k` queries over
+//! the same uncertain graph (the paper's Section 6.3 evaluates reliability,
+//! shortest-path distance, PageRank and k-NN side by side), running them
+//! standalone pays that sampling cost `k` times.  [`QueryBatch`] samples each
+//! world exactly **once** and feeds it to every registered
+//! [`WorldObserver`], amortising the sampling + materialisation across the
+//! whole query mix.
+//!
+//! ## Observers
+//!
+//! A [`WorldObserver`] is the per-query accumulator: it sees every sampled
+//! world through [`WorldObserver::observe`], partial observers from parallel
+//! workers are combined with [`WorldObserver::merge`], and
+//! [`WorldObserver::finalize`] turns the accumulated state into the query's
+//! result.  Each query surface of this crate ships its observer:
+//!
+//! | Observer | Output | Standalone wrapper |
+//! |---|---|---|
+//! | [`crate::node_queries::PageRankObserver`] | `Vec<f64>` | [`crate::expected_pagerank`] |
+//! | [`crate::node_queries::ClusteringObserver`] | `Vec<f64>` | [`crate::expected_clustering_coefficients`] |
+//! | [`crate::pair_queries::PairQueriesObserver`] | [`crate::PairQueryResult`] | [`crate::pair_queries()`] |
+//! | [`crate::components::ConnectivityObserver`] | [`crate::ConnectivityEstimate`] | [`crate::connectivity_query`] |
+//! | [`crate::components::DegreeHistogramObserver`] | `Vec<f64>` | [`crate::expected_degree_histogram`] |
+//! | [`crate::knn::KnnObserver`] | `Vec<`[`crate::Neighbor`]`>` | [`crate::k_nearest_neighbors`] |
+//! | [`EdgeFrequencyObserver`] | `Vec<f64>` | — |
+//!
+//! ## Determinism and reproducibility
+//!
+//! The driver draws **exactly one** `u64` from the caller's RNG (the batch
+//! seed) when `num_worlds > 0` and at least one observer is registered, and
+//! **zero** draws otherwise — regardless of the thread count.  All workers
+//! derive their world stream from that one seed: worker `w` replays (samples
+//! and discards, without materialising) the worlds before its contiguous
+//! block, so the sequence of sampled worlds is *identical for every thread
+//! count*.  Consequences:
+//!
+//! * with one thread, a single-observer batch is **bit-identical** to the
+//!   legacy standalone driver ([`MonteCarlo::accumulate`] with one worker);
+//! * results are invariant to the observer registration order;
+//! * order-insensitive accumulators (counts, and statistics derived from
+//!   counts such as reliability) are exactly invariant to the thread count;
+//!   floating-point sums may differ across thread counts only in their
+//!   round-off (partial sums are merged in worker order).
+//!
+//! The replay makes parallel sampling cost `O(threads)` × the sequential
+//! sampling cost in total, which is a good trade: per-world kernels (BFS,
+//! PageRank, components) dominate sampling, and sampling itself is cheap in
+//! the paper's sparsified regime (`O(Σ pₑ)` skip-sampling).
+//!
+//! ## Worked example
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use uncertain_graph::UncertainGraph;
+//! use ugs_queries::batch::{EdgeFrequencyObserver, QueryBatch};
+//! use ugs_queries::components::{ConnectivityObserver, DegreeHistogramObserver};
+//! use ugs_queries::MonteCarlo;
+//!
+//! let g = UncertainGraph::from_edges(4, [(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.7)]).unwrap();
+//! let mc = MonteCarlo::worlds(400);
+//!
+//! // One sampling pass serves all three queries.
+//! let mut batch = QueryBatch::new(&g, &mc);
+//! let connectivity = batch.register(ConnectivityObserver::new(&g));
+//! let histogram = batch.register(DegreeHistogramObserver::new(&g));
+//! let frequencies = batch.register(EdgeFrequencyObserver::new(&g));
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut results = batch.run(&mut rng); // advances `rng` by exactly one u64 draw
+//!
+//! let connectivity = results.take(connectivity);
+//! assert!(connectivity.probability_connected <= 1.0);
+//! let histogram = results.take(histogram);
+//! assert!((histogram.iter().sum::<f64>() - 4.0).abs() < 1e-9);
+//! let frequencies = results.take(frequencies);
+//! assert!((frequencies[0] - 0.9).abs() < 0.1);
+//! ```
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uncertain_graph::UncertainGraph;
+
+use crate::engine::{WorldEngine, WorldScratch};
+use crate::mc::MonteCarlo;
+
+/// A per-query accumulator fed by the batch driver.
+///
+/// The driver clones the registered observer once per worker (clones are
+/// taken *before* any observation, so `Clone` must reproduce the pristine
+/// state), calls [`WorldObserver::observe`] for every world of the worker's
+/// block, combines the partial observers with [`WorldObserver::merge`] in
+/// worker order, and [`WorldObserver::finalize`] produces the result.
+///
+/// To keep the whole batch allocation-free per world in steady state,
+/// `observe` must not allocate: pre-size every buffer in the constructor.
+///
+/// Implementations that mirror a legacy `MonteCarlo::accumulate` kernel can
+/// accumulate straight into their running totals and stay bit-identical to
+/// the legacy driver (which summed each world's kernel output into the
+/// totals) as long as each slot receives at most one floating-point addend
+/// per world or only exactly-representable integer counts — true of every
+/// observer in this crate, and guarded by the `batch_parity` suite.  A
+/// kernel that adds several non-integral contributions to one slot per
+/// world must keep the legacy zero-a-local-buffer-then-add pattern to
+/// preserve the association order.
+pub trait WorldObserver: Send + Clone + 'static {
+    /// The finalised query result.
+    type Output;
+
+    /// Observes one sampled world (the scratch exposes both the present
+    /// edge ids and the materialised [`graph_algos::DeterministicGraph`]).
+    fn observe(&mut self, world: &WorldScratch);
+
+    /// Folds another partial observer (from a parallel worker) into `self`.
+    fn merge(&mut self, other: Self);
+
+    /// Consumes the accumulated state and produces the query result;
+    /// `num_worlds` is the total number of sampled worlds across all
+    /// workers (implementations must tolerate `num_worlds == 0`).
+    fn finalize(self, num_worlds: usize) -> Self::Output;
+}
+
+/// Object-safe adapter over [`WorldObserver`] so one batch can drive a
+/// heterogeneous observer set.
+trait DynObserver: Send {
+    fn observe_dyn(&mut self, world: &WorldScratch);
+    fn merge_dyn(&mut self, other: Box<dyn DynObserver>);
+    fn clone_dyn(&self) -> Box<dyn DynObserver>;
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<O: WorldObserver> DynObserver for O {
+    fn observe_dyn(&mut self, world: &WorldScratch) {
+        self.observe(world);
+    }
+
+    fn merge_dyn(&mut self, other: Box<dyn DynObserver>) {
+        let other = other
+            .into_any()
+            .downcast::<O>()
+            .expect("merged observers must have the same concrete type");
+        self.merge(*other);
+    }
+
+    fn clone_dyn(&self) -> Box<dyn DynObserver> {
+        Box::new(self.clone())
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Typed handle returned by [`QueryBatch::register`]; redeem it against the
+/// [`BatchResults`] of the *same* batch with [`BatchResults::take`].
+pub struct ObserverHandle<O> {
+    batch: u64,
+    index: usize,
+    _marker: PhantomData<fn() -> O>,
+}
+
+impl<O> Clone for ObserverHandle<O> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<O> Copy for ObserverHandle<O> {}
+
+impl<O> std::fmt::Debug for ObserverHandle<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverHandle")
+            .field("batch", &self.batch)
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
+/// Process-wide counter giving every batch a distinct id, so a handle can
+/// only be redeemed against the results of the batch that issued it.
+static BATCH_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// Samples each world once and feeds it to every registered observer.
+///
+/// Built from a graph and a [`MonteCarlo`] configuration (world count,
+/// thread count, sampling method); see the [module docs](self) for the
+/// determinism contract and a worked example.
+pub struct QueryBatch<'g> {
+    engine: WorldEngine<'g>,
+    num_worlds: usize,
+    threads: usize,
+    id: u64,
+    observers: Vec<Box<dyn DynObserver>>,
+}
+
+impl<'g> QueryBatch<'g> {
+    /// Creates a batch over `g` driven by the [`MonteCarlo`] configuration.
+    pub fn new(g: &'g UncertainGraph, mc: &MonteCarlo) -> Self {
+        Self::from_engine(
+            WorldEngine::new(g).with_method(mc.method),
+            mc.num_worlds,
+            mc.threads,
+        )
+    }
+
+    /// Creates a batch from a pre-built engine (lets callers reuse the
+    /// engine's `O(|E| log |E|)` construction across batches).
+    pub fn from_engine(engine: WorldEngine<'g>, num_worlds: usize, threads: usize) -> Self {
+        QueryBatch {
+            engine,
+            num_worlds,
+            threads: threads.max(1),
+            id: BATCH_IDS.fetch_add(1, Ordering::Relaxed),
+            observers: Vec::new(),
+        }
+    }
+
+    /// The number of worlds the batch will sample.
+    pub fn num_worlds(&self) -> usize {
+        self.num_worlds
+    }
+
+    /// The number of registered observers.
+    pub fn num_observers(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Registers an observer; the returned typed handle redeems its result
+    /// from [`BatchResults::take`] after [`QueryBatch::run`].
+    pub fn register<O: WorldObserver>(&mut self, observer: O) -> ObserverHandle<O> {
+        let index = self.observers.len();
+        self.observers.push(Box::new(observer));
+        ObserverHandle {
+            batch: self.id,
+            index,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Samples the worlds (each exactly once per worker stream) and feeds
+    /// every world to all registered observers.
+    ///
+    /// Advances the caller RNG by **exactly one** `u64` draw, or zero draws
+    /// when `num_worlds == 0` or no observer is registered; see the
+    /// [module docs](self) for the full determinism contract.
+    pub fn run<R: Rng + ?Sized>(self, rng: &mut R) -> BatchResults {
+        let QueryBatch {
+            engine,
+            num_worlds,
+            threads,
+            id,
+            mut observers,
+        } = self;
+        if num_worlds == 0 || observers.is_empty() {
+            return BatchResults {
+                id,
+                num_worlds,
+                slots: observers.into_iter().map(Some).collect(),
+            };
+        }
+        let seed = rng.gen::<u64>();
+        let threads = threads.clamp(1, num_worlds);
+        if threads == 1 {
+            let mut worker_rng = SmallRng::seed_from_u64(seed);
+            let mut scratch = engine.make_scratch();
+            for _ in 0..num_worlds {
+                engine.sample_world(&mut worker_rng, &mut scratch);
+                for observer in observers.iter_mut() {
+                    observer.observe_dyn(&scratch);
+                }
+            }
+            return BatchResults {
+                id,
+                num_worlds,
+                slots: observers.into_iter().map(Some).collect(),
+            };
+        }
+        // Deterministic replay partitioning: every worker re-derives the
+        // same world stream from the shared seed, advances (sampling only,
+        // no materialisation) past the worlds before its contiguous block
+        // and observes its own block.  The sampled world sequence is thus
+        // independent of the thread count.
+        let base = num_worlds / threads;
+        let extra = num_worlds % threads;
+        let mut partials: Vec<Vec<Box<dyn DynObserver>>> = std::thread::scope(|scope| {
+            let engine = &engine;
+            let observers = &observers;
+            let handles: Vec<_> = (0..threads)
+                .map(|idx| {
+                    let count = base + usize::from(idx < extra);
+                    let skip = base * idx + idx.min(extra);
+                    let mut workers: Vec<Box<dyn DynObserver>> =
+                        observers.iter().map(|o| o.clone_dyn()).collect();
+                    scope.spawn(move || {
+                        let mut worker_rng = SmallRng::seed_from_u64(seed);
+                        let mut scratch = engine.make_scratch();
+                        for _ in 0..skip {
+                            engine.advance_world(&mut worker_rng, &mut scratch);
+                        }
+                        for _ in 0..count {
+                            engine.sample_world(&mut worker_rng, &mut scratch);
+                            for observer in workers.iter_mut() {
+                                observer.observe_dyn(&scratch);
+                            }
+                        }
+                        workers
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("worker thread panicked"))
+                .collect()
+        });
+        drop(observers);
+        // Merge the partial observers in worker (= world block) order.
+        let mut merged = partials.remove(0);
+        for partial in partials {
+            for (into, other) in merged.iter_mut().zip(partial) {
+                into.merge_dyn(other);
+            }
+        }
+        BatchResults {
+            id,
+            num_worlds,
+            slots: merged.into_iter().map(Some).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryBatch<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryBatch")
+            .field("num_worlds", &self.num_worlds)
+            .field("threads", &self.threads)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+/// The finished observers of a batch run; redeem each with
+/// [`BatchResults::take`] using the handle from [`QueryBatch::register`].
+pub struct BatchResults {
+    id: u64,
+    num_worlds: usize,
+    slots: Vec<Option<Box<dyn DynObserver>>>,
+}
+
+impl BatchResults {
+    /// The number of worlds that were sampled.
+    pub fn num_worlds(&self) -> usize {
+        self.num_worlds
+    }
+
+    /// Finalises and returns one observer's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle came from a different batch or the result was
+    /// already taken.
+    pub fn take<O: WorldObserver>(&mut self, handle: ObserverHandle<O>) -> O::Output {
+        assert_eq!(
+            handle.batch, self.id,
+            "observer handle redeemed against a different batch"
+        );
+        let observer = self
+            .slots
+            .get_mut(handle.index)
+            .and_then(Option::take)
+            .expect("observer result already taken");
+        let observer = observer
+            .into_any()
+            .downcast::<O>()
+            .expect("observer handle type mismatch");
+        observer.finalize(self.num_worlds)
+    }
+}
+
+impl std::fmt::Debug for BatchResults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchResults")
+            .field("num_worlds", &self.num_worlds)
+            .field(
+                "pending",
+                &self.slots.iter().filter(|s| s.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+/// Observer counting how often every edge of the support graph appears in
+/// the sampled worlds; finalises to per-edge empirical frequencies (indexed
+/// by edge id).  Allocation-free per world — a convenient smoke observer and
+/// the cheapest way to validate sampling against edge probabilities.
+#[derive(Debug, Clone)]
+pub struct EdgeFrequencyObserver {
+    counts: Vec<f64>,
+}
+
+impl EdgeFrequencyObserver {
+    /// An observer for the edges of `g`.
+    pub fn new(g: &UncertainGraph) -> Self {
+        EdgeFrequencyObserver {
+            counts: vec![0.0; g.num_edges()],
+        }
+    }
+}
+
+impl WorldObserver for EdgeFrequencyObserver {
+    type Output = Vec<f64>;
+
+    fn observe(&mut self, world: &WorldScratch) {
+        for &e in world.present_edges() {
+            self.counts[e as usize] += 1.0;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (t, o) in self.counts.iter_mut().zip(other.counts) {
+            *t += o;
+        }
+    }
+
+    fn finalize(self, num_worlds: usize) -> Vec<f64> {
+        if num_worlds == 0 {
+            return self.counts;
+        }
+        self.counts
+            .into_iter()
+            .map(|c| c / num_worlds as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SampleMethod;
+
+    fn toy() -> UncertainGraph {
+        UncertainGraph::from_edges(4, [(0, 1, 0.5), (1, 2, 0.25), (2, 3, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn edge_frequencies_match_probabilities() {
+        let g = toy();
+        let mc = MonteCarlo::worlds(30_000).with_method(SampleMethod::Skip);
+        let mut batch = QueryBatch::new(&g, &mc);
+        let handle = batch.register(EdgeFrequencyObserver::new(&g));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let freq = batch.run(&mut rng).take(handle);
+        for (f, p) in freq.iter().zip([0.5, 0.25, 1.0]) {
+            assert!((f - p).abs() < 0.01, "{f} vs {p}");
+        }
+    }
+
+    #[test]
+    fn run_consumes_exactly_one_seed_draw() {
+        let g = toy();
+        let mc = MonteCarlo::worlds(50).with_threads(4);
+        let mut batch = QueryBatch::new(&g, &mc);
+        let _ = batch.register(EdgeFrequencyObserver::new(&g));
+        let mut rng = SmallRng::seed_from_u64(11);
+        batch.run(&mut rng);
+        let mut expected = SmallRng::seed_from_u64(11);
+        expected.gen::<u64>();
+        assert_eq!(rng.gen::<u64>(), expected.gen::<u64>());
+    }
+
+    #[test]
+    fn empty_batches_do_not_consume_the_rng() {
+        let g = toy();
+        // no observers
+        let batch = QueryBatch::new(&g, &MonteCarlo::worlds(50));
+        let mut rng = SmallRng::seed_from_u64(5);
+        batch.run(&mut rng);
+        // zero worlds
+        let mut batch = QueryBatch::new(&g, &MonteCarlo::worlds(0));
+        let handle = batch.register(EdgeFrequencyObserver::new(&g));
+        let mut results = batch.run(&mut rng);
+        assert_eq!(results.take(handle), vec![0.0; 3]);
+        let mut untouched = SmallRng::seed_from_u64(5);
+        assert_eq!(rng.gen::<u64>(), untouched.gen::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "different batch")]
+    fn foreign_handles_are_rejected() {
+        let g = toy();
+        let mc = MonteCarlo::worlds(5);
+        let mut batch_a = QueryBatch::new(&g, &mc);
+        let handle_a = batch_a.register(EdgeFrequencyObserver::new(&g));
+        let mut batch_b = QueryBatch::new(&g, &mc);
+        let _ = batch_b.register(EdgeFrequencyObserver::new(&g));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut results_b = batch_b.run(&mut rng);
+        let _ = results_b.take(handle_a);
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn double_take_panics() {
+        let g = toy();
+        let mut batch = QueryBatch::new(&g, &MonteCarlo::worlds(5));
+        let handle = batch.register(EdgeFrequencyObserver::new(&g));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut results = batch.run(&mut rng);
+        let _ = results.take(handle);
+        let _ = results.take(handle);
+    }
+}

@@ -9,9 +9,17 @@
 //! representative instance cannot express and a sparsified *uncertain* graph
 //! can.
 
+//! Both queries are [`crate::batch::WorldObserver`]s
+//! ([`ConnectivityObserver`], [`DegreeHistogramObserver`]) so they can share
+//! sampled worlds with other queries in a [`QueryBatch`]; the free functions
+//! are single-observer wrappers keeping the original signatures
+//! (bit-identical sequentially, one caller-RNG draw).
+
 use rand::Rng;
 use uncertain_graph::UncertainGraph;
 
+use crate::batch::{QueryBatch, WorldObserver};
+use crate::engine::WorldScratch;
 use crate::mc::MonteCarlo;
 use graph_algos::traversal::connected_components;
 
@@ -31,6 +39,130 @@ pub struct ConnectivityEstimate {
     pub num_worlds: usize,
 }
 
+/// Observer accumulating connectivity structure over sampled worlds;
+/// finalises to a [`ConnectivityEstimate`].
+#[derive(Debug, Clone)]
+pub struct ConnectivityObserver {
+    n: usize,
+    /// Layout: [components, largest, connected, isolated]
+    totals: Vec<f64>,
+    /// Component-size tally, pre-sized to `n` (a world has at most `n`
+    /// components) so `observe` never allocates.
+    sizes: Vec<usize>,
+}
+
+impl ConnectivityObserver {
+    /// An observer for the vertices of `g`.
+    pub fn new(g: &UncertainGraph) -> Self {
+        let n = g.num_vertices();
+        ConnectivityObserver {
+            n,
+            totals: vec![0.0; 4],
+            sizes: vec![0; n],
+        }
+    }
+}
+
+impl WorldObserver for ConnectivityObserver {
+    type Output = ConnectivityEstimate;
+
+    fn observe(&mut self, scratch: &WorldScratch) {
+        let world = scratch.world();
+        let (labels, count) = connected_components(world);
+        let sizes = &mut self.sizes[..count];
+        sizes.fill(0);
+        for &label in &labels {
+            sizes[label] += 1;
+        }
+        let largest = sizes.iter().copied().max().unwrap_or(0);
+        let isolated = (0..world.num_vertices())
+            .filter(|&u| world.degree(u) == 0)
+            .count();
+        self.totals[0] += count as f64;
+        self.totals[1] += largest as f64;
+        self.totals[2] += f64::from(count == 1);
+        self.totals[3] += isolated as f64 / self.n as f64;
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (t, o) in self.totals.iter_mut().zip(other.totals) {
+            *t += o;
+        }
+    }
+
+    fn finalize(self, num_worlds: usize) -> ConnectivityEstimate {
+        if num_worlds == 0 {
+            return ConnectivityEstimate {
+                expected_components: 0.0,
+                expected_largest_component: 0.0,
+                probability_connected: 0.0,
+                expected_isolated_fraction: 0.0,
+                num_worlds,
+            };
+        }
+        let w = num_worlds as f64;
+        ConnectivityEstimate {
+            expected_components: self.totals[0] / w,
+            expected_largest_component: self.totals[1] / w,
+            probability_connected: self.totals[2] / w,
+            expected_isolated_fraction: self.totals[3] / w,
+            num_worlds,
+        }
+    }
+}
+
+/// Observer accumulating the per-world degree distribution; finalises to the
+/// expected degree histogram (truncated at the maximum observed degree).
+#[derive(Debug, Clone)]
+pub struct DegreeHistogramObserver {
+    totals: Vec<f64>,
+}
+
+impl DegreeHistogramObserver {
+    /// An observer sized for the maximum support degree of `g`.
+    pub fn new(g: &UncertainGraph) -> Self {
+        let max_degree = (0..g.num_vertices())
+            .map(|u| g.degree(u))
+            .max()
+            .unwrap_or(0);
+        DegreeHistogramObserver {
+            totals: vec![0.0; max_degree + 1],
+        }
+    }
+}
+
+impl WorldObserver for DegreeHistogramObserver {
+    type Output = Vec<f64>;
+
+    fn observe(&mut self, scratch: &WorldScratch) {
+        let world = scratch.world();
+        for u in 0..world.num_vertices() {
+            self.totals[world.degree(u)] += 1.0;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (t, o) in self.totals.iter_mut().zip(other.totals) {
+            *t += o;
+        }
+    }
+
+    fn finalize(self, num_worlds: usize) -> Vec<f64> {
+        if num_worlds == 0 {
+            return self.totals;
+        }
+        let mut histogram: Vec<f64> = self
+            .totals
+            .into_iter()
+            .map(|x| x / num_worlds as f64)
+            .collect();
+        while histogram.len() > 1 && histogram.last() == Some(&0.0) {
+            histogram.pop();
+        }
+        histogram
+    }
+}
+
 /// Estimates the connectivity structure of `g` over `mc.num_worlds` sampled
 /// worlds.
 pub fn connectivity_query<R: Rng + ?Sized>(
@@ -48,30 +180,9 @@ pub fn connectivity_query<R: Rng + ?Sized>(
             num_worlds: mc.num_worlds,
         };
     }
-    // Accumulator layout: [components, largest, connected, isolated]
-    let totals = mc.accumulate(g, 4, rng, |world, acc| {
-        let (labels, count) = connected_components(world);
-        let mut sizes = vec![0usize; count];
-        for &label in &labels {
-            sizes[label] += 1;
-        }
-        let largest = sizes.iter().copied().max().unwrap_or(0);
-        let isolated = (0..world.num_vertices())
-            .filter(|&u| world.degree(u) == 0)
-            .count();
-        acc[0] += count as f64;
-        acc[1] += largest as f64;
-        acc[2] += f64::from(count == 1);
-        acc[3] += isolated as f64 / n as f64;
-    });
-    let w = mc.num_worlds as f64;
-    ConnectivityEstimate {
-        expected_components: totals[0] / w,
-        expected_largest_component: totals[1] / w,
-        probability_connected: totals[2] / w,
-        expected_isolated_fraction: totals[3] / w,
-        num_worlds: mc.num_worlds,
-    }
+    let mut batch = QueryBatch::new(g, mc);
+    let handle = batch.register(ConnectivityObserver::new(g));
+    batch.run(rng).take(handle)
 }
 
 /// Expected degree distribution: `result[d]` is the expected number of
@@ -86,20 +197,9 @@ pub fn expected_degree_histogram<R: Rng + ?Sized>(
     if mc.num_worlds == 0 || n == 0 {
         return Vec::new();
     }
-    let max_degree = (0..n).map(|u| g.degree(u)).max().unwrap_or(0);
-    let totals = mc.accumulate(g, max_degree + 1, rng, |world, acc| {
-        for u in 0..world.num_vertices() {
-            acc[world.degree(u)] += 1.0;
-        }
-    });
-    let mut histogram: Vec<f64> = totals
-        .into_iter()
-        .map(|x| x / mc.num_worlds as f64)
-        .collect();
-    while histogram.len() > 1 && histogram.last() == Some(&0.0) {
-        histogram.pop();
-    }
-    histogram
+    let mut batch = QueryBatch::new(g, mc);
+    let handle = batch.register(DegreeHistogramObserver::new(g));
+    batch.run(rng).take(handle)
 }
 
 #[cfg(test)]

@@ -157,6 +157,32 @@ impl<'g> WorldEngine<'g> {
         }
     }
 
+    /// Draws the edge outcomes of one world into `scratch.present` without
+    /// materialising the CSR.
+    fn sample_present<R: Rng + ?Sized>(&self, rng: &mut R, present: &mut Vec<u32>) {
+        match self.effective_method() {
+            SampleMethod::PerEdge => {
+                WorldSampler::new().sample_present_into(self.graph, rng, present);
+            }
+            SampleMethod::Skip => {
+                self.sampler.sample_present_into(rng, present);
+            }
+            SampleMethod::Auto => unreachable!("effective_method always resolves Auto"),
+        }
+    }
+
+    /// Advances the RNG past one world without materialising it: draws
+    /// exactly the same edge outcomes as [`WorldEngine::sample_world`]
+    /// (consuming the RNG identically, so a subsequent `sample_world` sees
+    /// the same stream it would have after a full sample) but skips both CSR
+    /// materialisation passes.  Used by the batch driver to hand each
+    /// parallel worker the same deterministic world sequence regardless of
+    /// the thread count.  `scratch.world()` is left stale; only
+    /// `scratch.present_edges()` reflects the advanced-past world.
+    pub fn advance_world<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut WorldScratch) {
+        self.sample_present(rng, &mut scratch.present);
+    }
+
     /// Samples one world and materialises it into `scratch`, returning the
     /// materialised [`DeterministicGraph`].  Allocation-free in steady
     /// state.
@@ -165,15 +191,7 @@ impl<'g> WorldEngine<'g> {
         rng: &mut R,
         scratch: &'s mut WorldScratch,
     ) -> &'s DeterministicGraph {
-        match self.effective_method() {
-            SampleMethod::PerEdge => {
-                WorldSampler::new().sample_present_into(self.graph, rng, &mut scratch.present);
-            }
-            SampleMethod::Skip => {
-                self.sampler.sample_present_into(rng, &mut scratch.present);
-            }
-            SampleMethod::Auto => unreachable!("effective_method always resolves Auto"),
-        }
+        self.sample_present(rng, &mut scratch.present);
         // Resolve endpoints once; the two materialisation passes then run
         // over this compact sequential buffer.
         scratch.endpoints.clear();
@@ -297,6 +315,33 @@ mod tests {
             assert!(
                 (freq - expected).abs() < 0.01,
                 "edge {e}: {freq} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn advance_world_consumes_the_rng_exactly_like_sample_world() {
+        let g = toy(0.35);
+        for method in [SampleMethod::PerEdge, SampleMethod::Skip] {
+            let engine = WorldEngine::new(&g).with_method(method);
+            let mut sampled = engine.make_scratch();
+            let mut advanced = engine.make_scratch();
+            let mut rng_sample = SmallRng::seed_from_u64(17);
+            let mut rng_advance = SmallRng::seed_from_u64(17);
+            for _ in 0..200 {
+                engine.sample_world(&mut rng_sample, &mut sampled);
+                engine.advance_world(&mut rng_advance, &mut advanced);
+                assert_eq!(
+                    sampled.present_edges(),
+                    advanced.present_edges(),
+                    "{method:?}"
+                );
+            }
+            // Both RNGs must be in the same state afterwards.
+            assert_eq!(
+                rng_sample.gen::<u64>(),
+                rng_advance.gen::<u64>(),
+                "{method:?}"
             );
         }
     }

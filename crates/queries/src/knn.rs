@@ -1,7 +1,7 @@
 //! k-nearest-neighbour queries in uncertain graphs.
 //!
 //! The paper's `SP` workload is based on Potamias et al.'s work on k-NN in
-//! uncertain graphs (its reference [32]): for a query vertex, return the `k`
+//! uncertain graphs (its reference \[32\]): for a query vertex, return the `k`
 //! vertices with the smallest *expected* shortest-path distance (conditioned
 //! on connectivity), or — in the "majority-distance" variant — with the
 //! highest probability of being within a given number of hops.  Both
@@ -9,9 +9,16 @@
 //! the sparsified graphs produced by `ugs-core` can serve k-NN workloads
 //! directly.
 
+//! The query is a [`crate::batch::WorldObserver`] ([`KnnObserver`]) so it
+//! can share sampled worlds with other queries in a [`QueryBatch`];
+//! [`k_nearest_neighbors`] is the single-observer wrapper keeping the
+//! original signature (bit-identical sequentially, one caller-RNG draw).
+
 use rand::Rng;
 use uncertain_graph::UncertainGraph;
 
+use crate::batch::{QueryBatch, WorldObserver};
+use crate::engine::WorldScratch;
 use crate::mc::MonteCarlo;
 use graph_algos::traversal::bfs_distances;
 
@@ -25,6 +32,85 @@ pub struct Neighbor {
     pub expected_distance: f64,
     /// Fraction of worlds in which the vertex is reachable.
     pub reachability: f64,
+}
+
+/// Observer accumulating reachability and hop distances from a fixed source
+/// vertex; finalises to the `k` nearest neighbours.
+#[derive(Debug, Clone)]
+pub struct KnnObserver {
+    n: usize,
+    source: usize,
+    k: usize,
+    /// Layout: [0, n) = Σ distance when reachable, [n, 2n) = # reachable.
+    totals: Vec<f64>,
+}
+
+impl KnnObserver {
+    /// An observer for the `k` nearest neighbours of `source` in `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a vertex of `g`.
+    pub fn new(g: &UncertainGraph, source: usize, k: usize) -> Self {
+        let n = g.num_vertices();
+        assert!(source < n, "source vertex out of range");
+        KnnObserver {
+            n,
+            source,
+            k,
+            totals: vec![0.0; 2 * n],
+        }
+    }
+}
+
+impl WorldObserver for KnnObserver {
+    type Output = Vec<Neighbor>;
+
+    fn observe(&mut self, scratch: &WorldScratch) {
+        let world = scratch.world();
+        let dist = bfs_distances(world, self.source);
+        let (distance_acc, reach_acc) = self.totals.split_at_mut(self.n);
+        for (v, &d) in dist.iter().enumerate() {
+            if v != self.source && d != usize::MAX {
+                distance_acc[v] += d as f64;
+                reach_acc[v] += 1.0;
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (t, o) in self.totals.iter_mut().zip(other.totals) {
+            *t += o;
+        }
+    }
+
+    fn finalize(self, num_worlds: usize) -> Vec<Neighbor> {
+        if self.k == 0 || num_worlds == 0 {
+            return Vec::new();
+        }
+        let n = self.n;
+        let mut neighbors: Vec<Neighbor> = (0..n)
+            .filter(|&v| v != self.source && self.totals[n + v] > 0.0)
+            .map(|v| Neighbor {
+                vertex: v,
+                expected_distance: self.totals[v] / self.totals[n + v],
+                reachability: self.totals[n + v] / num_worlds as f64,
+            })
+            .collect();
+        neighbors.sort_by(|a, b| {
+            a.expected_distance
+                .partial_cmp(&b.expected_distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    b.reachability
+                        .partial_cmp(&a.reachability)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.vertex.cmp(&b.vertex))
+        });
+        neighbors.truncate(self.k);
+        neighbors
+    }
 }
 
 /// Monte-Carlo k-nearest-neighbour query: the `k` vertices with the smallest
@@ -44,39 +130,9 @@ pub fn k_nearest_neighbors<R: Rng + ?Sized>(
     if k == 0 || mc.num_worlds == 0 {
         return Vec::new();
     }
-    // Accumulator: [0, n)   = Σ distance when reachable
-    //              [n, 2n)  = # worlds reachable
-    let totals = mc.accumulate(g, 2 * n, rng, |world, acc| {
-        let dist = bfs_distances(world, source);
-        let (distance_acc, reach_acc) = acc.split_at_mut(n);
-        for (v, &d) in dist.iter().enumerate() {
-            if v != source && d != usize::MAX {
-                distance_acc[v] += d as f64;
-                reach_acc[v] += 1.0;
-            }
-        }
-    });
-    let mut neighbors: Vec<Neighbor> = (0..n)
-        .filter(|&v| v != source && totals[n + v] > 0.0)
-        .map(|v| Neighbor {
-            vertex: v,
-            expected_distance: totals[v] / totals[n + v],
-            reachability: totals[n + v] / mc.num_worlds as f64,
-        })
-        .collect();
-    neighbors.sort_by(|a, b| {
-        a.expected_distance
-            .partial_cmp(&b.expected_distance)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                b.reachability
-                    .partial_cmp(&a.reachability)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
-            .then(a.vertex.cmp(&b.vertex))
-    });
-    neighbors.truncate(k);
-    neighbors
+    let mut batch = QueryBatch::new(g, mc);
+    let handle = batch.register(KnnObserver::new(g, source, k));
+    batch.run(rng).take(handle)
 }
 
 /// The fraction of the top-`k` sets that two k-NN answers share — used to

@@ -31,6 +31,18 @@
 //! to draw (`Σ pₑ` shrinks) and fewer worlds are needed for the same
 //! confidence ([`variance`], Figure 12).
 //!
+//! ## Batched evaluation
+//!
+//! Every query is implemented as a [`batch::WorldObserver`] over the engine,
+//! and [`batch::QueryBatch`] samples each world exactly once and feeds it to
+//! *all* registered observers — an experiment mixing `k` queries pays the
+//! sampling + materialisation cost once instead of `k` times.  The classic
+//! entry points below are thin single-observer wrappers: signatures are
+//! unchanged, sequential results are bit-identical to the pre-batch driver,
+//! and each call advances the caller RNG by exactly one `u64` draw (zero
+//! when there is nothing to sample).  See the [`batch`] module docs for the
+//! determinism contract and a worked multi-query example.
+//!
 //! ## Queries
 //!
 //! All queries follow the same pattern: sample `N` worlds through the
@@ -60,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod components;
 pub mod engine;
 pub mod knn;
@@ -69,23 +82,36 @@ pub mod pair_queries;
 pub mod pairs;
 pub mod variance;
 
-pub use components::{connectivity_query, expected_degree_histogram, ConnectivityEstimate};
+pub use batch::{BatchResults, EdgeFrequencyObserver, ObserverHandle, QueryBatch, WorldObserver};
+pub use components::{
+    connectivity_query, expected_degree_histogram, ConnectivityEstimate, ConnectivityObserver,
+    DegreeHistogramObserver,
+};
 pub use engine::{SampleMethod, WorldEngine, WorldScratch};
-pub use knn::{k_nearest_neighbors, knn_overlap, Neighbor};
+pub use knn::{k_nearest_neighbors, knn_overlap, KnnObserver, Neighbor};
 pub use mc::MonteCarlo;
-pub use node_queries::{expected_clustering_coefficients, expected_pagerank};
-pub use pair_queries::{pair_queries, PairQueryResult};
+pub use node_queries::{
+    expected_clustering_coefficients, expected_pagerank, ClusteringObserver, PageRankObserver,
+};
+pub use pair_queries::{pair_queries, PairQueriesObserver, PairQueryResult};
 pub use pairs::random_pairs;
 pub use variance::{estimator_variance, VarianceEstimate};
 
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
-    pub use crate::components::{connectivity_query, ConnectivityEstimate};
+    pub use crate::batch::{
+        BatchResults, EdgeFrequencyObserver, ObserverHandle, QueryBatch, WorldObserver,
+    };
+    pub use crate::components::{
+        connectivity_query, ConnectivityEstimate, ConnectivityObserver, DegreeHistogramObserver,
+    };
     pub use crate::engine::{SampleMethod, WorldEngine, WorldScratch};
-    pub use crate::knn::{k_nearest_neighbors, knn_overlap, Neighbor};
+    pub use crate::knn::{k_nearest_neighbors, knn_overlap, KnnObserver, Neighbor};
     pub use crate::mc::MonteCarlo;
-    pub use crate::node_queries::{expected_clustering_coefficients, expected_pagerank};
-    pub use crate::pair_queries::{pair_queries, PairQueryResult};
+    pub use crate::node_queries::{
+        expected_clustering_coefficients, expected_pagerank, ClusteringObserver, PageRankObserver,
+    };
+    pub use crate::pair_queries::{pair_queries, PairQueriesObserver, PairQueryResult};
     pub use crate::pairs::random_pairs;
     pub use crate::variance::{estimator_variance, VarianceEstimate};
 }

@@ -1,12 +1,115 @@
 //! Vertex-centric Monte-Carlo queries: expected PageRank (`PR`) and expected
 //! local clustering coefficient (`CC`).
+//!
+//! Both queries are [`crate::batch::WorldObserver`]s ([`PageRankObserver`],
+//! [`ClusteringObserver`]) so they can share sampled worlds with other
+//! queries in a [`QueryBatch`]; the free functions below are thin
+//! single-observer wrappers that keep the original signatures (and, for
+//! sequential runs, bit-identical results).  They advance the caller RNG by
+//! exactly one `u64` draw (zero when `num_worlds == 0` or the graph is
+//! empty).
 
 use rand::Rng;
 use uncertain_graph::UncertainGraph;
 
+use crate::batch::{QueryBatch, WorldObserver};
+use crate::engine::WorldScratch;
 use crate::mc::MonteCarlo;
 use graph_algos::clustering::local_clustering_coefficients;
 use graph_algos::pagerank::{pagerank, PageRankConfig};
+
+/// Observer accumulating deterministic PageRank over sampled worlds;
+/// finalises to the per-vertex expected PageRank.
+#[derive(Debug, Clone)]
+pub struct PageRankObserver {
+    config: PageRankConfig,
+    totals: Vec<f64>,
+}
+
+impl PageRankObserver {
+    /// An observer for the vertices of `g` with the default configuration.
+    pub fn new(g: &UncertainGraph) -> Self {
+        Self::with_config(g, PageRankConfig::default())
+    }
+
+    /// An observer with an explicit PageRank configuration.
+    pub fn with_config(g: &UncertainGraph, config: PageRankConfig) -> Self {
+        PageRankObserver {
+            config,
+            totals: vec![0.0; g.num_vertices()],
+        }
+    }
+}
+
+impl WorldObserver for PageRankObserver {
+    type Output = Vec<f64>;
+
+    fn observe(&mut self, world: &WorldScratch) {
+        let pr = pagerank(world.world(), &self.config);
+        for (t, p) in self.totals.iter_mut().zip(pr.iter()) {
+            *t += p;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (t, o) in self.totals.iter_mut().zip(other.totals) {
+            *t += o;
+        }
+    }
+
+    fn finalize(self, num_worlds: usize) -> Vec<f64> {
+        if num_worlds == 0 {
+            return self.totals;
+        }
+        self.totals
+            .into_iter()
+            .map(|x| x / num_worlds as f64)
+            .collect()
+    }
+}
+
+/// Observer accumulating local clustering coefficients over sampled worlds;
+/// finalises to the per-vertex expected coefficient.
+#[derive(Debug, Clone)]
+pub struct ClusteringObserver {
+    totals: Vec<f64>,
+}
+
+impl ClusteringObserver {
+    /// An observer for the vertices of `g`.
+    pub fn new(g: &UncertainGraph) -> Self {
+        ClusteringObserver {
+            totals: vec![0.0; g.num_vertices()],
+        }
+    }
+}
+
+impl WorldObserver for ClusteringObserver {
+    type Output = Vec<f64>;
+
+    fn observe(&mut self, world: &WorldScratch) {
+        let cc = local_clustering_coefficients(world.world());
+        for (t, c) in self.totals.iter_mut().zip(cc.iter()) {
+            *t += c;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (t, o) in self.totals.iter_mut().zip(other.totals) {
+            *t += o;
+        }
+    }
+
+    fn finalize(self, num_worlds: usize) -> Vec<f64> {
+        if num_worlds == 0 {
+            return self.totals;
+        }
+        self.totals
+            .into_iter()
+            .map(|x| x / num_worlds as f64)
+            .collect()
+    }
+}
 
 /// Expected PageRank of every vertex: deterministic PageRank averaged over
 /// sampled possible worlds.
@@ -29,16 +132,9 @@ pub fn expected_pagerank_with<R: Rng + ?Sized>(
     if mc.num_worlds == 0 || n == 0 {
         return vec![0.0; n];
     }
-    let totals = mc.accumulate(g, n, rng, |world, acc| {
-        let pr = pagerank(world, config);
-        for (a, p) in acc.iter_mut().zip(pr.iter()) {
-            *a += p;
-        }
-    });
-    totals
-        .into_iter()
-        .map(|x| x / mc.num_worlds as f64)
-        .collect()
+    let mut batch = QueryBatch::new(g, mc);
+    let handle = batch.register(PageRankObserver::with_config(g, *config));
+    batch.run(rng).take(handle)
 }
 
 /// Expected local clustering coefficient of every vertex, averaged over
@@ -52,16 +148,9 @@ pub fn expected_clustering_coefficients<R: Rng + ?Sized>(
     if mc.num_worlds == 0 || n == 0 {
         return vec![0.0; n];
     }
-    let totals = mc.accumulate(g, n, rng, |world, acc| {
-        let cc = local_clustering_coefficients(world);
-        for (a, c) in acc.iter_mut().zip(cc.iter()) {
-            *a += c;
-        }
-    });
-    totals
-        .into_iter()
-        .map(|x| x / mc.num_worlds as f64)
-        .collect()
+    let mut batch = QueryBatch::new(g, mc);
+    let handle = batch.register(ClusteringObserver::new(g));
+    batch.run(rng).take(handle)
 }
 
 #[cfg(test)]

@@ -10,10 +10,18 @@
 //! Both are evaluated together: reliability falls out of the per-world
 //! connected-components labelling, and distances reuse one BFS per distinct
 //! source vertex per world (pairs sharing a source share the BFS).
+//!
+//! The evaluation is a [`crate::batch::WorldObserver`]
+//! ([`PairQueriesObserver`]) so it can share sampled worlds with other
+//! queries in a [`QueryBatch`]; [`pair_queries()`] is the single-observer
+//! wrapper keeping the original signature (bit-identical sequentially, one
+//! caller-RNG draw).
 
 use rand::Rng;
 use uncertain_graph::UncertainGraph;
 
+use crate::batch::{QueryBatch, WorldObserver};
+use crate::engine::WorldScratch;
 use crate::mc::MonteCarlo;
 use graph_algos::traversal::{bfs_distances, connected_components};
 
@@ -45,6 +53,105 @@ impl PairQueryResult {
     }
 }
 
+/// Observer evaluating `SP` and `RL` for a fixed pair list; finalises to a
+/// [`PairQueryResult`].
+///
+/// Pairs are grouped by source vertex at construction so that one BFS per
+/// world serves all pairs sharing a source.
+#[derive(Debug, Clone)]
+pub struct PairQueriesObserver {
+    pairs: Vec<(usize, usize)>,
+    sources: Vec<(usize, Vec<usize>)>,
+    /// Layout: [0, num_pairs) = Σ distances over connected worlds,
+    ///         [num_pairs, 2*num_pairs) = # connected worlds.
+    totals: Vec<f64>,
+}
+
+impl PairQueriesObserver {
+    /// An observer for the given `(source, target)` pairs.
+    pub fn new(pairs: &[(usize, usize)]) -> Self {
+        let mut by_source: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (idx, &(u, _)) in pairs.iter().enumerate() {
+            by_source.entry(u).or_default().push(idx);
+        }
+        let sources: Vec<(usize, Vec<usize>)> = {
+            let mut s: Vec<_> = by_source.into_iter().collect();
+            s.sort_by_key(|&(src, _)| src);
+            s
+        };
+        PairQueriesObserver {
+            pairs: pairs.to_vec(),
+            sources,
+            totals: vec![0.0; 2 * pairs.len()],
+        }
+    }
+}
+
+impl WorldObserver for PairQueriesObserver {
+    type Output = PairQueryResult;
+
+    fn observe(&mut self, scratch: &WorldScratch) {
+        let world = scratch.world();
+        let num_pairs = self.pairs.len();
+        let (labels, _) = connected_components(world);
+        let (distance_acc, connected_acc) = self.totals.split_at_mut(num_pairs);
+        for (source, pair_indices) in &self.sources {
+            // Check whether any pair from this source is connected in this
+            // world before paying for the BFS.
+            let any_connected = pair_indices
+                .iter()
+                .any(|&idx| labels[self.pairs[idx].0] == labels[self.pairs[idx].1]);
+            if !any_connected {
+                continue;
+            }
+            let dist = bfs_distances(world, *source);
+            for &idx in pair_indices {
+                let (u, v) = self.pairs[idx];
+                debug_assert_eq!(u, *source);
+                if labels[u] == labels[v] {
+                    connected_acc[idx] += 1.0;
+                    distance_acc[idx] += dist[v] as f64;
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (t, o) in self.totals.iter_mut().zip(other.totals) {
+            *t += o;
+        }
+    }
+
+    fn finalize(self, num_worlds: usize) -> PairQueryResult {
+        let num_pairs = self.pairs.len();
+        let mut mean_distance = Vec::with_capacity(num_pairs);
+        let mut reliability = Vec::with_capacity(num_pairs);
+        let mut connected_worlds = Vec::with_capacity(num_pairs);
+        for idx in 0..num_pairs {
+            let connected = self.totals[num_pairs + idx];
+            connected_worlds.push(connected as usize);
+            reliability.push(if num_worlds == 0 {
+                0.0
+            } else {
+                connected / num_worlds as f64
+            });
+            if connected > 0.0 {
+                mean_distance.push(self.totals[idx] / connected);
+            } else {
+                mean_distance.push(f64::NAN);
+            }
+        }
+        PairQueryResult {
+            pairs: self.pairs,
+            mean_distance,
+            reliability,
+            connected_worlds,
+            num_worlds,
+        }
+    }
+}
+
 /// Evaluates `SP` and `RL` for `pairs` with Monte-Carlo sampling.
 pub fn pair_queries<R: Rng + ?Sized>(
     g: &UncertainGraph,
@@ -62,66 +169,9 @@ pub fn pair_queries<R: Rng + ?Sized>(
             num_worlds: mc.num_worlds,
         };
     }
-
-    // Group the pairs by source vertex so that one BFS per world serves all
-    // pairs sharing that source.
-    let mut by_source: std::collections::HashMap<usize, Vec<usize>> =
-        std::collections::HashMap::new();
-    for (idx, &(u, _)) in pairs.iter().enumerate() {
-        by_source.entry(u).or_default().push(idx);
-    }
-    let sources: Vec<(usize, Vec<usize>)> = {
-        let mut s: Vec<_> = by_source.into_iter().collect();
-        s.sort_by_key(|&(src, _)| src);
-        s
-    };
-
-    // Accumulator layout: [0, num_pairs) = Σ distances over connected worlds,
-    //                     [num_pairs, 2*num_pairs) = # connected worlds.
-    let totals = mc.accumulate(g, 2 * num_pairs, rng, |world, acc| {
-        let (labels, _) = connected_components(world);
-        let (distance_acc, connected_acc) = acc.split_at_mut(num_pairs);
-        for (source, pair_indices) in &sources {
-            // Check whether any pair from this source is connected in this
-            // world before paying for the BFS.
-            let any_connected = pair_indices
-                .iter()
-                .any(|&idx| labels[pairs[idx].0] == labels[pairs[idx].1]);
-            if !any_connected {
-                continue;
-            }
-            let dist = bfs_distances(world, *source);
-            for &idx in pair_indices {
-                let (u, v) = pairs[idx];
-                debug_assert_eq!(u, *source);
-                if labels[u] == labels[v] {
-                    connected_acc[idx] += 1.0;
-                    distance_acc[idx] += dist[v] as f64;
-                }
-            }
-        }
-    });
-
-    let mut mean_distance = Vec::with_capacity(num_pairs);
-    let mut reliability = Vec::with_capacity(num_pairs);
-    let mut connected_worlds = Vec::with_capacity(num_pairs);
-    for idx in 0..num_pairs {
-        let connected = totals[num_pairs + idx];
-        connected_worlds.push(connected as usize);
-        reliability.push(connected / mc.num_worlds as f64);
-        if connected > 0.0 {
-            mean_distance.push(totals[idx] / connected);
-        } else {
-            mean_distance.push(f64::NAN);
-        }
-    }
-    PairQueryResult {
-        pairs: pairs.to_vec(),
-        mean_distance,
-        reliability,
-        connected_worlds,
-        num_worlds: mc.num_worlds,
-    }
+    let mut batch = QueryBatch::new(g, mc);
+    let handle = batch.register(PairQueriesObserver::new(pairs));
+    batch.run(rng).take(handle)
 }
 
 #[cfg(test)]

@@ -1,0 +1,297 @@
+//! Determinism suite for the batch driver.
+//!
+//! The contract under test (see `ugs_queries::batch` docs):
+//!
+//! 1. a run is invariant to the observer **registration order**;
+//! 2. **order-insensitive accumulators** (counts, and statistics derived
+//!    from counts such as reliability or component tallies of 0/1 events)
+//!    are exactly invariant to the **thread count** — the replay
+//!    partitioning gives every thread count the same world sequence;
+//! 3. the caller RNG advances by **exactly one** `u64` draw per run, and by
+//!    zero draws when there is nothing to sample or observe.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uncertain_graph::UncertainGraph;
+
+use ugs_queries::prelude::*;
+
+const MODES: [SampleMethod; 2] = [SampleMethod::Skip, SampleMethod::PerEdge];
+
+fn fixture() -> UncertainGraph {
+    UncertainGraph::from_edges(
+        8,
+        [
+            (0, 1, 0.9),
+            (1, 2, 0.7),
+            (2, 3, 0.5),
+            (3, 4, 0.3),
+            (4, 5, 0.2),
+            (5, 6, 0.6),
+            (6, 7, 0.4),
+            (7, 0, 0.8),
+            (0, 4, 0.15),
+            (2, 6, 0.35),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn results_are_invariant_to_observer_registration_order() {
+    let g = fixture();
+    let pairs = [(0, 3), (2, 7), (5, 1)];
+    for mode in MODES {
+        let mc = MonteCarlo::worlds(300).with_method(mode).with_threads(2);
+        let run = |reversed: bool| {
+            let mut rng = SmallRng::seed_from_u64(42);
+            let mut batch = QueryBatch::new(&g, &mc);
+            if reversed {
+                let h_freq = batch.register(EdgeFrequencyObserver::new(&g));
+                let h_pairs = batch.register(PairQueriesObserver::new(&pairs));
+                let h_pr = batch.register(PageRankObserver::new(&g));
+                let mut results = batch.run(&mut rng);
+                (
+                    results.take(h_pr),
+                    results.take(h_pairs),
+                    results.take(h_freq),
+                )
+            } else {
+                let h_pr = batch.register(PageRankObserver::new(&g));
+                let h_pairs = batch.register(PairQueriesObserver::new(&pairs));
+                let h_freq = batch.register(EdgeFrequencyObserver::new(&g));
+                let mut results = batch.run(&mut rng);
+                (
+                    results.take(h_pr),
+                    results.take(h_pairs),
+                    results.take(h_freq),
+                )
+            }
+        };
+        let (pr_a, pairs_a, freq_a) = run(false);
+        let (pr_b, pairs_b, freq_b) = run(true);
+        assert_eq!(pr_a, pr_b, "{mode:?}: pagerank depends on order");
+        assert_eq!(pairs_a, pairs_b, "{mode:?}: pair queries depend on order");
+        assert_eq!(freq_a, freq_b, "{mode:?}: frequencies depend on order");
+    }
+}
+
+#[test]
+fn count_observers_are_invariant_to_the_thread_count() {
+    // The replay partitioning hands every thread count the same sequence of
+    // sampled worlds, so count-valued accumulators (edge frequencies, degree
+    // histograms, connected-world counts, reliability) must agree exactly
+    // across threads ∈ {1, 2, 4}.
+    let g = fixture();
+    let pairs = [(0, 3), (2, 7), (5, 1), (4, 4)];
+    for mode in MODES {
+        let run = |threads: usize| {
+            let mc = MonteCarlo::worlds(500)
+                .with_method(mode)
+                .with_threads(threads);
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut batch = QueryBatch::new(&g, &mc);
+            let h_freq = batch.register(EdgeFrequencyObserver::new(&g));
+            let h_hist = batch.register(DegreeHistogramObserver::new(&g));
+            let h_pairs = batch.register(PairQueriesObserver::new(&pairs));
+            let h_conn = batch.register(ConnectivityObserver::new(&g));
+            let mut results = batch.run(&mut rng);
+            (
+                results.take(h_freq),
+                results.take(h_hist),
+                results.take(h_pairs),
+                results.take(h_conn),
+            )
+        };
+        let (freq_1, hist_1, pairs_1, conn_1) = run(1);
+        for threads in [2, 4] {
+            let (freq_t, hist_t, pairs_t, conn_t) = run(threads);
+            let what = format!("{mode:?} threads {threads}");
+            assert_eq!(freq_1, freq_t, "{what}: edge frequencies");
+            assert_eq!(hist_1, hist_t, "{what}: degree histogram");
+            assert_eq!(
+                pairs_1.connected_worlds, pairs_t.connected_worlds,
+                "{what}: connected-world counts"
+            );
+            assert_eq!(
+                pairs_1.reliability, pairs_t.reliability,
+                "{what}: reliability"
+            );
+            assert_eq!(
+                conn_1.probability_connected, conn_t.probability_connected,
+                "{what}: P(connected)"
+            );
+            assert_eq!(
+                conn_1.expected_components, conn_t.expected_components,
+                "{what}: E[#components]"
+            );
+        }
+    }
+}
+
+#[test]
+fn float_observers_are_thread_invariant_up_to_roundoff() {
+    // Floating-point sums are merged in worker order, so thread counts may
+    // differ in round-off only — never in the sampled worlds themselves.
+    let g = fixture();
+    let run = |threads: usize| {
+        let mc = MonteCarlo::worlds(400).with_threads(threads);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut batch = QueryBatch::new(&g, &mc);
+        let h = batch.register(PageRankObserver::new(&g));
+        batch.run(&mut rng).take(h)
+    };
+    let sequential = run(1);
+    for threads in [2, 4] {
+        let parallel = run(threads);
+        for (s, p) in sequential.iter().zip(parallel.iter()) {
+            assert!(
+                (s - p).abs() < 1e-12,
+                "threads {threads}: {s} vs {p} beyond round-off"
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_same_result_different_seed_different_result() {
+    let g = fixture();
+    for mode in MODES {
+        for threads in [1, 3] {
+            let mc = MonteCarlo::worlds(200)
+                .with_method(mode)
+                .with_threads(threads);
+            let run = |seed: u64| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut batch = QueryBatch::new(&g, &mc);
+                let h = batch.register(EdgeFrequencyObserver::new(&g));
+                batch.run(&mut rng).take(h)
+            };
+            assert_eq!(run(3), run(3), "{mode:?} threads {threads}");
+            assert_ne!(run(3), run(4), "{mode:?} threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn batch_runs_advance_the_caller_rng_by_exactly_one_draw() {
+    let g = fixture();
+    for (threads, worlds) in [(1, 50), (4, 50), (8, 3)] {
+        let mc = MonteCarlo::worlds(worlds).with_threads(threads);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut batch = QueryBatch::new(&g, &mc);
+        let h = batch.register(EdgeFrequencyObserver::new(&g));
+        let _ = batch.run(&mut rng).take(h);
+        let mut expected = SmallRng::seed_from_u64(11);
+        expected.gen::<u64>(); // the one batch seed
+        assert_eq!(
+            rng.gen::<u64>(),
+            expected.gen::<u64>(),
+            "threads={threads} worlds={worlds}"
+        );
+    }
+}
+
+#[test]
+fn ported_wrappers_advance_the_caller_rng_by_exactly_one_draw() {
+    // The documented contract of the ported query surfaces: one u64 draw per
+    // call, regardless of the thread count (zero only when nothing runs,
+    // covered by the modules' own tests).
+    type Query<'a> = Box<dyn Fn(&mut SmallRng) + 'a>;
+    let g = fixture();
+    let pairs = [(0, 3)];
+    for threads in [1, 4] {
+        let mc = MonteCarlo::worlds(40).with_threads(threads);
+        let advance_of: Vec<(&str, Query<'_>)> = vec![
+            (
+                "pagerank",
+                Box::new(|rng: &mut SmallRng| {
+                    expected_pagerank(&g, &mc, rng);
+                }),
+            ),
+            (
+                "clustering",
+                Box::new(|rng: &mut SmallRng| {
+                    expected_clustering_coefficients(&g, &mc, rng);
+                }),
+            ),
+            (
+                "pairs",
+                Box::new(|rng: &mut SmallRng| {
+                    pair_queries(&g, &pairs, &mc, rng);
+                }),
+            ),
+            (
+                "connectivity",
+                Box::new(|rng: &mut SmallRng| {
+                    connectivity_query(&g, &mc, rng);
+                }),
+            ),
+            (
+                "histogram",
+                Box::new(|rng: &mut SmallRng| {
+                    ugs_queries::expected_degree_histogram(&g, &mc, rng);
+                }),
+            ),
+            (
+                "knn",
+                Box::new(|rng: &mut SmallRng| {
+                    k_nearest_neighbors(&g, 0, 3, &mc, rng);
+                }),
+            ),
+        ];
+        for (name, query) in advance_of {
+            let mut rng = SmallRng::seed_from_u64(21);
+            query(&mut rng);
+            let mut expected = SmallRng::seed_from_u64(21);
+            expected.gen::<u64>();
+            assert_eq!(
+                rng.gen::<u64>(),
+                expected.gen::<u64>(),
+                "{name} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_batch_matches_standalone_queries_sequentially() {
+    // Sharing worlds must not change any individual answer: a sequential
+    // k-observer batch gives each observer exactly what its standalone
+    // single-observer run (same seed) produces.
+    let g = fixture();
+    let pairs = [(0, 3), (2, 7)];
+    for mode in MODES {
+        let mc = MonteCarlo::worlds(250).with_method(mode);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut batch = QueryBatch::new(&g, &mc);
+        let h_pr = batch.register(PageRankObserver::new(&g));
+        let h_pairs = batch.register(PairQueriesObserver::new(&pairs));
+        let h_knn = batch.register(KnnObserver::new(&g, 0, 4));
+        let mut results = batch.run(&mut rng);
+
+        let mut rng_pr = SmallRng::seed_from_u64(13);
+        assert_eq!(
+            results.take(h_pr),
+            expected_pagerank(&g, &mc, &mut rng_pr),
+            "{mode:?}"
+        );
+        let mut rng_pairs = SmallRng::seed_from_u64(13);
+        let standalone_pairs = pair_queries(&g, &pairs, &mc, &mut rng_pairs);
+        let batched_pairs = results.take(h_pairs);
+        assert_eq!(
+            batched_pairs.connected_worlds, standalone_pairs.connected_worlds,
+            "{mode:?}"
+        );
+        assert_eq!(
+            batched_pairs.reliability, standalone_pairs.reliability,
+            "{mode:?}"
+        );
+        let mut rng_knn = SmallRng::seed_from_u64(13);
+        assert_eq!(
+            results.take(h_knn),
+            k_nearest_neighbors(&g, 0, 4, &mc, &mut rng_knn),
+            "{mode:?}"
+        );
+    }
+}

@@ -187,6 +187,91 @@ fn sparsification_reduces_estimator_variance() {
 }
 
 #[test]
+fn cli_batch_command_emits_a_deterministic_json_snapshot() {
+    // Drive the CLI `batch` subcommand end to end on a tiny fixture whose
+    // queries have closed-form answers: a certain 4-path plus one uncertain
+    // chord.  The report must parse as JSON via minijson, reproduce the
+    // closed-form values, and be byte-identical across runs (the snapshot
+    // property: same seed, same report).
+    use ugs_cli::args::ParsedArgs;
+    use ugs_cli::commands;
+
+    let g = UncertainGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 0.5)])
+        .unwrap();
+    let dir = std::env::temp_dir().join("ugs-e2e-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-batch-fixture.txt", std::process::id()));
+    ugs::graph::io::write_text_file(&g, &path).unwrap();
+    let path_str = path.to_string_lossy().to_string();
+
+    let args = ParsedArgs::parse([
+        "batch",
+        path_str.as_str(),
+        "--queries",
+        "pagerank,connectivity,degree-hist,edge-freq,knn",
+        "--worlds",
+        "200",
+        "--top",
+        "4",
+        "--seed",
+        "7",
+        "--sequential",
+        "--mode",
+        "skip",
+    ])
+    .unwrap();
+    let report = commands::run(&args).unwrap();
+    assert_eq!(
+        report,
+        commands::run(&args).unwrap(),
+        "snapshot must be stable"
+    );
+
+    let doc = minijson::Value::parse(&report).expect("report must be valid JSON");
+    assert_eq!(doc.get_str("mode"), Some("skip"));
+    assert_eq!(doc.get_usize("worlds"), Some(200));
+    let queries = doc.get("queries").expect("queries object");
+
+    // The certain path keeps the graph connected in every world.
+    let connectivity = queries.get("connectivity").unwrap();
+    assert_eq!(connectivity.get_f64("probability_connected"), Some(1.0));
+    assert_eq!(connectivity.get_f64("expected_components"), Some(1.0));
+    assert_eq!(
+        connectivity.get_f64("expected_largest_component"),
+        Some(4.0)
+    );
+
+    // Certain edges appear with frequency exactly 1; the chord near 0.5.
+    let frequencies = queries.get("edge_frequencies").unwrap().as_array().unwrap();
+    assert_eq!(frequencies.len(), 4);
+    for index in [0usize, 1, 2] {
+        assert_eq!(frequencies[index].as_f64(), Some(1.0));
+    }
+    let chord = frequencies[3].as_f64().unwrap();
+    assert!((chord - 0.5).abs() < 0.1, "chord frequency {chord}");
+
+    // Degree histogram: no world has an isolated or degree-4 vertex.
+    let histogram = queries.get("degree_histogram").unwrap().as_array().unwrap();
+    assert_eq!(histogram[0].as_f64(), Some(0.0));
+    let total: f64 = histogram.iter().filter_map(minijson::Value::as_f64).sum();
+    assert!((total - 4.0).abs() < 1e-9);
+
+    // k-NN from vertex 0: vertex 1 is always one hop away.
+    let knn = queries.get("knn").unwrap().as_array().unwrap();
+    assert_eq!(knn[0].get_usize("vertex"), Some(1));
+    assert_eq!(knn[0].get_f64("expected_distance"), Some(1.0));
+    assert_eq!(knn[0].get_f64("reachability"), Some(1.0));
+
+    // PageRank: 4 ranked entries, scores sum to ~1 over all vertices.
+    let pagerank = queries.get("pagerank").unwrap().as_array().unwrap();
+    assert_eq!(pagerank.len(), 4);
+    let pr_total: f64 = pagerank.iter().filter_map(|v| v.get_f64("score")).sum();
+    assert!((pr_total - 1.0).abs() < 1e-9, "PageRank sums to {pr_total}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn graph_io_round_trips_through_all_formats() {
     let g = flickr_tiny(6);
     // text
