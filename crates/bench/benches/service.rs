@@ -1,0 +1,205 @@
+//! Service micro-batching amortisation: `k` interleaved submissions to one
+//! long-lived [`QueryService`] vs `k` standalone [`QueryBatch`] runs of the
+//! same queries.
+//!
+//! Standalone, every query pays engine construction (`O(|E| log |E|)` skip
+//! order + CSR template), its own sampling pass and a scoped-thread
+//! spin-up.  The service owns persistent engine workers, so a steady-state
+//! burst pays none of that per query: submissions landing in one arrival
+//! window share a single sampling pass, and the per-worker engines/scratch
+//! were built once at service start.  Measured at p̄ ≈ 0.09 (the paper's
+//! Flickr regime) with bursts of 8 = 2 interleaved rounds of a 4-query mix
+//! (PageRank, connectivity, degree histogram, edge frequencies), windows of
+//! 4 → 2 micro-batches per burst.  Recorded in `BENCH_service.json`.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uncertain_graph::UncertainGraph;
+
+use ugs_datasets::{erdos_renyi, ProbabilityModel};
+use ugs_queries::prelude::*;
+use ugs_service::{BatchPolicy, QueryService, QuerySpec};
+
+const WORLDS: usize = 256;
+const MEAN_P: f64 = 0.09;
+const ROUNDS: usize = 2;
+
+fn flickr_regime_graph() -> UncertainGraph {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    erdos_renyi(400, 0.05, ProbabilityModel::Fixed(MEAN_P), &mut rng)
+}
+
+fn mix() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::pagerank(),
+        QuerySpec::Connectivity,
+        QuerySpec::DegreeHistogram,
+        QuerySpec::EdgeFrequency,
+    ]
+}
+
+/// Mean wall time of one invocation of `run`, measured over repeated runs
+/// for at least 400 ms (after one warm-up invocation).
+fn time_run(mut run: impl FnMut()) -> Duration {
+    run();
+    let started = Instant::now();
+    let mut rounds = 0u32;
+    while started.elapsed() < Duration::from_millis(400) {
+        run();
+        rounds += 1;
+    }
+    started.elapsed() / rounds.max(1)
+}
+
+struct Measurement {
+    /// `k` standalone QueryBatch runs (engine rebuilt per query).
+    standalone_burst: Duration,
+    /// One interleaved `k`-submission burst against a warm 1-worker service.
+    service_burst: Duration,
+    /// The same burst against a warm 2-worker service (world budget
+    /// sharded).
+    service_burst_2workers: Duration,
+    /// Cold service: start (engine build) + burst + shutdown, per burst.
+    service_cold: Duration,
+    queries_per_burst: usize,
+}
+
+fn measure(g: &UncertainGraph) -> Measurement {
+    let mc = MonteCarlo::worlds(WORLDS).with_method(SampleMethod::Skip);
+    let specs = mix();
+    let queries_per_burst = ROUNDS * specs.len();
+
+    // Standalone: every query is its own QueryBatch (engine construction +
+    // sampling pass each), exactly what a caller without the service pays.
+    let standalone_burst = time_run(|| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..ROUNDS {
+            for spec in &specs {
+                let mut batch = QueryBatch::new(g, &mc);
+                let handle =
+                    batch.register_boxed(spec.make_observer(g).expect("spec fits the bench graph"));
+                let mut results = batch.run(&mut rng);
+                black_box(results.try_take_boxed(handle).expect("fresh handle"));
+            }
+        }
+    });
+
+    let policy = |threads: usize| BatchPolicy {
+        max_wait: Duration::from_millis(50),
+        max_queries: specs.len(),
+        num_worlds: WORLDS,
+        threads,
+        mode: SampleMethod::Skip,
+    };
+    let burst = |service: &QueryService| {
+        let tickets: Vec<_> = (0..ROUNDS)
+            .flat_map(|_| specs.iter().map(|spec| service.submit(spec.clone())))
+            .collect();
+        for ticket in tickets {
+            black_box(ticket.wait().expect("bench queries succeed"));
+        }
+    };
+
+    let warm_1 = QueryService::start(g.clone(), policy(1), 1);
+    let service_burst = time_run(|| burst(&warm_1));
+    warm_1.shutdown();
+
+    let warm_2 = QueryService::start(g.clone(), policy(2), 1);
+    let service_burst_2workers = time_run(|| burst(&warm_2));
+    warm_2.shutdown();
+
+    let service_cold = time_run(|| {
+        let service = QueryService::start(g.clone(), policy(1), 1);
+        burst(&service);
+        service.shutdown();
+    });
+
+    Measurement {
+        standalone_burst,
+        service_burst,
+        service_burst_2workers,
+        service_cold,
+        queries_per_burst,
+    }
+}
+
+fn ratio(num: Duration, den: Duration) -> f64 {
+    num.as_nanos() as f64 / den.as_nanos().max(1) as f64
+}
+
+fn service_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100));
+
+    let g = flickr_regime_graph();
+    let m = measure(&g);
+
+    for (name, duration) in [
+        ("standalone_burst", m.standalone_burst),
+        ("service_burst", m.service_burst),
+        ("service_burst_2workers", m.service_burst_2workers),
+        ("service_cold_burst", m.service_cold),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, MEAN_P), &duration, |b, &d| {
+            // Report the externally measured duration through the
+            // criterion-style output (one no-op iteration).
+            b.iter(|| black_box(d));
+        });
+    }
+    group.finish();
+
+    println!(
+        "p̄ = {MEAN_P}  worlds = {WORLDS}  burst = {} queries  \
+         standalone {:.2?}  service(warm, 1w) {:.2?} ({:.2}x)  \
+         service(warm, 2w) {:.2?}  service(cold) {:.2?}",
+        m.queries_per_burst,
+        m.standalone_burst,
+        m.service_burst,
+        ratio(m.standalone_burst, m.service_burst),
+        m.service_burst_2workers,
+        m.service_cold,
+    );
+    write_trajectory(&m);
+}
+
+/// Persists the measured amortisation as `BENCH_service.json` at the repo
+/// root.
+fn write_trajectory(m: &Measurement) {
+    let json = format!(
+        "{{\n  \"benchmark\": \"service\",\n  \
+         \"graph\": \"erdos_renyi(400 vertices, 5% density, p = {MEAN_P})\",\n  \
+         \"worlds\": {WORLDS},\n  \"queries_per_burst\": {},\n  \
+         \"mix\": [\"pagerank\", \"connectivity\", \"degree_histogram\", \"edge_frequency\"],\n  \
+         \"unit\": \"ns per {}-query burst\",\n  \
+         \"notes\": \"k interleaved submissions to a warm QueryService (windows of 4 -> 2 \
+         micro-batches) vs k standalone QueryBatch runs (engine rebuilt per query) at the \
+         paper's Flickr regime\",\n  \
+         \"standalone_burst_ns\": {},\n  \"service_burst_ns\": {},\n  \
+         \"service_burst_2workers_ns\": {},\n  \"service_cold_burst_ns\": {},\n  \
+         \"amortisation_standalone_over_service\": {:.2},\n  \
+         \"speedup_2workers_over_1\": {:.2}\n}}\n",
+        m.queries_per_burst,
+        m.queries_per_burst,
+        m.standalone_burst.as_nanos(),
+        m.service_burst.as_nanos(),
+        m.service_burst_2workers.as_nanos(),
+        m.service_cold.as_nanos(),
+        ratio(m.standalone_burst, m.service_burst),
+        ratio(m.service_burst, m.service_burst_2workers),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write BENCH_service.json: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, service_bench);
+criterion_main!(benches);

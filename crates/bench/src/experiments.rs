@@ -34,7 +34,7 @@ fn sparsify(method: &dyn Sparsifier, g: &UncertainGraph, rng: &mut SmallRng) -> 
 // Table 1 — dataset characteristics
 // ---------------------------------------------------------------------------
 
-/// Table 1: vertices, edges, |E|/|V|, E[p], E[d] of every dataset.
+/// Table 1: vertices, edges, `|E|/|V|`, `E[p]`, `E[d]` of every dataset.
 pub fn run_table1(config: &ExperimentConfig) -> String {
     let workload = Workload::generate(config);
     let sweep = workload.density_sweep(config);

@@ -36,6 +36,16 @@ pub enum ArgsError {
         /// What was expected.
         expected: String,
     },
+    /// An option the command does not understand (typo protection: the CLI
+    /// used to silently ignore these).
+    UnknownOption {
+        /// The unrecognised option name (without the `--`).
+        option: String,
+        /// The command that rejected it.
+        command: String,
+        /// The options the command does accept.
+        allowed: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for ArgsError {
@@ -53,6 +63,26 @@ impl std::fmt::Display for ArgsError {
                     f,
                     "invalid value {value:?} for --{option}: expected {expected}"
                 )
+            }
+            ArgsError::UnknownOption {
+                option,
+                command,
+                allowed,
+            } => {
+                write!(f, "unknown option --{option} for `ugs {command}`")?;
+                if allowed.is_empty() {
+                    write!(f, "; the command takes no options")
+                } else {
+                    write!(
+                        f,
+                        "; expected one of {} (see `ugs help {command}`)",
+                        allowed
+                            .iter()
+                            .map(|name| format!("--{name}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
             }
         }
     }
@@ -151,6 +181,27 @@ impl ParsedArgs {
     pub fn flag(&self, key: &str) -> bool {
         self.options.contains_key(key)
     }
+
+    /// Rejects any parsed `--option` that is not in `allowed` — every
+    /// subcommand calls this before interpreting its options, so a typo
+    /// like `--world` fails loudly instead of silently falling back to the
+    /// default.  The offending options are reported in sorted order.
+    pub fn expect_options(&self, allowed: &[&str]) -> Result<(), ArgsError> {
+        let mut unknown: Vec<&String> = self
+            .options
+            .keys()
+            .filter(|key| !allowed.contains(&key.as_str()))
+            .collect();
+        unknown.sort();
+        match unknown.first() {
+            None => Ok(()),
+            Some(option) => Err(ArgsError::UnknownOption {
+                option: (*option).clone(),
+                command: self.command.clone(),
+                allowed: allowed.iter().map(|s| s.to_string()).collect(),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -235,8 +286,35 @@ mod tests {
                 value: "x".into(),
                 expected: "a number".into(),
             },
+            ArgsError::UnknownOption {
+                option: "world".into(),
+                command: "query".into(),
+                allowed: vec!["worlds".into()],
+            },
         ] {
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_with_the_allowed_set() {
+        let parsed = ParsedArgs::parse(["query", "g.txt", "--world", "5", "--seeed", "1"]).unwrap();
+        match parsed.expect_options(&["worlds", "seed"]) {
+            Err(ArgsError::UnknownOption {
+                option,
+                command,
+                allowed,
+            }) => {
+                assert_eq!(option, "seeed", "unknown options report in sorted order");
+                assert_eq!(command, "query");
+                assert_eq!(allowed, vec!["worlds".to_string(), "seed".to_string()]);
+            }
+            other => panic!("expected UnknownOption, got {other:?}"),
+        }
+        assert!(parsed
+            .expect_options(&["worlds", "seed", "world", "seeed"])
+            .is_ok());
+        let message = parsed.expect_options(&[]).unwrap_err().to_string();
+        assert!(message.contains("takes no options"), "{message}");
     }
 }

@@ -4,7 +4,7 @@
 //! without capturing stdout; `main` only prints the result.
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use uncertain_graph::{io, GraphStatistics, UncertainGraph};
 
 use crate::args::{ArgsError, ParsedArgs};
@@ -14,6 +14,7 @@ use ugs_datasets::prelude::*;
 use ugs_metrics::cuts::CutSamplingConfig;
 use ugs_metrics::degree::MetricDiscrepancy;
 use ugs_queries::prelude::*;
+use ugs_service::{BatchPolicy, QueryPlan, QueryResult, QueryService, QuerySpec};
 
 /// Errors surfaced to the user by the CLI.
 #[derive(Debug)]
@@ -57,51 +58,182 @@ impl From<SparsifyError> for CliError {
     }
 }
 
-/// The usage / help text.
-pub fn usage() -> String {
-    "ugs — uncertain graph sparsification toolkit
+/// One subcommand's help entry.  The `OPTIONS` consts below are each
+/// command's option allowlist, enforced with [`ParsedArgs::expect_options`]
+/// at the top of the command implementation.
+struct CommandHelp {
+    name: &'static str,
+    usage: &'static str,
+}
 
-USAGE:
-    ugs <command> [arguments] [--option value ...]
+const GENERATE_OPTIONS: &[&str] = &[
+    "dataset",
+    "scale",
+    "seed",
+    "output",
+    "er-vertices",
+    "er-density",
+];
+const STATS_OPTIONS: &[&str] = &[];
+const SPARSIFY_OPTIONS: &[&str] = &[
+    "alpha",
+    "method",
+    "discrepancy",
+    "backbone",
+    "h",
+    "k",
+    "seed",
+    "output",
+];
+const QUERY_OPTIONS: &[&str] = &[
+    "query",
+    "worlds",
+    "pairs",
+    "top",
+    "source",
+    "seed",
+    "threads",
+    "sequential",
+    "mode",
+];
+const COMPARE_OPTIONS: &[&str] = &[
+    "worlds",
+    "pairs",
+    "cuts",
+    "seed",
+    "threads",
+    "sequential",
+    "mode",
+];
+const BATCH_OPTIONS: &[&str] = &[
+    "queries",
+    "worlds",
+    "pairs",
+    "top",
+    "source",
+    "seed",
+    "threads",
+    "sequential",
+    "mode",
+    "compact",
+];
+const PLAN_OPTIONS: &[&str] = &["graph", "compact"];
+const SESSION_OPTIONS: &[&str] = &[
+    "rounds",
+    "worlds",
+    "workers",
+    "batch-max",
+    "batch-wait-ms",
+    "seed",
+    "mode",
+    "top",
+    "source",
+];
+const HELP_OPTIONS: &[&str] = &[];
 
-COMMANDS:
-    generate   --dataset flickr|twitter|er --scale tiny|small|medium|paper
+const COMMANDS: &[CommandHelp] = &[
+    CommandHelp {
+        name: "generate",
+        usage: "generate   --dataset flickr|twitter|er --scale tiny|small|medium|paper
                [--seed N] [--er-vertices N] [--er-density Q] --output FILE
-               Generate a synthetic uncertain graph and write it as a text edge list.
-
-    stats      <graph.txt>
-               Print Table-1-style statistics of an uncertain graph.
-
-    sparsify   <graph.txt> --alpha A [--method gdb|emd|lp|ni|ss]
+               Generate a synthetic uncertain graph and write it as a text edge list.",
+    },
+    CommandHelp {
+        name: "stats",
+        usage: "stats      <graph.txt>
+               Print Table-1-style statistics of an uncertain graph.",
+    },
+    CommandHelp {
+        name: "sparsify",
+        usage: "sparsify   <graph.txt> --alpha A [--method gdb|emd|lp|ni|ss]
                [--discrepancy absolute|relative] [--backbone random|spanning|local-degree]
                [--h H] [--k K] [--seed N] [--output FILE]
-               Sparsify the graph to A·|E| edges and report diagnostics.
-
-    query      <graph.txt> --query pagerank|cc|sp|rl|connectivity|knn
+               Sparsify the graph to A·|E| edges and report diagnostics.",
+    },
+    CommandHelp {
+        name: "query",
+        usage: "query      <graph.txt> --query pagerank|cc|sp|rl|connectivity|knn
                [--worlds N] [--pairs N] [--top K] [--source V] [--seed N]
                [--threads N] [--sequential] [--mode auto|skip|per-edge]
                Run a Monte-Carlo query and print a summary.  Worlds are
                evaluated on all cores by default (--threads 0 = auto);
                --sequential forces the machine-independent single-thread
-               path and --mode overrides the world-sampling strategy.
-
-    compare    <original.txt> <sparsified.txt> [--worlds N] [--pairs N] [--cuts N] [--seed N]
+               path and --mode overrides the world-sampling strategy.",
+    },
+    CommandHelp {
+        name: "compare",
+        usage: "compare    <original.txt> <sparsified.txt> [--worlds N] [--pairs N] [--cuts N] [--seed N]
                [--threads N] [--sequential] [--mode auto|skip|per-edge]
                Compare a sparsified graph against its original (degree/cut MAE,
-               relative entropy, earth mover's distance of PageRank and reliability).
-
-    batch      <graph.txt> --queries q1,q2,... [--worlds N] [--pairs N] [--top K]
+               relative entropy, earth mover's distance of PageRank and reliability).",
+    },
+    CommandHelp {
+        name: "batch",
+        usage: "batch      <graph.txt> --queries q1,q2,... [--worlds N] [--pairs N] [--top K]
                [--source V] [--seed N] [--threads N] [--sequential]
                [--mode auto|skip|per-edge] [--compact]
                Evaluate several Monte-Carlo queries over ONE shared set of
                sampled worlds (queries: pagerank|cc|sp|connectivity|
                degree-hist|edge-freq|knn) and print the results as JSON.
                Sampling and world materialisation are paid once for the whole
-               query mix instead of once per query.
+               query mix instead of once per query.  A thin wrapper over the
+               query-plan path (`ugs plan`).",
+    },
+    CommandHelp {
+        name: "plan",
+        usage: "plan       <plan.json> [--graph FILE] [--compact]
+               Execute a JSON query plan end-to-end and print the full report
+               as JSON.  The plan names the graph (overridable with --graph),
+               the shared world budget, the worker count, the sampling mode,
+               the seed and a list of query specs such as
+               {\"type\": \"knn\", \"source\": 0, \"k\": 5}; all queries share
+               one set of sampled worlds, sharded across the workers.",
+    },
+    CommandHelp {
+        name: "session",
+        usage: "session    <graph.txt> [--rounds N] [--worlds N] [--workers N]
+               [--batch-max N] [--batch-wait-ms MS] [--seed N]
+               [--mode auto|skip|per-edge] [--top K] [--source V]
+               Demo of the streaming query service: submit `rounds`
+               interleaved rounds of a four-query mix (PageRank,
+               connectivity, degree histogram, k-NN) to a long-lived
+               QueryService, which micro-batches them by arrival window and
+               shards each batch's world budget across `workers` persistent
+               engine workers (--workers 0 = all cores).",
+    },
+    CommandHelp {
+        name: "help",
+        usage: "help       [command]
+               Show this message, or the usage of one command.",
+    },
+];
 
-    help       Show this message.
-"
-    .to_string()
+/// The usage / help text for every subcommand.
+pub fn usage() -> String {
+    let mut out = String::from(
+        "ugs — uncertain graph sparsification toolkit
+
+USAGE:
+    ugs <command> [arguments] [--option value ...]
+
+COMMANDS:
+",
+    );
+    for command in COMMANDS {
+        out.push_str("    ");
+        out.push_str(command.usage);
+        out.push_str("\n\n");
+    }
+    out.pop();
+    out
+}
+
+/// The usage text of one subcommand (`ugs help <command>`).
+pub fn usage_for(name: &str) -> Option<String> {
+    COMMANDS
+        .iter()
+        .find(|command| command.name == name)
+        .map(|command| format!("USAGE:\n    {}\n", command.usage))
 }
 
 fn load(path: &str) -> Result<UncertainGraph, CliError> {
@@ -110,6 +242,7 @@ fn load(path: &str) -> Result<UncertainGraph, CliError> {
 
 /// `ugs generate`.
 pub fn generate(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_options(GENERATE_OPTIONS)?;
     let dataset = args.option_or("dataset", "flickr");
     let scale_name = args.option_or("scale", "tiny");
     let scale = Scale::parse(&scale_name).ok_or_else(|| {
@@ -144,6 +277,7 @@ pub fn generate(args: &ParsedArgs) -> Result<String, CliError> {
 
 /// `ugs stats`.
 pub fn stats(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_options(STATS_OPTIONS)?;
     let path = args.positional(0, "graph.txt")?;
     let graph = load(path)?;
     let stats = GraphStatistics::compute(&graph);
@@ -210,6 +344,7 @@ fn build_sparsifier(args: &ParsedArgs, alpha: f64) -> Result<Box<dyn Sparsifier>
 
 /// `ugs sparsify`.
 pub fn sparsify(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_options(SPARSIFY_OPTIONS)?;
     let path = args.positional(0, "graph.txt")?;
     let alpha = args.f64_or("alpha", 0.16)?;
     let seed = args.u64_or("seed", 42)?;
@@ -246,16 +381,12 @@ fn monte_carlo_config(args: &ParsedArgs, default_worlds: usize) -> Result<MonteC
             n => n,
         }
     };
-    let method = match args.option_or("mode", "auto").as_str() {
-        "auto" => SampleMethod::Auto,
-        "skip" => SampleMethod::Skip,
-        "per-edge" | "peredge" => SampleMethod::PerEdge,
-        other => {
-            return Err(CliError::Message(format!(
-                "unknown sampling mode {other:?}; expected auto|skip|per-edge"
-            )))
-        }
-    };
+    let mode = args.option_or("mode", "auto");
+    let method = ugs_service::parse_mode(&mode).ok_or_else(|| {
+        CliError::Message(format!(
+            "unknown sampling mode {mode:?}; expected auto|skip|per-edge"
+        ))
+    })?;
     Ok(MonteCarlo::worlds(worlds)
         .with_threads(threads)
         .with_method(method))
@@ -263,6 +394,7 @@ fn monte_carlo_config(args: &ParsedArgs, default_worlds: usize) -> Result<MonteC
 
 /// `ugs query`.
 pub fn query(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_options(QUERY_OPTIONS)?;
     let path = args.positional(0, "graph.txt")?;
     let graph = load(path)?;
     let query = args.option_or("query", "pagerank");
@@ -324,9 +456,15 @@ pub fn query(args: &ParsedArgs) -> Result<String, CliError> {
 
 /// `ugs batch`: one shared sampling pass over `--worlds` possible worlds
 /// feeding every query named in `--queries`, reported as a JSON document.
+///
+/// A thin wrapper over the query-plan path: the query names become
+/// [`QuerySpec`]s, run as one [`QueryPlan`] micro-batch through the
+/// streaming service, and the typed [`QueryResult`]s are rendered in the
+/// classic `batch` report shape.
 pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     use minijson::{ObjBuilder, Value};
 
+    args.expect_options(BATCH_OPTIONS)?;
     let path = args.positional(0, "graph.txt")?;
     let graph = load(path)?;
     let n = graph.num_vertices();
@@ -336,66 +474,17 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     let list = args.option_or("queries", "pagerank,connectivity");
     let mut rng = SmallRng::seed_from_u64(seed);
 
-    let mut batch = QueryBatch::new(&graph, &mc);
-    let mut h_pagerank = None;
-    let mut h_clustering = None;
-    let mut h_pairs = None;
-    let mut h_connectivity = None;
-    let mut h_histogram = None;
-    let mut h_edge_freq = None;
-    let mut h_knn = None;
-    let mut order: Vec<&'static str> = Vec::new();
+    // Map the query names to (report key, spec), deduplicating repeats.
+    let mut entries: Vec<(&'static str, QuerySpec)> = Vec::new();
     for query in list.split(',').map(str::trim).filter(|q| !q.is_empty()) {
-        let canonical = match query {
-            "pagerank" | "pr" => {
-                if h_pagerank.is_none() {
-                    h_pagerank = Some(batch.register(PageRankObserver::new(&graph)));
-                }
-                "pagerank"
-            }
-            "cc" | "clustering" => {
-                if h_clustering.is_none() {
-                    h_clustering = Some(batch.register(ClusteringObserver::new(&graph)));
-                }
-                "clustering"
-            }
-            "sp" | "rl" | "reliability" | "distance" => {
-                if h_pairs.is_none() {
-                    let pairs = random_pairs(n, args.usize_or("pairs", 100)?, &mut rng);
-                    h_pairs = Some(batch.register(PairQueriesObserver::new(&pairs)));
-                }
-                "sp"
-            }
-            "connectivity" => {
-                if h_connectivity.is_none() {
-                    h_connectivity = Some(batch.register(ConnectivityObserver::new(&graph)));
-                }
-                "connectivity"
-            }
-            "degree-hist" | "degrees" => {
-                if h_histogram.is_none() {
-                    h_histogram = Some(batch.register(DegreeHistogramObserver::new(&graph)));
-                }
-                "degree_histogram"
-            }
-            "edge-freq" | "frequencies" => {
-                if h_edge_freq.is_none() {
-                    h_edge_freq = Some(batch.register(EdgeFrequencyObserver::new(&graph)));
-                }
-                "edge_frequencies"
-            }
-            "knn" => {
-                if h_knn.is_none() {
-                    let source = args.usize_or("source", 0)?;
-                    if source >= n {
-                        return Err(CliError::Message(format!(
-                            "--source {source} out of range (graph has {n} vertices)"
-                        )));
-                    }
-                    h_knn = Some(batch.register(KnnObserver::new(&graph, source, top)));
-                }
-                "knn"
-            }
+        let key = match query {
+            "pagerank" | "pr" => "pagerank",
+            "cc" | "clustering" => "clustering",
+            "sp" | "rl" | "reliability" | "distance" => "sp",
+            "connectivity" => "connectivity",
+            "degree-hist" | "degrees" => "degree_histogram",
+            "edge-freq" | "frequencies" => "edge_frequencies",
+            "knn" => "knn",
             other => {
                 return Err(CliError::Message(format!(
                     "unknown query {other:?}; expected \
@@ -403,17 +492,48 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
                 )))
             }
         };
-        if !order.contains(&canonical) {
-            order.push(canonical);
+        if entries.iter().any(|(existing, _)| *existing == key) {
+            continue;
         }
+        let spec = match key {
+            "pagerank" => QuerySpec::pagerank(),
+            "clustering" => QuerySpec::Clustering,
+            "sp" => QuerySpec::PairQueries {
+                pairs: random_pairs(n, args.usize_or("pairs", 100)?, &mut rng),
+            },
+            "connectivity" => QuerySpec::Connectivity,
+            "degree_histogram" => QuerySpec::DegreeHistogram,
+            "edge_frequencies" => QuerySpec::EdgeFrequency,
+            "knn" => QuerySpec::Knn {
+                source: args.usize_or("source", 0)?,
+                k: top,
+            },
+            other => unreachable!("unmapped canonical query {other}"),
+        };
+        entries.push((key, spec));
     }
-    if batch.num_observers() == 0 {
+    if entries.is_empty() {
         return Err(CliError::Message(
             "no queries given; try --queries pagerank,connectivity".to_string(),
         ));
     }
+    // Validate up front so a bad spec fails the whole command, exactly like
+    // the pre-plan implementation.
+    for (_, spec) in &entries {
+        spec.validate(&graph)
+            .map_err(|e| CliError::Message(e.to_string()))?;
+    }
 
-    let mut results = batch.run(&mut rng);
+    let plan = QueryPlan {
+        graph: None,
+        worlds: mc.num_worlds,
+        threads: mc.threads,
+        mode: mc.method,
+        seed: rng.gen::<u64>(),
+        queries: entries.iter().map(|(_, spec)| spec.clone()).collect(),
+    };
+    let outcomes = plan.execute(graph);
+
     let ranked = |scores: &[f64]| -> Value {
         Value::Arr(
             ranked_vertices(scores, top)
@@ -428,12 +548,12 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
         )
     };
     let mut queries: Vec<(String, Value)> = Vec::new();
-    for name in order {
-        let value = match name {
-            "pagerank" => ranked(&results.take(h_pagerank.expect("registered"))),
-            "clustering" => ranked(&results.take(h_clustering.expect("registered"))),
-            "sp" => {
-                let pair_result = results.take(h_pairs.expect("registered"));
+    for ((key, _), outcome) in entries.iter().zip(outcomes) {
+        let result = outcome.map_err(|e| CliError::Message(e.to_string()))?;
+        let value = match result {
+            QueryResult::PageRank(scores) => ranked(&scores),
+            QueryResult::Clustering(scores) => ranked(&scores),
+            QueryResult::PairQueries(pair_result) => {
                 let finite = pair_result.finite_distances();
                 let mean_sp = finite.iter().sum::<f64>() / finite.len().max(1) as f64;
                 let mean_rl = pair_result.reliability.iter().sum::<f64>()
@@ -445,38 +565,26 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
                     .field("mean_reliability", mean_rl)
                     .build()
             }
-            "connectivity" => {
-                let estimate = results.take(h_connectivity.expect("registered"));
-                ObjBuilder::new()
-                    .field("probability_connected", estimate.probability_connected)
-                    .field("expected_components", estimate.expected_components)
-                    .field(
-                        "expected_largest_component",
-                        estimate.expected_largest_component,
-                    )
-                    .field(
-                        "expected_isolated_fraction",
-                        estimate.expected_isolated_fraction,
-                    )
-                    .build()
+            QueryResult::Connectivity(estimate) => ObjBuilder::new()
+                .field("probability_connected", estimate.probability_connected)
+                .field("expected_components", estimate.expected_components)
+                .field(
+                    "expected_largest_component",
+                    estimate.expected_largest_component,
+                )
+                .field(
+                    "expected_isolated_fraction",
+                    estimate.expected_isolated_fraction,
+                )
+                .build(),
+            QueryResult::DegreeHistogram(histogram) => {
+                Value::Arr(histogram.into_iter().map(Value::from).collect())
             }
-            "degree_histogram" => Value::Arr(
-                results
-                    .take(h_histogram.expect("registered"))
-                    .into_iter()
-                    .map(Value::from)
-                    .collect(),
-            ),
-            "edge_frequencies" => Value::Arr(
-                results
-                    .take(h_edge_freq.expect("registered"))
-                    .into_iter()
-                    .map(Value::from)
-                    .collect(),
-            ),
-            "knn" => Value::Arr(
-                results
-                    .take(h_knn.expect("registered"))
+            QueryResult::EdgeFrequency(frequencies) => {
+                Value::Arr(frequencies.into_iter().map(Value::from).collect())
+            }
+            QueryResult::Knn(neighbors) => Value::Arr(
+                neighbors
                     .into_iter()
                     .map(|neighbor| {
                         ObjBuilder::new()
@@ -487,9 +595,8 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
                     })
                     .collect(),
             ),
-            other => unreachable!("unregistered canonical query {other}"),
         };
-        queries.push((name.to_string(), value));
+        queries.push((key.to_string(), value));
     }
     let document = ObjBuilder::new()
         .field("graph", path)
@@ -504,6 +611,162 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     } else {
         document.pretty()
     })
+}
+
+/// `ugs plan`: execute a JSON query-plan file end-to-end through the
+/// streaming query service and print the full report as JSON.
+pub fn plan(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_options(PLAN_OPTIONS)?;
+    let plan_path = args.positional(0, "plan.json")?;
+    let text = std::fs::read_to_string(plan_path)
+        .map_err(|e| CliError::Message(format!("cannot read plan {plan_path:?}: {e}")))?;
+    let plan =
+        QueryPlan::parse_str(&text).map_err(|e| CliError::Message(format!("{plan_path}: {e}")))?;
+    let graph_path = match args.options.get("graph") {
+        Some(path) => path.clone(),
+        None => plan.graph.clone().ok_or_else(|| {
+            CliError::Message(format!("{plan_path} names no \"graph\"; pass --graph FILE"))
+        })?,
+    };
+    let graph = load(&graph_path)?;
+    let report = plan.run_report(graph, &graph_path);
+    Ok(if args.flag("compact") {
+        report.render()
+    } else {
+        report.pretty()
+    })
+}
+
+/// `ugs session`: demo of the long-lived streaming [`QueryService`] —
+/// interleaved rounds of a four-query mix are submitted over the service
+/// channel, micro-batched by arrival window and sharded across persistent
+/// engine workers; the tickets then resolve in submission order.
+pub fn session(args: &ParsedArgs) -> Result<String, CliError> {
+    use std::time::{Duration, Instant};
+
+    args.expect_options(SESSION_OPTIONS)?;
+    let path = args.positional(0, "graph.txt")?;
+    let graph = load(path)?;
+    let n = graph.num_vertices();
+    let rounds = args.usize_or("rounds", 2)?;
+    let worlds = args.usize_or("worlds", 200)?;
+    let workers = match args.usize_or("workers", 1)? {
+        0 => ugs_queries::mc::available_threads(),
+        w => w,
+    };
+    let seed = args.u64_or("seed", 42)?;
+    let top = args.usize_or("top", 5)?;
+    let source = args.usize_or("source", 0)?;
+    if source >= n {
+        return Err(CliError::Message(format!(
+            "--source {source} out of range (graph has {n} vertices)"
+        )));
+    }
+    let mode = ugs_service::parse_mode(&args.option_or("mode", "auto")).ok_or_else(|| {
+        CliError::Message(format!(
+            "unknown sampling mode {:?}; expected auto|skip|per-edge",
+            args.option_or("mode", "auto")
+        ))
+    })?;
+    let mix = vec![
+        QuerySpec::pagerank(),
+        QuerySpec::Connectivity,
+        QuerySpec::DegreeHistogram,
+        QuerySpec::Knn { source, k: top },
+    ];
+    let batch_max = args.usize_or("batch-max", mix.len())?;
+    let wait_ms = args.usize_or("batch-wait-ms", 50)?;
+    let policy = BatchPolicy {
+        max_wait: Duration::from_millis(wait_ms as u64),
+        max_queries: batch_max,
+        num_worlds: worlds,
+        threads: workers,
+        mode,
+    };
+
+    let started = Instant::now();
+    let service = QueryService::start(graph, policy, seed);
+    let mut tickets = Vec::with_capacity(rounds * mix.len());
+    for round in 0..rounds {
+        for spec in &mix {
+            tickets.push((round, spec.kind(), service.submit(spec.clone())));
+        }
+    }
+    let mut out = format!(
+        "session over {path}: {} interleaved submissions ({rounds} rounds x {} queries), \
+         {worlds} worlds per micro-batch, {workers} worker(s)\n",
+        rounds * mix.len(),
+        mix.len(),
+    );
+    for (round, kind, ticket) in tickets {
+        match ticket.wait() {
+            Ok(result) => out.push_str(&format!(
+                "  [round {round}] {kind:<16} -> {}\n",
+                summarize_result(&result)
+            )),
+            Err(error) => {
+                out.push_str(&format!("  [round {round}] {kind:<16} -> error: {error}\n"))
+            }
+        }
+    }
+    let stats = service.shutdown();
+    out.push_str(&format!(
+        "micro-batches: {}   queries answered: {}   worlds sampled: {}   elapsed: {:.2?}\n",
+        stats.micro_batches,
+        stats.queries,
+        stats.worlds_sampled,
+        started.elapsed(),
+    ));
+    Ok(out)
+}
+
+/// One-line summary of a [`QueryResult`] for the `session` report.
+fn summarize_result(result: &QueryResult) -> String {
+    match result {
+        QueryResult::PageRank(scores) => match ranked_vertices(scores, 1).first() {
+            Some(&v) => format!("top vertex {v} (PR {:.4})", scores[v]),
+            None => "empty graph".to_string(),
+        },
+        QueryResult::Clustering(scores) => match ranked_vertices(scores, 1).first() {
+            Some(&v) => format!("top vertex {v} (CC {:.4})", scores[v]),
+            None => "empty graph".to_string(),
+        },
+        QueryResult::PairQueries(result) => {
+            let mean_rl =
+                result.reliability.iter().sum::<f64>() / result.reliability.len().max(1) as f64;
+            format!(
+                "{} pairs, mean reliability {mean_rl:.3}",
+                result.pairs.len()
+            )
+        }
+        QueryResult::Connectivity(estimate) => format!(
+            "P(connected) {:.3}, E[#components] {:.2}",
+            estimate.probability_connected, estimate.expected_components
+        ),
+        QueryResult::DegreeHistogram(histogram) => {
+            let vertices: f64 = histogram.iter().sum();
+            let mean: f64 = histogram
+                .iter()
+                .enumerate()
+                .map(|(d, h)| d as f64 * h)
+                .sum::<f64>()
+                / vertices.max(1.0);
+            format!("{} degree bins, E[degree] {mean:.3}", histogram.len())
+        }
+        QueryResult::Knn(neighbors) => match neighbors.first() {
+            Some(nearest) => format!(
+                "{} neighbours, nearest {} (E[d] {:.2})",
+                neighbors.len(),
+                nearest.vertex,
+                nearest.expected_distance
+            ),
+            None => "no reachable neighbours".to_string(),
+        },
+        QueryResult::EdgeFrequency(frequencies) => {
+            let mean = frequencies.iter().sum::<f64>() / frequencies.len().max(1) as f64;
+            format!("{} edges, mean frequency {mean:.3}", frequencies.len())
+        }
+    }
 }
 
 /// The top `top` vertex ids by descending score, ties broken by ascending
@@ -530,6 +793,7 @@ fn format_top(label: &str, scores: &[f64], top: usize) -> String {
 
 /// `ugs compare`.
 pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_options(COMPARE_OPTIONS)?;
     let original = load(args.positional(0, "original.txt")?)?;
     let sparsified = load(args.positional(1, "sparsified.txt")?)?;
     if original.num_vertices() != sparsified.num_vertices() {
@@ -585,7 +849,17 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "query" => query(args),
         "compare" => compare(args),
         "batch" => batch(args),
-        "help" | "--help" | "-h" => Ok(usage()),
+        "plan" => plan(args),
+        "session" => session(args),
+        "help" | "--help" | "-h" => {
+            args.expect_options(HELP_OPTIONS)?;
+            match args.positionals.first() {
+                None => Ok(usage()),
+                Some(command) => usage_for(command).ok_or_else(|| {
+                    CliError::Message(format!("unknown command {command:?}\n\n{}", usage()))
+                }),
+            }
+        }
         other => Err(CliError::Message(format!(
             "unknown command {other:?}\n\n{}",
             usage()
@@ -857,5 +1131,123 @@ mod tests {
         let help = run(&ParsedArgs::parse(["help"]).unwrap()).unwrap();
         assert!(help.contains("USAGE"));
         assert!(run(&ParsedArgs::parse(["frobnicate"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn help_knows_every_subcommand() {
+        let full = run(&ParsedArgs::parse(["help"]).unwrap()).unwrap();
+        for command in [
+            "generate", "stats", "sparsify", "query", "compare", "batch", "plan", "session",
+        ] {
+            assert!(full.contains(command), "{command} missing from help");
+            let single = run(&ParsedArgs::parse(["help", command]).unwrap()).unwrap();
+            assert!(single.contains("USAGE"), "{command}: {single}");
+            assert!(single.contains(command), "{command}: {single}");
+        }
+        assert!(run(&ParsedArgs::parse(["help", "frobnicate"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_per_subcommand() {
+        let input = write_toy_graph("unknown-options.txt");
+        // A typo'd --worlds must fail loudly, not silently use the default.
+        let typo = ParsedArgs::parse(["query", &input, "--world", "50"]).unwrap();
+        let error = run(&typo).unwrap_err().to_string();
+        assert!(error.contains("unknown option --world"), "{error}");
+        assert!(
+            error.contains("--worlds"),
+            "suggests the allowed set: {error}"
+        );
+        // Options of one command are not valid for another.
+        let crossed = ParsedArgs::parse(["stats", &input, "--alpha", "0.5"]).unwrap();
+        assert!(run(&crossed).is_err());
+        let crossed = ParsedArgs::parse(["sparsify", &input, "--queries", "pagerank"]).unwrap();
+        assert!(run(&crossed).is_err());
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn plan_executes_a_json_query_plan_end_to_end() {
+        let input = write_toy_graph("plan-graph.txt");
+        let plan_path = temp_path("plan.json").to_string_lossy().to_string();
+        std::fs::write(
+            &plan_path,
+            format!(
+                r#"{{"graph": {input:?}, "worlds": 80, "threads": 2, "mode": "skip", "seed": 9,
+                    "queries": [
+                      {{"type": "pagerank"}},
+                      {{"type": "connectivity"}},
+                      {{"type": "knn", "source": 0, "k": 3}},
+                      {{"type": "edge_frequency"}}
+                    ]}}"#
+            ),
+        )
+        .unwrap();
+        let args = ParsedArgs::parse(["plan", plan_path.as_str()]).unwrap();
+        let report = run(&args).unwrap();
+        assert_eq!(report, run(&args).unwrap(), "plan reports are snapshots");
+        let doc = minijson::Value::parse(&report).expect("valid JSON");
+        assert_eq!(doc.get_usize("worlds"), Some(80));
+        assert_eq!(doc.get_str("mode"), Some("skip"));
+        let results = doc.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 4);
+        for entry in results {
+            assert_eq!(entry.get_str("status"), Some("ok"), "{report}");
+        }
+        assert_eq!(
+            results[0].get("query").unwrap().get_str("type"),
+            Some("pagerank")
+        );
+        // --graph overrides the plan's graph path.
+        let override_args =
+            ParsedArgs::parse(["plan", plan_path.as_str(), "--graph", input.as_str()]).unwrap();
+        assert!(run(&override_args).is_ok());
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&plan_path).ok();
+    }
+
+    #[test]
+    fn plan_rejects_missing_files_and_bad_documents() {
+        assert!(run(&ParsedArgs::parse(["plan", "/nonexistent/plan.json"]).unwrap()).is_err());
+        let bad_path = temp_path("bad-plan.json").to_string_lossy().to_string();
+        std::fs::write(&bad_path, r#"{"queries": []}"#).unwrap();
+        assert!(run(&ParsedArgs::parse(["plan", bad_path.as_str()]).unwrap()).is_err());
+        // A plan without a graph needs --graph.
+        std::fs::write(&bad_path, r#"{"queries": [{"type": "connectivity"}]}"#).unwrap();
+        assert!(run(&ParsedArgs::parse(["plan", bad_path.as_str()]).unwrap()).is_err());
+        std::fs::remove_file(&bad_path).ok();
+    }
+
+    #[test]
+    fn session_drives_the_streaming_service() {
+        let input = write_toy_graph("session.txt");
+        // A large arrival window so batching is driven purely by the count
+        // threshold (the default --batch-max of 4 = the mix size): the
+        // micro-batch and world tallies below stay deterministic even when
+        // a loaded CI box preempts the test between submissions.
+        let args = ParsedArgs::parse([
+            "session",
+            &input,
+            "--rounds",
+            "2",
+            "--worlds",
+            "40",
+            "--workers",
+            "2",
+            "--seed",
+            "3",
+            "--batch-wait-ms",
+            "60000",
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("8 interleaved submissions"), "{report}");
+        assert!(report.contains("[round 0] pagerank"), "{report}");
+        assert!(report.contains("[round 1] knn"), "{report}");
+        assert!(report.contains("micro-batches: 2"), "{report}");
+        assert!(report.contains("worlds sampled: 80"), "{report}");
+        let bad = ParsedArgs::parse(["session", &input, "--source", "999"]).unwrap();
+        assert!(run(&bad).is_err());
+        std::fs::remove_file(&input).ok();
     }
 }

@@ -30,7 +30,7 @@ pub enum BackboneKind {
     /// sampling.  The paper's `-t` variants.
     #[default]
     SpanningForests,
-    /// Local Degree (Lindner et al. [24], mentioned in Section 3.3 as an
+    /// Local Degree (Lindner et al. \[24\], mentioned in Section 3.3 as an
     /// alternative initialisation): every vertex keeps the edges towards its
     /// highest-expected-degree neighbours (hubs), the share per vertex being
     /// `α`; the selection is then adjusted to exactly `α|E|` edges by

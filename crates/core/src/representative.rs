@@ -51,7 +51,7 @@ pub fn most_probable_world(g: &UncertainGraph) -> (PossibleWorld, Representative
     (world, stats)
 }
 
-/// Greedy degree-preserving representative in the spirit of `ADR` [29]:
+/// Greedy degree-preserving representative in the spirit of `ADR` \[29\]:
 /// starting from the most probable world, repeatedly flips (inserts or
 /// deletes) the single edge whose flip most decreases the total absolute
 /// degree discrepancy, until no flip improves it or `max_edits` is reached.

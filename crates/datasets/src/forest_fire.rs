@@ -1,4 +1,4 @@
-//! Forest Fire subgraph sampling (Leskovec & Faloutsos, reference [22] of
+//! Forest Fire subgraph sampling (Leskovec & Faloutsos, reference \[22\] of
 //! the paper).
 //!
 //! The paper applies Forest Fire sampling to shrink the real graphs for

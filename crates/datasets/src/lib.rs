@@ -19,7 +19,7 @@
 //! * [`powerlaw`] — preferential-attachment topology generator,
 //! * [`social`] — `flickr_like` / `twitter_like` at several [`Scale`]s,
 //! * [`synthetic`] — the density-sweep construction of Table 1 (bottom),
-//! * [`forest_fire`] — Forest Fire subgraph sampling [22], used by the paper
+//! * [`forest_fire`] — Forest Fire subgraph sampling \[22\], used by the paper
 //!   to produce the reduced Flickr instance on which LP is feasible,
 //! * [`er`] — Erdős–Rényi graphs for tests and micro-benchmarks.
 

@@ -50,6 +50,41 @@
 //! PageRank, components) dominate sampling, and sampling itself is cheap in
 //! the paper's sparsified regime (`O(Σ pₑ)` skip-sampling).
 //!
+//! ## The `DynObserver` layer
+//!
+//! [`WorldObserver`] is a statically-typed trait: [`QueryBatch::register`]
+//! needs the concrete observer type and [`BatchResults::take`] needs it
+//! again to give back a typed `Output`.  That works when the caller names
+//! every query at compile time, but a *dynamic* front end — a query plan
+//! parsed from JSON, a long-lived service accepting arbitrary submissions —
+//! only knows its query mix at run time.  The object-safe [`DynObserver`]
+//! trait (blanket-implemented for every `WorldObserver`, never implemented
+//! by hand) erases the observer type behind the same
+//! observe / merge / finalize lifecycle, and [`BoxedObserver`] is the owned
+//! handle that heterogeneous registries store:
+//!
+//! * [`BoxedObserver::new`] erases any [`WorldObserver`];
+//! * [`QueryBatch::register_boxed`] registers it and returns an untyped
+//!   [`DynHandle`];
+//! * [`BatchResults::try_take_boxed`] finalises it to a
+//!   `Box<dyn Any + Send>` that the front end downcasts with the knowledge
+//!   of which query it submitted (`ugs-service` keeps that knowledge in its
+//!   `QuerySpec`).
+//!
+//! Sharded drivers that run their own worker pool (again `ugs-service`)
+//! use [`BoxedObserver::observe`] / [`BoxedObserver::merge`] directly on
+//! per-worker clones and assemble a [`BatchResults`] from the merged
+//! observers with [`BatchResults::from_merged`], so redemption goes through
+//! the same fallible [`BatchResults::try_take_boxed`] path as a local batch.
+//!
+//! ## Fallible redemption
+//!
+//! [`BatchResults::take`] panics on a foreign or already-redeemed handle —
+//! fine for straight-line query code, wrong for a long-lived service.
+//! [`BatchResults::try_take`] / [`BatchResults::try_take_boxed`] return a
+//! [`BatchError`] instead ([`BatchError::WrongBatch`] and
+//! [`BatchError::AlreadyTaken`]); `take` is a thin `unwrap` over `try_take`.
+//!
 //! ## Worked example
 //!
 //! ```
@@ -113,7 +148,11 @@ use crate::mc::MonteCarlo;
 /// preserve the association order.
 pub trait WorldObserver: Send + Clone + 'static {
     /// The finalised query result.
-    type Output;
+    ///
+    /// `Send + 'static` so the type-erased [`DynObserver`] layer can box the
+    /// output as `Box<dyn Any + Send>` and ship it across service channels;
+    /// every output in this crate is a plain owned value anyway.
+    type Output: Send + 'static;
 
     /// Observes one sampled world (the scratch exposes both the present
     /// edge ids and the materialised [`graph_algos::DeterministicGraph`]).
@@ -128,13 +167,31 @@ pub trait WorldObserver: Send + Clone + 'static {
     fn finalize(self, num_worlds: usize) -> Self::Output;
 }
 
-/// Object-safe adapter over [`WorldObserver`] so one batch can drive a
-/// heterogeneous observer set.
-trait DynObserver: Send {
+/// Object-safe adapter over [`WorldObserver`] so one batch (or registry) can
+/// drive a heterogeneous observer set; see the
+/// [module docs](self#the-dynobserver-layer).
+///
+/// Blanket-implemented for every [`WorldObserver`] — do not implement this
+/// trait by hand; implement `WorldObserver` and erase it with
+/// [`BoxedObserver::new`].
+pub trait DynObserver: Send {
+    /// Type-erased [`WorldObserver::observe`].
     fn observe_dyn(&mut self, world: &WorldScratch);
+    /// Type-erased [`WorldObserver::merge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is not the same concrete observer type.
     fn merge_dyn(&mut self, other: Box<dyn DynObserver>);
+    /// Clones the observer behind the erasure (used to hand each parallel
+    /// worker its own pristine copy).
     fn clone_dyn(&self) -> Box<dyn DynObserver>;
+    /// Recovers the concrete observer for a typed downcast.
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    /// Type-erased [`WorldObserver::finalize`]: the boxed
+    /// [`WorldObserver::Output`], downcastable by whoever knows which query
+    /// was registered.
+    fn finalize_dyn(self: Box<Self>, num_worlds: usize) -> Box<dyn Any + Send>;
 }
 
 impl<O: WorldObserver> DynObserver for O {
@@ -156,6 +213,59 @@ impl<O: WorldObserver> DynObserver for O {
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
+    }
+
+    fn finalize_dyn(self: Box<Self>, num_worlds: usize) -> Box<dyn Any + Send> {
+        Box::new((*self).finalize(num_worlds))
+    }
+}
+
+/// An owned, type-erased observer — the unit a heterogeneous registry
+/// stores.  Create with [`BoxedObserver::new`], feed worlds with
+/// [`BoxedObserver::observe`], combine per-worker clones with
+/// [`BoxedObserver::merge`] and redeem through
+/// [`QueryBatch::register_boxed`] / [`BatchResults::from_merged`].
+pub struct BoxedObserver(Box<dyn DynObserver>);
+
+impl BoxedObserver {
+    /// Erases a concrete [`WorldObserver`].
+    pub fn new<O: WorldObserver>(observer: O) -> Self {
+        BoxedObserver(Box::new(observer))
+    }
+
+    /// Observes one sampled world (see [`WorldObserver::observe`]).
+    pub fn observe(&mut self, world: &WorldScratch) {
+        self.0.observe_dyn(world);
+    }
+
+    /// Folds another partial observer into `self` (see
+    /// [`WorldObserver::merge`]).  Merge partials in worker (= world block)
+    /// order to keep floating-point association deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` erases a different concrete observer type.
+    pub fn merge(&mut self, other: BoxedObserver) {
+        self.0.merge_dyn(other.0);
+    }
+
+    /// Finalises to the boxed [`WorldObserver::Output`]; the caller
+    /// downcasts with its knowledge of the registered query.
+    pub fn finalize(self, num_worlds: usize) -> Box<dyn Any + Send> {
+        self.0.finalize_dyn(num_worlds)
+    }
+}
+
+impl Clone for BoxedObserver {
+    /// Clones the pristine observer behind the erasure (per-worker copies).
+    fn clone(&self) -> Self {
+        BoxedObserver(self.0.clone_dyn())
+    }
+}
+
+impl std::fmt::Debug for BoxedObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoxedObserver").finish_non_exhaustive()
     }
 }
 
@@ -183,6 +293,50 @@ impl<O> std::fmt::Debug for ObserverHandle<O> {
             .finish()
     }
 }
+
+/// Untyped handle returned by [`QueryBatch::register_boxed`] (and
+/// [`BatchResults::from_merged`]); redeem it with
+/// [`BatchResults::try_take_boxed`].
+#[derive(Debug, Clone, Copy)]
+pub struct DynHandle {
+    batch: u64,
+    index: usize,
+}
+
+/// Why a [`BatchResults`] redemption failed; returned by the fallible
+/// [`BatchResults::try_take`] / [`BatchResults::try_take_boxed`] paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// The handle was issued by a different batch run.
+    WrongBatch {
+        /// Id of the batch the results belong to.
+        results: u64,
+        /// Id of the batch that issued the handle.
+        handle: u64,
+    },
+    /// The observer at this slot was already redeemed.
+    AlreadyTaken {
+        /// The handle's slot index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::WrongBatch { results, handle } => write!(
+                f,
+                "observer handle redeemed against a different batch \
+                 (results of batch {results}, handle from batch {handle})"
+            ),
+            BatchError::AlreadyTaken { index } => {
+                write!(f, "observer result already taken (slot {index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// Process-wide counter giving every batch a distinct id, so a handle can
 /// only be redeemed against the results of the batch that issued it.
@@ -242,6 +396,19 @@ impl<'g> QueryBatch<'g> {
             batch: self.id,
             index,
             _marker: PhantomData,
+        }
+    }
+
+    /// Registers a type-erased observer (a dynamic registry entry — see the
+    /// [module docs](self#the-dynobserver-layer)); the returned untyped
+    /// handle redeems the boxed output from
+    /// [`BatchResults::try_take_boxed`] after [`QueryBatch::run`].
+    pub fn register_boxed(&mut self, observer: BoxedObserver) -> DynHandle {
+        let index = self.observers.len();
+        self.observers.push(observer.0);
+        DynHandle {
+            batch: self.id,
+            index,
         }
     }
 
@@ -355,6 +522,26 @@ pub struct BatchResults {
 }
 
 impl BatchResults {
+    /// Assembles results from observers that were sharded and merged by an
+    /// external driver (a service running its own persistent worker pool):
+    /// the observers must already be fully merged in worker order, and
+    /// `num_worlds` is the total sampled across all workers.  Returns the
+    /// results plus one [`DynHandle`] per observer, index-aligned with
+    /// `observers`, so redemption goes through the same fallible
+    /// [`BatchResults::try_take_boxed`] path as a locally-run batch.
+    pub fn from_merged(observers: Vec<BoxedObserver>, num_worlds: usize) -> (Self, Vec<DynHandle>) {
+        let id = BATCH_IDS.fetch_add(1, Ordering::Relaxed);
+        let handles = (0..observers.len())
+            .map(|index| DynHandle { batch: id, index })
+            .collect();
+        let results = BatchResults {
+            id,
+            num_worlds,
+            slots: observers.into_iter().map(|o| Some(o.0)).collect(),
+        };
+        (results, handles)
+    }
+
     /// The number of worlds that were sampled.
     pub fn num_worlds(&self) -> usize {
         self.num_worlds
@@ -365,22 +552,47 @@ impl BatchResults {
     /// # Panics
     ///
     /// Panics if the handle came from a different batch or the result was
-    /// already taken.
+    /// already taken; [`BatchResults::try_take`] is the non-panicking
+    /// equivalent.
     pub fn take<O: WorldObserver>(&mut self, handle: ObserverHandle<O>) -> O::Output {
-        assert_eq!(
-            handle.batch, self.id,
-            "observer handle redeemed against a different batch"
-        );
-        let observer = self
-            .slots
-            .get_mut(handle.index)
-            .and_then(Option::take)
-            .expect("observer result already taken");
+        self.try_take(handle).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Finalises and returns one observer's result, or a [`BatchError`]
+    /// when the handle belongs to a different batch or was already
+    /// redeemed.
+    pub fn try_take<O: WorldObserver>(
+        &mut self,
+        handle: ObserverHandle<O>,
+    ) -> Result<O::Output, BatchError> {
+        let observer = self.take_slot(handle.batch, handle.index)?;
         let observer = observer
             .into_any()
             .downcast::<O>()
             .expect("observer handle type mismatch");
-        observer.finalize(self.num_worlds)
+        Ok(observer.finalize(self.num_worlds))
+    }
+
+    /// Finalises one type-erased observer to its boxed output, or a
+    /// [`BatchError`] when the handle belongs to a different batch or was
+    /// already redeemed.  The caller downcasts the `Box<dyn Any + Send>`
+    /// with its knowledge of the registered query.
+    pub fn try_take_boxed(&mut self, handle: DynHandle) -> Result<Box<dyn Any + Send>, BatchError> {
+        let observer = self.take_slot(handle.batch, handle.index)?;
+        Ok(observer.finalize_dyn(self.num_worlds))
+    }
+
+    fn take_slot(&mut self, batch: u64, index: usize) -> Result<Box<dyn DynObserver>, BatchError> {
+        if batch != self.id {
+            return Err(BatchError::WrongBatch {
+                results: self.id,
+                handle: batch,
+            });
+        }
+        self.slots
+            .get_mut(index)
+            .and_then(Option::take)
+            .ok_or(BatchError::AlreadyTaken { index })
     }
 }
 
@@ -515,5 +727,100 @@ mod tests {
         let mut results = batch.run(&mut rng);
         let _ = results.take(handle);
         let _ = results.take(handle);
+    }
+
+    #[test]
+    fn try_take_reports_errors_instead_of_panicking() {
+        let g = toy();
+        let mc = MonteCarlo::worlds(5);
+        let mut batch_a = QueryBatch::new(&g, &mc);
+        let handle_a = batch_a.register(EdgeFrequencyObserver::new(&g));
+        let mut batch_b = QueryBatch::new(&g, &mc);
+        let handle_b = batch_b.register(EdgeFrequencyObserver::new(&g));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut results_b = batch_b.run(&mut rng);
+        assert!(matches!(
+            results_b.try_take(handle_a),
+            Err(BatchError::WrongBatch { .. })
+        ));
+        assert!(results_b.try_take(handle_b).is_ok());
+        assert_eq!(
+            results_b.try_take(handle_b),
+            Err(BatchError::AlreadyTaken { index: 0 })
+        );
+    }
+
+    #[test]
+    fn boxed_observers_run_through_the_dyn_registry() {
+        // The same worlds, registered typed in one batch and type-erased in
+        // another, must produce bit-identical outputs.
+        let g = toy();
+        let mc = MonteCarlo::worlds(200);
+        let mut rng_typed = SmallRng::seed_from_u64(9);
+        let mut typed = QueryBatch::new(&g, &mc);
+        let h_typed = typed.register(EdgeFrequencyObserver::new(&g));
+        let expected = typed.run(&mut rng_typed).take(h_typed);
+
+        let mut rng_dyn = SmallRng::seed_from_u64(9);
+        let mut erased = QueryBatch::new(&g, &mc);
+        let h_dyn = erased.register_boxed(BoxedObserver::new(EdgeFrequencyObserver::new(&g)));
+        let mut results = erased.run(&mut rng_dyn);
+        let boxed = results.try_take_boxed(h_dyn).unwrap();
+        let freq = *boxed.downcast::<Vec<f64>>().expect("edge frequencies");
+        assert_eq!(freq, expected);
+        assert!(matches!(
+            results.try_take_boxed(h_dyn),
+            Err(BatchError::AlreadyTaken { .. })
+        ));
+    }
+
+    #[test]
+    fn from_merged_matches_the_batch_driver() {
+        // Drive the observe/merge lifecycle by hand through BoxedObserver
+        // (two "workers" over the replayed world stream, exactly like a
+        // sharded service) and redeem through from_merged: the result must
+        // equal the 2-thread QueryBatch run bit for bit.
+        let g = toy();
+        let worlds = 101;
+        let mc = MonteCarlo::worlds(worlds).with_threads(2);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut batch = QueryBatch::new(&g, &mc);
+        let handle = batch.register(EdgeFrequencyObserver::new(&g));
+        let expected = batch.run(&mut rng).take(handle);
+        let seed = {
+            // Recover the batch seed the driver drew from the caller RNG.
+            let mut replay = SmallRng::seed_from_u64(33);
+            replay.gen::<u64>()
+        };
+
+        let engine = WorldEngine::new(&g);
+        let template = BoxedObserver::new(EdgeFrequencyObserver::new(&g));
+        let (base, extra) = (worlds / 2, worlds % 2);
+        let mut partials = Vec::new();
+        for worker in 0..2 {
+            let count = base + usize::from(worker < extra);
+            let skip = base * worker + worker.min(extra);
+            let mut observer = template.clone();
+            let mut worker_rng = SmallRng::seed_from_u64(seed);
+            let mut scratch = engine.make_scratch();
+            for _ in 0..skip {
+                engine.advance_world(&mut worker_rng, &mut scratch);
+            }
+            for _ in 0..count {
+                engine.sample_world(&mut worker_rng, &mut scratch);
+                observer.observe(&scratch);
+            }
+            partials.push(observer);
+        }
+        let mut merged = partials.remove(0);
+        merged.merge(partials.remove(0));
+        let (mut results, handles) = BatchResults::from_merged(vec![merged], worlds);
+        assert_eq!(results.num_worlds(), worlds);
+        let freq = *results
+            .try_take_boxed(handles[0])
+            .unwrap()
+            .downcast::<Vec<f64>>()
+            .unwrap();
+        assert_eq!(freq, expected);
     }
 }

@@ -82,7 +82,10 @@ pub mod pair_queries;
 pub mod pairs;
 pub mod variance;
 
-pub use batch::{BatchResults, EdgeFrequencyObserver, ObserverHandle, QueryBatch, WorldObserver};
+pub use batch::{
+    BatchError, BatchResults, BoxedObserver, DynHandle, DynObserver, EdgeFrequencyObserver,
+    ObserverHandle, QueryBatch, WorldObserver,
+};
 pub use components::{
     connectivity_query, expected_degree_histogram, ConnectivityEstimate, ConnectivityObserver,
     DegreeHistogramObserver,
@@ -100,7 +103,8 @@ pub use variance::{estimator_variance, VarianceEstimate};
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
     pub use crate::batch::{
-        BatchResults, EdgeFrequencyObserver, ObserverHandle, QueryBatch, WorldObserver,
+        BatchError, BatchResults, BoxedObserver, DynHandle, EdgeFrequencyObserver, ObserverHandle,
+        QueryBatch, WorldObserver,
     };
     pub use crate::components::{
         connectivity_query, ConnectivityEstimate, ConnectivityObserver, DegreeHistogramObserver,

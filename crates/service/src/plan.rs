@@ -1,0 +1,285 @@
+//! JSON query plans: a [`QueryPlan`] bundles a list of [`QuerySpec`]s with
+//! the Monte-Carlo configuration they share, parses from a plan document and
+//! executes end-to-end through a [`QueryService`].
+//!
+//! The plan document is the file format of the CLI's `ugs plan` subcommand:
+//!
+//! ```json
+//! {
+//!   "graph": "graph.txt",
+//!   "worlds": 400,
+//!   "threads": 2,
+//!   "mode": "skip",
+//!   "seed": 7,
+//!   "queries": [
+//!     {"type": "pagerank"},
+//!     {"type": "connectivity"},
+//!     {"type": "knn", "source": 0, "k": 5}
+//!   ]
+//! }
+//! ```
+//!
+//! Every field except `queries` is optional (`graph` may instead be given by
+//! the caller, and `worlds`/`threads`/`mode`/`seed` take the defaults
+//! below).  Execution runs the whole plan as **one** micro-batch — all
+//! queries share one set of sampled worlds, exactly like a single
+//! [`ugs_queries::QueryBatch`] — sharded across `threads` service workers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use minijson::{ObjBuilder, Value};
+use uncertain_graph::UncertainGraph;
+
+use ugs_queries::engine::SampleMethod;
+
+use crate::service::{BatchPolicy, QueryService, ServiceError};
+use crate::spec::{optional_usize, QueryResult, QuerySpec, SpecError};
+
+/// A parsed query-plan document; see the [module docs](self) for the JSON
+/// shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Path of the graph to query, if the plan names one (the CLI lets a
+    /// positional argument override it).
+    pub graph: Option<String>,
+    /// Shared world budget (default 500).
+    pub worlds: usize,
+    /// Service workers the world budget is sharded across (default 1).
+    pub threads: usize,
+    /// World-sampling method (default [`SampleMethod::Auto`]).
+    pub mode: SampleMethod,
+    /// Service seed (default 42).
+    pub seed: u64,
+    /// The queries, answered in order.
+    pub queries: Vec<QuerySpec>,
+}
+
+/// Parses a `mode` string (`auto` | `skip` | `per-edge`).
+pub fn parse_mode(name: &str) -> Option<SampleMethod> {
+    match name {
+        "auto" => Some(SampleMethod::Auto),
+        "skip" => Some(SampleMethod::Skip),
+        "per-edge" | "peredge" => Some(SampleMethod::PerEdge),
+        _ => None,
+    }
+}
+
+/// The canonical name of a [`SampleMethod`] (inverse of [`parse_mode`]).
+pub fn mode_name(mode: SampleMethod) -> &'static str {
+    match mode {
+        SampleMethod::Auto => "auto",
+        SampleMethod::Skip => "skip",
+        SampleMethod::PerEdge => "per-edge",
+    }
+}
+
+impl QueryPlan {
+    /// Parses a plan document.
+    pub fn parse(value: &Value) -> Result<QueryPlan, SpecError> {
+        let graph = match value.get("graph") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| SpecError::Json("field \"graph\" must be a string".to_string()))?
+                    .to_string(),
+            ),
+        };
+        let worlds = optional_usize(value, "worlds", 500)?;
+        let threads = optional_usize(value, "threads", 1)?;
+        let mode = match value.get("mode") {
+            None => SampleMethod::Auto,
+            Some(v) => {
+                let name = v.as_str().ok_or_else(|| {
+                    SpecError::Json("field \"mode\" must be a string".to_string())
+                })?;
+                parse_mode(name).ok_or_else(|| {
+                    SpecError::Json(format!(
+                        "unknown mode {name:?}; expected auto|skip|per-edge"
+                    ))
+                })?
+            }
+        };
+        let seed = match value.get("seed") {
+            None => 42,
+            Some(v) => v.as_usize().ok_or_else(|| {
+                SpecError::Json("field \"seed\" must be a non-negative integer".to_string())
+            })? as u64,
+        };
+        let queries = value
+            .get("queries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| {
+                SpecError::Json("a plan requires an array field \"queries\"".to_string())
+            })?
+            .iter()
+            .map(QuerySpec::parse)
+            .collect::<Result<Vec<_>, _>>()?;
+        if queries.is_empty() {
+            return Err(SpecError::Json(
+                "a plan must contain at least one query".to_string(),
+            ));
+        }
+        Ok(QueryPlan {
+            graph,
+            worlds,
+            threads,
+            mode,
+            seed,
+            queries,
+        })
+    }
+
+    /// Parses a plan from a JSON string.
+    pub fn parse_str(json: &str) -> Result<QueryPlan, SpecError> {
+        let value = Value::parse(json).map_err(|e| SpecError::Json(e.to_string()))?;
+        Self::parse(&value)
+    }
+
+    /// Serialises the plan back to its JSON document.
+    pub fn to_json(&self) -> Value {
+        let mut builder = ObjBuilder::new();
+        if let Some(graph) = &self.graph {
+            builder = builder.field("graph", graph.as_str());
+        }
+        builder
+            .field("worlds", self.worlds)
+            .field("threads", self.threads)
+            .field("mode", mode_name(self.mode))
+            .field("seed", self.seed as usize)
+            .field(
+                "queries",
+                Value::Arr(self.queries.iter().map(QuerySpec::to_json).collect()),
+            )
+            .build()
+    }
+
+    /// Executes the plan against `graph` through a [`QueryService`]: one
+    /// micro-batch containing every query (shared sampled worlds), sharded
+    /// across [`QueryPlan::threads`] workers.  Results come back in plan
+    /// order.
+    pub fn execute(
+        &self,
+        graph: impl Into<Arc<UncertainGraph>>,
+    ) -> Vec<Result<QueryResult, ServiceError>> {
+        let policy = BatchPolicy {
+            // The whole plan is one arrival window: flush on the exact
+            // query count, with a timer that cannot fire first.
+            max_wait: Duration::from_secs(3600),
+            max_queries: self.queries.len(),
+            num_worlds: self.worlds,
+            threads: self.threads,
+            mode: self.mode,
+        };
+        let service = QueryService::start(graph, policy, self.seed);
+        let tickets: Vec<_> = self
+            .queries
+            .iter()
+            .map(|spec| service.submit(spec.clone()))
+            .collect();
+        let results = tickets.into_iter().map(|ticket| ticket.wait()).collect();
+        service.shutdown();
+        results
+    }
+
+    /// Executes the plan and renders the full JSON report the CLI prints:
+    /// the configuration, then one entry per query with its spec and its
+    /// result (or error).
+    pub fn run_report(&self, graph: impl Into<Arc<UncertainGraph>>, graph_label: &str) -> Value {
+        let results = self.execute(graph);
+        let entries = self
+            .queries
+            .iter()
+            .zip(&results)
+            .map(|(spec, outcome)| {
+                let entry = ObjBuilder::new().field("query", spec.to_json());
+                match outcome {
+                    Ok(result) => entry
+                        .field("status", "ok")
+                        .field("result", result.to_json())
+                        .build(),
+                    Err(error) => entry
+                        .field("status", "error")
+                        .field("error", error.to_string())
+                        .build(),
+                }
+            })
+            .collect();
+        ObjBuilder::new()
+            .field("graph", graph_label)
+            .field("worlds", self.worlds)
+            .field("threads", self.threads)
+            .field("mode", mode_name(self.mode))
+            .field("seed", self.seed as usize)
+            .field("results", Value::Arr(entries))
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_parse_with_defaults_and_round_trip() {
+        let plan = QueryPlan::parse_str(
+            r#"{"queries": [{"type": "connectivity"}, {"type": "knn", "source": 1, "k": 2}]}"#,
+        )
+        .unwrap();
+        assert_eq!(plan.graph, None);
+        assert_eq!(plan.worlds, 500);
+        assert_eq!(plan.threads, 1);
+        assert_eq!(plan.mode, SampleMethod::Auto);
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.queries.len(), 2);
+        let back = QueryPlan::parse(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        for bad in [
+            r#"{"queries": []}"#,
+            r#"{"worlds": 10}"#,
+            r#"{"queries": [{"type": "psychic"}]}"#,
+            r#"{"queries": [{"type": "pagerank"}], "mode": "psychic"}"#,
+            r#"{"queries": [{"type": "pagerank"}], "graph": 3}"#,
+        ] {
+            assert!(QueryPlan::parse_str(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn execute_answers_in_plan_order() {
+        let g = UncertainGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 0.5)]).unwrap();
+        let plan = QueryPlan::parse_str(
+            r#"{"worlds": 100, "seed": 3,
+                "queries": [{"type": "edge_frequency"}, {"type": "connectivity"}]}"#,
+        )
+        .unwrap();
+        let results = plan.execute(g);
+        assert!(matches!(results[0], Ok(QueryResult::EdgeFrequency(_))));
+        assert!(matches!(results[1], Ok(QueryResult::Connectivity(_))));
+    }
+
+    #[test]
+    fn run_report_is_deterministic_and_reports_errors_per_query() {
+        let g = UncertainGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 0.5)]).unwrap();
+        let plan = QueryPlan::parse_str(
+            r#"{"worlds": 60, "seed": 5, "threads": 2,
+                "queries": [{"type": "pagerank"}, {"type": "knn", "source": 99}]}"#,
+        )
+        .unwrap();
+        let report_a = plan.run_report(g.clone(), "toy").render();
+        let report_b = plan.run_report(g, "toy").render();
+        assert_eq!(report_a, report_b, "same plan, same report");
+        let doc = Value::parse(&report_a).unwrap();
+        let results = doc.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results[0].get_str("status"), Some("ok"));
+        assert_eq!(results[1].get_str("status"), Some("error"));
+        assert!(results[1]
+            .get_str("error")
+            .unwrap()
+            .contains("out of range"));
+    }
+}

@@ -1,0 +1,575 @@
+//! The long-lived, sharded, streaming query service over the batch driver.
+//!
+//! A [`QueryService`] owns one graph, one [`WorldEngine`] (the
+//! `O(|E| log |E|)` skip order and CSR template are built once per service,
+//! not once per query) and a pool of persistent worker threads sharing that
+//! engine, each with its own reusable [`ugs_queries::WorldScratch`].
+//! Submissions stream in over a channel as [`QuerySpec`]s; a scheduler
+//! thread groups them into **micro-batches** by arrival window
+//! ([`BatchPolicy`]) and runs each micro-batch as one shared sampling pass:
+//!
+//! * the scheduler draws **one** batch seed per micro-batch from its own
+//!   deterministic RNG stream (seeded at [`QueryService::start`]);
+//! * the **world budget** is sharded across the workers with the same
+//!   deterministic replay partitioning as
+//!   [`QueryBatch`](ugs_queries::QueryBatch): worker `w` re-derives the
+//!   shared world stream from the batch seed, skips past the worlds before
+//!   its contiguous block via [`WorldEngine::advance_world`] and observes
+//!   its own block, so the sampled world sequence is identical for every
+//!   worker count;
+//! * partial observers return over a channel and are merged in worker
+//!   (= world block) order with `WorldObserver::merge`, then redeemed
+//!   through the fallible
+//!   [`BatchResults::try_take_boxed`](ugs_queries::BatchResults::try_take_boxed)
+//!   path — a long-lived service must never panic on a redemption.
+//!
+//! Each submission hands back a [`ResultTicket`] that resolves to the
+//! query's [`QueryResult`] (or a [`ServiceError`]) once its micro-batch
+//! completes.
+//!
+//! ## Determinism
+//!
+//! For a fixed service seed, submission order and [`BatchPolicy`], results
+//! are reproducible **given the same micro-batch grouping**.  The grouping
+//! itself is deterministic when windows close on the
+//! [`BatchPolicy::max_queries`] count (submissions arrive faster than
+//! [`BatchPolicy::max_wait`], or `max_wait` is large); a window closed by
+//! the wall-clock timer may split differently on a loaded machine, moving
+//! queries into micro-batches with different seeds.  Batch-sensitive
+//! callers (the plan executor, the test suites) therefore use
+//! count-driven windows.  Within a micro-batch, count-valued accumulators
+//! are invariant to the worker count, and a 1-worker service in a
+//! sequential sampling mode is **bit-identical** to the legacy free
+//! functions: micro-batch `k` consumes the `k`-th `u64` of the service RNG
+//! stream, exactly like the `k`-th legacy call on a caller RNG seeded the
+//! same way (guarded by `tests/service_parity.rs`).
+
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uncertain_graph::UncertainGraph;
+
+use ugs_queries::batch::{BatchResults, BoxedObserver};
+use ugs_queries::engine::{SampleMethod, WorldEngine};
+
+use crate::spec::{QueryResult, QuerySpec, SpecError};
+
+/// How a [`QueryService`] forms and runs micro-batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// How long the scheduler waits for more submissions after the first
+    /// one of a window before running the micro-batch.
+    pub max_wait: Duration,
+    /// Submission count that flushes the window immediately (a micro-batch
+    /// never exceeds this many queries; `0` behaves as `1`).
+    pub max_queries: usize,
+    /// World budget of one micro-batch (shared by all its queries).
+    pub num_worlds: usize,
+    /// Number of persistent workers the world budget is sharded across.
+    pub threads: usize,
+    /// World-sampling method of every worker engine.
+    pub mode: SampleMethod,
+}
+
+impl Default for BatchPolicy {
+    /// 500 worlds, 1 worker, automatic sampling, windows of up to 8 queries
+    /// or 2 ms.
+    fn default() -> Self {
+        BatchPolicy {
+            max_wait: Duration::from_millis(2),
+            max_queries: 8,
+            num_worlds: 500,
+            threads: 1,
+            mode: SampleMethod::Auto,
+        }
+    }
+}
+
+/// Why a submission failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The spec did not validate against the service's graph.
+    Spec(SpecError),
+    /// The service shut down before answering.
+    Stopped,
+    /// An internal driver invariant broke (worker loss, redemption error).
+    Internal(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Spec(e) => write!(f, "{e}"),
+            ServiceError::Stopped => write!(f, "query service stopped before answering"),
+            ServiceError::Internal(m) => write!(f, "internal query service error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SpecError> for ServiceError {
+    fn from(e: SpecError) -> Self {
+        ServiceError::Spec(e)
+    }
+}
+
+/// Counters reported by [`QueryService::shutdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Micro-batches that ran (at least one valid query each).
+    pub micro_batches: usize,
+    /// Queries answered (including spec rejections).
+    pub queries: usize,
+    /// Queries rejected at validation ([`ServiceError::Spec`]).
+    pub rejected: usize,
+    /// Total worlds sampled across all micro-batches (per worker stream,
+    /// excluding replayed skips).
+    pub worlds_sampled: usize,
+}
+
+/// Resolves to the [`QueryResult`] of one submission.
+#[derive(Debug)]
+pub struct ResultTicket {
+    rx: Receiver<Result<QueryResult, ServiceError>>,
+}
+
+impl ResultTicket {
+    /// Blocks until the submission's micro-batch completes.
+    pub fn wait(self) -> Result<QueryResult, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Stopped))
+    }
+
+    /// Waits up to `timeout`; `None` means the result is not ready yet.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryResult, ServiceError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(ServiceError::Stopped)),
+        }
+    }
+}
+
+struct Submission {
+    spec: QuerySpec,
+    reply: Sender<Result<QueryResult, ServiceError>>,
+}
+
+struct WorkerJob {
+    /// Micro-batch sequence number, echoed back with the partial so the
+    /// scheduler can discard partials of an abandoned earlier batch.
+    seq: u64,
+    seed: u64,
+    skip: usize,
+    count: usize,
+    observers: Vec<BoxedObserver>,
+}
+
+/// A long-lived query service over one uncertain graph; see the
+/// [module docs](self) for the architecture and determinism contract.
+#[derive(Debug)]
+pub struct QueryService {
+    submit_tx: Option<Sender<Submission>>,
+    scheduler: Option<JoinHandle<ServiceStats>>,
+}
+
+impl QueryService {
+    /// Starts the service: spawns `policy.threads` persistent workers (each
+    /// building its own [`WorldEngine`] over the shared graph) plus the
+    /// micro-batching scheduler.  `seed` fixes the service's deterministic
+    /// batch-seed stream.
+    pub fn start(
+        graph: impl Into<Arc<UncertainGraph>>,
+        policy: BatchPolicy,
+        seed: u64,
+    ) -> QueryService {
+        let graph = graph.into();
+        let (submit_tx, submit_rx) = mpsc::channel();
+        let scheduler = std::thread::spawn(move || scheduler_loop(graph, policy, seed, submit_rx));
+        QueryService {
+            submit_tx: Some(submit_tx),
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Submits a query; the returned ticket resolves once the query's
+    /// micro-batch has run.  Submissions in one arrival window share the
+    /// window's sampled worlds.
+    pub fn submit(&self, spec: QuerySpec) -> ResultTicket {
+        let (reply, rx) = mpsc::channel();
+        if let Some(tx) = &self.submit_tx {
+            // A send error means the scheduler is gone; the dropped reply
+            // sender makes the ticket resolve to `ServiceError::Stopped`.
+            let _ = tx.send(Submission { spec, reply });
+        }
+        ResultTicket { rx }
+    }
+
+    /// Flushes the pending window, stops the workers and returns the run's
+    /// counters.  Outstanding tickets resolve before this returns.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.submit_tx.take();
+        self.scheduler
+            .take()
+            .and_then(|handle| handle.join().ok())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.submit_tx.take();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawns the persistent worker pool and drives the micro-batching loop
+/// until the submit channel disconnects.  The pool uses scoped threads so
+/// every worker shares **one** borrowed [`WorldEngine`] — the
+/// `O(|E| log |E|)` construction is paid once per service, exactly like
+/// `QueryBatch::run` sharing its engine by reference; only the per-thread
+/// scratch is per worker.
+fn scheduler_loop(
+    graph: Arc<UncertainGraph>,
+    policy: BatchPolicy,
+    seed: u64,
+    submit_rx: Receiver<Submission>,
+) -> ServiceStats {
+    let engine = WorldEngine::new(&graph).with_method(policy.mode);
+    let worker_count = policy.threads.max(1);
+    std::thread::scope(|scope| {
+        let mut job_txs = Vec::with_capacity(worker_count);
+        let mut partial_rxs = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let (job_tx, job_rx) = mpsc::channel::<WorkerJob>();
+            let (partial_tx, partial_rx) = mpsc::channel();
+            let engine = &engine;
+            scope.spawn(move || {
+                // Persistent per-worker state, reused across micro-batches.
+                let mut scratch = engine.make_scratch();
+                while let Ok(job) = job_rx.recv() {
+                    let WorkerJob {
+                        seq,
+                        seed,
+                        skip,
+                        count,
+                        mut observers,
+                    } = job;
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    for _ in 0..skip {
+                        engine.advance_world(&mut rng, &mut scratch);
+                    }
+                    for _ in 0..count {
+                        engine.sample_world(&mut rng, &mut scratch);
+                        for observer in observers.iter_mut() {
+                            observer.observe(&scratch);
+                        }
+                    }
+                    if partial_tx.send((seq, observers)).is_err() {
+                        break;
+                    }
+                }
+            });
+            job_txs.push(job_tx);
+            partial_rxs.push(partial_rx);
+        }
+        let scheduler = Scheduler {
+            graph: &graph,
+            policy,
+            rng: SmallRng::seed_from_u64(seed),
+            job_txs,
+            partial_rxs,
+            next_seq: 0,
+            stats: ServiceStats::default(),
+        };
+        // `run` consumes the scheduler, so the job senders drop on return,
+        // the workers' recv loops end, and the scope joins them.
+        scheduler.run(submit_rx)
+    })
+}
+
+struct Scheduler<'e> {
+    graph: &'e UncertainGraph,
+    policy: BatchPolicy,
+    rng: SmallRng,
+    job_txs: Vec<Sender<WorkerJob>>,
+    /// One partial channel **per worker**: a dead worker disconnects its own
+    /// channel, so the scheduler notices immediately instead of blocking on
+    /// a shared receiver that stays open while any worker lives.
+    partial_rxs: Vec<Receiver<(u64, Vec<BoxedObserver>)>>,
+    /// Sequence number of the next micro-batch (tags jobs and partials).
+    next_seq: u64,
+    stats: ServiceStats,
+}
+
+impl Scheduler<'_> {
+    fn run(mut self, submit_rx: Receiver<Submission>) -> ServiceStats {
+        let max_queries = self.policy.max_queries.max(1);
+        let mut pending: Vec<Submission> = Vec::new();
+        let mut window_start = Instant::now();
+        loop {
+            if pending.len() >= max_queries {
+                self.flush(&mut pending);
+                continue;
+            }
+            if pending.is_empty() {
+                match submit_rx.recv() {
+                    Ok(submission) => {
+                        window_start = Instant::now();
+                        pending.push(submission);
+                    }
+                    Err(_) => break,
+                }
+                continue;
+            }
+            let elapsed = window_start.elapsed();
+            if elapsed >= self.policy.max_wait {
+                self.flush(&mut pending);
+                continue;
+            }
+            match submit_rx.recv_timeout(self.policy.max_wait - elapsed) {
+                Ok(submission) => pending.push(submission),
+                Err(RecvTimeoutError::Timeout) => self.flush(&mut pending),
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.flush(&mut pending);
+        self.stats
+    }
+
+    /// Runs one micro-batch: validates the pending specs, shards the world
+    /// budget across the workers, merges the partial observers in worker
+    /// order and resolves every ticket.
+    fn flush(&mut self, pending: &mut Vec<Submission>) {
+        if pending.is_empty() {
+            return;
+        }
+        self.stats.queries += pending.len();
+        let mut submissions: Vec<Submission> = Vec::with_capacity(pending.len());
+        let mut observers: Vec<BoxedObserver> = Vec::with_capacity(pending.len());
+        for submission in pending.drain(..) {
+            match submission.spec.make_observer(self.graph) {
+                Ok(observer) => {
+                    submissions.push(submission);
+                    observers.push(observer);
+                }
+                Err(error) => {
+                    self.stats.rejected += 1;
+                    let _ = submission.reply.send(Err(ServiceError::Spec(error)));
+                }
+            }
+        }
+        if submissions.is_empty() {
+            return;
+        }
+        self.stats.micro_batches += 1;
+        let num_worlds = self.policy.num_worlds;
+        let merged = if num_worlds == 0 {
+            observers
+        } else {
+            // One batch seed per micro-batch, mirroring `QueryBatch::run`'s
+            // single caller-RNG draw; the same replay partitioning formula
+            // keeps the sampled world sequence worker-count-invariant.
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let seed = self.rng.gen::<u64>();
+            let workers = self.job_txs.len().clamp(1, num_worlds);
+            let base = num_worlds / workers;
+            let extra = num_worlds % workers;
+            for (idx, job_tx) in self.job_txs.iter().take(workers).enumerate() {
+                let job = WorkerJob {
+                    seq,
+                    seed,
+                    skip: base * idx + idx.min(extra),
+                    count: base + usize::from(idx < extra),
+                    // The last worker takes the registry itself; only the
+                    // earlier workers get clones.
+                    observers: if idx + 1 == workers {
+                        std::mem::take(&mut observers)
+                    } else {
+                        observers.clone()
+                    },
+                };
+                if job_tx.send(job).is_err() {
+                    fail_batch(submissions, "a worker thread is gone");
+                    return;
+                }
+            }
+            // Collect in worker (= world block) order, merging as we go.
+            // Each worker's own channel disconnects if it dies, so a lost
+            // worker fails the batch immediately instead of hanging the
+            // scheduler; partials tagged with an older sequence belong to a
+            // batch that was abandoned after this worker was already sent
+            // its job, and are discarded.
+            let mut merged: Option<Vec<BoxedObserver>> = None;
+            for partial_rx in self.partial_rxs.iter().take(workers) {
+                let partial = loop {
+                    match partial_rx.recv() {
+                        Ok((partial_seq, partial)) if partial_seq == seq => break partial,
+                        Ok(_) => continue, // stale partial of an abandoned batch
+                        Err(_) => {
+                            fail_batch(submissions, "a worker thread died mid-batch");
+                            return;
+                        }
+                    }
+                };
+                match merged.as_mut() {
+                    None => merged = Some(partial),
+                    Some(merged) => {
+                        for (into, other) in merged.iter_mut().zip(partial) {
+                            into.merge(other);
+                        }
+                    }
+                }
+            }
+            self.stats.worlds_sampled += num_worlds;
+            merged.expect("at least one worker ran")
+        };
+        let (mut results, handles) = BatchResults::from_merged(merged, num_worlds);
+        for (submission, handle) in submissions.into_iter().zip(handles) {
+            let reply = match results.try_take_boxed(handle) {
+                Ok(output) => match submission.spec.result_of(output) {
+                    Some(result) => Ok(result),
+                    None => Err(ServiceError::Internal(
+                        "observer output did not match its spec".to_string(),
+                    )),
+                },
+                Err(error) => Err(ServiceError::Internal(error.to_string())),
+            };
+            let _ = submission.reply.send(reply);
+        }
+    }
+}
+
+/// Resolves every ticket of an abandoned micro-batch with an internal error.
+fn fail_batch(submissions: Vec<Submission>, reason: &str) {
+    for submission in submissions {
+        let _ = submission
+            .reply
+            .send(Err(ServiceError::Internal(reason.to_string())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> UncertainGraph {
+        UncertainGraph::from_edges(4, [(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.7)]).unwrap()
+    }
+
+    fn policy(num_worlds: usize, threads: usize) -> BatchPolicy {
+        BatchPolicy {
+            num_worlds,
+            threads,
+            ..BatchPolicy::default()
+        }
+    }
+
+    #[test]
+    fn submissions_resolve_to_their_typed_results() {
+        let service = QueryService::start(toy(), policy(300, 2), 7);
+        let connectivity = service.submit(QuerySpec::Connectivity);
+        let frequencies = service.submit(QuerySpec::EdgeFrequency);
+        match connectivity.wait().unwrap() {
+            QueryResult::Connectivity(estimate) => {
+                assert!(estimate.probability_connected <= 1.0);
+                assert_eq!(estimate.num_worlds, 300);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        match frequencies.wait().unwrap() {
+            QueryResult::EdgeFrequency(freq) => {
+                assert_eq!(freq.len(), 3);
+                assert!((freq[0] - 0.9).abs() < 0.1);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.micro_batches >= 1);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_without_killing_the_batch() {
+        let service = QueryService::start(toy(), policy(50, 1), 1);
+        let bad = service.submit(QuerySpec::Knn { source: 99, k: 3 });
+        let good = service.submit(QuerySpec::Connectivity);
+        assert!(matches!(bad.wait(), Err(ServiceError::Spec(_))));
+        assert!(good.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.queries, 2);
+    }
+
+    #[test]
+    fn shutdown_flushes_the_pending_window() {
+        // A huge arrival window: only the shutdown flush can answer these.
+        let service = QueryService::start(
+            toy(),
+            BatchPolicy {
+                max_wait: Duration::from_secs(3600),
+                max_queries: 1000,
+                ..policy(40, 1)
+            },
+            3,
+        );
+        let tickets: Vec<_> = (0..5)
+            .map(|_| service.submit(QuerySpec::DegreeHistogram))
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.queries, 5);
+        assert_eq!(stats.micro_batches, 1, "one flush for the whole window");
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_world_batches_finalise_empty_results() {
+        let service = QueryService::start(toy(), policy(0, 2), 5);
+        let ticket = service.submit(QuerySpec::EdgeFrequency);
+        match ticket.wait().unwrap() {
+            QueryResult::EdgeFrequency(freq) => assert_eq!(freq, vec![0.0; 3]),
+            other => panic!("unexpected result {other:?}"),
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.worlds_sampled, 0);
+    }
+
+    #[test]
+    fn max_queries_bounds_every_micro_batch() {
+        let service = QueryService::start(
+            toy(),
+            BatchPolicy {
+                max_wait: Duration::from_secs(3600),
+                max_queries: 2,
+                ..policy(30, 1)
+            },
+            9,
+        );
+        let tickets: Vec<_> = (0..6)
+            .map(|_| service.submit(QuerySpec::Connectivity))
+            .collect();
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.micro_batches, 3, "6 submissions in windows of 2");
+    }
+
+    #[test]
+    fn tickets_outlive_a_dropped_service() {
+        let service = QueryService::start(toy(), policy(20, 1), 11);
+        let ticket = service.submit(QuerySpec::Clustering);
+        drop(service); // shuts down; the flush still answers the ticket
+        assert!(ticket.wait().is_ok());
+    }
+}

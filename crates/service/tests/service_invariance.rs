@@ -1,0 +1,170 @@
+//! Merge-tree invariance of the sharded service: for a fixed batch seed,
+//! count-based observers must produce **bit-identical** results whatever
+//! the worker count, because every worker re-derives the same world stream
+//! from the shared seed (replay partitioning) and count merges are
+//! associative over integers.  Property-style: checked over worker counts
+//! ∈ {1, 2, 4}, both explicit sampling modes and several seeds — and
+//! cross-checked against the in-process `QueryBatch` sharding with the same
+//! thread count.
+
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uncertain_graph::UncertainGraph;
+
+use ugs_queries::prelude::*;
+use ugs_service::{BatchPolicy, QueryResult, QueryService, QuerySpec};
+
+const SEEDS: [u64; 3] = [7, 0xBAD_CAFE, 123_456_789];
+const MODES: [SampleMethod; 2] = [SampleMethod::Skip, SampleMethod::PerEdge];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const WORLDS: usize = 500;
+
+fn fixture() -> UncertainGraph {
+    UncertainGraph::from_edges(
+        8,
+        [
+            (0, 1, 0.9),
+            (1, 2, 0.7),
+            (2, 3, 0.5),
+            (3, 4, 0.3),
+            (4, 5, 0.2),
+            (5, 6, 0.6),
+            (6, 7, 0.4),
+            (7, 0, 0.8),
+            (0, 4, 0.15),
+            (2, 6, 0.35),
+        ],
+    )
+    .unwrap()
+}
+
+/// The count-based query mix: edge frequencies, the degree histogram, the
+/// connectivity tallies and the pair reliabilities are all derived from
+/// per-world 0/1 or integer counts.
+fn count_mix() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::EdgeFrequency,
+        QuerySpec::DegreeHistogram,
+        QuerySpec::Connectivity,
+        QuerySpec::PairQueries {
+            pairs: vec![(0, 3), (2, 7), (5, 1), (4, 4)],
+        },
+    ]
+}
+
+fn run_service(
+    g: &UncertainGraph,
+    mode: SampleMethod,
+    seed: u64,
+    workers: usize,
+) -> Vec<QueryResult> {
+    let mix = count_mix();
+    let service = QueryService::start(
+        g.clone(),
+        BatchPolicy {
+            max_wait: Duration::from_secs(3600),
+            max_queries: mix.len(),
+            num_worlds: WORLDS,
+            threads: workers,
+            mode,
+        },
+        seed,
+    );
+    let tickets: Vec<_> = mix.into_iter().map(|spec| service.submit(spec)).collect();
+    tickets
+        .into_iter()
+        .map(|ticket| ticket.wait().expect("count mix must succeed"))
+        .collect()
+}
+
+#[test]
+fn count_observers_are_bit_identical_across_worker_counts() {
+    let g = fixture();
+    for mode in MODES {
+        for seed in SEEDS {
+            let reference = run_service(&g, mode, seed, WORKER_COUNTS[0]);
+            for &workers in &WORKER_COUNTS[1..] {
+                let sharded = run_service(&g, mode, seed, workers);
+                let what = format!("{mode:?} seed {seed} workers {workers}");
+                assert_eq!(
+                    reference, sharded,
+                    "{what}: sharding changed a count observer"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_service_shards_exactly_like_query_batch() {
+    // Same seed, same thread count: the service's persistent worker pool
+    // must reproduce the scoped-thread QueryBatch sharding bit for bit
+    // (count observers are exact; the partition formula and merge order are
+    // shared).
+    let g = fixture();
+    for mode in MODES {
+        for &threads in &WORKER_COUNTS {
+            let seed = 99;
+            let mc = MonteCarlo::worlds(WORLDS)
+                .with_method(mode)
+                .with_threads(threads);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut batch = QueryBatch::new(&g, &mc);
+            let h_freq = batch.register(EdgeFrequencyObserver::new(&g));
+            let h_hist = batch.register(DegreeHistogramObserver::new(&g));
+            let mut results = batch.run(&mut rng);
+            let batch_freq = results.take(h_freq);
+            let batch_hist = results.take(h_hist);
+
+            let service = QueryService::start(
+                g.clone(),
+                BatchPolicy {
+                    max_wait: Duration::from_secs(3600),
+                    max_queries: 2,
+                    num_worlds: WORLDS,
+                    threads,
+                    mode,
+                },
+                seed,
+            );
+            let t_freq = service.submit(QuerySpec::EdgeFrequency);
+            let t_hist = service.submit(QuerySpec::DegreeHistogram);
+            let what = format!("{mode:?} threads {threads}");
+            assert_eq!(
+                t_freq.wait().unwrap(),
+                QueryResult::EdgeFrequency(batch_freq),
+                "{what}"
+            );
+            assert_eq!(
+                t_hist.wait().unwrap(),
+                QueryResult::DegreeHistogram(batch_hist),
+                "{what}"
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_counts_beyond_the_world_budget_degrade_gracefully() {
+    // More workers than worlds: the world budget clamps, idle workers get
+    // no job, and the counts still match the 1-worker run.
+    let g = fixture();
+    let run = |workers: usize| {
+        let service = QueryService::start(
+            g.clone(),
+            BatchPolicy {
+                max_wait: Duration::from_secs(3600),
+                max_queries: 1,
+                num_worlds: 3,
+                threads: workers,
+                mode: SampleMethod::Skip,
+            },
+            5,
+        );
+        let ticket = service.submit(QuerySpec::EdgeFrequency);
+        ticket.wait().unwrap()
+    };
+    assert_eq!(run(1), run(8));
+}

@@ -1,0 +1,241 @@
+//! Parity suite for the streaming service — the service-level extension of
+//! `crates/queries/tests/batch_parity.rs`.
+//!
+//! Contract under test (the PR 3 acceptance bar): every query surface is
+//! expressible as a [`QuerySpec`] and, run through a [`QueryService`] with
+//! **one worker** in a **sequential sampling mode**, returns results
+//! **bit-identical** to the legacy free functions.  The seed discipline
+//! makes this exact: legacy call `k` on a caller RNG seeded with `s` uses
+//! the RNG's `k`-th `u64` draw as its batch seed, and micro-batch `k` of a
+//! service started with seed `s` uses the `k`-th draw of the service's own
+//! stream — the same stream.  (`batch_parity.rs` proves the legacy free
+//! functions are themselves bit-identical to the pre-batch driver, so the
+//! oracle chain reaches all the way back.)
+//!
+//! A second suite checks the mixed micro-batch against a [`QueryBatch`]
+//! with the same observers: sharing one arrival window must equal sharing
+//! one registry.
+
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uncertain_graph::UncertainGraph;
+
+use ugs_queries::prelude::*;
+use ugs_service::{BatchPolicy, QueryResult, QueryService, QuerySpec};
+
+const SEEDS: [u64; 3] = [1, 0xDEAD_BEEF, 9_999_999_999];
+const MODES: [SampleMethod; 2] = [SampleMethod::Skip, SampleMethod::PerEdge];
+const WORLDS: usize = 400;
+
+fn fixture() -> UncertainGraph {
+    // The batch_parity fixture: plateaus for the skip sampler's exact fast
+    // path, heterogeneous tails for the thinning path, one certain edge.
+    UncertainGraph::from_edges(
+        10,
+        [
+            (0, 1, 0.9),
+            (1, 2, 0.8),
+            (2, 3, 0.7),
+            (3, 4, 0.6),
+            (4, 5, 0.5),
+            (5, 6, 0.4),
+            (6, 7, 0.3),
+            (7, 8, 0.2),
+            (8, 9, 0.1),
+            (9, 0, 1.0),
+            (0, 5, 0.25),
+            (1, 6, 0.25),
+            (2, 7, 0.25),
+            (3, 8, 0.05),
+        ],
+    )
+    .unwrap()
+}
+
+fn pairs() -> Vec<(usize, usize)> {
+    vec![(0, 4), (0, 9), (3, 8), (5, 1), (2, 2)]
+}
+
+/// One query per micro-batch: micro-batch `k` draws the service stream's
+/// `k`-th seed, exactly like the `k`-th legacy call on a shared caller RNG.
+fn one_query_windows(mode: SampleMethod) -> BatchPolicy {
+    BatchPolicy {
+        max_wait: Duration::from_secs(3600),
+        max_queries: 1,
+        num_worlds: WORLDS,
+        threads: 1,
+        mode,
+    }
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}]: {x} vs {y} differ bitwise"
+        );
+    }
+}
+
+#[test]
+fn every_query_surface_is_bit_identical_to_the_legacy_free_functions() {
+    let g = fixture();
+    let pairs = pairs();
+    for mode in MODES {
+        for seed in SEEDS {
+            // Legacy: six free-function calls sharing one caller RNG.
+            let mc = MonteCarlo::worlds(WORLDS).with_method(mode);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let legacy_pr = expected_pagerank(&g, &mc, &mut rng);
+            let legacy_cc = expected_clustering_coefficients(&g, &mc, &mut rng);
+            let legacy_pairs = pair_queries(&g, &pairs, &mc, &mut rng);
+            let legacy_conn = connectivity_query(&g, &mc, &mut rng);
+            let legacy_hist = ugs_queries::expected_degree_histogram(&g, &mc, &mut rng);
+            let legacy_knn = k_nearest_neighbors(&g, 0, 5, &mc, &mut rng);
+
+            // Service: six submissions, one query per micro-batch, in the
+            // same order.
+            let service = QueryService::start(g.clone(), one_query_windows(mode), seed);
+            let t_pr = service.submit(QuerySpec::pagerank());
+            let t_cc = service.submit(QuerySpec::Clustering);
+            let t_pairs = service.submit(QuerySpec::PairQueries {
+                pairs: pairs.clone(),
+            });
+            let t_conn = service.submit(QuerySpec::Connectivity);
+            let t_hist = service.submit(QuerySpec::DegreeHistogram);
+            let t_knn = service.submit(QuerySpec::Knn { source: 0, k: 5 });
+
+            let what = format!("{mode:?} seed {seed}");
+            match t_pr.wait().unwrap() {
+                QueryResult::PageRank(scores) => {
+                    assert_bits_eq(&scores, &legacy_pr, &format!("pagerank {what}"))
+                }
+                other => panic!("unexpected result {other:?}"),
+            }
+            match t_cc.wait().unwrap() {
+                QueryResult::Clustering(scores) => {
+                    assert_bits_eq(&scores, &legacy_cc, &format!("clustering {what}"))
+                }
+                other => panic!("unexpected result {other:?}"),
+            }
+            match t_pairs.wait().unwrap() {
+                QueryResult::PairQueries(result) => {
+                    assert_eq!(result.pairs, legacy_pairs.pairs, "{what}");
+                    assert_eq!(
+                        result.connected_worlds, legacy_pairs.connected_worlds,
+                        "{what}"
+                    );
+                    assert_eq!(result.num_worlds, legacy_pairs.num_worlds, "{what}");
+                    assert_bits_eq(
+                        &result.reliability,
+                        &legacy_pairs.reliability,
+                        &format!("reliability {what}"),
+                    );
+                    for (x, y) in result
+                        .mean_distance
+                        .iter()
+                        .zip(legacy_pairs.mean_distance.iter())
+                    {
+                        // NaN-aware bitwise comparison.
+                        assert_eq!(x.to_bits(), y.to_bits(), "{what}: {x} vs {y}");
+                    }
+                }
+                other => panic!("unexpected result {other:?}"),
+            }
+            match t_conn.wait().unwrap() {
+                QueryResult::Connectivity(estimate) => {
+                    assert_bits_eq(
+                        &[
+                            estimate.expected_components,
+                            estimate.expected_largest_component,
+                            estimate.probability_connected,
+                            estimate.expected_isolated_fraction,
+                        ],
+                        &[
+                            legacy_conn.expected_components,
+                            legacy_conn.expected_largest_component,
+                            legacy_conn.probability_connected,
+                            legacy_conn.expected_isolated_fraction,
+                        ],
+                        &format!("connectivity {what}"),
+                    );
+                    assert_eq!(estimate.num_worlds, legacy_conn.num_worlds, "{what}");
+                }
+                other => panic!("unexpected result {other:?}"),
+            }
+            match t_hist.wait().unwrap() {
+                QueryResult::DegreeHistogram(histogram) => {
+                    assert_bits_eq(&histogram, &legacy_hist, &format!("histogram {what}"))
+                }
+                other => panic!("unexpected result {other:?}"),
+            }
+            match t_knn.wait().unwrap() {
+                QueryResult::Knn(neighbors) => {
+                    assert_eq!(neighbors.len(), legacy_knn.len(), "{what}");
+                    for (a, b) in neighbors.iter().zip(legacy_knn.iter()) {
+                        assert_eq!(a.vertex, b.vertex, "{what}");
+                        assert_eq!(
+                            a.expected_distance.to_bits(),
+                            b.expected_distance.to_bits(),
+                            "{what}"
+                        );
+                        assert_eq!(a.reachability.to_bits(), b.reachability.to_bits(), "{what}");
+                    }
+                }
+                other => panic!("unexpected result {other:?}"),
+            }
+            let stats = service.shutdown();
+            assert_eq!(stats.micro_batches, 6, "{what}: one window per query");
+        }
+    }
+}
+
+#[test]
+fn a_mixed_micro_batch_equals_one_query_batch_with_the_same_observers() {
+    // All queries in ONE arrival window must see exactly the worlds a
+    // single QueryBatch with the same registry samples from the same seed.
+    let g = fixture();
+    for mode in MODES {
+        let seed = 21;
+        let mc = MonteCarlo::worlds(WORLDS).with_method(mode);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut batch = QueryBatch::new(&g, &mc);
+        let h_pr = batch.register(PageRankObserver::new(&g));
+        let h_freq = batch.register(EdgeFrequencyObserver::new(&g));
+        let mut results = batch.run(&mut rng);
+        let batch_pr = results.take(h_pr);
+        let batch_freq = results.take(h_freq);
+
+        let service = QueryService::start(
+            g.clone(),
+            BatchPolicy {
+                max_wait: Duration::from_secs(3600),
+                max_queries: 2,
+                num_worlds: WORLDS,
+                threads: 1,
+                mode,
+            },
+            seed,
+        );
+        let t_pr = service.submit(QuerySpec::pagerank());
+        let t_freq = service.submit(QuerySpec::EdgeFrequency);
+        match t_pr.wait().unwrap() {
+            QueryResult::PageRank(scores) => {
+                assert_bits_eq(&scores, &batch_pr, &format!("pagerank {mode:?}"))
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        match t_freq.wait().unwrap() {
+            QueryResult::EdgeFrequency(freq) => {
+                assert_bits_eq(&freq, &batch_freq, &format!("frequencies {mode:?}"))
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.micro_batches, 1, "{mode:?}: one shared window");
+    }
+}

@@ -1,0 +1,83 @@
+//! JSON round-trip suite for [`QuerySpec`] (and the [`QueryPlan`] document
+//! that embeds them): `parse(to_json(spec)) == spec` for every variant, the
+//! parameters survive exactly, and malformed documents fail with a
+//! [`SpecError`] instead of panicking.
+
+use ugs_service::{QueryPlan, QuerySpec, SpecError};
+
+fn all_variants() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::pagerank(),
+        QuerySpec::PageRank {
+            damping: 0.5,
+            max_iterations: 7,
+            tolerance: 1e-6,
+        },
+        QuerySpec::Clustering,
+        QuerySpec::PairQueries {
+            pairs: vec![(0, 1), (5, 2), (3, 3)],
+        },
+        QuerySpec::PairQueries { pairs: vec![] },
+        QuerySpec::Connectivity,
+        QuerySpec::DegreeHistogram,
+        QuerySpec::Knn { source: 4, k: 3 },
+        QuerySpec::EdgeFrequency,
+    ]
+}
+
+#[test]
+fn every_variant_round_trips_through_json() {
+    for spec in all_variants() {
+        let json = spec.to_json();
+        let back = QuerySpec::parse(&json).unwrap_or_else(|e| panic!("{json:?}: {e}"));
+        assert_eq!(back, spec, "{json:?}");
+        // And through the rendered string, i.e. the actual wire format.
+        let rendered = json.render();
+        let reparsed = QuerySpec::parse_str(&rendered).unwrap();
+        assert_eq!(reparsed, spec, "{rendered}");
+    }
+}
+
+#[test]
+fn the_type_field_matches_the_kind() {
+    for spec in all_variants() {
+        assert_eq!(spec.to_json().get_str("type"), Some(spec.kind()));
+    }
+}
+
+#[test]
+fn plans_round_trip_with_their_embedded_specs() {
+    let plan = QueryPlan {
+        graph: Some("graph.txt".to_string()),
+        worlds: 123,
+        threads: 4,
+        mode: ugs_queries::SampleMethod::PerEdge,
+        seed: 77,
+        queries: all_variants(),
+    };
+    let back = QueryPlan::parse(&plan.to_json()).unwrap();
+    assert_eq!(back, plan);
+    let back = QueryPlan::parse_str(&plan.to_json().render()).unwrap();
+    assert_eq!(back, plan);
+}
+
+#[test]
+fn malformed_documents_fail_with_spec_errors() {
+    for bad in [
+        "",
+        "{",
+        "[]",
+        r#""pagerank""#,
+        r#"{"type": 3}"#,
+        r#"{"type": "knn", "source": -1}"#,
+        r#"{"type": "knn", "source": 0, "k": 1.5}"#,
+        r#"{"type": "pagerank", "max_iterations": -2}"#,
+        r#"{"type": "pair_queries", "pairs": "all"}"#,
+        r#"{"type": "pair_queries", "pairs": [[0, 1, 2]]}"#,
+    ] {
+        match QuerySpec::parse_str(bad) {
+            Err(SpecError::Json(_)) => {}
+            other => panic!("{bad:?}: expected SpecError::Json, got {other:?}"),
+        }
+    }
+}

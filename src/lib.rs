@@ -22,6 +22,7 @@
 //! | [`sparsify`] | `ugs-core` | backbone initialisation, `GDB`, `EMD`, LP assignment, `SparsifierSpec` |
 //! | [`baselines`] | `ugs-baselines` | the `NI` and `SS` baselines adapted from deterministic sparsification |
 //! | [`queries`] | `ugs-queries` | zero-allocation Monte-Carlo world engine, queries, estimator variance |
+//! | [`service`] | `ugs-service` | `QuerySpec`/`QueryResult` data API, JSON query plans, sharded streaming `QueryService` |
 //! | [`metrics`] | `ugs-metrics` | degree/cut discrepancy MAE, relative entropy, earth mover's distance |
 //! | [`datasets`] | `ugs-datasets` | Flickr/Twitter-shaped generators, density sweep, Forest Fire sampling |
 //!
@@ -86,6 +87,7 @@ pub use ugs_core as sparsify;
 pub use ugs_datasets as datasets;
 pub use ugs_metrics as metrics;
 pub use ugs_queries as queries;
+pub use ugs_service as service;
 pub use uncertain_graph as graph;
 
 /// The most commonly used items from every crate in the workspace.
@@ -96,5 +98,8 @@ pub mod prelude {
     pub use ugs_datasets::prelude::*;
     pub use ugs_metrics::prelude::*;
     pub use ugs_queries::prelude::*;
+    pub use ugs_service::{
+        BatchPolicy, QueryPlan, QueryResult, QueryService, QuerySpec, ResultTicket,
+    };
     pub use uncertain_graph::prelude::*;
 }

@@ -272,6 +272,88 @@ fn cli_batch_command_emits_a_deterministic_json_snapshot() {
 }
 
 #[test]
+fn cli_plan_command_executes_a_mixed_plan_with_a_snapshot_report() {
+    // The acceptance path of the query-plan redesign: a JSON plan file with
+    // a mixed 4-query workload runs end-to-end through `ugs plan` (QuerySpec
+    // parsing → QueryService micro-batch → JSON report) and the report is a
+    // snapshot: byte-identical across runs, closed-form values recovered.
+    use ugs_cli::args::ParsedArgs;
+    use ugs_cli::commands;
+
+    let g = UncertainGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 0.5)])
+        .unwrap();
+    let dir = std::env::temp_dir().join("ugs-e2e-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join(format!("{}-plan-fixture.txt", std::process::id()));
+    ugs::graph::io::write_text_file(&g, &graph_path).unwrap();
+    let plan_path = dir.join(format!("{}-plan.json", std::process::id()));
+    std::fs::write(
+        &plan_path,
+        format!(
+            r#"{{"graph": {:?}, "worlds": 200, "threads": 2, "mode": "skip", "seed": 7,
+                "queries": [
+                  {{"type": "pagerank"}},
+                  {{"type": "connectivity"}},
+                  {{"type": "knn", "source": 0, "k": 4}},
+                  {{"type": "edge_frequency"}}
+                ]}}"#,
+            graph_path.to_string_lossy()
+        ),
+    )
+    .unwrap();
+
+    let args = ParsedArgs::parse(["plan", plan_path.to_string_lossy().as_ref()]).unwrap();
+    let report = commands::run(&args).unwrap();
+    assert_eq!(
+        report,
+        commands::run(&args).unwrap(),
+        "snapshot must be stable"
+    );
+
+    let doc = minijson::Value::parse(&report).expect("report must be valid JSON");
+    assert_eq!(doc.get_usize("worlds"), Some(200));
+    assert_eq!(doc.get_usize("threads"), Some(2));
+    assert_eq!(doc.get_str("mode"), Some("skip"));
+    let results = doc.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 4);
+    for entry in results {
+        assert_eq!(entry.get_str("status"), Some("ok"), "{report}");
+    }
+
+    // The certain 3-path keeps the graph connected in every world.
+    let connectivity = results[1].get("result").unwrap();
+    assert_eq!(connectivity.get_str("type"), Some("connectivity"));
+    assert_eq!(connectivity.get_f64("probability_connected"), Some(1.0));
+    assert_eq!(connectivity.get_f64("expected_components"), Some(1.0));
+
+    // PageRank sums to 1 across the 4 vertices.
+    let pagerank = results[0].get("result").unwrap();
+    let scores = pagerank.get("scores").unwrap().as_array().unwrap();
+    assert_eq!(scores.len(), 4);
+    let total: f64 = scores.iter().filter_map(minijson::Value::as_f64).sum();
+    assert!((total - 1.0).abs() < 1e-9, "PageRank sums to {total}");
+
+    // k-NN from vertex 0: vertex 1 is always one hop away.
+    let knn = results[2].get("result").unwrap();
+    let neighbors = knn.get("neighbors").unwrap().as_array().unwrap();
+    assert_eq!(neighbors[0].get_usize("vertex"), Some(1));
+    assert_eq!(neighbors[0].get_f64("expected_distance"), Some(1.0));
+
+    // Certain edges have frequency exactly 1; the chord is near 0.5.
+    let frequencies = results[3].get("result").unwrap();
+    let freq = frequencies.get("frequencies").unwrap().as_array().unwrap();
+    assert_eq!(freq.len(), 4);
+    for index in [0usize, 1, 2] {
+        assert_eq!(freq[index].as_f64(), Some(1.0));
+    }
+    let chord = freq[3].as_f64().unwrap();
+    assert!((chord - 0.5).abs() < 0.12, "chord frequency {chord}");
+
+    std::fs::remove_file(&graph_path).ok();
+    std::fs::remove_file(&plan_path).ok();
+}
+
+#[test]
 fn graph_io_round_trips_through_all_formats() {
     let g = flickr_tiny(6);
     // text
