@@ -28,7 +28,7 @@ use uncertain_graph::{EdgeId, UncertainGraph};
 use crate::common::resize_selection;
 use graph_algos::UnionFind;
 use ugs_core::backbone::target_edge_count;
-use ugs_core::spec::{materialize, Diagnostics, Sparsifier, SparsifyOutput};
+use ugs_core::spec::{materialize, Diagnostics, PhaseTimings, Sparsifier, SparsifyOutput};
 use ugs_core::SparsifyError;
 
 /// Configuration of the `NI` baseline.
@@ -175,6 +175,7 @@ impl NagamochiIbaraki {
             entropy_original: g.entropy(),
             entropy_sparsified: graph.entropy(),
             elapsed: start.elapsed(),
+            phases: PhaseTimings::default(),
         };
         Ok(SparsifyOutput { graph, diagnostics })
     }

@@ -18,7 +18,7 @@ use uncertain_graph::{EdgeId, UncertainGraph};
 
 use crate::common::resize_selection;
 use ugs_core::backbone::target_edge_count;
-use ugs_core::spec::{materialize, Diagnostics, Sparsifier, SparsifyOutput};
+use ugs_core::spec::{materialize, Diagnostics, PhaseTimings, Sparsifier, SparsifyOutput};
 use ugs_core::SparsifyError;
 
 /// Configuration of the `SS` baseline.
@@ -117,6 +117,7 @@ impl SpannerSparsifier {
             entropy_original: g.entropy(),
             entropy_sparsified: graph.entropy(),
             elapsed: start.elapsed(),
+            phases: PhaseTimings::default(),
         };
         Ok(SparsifyOutput { graph, diagnostics })
     }

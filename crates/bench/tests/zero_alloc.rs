@@ -15,6 +15,7 @@ use rand::SeedableRng;
 use uncertain_graph::{UncertainGraph, WorldSampler};
 
 use graph_algos::DeterministicGraph;
+use ugs_core::prelude::*;
 use ugs_queries::batch::{EdgeFrequencyObserver, QueryBatch};
 use ugs_queries::components::DegreeHistogramObserver;
 use ugs_queries::engine::{SampleMethod, WorldEngine};
@@ -170,6 +171,122 @@ fn batch_driver_steady_state_is_zero_allocation_with_two_observers() {
     }
 }
 
+/// A fixed backbone over a *heterogeneous* ring-plus-chords graph for the
+/// sparsifier phases.  The varied probabilities keep the optimisers from
+/// converging bitwise within the iteration caps (uniform probabilities make
+/// the toy graph so symmetric that `EMD` reaches an exact fixed point in two
+/// rounds, which would void the long-vs-short proof).
+fn sparsifier_fixture(alpha: f64) -> (uncertain_graph::UncertainGraph, Vec<usize>) {
+    let n = 64usize;
+    let mut edges = Vec::new();
+    let p_of = |index: usize| 0.1 + 0.8 * ((index * 7919 % 97) as f64 / 97.0);
+    for u in 0..n {
+        edges.push((u, (u + 1) % n, p_of(edges.len())));
+        if u % 2 == 0 && u < n / 2 {
+            edges.push((u, u + n / 2, p_of(edges.len())));
+        }
+    }
+    let g = UncertainGraph::from_edges(n, edges).unwrap();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let backbone = ugs_core::build_backbone(&g, alpha, &BackboneConfig::spanning(), &mut rng)
+        .expect("backbone builds");
+    (g, backbone)
+}
+
+/// Steady-state `GDB` sweeps with warm scratch must allocate nothing: a run
+/// capped at many sweeps performs exactly as many allocations as a run
+/// capped at few sweeps (the extra sweeps are free).  `tolerance: 0` forces
+/// the caps to bind, which the iteration asserts double-check.
+fn gdb_steady_state_sweeps_are_zero_allocation() {
+    let (g, backbone) = sparsifier_fixture(0.6);
+    let mut scratch = CoreScratch::new();
+    let config_with = |max_iterations: usize| GdbConfig {
+        tolerance: 0.0,
+        max_iterations,
+        engine: Engine::Indexed,
+        ..Default::default()
+    };
+    let (short_cap, long_cap) = (2usize, 22usize);
+    // Warm-up with the long cap so every buffer reaches its final capacity.
+    let warm =
+        ugs_core::gradient_descent_assign_with(&g, &backbone, &config_with(long_cap), &mut scratch)
+            .expect("gdb runs");
+    assert_eq!(warm.iterations, long_cap, "cap must bind for the proof");
+    let mut count = |cap: usize| {
+        let before = allocations();
+        let result =
+            ugs_core::gradient_descent_assign_with(&g, &backbone, &config_with(cap), &mut scratch)
+                .expect("gdb runs");
+        let after = allocations();
+        assert_eq!(result.iterations, cap);
+        after - before
+    };
+    let leaked = settles_to_zero(|| {
+        let short = count(short_cap);
+        let long = count(long_cap);
+        long.saturating_sub(short)
+    });
+    assert_eq!(
+        leaked,
+        0,
+        "GDB: expected zero allocations per steady-state sweep ({leaked} extra \
+         over {} extra sweeps)",
+        long_cap - short_cap
+    );
+}
+
+/// Steady-state `EMD` E-phase + M-phase iterations with warm scratch must
+/// allocate nothing, by the same long-vs-short argument.
+fn emd_steady_state_iterations_are_zero_allocation() {
+    let (g, backbone) = sparsifier_fixture(0.8);
+    let mut scratch = CoreScratch::new();
+    let config_with = |max_iterations: usize| EmdConfig {
+        tolerance: 0.0,
+        max_iterations,
+        engine: Engine::Indexed,
+        gdb: GdbConfig {
+            tolerance: 0.0,
+            max_iterations: 10,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (short_cap, long_cap) = (1usize, 4usize);
+    let warm = ugs_core::expectation_maximization_sparsify_with(
+        &g,
+        &backbone,
+        &config_with(long_cap),
+        &mut scratch,
+    )
+    .expect("emd runs");
+    assert_eq!(warm.iterations, long_cap, "cap must bind for the proof");
+    let mut count = |cap: usize| {
+        let before = allocations();
+        let result = ugs_core::expectation_maximization_sparsify_with(
+            &g,
+            &backbone,
+            &config_with(cap),
+            &mut scratch,
+        )
+        .expect("emd runs");
+        let after = allocations();
+        assert_eq!(result.iterations, cap);
+        after - before
+    };
+    let leaked = settles_to_zero(|| {
+        let short = count(short_cap);
+        let long = count(long_cap);
+        long.saturating_sub(short)
+    });
+    assert_eq!(
+        leaked,
+        0,
+        "EMD: expected zero allocations per steady-state EM iteration ({leaked} \
+         extra over {} extra iterations)",
+        long_cap - short_cap
+    );
+}
+
 fn legacy_driver_allocates_every_world() {
     // Sanity check that the counter actually observes the workload: the
     // pre-engine path allocates a mask + CSR buffers for every single world.
@@ -193,10 +310,12 @@ fn legacy_driver_allocates_every_world() {
 
 #[test]
 fn zero_allocation_contract() {
-    // One test, three phases, so nothing else allocates during the exact
+    // One test, five phases, so nothing else allocates during the exact
     // counting windows (libtest runs `#[test]` functions concurrently and
     // the counter is process-global).
     engine_steady_state_performs_zero_allocations_per_world();
     batch_driver_steady_state_is_zero_allocation_with_two_observers();
+    gdb_steady_state_sweeps_are_zero_allocation();
+    emd_steady_state_iterations_are_zero_allocation();
     legacy_driver_allocates_every_world();
 }

@@ -84,6 +84,8 @@ const SPARSIFY_OPTIONS: &[&str] = &[
     "k",
     "seed",
     "output",
+    "engine",
+    "time",
 ];
 const QUERY_OPTIONS: &[&str] = &[
     "query",
@@ -148,7 +150,11 @@ const COMMANDS: &[CommandHelp] = &[
         usage: "sparsify   <graph.txt> --alpha A [--method gdb|emd|lp|ni|ss]
                [--discrepancy absolute|relative] [--backbone random|spanning|local-degree]
                [--h H] [--k K] [--seed N] [--output FILE]
-               Sparsify the graph to A·|E| edges and report diagnostics.",
+               [--engine reference|indexed] [--time]
+               Sparsify the graph to A·|E| edges and report diagnostics.
+               --engine selects the optimisation implementation for gdb/emd
+               (worklist-indexed by default; both are bit-identical) and
+               --time appends a JSON field with per-phase wall-clock times.",
     },
     CommandHelp {
         name: "query",
@@ -293,7 +299,21 @@ pub fn stats(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn build_sparsifier(args: &ParsedArgs, alpha: f64) -> Result<Box<dyn Sparsifier>, CliError> {
+/// Parses `--engine`, defaulting to the indexed engine.
+fn parse_engine(args: &ParsedArgs) -> Result<Engine, CliError> {
+    let engine_name = args.option_or("engine", "indexed");
+    Engine::parse(&engine_name).ok_or_else(|| {
+        CliError::Message(format!(
+            "unknown engine {engine_name:?}; expected reference|indexed"
+        ))
+    })
+}
+
+fn build_sparsifier(
+    args: &ParsedArgs,
+    alpha: f64,
+    engine: Engine,
+) -> Result<Box<dyn Sparsifier>, CliError> {
     let method = args.option_or("method", "gdb");
     let discrepancy = match args.option_or("discrepancy", "absolute").as_str() {
         "absolute" | "abs" => DiscrepancyKind::Absolute,
@@ -327,6 +347,7 @@ fn build_sparsifier(args: &ParsedArgs, alpha: f64) -> Result<Box<dyn Sparsifier>
             .backbone(backbone)
             .entropy_h(h)
             .cut_rule(cut_rule)
+            .engine(engine)
     };
     Ok(match method.as_str() {
         "gdb" => Box::new(spec(SparsifierSpec::gdb())),
@@ -344,16 +365,25 @@ fn build_sparsifier(args: &ParsedArgs, alpha: f64) -> Result<Box<dyn Sparsifier>
 
 /// `ugs sparsify`.
 pub fn sparsify(args: &ParsedArgs) -> Result<String, CliError> {
+    use minijson::ObjBuilder;
+
     args.expect_options(SPARSIFY_OPTIONS)?;
     let path = args.positional(0, "graph.txt")?;
     let alpha = args.f64_or("alpha", 0.16)?;
     let seed = args.u64_or("seed", 42)?;
     let graph = load(path)?;
-    let sparsifier = build_sparsifier(args, alpha)?;
+    let engine = parse_engine(args)?;
+    let sparsifier = build_sparsifier(args, alpha, engine)?;
     let mut rng = SmallRng::seed_from_u64(seed);
     let output = sparsifier.sparsify_dyn(&graph, &mut rng)?;
+    // The engine line is only meaningful for the spec-based methods; the
+    // NI/SS/LP paths have no reference/indexed dimension.
+    let engine_line = match args.option_or("method", "gdb").as_str() {
+        "gdb" | "emd" => format!("engine          : {}\n", engine.name()),
+        _ => String::new(),
+    };
     let mut report = format!(
-        "method          : {}\nedges           : {} -> {}\nrelative entropy: {:.4}\ndegree MAE      : {:.6}\niterations      : {}\ntime            : {:?}\n",
+        "method          : {}\n{engine_line}edges           : {} -> {}\nrelative entropy: {:.4}\ndegree MAE      : {:.6}\niterations      : {}\ntime            : {:?}\n",
         output.diagnostics.method,
         graph.num_edges(),
         output.graph.num_edges(),
@@ -362,6 +392,16 @@ pub fn sparsify(args: &ParsedArgs) -> Result<String, CliError> {
         output.diagnostics.iterations,
         output.diagnostics.elapsed,
     );
+    if args.flag("time") {
+        let phases = output.diagnostics.phases;
+        let timings = ObjBuilder::new()
+            .field("backbone_ms", phases.backbone.as_secs_f64() * 1e3)
+            .field("optimize_ms", phases.optimize.as_secs_f64() * 1e3)
+            .field("materialize_ms", phases.materialize.as_secs_f64() * 1e3)
+            .field("total_ms", output.diagnostics.elapsed.as_secs_f64() * 1e3)
+            .build();
+        report.push_str(&format!("timings         : {}\n", timings.render()));
+    }
     if let Some(out_path) = args.options.get("output") {
         io::write_text_file(&output.graph, out_path)?;
         report.push_str(&format!("written to      : {out_path}\n"));
@@ -980,6 +1020,82 @@ mod tests {
             assert!(report.contains("edges"), "{method}: {report}");
         }
         let bad = ParsedArgs::parse(["sparsify", &input, "--method", "magic"]).unwrap();
+        assert!(run(&bad).is_err());
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn sparsify_engines_agree_and_report_timings() {
+        let input = write_toy_graph("engines.txt");
+        let run_engine = |engine: &str, method: &str| {
+            let args = ParsedArgs::parse([
+                "sparsify", &input, "--alpha", "0.5", "--method", method, "--engine", engine,
+                "--time",
+            ])
+            .unwrap();
+            run(&args).unwrap()
+        };
+        for method in ["gdb", "emd"] {
+            let reference = run_engine("reference", method);
+            let indexed = run_engine("indexed", method);
+            assert!(
+                reference.contains("engine          : reference"),
+                "{reference}"
+            );
+            assert!(indexed.contains("engine          : indexed"), "{indexed}");
+            // Everything except the engine label and the wall-clock lines
+            // must be byte-identical between the two engines.
+            let stable = |report: &str| -> Vec<String> {
+                report
+                    .lines()
+                    .filter(|line| {
+                        !line.starts_with("time")
+                            && !line.starts_with("timings")
+                            && !line.starts_with("engine")
+                    })
+                    .map(str::to_string)
+                    .collect()
+            };
+            assert_eq!(stable(&reference), stable(&indexed), "{method}");
+            // --time emits a parseable JSON object with the per-phase fields.
+            let timings_line = indexed
+                .lines()
+                .find(|line| line.starts_with("timings"))
+                .expect("timings line present");
+            let json = timings_line.split_once(':').unwrap().1.trim();
+            let doc = minijson::Value::parse(json).expect("valid timings JSON");
+            for field in ["backbone_ms", "optimize_ms", "materialize_ms", "total_ms"] {
+                let value = doc.get_f64(field).unwrap_or(-1.0);
+                assert!(value >= 0.0, "{method}: {field} = {value}");
+            }
+        }
+        // Baseline methods have no engine dimension, so no engine line.
+        let baseline = run(&ParsedArgs::parse([
+            "sparsify",
+            &input,
+            "--alpha",
+            "0.5",
+            "--method",
+            "ni",
+            "--engine",
+            "reference",
+        ])
+        .unwrap())
+        .unwrap();
+        assert!(!baseline.contains("engine"), "{baseline}");
+        // Short engine spellings echo the canonical name.
+        let short =
+            run(
+                &ParsedArgs::parse(["sparsify", &input, "--alpha", "0.5", "--engine", "ref"])
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(short.contains("engine          : reference"), "{short}");
+        // Without --time no timings line appears.
+        let plain =
+            run(&ParsedArgs::parse(["sparsify", &input, "--alpha", "0.5"]).unwrap()).unwrap();
+        assert!(!plain.contains("timings"), "{plain}");
+        let bad = ParsedArgs::parse(["sparsify", &input, "--engine", "psychic"]).unwrap();
         assert!(run(&bad).is_err());
         std::fs::remove_file(&input).ok();
     }

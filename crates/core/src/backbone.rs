@@ -18,6 +18,7 @@ use rand::Rng;
 use uncertain_graph::{EdgeId, UncertainGraph};
 
 use crate::error::SparsifyError;
+use crate::scratch::{BackboneScratch, CoreScratch};
 use graph_algos::spanning::maximum_spanning_forest;
 
 /// Which backbone construction to use.
@@ -106,6 +107,25 @@ pub fn build_backbone<R: Rng + ?Sized>(
     config: &BackboneConfig,
     rng: &mut R,
 ) -> Result<Vec<EdgeId>, SparsifyError> {
+    let mut scratch = CoreScratch::new();
+    let mut backbone = Vec::new();
+    build_backbone_into(g, alpha, config, rng, &mut scratch, &mut backbone)?;
+    Ok(backbone)
+}
+
+/// [`build_backbone`] with caller-provided scratch space and output buffer:
+/// repeated constructions reuse the selection flags, sweep-order and
+/// sampling-pool buffers (the spanning phase still allocates its forests
+/// internally).  Consumes the RNG identically to [`build_backbone`] and
+/// produces the same edges for the same seed.
+pub fn build_backbone_into<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    alpha: f64,
+    config: &BackboneConfig,
+    rng: &mut R,
+    scratch: &mut CoreScratch,
+    out: &mut Vec<EdgeId>,
+) -> Result<(), SparsifyError> {
     let target = target_edge_count(g, alpha)?;
     if config.spanning_fraction < 0.0 || config.spanning_fraction > 1.0 {
         return Err(SparsifyError::InvalidParameter {
@@ -113,11 +133,15 @@ pub fn build_backbone<R: Rng + ?Sized>(
             message: format!("{} is outside [0, 1]", config.spanning_fraction),
         });
     }
+    out.clear();
+    out.reserve(target);
+    let buffers = &mut scratch.backbone;
     match config.kind {
-        BackboneKind::Random => Ok(random_backbone(g, target, rng)),
-        BackboneKind::SpanningForests => Ok(spanning_backbone(g, target, config, rng)),
-        BackboneKind::LocalDegree => Ok(local_degree_backbone(g, target, alpha, rng)),
+        BackboneKind::Random => random_backbone(g, target, rng, buffers, out),
+        BackboneKind::SpanningForests => spanning_backbone(g, target, config, rng, buffers, out),
+        BackboneKind::LocalDegree => local_degree_backbone(g, target, alpha, rng, buffers, out),
     }
+    Ok(())
 }
 
 /// Local Degree backbone: each vertex nominates the `⌈α·deg(u)⌉` incident
@@ -130,16 +154,24 @@ fn local_degree_backbone<R: Rng + ?Sized>(
     target: usize,
     alpha: f64,
     rng: &mut R,
-) -> Vec<EdgeId> {
+    buffers: &mut BackboneScratch,
+    backbone: &mut Vec<EdgeId>,
+) {
+    let BackboneScratch {
+        selected,
+        pool,
+        nominated,
+        incident,
+        ..
+    } = buffers;
     let expected_degrees = g.expected_degrees();
-    let mut selected = vec![false; g.num_edges()];
+    selected.clear();
+    selected.resize(g.num_edges(), false);
     // Score of a nomination: the expected degree of the hub endpoint.
-    let mut nominated: Vec<(f64, EdgeId)> = Vec::new();
+    nominated.clear();
     for u in g.vertices() {
-        let mut incident: Vec<(f64, EdgeId)> = g
-            .neighbors(u)
-            .map(|(v, e, _)| (expected_degrees[v], e))
-            .collect();
+        incident.clear();
+        incident.extend(g.neighbors(u).map(|(v, e, _)| (expected_degrees[v], e)));
         incident.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let quota = ((alpha * incident.len() as f64).ceil() as usize).min(incident.len());
         for &(score, e) in incident.iter().take(quota) {
@@ -149,7 +181,6 @@ fn local_degree_backbone<R: Rng + ?Sized>(
             }
         }
     }
-    let mut backbone: Vec<EdgeId>;
     if nominated.len() > target {
         // Keep the nominations towards the highest-degree hubs.
         nominated.sort_by(|a, b| {
@@ -157,17 +188,13 @@ fn local_degree_backbone<R: Rng + ?Sized>(
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.1.cmp(&b.1))
         });
-        backbone = nominated.into_iter().take(target).map(|(_, e)| e).collect();
+        backbone.extend(nominated.iter().take(target).map(|&(_, e)| e));
     } else {
-        backbone = nominated.into_iter().map(|(_, e)| e).collect();
-        let mut kept = vec![false; g.num_edges()];
-        for &e in &backbone {
-            kept[e] = true;
-        }
-        fill_by_weighted_sampling(g, &mut kept, &mut backbone, target, rng);
+        backbone.extend(nominated.iter().map(|&(_, e)| e));
+        // `selected` already marks exactly the nominated (= kept) edges.
+        fill_by_weighted_sampling(g, selected, backbone, target, rng, pool);
     }
     backbone.sort_unstable();
-    backbone
 }
 
 /// Monte-Carlo backbone: repeatedly sweep the edges in random order, keeping
@@ -175,16 +202,29 @@ fn local_degree_backbone<R: Rng + ?Sized>(
 /// If the probabilities are so small that sweeps stall, the remaining slots
 /// are filled by probability-weighted sampling without replacement so the
 /// procedure always terminates.
-fn random_backbone<R: Rng + ?Sized>(g: &UncertainGraph, target: usize, rng: &mut R) -> Vec<EdgeId> {
+fn random_backbone<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    target: usize,
+    rng: &mut R,
+    buffers: &mut BackboneScratch,
+    backbone: &mut Vec<EdgeId>,
+) {
+    let BackboneScratch {
+        selected,
+        order,
+        pool,
+        ..
+    } = buffers;
     let m = g.num_edges();
-    let mut selected = vec![false; m];
-    let mut backbone = Vec::with_capacity(target);
-    let mut order: Vec<EdgeId> = (0..m).collect();
+    selected.clear();
+    selected.resize(m, false);
+    order.clear();
+    order.extend(0..m);
     // A generous but bounded number of Bernoulli sweeps.
     const MAX_SWEEPS: usize = 64;
     'outer: for _ in 0..MAX_SWEEPS {
-        shuffle(&mut order, rng);
-        for &e in &order {
+        shuffle(order, rng);
+        for &e in order.iter() {
             if backbone.len() >= target {
                 break 'outer;
             }
@@ -198,9 +238,8 @@ fn random_backbone<R: Rng + ?Sized>(g: &UncertainGraph, target: usize, rng: &mut
         }
     }
     if backbone.len() < target {
-        fill_by_weighted_sampling(g, &mut selected, &mut backbone, target, rng);
+        fill_by_weighted_sampling(g, selected, backbone, target, rng, pool);
     }
-    backbone
 }
 
 /// Algorithm 1.
@@ -209,22 +248,35 @@ fn spanning_backbone<R: Rng + ?Sized>(
     target: usize,
     config: &BackboneConfig,
     rng: &mut R,
-) -> Vec<EdgeId> {
+    buffers: &mut BackboneScratch,
+    backbone: &mut Vec<EdgeId>,
+) {
+    let BackboneScratch {
+        selected,
+        order,
+        pool,
+        weighted,
+        in_forest,
+        ..
+    } = buffers;
     let m = g.num_edges();
-    let edges: Vec<(usize, usize, f64)> = g.edges().map(|e| (e.u, e.v, e.p)).collect();
-    let mut selected = vec![false; m];
-    let mut backbone: Vec<EdgeId> = Vec::with_capacity(target);
+    weighted.clear();
+    weighted.extend(g.edges().map(|e| (e.u, e.v, e.p)));
+    selected.clear();
+    selected.resize(m, false);
 
     // Spanning phase: keep extracting maximum spanning forests of the
     // remaining edges until α'|E| edges are gathered or the forest budget is
-    // exhausted.
+    // exhausted.  `order` doubles as the remaining-edge list and is then
+    // reused as the sweep order of the sampling phase.
     let spanning_target = ((config.spanning_fraction * target as f64).floor() as usize).min(target);
-    let mut remaining: Vec<EdgeId> = (0..m).collect();
+    order.clear();
+    order.extend(0..m);
     for _ in 0..config.max_spanning_forests {
-        if backbone.len() >= spanning_target || remaining.is_empty() {
+        if backbone.len() >= spanning_target || order.is_empty() {
             break;
         }
-        let forest = maximum_spanning_forest(g.num_vertices(), &edges, &remaining);
+        let forest = maximum_spanning_forest(g.num_vertices(), weighted, order);
         if forest.is_empty() {
             break;
         }
@@ -237,21 +289,24 @@ fn spanning_backbone<R: Rng + ?Sized>(
                 backbone.push(e);
             }
         }
-        let in_forest: std::collections::HashSet<EdgeId> = forest.into_iter().collect();
-        remaining.retain(|e| !in_forest.contains(e));
+        in_forest.clear();
+        in_forest.resize(m, false);
+        for &e in &forest {
+            in_forest[e] = true;
+        }
+        order.retain(|&e| !in_forest[e]);
     }
 
     // Sampling phase: the rest of the backbone comes from Bernoulli sweeps on
     // the remaining edges, with the same bounded-retry fallback as the random
     // backbone.
     const MAX_SWEEPS: usize = 64;
-    let mut order = remaining;
     'outer: for _ in 0..MAX_SWEEPS {
         if backbone.len() >= target {
             break;
         }
-        shuffle(&mut order, rng);
-        for &e in &order {
+        shuffle(order, rng);
+        for &e in order.iter() {
             if backbone.len() >= target {
                 break 'outer;
             }
@@ -262,9 +317,8 @@ fn spanning_backbone<R: Rng + ?Sized>(
         }
     }
     if backbone.len() < target {
-        fill_by_weighted_sampling(g, &mut selected, &mut backbone, target, rng);
+        fill_by_weighted_sampling(g, selected, backbone, target, rng, pool);
     }
-    backbone
 }
 
 /// Probability-weighted sampling without replacement of the still-unselected
@@ -275,8 +329,10 @@ fn fill_by_weighted_sampling<R: Rng + ?Sized>(
     backbone: &mut Vec<EdgeId>,
     target: usize,
     rng: &mut R,
+    pool: &mut Vec<EdgeId>,
 ) {
-    let mut pool: Vec<EdgeId> = (0..g.num_edges()).filter(|&e| !selected[e]).collect();
+    pool.clear();
+    pool.extend((0..g.num_edges()).filter(|&e| !selected[e]));
     while backbone.len() < target && !pool.is_empty() {
         let total: f64 = pool.iter().map(|&e| g.edge_probability(e)).sum();
         let chosen_idx = if total <= 0.0 {

@@ -48,26 +48,52 @@ impl DiscrepancyKind {
 /// `δA(u) = d_G(u)` for every vertex, and is updated through
 /// [`DegreeTracker::apply_edge_change`] as edges are added, removed or have
 /// their probability tuned.
-#[derive(Debug, Clone)]
+///
+/// Besides the discrepancies themselves the tracker maintains *change
+/// versions*: a per-vertex counter bumped whenever `δ(u)` moves and a global
+/// counter bumped on every effective change.  These are the seed of the
+/// worklist-driven `GDB` engine (see `ugs_core::scratch`): an edge whose last
+/// re-solve was a no-op needs no revisit while its endpoint versions (and,
+/// for the global cut rules, the global version) are unchanged.
+#[derive(Debug, Clone, Default)]
 pub struct DegreeTracker {
     /// Expected degrees in the original graph (`d` in the paper).
     original: Vec<f64>,
     /// Current absolute discrepancies `δA(u) = d_G(u) − d_G'(u)`.
     delta: Vec<f64>,
     kind: DiscrepancyKind,
+    /// Bumped whenever `delta[u]` changes (the worklist invalidation hook).
+    vertex_version: Vec<u64>,
+    /// Bumped on every effective [`DegreeTracker::apply_edge_change`].
+    change_version: u64,
 }
 
 impl DegreeTracker {
     /// Creates a tracker for graph `g` with the empty assignment
     /// (`d_G'(u) = 0` everywhere).
     pub fn new(g: &UncertainGraph, kind: DiscrepancyKind) -> Self {
-        let original = g.expected_degrees();
-        let delta = original.clone();
-        DegreeTracker {
-            original,
-            delta,
-            kind,
+        let mut tracker = DegreeTracker::default();
+        tracker.reset(g, kind);
+        tracker
+    }
+
+    /// Re-initialises the tracker for graph `g` with the empty assignment,
+    /// reusing the existing buffers (no allocation once the capacity fits).
+    /// The resulting state is bit-identical to [`DegreeTracker::new`].
+    pub fn reset(&mut self, g: &UncertainGraph, kind: DiscrepancyKind) {
+        let n = g.num_vertices();
+        self.original.clear();
+        self.original.resize(n, 0.0);
+        for e in g.edges() {
+            self.original[e.u] += e.p;
+            self.original[e.v] += e.p;
         }
+        self.delta.clear();
+        self.delta.extend_from_slice(&self.original);
+        self.kind = kind;
+        self.vertex_version.clear();
+        self.vertex_version.resize(n, 0);
+        self.change_version = 0;
     }
 
     /// The discrepancy kind this tracker scores.
@@ -118,11 +144,38 @@ impl DegreeTracker {
     /// Records that the probability of an edge `(u, v)` changed from
     /// `old_p` to `new_p` in the candidate assignment (use `old_p = 0` for a
     /// newly added edge and `new_p = 0` for a removed edge).
+    ///
+    /// An effective change (`old_p ≠ new_p`) bumps the change versions of
+    /// both endpoints and the global change version; a zero shift leaves the
+    /// discrepancies and versions untouched.
     #[inline]
     pub fn apply_edge_change(&mut self, u: VertexId, v: VertexId, old_p: f64, new_p: f64) {
         let shift = old_p - new_p;
-        self.delta[u] += shift;
-        self.delta[v] += shift;
+        if shift != 0.0 {
+            self.delta[u] += shift;
+            self.delta[v] += shift;
+            self.vertex_version[u] += 1;
+            self.vertex_version[v] += 1;
+            self.change_version += 1;
+        }
+    }
+
+    /// Change version of vertex `u`: bumped every time `δ(u)` moves.
+    ///
+    /// The worklist `GDB` engine stamps each backbone edge with the versions
+    /// of its endpoints after re-solving it; the edge needs no further visits
+    /// while the stamps are current and the last re-solve was a no-op.
+    #[inline]
+    pub fn vertex_version(&self, u: VertexId) -> u64 {
+        self.vertex_version[u]
+    }
+
+    /// Global change version: bumped on every effective edge change.  The
+    /// `Cuts(k)`/`AllCuts` update rules read the *total* deficit, so their
+    /// worklist stamps must also track this global counter.
+    #[inline]
+    pub fn change_version(&self) -> u64 {
+        self.change_version
     }
 
     /// The objective `D1 = Σ_u δ(u)²` (Section 4.2), using the tracker's
@@ -290,6 +343,49 @@ mod tests {
         let a = UncertainGraph::from_edges(2, [(0, 1, 0.5)]).unwrap();
         let b = UncertainGraph::from_edges(3, [(0, 1, 0.5)]).unwrap();
         degree_discrepancies(&a, &b);
+    }
+
+    #[test]
+    fn change_versions_track_effective_changes_only() {
+        let g = toy();
+        let mut t = DegreeTracker::new(&g, DiscrepancyKind::Absolute);
+        assert_eq!(t.vertex_version(0), 0);
+        assert_eq!(t.change_version(), 0);
+        // A zero shift moves nothing.
+        t.apply_edge_change(0, 1, 0.4, 0.4);
+        assert_eq!(t.vertex_version(0), 0);
+        assert_eq!(t.vertex_version(1), 0);
+        assert_eq!(t.change_version(), 0);
+        // An effective change bumps both endpoints and the global counter.
+        t.apply_edge_change(0, 1, 0.0, 0.4);
+        assert_eq!(t.vertex_version(0), 1);
+        assert_eq!(t.vertex_version(1), 1);
+        assert_eq!(t.vertex_version(2), 0);
+        assert_eq!(t.change_version(), 1);
+        t.apply_edge_change(1, 2, 0.4, 0.1);
+        assert_eq!(t.vertex_version(1), 2);
+        assert_eq!(t.vertex_version(2), 1);
+        assert_eq!(t.change_version(), 2);
+    }
+
+    #[test]
+    fn reset_matches_fresh_tracker_bit_for_bit() {
+        let g = toy();
+        let fresh = DegreeTracker::new(&g, DiscrepancyKind::Relative);
+        let mut reused = DegreeTracker::new(&g, DiscrepancyKind::Absolute);
+        reused.apply_edge_change(0, 1, 0.0, 0.9);
+        reused.reset(&g, DiscrepancyKind::Relative);
+        assert_eq!(reused.kind(), DiscrepancyKind::Relative);
+        assert_eq!(reused.change_version(), 0);
+        for u in g.vertices() {
+            assert_eq!(fresh.delta_abs(u).to_bits(), reused.delta_abs(u).to_bits());
+            assert_eq!(
+                fresh.original_degree(u).to_bits(),
+                reused.original_degree(u).to_bits()
+            );
+            assert_eq!(reused.vertex_version(u), 0);
+        }
+        assert_eq!(fresh.objective().to_bits(), reused.objective().to_bits());
     }
 
     #[test]

@@ -15,12 +15,26 @@
 //! tolerance.  Thanks to the vertex heap, each E-phase costs
 //! `O(α|E| log|V|)` heap work instead of the `O(α(1-α)|E|² log|V| / |V|)` of
 //! the naive edge-heap formulation (Section 4.3).
+//!
+//! Two implementations are provided, selected by [`EmdConfig::engine`] and
+//! bit-identical to each other (see [`crate::scratch`] for the argument and
+//! the `sparsify_parity` suite for the proof-by-test): the paper-faithful
+//! [`Engine::Reference`] loop pushes the vertex heap together from scratch
+//! every iteration, scans the backbone linearly on every swap and runs
+//! full-sweep `GDB` M-phases, while [`Engine::Indexed`] re-heapifies a
+//! cache-aware 8-ary heap in place, maintains an O(1) edge → slot map,
+//! evaluates E-phase candidates without a single `log2`, reuses every
+//! buffer via [`CoreScratch`] and runs worklist M-phases.
 
-use uncertain_graph::{EdgeId, UncertainGraph};
+use uncertain_graph::{EdgeId, UncertainGraph, VertexId};
 
 use crate::discrepancy::DiscrepancyKind;
 use crate::error::SparsifyError;
-use crate::gdb::{damped_update, gradient_descent_assign, AssignmentState, CutRule, GdbConfig};
+use crate::gdb::{
+    damped_update, damped_update_from_zero, gradient_descent_assign, run_gdb, validate_backbone,
+    AssignmentState, CutRule, Engine, GdbConfig,
+};
+use crate::scratch::CoreScratch;
 use graph_algos::IndexedMaxHeap;
 
 /// Configuration of the `EMD` sparsifier.
@@ -35,8 +49,10 @@ pub struct EmdConfig {
     pub tolerance: f64,
     /// Hard cap on the number of EM iterations.
     pub max_iterations: usize,
-    /// Configuration of the embedded `GDB` M-phase (its `discrepancy` and
-    /// `entropy_h` fields are overridden by the ones above).
+    /// Which implementation to run; both are bit-identical.
+    pub engine: Engine,
+    /// Configuration of the embedded `GDB` M-phase (its `discrepancy`,
+    /// `entropy_h` and `engine` fields are overridden by the ones above).
     pub gdb: GdbConfig,
 }
 
@@ -47,6 +63,7 @@ impl Default for EmdConfig {
             entropy_h: 0.05,
             tolerance: 1e-9,
             max_iterations: 20,
+            engine: Engine::default(),
             gdb: GdbConfig::default(),
         }
     }
@@ -80,6 +97,7 @@ impl EmdConfig {
             discrepancy: self.discrepancy,
             entropy_h: self.entropy_h,
             cut_rule: CutRule::Degree,
+            engine: self.engine,
             ..self.gdb
         }
     }
@@ -108,7 +126,9 @@ impl EmdResult {
     }
 }
 
-/// Runs `EMD` (Algorithm 3) starting from the given backbone.
+/// Runs `EMD` (Algorithm 3) starting from the given backbone.  Dispatches on
+/// [`EmdConfig::engine`]; the indexed engine allocates a transient scratch —
+/// use [`expectation_maximization_sparsify_with`] to amortise it.
 ///
 /// The number of kept edges always equals the backbone size: every E-phase
 /// swap removes one edge and inserts exactly one.
@@ -117,21 +137,41 @@ pub fn expectation_maximization_sparsify(
     backbone: &[EdgeId],
     config: &EmdConfig,
 ) -> Result<EmdResult, SparsifyError> {
-    config.validate()?;
-    if backbone.is_empty() {
-        return Err(SparsifyError::EmptyGraph);
-    }
-    for &e in backbone {
-        if e >= g.num_edges() {
-            return Err(SparsifyError::Graph(
-                uncertain_graph::GraphError::EdgeOutOfRange {
-                    edge: e,
-                    num_edges: g.num_edges(),
-                },
-            ));
-        }
-    }
+    let mut scratch = CoreScratch::new();
+    expectation_maximization_sparsify_with(g, backbone, config, &mut scratch)
+}
 
+/// [`expectation_maximization_sparsify`] with caller-provided scratch space:
+/// with [`Engine::Indexed`] repeated runs reuse the outer state, the vertex
+/// heap, the snapshot buffer and the M-phase workspace, so warm E-phase
+/// iterations perform zero heap allocations.
+pub fn expectation_maximization_sparsify_with(
+    g: &UncertainGraph,
+    backbone: &[EdgeId],
+    config: &EmdConfig,
+    scratch: &mut CoreScratch,
+) -> Result<EmdResult, SparsifyError> {
+    config.validate()?;
+    // The embedded M-phase configuration is validated up front so both
+    // engines reject invalid nested configs identically (the reference would
+    // otherwise only hit the check inside its first M-phase, and the indexed
+    // engine not at all).
+    config.mphase_gdb().validate()?;
+    validate_backbone(g, backbone)?;
+    match config.engine {
+        Engine::Reference => emd_reference(g, backbone, config),
+        Engine::Indexed => Ok(emd_indexed(g, backbone, config, scratch)),
+    }
+}
+
+/// The paper-faithful `EMD` loop (the bit-parity oracle): the vertex heap is
+/// rebuilt at the start of every E-phase and the M-phase runs through the
+/// public [`gradient_descent_assign`] on a fresh assignment state.
+fn emd_reference(
+    g: &UncertainGraph,
+    backbone: &[EdgeId],
+    config: &EmdConfig,
+) -> Result<EmdResult, SparsifyError> {
     // Lines 1–5 of Algorithm 3: the initial assignment keeps the backbone
     // with its original probabilities.
     let mut state = AssignmentState::new(g, backbone, config.discrepancy);
@@ -139,6 +179,9 @@ pub fn expectation_maximization_sparsify(
     let mut trace = vec![state.tracker.objective()];
     let mut swaps = 0usize;
     let mut iterations = 0usize;
+    // One snapshot buffer for all E-phases (each round used to clone the
+    // backbone anew; the contents are still rewritten every iteration).
+    let mut snapshot: Vec<EdgeId> = Vec::with_capacity(current_backbone.len());
 
     for _ in 0..config.max_iterations {
         let before = state.tracker.objective();
@@ -148,46 +191,23 @@ pub fn expectation_maximization_sparsify(
         for u in g.vertices() {
             heap.push_or_update(u, state.tracker.delta(u).abs());
         }
-        let snapshot = current_backbone.clone();
+        snapshot.clear();
+        snapshot.extend_from_slice(&current_backbone);
         for &e in &snapshot {
             if !state.in_set[e] {
                 continue; // already replaced earlier in this phase
             }
             let (u, v) = g.edge_endpoints(e);
             // Remove e: its probability mass flows back into δ(u), δ(v).
-            state.remove_edge(e);
+            state.remove_edge(g, e);
             heap.update(u, state.tracker.delta(u).abs());
             heap.update(v, state.tracker.delta(v).abs());
 
             // The vertex that currently hurts the objective the most.
             let (v_h, _) = heap.peek().expect("heap holds every vertex");
 
-            // Candidate edges: non-backbone edges incident to v_H, plus the
-            // edge we just removed.
-            let mut best: Option<(EdgeId, f64, f64)> = None; // (edge, prob, gain)
-            let mut consider = |state: &AssignmentState<'_>, candidate: EdgeId| {
-                if state.in_set[candidate] {
-                    return;
-                }
-                let p = damped_update(state, None, CutRule::Degree, config.entropy_h, candidate);
-                let gain = insertion_gain(state, candidate, p);
-                let better = match best {
-                    None => true,
-                    Some((be, _, bg)) => {
-                        gain > bg + 1e-15 || (gain >= bg - 1e-15 && candidate < be)
-                    }
-                };
-                if better {
-                    best = Some((candidate, p, gain));
-                }
-            };
-            for (_, candidate, _) in g.neighbors(v_h) {
-                consider(&state, candidate);
-            }
-            consider(&state, e);
-
-            let (chosen, prob, _) = best.expect("at least the removed edge itself is a candidate");
-            state.insert_edge(chosen, prob);
+            let (chosen, prob) = best_candidate(g, &state, config.entropy_h, v_h, e, false);
+            state.insert_edge(g, chosen, prob);
             let (cu, cv) = g.edge_endpoints(chosen);
             heap.update(cu, state.tracker.delta(cu).abs());
             heap.update(cv, state.tracker.delta(cv).abs());
@@ -204,7 +224,7 @@ pub fn expectation_maximization_sparsify(
         // ---------------- M-phase: retune probabilities with GDB -----------
         let gdb_result = gradient_descent_assign(g, &current_backbone, &config.mphase_gdb())?;
         for &(e, p) in &gdb_result.probabilities {
-            state.set_probability(e, p);
+            state.set_probability(g, e, p);
         }
 
         let after = state.tracker.objective();
@@ -228,10 +248,167 @@ pub fn expectation_maximization_sparsify(
     })
 }
 
+/// The indexed `EMD` loop: bit-identical to [`emd_reference`] (checked by
+/// the `sparsify_parity` suite) but with the heavy per-iteration work
+/// replaced by incremental indexes — see [`crate::scratch`] for why each
+/// replacement preserves bit-parity.
+///
+/// * The vertex heap is re-heapified in place (`O(|V|)` Floyd build into
+///   reused buffers) at each E-phase start, instead of the reference's
+///   `O(|V| log |V|)` pushes into a freshly allocated heap, and is updated
+///   incrementally at the same points the reference instruments during the
+///   phase.
+/// * The E-phase snapshot and the backbone bookkeeping reuse scratch
+///   buffers; swap positions come from an O(1) edge → slot map instead of a
+///   linear scan per swap.
+/// * The M-phase runs the worklist `GDB` sweeps (clamp sign-guard + version
+///   stamps) in the reusable M-phase workspace and applies the tuned
+///   probabilities directly, without materialising an intermediate
+///   `GdbResult`.
+fn emd_indexed(
+    g: &UncertainGraph,
+    backbone: &[EdgeId],
+    config: &EmdConfig,
+    scratch: &mut CoreScratch,
+) -> EmdResult {
+    let crate::scratch::EmdScratch {
+        state,
+        heap,
+        snapshot,
+        backbone: current,
+        position_of,
+        trace,
+        mphase,
+    } = &mut scratch.emd;
+
+    state.reset(g, backbone, config.discrepancy);
+    current.clear();
+    current.extend_from_slice(backbone);
+    position_of.clear();
+    position_of.resize(g.num_edges(), usize::MAX);
+    for (slot, &e) in current.iter().enumerate() {
+        position_of[e] = slot;
+    }
+    trace.clear();
+    trace.push(state.tracker.objective());
+
+    let mphase_config = config.mphase_gdb();
+    let mut swaps = 0usize;
+    let mut iterations = 0usize;
+
+    for _ in 0..config.max_iterations {
+        let before = state.tracker.objective();
+
+        // ---------------- E-phase: restructure the backbone ----------------
+        // In-place O(|V|) Floyd heapify into the reused buffers, instead of
+        // the reference's |V| pushes into a freshly allocated heap.  Peeks
+        // agree bit for bit: the ordering is total, so the maximum is unique
+        // whatever the internal layout.
+        heap.rebuild(g.num_vertices(), |u| state.tracker.delta(u).abs());
+        snapshot.clear();
+        snapshot.extend_from_slice(current);
+        for &e in snapshot.iter() {
+            if !state.in_set[e] {
+                continue; // already replaced earlier in this phase
+            }
+            let (u, v) = g.edge_endpoints(e);
+            state.remove_edge(g, e);
+            heap.update(u, state.tracker.delta(u).abs());
+            heap.update(v, state.tracker.delta(v).abs());
+
+            let (v_h, _) = heap.peek().expect("heap holds every vertex");
+
+            let (chosen, prob) = best_candidate(g, state, config.entropy_h, v_h, e, true);
+            state.insert_edge(g, chosen, prob);
+            let (cu, cv) = g.edge_endpoints(chosen);
+            heap.update(cu, state.tracker.delta(cu).abs());
+            heap.update(cv, state.tracker.delta(cv).abs());
+            if chosen != e {
+                swaps += 1;
+                let slot = position_of[e];
+                debug_assert_eq!(current[slot], e, "stale backbone position");
+                current[slot] = chosen;
+                position_of[chosen] = slot;
+            }
+        }
+
+        // ---------------- M-phase: retune probabilities with GDB -----------
+        // Same semantics as the reference: GDB restarts from the original
+        // probabilities of the restructured backbone (`run_gdb` resets the
+        // M-phase state exactly like a fresh construction).  The heap is not
+        // maintained here — the next E-phase re-heapifies in O(|V|), which
+        // is far cheaper than 2α|E| logarithmic updates.
+        let inner = run_gdb(g, current, &mphase_config, None, mphase);
+        for &e in current.iter() {
+            state.set_probability(g, e, inner.state.prob[e]);
+        }
+
+        let after = state.tracker.objective();
+        trace.push(after);
+        iterations += 1;
+        if (before - after).abs() <= config.tolerance {
+            break;
+        }
+    }
+
+    let probabilities = current.iter().map(|&e| (e, state.prob[e])).collect();
+    EmdResult {
+        probabilities,
+        iterations,
+        objective_trace: trace.clone(),
+        swaps,
+        entropy: state.entropy(),
+    }
+}
+
+/// Picks the E-phase replacement for the removed edge `removed`: among the
+/// non-backbone edges incident to the worst vertex `v_h` (plus `removed`
+/// itself), the edge with the highest insertion gain, ties broken towards
+/// the smaller edge id.  Shared by both engines so the selection logic
+/// cannot drift apart; the only difference is the candidate evaluator —
+/// every candidate is a non-kept edge with probability exactly 0, so the
+/// indexed engine (`fast = true`) uses the bit-identical log-free
+/// [`damped_update_from_zero`] while the reference keeps the general
+/// entropy-evaluating path.
+fn best_candidate(
+    g: &UncertainGraph,
+    state: &AssignmentState,
+    entropy_h: f64,
+    v_h: VertexId,
+    removed: EdgeId,
+    fast: bool,
+) -> (EdgeId, f64) {
+    let mut best: Option<(EdgeId, f64, f64)> = None; // (edge, prob, gain)
+    let mut consider = |candidate: EdgeId| {
+        if state.in_set[candidate] {
+            return;
+        }
+        let p = if fast {
+            damped_update_from_zero(g, state, entropy_h, candidate)
+        } else {
+            damped_update(g, state, None, CutRule::Degree, entropy_h, candidate)
+        };
+        let gain = insertion_gain(g, state, candidate, p);
+        let better = match best {
+            None => true,
+            Some((be, _, bg)) => gain > bg + 1e-15 || (gain >= bg - 1e-15 && candidate < be),
+        };
+        if better {
+            best = Some((candidate, p, gain));
+        }
+    };
+    for (_, candidate, _) in g.neighbors(v_h) {
+        consider(candidate);
+    }
+    consider(removed);
+    let (chosen, prob, _) = best.expect("at least the removed edge itself is a candidate");
+    (chosen, prob)
+}
+
 /// The gain of inserting `candidate` with probability `p` (Equation 10):
 /// reduction of the squared discrepancies of its two endpoints.
-fn insertion_gain(state: &AssignmentState<'_>, candidate: EdgeId, p: f64) -> f64 {
-    let (u, v) = state.graph.edge_endpoints(candidate);
+fn insertion_gain(g: &UncertainGraph, state: &AssignmentState, candidate: EdgeId, p: f64) -> f64 {
+    let (u, v) = g.edge_endpoints(candidate);
     let du = state.tracker.delta(u);
     let dv = state.tracker.delta(v);
     // Inserting the edge with probability p lowers the *absolute*
@@ -456,6 +633,29 @@ mod tests {
                 ..
             })
         ));
+        // Invalid *nested* M-phase configs are rejected by both engines
+        // (the indexed engine must not silently accept what the reference
+        // rejects).
+        for engine in [Engine::Reference, Engine::Indexed] {
+            let bad_nested = EmdConfig {
+                engine,
+                gdb: GdbConfig {
+                    max_iterations: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    expectation_maximization_sparsify(&g, &backbone, &bad_nested),
+                    Err(SparsifyError::InvalidParameter {
+                        name: "max_iterations",
+                        ..
+                    })
+                ),
+                "{engine:?}"
+            );
+        }
         assert!(matches!(
             expectation_maximization_sparsify(&g, &[], &EmdConfig::default()),
             Err(SparsifyError::EmptyGraph)
@@ -473,10 +673,10 @@ mod tests {
         // Inserting edge 0 (u1-u2) with probability p must change the
         // objective by exactly -gain.
         let p = 0.35;
-        let gain = insertion_gain(&state, 0, p);
+        let gain = insertion_gain(&g, &state, 0, p);
         let before = state.tracker.objective();
         let mut after_state = AssignmentState::new(&g, &backbone, DiscrepancyKind::Absolute);
-        after_state.insert_edge(0, p);
+        after_state.insert_edge(&g, 0, p);
         let after = after_state.tracker.objective();
         assert!(
             (before - after - gain).abs() < 1e-12,

@@ -14,6 +14,51 @@ use uncertain_graph::{entropy::edge_entropy, EdgeId, UncertainGraph};
 use crate::discrepancy::{DegreeTracker, DiscrepancyKind};
 use crate::error::SparsifyError;
 use crate::kcut::CutRuleCoefficients;
+use crate::scratch::{CoreScratch, GdbScratch};
+
+/// Which implementation of the optimisation hot loops to run.
+///
+/// Both engines produce **bit-identical** results (proven by the
+/// `sparsify_parity` suite); they differ only in how much work they skip:
+///
+/// * [`Engine::Reference`] is the paper-faithful formulation — every sweep of
+///   `GDB` re-solves every backbone edge, every `EMD` E-phase rebuilds the
+///   vertex heap and re-snapshots the backbone.  Retained as the parity
+///   oracle and for `--engine reference` experiments.
+/// * [`Engine::Indexed`] is the worklist/heap-indexed engine of
+///   [`crate::scratch`]: `GDB` sweeps skip provably-no-op re-solves (clamp
+///   sign-guard + change-version stamps, adaptively probed so the tests
+///   never cost more than a few percent), `EMD` swaps backbone slots through
+///   an O(1) position map, drives its vertex heap as a cache-aware 8-ary
+///   structure with in-place Floyd rebuilds, evaluates E-phase candidates
+///   log-free, and every buffer lives in a reusable [`CoreScratch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Full-sweep reference implementation (the bit-parity oracle).
+    Reference,
+    /// Worklist-driven incremental engine (bit-identical, faster).
+    #[default]
+    Indexed,
+}
+
+impl Engine {
+    /// Parses the CLI spelling (`"reference"` / `"indexed"`).
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "reference" | "ref" => Some(Engine::Reference),
+            "indexed" | "idx" => Some(Engine::Indexed),
+            _ => None,
+        }
+    }
+
+    /// Canonical display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Reference => "reference",
+            Engine::Indexed => "indexed",
+        }
+    }
+}
 
 /// Which objective the gradient descent minimises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +92,8 @@ pub struct GdbConfig {
     pub tolerance: f64,
     /// Hard cap on the number of sweeps.
     pub max_iterations: usize,
+    /// Which implementation to run; both are bit-identical.
+    pub engine: Engine,
 }
 
 impl Default for GdbConfig {
@@ -57,12 +104,13 @@ impl Default for GdbConfig {
             entropy_h: 0.05,
             tolerance: 1e-9,
             max_iterations: 200,
+            engine: Engine::default(),
         }
     }
 }
 
 impl GdbConfig {
-    fn validate(&self) -> Result<(), SparsifyError> {
+    pub(crate) fn validate(&self) -> Result<(), SparsifyError> {
         if !(0.0..=1.0).contains(&self.entropy_h) || !self.entropy_h.is_finite() {
             return Err(SparsifyError::InvalidParameter {
                 name: "entropy_h",
@@ -117,8 +165,12 @@ impl GdbResult {
 }
 
 /// Internal mutable state shared by `GDB` and `EMD`.
-pub(crate) struct AssignmentState<'g> {
-    pub(crate) graph: &'g UncertainGraph,
+///
+/// The state does not borrow the graph (every method takes it explicitly),
+/// so it can live inside a long-lived [`CoreScratch`] and be
+/// [`reset`](AssignmentState::reset) for each run without reallocating.
+#[derive(Debug, Default)]
+pub(crate) struct AssignmentState {
     /// Current probability of every edge of the original graph (0 for edges
     /// outside the sparsified set).
     pub(crate) prob: Vec<f64>,
@@ -129,52 +181,64 @@ pub(crate) struct AssignmentState<'g> {
     pub(crate) kept_deficit: f64,
 }
 
-impl<'g> AssignmentState<'g> {
+impl AssignmentState {
     /// Builds the state for `backbone` with the original probabilities.
-    pub(crate) fn new(
-        graph: &'g UncertainGraph,
-        backbone: &[EdgeId],
-        kind: DiscrepancyKind,
-    ) -> Self {
-        let mut state = AssignmentState {
-            graph,
-            prob: vec![0.0; graph.num_edges()],
-            in_set: vec![false; graph.num_edges()],
-            tracker: DegreeTracker::new(graph, kind),
-            kept_deficit: 0.0,
-        };
-        for &e in backbone {
-            let p = graph.edge_probability(e);
-            state.insert_edge(e, p);
-        }
+    pub(crate) fn new(g: &UncertainGraph, backbone: &[EdgeId], kind: DiscrepancyKind) -> Self {
+        let mut state = AssignmentState::default();
+        state.reset(g, backbone, kind);
         state
     }
 
+    /// Re-initialises the state for a new run, reusing the buffers.  The
+    /// result is bit-identical to [`AssignmentState::new`]: the tracker reset
+    /// reproduces the same expected degrees and the backbone edges are
+    /// inserted in the same order with the same floating-point effects.
+    pub(crate) fn reset(&mut self, g: &UncertainGraph, backbone: &[EdgeId], kind: DiscrepancyKind) {
+        let m = g.num_edges();
+        self.prob.clear();
+        self.prob.resize(m, 0.0);
+        self.in_set.clear();
+        self.in_set.resize(m, false);
+        self.tracker.reset(g, kind);
+        self.kept_deficit = 0.0;
+        for &e in backbone {
+            let p = g.edge_probability(e);
+            self.insert_edge(g, e, p);
+        }
+    }
+
     /// Adds edge `e` to the sparsified set with probability `p`.
-    pub(crate) fn insert_edge(&mut self, e: EdgeId, p: f64) {
+    pub(crate) fn insert_edge(&mut self, g: &UncertainGraph, e: EdgeId, p: f64) {
         debug_assert!(!self.in_set[e], "edge {e} inserted twice");
-        let (u, v) = self.graph.edge_endpoints(e);
+        let (u, v) = g.edge_endpoints(e);
         self.in_set[e] = true;
         self.prob[e] = p;
         self.tracker.apply_edge_change(u, v, 0.0, p);
-        self.kept_deficit += self.graph.edge_probability(e) - p;
+        self.kept_deficit += g.edge_probability(e) - p;
     }
 
     /// Removes edge `e` from the sparsified set (its probability becomes 0).
-    pub(crate) fn remove_edge(&mut self, e: EdgeId) {
+    pub(crate) fn remove_edge(&mut self, g: &UncertainGraph, e: EdgeId) {
         debug_assert!(self.in_set[e], "edge {e} removed but not present");
-        let (u, v) = self.graph.edge_endpoints(e);
+        let (u, v) = g.edge_endpoints(e);
         let old = self.prob[e];
         self.in_set[e] = false;
         self.prob[e] = 0.0;
         self.tracker.apply_edge_change(u, v, old, 0.0);
-        self.kept_deficit -= self.graph.edge_probability(e) - old;
+        self.kept_deficit -= g.edge_probability(e) - old;
     }
 
     /// Changes the probability of a kept edge.
-    pub(crate) fn set_probability(&mut self, e: EdgeId, new_p: f64) {
+    pub(crate) fn set_probability(&mut self, g: &UncertainGraph, e: EdgeId, new_p: f64) {
+        let (u, v) = g.edge_endpoints(e);
+        self.set_probability_at(e, u, v, new_p);
+    }
+
+    /// [`AssignmentState::set_probability`] with the endpoints already looked
+    /// up (shared lookups in the indexed sweep; identical float effects).
+    #[inline]
+    pub(crate) fn set_probability_at(&mut self, e: EdgeId, u: usize, v: usize, new_p: f64) {
         debug_assert!(self.in_set[e], "edge {e} not in the sparsified set");
-        let (u, v) = self.graph.edge_endpoints(e);
         let old = self.prob[e];
         if (old - new_p).abs() == 0.0 {
             return;
@@ -209,12 +273,28 @@ impl<'g> AssignmentState<'g> {
 /// The optimal probability step for edge `e` under the configured rule, given
 /// the current state (Equations 8, 13 and 16).
 pub(crate) fn optimal_step(
-    state: &AssignmentState<'_>,
+    g: &UncertainGraph,
+    state: &AssignmentState,
     coefficients: Option<&CutRuleCoefficients>,
     cut_rule: CutRule,
     e: EdgeId,
 ) -> f64 {
-    let (u, v) = state.graph.edge_endpoints(e);
+    let (u, v) = g.edge_endpoints(e);
+    optimal_step_at(g, state, coefficients, cut_rule, e, u, v)
+}
+
+/// [`optimal_step`] with the endpoints already looked up (the indexed sweep
+/// loads them once per visit; passing integers cannot change any float op).
+#[inline]
+pub(crate) fn optimal_step_at(
+    g: &UncertainGraph,
+    state: &AssignmentState,
+    coefficients: Option<&CutRuleCoefficients>,
+    cut_rule: CutRule,
+    e: EdgeId,
+    u: usize,
+    v: usize,
+) -> f64 {
     match cut_rule {
         CutRule::Degree => {
             let pi_u = state.tracker.pi(u);
@@ -234,7 +314,7 @@ pub(crate) fn optimal_step(
             // deficit counts every edge once; subtracting the two endpoint
             // discrepancies removes incident edges twice for e itself, so it
             // is added back.
-            let own_deficit = state.graph.edge_probability(e) - state.prob[e];
+            let own_deficit = g.edge_probability(e) - state.prob[e];
             let non_incident = state.tracker.total_deficit() - delta_u - delta_v + own_deficit;
             coefficients.step(delta_u, delta_v, non_incident)
         }
@@ -247,7 +327,7 @@ pub(crate) fn optimal_step(
             // would never move; the described behaviour — every edge driven
             // towards probability 1 when much mass is missing — corresponds
             // to summing the deficit over all edges of E.)
-            state.tracker.total_deficit() - (state.graph.edge_probability(e) - state.prob[e])
+            state.tracker.total_deficit() - (g.edge_probability(e) - state.prob[e])
         }
     }
 }
@@ -256,14 +336,32 @@ pub(crate) fn optimal_step(
 /// clamp into `[0, 1]`, and damp by `h` when the step would increase the
 /// edge's entropy.  Returns the new probability (the state is not modified).
 pub(crate) fn damped_update(
-    state: &AssignmentState<'_>,
+    g: &UncertainGraph,
+    state: &AssignmentState,
     coefficients: Option<&CutRuleCoefficients>,
     cut_rule: CutRule,
     entropy_h: f64,
     e: EdgeId,
 ) -> f64 {
+    let (u, v) = g.edge_endpoints(e);
+    damped_update_at(g, state, coefficients, cut_rule, entropy_h, e, u, v)
+}
+
+/// [`damped_update`] with the endpoints already looked up.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn damped_update_at(
+    g: &UncertainGraph,
+    state: &AssignmentState,
+    coefficients: Option<&CutRuleCoefficients>,
+    cut_rule: CutRule,
+    entropy_h: f64,
+    e: EdgeId,
+    u: usize,
+    v: usize,
+) -> f64 {
     let old = state.prob[e];
-    let step = optimal_step(state, coefficients, cut_rule, e);
+    let step = optimal_step_at(g, state, coefficients, cut_rule, e, u, v);
     let candidate = old + step;
     if candidate < 0.0 {
         0.0
@@ -276,16 +374,57 @@ pub(crate) fn damped_update(
     }
 }
 
-/// Runs `GDB` (Algorithm 2) on a fixed backbone, returning the tuned
-/// probabilities.
+/// [`damped_update`] specialised — **bit-identically** — to an edge whose
+/// current probability is exactly `0.0`, avoiding every `log2` call.
 ///
-/// The backbone edge ids must be distinct and valid for `g`.
-pub fn gradient_descent_assign(
+/// Justification, branch by branch (`old = 0`, so `candidate = 0 + step =
+/// step` exactly — adding to `+0.0` is exact in IEEE arithmetic):
+///
+/// * `candidate < 0` and `candidate > 1` clamp before any entropy is
+///   computed, exactly as in the general path.
+/// * Otherwise the general path compares `edge_entropy(candidate)` with
+///   `edge_entropy(0.0)`.  `edge_entropy(0.0)` is exactly `0.0` (both terms
+///   vanish; `log2(1.0)` is `+0.0` by IEEE).  For `candidate` strictly
+///   inside `(0, 1)` the computed `edge_entropy(candidate)` is strictly
+///   positive: writing `q = max(candidate, 1 - candidate) ∈ [0.5, 1)`, the
+///   term for the *other* operand `r = 1 - q ∈ (0, 0.5]` is
+///   `-r·log2(r)` with true `log2(r) ≤ -1`, so any faithfully rounded
+///   `log2` yields a factor `≤ -1 + ulp < 0` and the term rounds to a value
+///   `> 0`; the remaining term is `≥ 0` and the sum of non-negative floats
+///   with one strictly positive is strictly positive.  Hence the comparison
+///   is `true` and the damped step `(0 + h·step).clamp(0, 1)` is taken.
+/// * For `candidate` exactly `0.0` or `1.0`, `edge_entropy(candidate)` is
+///   exactly `0.0`, the comparison is `false`, and `candidate` itself is
+///   returned — again with no entropy evaluation needed.
+///
+/// This is the hot path of the `EMD` E-phase candidate scan (every
+/// candidate is a non-kept edge, whose probability is 0 by invariant); the
+/// reference engine keeps calling the general, log-evaluating path.
+pub(crate) fn damped_update_from_zero(
+    g: &UncertainGraph,
+    state: &AssignmentState,
+    entropy_h: f64,
+    e: EdgeId,
+) -> f64 {
+    debug_assert_eq!(state.prob[e], 0.0, "fast path requires probability 0");
+    let step = optimal_step(g, state, None, CutRule::Degree, e);
+    let candidate = step; // 0.0 + step, exactly
+    if candidate < 0.0 {
+        0.0
+    } else if candidate > 1.0 {
+        1.0
+    } else if candidate == 0.0 || candidate == 1.0 {
+        candidate
+    } else {
+        (entropy_h * step).clamp(0.0, 1.0)
+    }
+}
+
+/// Validates the backbone edge ids against the graph.
+pub(crate) fn validate_backbone(
     g: &UncertainGraph,
     backbone: &[EdgeId],
-    config: &GdbConfig,
-) -> Result<GdbResult, SparsifyError> {
-    config.validate()?;
+) -> Result<(), SparsifyError> {
     if backbone.is_empty() {
         return Err(SparsifyError::EmptyGraph);
     }
@@ -299,26 +438,39 @@ pub fn gradient_descent_assign(
             ));
         }
     }
+    Ok(())
+}
 
-    let mut state = AssignmentState::new(g, backbone, config.discrepancy);
-    let coefficients = match config.cut_rule {
+/// The cut-rule coefficients needed by `config`, if any.
+pub(crate) fn prepare_coefficients(
+    g: &UncertainGraph,
+    config: &GdbConfig,
+) -> Option<CutRuleCoefficients> {
+    match config.cut_rule {
         CutRule::Cuts(k) => Some(CutRuleCoefficients::new(g.num_vertices().max(2), k)),
         _ => None,
-    };
+    }
+}
 
-    let mut trace = vec![state.tracker.objective()];
+/// The paper-faithful sweep loop: every sweep re-solves **every** backbone
+/// edge.  `trace` receives the objective before the first sweep and after
+/// each sweep; the return value is the number of sweeps executed.
+pub(crate) fn reference_sweeps(
+    g: &UncertainGraph,
+    state: &mut AssignmentState,
+    backbone: &[EdgeId],
+    config: &GdbConfig,
+    coefficients: Option<&CutRuleCoefficients>,
+    trace: &mut Vec<f64>,
+) -> usize {
+    trace.clear();
+    trace.push(state.tracker.objective());
     let mut iterations = 0usize;
     for _ in 0..config.max_iterations {
         let before = state.tracker.objective();
         for &e in backbone {
-            let new_p = damped_update(
-                &state,
-                coefficients.as_ref(),
-                config.cut_rule,
-                config.entropy_h,
-                e,
-            );
-            state.set_probability(e, new_p);
+            let new_p = damped_update(g, state, coefficients, config.cut_rule, config.entropy_h, e);
+            state.set_probability(g, e, new_p);
         }
         let after = state.tracker.objective();
         trace.push(after);
@@ -327,14 +479,241 @@ pub fn gradient_descent_assign(
             break;
         }
     }
+    iterations
+}
 
-    let probabilities = backbone.iter().map(|&e| (e, state.prob[e])).collect();
-    Ok(GdbResult {
-        probabilities,
-        iterations,
-        objective_trace: trace,
-        entropy: state.entropy(),
-    })
+/// Per-backbone-edge worklist stamps of the indexed engine (see
+/// [`crate::scratch`] for the machinery overview).
+///
+/// A backbone slot is *clean* — provably a no-op to revisit — iff its last
+/// re-solve left the probability unchanged (its `noop` bit is set) **and**
+/// none of the inputs of [`damped_update`] moved since: the endpoint
+/// discrepancies (tracked by the per-vertex change versions) and, for the
+/// `Cuts`/`AllCuts` rules, the global deficit (tracked by the global change
+/// version).  `damped_update` is a pure function of those inputs, so
+/// revisiting a clean slot would recompute the same no-op the reference
+/// sweep performs — which is exactly why skipping it is bit-identical.
+///
+/// The hot `noop` bits live in their own dense array (one byte per slot, so
+/// a sweep over a mostly-active backbone touches almost no extra memory);
+/// the version triples are only read or written for slots whose last visit
+/// was a no-op.
+#[derive(Debug, Default)]
+pub(crate) struct WorklistStamps {
+    /// Whether each slot's last visit changed nothing.  All `false`
+    /// initially, so the first sweep visits everything — just like the
+    /// reference.
+    noop: Vec<bool>,
+    /// `(endpoint u, endpoint v, global)` change versions recorded after
+    /// each slot's last no-op visit.
+    versions: Vec<(u64, u64, u64)>,
+}
+
+impl WorklistStamps {
+    /// Marks every slot dirty for a backbone of `len` slots.
+    fn reset(&mut self, len: usize) {
+        self.noop.clear();
+        self.noop.resize(len, false);
+        self.versions.clear();
+        self.versions.resize(len, (0, 0, 0));
+    }
+}
+
+/// The worklist sweep loop: bit-identical to [`reference_sweeps`] (same visit
+/// order for every edge that is revisited; skipped visits are provable
+/// no-ops), but each sweep only re-solves dirty slots.  Two complementary
+/// skip tests run before a re-solve:
+///
+/// * **Clamp sign-guard** (`Degree` rule only): an edge pinned at
+///   probability 1 whose endpoint discrepancies are both ≥ 0 re-solves to
+///   exactly 1 — the Equation-8 step is a quotient of products/sums of
+///   non-negative floats, which IEEE keeps sign-exact, so the candidate
+///   stays ≥ 1 and clamps back to 1 (and symmetrically at probability 0
+///   with non-positive discrepancies).  This is the workhorse in the
+///   saturating regimes the paper highlights (Section 6.3), where most kept
+///   edges are driven to 1 early and stay there while their neighbourhoods
+///   keep adjusting.
+/// * **Version stamps**: a slot whose last re-solve was a no-op needs no
+///   revisit while the endpoint change versions (and, for the global cut
+///   rules, the global version) recorded in its [`WorklistStamps`] are
+///   current — the update is a pure function of the stamped inputs.
+pub(crate) fn indexed_sweeps(
+    g: &UncertainGraph,
+    state: &mut AssignmentState,
+    backbone: &[EdgeId],
+    config: &GdbConfig,
+    coefficients: Option<&CutRuleCoefficients>,
+    stamps: &mut WorklistStamps,
+    trace: &mut Vec<f64>,
+) -> usize {
+    stamps.reset(backbone.len());
+    trace.clear();
+    trace.push(state.tracker.objective());
+    let degree_rule = matches!(config.cut_rule, CutRule::Degree);
+    // Adaptive probing: the skip tests cost a few nanoseconds per visit and
+    // the skippable solves are the *cheap* ones (a clamped edge's update
+    // early-returns before any `log2`), so guarded sweeps only pay off when
+    // nearly everything is skippable.  When a guarded probe sweep skips less
+    // than 90% of the backbone, the next `PLAIN_STREAK` sweeps run the
+    // unguarded body — float-for-float the reference loop — before probing
+    // again, capping the worst-case overhead at a couple of percent.  Stamps
+    // may go stale during plain sweeps; that is sound, because the version
+    // comparison against the monotone change counters still detects every
+    // interim change.
+    const PLAIN_STREAK: usize = 15;
+    let mut plain_remaining = 0usize;
+    let mut iterations = 0usize;
+    for _ in 0..config.max_iterations {
+        let before = state.tracker.objective();
+        if plain_remaining > 0 {
+            plain_remaining -= 1;
+            for &e in backbone {
+                let (u, v) = g.edge_endpoints(e);
+                let new_p = damped_update_at(
+                    g,
+                    state,
+                    coefficients,
+                    config.cut_rule,
+                    config.entropy_h,
+                    e,
+                    u,
+                    v,
+                );
+                state.set_probability_at(e, u, v, new_p);
+            }
+        } else {
+            let mut skipped = 0usize;
+            for (slot, &e) in backbone.iter().enumerate() {
+                let (u, v) = g.edge_endpoints(e);
+                if degree_rule {
+                    // Clamp sign-guard: provably a no-op, whatever the exact
+                    // discrepancy values (NaN-safe: comparisons are false).
+                    let p = state.prob[e];
+                    if p == 1.0 {
+                        if state.tracker.delta_abs(u) >= 0.0 && state.tracker.delta_abs(v) >= 0.0 {
+                            skipped += 1;
+                            continue;
+                        }
+                    } else if p == 0.0
+                        && state.tracker.delta_abs(u) <= 0.0
+                        && state.tracker.delta_abs(v) <= 0.0
+                    {
+                        skipped += 1;
+                        continue;
+                    }
+                }
+                if stamps.noop[slot] {
+                    let (last_u, last_v, last_global) = stamps.versions[slot];
+                    if state.tracker.vertex_version(u) == last_u
+                        && state.tracker.vertex_version(v) == last_v
+                        && (degree_rule || state.tracker.change_version() == last_global)
+                    {
+                        skipped += 1;
+                        continue;
+                    }
+                }
+                let old = state.prob[e];
+                let new_p = damped_update_at(
+                    g,
+                    state,
+                    coefficients,
+                    config.cut_rule,
+                    config.entropy_h,
+                    e,
+                    u,
+                    v,
+                );
+                state.set_probability_at(e, u, v, new_p);
+                // The same no-op condition `set_probability` uses; versions
+                // are only recorded for no-ops (a changed slot stays dirty
+                // anyway).
+                if (old - new_p).abs() == 0.0 {
+                    stamps.noop[slot] = true;
+                    stamps.versions[slot] = (
+                        state.tracker.vertex_version(u),
+                        state.tracker.vertex_version(v),
+                        state.tracker.change_version(),
+                    );
+                } else {
+                    stamps.noop[slot] = false;
+                }
+            }
+            if skipped * 10 < backbone.len() * 9 {
+                plain_remaining = PLAIN_STREAK;
+            }
+        }
+        let after = state.tracker.objective();
+        trace.push(after);
+        iterations += 1;
+        if (before - after).abs() <= config.tolerance {
+            break;
+        }
+    }
+    iterations
+}
+
+/// Runs `GDB` (Algorithm 2) on a fixed backbone, returning the tuned
+/// probabilities.  Dispatches on [`GdbConfig::engine`]; the indexed engine
+/// allocates a transient scratch — use [`gradient_descent_assign_with`] to
+/// amortise it across runs.
+///
+/// The backbone edge ids must be distinct and valid for `g`.
+pub fn gradient_descent_assign(
+    g: &UncertainGraph,
+    backbone: &[EdgeId],
+    config: &GdbConfig,
+) -> Result<GdbResult, SparsifyError> {
+    let mut scratch = CoreScratch::new();
+    gradient_descent_assign_with(g, backbone, config, &mut scratch)
+}
+
+/// [`gradient_descent_assign`] with caller-provided scratch space: repeated
+/// runs reuse every buffer, so warm sweeps perform zero heap allocations
+/// (proven by the counting-allocator suite in `crates/bench/tests`).
+pub fn gradient_descent_assign_with(
+    g: &UncertainGraph,
+    backbone: &[EdgeId],
+    config: &GdbConfig,
+    scratch: &mut CoreScratch,
+) -> Result<GdbResult, SparsifyError> {
+    config.validate()?;
+    validate_backbone(g, backbone)?;
+    let coefficients = prepare_coefficients(g, config);
+    Ok(run_gdb(g, backbone, config, coefficients.as_ref(), &mut scratch.gdb).to_result(backbone))
+}
+
+/// Shared core of the public `GDB` entry points and the `EMD` M-phase: reset
+/// the scratch state, run the configured sweep loop, and leave the tuned
+/// assignment in `scratch.state` (callers decide whether to materialise a
+/// [`GdbResult`], avoiding per-M-phase allocations in `EMD`).
+pub(crate) fn run_gdb<'s>(
+    g: &UncertainGraph,
+    backbone: &[EdgeId],
+    config: &GdbConfig,
+    coefficients: Option<&CutRuleCoefficients>,
+    scratch: &'s mut GdbScratch,
+) -> &'s mut GdbScratch {
+    scratch.state.reset(g, backbone, config.discrepancy);
+    scratch.iterations = match config.engine {
+        Engine::Reference => reference_sweeps(
+            g,
+            &mut scratch.state,
+            backbone,
+            config,
+            coefficients,
+            &mut scratch.trace,
+        ),
+        Engine::Indexed => indexed_sweeps(
+            g,
+            &mut scratch.state,
+            backbone,
+            config,
+            coefficients,
+            &mut scratch.stamps,
+            &mut scratch.trace,
+        ),
+    };
+    scratch
 }
 
 #[cfg(test)]
@@ -660,16 +1039,84 @@ mod tests {
         // kept_deficit starts at 0 because the backbone uses original
         // probabilities.
         assert!(state.kept_deficit.abs() < 1e-12);
-        state.set_probability(2, 0.5);
+        state.set_probability(&g, 2, 0.5);
         assert!((state.kept_deficit - (0.2 - 0.5)).abs() < 1e-12);
-        state.remove_edge(2);
+        state.remove_edge(&g, 2);
         assert!(state.kept_deficit.abs() < 1e-12);
-        state.insert_edge(2, 0.7);
+        state.insert_edge(&g, 2, 0.7);
         assert!((state.kept_deficit - (0.2 - 0.7)).abs() < 1e-12);
         assert_eq!(state.kept_edges().len(), 3);
         // tracker total deficit counts dropped edges (0, 1) too
         let dropped_mass = 0.4 + 0.2;
         let expected_total = dropped_mass + (0.2 - 0.7);
         assert!((state.tracker.total_deficit() - expected_total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_state_is_bit_identical_to_fresh_state() {
+        let (g, backbone) = figure2_graph();
+        let fresh = AssignmentState::new(&g, &backbone, DiscrepancyKind::Relative);
+        // Pollute a state with a different run, then reset it.
+        let mut reused = AssignmentState::new(&g, &[0, 1], DiscrepancyKind::Absolute);
+        reused.set_probability(&g, 0, 0.9);
+        reused.reset(&g, &backbone, DiscrepancyKind::Relative);
+        assert_eq!(
+            fresh.prob.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            reused.prob.iter().map(|p| p.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(fresh.in_set, reused.in_set);
+        assert_eq!(
+            fresh.tracker.objective().to_bits(),
+            reused.tracker.objective().to_bits()
+        );
+        assert_eq!(fresh.kept_deficit.to_bits(), reused.kept_deficit.to_bits());
+    }
+
+    #[test]
+    fn engine_parse_and_names() {
+        assert_eq!(Engine::parse("reference"), Some(Engine::Reference));
+        assert_eq!(Engine::parse("ref"), Some(Engine::Reference));
+        assert_eq!(Engine::parse("indexed"), Some(Engine::Indexed));
+        assert_eq!(Engine::parse("idx"), Some(Engine::Indexed));
+        assert_eq!(Engine::parse("magic"), None);
+        assert_eq!(Engine::Reference.name(), "reference");
+        assert_eq!(Engine::Indexed.name(), "indexed");
+        assert_eq!(Engine::default(), Engine::Indexed);
+    }
+
+    #[test]
+    fn both_engines_agree_bitwise_on_the_paper_example() {
+        let (g, backbone) = figure2_graph();
+        for h in [0.0, 0.05, 1.0] {
+            let reference = gradient_descent_assign(
+                &g,
+                &backbone,
+                &GdbConfig {
+                    entropy_h: h,
+                    engine: Engine::Reference,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let indexed = gradient_descent_assign(
+                &g,
+                &backbone,
+                &GdbConfig {
+                    entropy_h: h,
+                    engine: Engine::Indexed,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(reference.iterations, indexed.iterations, "h={h}");
+            for (r, i) in reference
+                .probabilities
+                .iter()
+                .zip(indexed.probabilities.iter())
+            {
+                assert_eq!(r.0, i.0);
+                assert_eq!(r.1.to_bits(), i.1.to_bits(), "h={h}");
+            }
+        }
     }
 }

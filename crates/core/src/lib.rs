@@ -33,6 +33,11 @@
 //! * [`kcut`] — the closed-form coefficients of the general cut-preserving
 //!   rule (the `(n choose k)_Σ` enumeration function), evaluated in log space
 //!   so arbitrarily large `n`/`k` never overflow.
+//! * [`scratch`] — the reusable [`CoreScratch`] workspace behind the
+//!   worklist-indexed engine ([`gdb::Engine`]): incremental dirty-edge
+//!   stamps for `GDB`, a persistent vertex heap for `EMD`, and
+//!   zero-allocation steady-state loops, all bit-identical to the reference
+//!   sweeps.
 //! * [`spec`] — a builder-style front end ([`SparsifierSpec`]) plus the
 //!   [`Sparsifier`] trait implemented by every method (including the
 //!   baselines in `ugs-baselines`), so benchmarks and applications can treat
@@ -70,21 +75,30 @@ pub mod gdb;
 pub mod kcut;
 pub mod lp_assign;
 pub mod representative;
+pub mod scratch;
 pub mod spec;
 
-pub use backbone::{build_backbone, BackboneConfig, BackboneKind};
+pub use backbone::{build_backbone, build_backbone_into, BackboneConfig, BackboneKind};
 pub use discrepancy::{DegreeTracker, DiscrepancyKind};
-pub use emd::{EmdConfig, EmdResult};
+pub use emd::{
+    expectation_maximization_sparsify, expectation_maximization_sparsify_with, EmdConfig, EmdResult,
+};
 pub use error::SparsifyError;
-pub use gdb::{CutRule, GdbConfig, GdbResult};
-pub use spec::{Diagnostics, Method, Sparsifier, SparsifierSpec, SparsifyOutput};
+pub use gdb::{
+    gradient_descent_assign, gradient_descent_assign_with, CutRule, Engine, GdbConfig, GdbResult,
+};
+pub use scratch::CoreScratch;
+pub use spec::{Diagnostics, Method, PhaseTimings, Sparsifier, SparsifierSpec, SparsifyOutput};
 
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
-    pub use crate::backbone::{build_backbone, BackboneConfig, BackboneKind};
+    pub use crate::backbone::{build_backbone, build_backbone_into, BackboneConfig, BackboneKind};
     pub use crate::discrepancy::{DegreeTracker, DiscrepancyKind};
     pub use crate::emd::EmdConfig;
     pub use crate::error::SparsifyError;
-    pub use crate::gdb::{CutRule, GdbConfig};
-    pub use crate::spec::{Diagnostics, Method, Sparsifier, SparsifierSpec, SparsifyOutput};
+    pub use crate::gdb::{CutRule, Engine, GdbConfig};
+    pub use crate::scratch::CoreScratch;
+    pub use crate::spec::{
+        Diagnostics, Method, PhaseTimings, Sparsifier, SparsifierSpec, SparsifyOutput,
+    };
 }

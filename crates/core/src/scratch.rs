@@ -1,0 +1,158 @@
+//! Reusable workspace for the indexed sparsification engine.
+//!
+//! The hot loops of this crate — backbone construction, the `GDB` sweep loop
+//! and the `EMD` E/M-phases — all need graph-sized buffers.  The reference
+//! implementations allocate them per call, which is fine for a one-shot
+//! sparsification but wasteful for parameter sweeps and the per-shard use
+//! envisioned by the ROADMAP's graph-sharded direction.  [`CoreScratch`]
+//! owns every buffer once and is threaded through
+//! [`build_backbone_into`](crate::backbone::build_backbone_into),
+//! [`gradient_descent_assign_with`](crate::gdb::gradient_descent_assign_with),
+//! [`expectation_maximization_sparsify_with`](crate::emd::expectation_maximization_sparsify_with)
+//! and [`SparsifierSpec::sparsify_with`](crate::spec::SparsifierSpec::sparsify_with):
+//! after a warm-up run, steady-state `GDB` sweeps and `EMD` E-phase
+//! iterations perform **zero** heap allocations (proven by the counting
+//! `#[global_allocator]` suite in `crates/bench/tests/zero_alloc.rs`).
+//!
+//! # The worklist machinery
+//!
+//! Two incremental indexes make [`Engine::Indexed`](crate::gdb::Engine) fast
+//! while staying bit-identical to the reference sweeps:
+//!
+//! * **Worklist `GDB`** — a sweep walks the backbone in the reference visit
+//!   order but skips slots it can *prove* are no-ops, two ways.  The clamp
+//!   **sign-guard**: an edge pinned at probability 1 whose endpoint
+//!   discrepancies are both non-negative re-solves to exactly 1 (the
+//!   Equation-8 step is a quotient of products and sums of non-negative
+//!   floats, which IEEE arithmetic keeps sign-exact), and symmetrically at
+//!   probability 0 — the workhorse in the saturating regimes of Section 6.3
+//!   where most kept edges hit 1 early and stay.  The **version stamps**:
+//!   [`DegreeTracker`](crate::discrepancy::DegreeTracker) bumps a per-vertex
+//!   *change version* in `apply_edge_change` whenever a discrepancy moves
+//!   (plus one global version for the `Cuts`/`AllCuts` rules, whose
+//!   closed-form step reads the total deficit), and every backbone slot
+//!   carries an `EdgeStamp` recording the versions seen after its last
+//!   no-op re-solve; while the stamps are current the update — a pure
+//!   function of the stamped inputs — would recompute the same no-op.
+//!   Bit-identity follows by construction; the `sparsify_parity` suite
+//!   checks it across the full configuration grid.
+//! * **Heap-driven `EMD`** — the reference rebuilds the max-heap over
+//!   `|δ(u)|` with `O(|V| log |V|)` pushes into a freshly allocated heap at
+//!   the start of every E-phase and re-clones the backbone snapshot.  The
+//!   indexed engine re-heapifies in place (`O(|V|)` Floyd build into reused
+//!   buffers), reuses the snapshot buffer, and maintains an edge →
+//!   backbone-position map so swap bookkeeping is `O(1)` instead of a
+//!   linear scan per swap.  The heap's ordering is total (priority, then
+//!   smaller vertex id), so its maximum is unique and independent of the
+//!   internal layout — peeks agree with the reference heap bit for bit.
+
+use graph_algos::FlatMaxHeap;
+use uncertain_graph::EdgeId;
+
+use crate::gdb::{AssignmentState, WorklistStamps};
+
+/// Scratch space for one `GDB` run (also the `EMD` M-phase workspace).
+#[derive(Debug, Default)]
+pub(crate) struct GdbScratch {
+    /// The probability assignment under optimisation.
+    pub(crate) state: AssignmentState,
+    /// Worklist stamps, one per backbone slot.
+    pub(crate) stamps: WorklistStamps,
+    /// Objective trace of the current run.
+    pub(crate) trace: Vec<f64>,
+    /// Sweeps executed by the current run.
+    pub(crate) iterations: usize,
+}
+
+impl GdbScratch {
+    /// Materialises the run recorded in this scratch as a `GdbResult`
+    /// (allocates the output vectors; the run itself does not).
+    pub(crate) fn to_result(&self, backbone: &[EdgeId]) -> crate::gdb::GdbResult {
+        crate::gdb::GdbResult {
+            probabilities: backbone.iter().map(|&e| (e, self.state.prob[e])).collect(),
+            iterations: self.iterations,
+            objective_trace: self.trace.clone(),
+            entropy: self.state.entropy(),
+        }
+    }
+}
+
+/// Scratch space for one `EMD` run.
+#[derive(Debug)]
+pub(crate) struct EmdScratch {
+    /// The outer probability assignment evolved across EM iterations.
+    pub(crate) state: AssignmentState,
+    /// Reusable cache-aware max-heap over the vertex discrepancies
+    /// `|δ(u)|` (same total order as the reference's binary heap, so peeks
+    /// agree bit for bit).
+    pub(crate) heap: FlatMaxHeap,
+    /// Reusable E-phase snapshot of the backbone.
+    pub(crate) snapshot: Vec<EdgeId>,
+    /// The evolving backbone edge set.
+    pub(crate) backbone: Vec<EdgeId>,
+    /// `position_of[e]` = slot of `e` in `backbone` (valid only for kept
+    /// edges; maintained on every swap).
+    pub(crate) position_of: Vec<usize>,
+    /// Objective trace across EM iterations.
+    pub(crate) trace: Vec<f64>,
+    /// M-phase workspace.
+    pub(crate) mphase: GdbScratch,
+}
+
+impl Default for EmdScratch {
+    fn default() -> Self {
+        EmdScratch {
+            state: AssignmentState::default(),
+            heap: FlatMaxHeap::new(),
+            snapshot: Vec::new(),
+            backbone: Vec::new(),
+            position_of: Vec::new(),
+            trace: Vec::new(),
+            mphase: GdbScratch::default(),
+        }
+    }
+}
+
+/// Scratch space for backbone construction.
+#[derive(Debug, Default)]
+pub(crate) struct BackboneScratch {
+    /// Edge-selected flags.
+    pub(crate) selected: Vec<bool>,
+    /// Sweep order / remaining-edge pool for the Bernoulli phases.
+    pub(crate) order: Vec<EdgeId>,
+    /// Weighted-sampling pool.
+    pub(crate) pool: Vec<EdgeId>,
+    /// `(u, v, p)` triples for the spanning-forest extraction.
+    pub(crate) weighted: Vec<(usize, usize, f64)>,
+    /// Membership flags of the current spanning forest.
+    pub(crate) in_forest: Vec<bool>,
+    /// Local-degree nominations `(hub score, edge)`.
+    pub(crate) nominated: Vec<(f64, EdgeId)>,
+    /// Per-vertex incident-edge buffer of the local-degree construction.
+    pub(crate) incident: Vec<(f64, EdgeId)>,
+}
+
+/// The shared workspace of the indexed sparsification engine.
+///
+/// Create one with [`CoreScratch::new`] and pass it to the `*_with` /
+/// `*_into` entry points; every buffer is sized on first use and reused
+/// afterwards.  A single scratch can serve graphs of different sizes and any
+/// mix of `GDB`/`EMD`/backbone calls — each run fully re-initialises the
+/// slices it reads.  The scratch is deliberately opaque: its layout is an
+/// implementation detail of the engine.
+#[derive(Debug, Default)]
+pub struct CoreScratch {
+    pub(crate) gdb: GdbScratch,
+    pub(crate) emd: EmdScratch,
+    pub(crate) backbone: BackboneScratch,
+    /// Backbone buffer used by `SparsifierSpec::sparsify_with` (taken out of
+    /// the scratch while the optimisation phases borrow it).
+    pub(crate) spec_backbone: Vec<EdgeId>,
+}
+
+impl CoreScratch {
+    /// Creates an empty workspace; buffers grow to fit on first use.
+    pub fn new() -> Self {
+        CoreScratch::default()
+    }
+}

@@ -14,12 +14,13 @@ use std::time::{Duration, Instant};
 use rand::RngCore;
 use uncertain_graph::{EdgeId, UncertainGraph};
 
-use crate::backbone::{build_backbone, target_edge_count, BackboneConfig, BackboneKind};
+use crate::backbone::{build_backbone_into, target_edge_count, BackboneConfig, BackboneKind};
 use crate::discrepancy::DiscrepancyKind;
-use crate::emd::{expectation_maximization_sparsify, EmdConfig};
+use crate::emd::{expectation_maximization_sparsify_with, EmdConfig};
 use crate::error::SparsifyError;
-use crate::gdb::{gradient_descent_assign, CutRule, GdbConfig};
+use crate::gdb::{gradient_descent_assign_with, CutRule, Engine, GdbConfig};
 use crate::lp_assign::lp_assign;
+use crate::scratch::CoreScratch;
 
 /// Probabilities of exactly zero are floored at this value when a sparsified
 /// [`UncertainGraph`] is materialised, so that `|E'| = α|E|` holds while the
@@ -49,6 +50,17 @@ impl Method {
     }
 }
 
+/// Per-phase wall-clock breakdown of a sparsification run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Backbone construction (`BGI`, Algorithm 1).
+    pub backbone: Duration,
+    /// Probability optimisation (`GDB`/`EMD`/`LP`).
+    pub optimize: Duration,
+    /// Materialisation of the sparsified [`UncertainGraph`].
+    pub materialize: Duration,
+}
+
 /// Execution statistics reported alongside every sparsified graph.
 #[derive(Debug, Clone)]
 pub struct Diagnostics {
@@ -73,6 +85,9 @@ pub struct Diagnostics {
     pub entropy_sparsified: f64,
     /// Wall-clock time spent inside the sparsifier.
     pub elapsed: Duration,
+    /// Per-phase wall-clock breakdown (all zero for methods that do not go
+    /// through the backbone/optimise/materialise pipeline, e.g. baselines).
+    pub phases: PhaseTimings,
 }
 
 impl Diagnostics {
@@ -121,6 +136,7 @@ pub struct SparsifierSpec {
     entropy_h: f64,
     tolerance: f64,
     max_iterations: usize,
+    engine: Engine,
 }
 
 impl SparsifierSpec {
@@ -134,6 +150,7 @@ impl SparsifierSpec {
             entropy_h: 0.05,
             tolerance: 1e-9,
             max_iterations: 50,
+            engine: Engine::default(),
         }
     }
 
@@ -202,9 +219,22 @@ impl SparsifierSpec {
         self
     }
 
+    /// Selects the optimisation engine (the worklist-indexed engine by
+    /// default; [`Engine::Reference`] runs the paper-faithful full sweeps).
+    /// Both engines are bit-identical; only meaningful for `GDB` and `EMD`.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The configured method.
     pub fn method(&self) -> Method {
         self.method
+    }
+
+    /// The configured engine.
+    pub fn configured_engine(&self) -> Engine {
+        self.engine
     }
 
     /// The configured ratio.
@@ -234,14 +264,42 @@ impl SparsifierSpec {
     }
 
     /// Runs the configured sparsifier on `g`.
+    ///
+    /// Allocates a transient [`CoreScratch`]; use
+    /// [`SparsifierSpec::sparsify_with`] to amortise the workspace across
+    /// repeated runs (parameter sweeps, per-shard sparsification).
     pub fn sparsify<R: RngCore + ?Sized>(
         &self,
         g: &UncertainGraph,
         rng: &mut R,
     ) -> Result<SparsifyOutput, SparsifyError> {
+        let mut scratch = CoreScratch::new();
+        self.sparsify_with(g, rng, &mut scratch)
+    }
+
+    /// [`SparsifierSpec::sparsify`] with caller-provided scratch space: the
+    /// backbone builder, the optimisation loops and all their graph-sized
+    /// buffers are reused across calls.  Results are identical to
+    /// [`SparsifierSpec::sparsify`] for the same graph, spec and RNG state.
+    pub fn sparsify_with<R: RngCore + ?Sized>(
+        &self,
+        g: &UncertainGraph,
+        rng: &mut R,
+        scratch: &mut CoreScratch,
+    ) -> Result<SparsifyOutput, SparsifyError> {
         let start = Instant::now();
         let target = target_edge_count(g, self.alpha)?;
-        let backbone = build_backbone(g, self.alpha, &self.backbone, rng)?;
+        // The backbone buffer is taken out of the scratch so the optimisation
+        // phases can borrow the scratch mutably; it is returned afterwards,
+        // keeping its capacity warm for the next run.
+        let mut backbone = std::mem::take(&mut scratch.spec_backbone);
+        let phase_started = Instant::now();
+        let built = build_backbone_into(g, self.alpha, &self.backbone, rng, scratch, &mut backbone);
+        if let Err(error) = built {
+            scratch.spec_backbone = backbone;
+            return Err(error);
+        }
+        let backbone_elapsed = phase_started.elapsed();
         debug_assert_eq!(backbone.len(), target);
 
         let gdb_config = GdbConfig {
@@ -250,42 +308,53 @@ impl SparsifierSpec {
             entropy_h: self.entropy_h,
             tolerance: self.tolerance,
             max_iterations: self.max_iterations,
+            engine: self.engine,
         };
 
-        let (assignment, iterations, swaps, trace): (Vec<(EdgeId, f64)>, usize, usize, Vec<f64>) =
-            match self.method {
-                Method::Gdb => {
-                    let result = gradient_descent_assign(g, &backbone, &gdb_config)?;
+        // (assignment, iterations, swaps, objective trace)
+        type Optimized = (Vec<(EdgeId, f64)>, usize, usize, Vec<f64>);
+        let phase_started = Instant::now();
+        let optimized: Result<Optimized, SparsifyError> = match self.method {
+            Method::Gdb => {
+                gradient_descent_assign_with(g, &backbone, &gdb_config, scratch).map(|result| {
                     (
                         result.probabilities,
                         result.iterations,
                         0,
                         result.objective_trace,
                     )
-                }
-                Method::Emd => {
-                    let config = EmdConfig {
-                        discrepancy: self.discrepancy,
-                        entropy_h: self.entropy_h,
-                        tolerance: self.tolerance,
-                        max_iterations: self.max_iterations,
-                        gdb: gdb_config,
-                    };
-                    let result = expectation_maximization_sparsify(g, &backbone, &config)?;
-                    (
-                        result.probabilities,
-                        result.iterations,
-                        result.swaps,
-                        result.objective_trace,
-                    )
-                }
-                Method::Lp => {
-                    let result = lp_assign(g, &backbone)?;
-                    (result.probabilities, result.pivots, 0, Vec::new())
-                }
-            };
+                })
+            }
+            Method::Emd => {
+                let config = EmdConfig {
+                    discrepancy: self.discrepancy,
+                    entropy_h: self.entropy_h,
+                    tolerance: self.tolerance,
+                    max_iterations: self.max_iterations,
+                    engine: self.engine,
+                    gdb: gdb_config,
+                };
+                expectation_maximization_sparsify_with(g, &backbone, &config, scratch).map(
+                    |result| {
+                        (
+                            result.probabilities,
+                            result.iterations,
+                            result.swaps,
+                            result.objective_trace,
+                        )
+                    },
+                )
+            }
+            Method::Lp => lp_assign(g, &backbone)
+                .map(|result| (result.probabilities, result.pivots, 0, Vec::new())),
+        };
+        let optimize_elapsed = phase_started.elapsed();
+        scratch.spec_backbone = backbone;
+        let (assignment, iterations, swaps, trace) = optimized?;
 
+        let phase_started = Instant::now();
         let graph = materialize(g, &assignment)?;
+        let materialize_elapsed = phase_started.elapsed();
         let diagnostics = Diagnostics {
             method: self.display_name(),
             alpha: self.alpha,
@@ -296,6 +365,11 @@ impl SparsifierSpec {
             entropy_original: g.entropy(),
             entropy_sparsified: graph.entropy(),
             elapsed: start.elapsed(),
+            phases: PhaseTimings {
+                backbone: backbone_elapsed,
+                optimize: optimize_elapsed,
+                materialize: materialize_elapsed,
+            },
         };
         Ok(SparsifyOutput { graph, diagnostics })
     }
@@ -533,6 +607,7 @@ mod tests {
             entropy_original: 0.0,
             entropy_sparsified: 0.0,
             elapsed: Duration::from_millis(1),
+            phases: PhaseTimings::default(),
         };
         assert_eq!(d.relative_entropy(), 0.0);
     }

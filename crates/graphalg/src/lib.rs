@@ -37,7 +37,7 @@ pub mod wgraph;
 
 pub use dgraph::DeterministicGraph;
 pub use dsu::UnionFind;
-pub use heap::IndexedMaxHeap;
+pub use heap::{FlatMaxHeap, IndexedMaxHeap};
 pub use template::WorldTemplate;
 pub use wgraph::WeightedGraph;
 
@@ -46,7 +46,7 @@ pub mod prelude {
     pub use crate::clustering::local_clustering_coefficients;
     pub use crate::dgraph::DeterministicGraph;
     pub use crate::dsu::UnionFind;
-    pub use crate::heap::IndexedMaxHeap;
+    pub use crate::heap::{FlatMaxHeap, IndexedMaxHeap};
     pub use crate::pagerank::{pagerank, PageRankConfig};
     pub use crate::shortest_path::{bfs_hop_distances, dijkstra};
     pub use crate::spanning::{maximum_spanning_forest, maximum_spanning_tree_weight};

@@ -354,6 +354,73 @@ fn cli_plan_command_executes_a_mixed_plan_with_a_snapshot_report() {
 }
 
 #[test]
+fn cli_sparsify_engine_and_time_flags_emit_a_stable_report() {
+    // The indexed-engine acceptance path at the CLI level: `ugs sparsify`
+    // with `--engine reference` and `--engine indexed` must produce
+    // byte-identical reports apart from the engine label and the wall-clock
+    // lines (the engines are bit-identical), and `--time` must append a
+    // parseable minijson object with the per-phase timings.
+    use ugs_cli::args::ParsedArgs;
+    use ugs_cli::commands;
+
+    let g = flickr_tiny(8);
+    let dir = std::env::temp_dir().join("ugs-e2e-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-sparsify-fixture.txt", std::process::id()));
+    ugs::graph::io::write_text_file(&g, &path).unwrap();
+    let path_str = path.to_string_lossy().to_string();
+
+    let run_with = |engine: &str, method: &str| {
+        let args = ParsedArgs::parse([
+            "sparsify", &path_str, "--alpha", "0.25", "--method", method, "--seed", "9",
+            "--engine", engine, "--time",
+        ])
+        .unwrap();
+        commands::run(&args).unwrap()
+    };
+    // Drop the lines whose content is wall-clock dependent; everything else
+    // is a deterministic snapshot.
+    let stable = |report: &str| -> Vec<String> {
+        report
+            .lines()
+            .filter(|line| {
+                !line.starts_with("time")
+                    && !line.starts_with("timings")
+                    && !line.starts_with("engine")
+            })
+            .map(str::to_string)
+            .collect()
+    };
+
+    for method in ["gdb", "emd"] {
+        let indexed = run_with("indexed", method);
+        assert_eq!(
+            stable(&indexed),
+            stable(&run_with("indexed", method)),
+            "{method}: snapshot must be stable across runs"
+        );
+        assert_eq!(
+            stable(&indexed),
+            stable(&run_with("reference", method)),
+            "{method}: engines must agree"
+        );
+        let timings_line = indexed
+            .lines()
+            .find(|line| line.starts_with("timings"))
+            .expect("timings line present");
+        let doc = minijson::Value::parse(timings_line.split_once(':').unwrap().1.trim())
+            .expect("timings must be valid JSON");
+        let total = doc.get_f64("total_ms").unwrap();
+        assert!(total >= 0.0);
+        for field in ["backbone_ms", "optimize_ms", "materialize_ms"] {
+            let value = doc.get_f64(field).unwrap();
+            assert!(value >= 0.0 && value <= total + 1e-6, "{method}: {field}");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn graph_io_round_trips_through_all_formats() {
     let g = flickr_tiny(6);
     // text
