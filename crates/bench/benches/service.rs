@@ -93,6 +93,7 @@ fn measure(g: &UncertainGraph) -> Measurement {
         num_worlds: WORLDS,
         threads,
         mode: SampleMethod::Skip,
+        shards: 1,
     };
     let burst = |service: &QueryService| {
         let tickets: Vec<_> = (0..ROUNDS)

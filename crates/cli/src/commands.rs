@@ -118,8 +118,10 @@ const BATCH_OPTIONS: &[&str] = &[
     "sequential",
     "mode",
     "compact",
+    "shards",
 ];
-const PLAN_OPTIONS: &[&str] = &["graph", "compact"];
+const PLAN_OPTIONS: &[&str] = &["graph", "compact", "shards"];
+const PARTITION_OPTIONS: &[&str] = &["shards", "strategy", "compact"];
 const SESSION_OPTIONS: &[&str] = &[
     "rounds",
     "worlds",
@@ -177,23 +179,37 @@ const COMMANDS: &[CommandHelp] = &[
         name: "batch",
         usage: "batch      <graph.txt> --queries q1,q2,... [--worlds N] [--pairs N] [--top K]
                [--source V] [--seed N] [--threads N] [--sequential]
-               [--mode auto|skip|per-edge] [--compact]
+               [--mode auto|skip|per-edge] [--shards N] [--compact]
                Evaluate several Monte-Carlo queries over ONE shared set of
                sampled worlds (queries: pagerank|cc|sp|connectivity|
                degree-hist|edge-freq|knn) and print the results as JSON.
                Sampling and world materialisation are paid once for the whole
-               query mix instead of once per query.  A thin wrapper over the
-               query-plan path (`ugs plan`).",
+               query mix instead of once per query.  --shards N evaluates over
+               a graph partition with cut-aware observers (count queries only;
+               results are bit-identical to the monolithic run).  A thin
+               wrapper over the query-plan path (`ugs plan`).",
     },
     CommandHelp {
         name: "plan",
-        usage: "plan       <plan.json> [--graph FILE] [--compact]
+        usage: "plan       <plan.json> [--graph FILE] [--shards N] [--compact]
                Execute a JSON query plan end-to-end and print the full report
                as JSON.  The plan names the graph (overridable with --graph),
-               the shared world budget, the worker count, the sampling mode,
-               the seed and a list of query specs such as
+               the shared world budget, the worker count, the graph-shard
+               count (overridable with --shards), the sampling mode, the seed
+               and a list of query specs such as
                {\"type\": \"knn\", \"source\": 0, \"k\": 5}; all queries share
                one set of sampled worlds, sharded across the workers.",
+    },
+    CommandHelp {
+        name: "partition",
+        usage: "partition  <graph.txt> [--shards N] [--strategy contiguous|spanning] [--compact]
+               Partition the graph's vertex set into shards and print a JSON
+               report: per-shard vertex/edge counts, the cut-edge count and
+               the cut probability mass (the expected number of boundary
+               edges per sampled world).  `spanning` (the default) carves
+               chunked DFS walks out of the maximum spanning forest, keeping
+               high-probability edges inside shards; `contiguous` splits the
+               vertex range naively.",
     },
     CommandHelp {
         name: "session",
@@ -557,10 +573,15 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
             "no queries given; try --queries pagerank,connectivity".to_string(),
         ));
     }
+    let shards = args.usize_or("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Message("--shards must be at least 1".to_string()));
+    }
     // Validate up front so a bad spec fails the whole command, exactly like
-    // the pre-plan implementation.
+    // the pre-plan implementation; with --shards this also rejects queries
+    // without a cut-aware path (typed error, before any sampling).
     for (_, spec) in &entries {
-        spec.validate(&graph)
+        spec.validate_sharded(&graph, shards)
             .map_err(|e| CliError::Message(e.to_string()))?;
     }
 
@@ -568,6 +589,7 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
         graph: None,
         worlds: mc.num_worlds,
         threads: mc.threads,
+        shards,
         mode: mc.method,
         seed: rng.gen::<u64>(),
         queries: entries.iter().map(|(_, spec)| spec.clone()).collect(),
@@ -660,8 +682,12 @@ pub fn plan(args: &ParsedArgs) -> Result<String, CliError> {
     let plan_path = args.positional(0, "plan.json")?;
     let text = std::fs::read_to_string(plan_path)
         .map_err(|e| CliError::Message(format!("cannot read plan {plan_path:?}: {e}")))?;
-    let plan =
+    let mut plan =
         QueryPlan::parse_str(&text).map_err(|e| CliError::Message(format!("{plan_path}: {e}")))?;
+    plan.shards = args.usize_or("shards", plan.shards)?;
+    if plan.shards == 0 {
+        return Err(CliError::Message("--shards must be at least 1".to_string()));
+    }
     let graph_path = match args.options.get("graph") {
         Some(path) => path.clone(),
         None => plan.graph.clone().ok_or_else(|| {
@@ -674,6 +700,74 @@ pub fn plan(args: &ParsedArgs) -> Result<String, CliError> {
         report.render()
     } else {
         report.pretty()
+    })
+}
+
+/// `ugs partition`: split a graph's vertex set into shards and report the
+/// shard sizes and the cut structure as JSON.
+pub fn partition(args: &ParsedArgs) -> Result<String, CliError> {
+    use minijson::{ObjBuilder, Value};
+    use uncertain_graph::GraphPartition;
+
+    args.expect_options(PARTITION_OPTIONS)?;
+    let path = args.positional(0, "graph.txt")?;
+    let graph = load(path)?;
+    let shards = args.usize_or("shards", 2)?;
+    if shards == 0 {
+        return Err(CliError::Message("--shards must be at least 1".to_string()));
+    }
+    let strategy = args.option_or("strategy", "spanning");
+    let partition = match strategy.as_str() {
+        "contiguous" => GraphPartition::contiguous(&graph, shards),
+        "spanning" => {
+            let labels = ugs_core::spanning_partition_labels(&graph, shards);
+            GraphPartition::from_labels(&graph, &labels, shards)
+        }
+        other => {
+            return Err(CliError::Message(format!(
+                "unknown strategy {other:?}; expected contiguous|spanning"
+            )))
+        }
+    }
+    .map_err(|e| CliError::Message(e.to_string()))?;
+
+    let shard_entries: Vec<Value> = partition
+        .shards()
+        .iter()
+        .enumerate()
+        .map(|(s, shard)| {
+            ObjBuilder::new()
+                .field("shard", s)
+                .field("vertices", shard.num_vertices())
+                .field("edges", shard.num_edges())
+                .field("expected_edges", shard.graph().expected_num_edges())
+                .build()
+        })
+        .collect();
+    let cut_count = partition.cut_edges().len();
+    let document = ObjBuilder::new()
+        .field("graph", path)
+        .field("strategy", strategy.as_str())
+        .field("num_shards", shards)
+        .field("vertices", graph.num_vertices())
+        .field("edges", graph.num_edges())
+        .field("shards", Value::Arr(shard_entries))
+        .field(
+            "cut",
+            ObjBuilder::new()
+                .field("edges", cut_count)
+                .field(
+                    "edge_fraction",
+                    cut_count as f64 / graph.num_edges().max(1) as f64,
+                )
+                .field("probability_mass", partition.cut_probability_mass())
+                .build(),
+        )
+        .build();
+    Ok(if args.flag("compact") {
+        document.render()
+    } else {
+        document.pretty()
     })
 }
 
@@ -722,6 +816,7 @@ pub fn session(args: &ParsedArgs) -> Result<String, CliError> {
         num_worlds: worlds,
         threads: workers,
         mode,
+        shards: 1,
     };
 
     let started = Instant::now();
@@ -890,6 +985,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "compare" => compare(args),
         "batch" => batch(args),
         "plan" => plan(args),
+        "partition" => partition(args),
         "session" => session(args),
         "help" | "--help" | "-h" => {
             args.expect_options(HELP_OPTIONS)?;
@@ -1202,6 +1298,141 @@ mod tests {
     }
 
     #[test]
+    fn partition_reports_shards_and_cut_structure() {
+        let input = write_toy_graph("partition.txt");
+        for strategy in ["contiguous", "spanning"] {
+            let args = ParsedArgs::parse([
+                "partition",
+                &input,
+                "--shards",
+                "3",
+                "--strategy",
+                strategy,
+                "--compact",
+            ])
+            .unwrap();
+            let report = run(&args).unwrap();
+            assert_eq!(report, run(&args).unwrap(), "{strategy}: deterministic");
+            let doc = minijson::Value::parse(&report).expect("valid JSON");
+            assert_eq!(doc.get_usize("num_shards"), Some(3));
+            assert_eq!(doc.get_str("strategy"), Some(strategy));
+            let shards = doc.get("shards").unwrap().as_array().unwrap();
+            assert_eq!(shards.len(), 3);
+            let total_vertices: usize = shards
+                .iter()
+                .map(|s| s.get_usize("vertices").unwrap())
+                .sum();
+            assert_eq!(total_vertices, 6);
+            // Shard edges plus cut edges account for every edge exactly once.
+            let shard_edges: usize = shards.iter().map(|s| s.get_usize("edges").unwrap()).sum();
+            let cut = doc.get("cut").unwrap();
+            assert_eq!(shard_edges + cut.get_usize("edges").unwrap(), 10);
+            assert!(cut.get_f64("probability_mass").unwrap() >= 0.0);
+        }
+        let bad = ParsedArgs::parse(["partition", &input, "--strategy", "psychic"]).unwrap();
+        assert!(run(&bad).is_err());
+        let zero = ParsedArgs::parse(["partition", &input, "--shards", "0"]).unwrap();
+        assert!(run(&zero).is_err());
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn batch_with_shards_is_bit_identical_for_count_queries() {
+        let input = write_toy_graph("batch-shards.txt");
+        let report_with = |shards: &str| {
+            let args = ParsedArgs::parse([
+                "batch",
+                &input,
+                "--queries",
+                "connectivity,degree-hist,edge-freq,sp",
+                "--worlds",
+                "80",
+                "--pairs",
+                "4",
+                "--sequential",
+                "--shards",
+                shards,
+            ])
+            .unwrap();
+            run(&args).unwrap()
+        };
+        // The sharded engine replays the monolithic edge stream, so the
+        // whole JSON report is byte-identical across shard counts.
+        let monolithic = report_with("1");
+        assert_eq!(monolithic, report_with("2"));
+        assert_eq!(monolithic, report_with("4"));
+        // Queries without a cut correction fail the command with the typed
+        // message at validation time.
+        let bad =
+            ParsedArgs::parse(["batch", &input, "--queries", "pagerank", "--shards", "2"]).unwrap();
+        let error = run(&bad).unwrap_err().to_string();
+        assert!(error.contains("graph-sharded"), "{error}");
+        assert!(error.contains("pagerank"), "{error}");
+        // --shards 0 is rejected, consistently with `ugs partition`.
+        let zero =
+            ParsedArgs::parse(["batch", &input, "--queries", "connectivity", "--shards", "0"])
+                .unwrap();
+        assert!(run(&zero).is_err());
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn plan_parse_errors_point_at_the_failing_query() {
+        let plan_path = temp_path("bad-query-plan.json")
+            .to_string_lossy()
+            .to_string();
+        std::fs::write(
+            &plan_path,
+            r#"{"queries": [{"type": "connectivity"}, {"type": "knn"}]}"#,
+        )
+        .unwrap();
+        let error = run(&ParsedArgs::parse(["plan", plan_path.as_str()]).unwrap())
+            .unwrap_err()
+            .to_string();
+        // Snapshot of the improved validation message: the plan path, the
+        // failing entry's index and name, and the underlying cause.
+        assert!(error.contains(&plan_path), "{error}");
+        assert!(error.contains("queries[1] (\"knn\")"), "{error}");
+        assert!(error.contains("source"), "{error}");
+        std::fs::remove_file(&plan_path).ok();
+    }
+
+    #[test]
+    fn plan_shards_override_applies_sharded_validation() {
+        let input = write_toy_graph("plan-shards.txt");
+        let plan_path = temp_path("shards-plan.json").to_string_lossy().to_string();
+        std::fs::write(
+            &plan_path,
+            format!(
+                r#"{{"graph": {input:?}, "worlds": 60, "seed": 4,
+                    "queries": [{{"type": "connectivity"}}, {{"type": "pagerank"}}]}}"#
+            ),
+        )
+        .unwrap();
+        // Monolithic: both queries succeed.
+        let report = run(&ParsedArgs::parse(["plan", plan_path.as_str()]).unwrap()).unwrap();
+        let doc = minijson::Value::parse(&report).unwrap();
+        let results = doc.get("results").unwrap().as_array().unwrap();
+        assert!(results.iter().all(|r| r.get_str("status") == Some("ok")));
+        // --shards 2: connectivity still answers, pagerank is rejected with
+        // the typed unsupported error, per query.
+        let report =
+            run(&ParsedArgs::parse(["plan", plan_path.as_str(), "--shards", "2"]).unwrap())
+                .unwrap();
+        let doc = minijson::Value::parse(&report).unwrap();
+        assert_eq!(doc.get_usize("shards"), Some(2));
+        let results = doc.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results[0].get_str("status"), Some("ok"));
+        assert_eq!(results[1].get_str("status"), Some("error"));
+        assert!(results[1]
+            .get_str("error")
+            .unwrap()
+            .contains("graph-sharded"));
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&plan_path).ok();
+    }
+
+    #[test]
     fn compare_reports_all_metrics() {
         let input = write_toy_graph("compare-in.txt");
         let sparse_path = temp_path("compare-sparse.txt")
@@ -1253,7 +1484,15 @@ mod tests {
     fn help_knows_every_subcommand() {
         let full = run(&ParsedArgs::parse(["help"]).unwrap()).unwrap();
         for command in [
-            "generate", "stats", "sparsify", "query", "compare", "batch", "plan", "session",
+            "generate",
+            "stats",
+            "sparsify",
+            "query",
+            "compare",
+            "batch",
+            "plan",
+            "partition",
+            "session",
         ] {
             assert!(full.contains(command), "{command} missing from help");
             let single = run(&ParsedArgs::parse(["help", command]).unwrap()).unwrap();

@@ -125,6 +125,8 @@ use uncertain_graph::UncertainGraph;
 
 use crate::engine::{WorldEngine, WorldScratch};
 use crate::mc::MonteCarlo;
+use crate::sharded::{ShardedWorld, ShardedWorldEngine};
+use crate::source::{ShardSupport, WorldSource, WorldView};
 
 /// A per-query accumulator fed by the batch driver.
 ///
@@ -158,6 +160,30 @@ pub trait WorldObserver: Send + Clone + 'static {
     /// edge ids and the materialised [`graph_algos::DeterministicGraph`]).
     fn observe(&mut self, world: &WorldScratch);
 
+    /// Which world views the observer can consume (see
+    /// [`ShardSupport`]).  The default is [`ShardSupport::MonolithicOnly`];
+    /// observers whose accumulation is exact under a per-shard + cut
+    /// decomposition override this to [`ShardSupport::CutAware`] and
+    /// implement [`WorldObserver::observe_sharded`].
+    fn shard_support(&self) -> ShardSupport {
+        ShardSupport::MonolithicOnly
+    }
+
+    /// Observes one sampled world decomposed by a graph partition: the
+    /// per-shard contribution plus the boundary (cut-edge) correction.
+    ///
+    /// An implementation must accumulate exactly what [`WorldObserver::observe`]
+    /// would have accumulated for the same world — the sharded engine
+    /// replays the monolithic edge stream, so a correct cut correction
+    /// makes count-style results bit-identical across shard counts.
+    ///
+    /// The default implementation panics; drivers never call it unless
+    /// [`WorldObserver::shard_support`] returned [`ShardSupport::CutAware`].
+    fn observe_sharded(&mut self, world: &ShardedWorld<'_>) {
+        let _ = world;
+        panic!("observer has no cut-aware path (shard_support() is MonolithicOnly)");
+    }
+
     /// Folds another partial observer (from a parallel worker) into `self`.
     fn merge(&mut self, other: Self);
 
@@ -177,6 +203,10 @@ pub trait WorldObserver: Send + Clone + 'static {
 pub trait DynObserver: Send {
     /// Type-erased [`WorldObserver::observe`].
     fn observe_dyn(&mut self, world: &WorldScratch);
+    /// Type-erased [`WorldObserver::shard_support`].
+    fn shard_support_dyn(&self) -> ShardSupport;
+    /// Type-erased [`WorldObserver::observe_sharded`].
+    fn observe_sharded_dyn(&mut self, world: &ShardedWorld<'_>);
     /// Type-erased [`WorldObserver::merge`].
     ///
     /// # Panics
@@ -197,6 +227,14 @@ pub trait DynObserver: Send {
 impl<O: WorldObserver> DynObserver for O {
     fn observe_dyn(&mut self, world: &WorldScratch) {
         self.observe(world);
+    }
+
+    fn shard_support_dyn(&self) -> ShardSupport {
+        self.shard_support()
+    }
+
+    fn observe_sharded_dyn(&mut self, world: &ShardedWorld<'_>) {
+        self.observe_sharded(world);
     }
 
     fn merge_dyn(&mut self, other: Box<dyn DynObserver>) {
@@ -236,6 +274,28 @@ impl BoxedObserver {
     /// Observes one sampled world (see [`WorldObserver::observe`]).
     pub fn observe(&mut self, world: &WorldScratch) {
         self.0.observe_dyn(world);
+    }
+
+    /// Which world views the erased observer can consume (see
+    /// [`WorldObserver::shard_support`]).
+    pub fn shard_support(&self) -> ShardSupport {
+        self.0.shard_support_dyn()
+    }
+
+    /// Observes one sampled world in any representation: dispatches to
+    /// [`WorldObserver::observe`] or [`WorldObserver::observe_sharded`]
+    /// according to the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded view when the observer is
+    /// [`ShardSupport::MonolithicOnly`]; external drivers check
+    /// [`BoxedObserver::shard_support`] (or validate their specs) first.
+    pub fn observe_view(&mut self, view: &WorldView<'_>) {
+        match view {
+            WorldView::Monolithic(world) => self.0.observe_dyn(world),
+            WorldView::Sharded(world) => self.0.observe_sharded_dyn(world),
+        }
     }
 
     /// Folds another partial observer into `self` (see
@@ -348,11 +408,18 @@ static BATCH_IDS: AtomicU64 = AtomicU64::new(0);
 /// thread count, sampling method); see the [module docs](self) for the
 /// determinism contract and a worked example.
 pub struct QueryBatch<'g> {
-    engine: WorldEngine<'g>,
+    source: BatchSource<'g>,
     num_worlds: usize,
     threads: usize,
     id: u64,
     observers: Vec<Box<dyn DynObserver>>,
+}
+
+/// Where a batch's worlds come from: the monolithic engine (owned, as
+/// before) or a caller-built shard-aware engine.
+enum BatchSource<'g> {
+    Monolithic(WorldEngine<'g>),
+    Sharded(&'g ShardedWorldEngine<'g>),
 }
 
 impl<'g> QueryBatch<'g> {
@@ -368,8 +435,30 @@ impl<'g> QueryBatch<'g> {
     /// Creates a batch from a pre-built engine (lets callers reuse the
     /// engine's `O(|E| log |E|)` construction across batches).
     pub fn from_engine(engine: WorldEngine<'g>, num_worlds: usize, threads: usize) -> Self {
+        Self::from_source(BatchSource::Monolithic(engine), num_worlds, threads)
+    }
+
+    /// Creates a batch over a **shard-aware** world source: every sampled
+    /// world reaches the observers as a [`ShardedWorld`] (per-shard
+    /// partials plus cut correction), so only [`ShardSupport::CutAware`]
+    /// observers can register — [`QueryBatch::register`] /
+    /// [`QueryBatch::register_boxed`] panic on any other (validate specs up
+    /// front, as `ugs-service` does, to get a typed error instead).
+    ///
+    /// The replay-partitioned world stream is the same as a monolithic
+    /// batch's at equal seeds, so cut-aware count observers produce
+    /// bit-identical results here and in [`QueryBatch::new`].
+    pub fn from_sharded(
+        engine: &'g ShardedWorldEngine<'g>,
+        num_worlds: usize,
+        threads: usize,
+    ) -> Self {
+        Self::from_source(BatchSource::Sharded(engine), num_worlds, threads)
+    }
+
+    fn from_source(source: BatchSource<'g>, num_worlds: usize, threads: usize) -> Self {
         QueryBatch {
-            engine,
+            source,
             num_worlds,
             threads: threads.max(1),
             id: BATCH_IDS.fetch_add(1, Ordering::Relaxed),
@@ -387,9 +476,32 @@ impl<'g> QueryBatch<'g> {
         self.observers.len()
     }
 
+    /// Whether an observer with the given [`ShardSupport`] can register
+    /// with this batch (always true for monolithic batches).
+    pub fn admits(&self, support: ShardSupport) -> bool {
+        match &self.source {
+            BatchSource::Monolithic(engine) => engine.admits(support),
+            BatchSource::Sharded(engine) => engine.admits(support),
+        }
+    }
+
+    fn assert_admits(&self, support: ShardSupport) {
+        assert!(
+            self.admits(support),
+            "observer has no cut-aware path and cannot register with a sharded batch \
+             (validate the query against the shard configuration first)"
+        );
+    }
+
     /// Registers an observer; the returned typed handle redeems its result
     /// from [`BatchResults::take`] after [`QueryBatch::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch is sharded ([`QueryBatch::from_sharded`]) and
+    /// the observer is [`ShardSupport::MonolithicOnly`].
     pub fn register<O: WorldObserver>(&mut self, observer: O) -> ObserverHandle<O> {
+        self.assert_admits(observer.shard_support());
         let index = self.observers.len();
         self.observers.push(Box::new(observer));
         ObserverHandle {
@@ -403,7 +515,13 @@ impl<'g> QueryBatch<'g> {
     /// [module docs](self#the-dynobserver-layer)); the returned untyped
     /// handle redeems the boxed output from
     /// [`BatchResults::try_take_boxed`] after [`QueryBatch::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch is sharded ([`QueryBatch::from_sharded`]) and
+    /// the observer is [`ShardSupport::MonolithicOnly`].
     pub fn register_boxed(&mut self, observer: BoxedObserver) -> DynHandle {
+        self.assert_admits(observer.shard_support());
         let index = self.observers.len();
         self.observers.push(observer.0);
         DynHandle {
@@ -420,11 +538,11 @@ impl<'g> QueryBatch<'g> {
     /// [module docs](self) for the full determinism contract.
     pub fn run<R: Rng + ?Sized>(self, rng: &mut R) -> BatchResults {
         let QueryBatch {
-            engine,
+            source,
             num_worlds,
             threads,
             id,
-            mut observers,
+            observers,
         } = self;
         if num_worlds == 0 || observers.is_empty() {
             return BatchResults {
@@ -434,71 +552,93 @@ impl<'g> QueryBatch<'g> {
             };
         }
         let seed = rng.gen::<u64>();
-        let threads = threads.clamp(1, num_worlds);
-        if threads == 1 {
-            let mut worker_rng = SmallRng::seed_from_u64(seed);
-            let mut scratch = engine.make_scratch();
-            for _ in 0..num_worlds {
-                engine.sample_world(&mut worker_rng, &mut scratch);
-                for observer in observers.iter_mut() {
-                    observer.observe_dyn(&scratch);
-                }
-            }
-            return BatchResults {
-                id,
-                num_worlds,
-                slots: observers.into_iter().map(Some).collect(),
-            };
-        }
-        // Deterministic replay partitioning: every worker re-derives the
-        // same world stream from the shared seed, advances (sampling only,
-        // no materialisation) past the worlds before its contiguous block
-        // and observes its own block.  The sampled world sequence is thus
-        // independent of the thread count.
-        let base = num_worlds / threads;
-        let extra = num_worlds % threads;
-        let mut partials: Vec<Vec<Box<dyn DynObserver>>> = std::thread::scope(|scope| {
-            let engine = &engine;
-            let observers = &observers;
-            let handles: Vec<_> = (0..threads)
-                .map(|idx| {
-                    let count = base + usize::from(idx < extra);
-                    let skip = base * idx + idx.min(extra);
-                    let mut workers: Vec<Box<dyn DynObserver>> =
-                        observers.iter().map(|o| o.clone_dyn()).collect();
-                    scope.spawn(move || {
-                        let mut worker_rng = SmallRng::seed_from_u64(seed);
-                        let mut scratch = engine.make_scratch();
-                        for _ in 0..skip {
-                            engine.advance_world(&mut worker_rng, &mut scratch);
-                        }
-                        for _ in 0..count {
-                            engine.sample_world(&mut worker_rng, &mut scratch);
-                            for observer in workers.iter_mut() {
-                                observer.observe_dyn(&scratch);
-                            }
-                        }
-                        workers
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("worker thread panicked"))
-                .collect()
-        });
-        drop(observers);
-        // Merge the partial observers in worker (= world block) order.
-        let mut merged = partials.remove(0);
-        for partial in partials {
-            for (into, other) in merged.iter_mut().zip(partial) {
-                into.merge_dyn(other);
-            }
-        }
+        let merged = match &source {
+            BatchSource::Monolithic(engine) => drive(engine, num_worlds, threads, observers, seed),
+            BatchSource::Sharded(engine) => drive(*engine, num_worlds, threads, observers, seed),
+        };
         BatchResults {
             id,
             num_worlds,
             slots: merged.into_iter().map(Some).collect(),
+        }
+    }
+}
+
+/// The replay-partitioned world loop over any [`WorldSource`]: worker `w`
+/// re-derives the shared stream from `seed`, advances past the worlds before
+/// its contiguous block and observes its own block; partials merge in worker
+/// (= world block) order.  The sampled world sequence is independent of the
+/// thread count.
+fn drive<S: WorldSource>(
+    source: &S,
+    num_worlds: usize,
+    threads: usize,
+    mut observers: Vec<Box<dyn DynObserver>>,
+    seed: u64,
+) -> Vec<Box<dyn DynObserver>> {
+    let threads = threads.clamp(1, num_worlds);
+    if threads == 1 {
+        let mut worker_rng = SmallRng::seed_from_u64(seed);
+        let mut scratch = source.make_scratch();
+        for _ in 0..num_worlds {
+            let view = source.sample_world(&mut worker_rng, &mut scratch);
+            observe_all(&mut observers, &view);
+        }
+        return observers;
+    }
+    let base = num_worlds / threads;
+    let extra = num_worlds % threads;
+    let mut partials: Vec<Vec<Box<dyn DynObserver>>> = std::thread::scope(|scope| {
+        let observers = &observers;
+        let handles: Vec<_> = (0..threads)
+            .map(|idx| {
+                let count = base + usize::from(idx < extra);
+                let skip = base * idx + idx.min(extra);
+                let mut workers: Vec<Box<dyn DynObserver>> =
+                    observers.iter().map(|o| o.clone_dyn()).collect();
+                scope.spawn(move || {
+                    let mut worker_rng = SmallRng::seed_from_u64(seed);
+                    let mut scratch = source.make_scratch();
+                    for _ in 0..skip {
+                        source.advance_world(&mut worker_rng, &mut scratch);
+                    }
+                    for _ in 0..count {
+                        let view = source.sample_world(&mut worker_rng, &mut scratch);
+                        observe_all(&mut workers, &view);
+                    }
+                    workers
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("worker thread panicked"))
+            .collect()
+    });
+    drop(observers);
+    // Merge the partial observers in worker (= world block) order.
+    let mut merged = partials.remove(0);
+    for partial in partials {
+        for (into, other) in merged.iter_mut().zip(partial) {
+            into.merge_dyn(other);
+        }
+    }
+    merged
+}
+
+/// Dispatches one world view to every observer (the view kind is fixed per
+/// source, so the match is loop-invariant in practice).
+fn observe_all(observers: &mut [Box<dyn DynObserver>], view: &WorldView<'_>) {
+    match view {
+        WorldView::Monolithic(world) => {
+            for observer in observers.iter_mut() {
+                observer.observe_dyn(world);
+            }
+        }
+        WorldView::Sharded(world) => {
+            for observer in observers.iter_mut() {
+                observer.observe_sharded_dyn(world);
+            }
         }
     }
 }
@@ -632,6 +772,26 @@ impl WorldObserver for EdgeFrequencyObserver {
     fn observe(&mut self, world: &WorldScratch) {
         for &e in world.present_edges() {
             self.counts[e as usize] += 1.0;
+        }
+    }
+
+    fn shard_support(&self) -> ShardSupport {
+        ShardSupport::CutAware
+    }
+
+    fn observe_sharded(&mut self, world: &ShardedWorld<'_>) {
+        // Per-shard partial: every present intra-shard edge counts under its
+        // stable global id.  Cut correction: the boundary pass counts every
+        // present cut edge exactly once.  Integer increments into the same
+        // slots as the monolithic path, so the totals are bit-identical.
+        let partition = world.partition();
+        for (s, shard) in partition.shards().iter().enumerate() {
+            for &e in world.shard_present(s) {
+                self.counts[shard.global_edge(e as usize)] += 1.0;
+            }
+        }
+        for &c in world.present_cuts() {
+            self.counts[partition.cut_edge(c as usize).edge] += 1.0;
         }
     }
 

@@ -56,6 +56,30 @@ impl SampleMethod {
     /// selects skip-sampling.  Above it, a plain per-edge sweep is cheaper
     /// than paying a logarithm per (almost always present) edge.
     pub const AUTO_SKIP_THRESHOLD: f64 = 0.5;
+
+    /// Resolves [`SampleMethod::Auto`] against a graph's [`SkipSampler`]
+    /// (mean edge probability vs [`SampleMethod::AUTO_SKIP_THRESHOLD`]);
+    /// concrete methods pass through.  **The single resolution rule** —
+    /// shared by the monolithic and the sharded engine, which must agree
+    /// bit-for-bit on the sampling path for the same graph and method.
+    pub(crate) fn resolve(self, sampler: &SkipSampler) -> SampleMethod {
+        match self {
+            SampleMethod::Auto => {
+                let m = sampler.num_edges();
+                let mean = if m == 0 {
+                    0.0
+                } else {
+                    sampler.expected_present() / m as f64
+                };
+                if mean <= SampleMethod::AUTO_SKIP_THRESHOLD {
+                    SampleMethod::Skip
+                } else {
+                    SampleMethod::PerEdge
+                }
+            }
+            other => other,
+        }
+    }
 }
 
 /// Per-thread scratch state: reused buffers for one world at a time.
@@ -130,22 +154,7 @@ impl<'g> WorldEngine<'g> {
     /// The method the engine will actually use (resolves
     /// [`SampleMethod::Auto`] from the mean edge probability, in O(1)).
     pub fn effective_method(&self) -> SampleMethod {
-        match self.method {
-            SampleMethod::Auto => {
-                let m = self.sampler.num_edges();
-                let mean = if m == 0 {
-                    0.0
-                } else {
-                    self.sampler.expected_present() / m as f64
-                };
-                if mean <= SampleMethod::AUTO_SKIP_THRESHOLD {
-                    SampleMethod::Skip
-                } else {
-                    SampleMethod::PerEdge
-                }
-            }
-            other => other,
-        }
+        self.method.resolve(&self.sampler)
     }
 
     /// Creates a pre-sized per-thread scratch.

@@ -43,6 +43,22 @@
 //! when there is nothing to sample).  See the [`batch`] module docs for the
 //! determinism contract and a worked multi-query example.
 //!
+//! ## Graph-sharded evaluation
+//!
+//! Where sampled worlds come from is abstracted behind the
+//! [`source::WorldSource`] trait: the monolithic [`engine::WorldEngine`]
+//! yields whole-graph worlds, and [`sharded::ShardedWorldEngine`] yields
+//! worlds decomposed by a [`uncertain_graph::GraphPartition`] — one
+//! materialised CSR per shard plus a dedicated boundary pass over the cut
+//! edges.  The sharded engine *replays* the monolithic edge stream, so
+//! cut-aware count observers ([`EdgeFrequencyObserver`],
+//! [`DegreeHistogramObserver`], [`PairQueriesObserver`],
+//! [`ConnectivityObserver`]) produce results **bit-identical** to a
+//! monolithic run at equal seeds, invariant over shard and thread counts
+//! (`tests/shard_parity.rs`); observers without a cut correction
+//! (PageRank, clustering, k-NN) are rejected up front via
+//! [`source::ShardSupport`].
+//!
 //! ## Queries
 //!
 //! All queries follow the same pattern: sample `N` worlds through the
@@ -80,6 +96,8 @@ pub mod mc;
 pub mod node_queries;
 pub mod pair_queries;
 pub mod pairs;
+pub mod sharded;
+pub mod source;
 pub mod variance;
 
 pub use batch::{
@@ -98,6 +116,8 @@ pub use node_queries::{
 };
 pub use pair_queries::{pair_queries, PairQueriesObserver, PairQueryResult};
 pub use pairs::random_pairs;
+pub use sharded::{ShardScratch, ShardedScratch, ShardedWorld, ShardedWorldEngine};
+pub use source::{ShardSupport, WorldSource, WorldView};
 pub use variance::{estimator_variance, VarianceEstimate};
 
 /// Commonly used items, suitable for a glob import.
@@ -117,5 +137,7 @@ pub mod prelude {
     };
     pub use crate::pair_queries::{pair_queries, PairQueriesObserver, PairQueryResult};
     pub use crate::pairs::random_pairs;
+    pub use crate::sharded::{ShardScratch, ShardedScratch, ShardedWorld, ShardedWorldEngine};
+    pub use crate::source::{ShardSupport, WorldSource, WorldView};
     pub use crate::variance::{estimator_variance, VarianceEstimate};
 }

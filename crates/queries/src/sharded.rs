@@ -1,0 +1,829 @@
+//! Shard-aware world sampling over a [`GraphPartition`]: per-shard worlds
+//! plus a dedicated boundary pass for the cut edges.
+//!
+//! ## Replaying the graph axis
+//!
+//! The service layer shards the *world budget* by letting every worker
+//! replay the same world stream from a shared seed and skip to its block.
+//! [`ShardedWorldEngine`] applies the same replay idea to the *graph* axis:
+//! every consumer draws the **full** edge-outcome stream of the parent graph
+//! (the identical [`SkipSampler`]/per-edge draws, in the identical order, as
+//! the monolithic [`crate::engine::WorldEngine`]) and then only *scatters*
+//! the present edges differently —
+//!
+//! * an edge internal to shard `s` lands in shard `s`'s present list
+//!   (relabelled to the shard-local edge id),
+//! * a cut edge lands in the boundary pass
+//!   ([`ShardedWorld::present_cuts`]).
+//!
+//! Because the RNG stream and the sampled edge set are *bit-identical* to
+//! the monolithic engine's at equal seeds, every count-style observation
+//! (appearance counts, degree tallies, component counts, BFS hop distances)
+//! is exactly the same number per world, regardless of the shard count —
+//! that is what makes the sharded results of the parity suite bit-identical
+//! to monolithic runs, invariant over shards *and* threads.
+//!
+//! Two consumption modes share this machinery:
+//!
+//! * [`WorldSource::sample_world`] materialises **every** shard of the
+//!   current world ([`ShardedWorld`]) — what the in-process batch driver
+//!   feeds to cut-aware observers, whose cross-shard corrections (DSU
+//!   unions, ghost-hop BFS) need all shards of a world at once.
+//! * [`ShardedWorldEngine::sample_shard_world`] materialises **one** shard
+//!   (plus its incident cut edges) — the seam for workers that own a single
+//!   shard: such a worker holds the full `O(|E|)` probability table (to
+//!   replay the stream) but only its own shard's CSR, scratch and observer
+//!   state.  This is the path the `shard` benchmark measures and the
+//!   distributed direction builds on.
+//!
+//! Steady-state sampling is allocation-free in both modes (guarded by the
+//! counting-allocator proof in `crates/bench/tests/zero_alloc.rs`).
+
+use rand::Rng;
+use uncertain_graph::{GraphPartition, SkipSampler, UncertainGraph, VertexId, WorldSampler};
+
+use graph_algos::dsu::UnionFind;
+use graph_algos::traversal::connected_components;
+use graph_algos::{DeterministicGraph, WorldTemplate};
+
+use crate::engine::SampleMethod;
+use crate::source::{WorldSource, WorldView};
+
+/// How a global edge id scatters under the partition, packed into one `u64`
+/// (`shard << 32 | local index`, with shard `u32::MAX` marking a cut edge
+/// whose low half is the cut index) — the scatter pass reads one table
+/// entry per present edge, so the packing halves its cache traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EdgeClass(u64);
+
+const CUT_SHARD: u32 = u32::MAX;
+
+impl EdgeClass {
+    fn local(shard: u32, local: u32) -> Self {
+        EdgeClass((u64::from(shard) << 32) | u64::from(local))
+    }
+
+    fn cut(cut: u32) -> Self {
+        EdgeClass((u64::from(CUT_SHARD) << 32) | u64::from(cut))
+    }
+
+    #[inline]
+    fn shard(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    #[inline]
+    fn index(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// Immutable shard-aware world source for one uncertain graph and one
+/// [`GraphPartition`]; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ShardedWorldEngine<'g> {
+    graph: &'g UncertainGraph,
+    partition: &'g GraphPartition,
+    /// Full-graph sampler — the replayed stream shared with the monolithic
+    /// engine.
+    sampler: SkipSampler,
+    method: SampleMethod,
+    /// One support template per shard (local ids).
+    templates: Vec<WorldTemplate>,
+    /// `global edge id -> scatter class`.
+    class: Vec<EdgeClass>,
+}
+
+impl<'g> ShardedWorldEngine<'g> {
+    /// Builds the engine with [`SampleMethod::Auto`].
+    ///
+    /// # Panics
+    /// Panics if `partition` was not built from a graph shaped like `g`
+    /// (vertex/edge counts must match).
+    pub fn new(g: &'g UncertainGraph, partition: &'g GraphPartition) -> Self {
+        assert!(
+            partition.matches(g),
+            "partition was built for a {}-vertex/{}-edge graph, got {}/{}",
+            partition.num_vertices(),
+            partition.num_edges(),
+            g.num_vertices(),
+            g.num_edges()
+        );
+        let mut class = vec![EdgeClass::cut(0); g.num_edges()];
+        for (s, shard) in partition.shards().iter().enumerate() {
+            for (local, &global) in shard.edges().iter().enumerate() {
+                class[global] = EdgeClass::local(s as u32, local as u32);
+            }
+        }
+        for (c, cut) in partition.cut_edges().iter().enumerate() {
+            class[cut.edge] = EdgeClass::cut(c as u32);
+        }
+        let templates = partition
+            .shards()
+            .iter()
+            .map(|shard| WorldTemplate::new(shard.graph()))
+            .collect();
+        ShardedWorldEngine {
+            graph: g,
+            partition,
+            sampler: SkipSampler::new(g),
+            method: SampleMethod::Auto,
+            templates,
+            class,
+        }
+    }
+
+    /// Overrides the sampling method (applies to the full-graph stream, as
+    /// in the monolithic engine).
+    pub fn with_method(mut self, method: SampleMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// The parent graph.
+    pub fn graph(&self) -> &'g UncertainGraph {
+        self.graph
+    }
+
+    /// The partition this engine scatters into.
+    pub fn partition(&self) -> &'g GraphPartition {
+        self.partition
+    }
+
+    /// The method the engine will actually use: [`SampleMethod::Auto`]
+    /// resolves through the **same** shared rule as the monolithic engine
+    /// (`SampleMethod::resolve` over the whole-graph sampler), so both
+    /// engines always pick the same sampling path for the same graph.
+    pub fn effective_method(&self) -> SampleMethod {
+        self.method.resolve(&self.sampler)
+    }
+
+    /// Draws the full-graph edge outcomes of one world — the same RNG
+    /// consumption and present set as `WorldEngine::sample_world` at equal
+    /// seeds and method.
+    fn sample_present<R: Rng + ?Sized>(&self, rng: &mut R, present: &mut Vec<u32>) {
+        match self.effective_method() {
+            SampleMethod::PerEdge => {
+                WorldSampler::new().sample_present_into(self.graph, rng, present);
+            }
+            SampleMethod::Skip => {
+                self.sampler.sample_present_into(rng, present);
+            }
+            SampleMethod::Auto => unreachable!("effective_method always resolves Auto"),
+        }
+    }
+
+    /// A trivial (1-shard) partition scatters every edge to shard 0 with
+    /// `local id == global id`, so the scatter pass can be skipped
+    /// entirely: samples land straight in the shard's present list.
+    fn is_trivial(&self) -> bool {
+        self.partition.num_shards() == 1
+    }
+
+    /// Creates a pre-sized scratch for the single-shard consumption mode.
+    pub fn make_shard_scratch(&self, shard: usize) -> ShardScratch {
+        let template = &self.templates[shard];
+        // O(1) incidence test for the scatter pass: is this cut edge
+        // incident to the owned shard?
+        let cut_incident = self
+            .partition
+            .cut_edges()
+            .iter()
+            .map(|cut| cut.shard_u == shard || cut.shard_v == shard)
+            .collect();
+        ShardScratch {
+            shard,
+            all_present: Vec::with_capacity(self.graph.num_edges()),
+            present: Vec::with_capacity(template.num_edges()),
+            endpoints: Vec::with_capacity(template.num_edges()),
+            world: DeterministicGraph::with_capacity_for(template),
+            present_cuts: Vec::with_capacity(self.partition.cut_edges().len()),
+            cut_incident,
+        }
+    }
+
+    /// Samples one world but materialises **only** `scratch.shard`'s part of
+    /// it: the shard's CSR world plus the present cut edges incident to the
+    /// shard ([`ShardScratch::present_cuts`]).  The RNG consumption is
+    /// identical to [`WorldSource::sample_world`] — a worker owning one
+    /// shard replays the same stream as everyone else.  Allocation-free in
+    /// steady state.
+    pub fn sample_shard_world<'s, R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &'s mut ShardScratch,
+    ) -> &'s DeterministicGraph {
+        if self.is_trivial() {
+            // No foreign edges, no cuts: sample straight into the present
+            // list (local ids equal global ids on a 1-shard partition).
+            self.sample_present(rng, &mut scratch.present);
+            scratch.present_cuts.clear();
+        } else {
+            let shard = scratch.shard as u32;
+            self.sample_present(rng, &mut scratch.all_present);
+            scratch.present.clear();
+            scratch.present_cuts.clear();
+            for &e in &scratch.all_present {
+                let class = self.class[e as usize];
+                let owner = class.shard();
+                if owner == shard {
+                    scratch.present.push(class.index());
+                } else if owner == CUT_SHARD && scratch.cut_incident[class.index() as usize] {
+                    scratch.present_cuts.push(class.index());
+                }
+            }
+        }
+        let template = &self.templates[scratch.shard];
+        scratch.endpoints.clear();
+        scratch.endpoints.extend(
+            scratch
+                .present
+                .iter()
+                .map(|&e| template.endpoints(e as usize)),
+        );
+        scratch
+            .world
+            .materialize_from_endpoints(template.num_vertices(), &scratch.endpoints);
+        &scratch.world
+    }
+
+    /// Fills the all-shard scratch for the current world.
+    fn fill_world<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut ShardedScratch) {
+        let ShardedScratch {
+            all_present,
+            shards,
+            present_cuts,
+            cut_degree,
+            cut_present,
+        } = scratch;
+        if self.is_trivial() {
+            self.sample_present(rng, &mut shards[0].present);
+        } else {
+            // Undo the previous world's boundary stamps (O(previous cuts)).
+            for &c in present_cuts.iter() {
+                let cut = self.partition.cut_edge(c as usize);
+                cut_degree[cut.u] = 0;
+                cut_degree[cut.v] = 0;
+                cut_present[c as usize] = false;
+            }
+            present_cuts.clear();
+            for shard in shards.iter_mut() {
+                shard.present.clear();
+            }
+            self.sample_present(rng, all_present);
+            for &e in all_present.iter() {
+                let class = self.class[e as usize];
+                let owner = class.shard();
+                if owner != CUT_SHARD {
+                    shards[owner as usize].present.push(class.index());
+                } else {
+                    let cut = class.index();
+                    let record = self.partition.cut_edge(cut as usize);
+                    cut_degree[record.u] += 1;
+                    cut_degree[record.v] += 1;
+                    cut_present[cut as usize] = true;
+                    present_cuts.push(cut);
+                }
+            }
+        }
+        for (template, shard) in self.templates.iter().zip(shards.iter_mut()) {
+            shard.endpoints.clear();
+            shard.endpoints.extend(
+                shard
+                    .present
+                    .iter()
+                    .map(|&e| template.endpoints(e as usize)),
+            );
+            shard
+                .world
+                .materialize_from_endpoints(template.num_vertices(), &shard.endpoints);
+        }
+    }
+}
+
+impl<'g> WorldSource for ShardedWorldEngine<'g> {
+    type Scratch = ShardedScratch;
+
+    fn make_scratch(&self) -> ShardedScratch {
+        ShardedScratch {
+            all_present: Vec::with_capacity(self.graph.num_edges()),
+            shards: self
+                .templates
+                .iter()
+                .map(|template| ShardWorldScratch {
+                    present: Vec::with_capacity(template.num_edges()),
+                    endpoints: Vec::with_capacity(template.num_edges()),
+                    world: DeterministicGraph::with_capacity_for(template),
+                })
+                .collect(),
+            present_cuts: Vec::with_capacity(self.partition.cut_edges().len()),
+            cut_degree: vec![0; self.graph.num_vertices()],
+            cut_present: vec![false; self.partition.cut_edges().len()],
+        }
+    }
+
+    fn produces_sharded_views(&self) -> bool {
+        true
+    }
+
+    fn num_shards(&self) -> usize {
+        self.partition.num_shards()
+    }
+
+    fn advance_world<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut ShardedScratch) {
+        // Same RNG consumption as a full sample; the scatter and
+        // materialisation are skipped, and the boundary stamps are left
+        // stale (the next `sample_world` resets them from `present_cuts`,
+        // which this does not touch).
+        self.sample_present(rng, &mut scratch.all_present);
+    }
+
+    fn sample_world<'s, R: Rng + ?Sized>(
+        &'s self,
+        rng: &mut R,
+        scratch: &'s mut ShardedScratch,
+    ) -> WorldView<'s> {
+        self.fill_world(rng, scratch);
+        WorldView::Sharded(ShardedWorld {
+            engine: self,
+            scratch,
+        })
+    }
+}
+
+/// Per-shard world buffers of a [`ShardedScratch`].
+#[derive(Debug, Clone)]
+struct ShardWorldScratch {
+    /// Present shard-local edge ids of the current world.
+    present: Vec<u32>,
+    /// Resolved local endpoints (materialisation staging).
+    endpoints: Vec<(u32, u32)>,
+    /// The materialised shard world (buffers recycled between worlds).
+    world: DeterministicGraph,
+}
+
+/// All-shard per-thread scratch: every shard's world buffers plus the
+/// boundary state of the current world.  Create with
+/// [`WorldSource::make_scratch`].
+#[derive(Debug, Clone)]
+pub struct ShardedScratch {
+    /// Present global edge ids (the replayed full-graph outcome).
+    all_present: Vec<u32>,
+    shards: Vec<ShardWorldScratch>,
+    /// Present cut edges (indices into the partition's cut list).
+    present_cuts: Vec<u32>,
+    /// Per global vertex: number of present cut edges incident to it in the
+    /// current world (reset incrementally between worlds).
+    cut_degree: Vec<u32>,
+    /// Per cut edge: present in the current world?  (Reset incrementally.)
+    cut_present: Vec<bool>,
+}
+
+/// Single-shard per-thread scratch for
+/// [`ShardedWorldEngine::sample_shard_world`]: the owned shard's world
+/// buffers, the replayed full-graph present list, and the present cut edges
+/// incident to the shard.
+#[derive(Debug, Clone)]
+pub struct ShardScratch {
+    shard: usize,
+    all_present: Vec<u32>,
+    present: Vec<u32>,
+    endpoints: Vec<(u32, u32)>,
+    world: DeterministicGraph,
+    present_cuts: Vec<u32>,
+    /// Per cut edge: incident to `shard`?  (Built once per scratch.)
+    cut_incident: Vec<bool>,
+}
+
+impl ShardScratch {
+    /// The shard this scratch materialises.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The most recently materialised shard world.
+    pub fn world(&self) -> &DeterministicGraph {
+        &self.world
+    }
+
+    /// Present shard-local edge ids of the most recent world.
+    pub fn present_edges(&self) -> &[u32] {
+        &self.present
+    }
+
+    /// Present cut edges incident to the shard (indices into the
+    /// partition's cut list), in sampling order.
+    pub fn present_cuts(&self) -> &[u32] {
+        &self.present_cuts
+    }
+}
+
+/// A borrowed view of one sampled world, decomposed by the partition: the
+/// payload of [`WorldView::Sharded`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedWorld<'a> {
+    engine: &'a ShardedWorldEngine<'a>,
+    scratch: &'a ShardedScratch,
+}
+
+impl<'a> ShardedWorld<'a> {
+    /// The partition the world is decomposed by.
+    pub fn partition(&self) -> &'a GraphPartition {
+        self.engine.partition
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.engine.partition.num_shards()
+    }
+
+    /// Number of vertices of the parent graph.
+    pub fn num_vertices(&self) -> usize {
+        self.engine.partition.num_vertices()
+    }
+
+    /// The materialised world of one shard (shard-local vertex ids).
+    pub fn shard_world(&self, shard: usize) -> &'a DeterministicGraph {
+        &self.scratch.shards[shard].world
+    }
+
+    /// Present shard-local edge ids of one shard.
+    pub fn shard_present(&self, shard: usize) -> &'a [u32] {
+        &self.scratch.shards[shard].present
+    }
+
+    /// Present cut edges (indices into
+    /// [`GraphPartition::cut_edges`]), in sampling order.
+    pub fn present_cuts(&self) -> &'a [u32] {
+        &self.scratch.present_cuts
+    }
+
+    /// Whether cut edge `cut` is present in this world (O(1)).
+    #[inline]
+    pub fn cut_is_present(&self, cut: usize) -> bool {
+        self.scratch.cut_present[cut]
+    }
+
+    /// Number of present cut edges incident to global vertex `v` — the
+    /// boundary part of `v`'s degree in this world (its full degree is the
+    /// shard-local degree plus this).
+    #[inline]
+    pub fn cut_degree(&self, v: VertexId) -> usize {
+        self.scratch.cut_degree[v] as usize
+    }
+}
+
+/// The global connected-component structure of a sharded world: per-shard
+/// component labels glued together with a disjoint-set union across the
+/// present cut edges.  This is the exact cut correction for component
+/// counting — component counts, sizes and pair connectivity all match the
+/// monolithic labelling bit for bit.
+#[derive(Debug)]
+pub struct ShardedComponents {
+    /// Per-shard local component labels.
+    labels: Vec<Vec<usize>>,
+    /// `offsets[s]` = first global component id of shard `s`.
+    offsets: Vec<usize>,
+    /// DSU over the `offsets[k]` local components, unioned across present
+    /// cut edges.
+    dsu: UnionFind,
+}
+
+impl ShardedComponents {
+    /// Labels every shard's world and unions across the present cut edges.
+    pub fn compute(world: &ShardedWorld<'_>) -> Self {
+        let k = world.num_shards();
+        let mut labels = Vec::with_capacity(k);
+        let mut offsets = vec![0usize; k + 1];
+        for s in 0..k {
+            let (shard_labels, count) = connected_components(world.shard_world(s));
+            offsets[s + 1] = offsets[s] + count;
+            labels.push(shard_labels);
+        }
+        let mut dsu = UnionFind::new(offsets[k]);
+        let partition = world.partition();
+        for &c in world.present_cuts() {
+            let cut = partition.cut_edge(c as usize);
+            let a = offsets[cut.shard_u] + labels[cut.shard_u][cut.local_u];
+            let b = offsets[cut.shard_v] + labels[cut.shard_v][cut.local_v];
+            dsu.union(a, b);
+        }
+        ShardedComponents {
+            labels,
+            offsets,
+            dsu,
+        }
+    }
+
+    /// Number of global connected components (isolated vertices included).
+    pub fn num_components(&self) -> usize {
+        self.dsu.num_sets()
+    }
+
+    /// Canonical global component id of global vertex `v`.
+    pub fn component(&mut self, partition: &GraphPartition, v: VertexId) -> usize {
+        let (s, local) = partition.locate(v);
+        self.dsu.find(self.offsets[s] + self.labels[s][local])
+    }
+
+    /// Whether two global vertices lie in the same global component.
+    pub fn connected(&mut self, partition: &GraphPartition, u: VertexId, v: VertexId) -> bool {
+        self.component(partition, u) == self.component(partition, v)
+    }
+
+    /// Size of the largest global component (0 for an empty vertex set).
+    pub fn largest_component(&mut self) -> usize {
+        let ShardedComponents {
+            labels,
+            offsets,
+            dsu,
+        } = self;
+        let mut sizes = vec![0usize; offsets[labels.len()]];
+        for (s, shard_labels) in labels.iter().enumerate() {
+            for &label in shard_labels {
+                sizes[dsu.find(offsets[s] + label)] += 1;
+            }
+        }
+        sizes.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// BFS hop distances from `source` over a sharded world: traverses the
+/// shard-local CSRs and hops across **present** cut edges (ghost-vertex
+/// traversal).  Produces exactly the distances of a monolithic BFS on the
+/// same world; unreachable vertices get `u32::MAX`.
+///
+/// `dist` and `queue` are caller-owned scratch (resized to the global vertex
+/// count; no allocation once warm).
+pub fn sharded_bfs_distances(
+    world: &ShardedWorld<'_>,
+    source: VertexId,
+    dist: &mut Vec<u32>,
+    queue: &mut Vec<u32>,
+) {
+    let partition = world.partition();
+    let n = partition.num_vertices();
+    dist.clear();
+    dist.resize(n, u32::MAX);
+    queue.clear();
+    dist[source] = 0;
+    queue.push(source as u32);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let v = queue[head] as usize;
+        head += 1;
+        let next = dist[v] + 1;
+        let (s, local) = partition.locate(v);
+        let shard = partition.shard(s);
+        for local_neighbor in world.shard_world(s).neighbors(local) {
+            let neighbor = shard.global_vertex(local_neighbor);
+            if dist[neighbor] == u32::MAX {
+                dist[neighbor] = next;
+                queue.push(neighbor as u32);
+            }
+        }
+        for &c in partition.incident_cuts(v) {
+            if world.cut_is_present(c as usize) {
+                let cut = partition.cut_edge(c as usize);
+                let neighbor = if cut.u == v { cut.v } else { cut.u };
+                if dist[neighbor] == u32::MAX {
+                    dist[neighbor] = next;
+                    queue.push(neighbor as u32);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WorldEngine;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy() -> UncertainGraph {
+        // Two dense clusters joined by two bridges, plus a pendant.
+        UncertainGraph::from_edges(
+            9,
+            [
+                (0, 1, 0.9),
+                (1, 2, 0.8),
+                (0, 2, 0.7),
+                (3, 4, 0.6),
+                (4, 5, 0.5),
+                (3, 5, 0.4),
+                (2, 3, 0.3),
+                (0, 5, 0.2),
+                (6, 7, 0.55),
+                (5, 6, 0.35),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn monolithic_present(
+        g: &UncertainGraph,
+        method: SampleMethod,
+        seed: u64,
+        worlds: usize,
+    ) -> Vec<Vec<u32>> {
+        let engine = WorldEngine::new(g).with_method(method);
+        let mut scratch = engine.make_scratch();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..worlds)
+            .map(|_| {
+                engine.sample_world(&mut rng, &mut scratch);
+                scratch.present_edges().to_vec()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_worlds_replay_the_monolithic_edge_stream() {
+        let g = toy();
+        for method in [SampleMethod::Skip, SampleMethod::PerEdge] {
+            for shards in [1usize, 2, 3] {
+                let partition = GraphPartition::contiguous(&g, shards).unwrap();
+                let engine = ShardedWorldEngine::new(&g, &partition).with_method(method);
+                let mut scratch = WorldSource::make_scratch(&engine);
+                let mut rng = SmallRng::seed_from_u64(41);
+                let reference = monolithic_present(&g, method, 41, 120);
+                for expected in &reference {
+                    let view = match engine.sample_world(&mut rng, &mut scratch) {
+                        WorldView::Sharded(view) => view,
+                        _ => unreachable!(),
+                    };
+                    // Reassemble the global present set from the scatter.
+                    let mut got: Vec<u32> = Vec::new();
+                    for s in 0..view.num_shards() {
+                        let shard = view.partition().shard(s);
+                        got.extend(
+                            view.shard_present(s)
+                                .iter()
+                                .map(|&e| shard.global_edge(e as usize) as u32),
+                        );
+                    }
+                    got.extend(
+                        view.present_cuts()
+                            .iter()
+                            .map(|&c| view.partition().cut_edge(c as usize).edge as u32),
+                    );
+                    got.sort_unstable();
+                    let mut want = expected.clone();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "{method:?} shards={shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advance_world_consumes_the_rng_exactly_like_sample_world() {
+        let g = toy();
+        let partition = GraphPartition::contiguous(&g, 3).unwrap();
+        for method in [SampleMethod::Skip, SampleMethod::PerEdge] {
+            let engine = ShardedWorldEngine::new(&g, &partition).with_method(method);
+            let mut sampled = WorldSource::make_scratch(&engine);
+            let mut advanced = WorldSource::make_scratch(&engine);
+            let mut rng_sample = SmallRng::seed_from_u64(17);
+            let mut rng_advance = SmallRng::seed_from_u64(17);
+            for _ in 0..100 {
+                engine.sample_world(&mut rng_sample, &mut sampled);
+                engine.advance_world(&mut rng_advance, &mut advanced);
+            }
+            assert_eq!(
+                rng_sample.gen::<u64>(),
+                rng_advance.gen::<u64>(),
+                "{method:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cut_degree_and_presence_match_the_boundary_pass() {
+        let g = toy();
+        let partition = GraphPartition::contiguous(&g, 2).unwrap();
+        let engine = ShardedWorldEngine::new(&g, &partition).with_method(SampleMethod::Skip);
+        let mut scratch = WorldSource::make_scratch(&engine);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let view = match engine.sample_world(&mut rng, &mut scratch) {
+                WorldView::Sharded(view) => view,
+                _ => unreachable!(),
+            };
+            let mut expected_degree = vec![0usize; g.num_vertices()];
+            for (c, cut) in partition.cut_edges().iter().enumerate() {
+                let present = view.present_cuts().contains(&(c as u32));
+                assert_eq!(view.cut_is_present(c), present);
+                if present {
+                    expected_degree[cut.u] += 1;
+                    expected_degree[cut.v] += 1;
+                }
+            }
+            for (v, &expected) in expected_degree.iter().enumerate() {
+                assert_eq!(view.cut_degree(v), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_components_match_the_monolithic_labelling() {
+        let g = toy();
+        let labels = [0usize, 0, 0, 1, 1, 1, 2, 2, 2];
+        let partition = GraphPartition::from_labels(&g, &labels, 3).unwrap();
+        let sharded = ShardedWorldEngine::new(&g, &partition).with_method(SampleMethod::PerEdge);
+        let monolithic = WorldEngine::new(&g).with_method(SampleMethod::PerEdge);
+        let mut sharded_scratch = WorldSource::make_scratch(&sharded);
+        let mut mono_scratch = monolithic.make_scratch();
+        let mut rng_s = SmallRng::seed_from_u64(23);
+        let mut rng_m = SmallRng::seed_from_u64(23);
+        let mut dist = Vec::new();
+        let mut queue = Vec::new();
+        for _ in 0..150 {
+            let world = monolithic.sample_world(&mut rng_m, &mut mono_scratch);
+            let (mono_labels, mono_count) = connected_components(world);
+            let mut mono_sizes = vec![0usize; mono_count];
+            for &l in &mono_labels {
+                mono_sizes[l] += 1;
+            }
+            let reference_distances = graph_algos::traversal::bfs_distances(world, 0);
+
+            let view = match sharded.sample_world(&mut rng_s, &mut sharded_scratch) {
+                WorldView::Sharded(view) => view,
+                _ => unreachable!(),
+            };
+            let mut comps = ShardedComponents::compute(&view);
+            assert_eq!(comps.num_components(), mono_count);
+            assert_eq!(
+                comps.largest_component(),
+                mono_sizes.iter().copied().max().unwrap_or(0)
+            );
+            for u in 0..g.num_vertices() {
+                for v in (u + 1)..g.num_vertices() {
+                    assert_eq!(
+                        comps.connected(&partition, u, v),
+                        mono_labels[u] == mono_labels[v],
+                        "pair ({u}, {v})"
+                    );
+                }
+            }
+            sharded_bfs_distances(&view, 0, &mut dist, &mut queue);
+            for v in 0..g.num_vertices() {
+                let expected = reference_distances[v];
+                if expected == usize::MAX {
+                    assert_eq!(dist[v], u32::MAX, "vertex {v}");
+                } else {
+                    assert_eq!(dist[v] as usize, expected, "vertex {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_mode_agrees_with_the_all_shard_view() {
+        let g = toy();
+        let partition = GraphPartition::contiguous(&g, 3).unwrap();
+        let engine = ShardedWorldEngine::new(&g, &partition).with_method(SampleMethod::Skip);
+        let mut full = WorldSource::make_scratch(&engine);
+        let mut singles: Vec<ShardScratch> = (0..3).map(|s| engine.make_shard_scratch(s)).collect();
+        let mut rng_full = SmallRng::seed_from_u64(77);
+        let mut rngs: Vec<SmallRng> = (0..3).map(|_| SmallRng::seed_from_u64(77)).collect();
+        for _ in 0..120 {
+            let view = match engine.sample_world(&mut rng_full, &mut full) {
+                WorldView::Sharded(view) => view,
+                _ => unreachable!(),
+            };
+            for (s, (scratch, rng)) in singles.iter_mut().zip(rngs.iter_mut()).enumerate() {
+                engine.sample_shard_world(rng, scratch);
+                assert_eq!(scratch.present_edges(), view.shard_present(s), "shard {s}");
+                // The single-shard boundary pass sees exactly the present
+                // cuts incident to this shard.
+                let expected: Vec<u32> = view
+                    .present_cuts()
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        let cut = partition.cut_edge(c as usize);
+                        cut.shard_u == s || cut.shard_v == s
+                    })
+                    .collect();
+                assert_eq!(scratch.present_cuts(), expected.as_slice(), "shard {s}");
+                assert_eq!(
+                    scratch.world().num_edges(),
+                    view.shard_world(s).num_edges(),
+                    "shard {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition was built")]
+    fn mismatched_partition_panics() {
+        let g = toy();
+        let other = UncertainGraph::from_edges(3, [(0, 1, 0.5)]).unwrap();
+        let partition = GraphPartition::contiguous(&other, 2).unwrap();
+        let _ = ShardedWorldEngine::new(&g, &partition);
+    }
+}

@@ -1,0 +1,164 @@
+//! The [`WorldSource`] abstraction: where sampled worlds come from.
+//!
+//! The original driver stack hard-wired every consumer to the monolithic
+//! [`WorldEngine`] — one graph, one CSR, one scratch.  This module is the
+//! seam that removes that assumption: a `WorldSource` is *anything* that can
+//! deterministically turn an RNG stream into a sequence of possible worlds,
+//! handing each world to the caller as a [`WorldView`]:
+//!
+//! * [`WorldEngine`] yields [`WorldView::Monolithic`] — the whole world as
+//!   one materialised CSR, exactly as before;
+//! * [`crate::sharded::ShardedWorldEngine`] yields [`WorldView::Sharded`] —
+//!   one materialised CSR **per shard** of a
+//!   [`uncertain_graph::GraphPartition`] plus the sampled boundary (cut)
+//!   edges, for observers with a cut-aware path.
+//!
+//! Both sources implement the same contract the batch driver has relied on
+//! since the replay-partitioning redesign: [`WorldSource::advance_world`]
+//! consumes the RNG exactly like [`WorldSource::sample_world`], so parallel
+//! workers can re-derive a shared world stream from one seed and skip to
+//! their block, keeping the sampled world sequence invariant to the thread
+//! count.
+//!
+//! Observers declare which views they can consume through
+//! [`crate::batch::WorldObserver::shard_support`]; drivers check
+//! [`WorldSource::admits`] before accepting an observer, so a query without
+//! a cut correction (PageRank, k-NN) is rejected up front rather than
+//! silently answered wrong.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use uncertain_graph::{GraphPartition, UncertainGraph};
+//! use ugs_queries::engine::WorldEngine;
+//! use ugs_queries::sharded::ShardedWorldEngine;
+//! use ugs_queries::source::{WorldSource, WorldView};
+//!
+//! let g = UncertainGraph::from_edges(4, [(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.7)]).unwrap();
+//! let partition = GraphPartition::contiguous(&g, 2).unwrap();
+//! let monolithic = WorldEngine::new(&g);
+//! let sharded = ShardedWorldEngine::new(&g, &partition);
+//!
+//! // Same seed, same edge outcomes — the sharded source replays the exact
+//! // RNG stream of the monolithic one and only *scatters* differently.
+//! let mut scratch_m = WorldSource::make_scratch(&monolithic);
+//! let mut scratch_s = WorldSource::make_scratch(&sharded);
+//! let mut rng_m = SmallRng::seed_from_u64(7);
+//! let mut rng_s = SmallRng::seed_from_u64(7);
+//! for _ in 0..20 {
+//!     // (`WorldEngine` also has an inherent `sample_world`; qualify to pick
+//!     // the trait method.)
+//!     let edges_m = match WorldSource::sample_world(&monolithic, &mut rng_m, &mut scratch_m) {
+//!         WorldView::Monolithic(world) => world.world().num_edges(),
+//!         _ => unreachable!(),
+//!     };
+//!     let edges_s = match sharded.sample_world(&mut rng_s, &mut scratch_s) {
+//!         WorldView::Sharded(world) => {
+//!             (0..world.num_shards()).map(|s| world.shard_world(s).num_edges()).sum::<usize>()
+//!                 + world.present_cuts().len()
+//!         }
+//!         _ => unreachable!(),
+//!     };
+//!     assert_eq!(edges_m, edges_s);
+//! }
+//! ```
+
+use rand::Rng;
+
+use crate::engine::{WorldEngine, WorldScratch};
+use crate::sharded::ShardedWorld;
+
+/// Which world views an observer can consume; see
+/// [`crate::batch::WorldObserver::shard_support`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSupport {
+    /// The observer only understands [`WorldView::Monolithic`]; a sharded
+    /// driver must reject it with a typed error at validation time.
+    MonolithicOnly,
+    /// The observer has a cut-aware path
+    /// ([`crate::batch::WorldObserver::observe_sharded`]) whose combination
+    /// of per-shard partials and boundary correction is exact, so it can
+    /// consume either view.
+    CutAware,
+}
+
+/// One sampled possible world, in whatever representation the source
+/// produces.
+#[derive(Debug, Clone, Copy)]
+pub enum WorldView<'a> {
+    /// The whole world as one materialised CSR (plus the present edge ids).
+    Monolithic(&'a WorldScratch),
+    /// One materialised CSR per shard plus the sampled cut edges.
+    Sharded(ShardedWorld<'a>),
+}
+
+/// A deterministic producer of sampled possible worlds; see the
+/// [module docs](self).
+///
+/// The determinism contract mirrors [`WorldEngine`]: for a fixed source and
+/// RNG state, `sample_world` and `advance_world` draw exactly the same RNG
+/// values, so a worker can replay a shared stream and skip past the worlds
+/// of earlier blocks without materialising them.
+pub trait WorldSource: Sync {
+    /// Per-thread mutable state; every buffer is pre-sized so the
+    /// sample–materialise cycle is allocation-free in steady state.
+    type Scratch: Send;
+
+    /// Creates a pre-sized per-thread scratch.
+    fn make_scratch(&self) -> Self::Scratch;
+
+    /// `true` when this source yields [`WorldView::Sharded`] views (even
+    /// with a single shard): observers then need a cut-aware path.
+    fn produces_sharded_views(&self) -> bool;
+
+    /// Number of shards a view decomposes into (1 for monolithic sources).
+    fn num_shards(&self) -> usize;
+
+    /// Whether an observer with the given [`ShardSupport`] can consume this
+    /// source's views.
+    fn admits(&self, support: ShardSupport) -> bool {
+        !self.produces_sharded_views() || support == ShardSupport::CutAware
+    }
+
+    /// Advances the RNG past one world without materialising it, consuming
+    /// the RNG exactly like [`WorldSource::sample_world`].
+    fn advance_world<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut Self::Scratch);
+
+    /// Samples one world into `scratch` and returns the view.
+    fn sample_world<'s, R: Rng + ?Sized>(
+        &'s self,
+        rng: &mut R,
+        scratch: &'s mut Self::Scratch,
+    ) -> WorldView<'s>;
+}
+
+impl<'g> WorldSource for WorldEngine<'g> {
+    type Scratch = WorldScratch;
+
+    fn make_scratch(&self) -> WorldScratch {
+        WorldEngine::make_scratch(self)
+    }
+
+    fn produces_sharded_views(&self) -> bool {
+        false
+    }
+
+    fn num_shards(&self) -> usize {
+        1
+    }
+
+    fn advance_world<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut WorldScratch) {
+        WorldEngine::advance_world(self, rng, scratch);
+    }
+
+    fn sample_world<'s, R: Rng + ?Sized>(
+        &'s self,
+        rng: &mut R,
+        scratch: &'s mut WorldScratch,
+    ) -> WorldView<'s> {
+        WorldEngine::sample_world(self, rng, scratch);
+        WorldView::Monolithic(scratch)
+    }
+}

@@ -1,0 +1,318 @@
+//! Sharded-vs-monolithic parity suite: the count observers
+//! (`EdgeFrequency`, `DegreeHistogram`, `PairQueries`, `Connectivity`)
+//! must produce **bit-identical** results when the batch samples through a
+//! [`ShardedWorldEngine`] instead of the monolithic engine — for every
+//! shard count, every thread count, every sampling mode and several seeds.
+//!
+//! This is the acceptance contract of the graph-sharded redesign: the
+//! sharded engine replays the monolithic full-graph edge stream and only
+//! *scatters* the present edges (per-shard worlds + boundary pass), and the
+//! cut corrections (global-id remapping, cut-degree addition, DSU component
+//! gluing, ghost-hop BFS) reconstruct exactly the monolithic per-world
+//! integers.  Any drift — one RNG draw, one missed cut edge, one off-by-one
+//! in the remapping — fails these tests bitwise.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uncertain_graph::{GraphPartition, UncertainGraph};
+
+use ugs_queries::prelude::*;
+use ugs_queries::ShardedWorldEngine;
+
+const SEEDS: [u64; 3] = [1, 0xDEAD_BEEF, 9_999_999_999];
+const MODES: [SampleMethod; 3] = [
+    SampleMethod::Skip,
+    SampleMethod::PerEdge,
+    SampleMethod::Auto,
+];
+const SHARDS: [usize; 3] = [1, 2, 4];
+const THREADS: [usize; 3] = [1, 2, 4];
+const WORLDS: usize = 200;
+
+/// Mixed-probability fixture: two dense clusters, a sparse ring through all
+/// vertices, long chords crossing any contiguous split, a certain edge and
+/// a pendant vertex (exercises isolated-vertex accounting).
+fn fixture() -> UncertainGraph {
+    let n = 24usize;
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    // Ring with a probability plateau (skip sampler fast path) and tails.
+    for u in 0..n - 1 {
+        let p = if u % 3 == 0 {
+            0.25
+        } else {
+            0.1 + 0.05 * (u % 7) as f64
+        };
+        edges.push((u, u + 1, p));
+    }
+    edges.push((n - 1, 0, 1.0));
+    // Two dense clusters.
+    for u in 0..5 {
+        for v in (u + 1)..5 {
+            edges.push((u, v, 0.6));
+        }
+    }
+    for u in 12..17 {
+        for v in (u + 1)..17 {
+            edges.push((u, v, 0.45));
+        }
+    }
+    // Long chords that cross every contiguous cut.
+    edges.push((2, 19, 0.3));
+    edges.push((4, 21, 0.2));
+    edges.push((7, 15, 0.35));
+    edges.push((0, 12, 0.15));
+    // Deduplicate (clusters overlap the ring edges).
+    edges.sort_by_key(|&(u, v, _)| (u.min(v), u.max(v)));
+    edges.dedup_by_key(|&mut (u, v, _)| (u.min(v), u.max(v)));
+    UncertainGraph::from_edges(n, edges).unwrap()
+}
+
+/// The pair list shared by all runs: same-source groups, cross-cluster and
+/// intra-cluster pairs, plus one pair that is frequently disconnected.
+fn pairs() -> Vec<(usize, usize)> {
+    vec![(0, 4), (0, 16), (0, 23), (7, 15), (7, 8), (20, 3)]
+}
+
+struct Results {
+    frequencies: Vec<f64>,
+    histogram: Vec<f64>,
+    pair: PairQueryResult,
+    connectivity: ConnectivityEstimate,
+}
+
+fn run_monolithic(g: &UncertainGraph, mode: SampleMethod, threads: usize, seed: u64) -> Results {
+    let mc = MonteCarlo::worlds(WORLDS)
+        .with_method(mode)
+        .with_threads(threads);
+    let mut batch = QueryBatch::new(g, &mc);
+    let h_freq = batch.register(EdgeFrequencyObserver::new(g));
+    let h_hist = batch.register(DegreeHistogramObserver::new(g));
+    let h_pair = batch.register(PairQueriesObserver::new(&pairs()));
+    let h_conn = batch.register(ConnectivityObserver::new(g));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut results = batch.run(&mut rng);
+    Results {
+        frequencies: results.take(h_freq),
+        histogram: results.take(h_hist),
+        pair: results.take(h_pair),
+        connectivity: results.take(h_conn),
+    }
+}
+
+fn run_sharded(
+    g: &UncertainGraph,
+    partition: &GraphPartition,
+    mode: SampleMethod,
+    threads: usize,
+    seed: u64,
+) -> Results {
+    let engine = ShardedWorldEngine::new(g, partition).with_method(mode);
+    let mut batch = QueryBatch::from_sharded(&engine, WORLDS, threads);
+    let h_freq = batch.register(EdgeFrequencyObserver::new(g));
+    let h_hist = batch.register(DegreeHistogramObserver::new(g));
+    let h_pair = batch.register(PairQueriesObserver::new(&pairs()));
+    let h_conn = batch.register(ConnectivityObserver::new(g));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut results = batch.run(&mut rng);
+    Results {
+        frequencies: results.take(h_freq),
+        histogram: results.take(h_hist),
+        pair: results.take(h_pair),
+        connectivity: results.take(h_conn),
+    }
+}
+
+/// Bitwise f64 slice equality (NaN-tolerant: a never-connected pair has a
+/// NaN mean distance on both sides).
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str, context: &str) {
+    assert_eq!(a.len(), b.len(), "{what} length ({context})");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}]: {x} vs {y} ({context})"
+        );
+    }
+}
+
+fn assert_results_eq(a: &Results, b: &Results, context: &str) {
+    assert_bits_eq(&a.frequencies, &b.frequencies, "edge frequencies", context);
+    assert_bits_eq(&a.histogram, &b.histogram, "degree histogram", context);
+    assert_eq!(a.pair.pairs, b.pair.pairs, "pair list ({context})");
+    assert_bits_eq(
+        &a.pair.mean_distance,
+        &b.pair.mean_distance,
+        "mean distance",
+        context,
+    );
+    assert_bits_eq(
+        &a.pair.reliability,
+        &b.pair.reliability,
+        "reliability",
+        context,
+    );
+    assert_eq!(
+        a.pair.connected_worlds, b.pair.connected_worlds,
+        "connected worlds ({context})"
+    );
+    assert_eq!(a.pair.num_worlds, b.pair.num_worlds, "worlds ({context})");
+    let (ca, cb) = (&a.connectivity, &b.connectivity);
+    assert_bits_eq(
+        &[
+            ca.expected_components,
+            ca.expected_largest_component,
+            ca.probability_connected,
+            ca.expected_isolated_fraction,
+        ],
+        &[
+            cb.expected_components,
+            cb.expected_largest_component,
+            cb.probability_connected,
+            cb.expected_isolated_fraction,
+        ],
+        "connectivity estimate",
+        context,
+    );
+}
+
+#[test]
+fn count_observers_are_bit_identical_sharded_vs_monolithic() {
+    let g = fixture();
+    for mode in MODES {
+        for seed in SEEDS {
+            for threads in THREADS {
+                let monolithic = run_monolithic(&g, mode, threads, seed);
+                for shards in SHARDS {
+                    let partition = GraphPartition::contiguous(&g, shards).unwrap();
+                    let sharded = run_sharded(&g, &partition, mode, threads, seed);
+                    assert_results_eq(
+                        &monolithic,
+                        &sharded,
+                        &format!("{mode:?} seed={seed} threads={threads} shards={shards}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parity_holds_for_arbitrary_labellings() {
+    // Interleaved labels maximise the cut; every ring edge crosses shards.
+    let g = fixture();
+    let labels: Vec<usize> = (0..g.num_vertices()).map(|v| v % 3).collect();
+    let partition = GraphPartition::from_labels(&g, &labels, 3).unwrap();
+    for mode in MODES {
+        for seed in SEEDS {
+            let monolithic = run_monolithic(&g, mode, 2, seed);
+            let sharded = run_sharded(&g, &partition, mode, 2, seed);
+            assert_results_eq(
+                &monolithic,
+                &sharded,
+                &format!("interleaved {mode:?} seed={seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn count_results_are_invariant_over_the_whole_grid() {
+    // Fields derived from integer counts are exactly invariant over the
+    // full (shards × threads) grid — compare everything against the
+    // sequential monolithic reference.  (The isolated-vertex *fraction*
+    // accumulates a non-integer addend per world, so — exactly as in the
+    // monolithic batch driver — it is only bit-stable at a fixed thread
+    // count, which the parity test above already enforces.)
+    let g = fixture();
+    for mode in MODES {
+        for seed in SEEDS {
+            let reference = run_monolithic(&g, mode, 1, seed);
+            for shards in SHARDS {
+                let partition = GraphPartition::contiguous(&g, shards).unwrap();
+                for threads in THREADS {
+                    let sharded = run_sharded(&g, &partition, mode, threads, seed);
+                    let context = format!("{mode:?} seed={seed} shards={shards} threads={threads}");
+                    assert_bits_eq(
+                        &reference.frequencies,
+                        &sharded.frequencies,
+                        "edge frequencies",
+                        &context,
+                    );
+                    assert_bits_eq(
+                        &reference.histogram,
+                        &sharded.histogram,
+                        "degree histogram",
+                        &context,
+                    );
+                    assert_bits_eq(
+                        &reference.pair.mean_distance,
+                        &sharded.pair.mean_distance,
+                        "mean distance",
+                        &context,
+                    );
+                    assert_bits_eq(
+                        &reference.pair.reliability,
+                        &sharded.pair.reliability,
+                        "reliability",
+                        &context,
+                    );
+                    assert_eq!(
+                        reference.pair.connected_worlds, sharded.pair.connected_worlds,
+                        "connected worlds ({context})"
+                    );
+                    assert_bits_eq(
+                        &[
+                            reference.connectivity.expected_components,
+                            reference.connectivity.expected_largest_component,
+                            reference.connectivity.probability_connected,
+                        ],
+                        &[
+                            sharded.connectivity.expected_components,
+                            sharded.connectivity.expected_largest_component,
+                            sharded.connectivity.probability_connected,
+                        ],
+                        "connectivity counts",
+                        &context,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_batches_consume_exactly_one_rng_draw() {
+    use rand::Rng;
+    let g = fixture();
+    let partition = GraphPartition::contiguous(&g, 2).unwrap();
+    let engine = ShardedWorldEngine::new(&g, &partition);
+    let mut batch = QueryBatch::from_sharded(&engine, 50, 4);
+    let _ = batch.register(EdgeFrequencyObserver::new(&g));
+    let mut rng = SmallRng::seed_from_u64(11);
+    batch.run(&mut rng);
+    let mut expected = SmallRng::seed_from_u64(11);
+    expected.gen::<u64>();
+    assert_eq!(rng.gen::<u64>(), expected.gen::<u64>());
+}
+
+#[test]
+fn zero_world_sharded_batches_finalise_empty() {
+    let g = fixture();
+    let partition = GraphPartition::contiguous(&g, 3).unwrap();
+    let engine = ShardedWorldEngine::new(&g, &partition);
+    let mut batch = QueryBatch::from_sharded(&engine, 0, 2);
+    let handle = batch.register(EdgeFrequencyObserver::new(&g));
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut results = batch.run(&mut rng);
+    assert_eq!(results.take(handle), vec![0.0; g.num_edges()]);
+}
+
+#[test]
+#[should_panic(expected = "no cut-aware path")]
+fn monolithic_only_observers_cannot_register_with_a_sharded_batch() {
+    let g = fixture();
+    let partition = GraphPartition::contiguous(&g, 2).unwrap();
+    let engine = ShardedWorldEngine::new(&g, &partition);
+    let mut batch = QueryBatch::from_sharded(&engine, 10, 1);
+    let _ = batch.register(PageRankObserver::new(&g));
+}

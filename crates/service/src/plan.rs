@@ -47,12 +47,32 @@ pub struct QueryPlan {
     pub worlds: usize,
     /// Service workers the world budget is sharded across (default 1).
     pub threads: usize,
+    /// Graph-shard count (default 1 = monolithic).  With more shards every
+    /// query must have a shard-aware path; see
+    /// [`crate::spec::QuerySpec::validate_sharded`].
+    pub shards: usize,
     /// World-sampling method (default [`SampleMethod::Auto`]).
     pub mode: SampleMethod,
     /// Service seed (default 42).
     pub seed: u64,
     /// The queries, answered in order.
     pub queries: Vec<QuerySpec>,
+}
+
+/// Wraps a query-spec parse failure with the **index and name** of the
+/// failing entry in the plan's `queries` array, so a 40-query plan document
+/// points straight at the culprit instead of raising a bare spec error.
+fn plan_query_error(index: usize, entry: &Value, error: SpecError) -> SpecError {
+    let name = entry.get_str("type").unwrap_or("<missing type>");
+    match error {
+        SpecError::Json(message) => {
+            SpecError::Json(format!("queries[{index}] (\"{name}\"): {message}"))
+        }
+        SpecError::Invalid(message) => {
+            SpecError::Invalid(format!("queries[{index}] (\"{name}\"): {message}"))
+        }
+        other => other,
+    }
 }
 
 /// Parses a `mode` string (`auto` | `skip` | `per-edge`).
@@ -87,6 +107,7 @@ impl QueryPlan {
         };
         let worlds = optional_usize(value, "worlds", 500)?;
         let threads = optional_usize(value, "threads", 1)?;
+        let shards = optional_usize(value, "shards", 1)?;
         let mode = match value.get("mode") {
             None => SampleMethod::Auto,
             Some(v) => {
@@ -113,7 +134,10 @@ impl QueryPlan {
                 SpecError::Json("a plan requires an array field \"queries\"".to_string())
             })?
             .iter()
-            .map(QuerySpec::parse)
+            .enumerate()
+            .map(|(index, entry)| {
+                QuerySpec::parse(entry).map_err(|error| plan_query_error(index, entry, error))
+            })
             .collect::<Result<Vec<_>, _>>()?;
         if queries.is_empty() {
             return Err(SpecError::Json(
@@ -124,6 +148,7 @@ impl QueryPlan {
             graph,
             worlds,
             threads,
+            shards,
             mode,
             seed,
             queries,
@@ -145,6 +170,7 @@ impl QueryPlan {
         builder
             .field("worlds", self.worlds)
             .field("threads", self.threads)
+            .field("shards", self.shards)
             .field("mode", mode_name(self.mode))
             .field("seed", self.seed as usize)
             .field(
@@ -170,6 +196,7 @@ impl QueryPlan {
             num_worlds: self.worlds,
             threads: self.threads,
             mode: self.mode,
+            shards: self.shards,
         };
         let service = QueryService::start(graph, policy, self.seed);
         let tickets: Vec<_> = self
@@ -209,6 +236,7 @@ impl QueryPlan {
             .field("graph", graph_label)
             .field("worlds", self.worlds)
             .field("threads", self.threads)
+            .field("shards", self.shards)
             .field("mode", mode_name(self.mode))
             .field("seed", self.seed as usize)
             .field("results", Value::Arr(entries))
@@ -247,6 +275,70 @@ mod tests {
         ] {
             assert!(QueryPlan::parse_str(bad).is_err(), "{bad} should fail");
         }
+    }
+
+    #[test]
+    fn query_parse_errors_name_the_failing_entry() {
+        // The second entry is broken: the error must carry its index and
+        // its declared type, not just the bare spec error.
+        let error = QueryPlan::parse_str(
+            r#"{"queries": [{"type": "connectivity"}, {"type": "knn"}, {"type": "pagerank"}]}"#,
+        )
+        .unwrap_err();
+        let message = error.to_string();
+        assert!(message.contains("queries[1]"), "{message}");
+        assert!(message.contains("\"knn\""), "{message}");
+        assert!(message.contains("source"), "{message}");
+        // An entry with no type field is named as such.
+        let error = QueryPlan::parse_str(r#"{"queries": [{"worlds": 5}]}"#).unwrap_err();
+        let message = error.to_string();
+        assert!(message.contains("queries[0]"), "{message}");
+        assert!(message.contains("<missing type>"), "{message}");
+    }
+
+    #[test]
+    fn sharded_plans_execute_and_match_the_monolithic_results() {
+        let g = UncertainGraph::from_edges(
+            5,
+            [
+                (0, 1, 0.9),
+                (1, 2, 0.5),
+                (2, 3, 0.7),
+                (3, 4, 0.4),
+                (4, 0, 0.6),
+            ],
+        )
+        .unwrap();
+        let run = |shards: usize| {
+            let plan = QueryPlan::parse_str(&format!(
+                r#"{{"worlds": 150, "seed": 3, "shards": {shards},
+                    "queries": [{{"type": "edge_frequency"}}, {{"type": "connectivity"}}]}}"#
+            ))
+            .unwrap();
+            assert_eq!(plan.shards, shards);
+            plan.execute(g.clone())
+        };
+        let monolithic = run(1);
+        let sharded = run(2);
+        for (a, b) in monolithic.iter().zip(&sharded) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn sharded_plans_reject_unsupported_queries_per_entry() {
+        let g = UncertainGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 0.5)]).unwrap();
+        let plan = QueryPlan::parse_str(
+            r#"{"worlds": 40, "seed": 1, "shards": 2,
+                "queries": [{"type": "pagerank"}, {"type": "degree_histogram"}]}"#,
+        )
+        .unwrap();
+        let results = plan.execute(g);
+        assert!(matches!(
+            &results[0],
+            Err(ServiceError::Spec(SpecError::Unsupported { .. }))
+        ));
+        assert!(results[1].is_ok());
     }
 
     #[test]

@@ -51,10 +51,12 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use uncertain_graph::UncertainGraph;
+use uncertain_graph::{GraphPartition, UncertainGraph};
 
 use ugs_queries::batch::{BatchResults, BoxedObserver};
 use ugs_queries::engine::{SampleMethod, WorldEngine};
+use ugs_queries::sharded::ShardedWorldEngine;
+use ugs_queries::source::{ShardSupport, WorldSource};
 
 use crate::spec::{QueryResult, QuerySpec, SpecError};
 
@@ -73,11 +75,19 @@ pub struct BatchPolicy {
     pub threads: usize,
     /// World-sampling method of every worker engine.
     pub mode: SampleMethod,
+    /// Graph-shard count: `0` or `1` evaluates monolithically; with more
+    /// shards the service partitions the **graph** (contiguous vertex
+    /// ranges) and every worker runs a shard-aware
+    /// [`ugs_queries::ShardedWorldEngine`] over it.  The sharded engine
+    /// replays the monolithic edge stream, so count-style results are
+    /// bit-identical for any shard count; queries without a cut correction
+    /// are rejected at validation time with [`SpecError::Unsupported`].
+    pub shards: usize,
 }
 
 impl Default for BatchPolicy {
-    /// 500 worlds, 1 worker, automatic sampling, windows of up to 8 queries
-    /// or 2 ms.
+    /// 500 worlds, 1 worker, automatic sampling, monolithic graph, windows
+    /// of up to 8 queries or 2 ms.
     fn default() -> Self {
         BatchPolicy {
             max_wait: Duration::from_millis(2),
@@ -85,6 +95,7 @@ impl Default for BatchPolicy {
             num_worlds: 500,
             threads: 1,
             mode: SampleMethod::Auto,
+            shards: 1,
         }
     }
 }
@@ -241,7 +252,26 @@ fn scheduler_loop(
     seed: u64,
     submit_rx: Receiver<Submission>,
 ) -> ServiceStats {
-    let engine = WorldEngine::new(&graph).with_method(policy.mode);
+    if policy.shards > 1 {
+        let partition = GraphPartition::contiguous(&graph, policy.shards)
+            .expect("shards > 1 always yields a valid contiguous partition");
+        let engine = ShardedWorldEngine::new(&graph, &partition).with_method(policy.mode);
+        run_worker_pool(&graph, &engine, policy, seed, submit_rx)
+    } else {
+        let engine = WorldEngine::new(&graph).with_method(policy.mode);
+        run_worker_pool(&graph, &engine, policy, seed, submit_rx)
+    }
+}
+
+/// The worker pool + micro-batching loop, generic over the
+/// [`WorldSource`] every worker samples from (monolithic or shard-aware).
+fn run_worker_pool<S: WorldSource>(
+    graph: &UncertainGraph,
+    source: &S,
+    policy: BatchPolicy,
+    seed: u64,
+    submit_rx: Receiver<Submission>,
+) -> ServiceStats {
     let worker_count = policy.threads.max(1);
     std::thread::scope(|scope| {
         let mut job_txs = Vec::with_capacity(worker_count);
@@ -249,10 +279,9 @@ fn scheduler_loop(
         for _ in 0..worker_count {
             let (job_tx, job_rx) = mpsc::channel::<WorkerJob>();
             let (partial_tx, partial_rx) = mpsc::channel();
-            let engine = &engine;
             scope.spawn(move || {
                 // Persistent per-worker state, reused across micro-batches.
-                let mut scratch = engine.make_scratch();
+                let mut scratch = source.make_scratch();
                 while let Ok(job) = job_rx.recv() {
                     let WorkerJob {
                         seq,
@@ -263,12 +292,12 @@ fn scheduler_loop(
                     } = job;
                     let mut rng = SmallRng::seed_from_u64(seed);
                     for _ in 0..skip {
-                        engine.advance_world(&mut rng, &mut scratch);
+                        source.advance_world(&mut rng, &mut scratch);
                     }
                     for _ in 0..count {
-                        engine.sample_world(&mut rng, &mut scratch);
+                        let view = source.sample_world(&mut rng, &mut scratch);
                         for observer in observers.iter_mut() {
-                            observer.observe(&scratch);
+                            observer.observe_view(&view);
                         }
                     }
                     if partial_tx.send((seq, observers)).is_err() {
@@ -280,7 +309,7 @@ fn scheduler_loop(
             partial_rxs.push(partial_rx);
         }
         let scheduler = Scheduler {
-            graph: &graph,
+            graph,
             policy,
             rng: SmallRng::seed_from_u64(seed),
             job_txs,
@@ -353,8 +382,28 @@ impl Scheduler<'_> {
         self.stats.queries += pending.len();
         let mut submissions: Vec<Submission> = Vec::with_capacity(pending.len());
         let mut observers: Vec<BoxedObserver> = Vec::with_capacity(pending.len());
+        let shards = self.policy.shards;
         for submission in pending.drain(..) {
-            match submission.spec.make_observer(self.graph) {
+            let built = submission
+                .spec
+                .validate_sharded(self.graph, shards)
+                .and_then(|_| submission.spec.make_observer(self.graph))
+                .and_then(|observer| {
+                    // Belt and braces against drift between the spec-level
+                    // allowlist and the observer's actual capability: an
+                    // observer without a cut-aware path must never reach a
+                    // sharded worker (it would panic there instead of
+                    // erroring here).
+                    if shards > 1 && observer.shard_support() != ShardSupport::CutAware {
+                        Err(SpecError::Unsupported {
+                            query: submission.spec.kind().to_string(),
+                            shards,
+                        })
+                    } else {
+                        Ok(observer)
+                    }
+                });
+            match built {
                 Ok(observer) => {
                     submissions.push(submission);
                     observers.push(observer);
@@ -571,5 +620,60 @@ mod tests {
         let ticket = service.submit(QuerySpec::Clustering);
         drop(service); // shuts down; the flush still answers the ticket
         assert!(ticket.wait().is_ok());
+    }
+
+    #[test]
+    fn sharded_service_answers_count_queries_bit_identically() {
+        // The same seed drives a monolithic and a 3-shard service: the
+        // sharded engine replays the monolithic edge stream, so the count
+        // observers' results are bit-identical.
+        let answers = |shards: usize| {
+            let service = QueryService::start(
+                toy(),
+                BatchPolicy {
+                    shards,
+                    ..policy(250, 2)
+                },
+                13,
+            );
+            let connectivity = service.submit(QuerySpec::Connectivity);
+            let frequencies = service.submit(QuerySpec::EdgeFrequency);
+            let histogram = service.submit(QuerySpec::DegreeHistogram);
+            let results = (
+                connectivity.wait().unwrap(),
+                frequencies.wait().unwrap(),
+                histogram.wait().unwrap(),
+            );
+            service.shutdown();
+            results
+        };
+        assert_eq!(answers(1), answers(3));
+    }
+
+    #[test]
+    fn sharded_service_rejects_unsupported_queries_with_a_typed_error() {
+        let service = QueryService::start(
+            toy(),
+            BatchPolicy {
+                shards: 2,
+                ..policy(50, 1)
+            },
+            7,
+        );
+        let pagerank = service.submit(QuerySpec::pagerank());
+        let knn = service.submit(QuerySpec::Knn { source: 0, k: 2 });
+        let good = service.submit(QuerySpec::Connectivity);
+        for (ticket, kind) in [(pagerank, "pagerank"), (knn, "knn")] {
+            match ticket.wait() {
+                Err(ServiceError::Spec(SpecError::Unsupported { query, shards })) => {
+                    assert_eq!(query, kind);
+                    assert_eq!(shards, 2);
+                }
+                other => panic!("expected a typed Unsupported error, got {other:?}"),
+            }
+        }
+        assert!(good.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.rejected, 2);
     }
 }

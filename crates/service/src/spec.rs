@@ -102,6 +102,16 @@ pub enum SpecError {
     /// The spec is structurally fine but does not fit the target graph
     /// (e.g. a vertex id out of range).
     Invalid(String),
+    /// The query has no shard-aware evaluation path, but the execution
+    /// context splits the graph into shards.  Raised at validation time —
+    /// before any sampling — so a plan mixing supported and unsupported
+    /// queries fails fast per query instead of answering wrong.
+    Unsupported {
+        /// The canonical query kind ([`QuerySpec::kind`]).
+        query: String,
+        /// The number of shards the context would evaluate over.
+        shards: usize,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -109,6 +119,11 @@ impl std::fmt::Display for SpecError {
         match self {
             SpecError::Json(m) => write!(f, "invalid query spec: {m}"),
             SpecError::Invalid(m) => write!(f, "query spec does not fit the graph: {m}"),
+            SpecError::Unsupported { query, shards } => write!(
+                f,
+                "query \"{query}\" does not support graph-sharded evaluation \
+                 ({shards} shards): it has no exact cut correction yet"
+            ),
         }
     }
 }
@@ -284,6 +299,36 @@ impl QuerySpec {
             | QuerySpec::DegreeHistogram
             | QuerySpec::EdgeFrequency => Ok(()),
         }
+    }
+
+    /// Whether this query has a shard-aware (cut-corrected) evaluation
+    /// path.  Count-style queries do — their per-shard partials plus the
+    /// boundary correction are exact; traversal-style PageRank / clustering
+    /// / k-NN do not (they would need ghost-vertex iteration or boundary
+    /// exchange) and must run monolithically.
+    pub fn supports_sharded(&self) -> bool {
+        match self {
+            QuerySpec::PairQueries { .. }
+            | QuerySpec::Connectivity
+            | QuerySpec::DegreeHistogram
+            | QuerySpec::EdgeFrequency => true,
+            QuerySpec::PageRank { .. } | QuerySpec::Clustering | QuerySpec::Knn { .. } => false,
+        }
+    }
+
+    /// [`QuerySpec::validate`] plus the shard-awareness check: with
+    /// `num_shards > 1`, queries without a cut correction are rejected with
+    /// the typed [`SpecError::Unsupported`] — at validation time, never as
+    /// a panic or a silently wrong answer.
+    pub fn validate_sharded(&self, g: &UncertainGraph, num_shards: usize) -> Result<(), SpecError> {
+        self.validate(g)?;
+        if num_shards > 1 && !self.supports_sharded() {
+            return Err(SpecError::Unsupported {
+                query: self.kind().to_string(),
+                shards: num_shards,
+            });
+        }
+        Ok(())
     }
 
     /// Validates the spec against `g` and builds its type-erased observer —
@@ -500,6 +545,80 @@ mod tests {
         .validate(&g)
         .is_err());
         assert!(QuerySpec::pagerank().validate(&g).is_ok());
+    }
+
+    #[test]
+    fn sharded_validation_rejects_queries_without_a_cut_correction() {
+        let g = toy();
+        let supported = [
+            QuerySpec::Connectivity,
+            QuerySpec::DegreeHistogram,
+            QuerySpec::EdgeFrequency,
+            QuerySpec::PairQueries {
+                pairs: vec![(0, 3)],
+            },
+        ];
+        let unsupported = [
+            QuerySpec::pagerank(),
+            QuerySpec::Clustering,
+            QuerySpec::Knn { source: 0, k: 2 },
+        ];
+        for spec in &supported {
+            assert!(spec.supports_sharded(), "{}", spec.kind());
+            assert!(spec.validate_sharded(&g, 4).is_ok(), "{}", spec.kind());
+        }
+        for spec in &unsupported {
+            assert!(!spec.supports_sharded(), "{}", spec.kind());
+            // Monolithic contexts still accept them…
+            assert!(spec.validate_sharded(&g, 1).is_ok(), "{}", spec.kind());
+            // …sharded ones reject them with the typed error.
+            match spec.validate_sharded(&g, 4) {
+                Err(SpecError::Unsupported { query, shards }) => {
+                    assert_eq!(query, spec.kind());
+                    assert_eq!(shards, 4);
+                }
+                other => panic!("{}: expected Unsupported, got {other:?}", spec.kind()),
+            }
+        }
+        // Ordinary validation errors still win over shard support.
+        assert!(matches!(
+            QuerySpec::PairQueries {
+                pairs: vec![(0, 99)]
+            }
+            .validate_sharded(&g, 4),
+            Err(SpecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn supports_sharded_matches_the_observer_capability() {
+        // `supports_sharded` is the validation-time answer; the observer's
+        // `shard_support` is what the driver actually dispatches on.  They
+        // must never drift: a mismatch would turn the typed Unsupported
+        // error into a worker panic (spec says yes, observer says no) or
+        // needlessly reject a capable query (the reverse).
+        use ugs_queries::source::ShardSupport;
+        let g = toy();
+        let specs = [
+            QuerySpec::pagerank(),
+            QuerySpec::Clustering,
+            QuerySpec::PairQueries {
+                pairs: vec![(0, 1)],
+            },
+            QuerySpec::Connectivity,
+            QuerySpec::DegreeHistogram,
+            QuerySpec::Knn { source: 0, k: 2 },
+            QuerySpec::EdgeFrequency,
+        ];
+        for spec in specs {
+            let observer = spec.make_observer(&g).unwrap();
+            let expected = if spec.supports_sharded() {
+                ShardSupport::CutAware
+            } else {
+                ShardSupport::MonolithicOnly
+            };
+            assert_eq!(observer.shard_support(), expected, "{}", spec.kind());
+        }
     }
 
     #[test]

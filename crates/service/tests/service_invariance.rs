@@ -69,6 +69,7 @@ fn run_service(
             num_worlds: WORLDS,
             threads: workers,
             mode,
+            shards: 1,
         },
         seed,
     );
@@ -126,6 +127,7 @@ fn the_service_shards_exactly_like_query_batch() {
                     num_worlds: WORLDS,
                     threads,
                     mode,
+                    shards: 1,
                 },
                 seed,
             );
@@ -160,6 +162,7 @@ fn worker_counts_beyond_the_world_budget_degrade_gracefully() {
                 num_worlds: 3,
                 threads: workers,
                 mode: SampleMethod::Skip,
+                shards: 1,
             },
             5,
         );

@@ -67,6 +67,7 @@ fn one_query_windows(mode: SampleMethod) -> BatchPolicy {
         num_worlds: WORLDS,
         threads: 1,
         mode,
+        shards: 1,
     }
 }
 
@@ -218,6 +219,7 @@ fn a_mixed_micro_batch_equals_one_query_batch_with_the_same_observers() {
                 num_worlds: WORLDS,
                 threads: 1,
                 mode,
+                shards: 1,
             },
             seed,
         );

@@ -51,6 +51,7 @@ fn plans_round_trip_with_their_embedded_specs() {
         graph: Some("graph.txt".to_string()),
         worlds: 123,
         threads: 4,
+        shards: 2,
         mode: ugs_queries::SampleMethod::PerEdge,
         seed: 77,
         queries: all_variants(),

@@ -1,0 +1,514 @@
+//! Vertex partitions of an uncertain graph: per-shard induced subgraphs plus
+//! an explicit cut-edge set with stable id remapping.
+//!
+//! A [`GraphPartition`] splits the vertex set `V` into `k` **shards**.  Each
+//! shard materialises the induced uncertain subgraph on its vertices
+//! (relabelled to dense local ids) together with both id maps
+//! (`local vertex -> global vertex`, `local edge -> global edge`), and every
+//! edge whose endpoints land in *different* shards becomes a [`CutEdge`]
+//! record carrying its global id, probability, and the `(shard, local id)`
+//! coordinates of both endpoints.
+//!
+//! The partition is purely structural — it never looks at a sampled world —
+//! which makes it the seam for *graph-sharded* evaluation: a worker that
+//! owns one shard only needs that shard's subgraph plus the cut records
+//! touching it, and any observation it produces can be translated back into
+//! the parent graph's stable vertex/edge ids.  The shard-aware Monte-Carlo
+//! engine in `ugs-queries` builds directly on this type.
+//!
+//! # Example
+//!
+//! ```
+//! use uncertain_graph::{GraphPartition, UncertainGraph};
+//!
+//! // A 6-cycle split into two halves: exactly two edges cross the cut.
+//! let g = UncertainGraph::from_edges(
+//!     6,
+//!     [(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (3, 4, 0.6), (4, 5, 0.5), (5, 0, 0.4)],
+//! )
+//! .unwrap();
+//! let partition = GraphPartition::contiguous(&g, 2).unwrap();
+//! assert_eq!(partition.num_shards(), 2);
+//! assert_eq!(partition.shard(0).num_vertices(), 3);
+//! assert_eq!(partition.cut_edges().len(), 2);
+//! // Shards keep stable maps back into the parent graph.
+//! let shard = partition.shard(1);
+//! assert_eq!(shard.global_vertex(0), 3);
+//! for cut in partition.cut_edges() {
+//!     assert_ne!(cut.shard_u, cut.shard_v);
+//! }
+//! ```
+
+use crate::graph::{EdgeId, UncertainGraph, VertexId};
+
+/// One shard of a [`GraphPartition`]: the induced uncertain subgraph on the
+/// shard's vertices (dense local ids) plus the maps back into the parent
+/// graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shard {
+    graph: UncertainGraph,
+    /// `local vertex id -> global vertex id` (ascending).
+    vertices: Vec<VertexId>,
+    /// `local edge id -> global edge id` (ascending).
+    edges: Vec<EdgeId>,
+}
+
+impl Shard {
+    /// The induced uncertain subgraph over the shard's local vertex ids.
+    pub fn graph(&self) -> &UncertainGraph {
+        &self.graph
+    }
+
+    /// Map `local vertex id -> global vertex id` (sorted ascending).
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Map `local edge id -> global edge id` (sorted ascending).
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Global id of the shard-local vertex `v`.
+    #[inline]
+    pub fn global_vertex(&self, v: VertexId) -> VertexId {
+        self.vertices[v]
+    }
+
+    /// Global id of the shard-local edge `e`.
+    #[inline]
+    pub fn global_edge(&self, e: EdgeId) -> EdgeId {
+        self.edges[e]
+    }
+
+    /// Number of vertices in the shard.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of intra-shard edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// An edge of the parent graph whose endpoints lie in different shards.
+///
+/// Cut edges are *not* part of any shard's induced subgraph; shard-aware
+/// world sources sample them in a dedicated boundary pass and observers
+/// apply them as a cut correction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutEdge {
+    /// Global id of the edge in the parent graph.
+    pub edge: EdgeId,
+    /// First global endpoint (as stored by the parent graph).
+    pub u: VertexId,
+    /// Second global endpoint.
+    pub v: VertexId,
+    /// Existence probability.
+    pub p: f64,
+    /// Shard containing `u`.
+    pub shard_u: usize,
+    /// Shard containing `v`.
+    pub shard_v: usize,
+    /// Local id of `u` inside `shard_u`.
+    pub local_u: VertexId,
+    /// Local id of `v` inside `shard_v`.
+    pub local_v: VertexId,
+}
+
+/// Why a vertex labelling could not be turned into a [`GraphPartition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A partition needs at least one shard.
+    NoShards,
+    /// The labelling does not have one entry per vertex.
+    LabelingSize {
+        /// Number of labels supplied.
+        got: usize,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A label referenced a shard outside `0..num_shards`.
+    ShardOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of shards the partition was declared with.
+        num_shards: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::NoShards => write!(f, "a graph partition needs at least one shard"),
+            PartitionError::LabelingSize { got, num_vertices } => write!(
+                f,
+                "vertex labelling has {got} entries for a graph with {num_vertices} vertices"
+            ),
+            PartitionError::ShardOutOfRange { label, num_shards } => write!(
+                f,
+                "shard label {label} out of range for a partition with {num_shards} shards"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A split of an uncertain graph's vertex set into shards; see the
+/// [module docs](self) for the data model and an example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphPartition {
+    num_vertices: usize,
+    num_edges: usize,
+    /// `global vertex -> shard`.
+    labels: Vec<u32>,
+    /// `global vertex -> local index inside its shard`.
+    local_index: Vec<u32>,
+    shards: Vec<Shard>,
+    cuts: Vec<CutEdge>,
+    /// CSR over global vertices: incident cut-edge ids (indices into
+    /// `cuts`) of vertex `v` are `cut_ids[cut_offsets[v]..cut_offsets[v+1]]`.
+    cut_offsets: Vec<u32>,
+    cut_ids: Vec<u32>,
+}
+
+impl GraphPartition {
+    /// Builds the partition described by a caller-supplied labelling
+    /// (`labels[v]` = shard of vertex `v`, each in `0..num_shards`).  Shards
+    /// may be empty.
+    pub fn from_labels(
+        g: &UncertainGraph,
+        labels: &[usize],
+        num_shards: usize,
+    ) -> Result<Self, PartitionError> {
+        if num_shards == 0 {
+            return Err(PartitionError::NoShards);
+        }
+        if labels.len() != g.num_vertices() {
+            return Err(PartitionError::LabelingSize {
+                got: labels.len(),
+                num_vertices: g.num_vertices(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_shards) {
+            return Err(PartitionError::ShardOutOfRange {
+                label: bad,
+                num_shards,
+            });
+        }
+
+        // Shard vertex lists in ascending global order, plus the local index
+        // of every vertex inside its shard.
+        let mut shard_vertices: Vec<Vec<VertexId>> = vec![Vec::new(); num_shards];
+        let mut local_index = vec![0u32; g.num_vertices()];
+        for (v, &label) in labels.iter().enumerate() {
+            local_index[v] = shard_vertices[label].len() as u32;
+            shard_vertices[label].push(v);
+        }
+
+        // Induced subgraph (with the edge map) per shard — the standalone
+        // helper guarantees ascending edge ids, which keeps the remapping
+        // stable.
+        let shards = shard_vertices
+            .into_iter()
+            .map(|vertices| {
+                let (graph, vertices, edges) = g
+                    .induced_subgraph_with_edges(&vertices)
+                    .expect("validated labels produce valid shard vertex lists");
+                Shard {
+                    graph,
+                    vertices,
+                    edges,
+                }
+            })
+            .collect();
+
+        // Cut records in ascending global-edge order.
+        let cuts: Vec<CutEdge> = g
+            .edges()
+            .filter(|e| labels[e.u] != labels[e.v])
+            .map(|e| CutEdge {
+                edge: e.id,
+                u: e.u,
+                v: e.v,
+                p: e.p,
+                shard_u: labels[e.u],
+                shard_v: labels[e.v],
+                local_u: local_index[e.u] as usize,
+                local_v: local_index[e.v] as usize,
+            })
+            .collect();
+
+        // CSR of incident cut edges per global vertex (counting pass + fill).
+        let n = g.num_vertices();
+        let mut cut_offsets = vec![0u32; n + 1];
+        for cut in &cuts {
+            cut_offsets[cut.u + 1] += 1;
+            cut_offsets[cut.v + 1] += 1;
+        }
+        for v in 0..n {
+            cut_offsets[v + 1] += cut_offsets[v];
+        }
+        let mut cursor: Vec<u32> = cut_offsets[..n].to_vec();
+        let mut cut_ids = vec![0u32; 2 * cuts.len()];
+        for (c, cut) in cuts.iter().enumerate() {
+            cut_ids[cursor[cut.u] as usize] = c as u32;
+            cursor[cut.u] += 1;
+            cut_ids[cursor[cut.v] as usize] = c as u32;
+            cursor[cut.v] += 1;
+        }
+
+        Ok(GraphPartition {
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            labels: labels.iter().map(|&l| l as u32).collect(),
+            local_index,
+            shards,
+            cuts,
+            cut_offsets,
+            cut_ids,
+        })
+    }
+
+    /// Splits the dense vertex range into `num_shards` contiguous chunks
+    /// (the first `|V| mod k` shards get one extra vertex) — the cheapest
+    /// deterministic labelling, and the one the query service defaults to.
+    pub fn contiguous(g: &UncertainGraph, num_shards: usize) -> Result<Self, PartitionError> {
+        if num_shards == 0 {
+            return Err(PartitionError::NoShards);
+        }
+        let n = g.num_vertices();
+        let base = n / num_shards;
+        let extra = n % num_shards;
+        let mut labels = Vec::with_capacity(n);
+        for shard in 0..num_shards {
+            let count = base + usize::from(shard < extra);
+            labels.extend(std::iter::repeat_n(shard, count));
+        }
+        Self::from_labels(g, &labels, num_shards)
+    }
+
+    /// Number of vertices of the parent graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges of the parent graph (intra-shard plus cut).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, indexed by shard id.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// One shard.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &Shard {
+        &self.shards[shard]
+    }
+
+    /// The cut-edge records, in ascending global-edge order.
+    pub fn cut_edges(&self) -> &[CutEdge] {
+        &self.cuts
+    }
+
+    /// One cut-edge record.
+    ///
+    /// # Panics
+    /// Panics if `cut` is out of range.
+    #[inline]
+    pub fn cut_edge(&self, cut: usize) -> &CutEdge {
+        &self.cuts[cut]
+    }
+
+    /// The shard of global vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        self.labels[v] as usize
+    }
+
+    /// `(shard, local id)` coordinates of global vertex `v`.
+    #[inline]
+    pub fn locate(&self, v: VertexId) -> (usize, usize) {
+        (self.labels[v] as usize, self.local_index[v] as usize)
+    }
+
+    /// Indices (into [`GraphPartition::cut_edges`]) of the cut edges
+    /// incident to global vertex `v`.
+    #[inline]
+    pub fn incident_cuts(&self, v: VertexId) -> &[u32] {
+        &self.cut_ids[self.cut_offsets[v] as usize..self.cut_offsets[v + 1] as usize]
+    }
+
+    /// Sum of the cut-edge probabilities — the expected number of boundary
+    /// edges per sampled world.
+    pub fn cut_probability_mass(&self) -> f64 {
+        self.cuts.iter().map(|c| c.p).sum()
+    }
+
+    /// Checks that this partition was built from a graph shaped like `g`
+    /// (same vertex and edge counts).  Shard-aware engines call this before
+    /// trusting the partition's id maps.
+    pub fn matches(&self, g: &UncertainGraph) -> bool {
+        self.num_vertices == g.num_vertices() && self.num_edges == g.num_edges()
+    }
+}
+
+/// Re-derive the labelling of a partition (`vertex -> shard`), mostly for
+/// diagnostics and tests.
+impl GraphPartition {
+    /// The labelling `global vertex -> shard`.
+    pub fn labels(&self) -> Vec<usize> {
+        self.labels.iter().map(|&l| l as usize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_bridge() -> UncertainGraph {
+        // Two triangles {0,1,2} and {3,4,5} joined by the bridge (2,3).
+        UncertainGraph::from_edges(
+            6,
+            [
+                (0, 1, 0.9),
+                (1, 2, 0.8),
+                (0, 2, 0.7),
+                (3, 4, 0.6),
+                (4, 5, 0.5),
+                (3, 5, 0.4),
+                (2, 3, 0.25),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_labels_builds_shards_and_cuts() {
+        let g = two_triangles_bridge();
+        let p = GraphPartition::from_labels(&g, &[0, 0, 0, 1, 1, 1], 2).unwrap();
+        assert_eq!(p.num_shards(), 2);
+        assert_eq!(p.shard(0).num_vertices(), 3);
+        assert_eq!(p.shard(0).num_edges(), 3);
+        assert_eq!(p.shard(1).num_edges(), 3);
+        assert_eq!(p.cut_edges().len(), 1);
+        let cut = p.cut_edge(0);
+        assert_eq!((cut.u, cut.v), (2, 3));
+        assert_eq!((cut.shard_u, cut.shard_v), (0, 1));
+        assert_eq!(cut.local_u, 2);
+        assert_eq!(cut.local_v, 0);
+        assert!((cut.p - 0.25).abs() < 1e-12);
+        assert!((p.cut_probability_mass() - 0.25).abs() < 1e-12);
+        assert!(p.matches(&g));
+    }
+
+    #[test]
+    fn shard_maps_translate_back_to_global_ids() {
+        let g = two_triangles_bridge();
+        let p = GraphPartition::from_labels(&g, &[0, 1, 0, 1, 0, 1], 2).unwrap();
+        // Every intra-shard edge must exist in the parent with the same
+        // endpoints and probability; every parent edge must be exactly one
+        // of: in one shard, or a cut.
+        let mut seen = vec![false; g.num_edges()];
+        for shard in p.shards() {
+            for le in shard.graph().edges() {
+                let ge = shard.global_edge(le.id);
+                assert!(!seen[ge]);
+                seen[ge] = true;
+                let (gu, gv) = (shard.global_vertex(le.u), shard.global_vertex(le.v));
+                let (eu, ev) = g.edge_endpoints(ge);
+                assert_eq!((gu.min(gv), gu.max(gv)), (eu.min(ev), eu.max(ev)));
+                assert_eq!(le.p, g.edge_probability(ge));
+            }
+        }
+        for cut in p.cut_edges() {
+            assert!(!seen[cut.edge]);
+            seen[cut.edge] = true;
+            assert_eq!(p.shard(cut.shard_u).global_vertex(cut.local_u), cut.u);
+            assert_eq!(p.shard(cut.shard_v).global_vertex(cut.local_v), cut.v);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn locate_and_incident_cuts_agree_with_the_labelling() {
+        let g = two_triangles_bridge();
+        let labels = [0usize, 0, 0, 1, 1, 1];
+        let p = GraphPartition::from_labels(&g, &labels, 2).unwrap();
+        for (v, &label) in labels.iter().enumerate() {
+            let (s, l) = p.locate(v);
+            assert_eq!(s, label);
+            assert_eq!(p.shard_of(v), label);
+            assert_eq!(p.shard(s).global_vertex(l), v);
+        }
+        assert_eq!(p.incident_cuts(2), &[0]);
+        assert_eq!(p.incident_cuts(3), &[0]);
+        assert!(p.incident_cuts(0).is_empty());
+    }
+
+    #[test]
+    fn contiguous_balances_shard_sizes() {
+        let g = two_triangles_bridge();
+        let p = GraphPartition::contiguous(&g, 4).unwrap();
+        let sizes: Vec<usize> = p.shards().iter().map(Shard::num_vertices).collect();
+        assert_eq!(sizes, vec![2, 2, 1, 1]);
+        assert_eq!(p.labels(), vec![0, 0, 1, 1, 2, 3]);
+        // A 1-shard partition has no cuts and one full shard.
+        let whole = GraphPartition::contiguous(&g, 1).unwrap();
+        assert_eq!(whole.num_shards(), 1);
+        assert!(whole.cut_edges().is_empty());
+        assert_eq!(whole.shard(0).num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn empty_shards_and_tiny_graphs_are_allowed() {
+        let g = UncertainGraph::from_edges(2, [(0, 1, 0.5)]).unwrap();
+        let p = GraphPartition::contiguous(&g, 4).unwrap();
+        assert_eq!(p.num_shards(), 4);
+        assert_eq!(p.shard(2).num_vertices(), 0);
+        assert_eq!(p.cut_edges().len(), 1);
+        let empty = UncertainGraph::from_edges(0, []).unwrap();
+        let p = GraphPartition::contiguous(&empty, 2).unwrap();
+        assert_eq!(p.num_shards(), 2);
+        assert!(p.cut_edges().is_empty());
+    }
+
+    #[test]
+    fn invalid_labellings_are_rejected_with_typed_errors() {
+        let g = two_triangles_bridge();
+        assert_eq!(
+            GraphPartition::from_labels(&g, &[0; 6], 0),
+            Err(PartitionError::NoShards)
+        );
+        assert_eq!(
+            GraphPartition::from_labels(&g, &[0; 4], 2),
+            Err(PartitionError::LabelingSize {
+                got: 4,
+                num_vertices: 6
+            })
+        );
+        assert_eq!(
+            GraphPartition::from_labels(&g, &[0, 0, 0, 1, 1, 7], 2),
+            Err(PartitionError::ShardOutOfRange {
+                label: 7,
+                num_shards: 2
+            })
+        );
+        assert_eq!(
+            GraphPartition::contiguous(&g, 0),
+            Err(PartitionError::NoShards)
+        );
+    }
+}
