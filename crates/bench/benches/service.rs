@@ -94,6 +94,7 @@ fn measure(g: &UncertainGraph) -> Measurement {
         threads,
         mode: SampleMethod::Skip,
         shards: 1,
+        precision: None,
     };
     let burst = |service: &QueryService| {
         let tickets: Vec<_> = (0..ROUNDS)

@@ -97,6 +97,10 @@ const QUERY_OPTIONS: &[&str] = &[
     "threads",
     "sequential",
     "mode",
+    "epsilon",
+    "delta",
+    "deadline-ms",
+    "max-worlds",
 ];
 const COMPARE_OPTIONS: &[&str] = &[
     "worlds",
@@ -119,8 +123,20 @@ const BATCH_OPTIONS: &[&str] = &[
     "mode",
     "compact",
     "shards",
+    "epsilon",
+    "delta",
+    "deadline-ms",
+    "max-worlds",
 ];
-const PLAN_OPTIONS: &[&str] = &["graph", "compact", "shards"];
+const PLAN_OPTIONS: &[&str] = &[
+    "graph",
+    "compact",
+    "shards",
+    "epsilon",
+    "delta",
+    "deadline-ms",
+    "max-worlds",
+];
 const PARTITION_OPTIONS: &[&str] = &["shards", "strategy", "compact"];
 const SESSION_OPTIONS: &[&str] = &[
     "rounds",
@@ -163,10 +179,15 @@ const COMMANDS: &[CommandHelp] = &[
         usage: "query      <graph.txt> --query pagerank|cc|sp|rl|connectivity|knn
                [--worlds N] [--pairs N] [--top K] [--source V] [--seed N]
                [--threads N] [--sequential] [--mode auto|skip|per-edge]
+               [--epsilon E] [--delta D] [--deadline-ms MS] [--max-worlds N]
                Run a Monte-Carlo query and print a summary.  Worlds are
                evaluated on all cores by default (--threads 0 = auto);
                --sequential forces the machine-independent single-thread
-               path and --mode overrides the world-sampling strategy.",
+               path and --mode overrides the world-sampling strategy.
+               --epsilon E makes the world budget adaptive: sampling stops
+               at the first epoch whose confidence half-width reaches E
+               (failure probability --delta, default 0.05), capped by
+               --worlds/--max-worlds and the optional --deadline-ms.",
     },
     CommandHelp {
         name: "compare",
@@ -180,25 +201,31 @@ const COMMANDS: &[CommandHelp] = &[
         usage: "batch      <graph.txt> --queries q1,q2,... [--worlds N] [--pairs N] [--top K]
                [--source V] [--seed N] [--threads N] [--sequential]
                [--mode auto|skip|per-edge] [--shards N] [--compact]
+               [--epsilon E] [--delta D] [--deadline-ms MS] [--max-worlds N]
                Evaluate several Monte-Carlo queries over ONE shared set of
                sampled worlds (queries: pagerank|cc|sp|connectivity|
                degree-hist|edge-freq|knn) and print the results as JSON.
                Sampling and world materialisation are paid once for the whole
                query mix instead of once per query.  --shards N evaluates over
                a graph partition with cut-aware observers (count queries only;
-               results are bit-identical to the monolithic run).  A thin
-               wrapper over the query-plan path (`ugs plan`).",
+               results are bit-identical to the monolithic run).  With
+               --epsilon the shared budget is adaptive (sequential stopping;
+               the report gains worlds_used/half_width).  A thin wrapper
+               over the query-plan path (`ugs plan`).",
     },
     CommandHelp {
         name: "plan",
         usage: "plan       <plan.json> [--graph FILE] [--shards N] [--compact]
+               [--epsilon E] [--delta D] [--deadline-ms MS] [--max-worlds N]
                Execute a JSON query plan end-to-end and print the full report
                as JSON.  The plan names the graph (overridable with --graph),
                the shared world budget, the worker count, the graph-shard
                count (overridable with --shards), the sampling mode, the seed
                and a list of query specs such as
                {\"type\": \"knn\", \"source\": 0, \"k\": 5}; all queries share
-               one set of sampled worlds, sharded across the workers.",
+               one set of sampled worlds, sharded across the workers.  An
+               optional \"precision\" block in the plan — or --epsilon and
+               friends, which override it — makes the budget adaptive.",
     },
     CommandHelp {
         name: "partition",
@@ -448,6 +475,47 @@ fn monte_carlo_config(args: &ParsedArgs, default_worlds: usize) -> Result<MonteC
         .with_method(method))
 }
 
+/// Parses the adaptive-precision flags shared by `query`, `batch` and
+/// `plan`.  `--epsilon` switches the world budget to sequential stopping;
+/// `--delta`, `--deadline-ms` and `--max-worlds` refine the target and are
+/// rejected without it.
+fn precision_from_args(args: &ParsedArgs) -> Result<Option<Precision>, CliError> {
+    if !args.options.contains_key("epsilon") {
+        for dependent in ["delta", "deadline-ms", "max-worlds"] {
+            if args.options.contains_key(dependent) {
+                return Err(CliError::Message(format!(
+                    "--{dependent} requires --epsilon (the adaptive-precision target)"
+                )));
+            }
+        }
+        return Ok(None);
+    }
+    let epsilon = args.f64_or("epsilon", 0.0)?;
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(CliError::Message(format!(
+            "--epsilon must be a finite positive number, got {epsilon}"
+        )));
+    }
+    let mut precision = Precision::new(epsilon);
+    if args.options.contains_key("delta") {
+        let delta = args.f64_or("delta", precision.delta)?;
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(CliError::Message(format!(
+                "--delta must lie strictly between 0 and 1, got {delta}"
+            )));
+        }
+        precision = precision.with_delta(delta);
+    }
+    if args.options.contains_key("deadline-ms") {
+        let ms = args.u64_or("deadline-ms", 0)?;
+        precision = precision.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if args.options.contains_key("max-worlds") {
+        precision = precision.with_max_worlds(args.usize_or("max-worlds", 0)?);
+    }
+    Ok(Some(precision))
+}
+
 /// `ugs query`.
 pub fn query(args: &ParsedArgs) -> Result<String, CliError> {
     args.expect_options(QUERY_OPTIONS)?;
@@ -455,7 +523,10 @@ pub fn query(args: &ParsedArgs) -> Result<String, CliError> {
     let graph = load(path)?;
     let query = args.option_or("query", "pagerank");
     let seed = args.u64_or("seed", 42)?;
-    let mc = monte_carlo_config(args, 500)?;
+    let mut mc = monte_carlo_config(args, 500)?;
+    if let Some(precision) = precision_from_args(args)? {
+        mc = mc.with_precision(precision);
+    }
     let mut rng = SmallRng::seed_from_u64(seed);
     let top = args.usize_or("top", 10)?;
     match query.as_str() {
@@ -484,13 +555,20 @@ pub fn query(args: &ParsedArgs) -> Result<String, CliError> {
         }
         "connectivity" => {
             let estimate = ugs_queries::connectivity_query(&graph, &mc, &mut rng);
-            Ok(format!(
+            let mut out = format!(
                 "P(connected)             : {:.4}\nexpected #components     : {:.3}\nexpected largest component: {:.2} vertices\nexpected isolated fraction: {:.4}\n",
                 estimate.probability_connected,
                 estimate.expected_components,
                 estimate.expected_largest_component,
                 estimate.expected_isolated_fraction
-            ))
+            );
+            if mc.precision.is_some() {
+                out.push_str(&format!(
+                    "worlds sampled (adaptive) : {}\n",
+                    estimate.num_worlds
+                ));
+            }
+            Ok(out)
         }
         "knn" => {
             let source = args.usize_or("source", 0)?;
@@ -585,6 +663,7 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
             .map_err(|e| CliError::Message(e.to_string()))?;
     }
 
+    let precision = precision_from_args(args)?;
     let plan = QueryPlan {
         graph: None,
         worlds: mc.num_worlds,
@@ -592,9 +671,20 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
         shards,
         mode: mc.method,
         seed: rng.gen::<u64>(),
+        precision,
         queries: entries.iter().map(|(_, spec)| spec.clone()).collect(),
     };
-    let outcomes = plan.execute(graph);
+    let detailed = plan.execute_detailed(graph);
+    // All queries share the micro-batch, so the adaptive effort is one
+    // number for the whole report.
+    let effort = detailed
+        .iter()
+        .find_map(|outcome| outcome.as_ref().ok())
+        .map(|answer| (answer.worlds_used, answer.half_width));
+    let outcomes: Vec<_> = detailed
+        .into_iter()
+        .map(|outcome| outcome.map(|answer| answer.result))
+        .collect();
 
     let ranked = |scores: &[f64]| -> Value {
         Value::Arr(
@@ -660,14 +750,21 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
         };
         queries.push((key.to_string(), value));
     }
-    let document = ObjBuilder::new()
+    let mut document = ObjBuilder::new()
         .field("graph", path)
         .field("worlds", mc.num_worlds)
         .field("threads", mc.threads)
         .field("mode", args.option_or("mode", "auto"))
-        .field("seed", seed as f64)
-        .field("queries", Value::Obj(queries))
-        .build();
+        .field("seed", seed as f64);
+    if precision.is_some() {
+        if let Some((worlds_used, half_width)) = effort {
+            document = document.field("worlds_used", worlds_used);
+            if let Some(half_width) = half_width.filter(|hw| hw.is_finite()) {
+                document = document.field("half_width", half_width);
+            }
+        }
+    }
+    let document = document.field("queries", Value::Obj(queries)).build();
     Ok(if args.flag("compact") {
         document.render()
     } else {
@@ -687,6 +784,10 @@ pub fn plan(args: &ParsedArgs) -> Result<String, CliError> {
     plan.shards = args.usize_or("shards", plan.shards)?;
     if plan.shards == 0 {
         return Err(CliError::Message("--shards must be at least 1".to_string()));
+    }
+    // --epsilon and friends override the plan document's precision block.
+    if let Some(precision) = precision_from_args(args)? {
+        plan.precision = Some(precision);
     }
     let graph_path = match args.options.get("graph") {
         Some(path) => path.clone(),
@@ -817,6 +918,7 @@ pub fn session(args: &ParsedArgs) -> Result<String, CliError> {
         threads: workers,
         mode,
         shards: 1,
+        precision: None,
     };
 
     let started = Instant::now();
@@ -1369,9 +1471,15 @@ mod tests {
         assert!(error.contains("graph-sharded"), "{error}");
         assert!(error.contains("pagerank"), "{error}");
         // --shards 0 is rejected, consistently with `ugs partition`.
-        let zero =
-            ParsedArgs::parse(["batch", &input, "--queries", "connectivity", "--shards", "0"])
-                .unwrap();
+        let zero = ParsedArgs::parse([
+            "batch",
+            &input,
+            "--queries",
+            "connectivity",
+            "--shards",
+            "0",
+        ])
+        .unwrap();
         assert!(run(&zero).is_err());
         std::fs::remove_file(&input).ok();
     }
@@ -1604,5 +1712,144 @@ mod tests {
         let bad = ParsedArgs::parse(["session", &input, "--source", "999"]).unwrap();
         assert!(run(&bad).is_err());
         std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn query_accepts_an_adaptive_precision_target() {
+        let input = write_toy_graph("adaptive-query.txt");
+        let args = ParsedArgs::parse([
+            "query",
+            &input,
+            "--query",
+            "connectivity",
+            "--worlds",
+            "100000",
+            "--sequential",
+            "--epsilon",
+            "0.05",
+            "--delta",
+            "0.1",
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("worlds sampled (adaptive)"), "{report}");
+        let sampled: usize = report
+            .lines()
+            .find(|line| line.starts_with("worlds sampled"))
+            .and_then(|line| line.split(':').nth(1))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(0 < sampled && sampled < 100_000, "{report}");
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn precision_flags_require_epsilon_and_validate() {
+        let input = write_toy_graph("precision-flags.txt");
+        for bad in [
+            vec!["query", input.as_str(), "--delta", "0.1"],
+            vec!["query", input.as_str(), "--max-worlds", "50"],
+            vec!["query", input.as_str(), "--epsilon", "0"],
+            vec!["query", input.as_str(), "--epsilon", "-0.5"],
+            vec!["query", input.as_str(), "--epsilon", "0.1", "--delta", "2"],
+            vec!["batch", input.as_str(), "--deadline-ms", "100"],
+        ] {
+            let what = bad.join(" ");
+            let args = ParsedArgs::parse(bad).unwrap();
+            assert!(run(&args).is_err(), "{what} should be rejected");
+        }
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn batch_reports_adaptive_effort() {
+        let input = write_toy_graph("adaptive-batch.txt");
+        let args = ParsedArgs::parse([
+            "batch",
+            &input,
+            "--queries",
+            "connectivity,edge-freq",
+            "--worlds",
+            "100000",
+            "--sequential",
+            "--epsilon",
+            "0.05",
+            "--seed",
+            "5",
+            "--compact",
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        let doc = minijson::Value::parse(&report).unwrap();
+        let worlds_used = doc.get("worlds_used").unwrap().as_usize().unwrap();
+        assert!(0 < worlds_used && worlds_used < 100_000, "{report}");
+        let half_width = doc.get("half_width").unwrap().as_f64().unwrap();
+        assert!(half_width <= 0.05, "{report}");
+        // Without --epsilon the report has no effort fields.
+        let fixed = ParsedArgs::parse([
+            "batch",
+            &input,
+            "--queries",
+            "connectivity",
+            "--worlds",
+            "50",
+            "--compact",
+        ])
+        .unwrap();
+        let fixed_report = run(&fixed).unwrap();
+        let fixed_doc = minijson::Value::parse(&fixed_report).unwrap();
+        assert!(fixed_doc.get("worlds_used").is_none(), "{fixed_report}");
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn plan_documents_and_flags_drive_adaptive_precision() {
+        let input = write_toy_graph("adaptive-plan.txt");
+        let plan_path = temp_path("adaptive-plan.json")
+            .to_string_lossy()
+            .to_string();
+        std::fs::write(
+            &plan_path,
+            r#"{"worlds": 100000, "seed": 9, "threads": 1,
+                "precision": {"epsilon": 0.05},
+                "queries": [{"type": "connectivity"}]}"#,
+        )
+        .unwrap();
+        let args = ParsedArgs::parse([
+            "plan",
+            plan_path.as_str(),
+            "--graph",
+            input.as_str(),
+            "--compact",
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        let doc = minijson::Value::parse(&report).unwrap();
+        assert!(doc.get("precision").is_some(), "{report}");
+        let entry = &doc.get("results").unwrap().as_array().unwrap()[0];
+        let worlds_used = entry.get("worlds_used").unwrap().as_usize().unwrap();
+        assert!(0 < worlds_used && worlds_used < 100_000, "{report}");
+        assert!(entry.get("half_width").is_some(), "{report}");
+        // The CLI flag overrides the document's block: a looser target must
+        // not use more worlds.
+        let loose = ParsedArgs::parse([
+            "plan",
+            plan_path.as_str(),
+            "--graph",
+            input.as_str(),
+            "--epsilon",
+            "0.2",
+            "--compact",
+        ])
+        .unwrap();
+        let loose_report = run(&loose).unwrap();
+        let loose_doc = minijson::Value::parse(&loose_report).unwrap();
+        let loose_entry = &loose_doc.get("results").unwrap().as_array().unwrap()[0];
+        let loose_worlds = loose_entry.get("worlds_used").unwrap().as_usize().unwrap();
+        assert!(loose_worlds <= worlds_used, "{loose_report}");
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&plan_path).ok();
     }
 }

@@ -117,7 +117,9 @@
 
 use std::any::Any;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -127,6 +129,7 @@ use crate::engine::{WorldEngine, WorldScratch};
 use crate::mc::MonteCarlo;
 use crate::sharded::{ShardedWorld, ShardedWorldEngine};
 use crate::source::{ShardSupport, WorldSource, WorldView};
+use crate::variance::{Precision, StopReason, StoppingRule};
 
 /// A per-query accumulator fed by the batch driver.
 ///
@@ -184,6 +187,24 @@ pub trait WorldObserver: Send + Clone + 'static {
         panic!("observer has no cut-aware path (shard_support() is MonolithicOnly)");
     }
 
+    /// The a-priori closed range `[lo, hi]` of the scalar statistic this
+    /// observer feeds the adaptive stopping rule, or `None` (the default)
+    /// when the observer tracks no bounded per-world scalar.  Observers
+    /// returning `None` still run under an adaptive batch — they ride along
+    /// without constraining the stopping decision.
+    fn tracked_range(&self) -> Option<(f64, f64)> {
+        None
+    }
+
+    /// The tracked scalar of the most recently observed world.  The adaptive
+    /// driver calls this immediately after every [`WorldObserver::observe`] /
+    /// [`WorldObserver::observe_sharded`], and only when
+    /// [`WorldObserver::tracked_range`] returned `Some`; the default (never
+    /// called by the driver) returns NaN.
+    fn tracked_statistic(&self) -> f64 {
+        f64::NAN
+    }
+
     /// Folds another partial observer (from a parallel worker) into `self`.
     fn merge(&mut self, other: Self);
 
@@ -207,6 +228,10 @@ pub trait DynObserver: Send {
     fn shard_support_dyn(&self) -> ShardSupport;
     /// Type-erased [`WorldObserver::observe_sharded`].
     fn observe_sharded_dyn(&mut self, world: &ShardedWorld<'_>);
+    /// Type-erased [`WorldObserver::tracked_range`].
+    fn tracked_range_dyn(&self) -> Option<(f64, f64)>;
+    /// Type-erased [`WorldObserver::tracked_statistic`].
+    fn tracked_statistic_dyn(&self) -> f64;
     /// Type-erased [`WorldObserver::merge`].
     ///
     /// # Panics
@@ -235,6 +260,14 @@ impl<O: WorldObserver> DynObserver for O {
 
     fn observe_sharded_dyn(&mut self, world: &ShardedWorld<'_>) {
         self.observe_sharded(world);
+    }
+
+    fn tracked_range_dyn(&self) -> Option<(f64, f64)> {
+        self.tracked_range()
+    }
+
+    fn tracked_statistic_dyn(&self) -> f64 {
+        self.tracked_statistic()
     }
 
     fn merge_dyn(&mut self, other: Box<dyn DynObserver>) {
@@ -296,6 +329,18 @@ impl BoxedObserver {
             WorldView::Monolithic(world) => self.0.observe_dyn(world),
             WorldView::Sharded(world) => self.0.observe_sharded_dyn(world),
         }
+    }
+
+    /// The range of the erased observer's tracked statistic (see
+    /// [`WorldObserver::tracked_range`]).
+    pub fn tracked_range(&self) -> Option<(f64, f64)> {
+        self.0.tracked_range_dyn()
+    }
+
+    /// The erased observer's tracked scalar for the most recently observed
+    /// world (see [`WorldObserver::tracked_statistic`]).
+    pub fn tracked_statistic(&self) -> f64 {
+        self.0.tracked_statistic_dyn()
     }
 
     /// Folds another partial observer into `self` (see
@@ -413,6 +458,7 @@ pub struct QueryBatch<'g> {
     threads: usize,
     id: u64,
     observers: Vec<Box<dyn DynObserver>>,
+    precision: Option<Precision>,
 }
 
 /// Where a batch's worlds come from: the monolithic engine (owned, as
@@ -423,13 +469,18 @@ enum BatchSource<'g> {
 }
 
 impl<'g> QueryBatch<'g> {
-    /// Creates a batch over `g` driven by the [`MonteCarlo`] configuration.
+    /// Creates a batch over `g` driven by the [`MonteCarlo`] configuration
+    /// (including its optional [`Precision`] target).
     pub fn new(g: &'g UncertainGraph, mc: &MonteCarlo) -> Self {
-        Self::from_engine(
+        let batch = Self::from_engine(
             WorldEngine::new(g).with_method(mc.method),
             mc.num_worlds,
             mc.threads,
-        )
+        );
+        match mc.precision {
+            Some(precision) => batch.with_precision(precision),
+            None => batch,
+        }
     }
 
     /// Creates a batch from a pre-built engine (lets callers reuse the
@@ -463,10 +514,28 @@ impl<'g> QueryBatch<'g> {
             threads: threads.max(1),
             id: BATCH_IDS.fetch_add(1, Ordering::Relaxed),
             observers: Vec::new(),
+            precision: None,
         }
     }
 
-    /// The number of worlds the batch will sample.
+    /// Makes the batch **adaptive**: instead of always sampling
+    /// `num_worlds`, the run stops at the first epoch boundary where every
+    /// tracked statistic meets the [`Precision`] target (`num_worlds`,
+    /// possibly tightened by [`Precision::max_worlds`], stays the hard
+    /// budget).  [`BatchResults::adaptive`] then reports the outcome.  The
+    /// RNG discipline is unchanged: still exactly one `u64` draw.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
+    /// The adaptive target, when one was set.
+    pub fn precision(&self) -> Option<&Precision> {
+        self.precision.as_ref()
+    }
+
+    /// The number of worlds the batch will sample (the hard budget, for an
+    /// adaptive batch).
     pub fn num_worlds(&self) -> usize {
         self.num_worlds
     }
@@ -543,23 +612,51 @@ impl<'g> QueryBatch<'g> {
             threads,
             id,
             observers,
+            precision,
         } = self;
         if num_worlds == 0 || observers.is_empty() {
             return BatchResults {
                 id,
                 num_worlds,
                 slots: observers.into_iter().map(Some).collect(),
+                adaptive: None,
             };
         }
         let seed = rng.gen::<u64>();
-        let merged = match &source {
-            BatchSource::Monolithic(engine) => drive(engine, num_worlds, threads, observers, seed),
-            BatchSource::Sharded(engine) => drive(*engine, num_worlds, threads, observers, seed),
-        };
-        BatchResults {
-            id,
-            num_worlds,
-            slots: merged.into_iter().map(Some).collect(),
+        match precision {
+            None => {
+                let merged = match &source {
+                    BatchSource::Monolithic(engine) => {
+                        drive(engine, num_worlds, threads, observers, seed)
+                    }
+                    BatchSource::Sharded(engine) => {
+                        drive(*engine, num_worlds, threads, observers, seed)
+                    }
+                };
+                BatchResults {
+                    id,
+                    num_worlds,
+                    slots: merged.into_iter().map(Some).collect(),
+                    adaptive: None,
+                }
+            }
+            Some(precision) => {
+                let cap = precision.cap(num_worlds);
+                let (merged, report) = match &source {
+                    BatchSource::Monolithic(engine) => {
+                        drive_adaptive(engine, cap, threads, observers, seed, &precision)
+                    }
+                    BatchSource::Sharded(engine) => {
+                        drive_adaptive(*engine, cap, threads, observers, seed, &precision)
+                    }
+                };
+                BatchResults {
+                    id,
+                    num_worlds: report.worlds_used,
+                    slots: merged.into_iter().map(Some).collect(),
+                    adaptive: Some(report),
+                }
+            }
         }
     }
 }
@@ -626,6 +723,255 @@ fn drive<S: WorldSource>(
     merged
 }
 
+/// Summary of an adaptive ([`Precision`]-driven) batch run, attached to its
+/// [`BatchResults`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveReport {
+    /// Worlds actually sampled (what every observer's `finalize` divided
+    /// by); at most the batch budget.
+    pub worlds_used: usize,
+    /// Epoch checkpoints run.
+    pub epochs: usize,
+    /// Pooled empirical-Bernstein half-width at the final checkpoint — the
+    /// *achieved* accuracy ([`f64::INFINITY`] when nothing was tracked).
+    pub half_width: f64,
+    /// Number of observers that fed the stopping rule.
+    pub tracked: usize,
+    /// Why the run stopped.
+    pub stopped: StopReason,
+}
+
+/// The adaptive counterpart of [`drive`]: the same replay-partitioned world
+/// stream, consumed in epochs of [`Precision::epoch`] worlds with the pooled
+/// [`StoppingRule`] consulted at every epoch barrier.
+///
+/// Thread-count invariance is *bitwise*, by construction: workers do not
+/// merge statistic partials — they record each world's raw tracked scalars,
+/// and the barrier leader replays them into the rule's accumulators in world
+/// order (worker blocks are contiguous, so worker 0's block followed by
+/// worker 1's *is* the sequential order).  Every thread count therefore
+/// executes the identical sequence of `record`/`check` calls and consumes
+/// the same number of worlds.  The wall-clock deadline is consulted last at
+/// each checkpoint, so it can only shorten a run, never change a converged
+/// answer.
+fn drive_adaptive<S: WorldSource>(
+    source: &S,
+    cap: usize,
+    threads: usize,
+    mut observers: Vec<Box<dyn DynObserver>>,
+    seed: u64,
+    precision: &Precision,
+) -> (Vec<Box<dyn DynObserver>>, AdaptiveReport) {
+    let tracked: Vec<usize> = observers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| o.tracked_range_dyn().map(|_| i))
+        .collect();
+    let mut rule = StoppingRule::new(*precision);
+    for &i in &tracked {
+        let (lo, hi) = observers[i]
+            .tracked_range_dyn()
+            .expect("tracked observer lost its range");
+        rule.register(lo, hi);
+    }
+    if cap == 0 {
+        let report = AdaptiveReport {
+            worlds_used: 0,
+            epochs: 0,
+            half_width: f64::INFINITY,
+            tracked: tracked.len(),
+            stopped: StopReason::BudgetExhausted,
+        };
+        return (observers, report);
+    }
+    let epoch = precision.epoch.max(1);
+    let threads = threads.clamp(1, cap);
+    let started = Instant::now();
+
+    if threads == 1 {
+        let mut worker_rng = SmallRng::seed_from_u64(seed);
+        let mut scratch = source.make_scratch();
+        let mut consumed = 0usize;
+        let stopped = loop {
+            let block = epoch.min(cap - consumed);
+            for _ in 0..block {
+                let view = source.sample_world(&mut worker_rng, &mut scratch);
+                observe_all(&mut observers, &view);
+                for (slot, &i) in tracked.iter().enumerate() {
+                    rule.record(slot, observers[i].tracked_statistic_dyn());
+                }
+            }
+            consumed += block;
+            if rule.check() {
+                break StopReason::Converged;
+            }
+            if consumed >= cap {
+                break StopReason::BudgetExhausted;
+            }
+            if rule.deadline_expired(started) {
+                break StopReason::DeadlineExpired;
+            }
+        };
+        let report = AdaptiveReport {
+            worlds_used: consumed,
+            epochs: rule.checks() as usize,
+            half_width: rule.half_width(),
+            tracked: tracked.len(),
+            stopped,
+        };
+        return (observers, report);
+    }
+
+    let barrier = Barrier::new(threads);
+    let rule_mx = Mutex::new(rule);
+    // One buffer set per worker: this epoch's raw per-world statistics, in
+    // the worker's block order.  Swapped (not copied) across the barrier.
+    let stat_slots: Vec<Mutex<Vec<Vec<f64>>>> = (0..threads)
+        .map(|_| Mutex::new(vec![Vec::new(); tracked.len()]))
+        .collect();
+    // 0 = keep sampling; otherwise a StopReason discriminant (set by the
+    // barrier leader between the two waits of each epoch, read by every
+    // worker after the second wait — never concurrently).
+    let decision = AtomicUsize::new(0);
+    let mut partials: Vec<Vec<Box<dyn DynObserver>>> = std::thread::scope(|scope| {
+        let observers = &observers;
+        let tracked = &tracked;
+        let barrier = &barrier;
+        let rule_mx = &rule_mx;
+        let stat_slots = &stat_slots;
+        let decision = &decision;
+        let handles: Vec<_> = (0..threads)
+            .map(|idx| {
+                let mut workers: Vec<Box<dyn DynObserver>> =
+                    observers.iter().map(|o| o.clone_dyn()).collect();
+                scope.spawn(move || {
+                    let mut worker_rng = SmallRng::seed_from_u64(seed);
+                    let mut scratch = source.make_scratch();
+                    // Position of this worker's RNG in the shared stream.
+                    let mut pos = 0usize;
+                    // Worlds consumed globally before the current epoch
+                    // (every worker tracks the same value).
+                    let mut consumed = 0usize;
+                    let mut my_stats: Vec<Vec<f64>> = vec![Vec::new(); tracked.len()];
+                    loop {
+                        let block = epoch.min(cap - consumed);
+                        let base = block / threads;
+                        let extra = block % threads;
+                        let count = base + usize::from(idx < extra);
+                        let start = consumed + base * idx + idx.min(extra);
+                        for s in my_stats.iter_mut() {
+                            s.clear();
+                        }
+                        for _ in 0..(start - pos) {
+                            source.advance_world(&mut worker_rng, &mut scratch);
+                        }
+                        for _ in 0..count {
+                            let view = source.sample_world(&mut worker_rng, &mut scratch);
+                            observe_all(&mut workers, &view);
+                            for (slot, &i) in tracked.iter().enumerate() {
+                                my_stats[slot].push(workers[i].tracked_statistic_dyn());
+                            }
+                        }
+                        pos = start + count;
+                        {
+                            let mut slot = stat_slots[idx].lock().expect("stat slot poisoned");
+                            std::mem::swap(&mut *slot, &mut my_stats);
+                        }
+                        if barrier.wait().is_leader() {
+                            let mut rule = rule_mx.lock().expect("stopping rule poisoned");
+                            let guards: Vec<_> = stat_slots
+                                .iter()
+                                .map(|s| s.lock().expect("stat slot poisoned"))
+                                .collect();
+                            // Replay in world order: contiguous worker
+                            // blocks, so worker-by-worker IS the sequential
+                            // order — the accumulators evolve bit-identically
+                            // for every thread count.
+                            for (w, guard) in guards.iter().enumerate() {
+                                let count_w = base + usize::from(w < extra);
+                                for i in 0..count_w {
+                                    for slot in 0..tracked.len() {
+                                        rule.record(slot, guard[slot][i]);
+                                    }
+                                }
+                            }
+                            drop(guards);
+                            let total = consumed + block;
+                            let verdict = if rule.check() {
+                                1
+                            } else if total >= cap {
+                                2
+                            } else if rule.deadline_expired(started) {
+                                3
+                            } else {
+                                0
+                            };
+                            decision.store(verdict, Ordering::SeqCst);
+                        }
+                        barrier.wait();
+                        {
+                            // Reclaim the still-allocated buffers.
+                            let mut slot = stat_slots[idx].lock().expect("stat slot poisoned");
+                            std::mem::swap(&mut *slot, &mut my_stats);
+                        }
+                        consumed += block;
+                        if decision.load(Ordering::SeqCst) != 0 {
+                            break;
+                        }
+                    }
+                    workers
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("worker thread panicked"))
+            .collect()
+    });
+    drop(observers);
+    let mut merged = partials.remove(0);
+    for partial in partials {
+        for (into, other) in merged.iter_mut().zip(partial) {
+            into.merge_dyn(other);
+        }
+    }
+    let rule = rule_mx.into_inner().expect("stopping rule poisoned");
+    let epochs = rule.checks() as usize;
+    let stopped = match decision.load(Ordering::SeqCst) {
+        1 => StopReason::Converged,
+        2 => StopReason::BudgetExhausted,
+        3 => StopReason::DeadlineExpired,
+        other => unreachable!("adaptive run finished without a verdict ({other})"),
+    };
+    let report = AdaptiveReport {
+        worlds_used: (epochs * epoch).min(cap),
+        epochs,
+        half_width: rule.half_width(),
+        tracked: tracked.len(),
+        stopped,
+    };
+    (merged, report)
+}
+
+/// Runs the adaptive epoch loop over a type-erased observer registry for an
+/// **external driver** (the streaming service), which draws the batch seed
+/// from its own stream: the merged observers come back in worker order,
+/// ready for [`BatchResults::from_merged`] with
+/// [`AdaptiveReport::worlds_used`] as the world count.
+pub fn run_adaptive_merged<S: WorldSource>(
+    source: &S,
+    observers: Vec<BoxedObserver>,
+    num_worlds: usize,
+    threads: usize,
+    seed: u64,
+    precision: &Precision,
+) -> (Vec<BoxedObserver>, AdaptiveReport) {
+    let cap = precision.cap(num_worlds);
+    let dyns: Vec<Box<dyn DynObserver>> = observers.into_iter().map(|o| o.0).collect();
+    let (merged, report) = drive_adaptive(source, cap, threads.max(1), dyns, seed, precision);
+    (merged.into_iter().map(BoxedObserver).collect(), report)
+}
+
 /// Dispatches one world view to every observer (the view kind is fixed per
 /// source, so the match is loop-invariant in practice).
 fn observe_all(observers: &mut [Box<dyn DynObserver>], view: &WorldView<'_>) {
@@ -659,6 +1005,7 @@ pub struct BatchResults {
     id: u64,
     num_worlds: usize,
     slots: Vec<Option<Box<dyn DynObserver>>>,
+    adaptive: Option<AdaptiveReport>,
 }
 
 impl BatchResults {
@@ -678,8 +1025,22 @@ impl BatchResults {
             id,
             num_worlds,
             slots: observers.into_iter().map(|o| Some(o.0)).collect(),
+            adaptive: None,
         };
         (results, handles)
+    }
+
+    /// Attaches the [`AdaptiveReport`] of an externally-driven adaptive run
+    /// (pairs with [`run_adaptive_merged`] + [`BatchResults::from_merged`]).
+    pub fn with_adaptive(mut self, report: AdaptiveReport) -> Self {
+        self.adaptive = Some(report);
+        self
+    }
+
+    /// The adaptive run's outcome, when the batch had a [`Precision`]
+    /// target; `None` for fixed-budget runs.
+    pub fn adaptive(&self) -> Option<&AdaptiveReport> {
+        self.adaptive.as_ref()
     }
 
     /// The number of worlds that were sampled.
@@ -755,6 +1116,7 @@ impl std::fmt::Debug for BatchResults {
 #[derive(Debug, Clone)]
 pub struct EdgeFrequencyObserver {
     counts: Vec<f64>,
+    last_fraction: f64,
 }
 
 impl EdgeFrequencyObserver {
@@ -762,6 +1124,7 @@ impl EdgeFrequencyObserver {
     pub fn new(g: &UncertainGraph) -> Self {
         EdgeFrequencyObserver {
             counts: vec![0.0; g.num_edges()],
+            last_fraction: f64::NAN,
         }
     }
 }
@@ -773,6 +1136,7 @@ impl WorldObserver for EdgeFrequencyObserver {
         for &e in world.present_edges() {
             self.counts[e as usize] += 1.0;
         }
+        self.last_fraction = world.present_edges().len() as f64 / self.counts.len() as f64;
     }
 
     fn shard_support(&self) -> ShardSupport {
@@ -793,6 +1157,22 @@ impl WorldObserver for EdgeFrequencyObserver {
         for &c in world.present_cuts() {
             self.counts[partition.cut_edge(c as usize).edge] += 1.0;
         }
+        let present: usize = (0..partition.shards().len())
+            .map(|s| world.shard_present(s).len())
+            .sum::<usize>()
+            + world.present_cuts().len();
+        self.last_fraction = present as f64 / self.counts.len() as f64;
+    }
+
+    /// Tracked statistic: the fraction of support edges present in the last
+    /// world, a `[0, 1]` mean whose MC estimate converges to the graph's
+    /// mean edge probability.
+    fn tracked_range(&self) -> Option<(f64, f64)> {
+        (!self.counts.is_empty()).then_some((0.0, 1.0))
+    }
+
+    fn tracked_statistic(&self) -> f64 {
+        self.last_fraction
     }
 
     fn merge(&mut self, other: Self) {

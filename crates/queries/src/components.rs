@@ -51,6 +51,9 @@ pub struct ConnectivityObserver {
     /// Component-size tally, pre-sized to `n` (a world has at most `n`
     /// components) so `observe` never allocates.
     sizes: Vec<usize>,
+    /// Connectedness indicator of the last observed world, the statistic
+    /// fed to the adaptive stopping rule.
+    last_connected: f64,
 }
 
 impl ConnectivityObserver {
@@ -61,6 +64,7 @@ impl ConnectivityObserver {
             n,
             totals: vec![0.0; 4],
             sizes: vec![0; n],
+            last_connected: f64::NAN,
         }
     }
 }
@@ -84,6 +88,7 @@ impl WorldObserver for ConnectivityObserver {
         self.totals[1] += largest as f64;
         self.totals[2] += f64::from(count == 1);
         self.totals[3] += isolated as f64 / self.n as f64;
+        self.last_connected = f64::from(count == 1);
     }
 
     fn shard_support(&self) -> ShardSupport {
@@ -115,6 +120,18 @@ impl WorldObserver for ConnectivityObserver {
         self.totals[1] += largest as f64;
         self.totals[2] += f64::from(count == 1);
         self.totals[3] += isolated as f64 / self.n as f64;
+        self.last_connected = f64::from(count == 1);
+    }
+
+    /// Tracked statistic: the per-world connectedness indicator, so an
+    /// adaptive run bounds the error of `probability_connected` (the
+    /// paper's Figure 1 query).
+    fn tracked_range(&self) -> Option<(f64, f64)> {
+        (self.n > 0).then_some((0.0, 1.0))
+    }
+
+    fn tracked_statistic(&self) -> f64 {
+        self.last_connected
     }
 
     fn merge(&mut self, other: Self) {

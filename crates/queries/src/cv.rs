@@ -1,0 +1,623 @@
+//! Two-stage control-variate estimation: sparsified backbone + residual MC.
+//!
+//! The paper's Section 6.3 variance analysis shows the sample count needed
+//! for a given confidence width scales as `N'/N = (σ(G')/σ(G))²` — the
+//! sparsified graph `G'` is a *cheap, correlated* estimator of any
+//! world-level statistic of `G`.  Offline, that motivates sparsify-then-
+//! query; online, it is a textbook **control variate**.  For a statistic
+//! `f` with unknown mean `θ = E[f(G)]`:
+//!
+//! ```text
+//! θ = E[f(G) − β·f(G')] + β·E[f(G')]
+//! ```
+//!
+//! [`ControlVariate::estimate`] evaluates the two terms separately:
+//!
+//! 1. **Pilot** — a small block of *coupled* worlds (common random numbers:
+//!    one uniform per original edge drives both graphs) fits
+//!    `β = Cov(f(G), f(G')) / Var(f(G'))`, the variance-minimising
+//!    coefficient.  Pilot worlds are discarded from the estimate so `β` is
+//!    independent of the averaged samples.
+//! 2. **Backbone** — `E[f(G')]` by plain Monte-Carlo on `G'` alone through
+//!    the [`crate::WorldEngine`] (worlds of the sparsified backbone are
+//!    cheap: fewer edges, lower entropy, skip-sampling-friendly), run
+//!    adaptively to half-width `ε/(2|β|)`.
+//! 3. **Residual** — adaptive Monte-Carlo on the *coupled residual*
+//!    `f(G) − β·f(G')` to half-width `ε/2`.  Under common random numbers
+//!    the residual variance is `σ²(1 − ρ²)`-ish, so a well-correlated
+//!    backbone lets the empirical-Bernstein rule of
+//!    [`crate::variance::StoppingRule`] stop after a handful of epochs.
+//!
+//! The achieved half-width is `hw(residual) + |β|·hw(backbone)` (a union
+//! bound with the confidence budget `δ` split between the two stages), so
+//! the returned [`CvEstimate::half_width`] is a valid `1 − δ` bound on
+//! `|estimate − θ|`.
+//!
+//! Coupled worlds are sampled per-edge (one uniform per original edge —
+//! skip-sampling cannot drive two graphs from shared uniforms), so the
+//! estimator trades a slower per-world sampler for far fewer worlds of the
+//! expensive original graph.
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use uncertain_graph::UncertainGraph;
+//! use ugs_queries::cv::{ControlVariate, CvConfig};
+//! use ugs_queries::Precision;
+//!
+//! let original = UncertainGraph::from_edges(
+//!     5,
+//!     [(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.7), (3, 4, 0.4), (4, 0, 0.6)],
+//! )
+//! .unwrap();
+//! // A backbone a sparsifier might produce: two edges dropped, survivors
+//! // re-weighted upward to preserve expected degrees.
+//! let backbone =
+//!     UncertainGraph::from_edges(5, [(0, 1, 1.0), (2, 3, 0.9), (4, 0, 0.8)]).unwrap();
+//! let cv = ControlVariate::new(&original, &backbone).unwrap();
+//!
+//! // Estimate the expected edge fraction of the ORIGINAL graph (truth:
+//! // mean edge probability 0.62) to ±0.05 at 95% confidence.
+//! let config = CvConfig::new(Precision::new(0.05).with_max_worlds(20_000), (0.0, 1.0));
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let estimate = cv.estimate(
+//!     |world| world.num_edges() as f64 / 5.0,
+//!     &config,
+//!     &mut rng,
+//! );
+//! assert!((estimate.estimate - 0.62).abs() < 0.05, "{estimate:?}");
+//! assert!(estimate.residual_worlds > 0);
+//! ```
+
+use graph_algos::DeterministicGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uncertain_graph::UncertainGraph;
+
+use crate::engine::WorldEngine;
+use crate::variance::{Precision, StopReason, StoppingRule};
+
+/// Why a [`ControlVariate`] could not be built over a graph pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CvError {
+    /// The two graphs have different vertex counts.
+    VertexMismatch {
+        /// Vertices of the original graph.
+        original: usize,
+        /// Vertices of the backbone.
+        backbone: usize,
+    },
+    /// The backbone contains an edge absent from the original's support —
+    /// it cannot be a sparsification of the original.
+    ForeignEdge {
+        /// One endpoint of the offending backbone edge.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+}
+
+impl std::fmt::Display for CvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CvError::VertexMismatch { original, backbone } => write!(
+                f,
+                "backbone has {backbone} vertices but the original has {original}"
+            ),
+            CvError::ForeignEdge { u, v } => write!(
+                f,
+                "backbone edge ({u}, {v}) is not in the original graph's support"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CvError {}
+
+/// Configuration of a control-variate run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvConfig {
+    /// Accuracy target for the **final** estimate: `ε` is the total
+    /// half-width, `δ` the total failure probability (split between the
+    /// backbone and residual stages), `max_worlds` the per-stage world cap
+    /// and `epoch` the worlds-per-checkpoint block.
+    pub precision: Precision,
+    /// Coupled pilot worlds used to fit `β` (discarded from the estimate);
+    /// defaults to the precision's epoch size.
+    pub pilot: usize,
+    /// A-priori closed range of the statistic `f` on any world, required by
+    /// the empirical-Bernstein bound.
+    pub range: (f64, f64),
+}
+
+impl CvConfig {
+    /// A configuration with the default pilot size (one epoch).
+    ///
+    /// # Panics
+    /// Panics unless `range` is a non-empty finite interval.
+    pub fn new(precision: Precision, range: (f64, f64)) -> Self {
+        assert!(
+            range.0.is_finite() && range.1.is_finite() && range.0 <= range.1,
+            "invalid statistic range [{}, {}]",
+            range.0,
+            range.1
+        );
+        CvConfig {
+            precision,
+            pilot: precision.epoch.max(2),
+            range,
+        }
+    }
+
+    /// Overrides the pilot size (clamped to at least 2, the minimum for a
+    /// covariance fit).
+    pub fn with_pilot(mut self, pilot: usize) -> Self {
+        self.pilot = pilot.max(2);
+        self
+    }
+}
+
+/// Result of a [`ControlVariate::estimate`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvEstimate {
+    /// The control-variate estimate of `E[f(G)]`.
+    pub estimate: f64,
+    /// Achieved confidence half-width: residual half-width plus
+    /// `|β|` × backbone half-width.
+    pub half_width: f64,
+    /// The fitted control-variate coefficient.
+    pub beta: f64,
+    /// Pilot correlation between `f(G)` and `f(G')` under common random
+    /// numbers (0 when either side was degenerate).
+    pub correlation: f64,
+    /// The backbone stage's estimate of `E[f(G')]`.
+    pub backbone_mean: f64,
+    /// Coupled worlds spent fitting `β`.
+    pub pilot_worlds: usize,
+    /// Cheap backbone-only worlds spent on `E[f(G')]`.
+    pub backbone_worlds: usize,
+    /// Coupled worlds averaged into the residual mean.
+    pub residual_worlds: usize,
+    /// Why the residual stage stopped.
+    pub stopped: StopReason,
+}
+
+impl CvEstimate {
+    /// Worlds of the **original** graph consumed (pilot + residual — the
+    /// backbone stage samples only the cheap sparsified graph).  This is
+    /// the number to compare against a plain Monte-Carlo run's world count.
+    pub fn original_worlds(&self) -> usize {
+        self.pilot_worlds + self.residual_worlds
+    }
+}
+
+/// A coupled (original, backbone) sampler plus the two-stage estimator; see
+/// the [module docs](self).
+pub struct ControlVariate<'g> {
+    original: &'g UncertainGraph,
+    backbone: &'g UncertainGraph,
+    /// Original edge endpoints, pre-resolved for materialisation.
+    endpoints: Vec<(u32, u32)>,
+    /// Backbone probability aligned to each *original* edge id (0.0 for
+    /// edges the sparsifier dropped), so one uniform per original edge
+    /// drives both graphs.
+    backbone_p: Vec<f64>,
+}
+
+impl<'g> ControlVariate<'g> {
+    /// Builds the estimator over an original graph and its sparsified
+    /// backbone (e.g. the [`SparsifyOutput::graph`] of the workspace's
+    /// GDB/EMD sparsifiers, which only ever keep support edges).
+    ///
+    /// [`SparsifyOutput::graph`]: ../../ugs_core/spec/struct.SparsifyOutput.html
+    pub fn new(
+        original: &'g UncertainGraph,
+        backbone: &'g UncertainGraph,
+    ) -> Result<Self, CvError> {
+        if original.num_vertices() != backbone.num_vertices() {
+            return Err(CvError::VertexMismatch {
+                original: original.num_vertices(),
+                backbone: backbone.num_vertices(),
+            });
+        }
+        let mut backbone_p = vec![0.0; original.num_edges()];
+        for edge in backbone.edges() {
+            let Some(e) = original.find_edge(edge.u, edge.v) else {
+                return Err(CvError::ForeignEdge {
+                    u: edge.u,
+                    v: edge.v,
+                });
+            };
+            backbone_p[e] = edge.p;
+        }
+        let endpoints = original.edges().map(|e| (e.u as u32, e.v as u32)).collect();
+        Ok(ControlVariate {
+            original,
+            backbone,
+            endpoints,
+            backbone_p,
+        })
+    }
+
+    /// The original graph.
+    pub fn original(&self) -> &'g UncertainGraph {
+        self.original
+    }
+
+    /// The sparsified backbone.
+    pub fn backbone(&self) -> &'g UncertainGraph {
+        self.backbone
+    }
+
+    /// Samples one coupled world pair into `scratch` (common random
+    /// numbers: uniform `u_e` realises original edge `e` iff `u_e < p_e`
+    /// and its backbone counterpart iff `u_e < p'_e`).
+    fn sample_paired<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut PairedScratch) {
+        scratch.orig_pairs.clear();
+        scratch.back_pairs.clear();
+        let probabilities = self.original.probabilities();
+        for (e, &(u, v)) in self.endpoints.iter().enumerate() {
+            let draw: f64 = rng.gen();
+            if draw < probabilities[e] {
+                scratch.orig_pairs.push((u, v));
+            }
+            if draw < self.backbone_p[e] {
+                scratch.back_pairs.push((u, v));
+            }
+        }
+        let n = self.original.num_vertices();
+        scratch
+            .orig_world
+            .materialize_from_endpoints(n, &scratch.orig_pairs);
+        scratch
+            .back_world
+            .materialize_from_endpoints(n, &scratch.back_pairs);
+    }
+
+    /// Runs the two-stage estimator for the statistic `f` (whose value on
+    /// any world must lie in `config.range`).
+    ///
+    /// Draws **exactly one** `u64` from the caller's RNG; all three stage
+    /// streams derive from it, so the full run — including every stopping
+    /// decision — is a deterministic function of (seed, config).
+    pub fn estimate<F, R>(&self, f: F, config: &CvConfig, rng: &mut R) -> CvEstimate
+    where
+        F: Fn(&DeterministicGraph) -> f64,
+        R: Rng + ?Sized,
+    {
+        let mut master = SmallRng::seed_from_u64(rng.gen::<u64>());
+        let pilot_seed = master.gen::<u64>();
+        let backbone_seed = master.gen::<u64>();
+        let residual_seed = master.gen::<u64>();
+        let started = std::time::Instant::now();
+        let precision = config.precision;
+        let (lo, hi) = config.range;
+        let mut scratch = PairedScratch::new(self.original);
+
+        // ── Stage 1: pilot — fit β on coupled worlds, then discard them ──
+        let mut pilot_rng = SmallRng::seed_from_u64(pilot_seed);
+        let pilot = config.pilot.max(2);
+        let mut xs = Vec::with_capacity(pilot);
+        let mut ys = Vec::with_capacity(pilot);
+        for _ in 0..pilot {
+            self.sample_paired(&mut pilot_rng, &mut scratch);
+            xs.push(f(&scratch.orig_world));
+            ys.push(f(&scratch.back_world));
+        }
+        let (beta, correlation) = fit_beta(&xs, &ys);
+
+        // The total ε/δ budget splits between the two stages; a zero β
+        // makes the backbone term exact, freeing its whole share for the
+        // residual.
+        let (eps_residual, eps_backbone) = if beta == 0.0 {
+            (precision.epsilon, f64::INFINITY)
+        } else {
+            (
+                precision.epsilon / 2.0,
+                precision.epsilon / (2.0 * beta.abs()),
+            )
+        };
+        let half_delta = precision.delta / 2.0;
+
+        // ── Stage 2: backbone mean on G' alone (cheap worlds) ──
+        let mut backbone_mean = 0.0;
+        let mut backbone_hw = 0.0;
+        let mut backbone_worlds = 0;
+        if beta != 0.0 {
+            let target = Precision {
+                epsilon: eps_backbone,
+                delta: half_delta,
+                ..precision
+            };
+            let mut rule = StoppingRule::new(target);
+            let slot = rule.register(lo, hi);
+            let engine = WorldEngine::new(self.backbone);
+            let mut engine_scratch = engine.make_scratch();
+            let mut backbone_rng = SmallRng::seed_from_u64(backbone_seed);
+            run_stage(&mut rule, started, |rule| {
+                let world = engine.sample_world(&mut backbone_rng, &mut engine_scratch);
+                rule.record(slot, f(world));
+            });
+            backbone_mean = rule.stats()[slot].mean();
+            backbone_hw = rule.half_width();
+            backbone_worlds = rule.stats()[slot].count() as usize;
+        }
+
+        // ── Stage 3: adaptive residual on coupled worlds ──
+        let target = Precision {
+            epsilon: eps_residual,
+            delta: half_delta,
+            ..precision
+        };
+        let mut rule = StoppingRule::new(target);
+        // Interval arithmetic on r = x − β·y with x, y ∈ [lo, hi].
+        let beta_lo = (beta * lo).min(beta * hi);
+        let beta_hi = (beta * lo).max(beta * hi);
+        let slot = rule.register(lo - beta_hi, hi - beta_lo);
+        let mut residual_rng = SmallRng::seed_from_u64(residual_seed);
+        let stopped = run_stage(&mut rule, started, |rule| {
+            self.sample_paired(&mut residual_rng, &mut scratch);
+            let x = f(&scratch.orig_world);
+            let y = f(&scratch.back_world);
+            rule.record(slot, x - beta * y);
+        });
+        let residual_mean = rule.stats()[slot].mean();
+        let residual_hw = rule.half_width();
+        let residual_worlds = rule.stats()[slot].count() as usize;
+
+        CvEstimate {
+            estimate: residual_mean + beta * backbone_mean,
+            half_width: residual_hw + beta.abs() * backbone_hw,
+            beta,
+            correlation,
+            backbone_mean,
+            pilot_worlds: pilot,
+            backbone_worlds,
+            residual_worlds,
+            stopped,
+        }
+    }
+}
+
+impl std::fmt::Debug for ControlVariate<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlVariate")
+            .field("original_edges", &self.original.num_edges())
+            .field("backbone_edges", &self.backbone.num_edges())
+            .finish()
+    }
+}
+
+/// Coupled-world materialisation buffers, reused across samples.
+struct PairedScratch {
+    orig_pairs: Vec<(u32, u32)>,
+    back_pairs: Vec<(u32, u32)>,
+    orig_world: DeterministicGraph,
+    back_world: DeterministicGraph,
+}
+
+impl PairedScratch {
+    fn new(original: &UncertainGraph) -> Self {
+        PairedScratch {
+            orig_pairs: Vec::with_capacity(original.num_edges()),
+            back_pairs: Vec::with_capacity(original.num_edges()),
+            orig_world: DeterministicGraph::from_edges(0, &[]),
+            back_world: DeterministicGraph::from_edges(0, &[]),
+        }
+    }
+}
+
+/// Two-pass least-squares fit of the control-variate coefficient and the
+/// pilot correlation; `(0.0, 0.0)` when the backbone statistic is constant.
+fn fit_beta(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x) * (x - mean_x);
+        var_y += (y - mean_y) * (y - mean_y);
+    }
+    if var_y <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let beta = cov / var_y;
+    let correlation = if var_x <= 0.0 {
+        0.0
+    } else {
+        cov / (var_x * var_y).sqrt()
+    };
+    (beta, correlation)
+}
+
+/// One adaptive stage: epochs of `rule.precision().epoch` samples produced
+/// by `sample`, checked against the rule until convergence, budget
+/// exhaustion ([`Precision::max_worlds`], unbounded when absent) or the
+/// wall-clock deadline.
+fn run_stage<S>(rule: &mut StoppingRule, started: std::time::Instant, mut sample: S) -> StopReason
+where
+    S: FnMut(&mut StoppingRule),
+{
+    let epoch = rule.precision().epoch.max(1);
+    let cap = rule.precision().max_worlds.unwrap_or(usize::MAX);
+    if cap == 0 {
+        return StopReason::BudgetExhausted;
+    }
+    let mut consumed = 0usize;
+    loop {
+        let block = epoch.min(cap - consumed);
+        for _ in 0..block {
+            sample(rule);
+        }
+        consumed += block;
+        if rule.check() {
+            return StopReason::Converged;
+        }
+        if consumed >= cap {
+            return StopReason::BudgetExhausted;
+        }
+        if rule.deadline_expired(started) {
+            return StopReason::DeadlineExpired;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn original() -> UncertainGraph {
+        UncertainGraph::from_edges(
+            6,
+            [
+                (0, 1, 0.9),
+                (1, 2, 0.6),
+                (2, 3, 0.7),
+                (3, 4, 0.5),
+                (4, 5, 0.8),
+                (5, 0, 0.4),
+                (0, 3, 0.3),
+                (1, 4, 0.2),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// A plausible sparsifier output: half the edges dropped, survivors
+    /// boosted — correlated with, but not equal to, the original.
+    fn backbone() -> UncertainGraph {
+        UncertainGraph::from_edges(6, [(0, 1, 1.0), (2, 3, 0.9), (4, 5, 1.0), (0, 3, 0.5)]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_the_graph_pair() {
+        let g = original();
+        let mismatched = UncertainGraph::from_edges(4, [(0, 1, 0.5)]).unwrap();
+        assert_eq!(
+            ControlVariate::new(&g, &mismatched).unwrap_err(),
+            CvError::VertexMismatch {
+                original: 6,
+                backbone: 4
+            }
+        );
+        let foreign = UncertainGraph::from_edges(6, [(2, 5, 0.5)]).unwrap();
+        assert_eq!(
+            ControlVariate::new(&g, &foreign).unwrap_err(),
+            CvError::ForeignEdge { u: 2, v: 5 }
+        );
+        assert!(ControlVariate::new(&g, &backbone()).is_ok());
+    }
+
+    #[test]
+    fn estimate_hits_the_analytic_truth_within_epsilon() {
+        let g = original();
+        let b = backbone();
+        let cv = ControlVariate::new(&g, &b).unwrap();
+        // Statistic: edge fraction of the original world; truth = mean edge
+        // probability.
+        let truth = g.mean_edge_probability();
+        let m = g.num_edges() as f64;
+        let config = CvConfig::new(Precision::new(0.03).with_max_worlds(200_000), (0.0, 1.0));
+        let mut rng = SmallRng::seed_from_u64(11);
+        let estimate = cv.estimate(|w| w.num_edges() as f64 / m, &config, &mut rng);
+        assert_eq!(estimate.stopped, StopReason::Converged, "{estimate:?}");
+        assert!(estimate.half_width <= 0.03, "{estimate:?}");
+        assert!(
+            (estimate.estimate - truth).abs() <= estimate.half_width,
+            "estimate {} vs truth {truth} (hw {})",
+            estimate.estimate,
+            estimate.half_width
+        );
+        assert!(estimate.correlation > 0.0, "{estimate:?}");
+    }
+
+    #[test]
+    fn a_perfect_backbone_collapses_the_residual_variance() {
+        // Backbone identical to the original: the coupled residual
+        // f(G) − β·f(G') is exactly 0 per world (β fits to 1).  The
+        // empirical-Bernstein variance term vanishes, leaving only the
+        // O(R·log/n) range term — so the residual stage converges in far
+        // fewer worlds than plain MC, whose variance term alone would need
+        // ~2·V·log/ε² ≈ 10⁵ worlds at ε/2 = 0.005 here.
+        let g = original();
+        let cv = ControlVariate::new(&g, &g).unwrap();
+        let m = g.num_edges() as f64;
+        let config = CvConfig::new(Precision::new(0.01).with_max_worlds(100_000), (0.0, 1.0));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let estimate = cv.estimate(|w| w.num_edges() as f64 / m, &config, &mut rng);
+        assert!((estimate.beta - 1.0).abs() < 1e-9, "{estimate:?}");
+        assert_eq!(estimate.stopped, StopReason::Converged, "{estimate:?}");
+        assert!(
+            estimate.residual_worlds < 25_000,
+            "range term only: {estimate:?}"
+        );
+        let truth = g.mean_edge_probability();
+        assert!((estimate.estimate - truth).abs() <= 0.01, "{estimate:?}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_consume_one_rng_draw() {
+        let g = original();
+        let b = backbone();
+        let cv = ControlVariate::new(&g, &b).unwrap();
+        let m = g.num_edges() as f64;
+        let config = CvConfig::new(Precision::new(0.05).with_max_worlds(50_000), (0.0, 1.0));
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let e = cv.estimate(|w| w.num_edges() as f64 / m, &config, &mut rng);
+            (e, rng.gen::<u64>())
+        };
+        let (a, next_a) = run(5);
+        let (b2, next_b) = run(5);
+        assert_eq!(a, b2);
+        assert_eq!(next_a, next_b);
+        // Exactly one u64 was drawn from the caller RNG.
+        let mut expected = SmallRng::seed_from_u64(5);
+        expected.gen::<u64>();
+        assert_eq!(next_a, expected.gen::<u64>());
+    }
+
+    #[test]
+    fn degenerate_backbone_statistic_degrades_to_plain_adaptive() {
+        // A statistic the backbone cannot see (it is constant on G'):
+        // β = 0, the backbone stage is skipped and the residual is plain
+        // f(G).
+        let g = original();
+        // Backbone with only the certain edge realisation pattern: use a
+        // single always-on edge so num_edges is constant in every world.
+        let b = UncertainGraph::from_edges(6, [(0, 1, 1.0)]).unwrap();
+        let cv = ControlVariate::new(&g, &b).unwrap();
+        let m = g.num_edges() as f64;
+        let config = CvConfig::new(Precision::new(0.05).with_max_worlds(100_000), (0.0, 1.0));
+        let mut rng = SmallRng::seed_from_u64(17);
+        let estimate = cv.estimate(|w| w.num_edges() as f64 / m, &config, &mut rng);
+        assert_eq!(estimate.beta, 0.0, "{estimate:?}");
+        assert_eq!(estimate.backbone_worlds, 0);
+        let truth = g.mean_edge_probability();
+        assert!((estimate.estimate - truth).abs() <= 0.05, "{estimate:?}");
+    }
+
+    #[test]
+    fn max_worlds_caps_every_stage() {
+        let g = original();
+        let b = backbone();
+        let cv = ControlVariate::new(&g, &b).unwrap();
+        let m = g.num_edges() as f64;
+        // An impossible target with a tiny budget: both adaptive stages
+        // must stop at the cap.
+        let config = CvConfig::new(
+            Precision::new(1e-9).with_max_worlds(96).with_epoch(32),
+            (0.0, 1.0),
+        );
+        let mut rng = SmallRng::seed_from_u64(23);
+        let estimate = cv.estimate(|w| w.num_edges() as f64 / m, &config, &mut rng);
+        assert_eq!(estimate.stopped, StopReason::BudgetExhausted);
+        assert!(estimate.residual_worlds <= 96, "{estimate:?}");
+        assert!(estimate.backbone_worlds <= 96, "{estimate:?}");
+    }
+}

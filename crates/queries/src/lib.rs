@@ -90,6 +90,7 @@
 
 pub mod batch;
 pub mod components;
+pub mod cv;
 pub mod engine;
 pub mod knn;
 pub mod mc;
@@ -101,13 +102,14 @@ pub mod source;
 pub mod variance;
 
 pub use batch::{
-    BatchError, BatchResults, BoxedObserver, DynHandle, DynObserver, EdgeFrequencyObserver,
-    ObserverHandle, QueryBatch, WorldObserver,
+    run_adaptive_merged, AdaptiveReport, BatchError, BatchResults, BoxedObserver, DynHandle,
+    DynObserver, EdgeFrequencyObserver, ObserverHandle, QueryBatch, WorldObserver,
 };
 pub use components::{
     connectivity_query, expected_degree_histogram, ConnectivityEstimate, ConnectivityObserver,
     DegreeHistogramObserver,
 };
+pub use cv::{ControlVariate, CvConfig, CvError, CvEstimate};
 pub use engine::{SampleMethod, WorldEngine, WorldScratch};
 pub use knn::{k_nearest_neighbors, knn_overlap, KnnObserver, Neighbor};
 pub use mc::MonteCarlo;
@@ -118,17 +120,21 @@ pub use pair_queries::{pair_queries, PairQueriesObserver, PairQueryResult};
 pub use pairs::random_pairs;
 pub use sharded::{ShardScratch, ShardedScratch, ShardedWorld, ShardedWorldEngine};
 pub use source::{ShardSupport, WorldSource, WorldView};
-pub use variance::{estimator_variance, VarianceEstimate};
+pub use variance::{
+    estimator_variance, AccumulatorStats, Precision, StopReason, StoppingRule, VarianceEstimate,
+    Welford,
+};
 
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
     pub use crate::batch::{
-        BatchError, BatchResults, BoxedObserver, DynHandle, EdgeFrequencyObserver, ObserverHandle,
-        QueryBatch, WorldObserver,
+        run_adaptive_merged, AdaptiveReport, BatchError, BatchResults, BoxedObserver, DynHandle,
+        EdgeFrequencyObserver, ObserverHandle, QueryBatch, WorldObserver,
     };
     pub use crate::components::{
         connectivity_query, ConnectivityEstimate, ConnectivityObserver, DegreeHistogramObserver,
     };
+    pub use crate::cv::{ControlVariate, CvConfig, CvError, CvEstimate};
     pub use crate::engine::{SampleMethod, WorldEngine, WorldScratch};
     pub use crate::knn::{k_nearest_neighbors, knn_overlap, KnnObserver, Neighbor};
     pub use crate::mc::MonteCarlo;
@@ -139,5 +145,8 @@ pub mod prelude {
     pub use crate::pairs::random_pairs;
     pub use crate::sharded::{ShardScratch, ShardedScratch, ShardedWorld, ShardedWorldEngine};
     pub use crate::source::{ShardSupport, WorldSource, WorldView};
-    pub use crate::variance::{estimator_variance, VarianceEstimate};
+    pub use crate::variance::{
+        estimator_variance, AccumulatorStats, Precision, StopReason, StoppingRule,
+        VarianceEstimate, Welford,
+    };
 }

@@ -32,10 +32,11 @@ use rand::{Rng, SeedableRng};
 use uncertain_graph::{UncertainGraph, WorldSampler};
 
 use crate::engine::{SampleMethod, WorldEngine};
+use crate::variance::Precision;
 use graph_algos::DeterministicGraph;
 
 /// Configuration of a Monte-Carlo run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonteCarlo {
     /// Number of possible worlds to sample (the paper uses 500 for the
     /// query-quality experiments).
@@ -45,6 +46,13 @@ pub struct MonteCarlo {
     /// How worlds are sampled; [`SampleMethod::Auto`] picks skip-sampling
     /// on sparse-probability graphs.
     pub method: SampleMethod,
+    /// Optional adaptive-precision target: batch runs built from this
+    /// configuration ([`crate::QueryBatch::new`]) stop at the first epoch
+    /// where every tracked statistic meets the `(ε, δ)` bound, with
+    /// `num_worlds` as the hard budget.  `None` (the default) keeps the
+    /// fixed-budget behaviour bit-for-bit.  The legacy
+    /// [`MonteCarlo::accumulate`] driver ignores it.
+    pub precision: Option<Precision>,
 }
 
 impl Default for MonteCarlo {
@@ -54,6 +62,7 @@ impl Default for MonteCarlo {
             num_worlds: 500,
             threads: available_threads(),
             method: SampleMethod::Auto,
+            precision: None,
         }
     }
 }
@@ -76,6 +85,7 @@ impl MonteCarlo {
             num_worlds,
             threads: 1,
             method: SampleMethod::Auto,
+            precision: None,
         }
     }
 
@@ -85,6 +95,7 @@ impl MonteCarlo {
             num_worlds,
             threads: available_threads(),
             method: SampleMethod::Auto,
+            precision: None,
         }
     }
 
@@ -97,6 +108,12 @@ impl MonteCarlo {
     /// Overrides the world-sampling method.
     pub fn with_method(mut self, method: SampleMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Sets an adaptive-precision target (see [`MonteCarlo::precision`]).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
         self
     }
 

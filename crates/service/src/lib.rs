@@ -75,5 +75,7 @@ pub mod service;
 pub mod spec;
 
 pub use plan::{mode_name, parse_mode, QueryPlan};
-pub use service::{BatchPolicy, QueryService, ResultTicket, ServiceError, ServiceStats};
-pub use spec::{QueryResult, QuerySpec, SpecError};
+pub use service::{
+    BatchPolicy, QueryAnswer, QueryService, ResultTicket, ServiceError, ServiceStats,
+};
+pub use spec::{parse_precision, precision_to_json, QueryResult, QuerySpec, SpecError};

@@ -24,6 +24,12 @@
 //! below).  Execution runs the whole plan as **one** micro-batch — all
 //! queries share one set of sampled worlds, exactly like a single
 //! [`ugs_queries::QueryBatch`] — sharded across `threads` service workers.
+//!
+//! An optional `"precision": {"epsilon": 0.01, "delta": 0.05, "deadline_ms":
+//! 2000, "max_worlds": 50000}` block makes the batch **adaptive**: `worlds`
+//! becomes a cap and sampling stops at the first epoch whose pooled
+//! empirical-Bernstein half-width reaches `epsilon`; report entries then
+//! carry `worlds_used` and the achieved `half_width`.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,9 +38,12 @@ use minijson::{ObjBuilder, Value};
 use uncertain_graph::UncertainGraph;
 
 use ugs_queries::engine::SampleMethod;
+use ugs_queries::variance::Precision;
 
-use crate::service::{BatchPolicy, QueryService, ServiceError};
-use crate::spec::{optional_usize, QueryResult, QuerySpec, SpecError};
+use crate::service::{BatchPolicy, QueryAnswer, QueryService, ServiceError};
+use crate::spec::{
+    optional_usize, parse_precision, precision_to_json, QueryResult, QuerySpec, SpecError,
+};
 
 /// A parsed query-plan document; see the [module docs](self) for the JSON
 /// shape.
@@ -55,6 +64,11 @@ pub struct QueryPlan {
     pub mode: SampleMethod,
     /// Service seed (default 42).
     pub seed: u64,
+    /// Optional adaptive-precision target (`"precision": {"epsilon": …}`):
+    /// turns [`QueryPlan::worlds`] into a cap and stops sampling at the
+    /// first epoch whose pooled confidence half-width reaches the target.
+    /// See [`crate::service::BatchPolicy::precision`].
+    pub precision: Option<Precision>,
     /// The queries, answered in order.
     pub queries: Vec<QuerySpec>,
 }
@@ -127,6 +141,13 @@ impl QueryPlan {
                 SpecError::Json("field \"seed\" must be a non-negative integer".to_string())
             })? as u64,
         };
+        let precision = match value.get("precision") {
+            None => None,
+            Some(v) => Some(parse_precision(v).map_err(|error| match error {
+                SpecError::Json(message) => SpecError::Json(format!("precision: {message}")),
+                other => other,
+            })?),
+        };
         let queries = value
             .get("queries")
             .and_then(Value::as_array)
@@ -151,6 +172,7 @@ impl QueryPlan {
             shards,
             mode,
             seed,
+            precision,
             queries,
         })
     }
@@ -167,12 +189,16 @@ impl QueryPlan {
         if let Some(graph) = &self.graph {
             builder = builder.field("graph", graph.as_str());
         }
-        builder
+        builder = builder
             .field("worlds", self.worlds)
             .field("threads", self.threads)
             .field("shards", self.shards)
             .field("mode", mode_name(self.mode))
-            .field("seed", self.seed as usize)
+            .field("seed", self.seed as usize);
+        if let Some(precision) = &self.precision {
+            builder = builder.field("precision", precision_to_json(precision));
+        }
+        builder
             .field(
                 "queries",
                 Value::Arr(self.queries.iter().map(QuerySpec::to_json).collect()),
@@ -188,6 +214,19 @@ impl QueryPlan {
         &self,
         graph: impl Into<Arc<UncertainGraph>>,
     ) -> Vec<Result<QueryResult, ServiceError>> {
+        self.execute_detailed(graph)
+            .into_iter()
+            .map(|outcome| outcome.map(|answer| answer.result))
+            .collect()
+    }
+
+    /// Like [`QueryPlan::execute`], but keeps each answer's effort metadata
+    /// (worlds consumed, achieved half-width under a
+    /// [`QueryPlan::precision`] target).
+    pub fn execute_detailed(
+        &self,
+        graph: impl Into<Arc<UncertainGraph>>,
+    ) -> Vec<Result<QueryAnswer, ServiceError>> {
         let policy = BatchPolicy {
             // The whole plan is one arrival window: flush on the exact
             // query count, with a timer that cannot fire first.
@@ -197,6 +236,7 @@ impl QueryPlan {
             threads: self.threads,
             mode: self.mode,
             shards: self.shards,
+            precision: self.precision,
         };
         let service = QueryService::start(graph, policy, self.seed);
         let tickets: Vec<_> = self
@@ -204,7 +244,10 @@ impl QueryPlan {
             .iter()
             .map(|spec| service.submit(spec.clone()))
             .collect();
-        let results = tickets.into_iter().map(|ticket| ticket.wait()).collect();
+        let results = tickets
+            .into_iter()
+            .map(|ticket| ticket.wait_detailed())
+            .collect();
         service.shutdown();
         results
     }
@@ -213,7 +256,7 @@ impl QueryPlan {
     /// the configuration, then one entry per query with its spec and its
     /// result (or error).
     pub fn run_report(&self, graph: impl Into<Arc<UncertainGraph>>, graph_label: &str) -> Value {
-        let results = self.execute(graph);
+        let results = self.execute_detailed(graph);
         let entries = self
             .queries
             .iter()
@@ -221,10 +264,18 @@ impl QueryPlan {
             .map(|(spec, outcome)| {
                 let entry = ObjBuilder::new().field("query", spec.to_json());
                 match outcome {
-                    Ok(result) => entry
-                        .field("status", "ok")
-                        .field("result", result.to_json())
-                        .build(),
+                    Ok(answer) => {
+                        let mut entry = entry
+                            .field("status", "ok")
+                            .field("result", answer.result.to_json())
+                            .field("worlds_used", answer.worlds_used);
+                        // Infinite means "nothing was tracked": omit rather
+                        // than render minijson's `null`.
+                        if let Some(half_width) = answer.half_width.filter(|hw| hw.is_finite()) {
+                            entry = entry.field("half_width", half_width);
+                        }
+                        entry.build()
+                    }
                     Err(error) => entry
                         .field("status", "error")
                         .field("error", error.to_string())
@@ -232,15 +283,17 @@ impl QueryPlan {
                 }
             })
             .collect();
-        ObjBuilder::new()
+        let mut report = ObjBuilder::new()
             .field("graph", graph_label)
             .field("worlds", self.worlds)
             .field("threads", self.threads)
             .field("shards", self.shards)
             .field("mode", mode_name(self.mode))
-            .field("seed", self.seed as usize)
-            .field("results", Value::Arr(entries))
-            .build()
+            .field("seed", self.seed as usize);
+        if let Some(precision) = &self.precision {
+            report = report.field("precision", precision_to_json(precision));
+        }
+        report.field("results", Value::Arr(entries)).build()
     }
 }
 

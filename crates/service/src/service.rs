@@ -43,6 +43,18 @@
 //! functions: micro-batch `k` consumes the `k`-th `u64` of the service RNG
 //! stream, exactly like the `k`-th legacy call on a caller RNG seeded the
 //! same way (guarded by `tests/service_parity.rs`).
+//!
+//! ## Adaptive precision
+//!
+//! With [`BatchPolicy::precision`] set, `num_worlds` becomes a cap and each
+//! micro-batch runs through the epoch-synchronised adaptive driver
+//! ([`ugs_queries::run_adaptive_merged`]) instead of the fixed-skip pool:
+//! workers sample fixed world-blocks per epoch and a barrier checkpoint
+//! pools an empirical-Bernstein bound, so the worlds consumed — and every
+//! count-valued answer — are invariant over the worker count.  The seed
+//! discipline is unchanged (micro-batch `k` still consumes the `k`-th
+//! service-stream draw), and policies without a precision target take the
+//! fixed path untouched, bit for bit.
 
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -53,15 +65,16 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use uncertain_graph::{GraphPartition, UncertainGraph};
 
-use ugs_queries::batch::{BatchResults, BoxedObserver};
+use ugs_queries::batch::{run_adaptive_merged, AdaptiveReport, BatchResults, BoxedObserver};
 use ugs_queries::engine::{SampleMethod, WorldEngine};
 use ugs_queries::sharded::ShardedWorldEngine;
 use ugs_queries::source::{ShardSupport, WorldSource};
+use ugs_queries::variance::Precision;
 
 use crate::spec::{QueryResult, QuerySpec, SpecError};
 
 /// How a [`QueryService`] forms and runs micro-batches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchPolicy {
     /// How long the scheduler waits for more submissions after the first
     /// one of a window before running the micro-batch.
@@ -83,6 +96,16 @@ pub struct BatchPolicy {
     /// bit-identical for any shard count; queries without a cut correction
     /// are rejected at validation time with [`SpecError::Unsupported`].
     pub shards: usize,
+    /// Optional adaptive-precision target.  `None` (the default) runs every
+    /// micro-batch with the fixed [`BatchPolicy::num_worlds`] budget,
+    /// bit-identical to the pre-adaptive service.  `Some` turns
+    /// `num_worlds` into a *cap*: each micro-batch samples in epochs and
+    /// stops at the first checkpoint whose pooled empirical-Bernstein
+    /// half-width reaches the target — the worlds consumed are a
+    /// deterministic function of the batch seed and the target, invariant
+    /// over [`BatchPolicy::threads`].  Tickets report the consumed worlds
+    /// and the achieved half-width through [`ResultTicket::wait_detailed`].
+    pub precision: Option<Precision>,
 }
 
 impl Default for BatchPolicy {
@@ -96,6 +119,7 @@ impl Default for BatchPolicy {
             threads: 1,
             mode: SampleMethod::Auto,
             shards: 1,
+            precision: None,
         }
     }
 }
@@ -143,22 +167,43 @@ pub struct ServiceStats {
     pub worlds_sampled: usize,
 }
 
+/// A resolved submission: the typed result plus the sampling effort its
+/// micro-batch actually spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// The typed query result.
+    pub result: QueryResult,
+    /// Worlds the micro-batch sampled — equal to
+    /// [`BatchPolicy::num_worlds`] for fixed-budget batches, possibly fewer
+    /// under a [`BatchPolicy::precision`] target.
+    pub worlds_used: usize,
+    /// Achieved pooled half-width at the stopping checkpoint; `None` for
+    /// fixed-budget batches (no stopping rule ran).
+    pub half_width: Option<f64>,
+}
+
 /// Resolves to the [`QueryResult`] of one submission.
 #[derive(Debug)]
 pub struct ResultTicket {
-    rx: Receiver<Result<QueryResult, ServiceError>>,
+    rx: Receiver<Result<QueryAnswer, ServiceError>>,
 }
 
 impl ResultTicket {
     /// Blocks until the submission's micro-batch completes.
     pub fn wait(self) -> Result<QueryResult, ServiceError> {
+        self.wait_detailed().map(|answer| answer.result)
+    }
+
+    /// Blocks like [`ResultTicket::wait`] but keeps the effort metadata
+    /// (worlds consumed, achieved half-width) alongside the result.
+    pub fn wait_detailed(self) -> Result<QueryAnswer, ServiceError> {
         self.rx.recv().unwrap_or(Err(ServiceError::Stopped))
     }
 
     /// Waits up to `timeout`; `None` means the result is not ready yet.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryResult, ServiceError>> {
         match self.rx.recv_timeout(timeout) {
-            Ok(result) => Some(result),
+            Ok(answer) => Some(answer.map(|answer| answer.result)),
             Err(RecvTimeoutError::Timeout) => None,
             Err(RecvTimeoutError::Disconnected) => Some(Err(ServiceError::Stopped)),
         }
@@ -167,7 +212,7 @@ impl ResultTicket {
 
 struct Submission {
     spec: QuerySpec,
-    reply: Sender<Result<QueryResult, ServiceError>>,
+    reply: Sender<Result<QueryAnswer, ServiceError>>,
 }
 
 struct WorkerJob {
@@ -310,6 +355,7 @@ fn run_worker_pool<S: WorldSource>(
         }
         let scheduler = Scheduler {
             graph,
+            source,
             policy,
             rng: SmallRng::seed_from_u64(seed),
             job_txs,
@@ -323,8 +369,12 @@ fn run_worker_pool<S: WorldSource>(
     })
 }
 
-struct Scheduler<'e> {
+struct Scheduler<'e, S: WorldSource> {
     graph: &'e UncertainGraph,
+    /// The shared world source, for adaptive micro-batches (which run their
+    /// own epoch-synchronised scoped workers instead of the fixed-skip
+    /// persistent pool — the world count is not known up front).
+    source: &'e S,
     policy: BatchPolicy,
     rng: SmallRng,
     job_txs: Vec<Sender<WorkerJob>>,
@@ -337,7 +387,7 @@ struct Scheduler<'e> {
     stats: ServiceStats,
 }
 
-impl Scheduler<'_> {
+impl<S: WorldSource> Scheduler<'_, S> {
     fn run(mut self, submit_rx: Receiver<Submission>) -> ServiceStats {
         let max_queries = self.policy.max_queries.max(1);
         let mut pending: Vec<Submission> = Vec::new();
@@ -419,8 +469,30 @@ impl Scheduler<'_> {
         }
         self.stats.micro_batches += 1;
         let num_worlds = self.policy.num_worlds;
+        let mut adaptive: Option<AdaptiveReport> = None;
         let merged = if num_worlds == 0 {
             observers
+        } else if let Some(precision) = self.policy.precision {
+            // Adaptive micro-batch: same seed discipline as the fixed path
+            // (batch `k` consumes the `k`-th draw of the service stream, so
+            // mixing adaptive and fixed policies never shifts later seeds),
+            // but the worlds are sampled by the epoch-synchronised adaptive
+            // driver — the persistent pool's fixed-skip protocol needs the
+            // world count up front, which is exactly what a stopping rule
+            // does not know.
+            self.next_seq += 1;
+            let seed = self.rng.gen::<u64>();
+            let (merged, report) = run_adaptive_merged(
+                self.source,
+                observers,
+                num_worlds,
+                self.policy.threads.max(1),
+                seed,
+                &precision,
+            );
+            self.stats.worlds_sampled += report.worlds_used;
+            adaptive = Some(report);
+            merged
         } else {
             // One batch seed per micro-batch, mirroring `QueryBatch::run`'s
             // single caller-RNG draw; the same replay partitioning formula
@@ -480,11 +552,17 @@ impl Scheduler<'_> {
             self.stats.worlds_sampled += num_worlds;
             merged.expect("at least one worker ran")
         };
-        let (mut results, handles) = BatchResults::from_merged(merged, num_worlds);
+        let worlds_used = adaptive.map_or(num_worlds, |report| report.worlds_used);
+        let half_width = adaptive.map(|report| report.half_width);
+        let (mut results, handles) = BatchResults::from_merged(merged, worlds_used);
         for (submission, handle) in submissions.into_iter().zip(handles) {
             let reply = match results.try_take_boxed(handle) {
                 Ok(output) => match submission.spec.result_of(output) {
-                    Some(result) => Ok(result),
+                    Some(result) => Ok(QueryAnswer {
+                        result,
+                        worlds_used,
+                        half_width,
+                    }),
                     None => Err(ServiceError::Internal(
                         "observer output did not match its spec".to_string(),
                     )),
@@ -648,6 +726,65 @@ mod tests {
             results
         };
         assert_eq!(answers(1), answers(3));
+    }
+
+    #[test]
+    fn adaptive_policies_stop_early_and_report_their_effort() {
+        let policy = BatchPolicy {
+            precision: Some(Precision::new(0.05)),
+            ..policy(100_000, 2)
+        };
+        let service = QueryService::start(toy(), policy, 21);
+        let ticket = service.submit(QuerySpec::Connectivity);
+        let answer = ticket.wait_detailed().unwrap();
+        assert!(answer.worlds_used < 100_000, "stopped early");
+        assert!(answer.half_width.unwrap() <= 0.05, "target met");
+        match answer.result {
+            QueryResult::Connectivity(estimate) => {
+                assert_eq!(estimate.num_worlds, answer.worlds_used);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.worlds_sampled, answer.worlds_used);
+    }
+
+    #[test]
+    fn adaptive_worlds_consumed_are_worker_count_invariant() {
+        let run = |threads: usize| {
+            let policy = BatchPolicy {
+                precision: Some(Precision::new(0.05)),
+                ..policy(100_000, threads)
+            };
+            let service = QueryService::start(toy(), policy, 33);
+            let answer = service
+                .submit(QuerySpec::Connectivity)
+                .wait_detailed()
+                .unwrap();
+            service.shutdown();
+            answer
+        };
+        let baseline = run(1);
+        for threads in [2, 4] {
+            let answer = run(threads);
+            assert_eq!(
+                baseline.worlds_used, answer.worlds_used,
+                "threads {threads}"
+            );
+            assert_eq!(baseline.result, answer.result, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn fixed_budget_answers_carry_the_budget_and_no_half_width() {
+        let service = QueryService::start(toy(), policy(120, 1), 2);
+        let answer = service
+            .submit(QuerySpec::EdgeFrequency)
+            .wait_detailed()
+            .unwrap();
+        assert_eq!(answer.worlds_used, 120);
+        assert_eq!(answer.half_width, None);
+        service.shutdown();
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! `sp`, `degree-hist`, `edge-freq`, …).
 
 use std::any::Any;
+use std::time::Duration;
 
 use graph_algos::pagerank::PageRankConfig;
 use minijson::{ObjBuilder, Value};
@@ -30,6 +31,7 @@ use ugs_queries::components::{ConnectivityObserver, DegreeHistogramObserver};
 use ugs_queries::knn::KnnObserver;
 use ugs_queries::node_queries::{ClusteringObserver, PageRankObserver};
 use ugs_queries::pair_queries::PairQueriesObserver;
+use ugs_queries::variance::Precision;
 use ugs_queries::{ConnectivityEstimate, EdgeFrequencyObserver, Neighbor, PairQueryResult};
 
 /// A Monte-Carlo query described as data: one variant per query surface of
@@ -391,6 +393,84 @@ pub(crate) fn optional_usize(value: &Value, key: &str, default: usize) -> Result
             SpecError::Json(format!("field {key:?} must be a non-negative integer"))
         }),
     }
+}
+
+/// Parses an adaptive-precision block — the wire form of
+/// [`ugs_queries::variance::Precision`]:
+///
+/// ```json
+/// {"epsilon": 0.01, "delta": 0.05, "deadline_ms": 2000, "max_worlds": 50000}
+/// ```
+///
+/// `epsilon` is required (finite, positive); `delta` is optional in `(0, 1)`
+/// (default 0.05); `deadline_ms` and `max_worlds` are optional non-negative
+/// integers.  Unknown keys are rejected naming the allowed set, like the
+/// query-spec parsers.
+pub fn parse_precision(value: &Value) -> Result<Precision, SpecError> {
+    let entries = match value {
+        Value::Obj(entries) => entries,
+        _ => {
+            return Err(SpecError::Json(
+                "field \"precision\" must be an object".to_string(),
+            ))
+        }
+    };
+    const ALLOWED: [&str; 4] = ["epsilon", "delta", "deadline_ms", "max_worlds"];
+    for (key, _) in entries {
+        if !ALLOWED.contains(&key.as_str()) {
+            return Err(SpecError::Json(format!(
+                "unknown precision field {key:?}; expected epsilon|delta|deadline_ms|max_worlds"
+            )));
+        }
+    }
+    let epsilon = value
+        .get("epsilon")
+        .ok_or_else(|| {
+            SpecError::Json("a precision block requires a number \"epsilon\"".to_string())
+        })?
+        .as_f64()
+        .ok_or_else(|| SpecError::Json("field \"epsilon\" must be a number".to_string()))?;
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(SpecError::Json(format!(
+            "field \"epsilon\" must be a finite positive number, got {epsilon}"
+        )));
+    }
+    let mut precision = Precision::new(epsilon);
+    if let Some(v) = value.get("delta") {
+        let delta = v
+            .as_f64()
+            .ok_or_else(|| SpecError::Json("field \"delta\" must be a number".to_string()))?;
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SpecError::Json(format!(
+                "field \"delta\" must lie strictly between 0 and 1, got {delta}"
+            )));
+        }
+        precision = precision.with_delta(delta);
+    }
+    if value.get("deadline_ms").is_some() {
+        let ms = optional_usize(value, "deadline_ms", 0)?;
+        precision = precision.with_deadline(Duration::from_millis(ms as u64));
+    }
+    if value.get("max_worlds").is_some() {
+        precision = precision.with_max_worlds(optional_usize(value, "max_worlds", 0)?);
+    }
+    Ok(precision)
+}
+
+/// Renders a [`Precision`] back to its JSON block (inverse of
+/// [`parse_precision`]; the epoch size is an engine tuning knob, not part of
+/// the wire format).
+pub fn precision_to_json(precision: &Precision) -> Value {
+    let mut builder = ObjBuilder::new()
+        .field("epsilon", precision.epsilon)
+        .field("delta", precision.delta);
+    if let Some(deadline) = precision.deadline {
+        builder = builder.field("deadline_ms", deadline.as_millis() as usize);
+    }
+    if let Some(max_worlds) = precision.max_worlds {
+        builder = builder.field("max_worlds", max_worlds);
+    }
+    builder.build()
 }
 
 impl QueryResult {

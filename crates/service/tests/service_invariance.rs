@@ -70,6 +70,7 @@ fn run_service(
             threads: workers,
             mode,
             shards: 1,
+            precision: None,
         },
         seed,
     );
@@ -128,6 +129,7 @@ fn the_service_shards_exactly_like_query_batch() {
                     threads,
                     mode,
                     shards: 1,
+                    precision: None,
                 },
                 seed,
             );
@@ -163,6 +165,7 @@ fn worker_counts_beyond_the_world_budget_degrade_gracefully() {
                 threads: workers,
                 mode: SampleMethod::Skip,
                 shards: 1,
+                precision: None,
             },
             5,
         );

@@ -68,6 +68,7 @@ fn one_query_windows(mode: SampleMethod) -> BatchPolicy {
         threads: 1,
         mode,
         shards: 1,
+        precision: None,
     }
 }
 
@@ -220,6 +221,7 @@ fn a_mixed_micro_batch_equals_one_query_batch_with_the_same_observers() {
                 threads: 1,
                 mode,
                 shards: 1,
+                precision: None,
             },
             seed,
         );
@@ -239,5 +241,168 @@ fn a_mixed_micro_batch_equals_one_query_batch_with_the_same_observers() {
         }
         let stats = service.shutdown();
         assert_eq!(stats.micro_batches, 1, "{mode:?}: one shared window");
+    }
+}
+
+/// Adaptive micro-batches: the worlds consumed and the count-valued answers
+/// are a deterministic function of the service seed and the precision
+/// target, invariant over the worker count; and an adaptive batch equals a
+/// direct adaptive `QueryBatch` run on the same seed, because both consume
+/// the service stream's first draw as their batch seed.
+mod adaptive {
+    use super::*;
+    use rand::Rng;
+    use ugs_queries::variance::Precision;
+
+    fn adaptive_policy(mode: SampleMethod, threads: usize) -> BatchPolicy {
+        BatchPolicy {
+            max_wait: Duration::from_secs(3600),
+            max_queries: 1,
+            num_worlds: 100_000,
+            threads,
+            mode,
+            shards: 1,
+            precision: Some(Precision::new(0.05).with_epoch(64)),
+        }
+    }
+
+    #[test]
+    fn worlds_consumed_are_worker_count_invariant() {
+        for mode in MODES {
+            for seed in SEEDS {
+                let run = |threads: usize| {
+                    let service =
+                        QueryService::start(fixture(), adaptive_policy(mode, threads), seed);
+                    let answer = service
+                        .submit(QuerySpec::Connectivity)
+                        .wait_detailed()
+                        .unwrap();
+                    service.shutdown();
+                    answer
+                };
+                let baseline = run(1);
+                assert!(baseline.worlds_used < 100_000, "{mode:?}/{seed}: no stop");
+                assert!(baseline.half_width.unwrap() <= 0.05, "{mode:?}/{seed}");
+                for threads in [2, 4] {
+                    let answer = run(threads);
+                    let what = format!("{mode:?} seed {seed} threads {threads}");
+                    assert_eq!(baseline.worlds_used, answer.worlds_used, "{what}");
+                    // Count-valued fields are bit-identical over the worker
+                    // count (the service's standing contract; the isolated
+                    // *fraction* accumulates per-world divisions, so only
+                    // its association is worker-dependent, as on the fixed
+                    // path).
+                    let (base, est) = match (&baseline.result, &answer.result) {
+                        (QueryResult::Connectivity(a), QueryResult::Connectivity(b)) => (a, b),
+                        other => panic!("unexpected results {other:?}"),
+                    };
+                    assert_eq!(
+                        base.probability_connected.to_bits(),
+                        est.probability_connected.to_bits(),
+                        "{what}"
+                    );
+                    assert_eq!(
+                        base.expected_components.to_bits(),
+                        est.expected_components.to_bits(),
+                        "{what}"
+                    );
+                    assert_eq!(base.num_worlds, est.num_worlds, "{what}");
+                    assert_eq!(
+                        baseline.half_width.unwrap().to_bits(),
+                        answer.half_width.unwrap().to_bits(),
+                        "{what}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_micro_batches_match_a_direct_adaptive_query_batch() {
+        for mode in MODES {
+            for seed in SEEDS {
+                let service = QueryService::start(fixture(), adaptive_policy(mode, 1), seed);
+                let answer = service
+                    .submit(QuerySpec::Connectivity)
+                    .wait_detailed()
+                    .unwrap();
+                service.shutdown();
+
+                // The direct oracle: micro-batch 0 consumed the service
+                // stream's first draw, so seed a caller RNG the same way.
+                let g = fixture();
+                let mc = MonteCarlo::worlds(100_000)
+                    .with_method(mode)
+                    .with_precision(Precision::new(0.05).with_epoch(64));
+                let mut batch = QueryBatch::new(&g, &mc);
+                let handle = batch.register(ConnectivityObserver::new(&g));
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut results = batch.run(&mut rng);
+                let report = *results.adaptive().unwrap();
+                let direct = results.take(handle);
+
+                let what = format!("{mode:?} seed {seed}");
+                assert_eq!(answer.worlds_used, report.worlds_used, "{what}");
+                assert_eq!(
+                    answer.half_width.unwrap().to_bits(),
+                    report.half_width.to_bits(),
+                    "{what}"
+                );
+                match answer.result {
+                    QueryResult::Connectivity(estimate) => {
+                        assert_eq!(
+                            estimate.probability_connected.to_bits(),
+                            direct.probability_connected.to_bits(),
+                            "{what}"
+                        );
+                        assert_eq!(estimate.num_worlds, direct.num_worlds, "{what}");
+                    }
+                    other => panic!("unexpected result {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn the_adaptive_path_keeps_the_service_seed_discipline() {
+        // Micro-batch 1 of a mixed run must still consume the service
+        // stream's *second* draw, whether batch 0 was adaptive or not: an
+        // adaptive window never shifts the seeds of later windows.
+        let seed = 17;
+        let mode = SampleMethod::Skip;
+        let service = QueryService::start(fixture(), adaptive_policy(mode, 1), seed);
+        let _first = service.submit(QuerySpec::Connectivity).wait().unwrap();
+        let second = service.submit(QuerySpec::EdgeFrequency).wait().unwrap();
+        service.shutdown();
+
+        // Replay the service stream by hand: skip batch 0's draw, then run
+        // the merged adaptive driver on the second draw — the exact call
+        // the scheduler makes for micro-batch 1.
+        let g = fixture();
+        let mut stream = SmallRng::seed_from_u64(seed);
+        let _ = stream.gen::<u64>(); // batch 0's seed
+        let batch_seed = stream.gen::<u64>();
+        let engine = WorldEngine::new(&g).with_method(mode);
+        let observers = vec![BoxedObserver::new(EdgeFrequencyObserver::new(&g))];
+        let (merged, report) = run_adaptive_merged(
+            &engine,
+            observers,
+            100_000,
+            1,
+            batch_seed,
+            &Precision::new(0.05).with_epoch(64),
+        );
+        let (mut results, handles) = BatchResults::from_merged(merged, report.worlds_used);
+        let freq: Vec<f64> = *results
+            .try_take_boxed(handles[0])
+            .unwrap()
+            .downcast()
+            .unwrap();
+        match second {
+            QueryResult::EdgeFrequency(service_freq) => {
+                assert_bits_eq(&service_freq, &freq, "mixed-run micro-batch 1");
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
     }
 }

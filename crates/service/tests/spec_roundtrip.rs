@@ -3,7 +3,10 @@
 //! parameters survive exactly, and malformed documents fail with a
 //! [`SpecError`] instead of panicking.
 
-use ugs_service::{QueryPlan, QuerySpec, SpecError};
+use std::time::Duration;
+
+use ugs_queries::variance::Precision;
+use ugs_service::{parse_precision, precision_to_json, QueryPlan, QuerySpec, SpecError};
 
 fn all_variants() -> Vec<QuerySpec> {
     vec![
@@ -54,12 +57,87 @@ fn plans_round_trip_with_their_embedded_specs() {
         shards: 2,
         mode: ugs_queries::SampleMethod::PerEdge,
         seed: 77,
+        precision: None,
         queries: all_variants(),
     };
     let back = QueryPlan::parse(&plan.to_json()).unwrap();
     assert_eq!(back, plan);
     let back = QueryPlan::parse_str(&plan.to_json().render()).unwrap();
     assert_eq!(back, plan);
+}
+
+#[test]
+fn precision_blocks_round_trip_through_json() {
+    for precision in [
+        Precision::new(0.01),
+        Precision::new(0.05).with_delta(0.1),
+        Precision::new(0.02)
+            .with_delta(0.25)
+            .with_deadline(Duration::from_millis(1500))
+            .with_max_worlds(40_000),
+    ] {
+        let json = precision_to_json(&precision);
+        let back = parse_precision(&json).unwrap_or_else(|e| panic!("{}: {e}", json.render()));
+        assert_eq!(back, precision, "{}", json.render());
+    }
+}
+
+#[test]
+fn plans_round_trip_their_precision_block() {
+    let plan = QueryPlan::parse_str(
+        r#"{"worlds": 5000, "seed": 3,
+            "precision": {"epsilon": 0.02, "delta": 0.1, "max_worlds": 4000},
+            "queries": [{"type": "connectivity"}]}"#,
+    )
+    .unwrap();
+    let precision = plan.precision.expect("parsed precision");
+    assert_eq!(precision.epsilon, 0.02);
+    assert_eq!(precision.delta, 0.1);
+    assert_eq!(precision.max_worlds, Some(4000));
+    assert_eq!(precision.deadline, None);
+    let back = QueryPlan::parse(&plan.to_json()).unwrap();
+    assert_eq!(back, plan);
+}
+
+#[test]
+fn malformed_precision_blocks_fail_with_named_errors() {
+    // (document, fragment the error must mention)
+    for (bad, needle) in [
+        (r#"{"precision": 3}"#, "must be an object"),
+        (r#"{"precision": {}}"#, "epsilon"),
+        (r#"{"precision": {"epsilon": "tight"}}"#, "must be a number"),
+        (r#"{"precision": {"epsilon": 0}}"#, "finite positive"),
+        (r#"{"precision": {"epsilon": -0.5}}"#, "finite positive"),
+        (
+            r#"{"precision": {"epsilon": 0.1, "delta": 1.5}}"#,
+            "strictly between 0 and 1",
+        ),
+        (
+            r#"{"precision": {"epsilon": 0.1, "delta": 0}}"#,
+            "strictly between 0 and 1",
+        ),
+        (
+            r#"{"precision": {"epsilon": 0.1, "deadline_ms": -2}}"#,
+            "non-negative integer",
+        ),
+        // Unknown keys are rejected naming the allowed set.
+        (
+            r#"{"precision": {"epsilon": 0.1, "budget": 9}}"#,
+            "epsilon|delta|deadline_ms|max_worlds",
+        ),
+    ] {
+        let doc = format!(
+            r#"{{"queries": [{{"type": "connectivity"}}], {}"#,
+            &bad[1..]
+        );
+        match QueryPlan::parse_str(&doc) {
+            Err(SpecError::Json(message)) => {
+                assert!(message.contains(needle), "{doc}: {message}");
+                assert!(message.contains("precision"), "{doc}: {message}");
+            }
+            other => panic!("{doc}: expected SpecError::Json, got {other:?}"),
+        }
+    }
 }
 
 #[test]
