@@ -1,0 +1,208 @@
+//! TCP front-end end-to-end cost: closed-loop mixed-plan round-trips over
+//! loopback against `ugs-server`, cold cache (every plan executes) vs warm
+//! cache (every plan replays bit-identically from the deterministic result
+//! cache).  Reports throughput and tail latency; recorded in
+//! `BENCH_server.json`.
+//!
+//! The warm numbers isolate the protocol + cache path (parse, key lookup,
+//! report render, socket round-trip) from Monte-Carlo execution — the gap
+//! between the two is what the cache buys a dashboard that re-asks the same
+//! plans.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uncertain_graph::UncertainGraph;
+
+use ugs_datasets::{erdos_renyi, ProbabilityModel};
+use ugs_server::{serve, LineClient, ServerConfig};
+
+const WORLDS: usize = 256;
+const MEAN_P: f64 = 0.09;
+/// Distinct plans in the working set (seeds 0..PLANS × two query mixes).
+const PLANS: usize = 8;
+const COLD_REQUESTS: usize = 2 * PLANS;
+const WARM_REQUESTS: usize = 120;
+
+fn flickr_regime_graph() -> UncertainGraph {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    erdos_renyi(400, 0.05, ProbabilityModel::Fixed(MEAN_P), &mut rng)
+}
+
+/// The `i`-th plan of the closed-loop schedule: seeds cycle through the
+/// working set, the query mix alternates.
+fn plan(i: usize) -> String {
+    let seed = i % PLANS;
+    let queries = if i.is_multiple_of(2) {
+        r#"[{"type": "connectivity"}, {"type": "edge_frequency"}]"#
+    } else {
+        r#"[{"type": "pagerank"}, {"type": "degree_histogram"}]"#
+    };
+    format!(r#"{{"worlds": {WORLDS}, "seed": {seed}, "queries": {queries}}}"#)
+}
+
+/// One closed-loop round-trip: submit, poll to delivery, measure.
+fn round_trip(client: &mut LineClient, plan: &str) -> Duration {
+    let started = Instant::now();
+    let accepted = client.submit(plan).expect("submit");
+    assert_eq!(
+        accepted.get_str("status"),
+        Some("ok"),
+        "{}",
+        accepted.render()
+    );
+    let job = accepted.get_usize("job").expect("job id") as u64;
+    black_box(client.wait_for_report(job).expect("report"));
+    started.elapsed()
+}
+
+struct Distribution {
+    total: Duration,
+    p50: Duration,
+    p99: Duration,
+    requests: usize,
+}
+
+impl Distribution {
+    fn from_latencies(mut latencies: Vec<Duration>) -> Self {
+        let total = latencies.iter().sum();
+        let requests = latencies.len();
+        latencies.sort();
+        let pick = |q: f64| latencies[((requests - 1) as f64 * q).round() as usize];
+        Distribution {
+            total,
+            p50: pick(0.50),
+            p99: pick(0.99),
+            requests,
+        }
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / self.total.as_secs_f64().max(1e-9)
+    }
+}
+
+struct Measurement {
+    cold: Distribution,
+    warm: Distribution,
+    cache_hits: u64,
+}
+
+fn measure(g: &UncertainGraph) -> Measurement {
+    let server = serve(
+        g.clone(),
+        ServerConfig {
+            executors: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = LineClient::connect(server.addr()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+
+    // Cold: the working set is unseen, every request executes its plan.
+    let cold = Distribution::from_latencies(
+        (0..COLD_REQUESTS)
+            .map(|i| round_trip(&mut client, &plan(i)))
+            .collect(),
+    );
+    // Warm: the same plans again (several passes), all served from cache.
+    let warm = Distribution::from_latencies(
+        (0..WARM_REQUESTS)
+            .map(|i| round_trip(&mut client, &plan(i % COLD_REQUESTS)))
+            .collect(),
+    );
+    let cache_hits = server.cache_stats().hits;
+    server.shutdown();
+    Measurement {
+        cold,
+        warm,
+        cache_hits,
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    num / den.max(1e-9)
+}
+
+fn server_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100));
+
+    let g = flickr_regime_graph();
+    let m = measure(&g);
+
+    for (name, duration) in [
+        ("cold_p50", m.cold.p50),
+        ("cold_p99", m.cold.p99),
+        ("warm_p50", m.warm.p50),
+        ("warm_p99", m.warm.p99),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, MEAN_P), &duration, |b, &d| {
+            // Report the externally measured duration through the
+            // criterion-style output (one no-op iteration).
+            b.iter(|| black_box(d));
+        });
+    }
+    group.finish();
+
+    println!(
+        "p̄ = {MEAN_P}  worlds = {WORLDS}  plans = {COLD_REQUESTS}  \
+         cold {:.1} req/s (p50 {:.2?}, p99 {:.2?})  \
+         warm {:.1} req/s (p50 {:.2?}, p99 {:.2?})  cache hits {}",
+        m.cold.throughput_rps(),
+        m.cold.p50,
+        m.cold.p99,
+        m.warm.throughput_rps(),
+        m.warm.p50,
+        m.warm.p99,
+        m.cache_hits,
+    );
+    write_trajectory(&m);
+}
+
+/// Persists the measured round-trip costs as `BENCH_server.json` at the
+/// repo root.
+fn write_trajectory(m: &Measurement) {
+    let json = format!(
+        "{{\n  \"benchmark\": \"server\",\n  \
+         \"graph\": \"erdos_renyi(400 vertices, 5% density, p = {MEAN_P})\",\n  \
+         \"worlds\": {WORLDS},\n  \"distinct_plans\": {COLD_REQUESTS},\n  \
+         \"mix\": [\"connectivity+edge_frequency\", \"pagerank+degree_histogram\"],\n  \
+         \"protocol\": \"line-delimited JSON over loopback TCP, closed loop\",\n  \
+         \"notes\": \"submit + poll-to-delivery round-trips; cold = unseen plans (full \
+         Monte-Carlo execution), warm = identical plans replayed bit-identically from the \
+         deterministic result cache\",\n  \
+         \"cold_requests\": {},\n  \"warm_requests\": {},\n  \
+         \"cold_throughput_rps\": {:.1},\n  \"warm_throughput_rps\": {:.1},\n  \
+         \"cold_p50_ns\": {},\n  \"cold_p99_ns\": {},\n  \
+         \"warm_p50_ns\": {},\n  \"warm_p99_ns\": {},\n  \
+         \"warm_over_cold_throughput\": {:.2},\n  \"cache_hits\": {}\n}}\n",
+        m.cold.requests,
+        m.warm.requests,
+        m.cold.throughput_rps(),
+        m.warm.throughput_rps(),
+        m.cold.p50.as_nanos(),
+        m.cold.p99.as_nanos(),
+        m.warm.p50.as_nanos(),
+        m.warm.p99.as_nanos(),
+        ratio(m.warm.throughput_rps(), m.cold.throughput_rps()),
+        m.cache_hits,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write BENCH_server.json: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, server_bench);
+criterion_main!(benches);

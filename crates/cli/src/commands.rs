@@ -149,6 +149,16 @@ const SESSION_OPTIONS: &[&str] = &[
     "top",
     "source",
 ];
+const SERVE_OPTIONS: &[&str] = &[
+    "addr",
+    "executors",
+    "queue",
+    "max-inflight",
+    "cache-bytes",
+    "max-plan-threads",
+    "announce",
+];
+const REQUEST_OPTIONS: &[&str] = &["op", "plan", "compact", "timeout-ms"];
 const HELP_OPTIONS: &[&str] = &[];
 
 const COMMANDS: &[CommandHelp] = &[
@@ -249,6 +259,28 @@ const COMMANDS: &[CommandHelp] = &[
                QueryService, which micro-batches them by arrival window and
                shards each batch's world budget across `workers` persistent
                engine workers (--workers 0 = all cores).",
+    },
+    CommandHelp {
+        name: "serve",
+        usage: "serve      <graph.txt> [--addr HOST:PORT] [--executors N] [--queue N]
+               [--max-inflight N] [--cache-bytes N] [--max-plan-threads N]
+               [--announce FILE]
+               Serve the graph over a line-delimited JSON TCP protocol
+               (submit/poll/cancel on query-plan documents) with a
+               deterministic result cache and typed admission control.
+               --addr defaults to 127.0.0.1:0 (a free loopback port; the
+               bound address is printed to stderr and, with --announce,
+               written to FILE).  Runs until a client sends
+               {\"op\": \"shutdown\"}.",
+    },
+    CommandHelp {
+        name: "request",
+        usage: "request    <host:port> [--op ping|stats|shutdown] [--plan FILE]
+               [--timeout-ms MS] [--compact]
+               Talk to a running `ugs serve` instance.  --plan submits the
+               JSON plan document in FILE (no \"graph\" field: the server
+               owns its graph), polls until the report arrives and prints
+               it; otherwise --op sends a single control request.",
     },
     CommandHelp {
         name: "help",
@@ -1077,6 +1109,96 @@ pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
+/// `ugs serve`: run the TCP query front-end over a graph until a client
+/// sends `{"op": "shutdown"}`.
+pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_options(SERVE_OPTIONS)?;
+    let path = args.positional(0, "graph.txt")?;
+    let graph = load(path)?;
+    let config = ugs_server::ServerConfig {
+        addr: args.option_or("addr", "127.0.0.1:0"),
+        executors: args.usize_or("executors", 2)?.max(1),
+        queue_capacity: args.usize_or("queue", 64)?.max(1),
+        max_inflight: args.usize_or("max-inflight", 8)?.max(1),
+        cache_bytes: args.usize_or("cache-bytes", 1 << 20)?,
+        max_plan_threads: args.usize_or("max-plan-threads", 8)?.max(1),
+    };
+    let handle = ugs_server::serve(graph, config)
+        .map_err(|e| CliError::Message(format!("cannot serve: {e}")))?;
+    let addr = handle.addr();
+    if let Some(announce) = args.options.get("announce") {
+        std::fs::write(announce, addr.to_string())
+            .map_err(|e| CliError::Message(format!("cannot write {announce:?}: {e}")))?;
+    }
+    eprintln!(
+        "serving {path} on {addr} (line-delimited JSON; send {{\"op\": \"shutdown\"}} to stop)"
+    );
+    handle.wait();
+    Ok(format!("server on {addr} stopped"))
+}
+
+/// `ugs request`: one round-trip against a running `ugs serve` instance —
+/// either a control op or a plan submission polled to completion.
+pub fn request(args: &ParsedArgs) -> Result<String, CliError> {
+    use std::time::Duration;
+
+    args.expect_options(REQUEST_OPTIONS)?;
+    let addr = args.positional(0, "host:port")?;
+    let timeout = Duration::from_millis(args.u64_or("timeout-ms", 30_000)?);
+    let mut client = ugs_server::LineClient::connect(addr)
+        .map_err(|e| CliError::Message(format!("cannot connect to {addr}: {e}")))?;
+    client
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| CliError::Message(e.to_string()))?;
+    let render = |value: &minijson::Value| {
+        if args.flag("compact") {
+            value.render()
+        } else {
+            value.pretty()
+        }
+    };
+    if let Some(plan_path) = args.options.get("plan") {
+        let text = std::fs::read_to_string(plan_path)
+            .map_err(|e| CliError::Message(format!("cannot read plan {plan_path:?}: {e}")))?;
+        // Re-render to one line: the wire protocol frames by newline, and a
+        // plan file is usually pretty-printed.
+        let plan = minijson::Value::parse(&text)
+            .map_err(|e| CliError::Message(format!("{plan_path}: {e}")))?;
+        let accepted = client
+            .submit(&plan.render())
+            .map_err(|e| CliError::Message(format!("submit failed: {e}")))?;
+        if accepted.get_str("status") != Some("ok") {
+            return Err(CliError::Message(format!(
+                "server refused the plan: {}",
+                accepted.render()
+            )));
+        }
+        let job = accepted
+            .get_usize("job")
+            .ok_or_else(|| CliError::Message("submit response names no job".to_string()))?;
+        let report = client
+            .wait_for_report(job as u64)
+            .map_err(|e| CliError::Message(format!("poll failed: {e}")))?;
+        return Ok(render(&report));
+    }
+    let op = args.option_or("op", "ping");
+    if !matches!(op.as_str(), "ping" | "stats" | "shutdown") {
+        return Err(CliError::Message(format!(
+            "unknown op {op:?}; expected ping|stats|shutdown (or --plan FILE)"
+        )));
+    }
+    let response = client
+        .request(&format!(r#"{{"op": "{op}"}}"#))
+        .map_err(|e| CliError::Message(format!("{op} failed: {e}")))?;
+    if response.get_str("status") != Some("ok") {
+        return Err(CliError::Message(format!(
+            "server answered: {}",
+            response.render()
+        )));
+    }
+    Ok(render(&response))
+}
+
 /// Dispatches a parsed command line.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     match args.command.as_str() {
@@ -1089,6 +1211,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "plan" => plan(args),
         "partition" => partition(args),
         "session" => session(args),
+        "serve" => serve(args),
+        "request" => request(args),
         "help" | "--help" | "-h" => {
             args.expect_options(HELP_OPTIONS)?;
             match args.positionals.first() {
@@ -1851,5 +1975,71 @@ mod tests {
         assert!(loose_worlds <= worlds_used, "{loose_report}");
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&plan_path).ok();
+    }
+
+    #[test]
+    fn serve_and_request_round_trip_over_loopback() {
+        let input = write_toy_graph("serve-input.txt");
+        let announce = temp_path("serve-addr.txt").to_string_lossy().to_string();
+        std::fs::remove_file(&announce).ok();
+        let plan_path = temp_path("serve-plan.json").to_string_lossy().to_string();
+        std::fs::write(
+            &plan_path,
+            "{\n  \"worlds\": 60,\n  \"seed\": 3,\n  \"queries\": [{\"type\": \"connectivity\"}, {\"type\": \"edge_frequency\"}]\n}\n",
+        )
+        .unwrap();
+
+        let serve_args = ParsedArgs::parse([
+            "serve",
+            input.as_str(),
+            "--addr",
+            "127.0.0.1:0",
+            "--announce",
+            &announce,
+        ])
+        .unwrap();
+        let server = std::thread::spawn(move || run(&serve_args).unwrap());
+        // The announce file is the handshake: wait for the bound address.
+        let addr = loop {
+            match std::fs::read_to_string(&announce) {
+                Ok(addr) if !addr.is_empty() => break addr,
+                _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        };
+
+        let ping = ParsedArgs::parse(["request", &addr, "--op", "ping", "--compact"]).unwrap();
+        assert!(run(&ping).unwrap().contains("pong"));
+
+        let submit =
+            ParsedArgs::parse(["request", &addr, "--plan", &plan_path, "--compact"]).unwrap();
+        let report = run(&submit).unwrap();
+        assert!(report.contains("\"results\""), "{report}");
+        assert!(report.contains("fingerprint:"), "{report}");
+        // Identical resubmission is served from the cache, bit-identically.
+        assert_eq!(run(&submit).unwrap(), report);
+
+        let stats = ParsedArgs::parse(["request", &addr, "--op", "stats", "--compact"]).unwrap();
+        let stats_report = run(&stats).unwrap();
+        assert!(stats_report.contains("\"hits\""), "{stats_report}");
+
+        let shutdown =
+            ParsedArgs::parse(["request", &addr, "--op", "shutdown", "--compact"]).unwrap();
+        assert!(run(&shutdown).unwrap().contains("stopping"));
+        let farewell = server.join().unwrap();
+        assert!(farewell.contains("stopped"), "{farewell}");
+
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&announce).ok();
+        std::fs::remove_file(&plan_path).ok();
+    }
+
+    #[test]
+    fn request_rejects_bad_targets_and_ops_typed() {
+        let bad_op = ParsedArgs::parse(["request", "127.0.0.1:1", "--op", "warp"]).unwrap();
+        let message = run(&bad_op).unwrap_err().to_string();
+        assert!(message.contains("cannot connect") || message.contains("unknown op"));
+        let unknown_option =
+            ParsedArgs::parse(["request", "127.0.0.1:1", "--frobnicate", "yes"]).unwrap();
+        assert!(run(&unknown_option).is_err());
     }
 }

@@ -424,6 +424,14 @@ pub enum BatchError {
         /// The handle's slot index.
         index: usize,
     },
+    /// The observer cannot register with this batch: the batch is sharded
+    /// ([`QueryBatch::from_sharded`]) and the observer has no cut-aware
+    /// path. Returned by [`QueryBatch::try_register`] /
+    /// [`QueryBatch::try_register_boxed`].
+    Unsupported {
+        /// The observer's declared [`ShardSupport`].
+        support: ShardSupport,
+    },
 }
 
 impl std::fmt::Display for BatchError {
@@ -437,6 +445,11 @@ impl std::fmt::Display for BatchError {
             BatchError::AlreadyTaken { index } => {
                 write!(f, "observer result already taken (slot {index})")
             }
+            BatchError::Unsupported { support } => write!(
+                f,
+                "observer has no cut-aware path and cannot register with a sharded batch \
+                 (declared {support:?}; validate the query against the shard configuration first)"
+            ),
         }
     }
 }
@@ -554,49 +567,78 @@ impl<'g> QueryBatch<'g> {
         }
     }
 
-    fn assert_admits(&self, support: ShardSupport) {
-        assert!(
-            self.admits(support),
-            "observer has no cut-aware path and cannot register with a sharded batch \
-             (validate the query against the shard configuration first)"
-        );
+    fn check_admits(&self, support: ShardSupport) -> Result<(), BatchError> {
+        if self.admits(support) {
+            Ok(())
+        } else {
+            Err(BatchError::Unsupported { support })
+        }
     }
 
-    /// Registers an observer; the returned typed handle redeems its result
-    /// from [`BatchResults::take`] after [`QueryBatch::run`].
+    /// Fallibly registers an observer; the returned typed handle redeems
+    /// its result from [`BatchResults::take`] after [`QueryBatch::run`].
+    ///
+    /// Returns [`BatchError::Unsupported`] when the batch is sharded
+    /// ([`QueryBatch::from_sharded`]) and the observer is
+    /// [`ShardSupport::MonolithicOnly`]. This is the path front-ends such
+    /// as `ugs-service` build on; the panicking [`QueryBatch::register`]
+    /// wrapper exists only for callers that validated support up front.
+    pub fn try_register<O: WorldObserver>(
+        &mut self,
+        observer: O,
+    ) -> Result<ObserverHandle<O>, BatchError> {
+        self.check_admits(observer.shard_support())?;
+        let index = self.observers.len();
+        self.observers.push(Box::new(observer));
+        Ok(ObserverHandle {
+            batch: self.id,
+            index,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Registers an observer; thin shim over [`QueryBatch::try_register`]
+    /// kept for callers that validated shard support up front — prefer the
+    /// fallible path in new code.
     ///
     /// # Panics
     ///
     /// Panics when the batch is sharded ([`QueryBatch::from_sharded`]) and
     /// the observer is [`ShardSupport::MonolithicOnly`].
     pub fn register<O: WorldObserver>(&mut self, observer: O) -> ObserverHandle<O> {
-        self.assert_admits(observer.shard_support());
-        let index = self.observers.len();
-        self.observers.push(Box::new(observer));
-        ObserverHandle {
-            batch: self.id,
-            index,
-            _marker: PhantomData,
-        }
+        self.try_register(observer)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Registers a type-erased observer (a dynamic registry entry — see the
-    /// [module docs](self#the-dynobserver-layer)); the returned untyped
-    /// handle redeems the boxed output from
+    /// Fallibly registers a type-erased observer (a dynamic registry entry
+    /// — see the [module docs](self#the-dynobserver-layer)); the returned
+    /// untyped handle redeems the boxed output from
     /// [`BatchResults::try_take_boxed`] after [`QueryBatch::run`].
+    ///
+    /// Returns [`BatchError::Unsupported`] when the batch is sharded
+    /// ([`QueryBatch::from_sharded`]) and the observer is
+    /// [`ShardSupport::MonolithicOnly`].
+    pub fn try_register_boxed(&mut self, observer: BoxedObserver) -> Result<DynHandle, BatchError> {
+        self.check_admits(observer.shard_support())?;
+        let index = self.observers.len();
+        self.observers.push(observer.0);
+        Ok(DynHandle {
+            batch: self.id,
+            index,
+        })
+    }
+
+    /// Registers a type-erased observer; thin shim over
+    /// [`QueryBatch::try_register_boxed`] kept for callers that validated
+    /// shard support up front — prefer the fallible path in new code.
     ///
     /// # Panics
     ///
     /// Panics when the batch is sharded ([`QueryBatch::from_sharded`]) and
     /// the observer is [`ShardSupport::MonolithicOnly`].
     pub fn register_boxed(&mut self, observer: BoxedObserver) -> DynHandle {
-        self.assert_admits(observer.shard_support());
-        let index = self.observers.len();
-        self.observers.push(observer.0);
-        DynHandle {
-            batch: self.id,
-            index,
-        }
+        self.try_register_boxed(observer)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Samples the worlds (each exactly once per worker stream) and feeds
@@ -787,6 +829,20 @@ fn drive_adaptive<S: WorldSource>(
     let epoch = precision.epoch.max(1);
     let threads = threads.clamp(1, cap);
     let started = Instant::now();
+    // An already-expired deadline (e.g. `deadline_ms = 0`) stops the run
+    // before the first epoch is paid for: `worlds_used` is deterministically
+    // zero and the observers come back pristine, instead of charging a full
+    // epoch just to notice at the first checkpoint.
+    if rule.deadline_expired(started) {
+        let report = AdaptiveReport {
+            worlds_used: 0,
+            epochs: 0,
+            half_width: f64::INFINITY,
+            tracked: tracked.len(),
+            stopped: StopReason::DeadlineExpired,
+        };
+        return (observers, report);
+    }
 
     if threads == 1 {
         let mut worker_rng = SmallRng::seed_from_u64(seed);
@@ -1288,6 +1344,65 @@ mod tests {
             results_b.try_take(handle_b),
             Err(BatchError::AlreadyTaken { index: 0 })
         );
+    }
+
+    /// A deliberately `MonolithicOnly` observer (default `shard_support`).
+    #[derive(Debug, Clone)]
+    struct MonolithicProbe;
+
+    impl WorldObserver for MonolithicProbe {
+        type Output = ();
+
+        fn observe(&mut self, _world: &WorldScratch) {}
+
+        fn merge(&mut self, _other: Self) {}
+
+        fn finalize(self, _num_worlds: usize) {}
+    }
+
+    #[test]
+    fn try_register_rejects_unsupported_observers_with_a_typed_error() {
+        use crate::sharded::ShardedWorldEngine;
+        use uncertain_graph::GraphPartition;
+
+        let g = toy();
+        let partition = GraphPartition::contiguous(&g, 2).unwrap();
+        let engine = ShardedWorldEngine::new(&g, &partition);
+        let mut batch = QueryBatch::from_sharded(&engine, 10, 1);
+        let err = batch.try_register(MonolithicProbe).unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::Unsupported {
+                support: ShardSupport::MonolithicOnly
+            }
+        );
+        let err = batch
+            .try_register_boxed(BoxedObserver::new(MonolithicProbe))
+            .unwrap_err();
+        assert!(matches!(err, BatchError::Unsupported { .. }));
+        assert_eq!(
+            batch.num_observers(),
+            0,
+            "failed registrations leave no slot"
+        );
+        // Cut-aware observers still register, typed and boxed alike.
+        assert!(batch.try_register(EdgeFrequencyObserver::new(&g)).is_ok());
+        // Monolithic batches admit everything.
+        let mut mono = QueryBatch::new(&g, &MonteCarlo::worlds(5));
+        assert!(mono.try_register(MonolithicProbe).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "no cut-aware path")]
+    fn register_shim_still_panics_on_unsupported_observers() {
+        use crate::sharded::ShardedWorldEngine;
+        use uncertain_graph::GraphPartition;
+
+        let g = toy();
+        let partition = GraphPartition::contiguous(&g, 2).unwrap();
+        let engine = ShardedWorldEngine::new(&g, &partition);
+        let mut batch = QueryBatch::from_sharded(&engine, 10, 1);
+        let _ = batch.register(MonolithicProbe);
     }
 
     #[test]

@@ -131,22 +131,32 @@ fn max_worlds_caps_the_run() {
 }
 
 #[test]
-fn an_expired_deadline_stops_after_the_first_epoch() {
+fn an_expired_deadline_stops_before_the_first_epoch() {
+    // An already-expired deadline (deadline_ms = 0) must not charge a full
+    // epoch of sampling: the run stops deterministically with zero worlds,
+    // pristine observers, and no RNG state beyond the single seed draw —
+    // on every thread count.
     let g = fixture();
-    let mc = MonteCarlo::worlds(100_000)
-        .with_method(SampleMethod::Skip)
-        .with_precision(
-            Precision::new(1e-9)
-                .with_epoch(64)
-                .with_deadline(Duration::ZERO),
-        );
-    let mut batch = QueryBatch::new(&g, &mc);
-    let _ = batch.register(ConnectivityObserver::new(&g));
-    let mut rng = SmallRng::seed_from_u64(7);
-    let results = batch.run(&mut rng);
-    let report = *results.adaptive().unwrap();
-    assert_eq!(report.stopped, StopReason::DeadlineExpired);
-    assert_eq!(report.worlds_used, 64, "deadline checked at epoch boundary");
+    for threads in [1, 4] {
+        let mc = MonteCarlo::worlds(100_000)
+            .with_method(SampleMethod::Skip)
+            .with_threads(threads)
+            .with_precision(
+                Precision::new(1e-9)
+                    .with_epoch(64)
+                    .with_deadline(Duration::ZERO),
+            );
+        let mut batch = QueryBatch::new(&g, &mc);
+        let handle = batch.register(EdgeFrequencyObserver::new(&g));
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut results = batch.run(&mut rng);
+        let report = *results.adaptive().unwrap();
+        assert_eq!(report.stopped, StopReason::DeadlineExpired);
+        assert_eq!(report.worlds_used, 0, "threads {threads}: no epoch paid");
+        assert_eq!(report.epochs, 0);
+        assert!(report.half_width.is_infinite());
+        assert_eq!(results.take(handle), vec![0.0; g.num_edges()]);
+    }
 }
 
 #[test]

@@ -1,0 +1,99 @@
+//! A minimal line-protocol client: one request line out, one response line
+//! back.  The integration suite, the CLI's `request` subcommand and the
+//! benches all speak through this.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use minijson::Value;
+
+/// A blocking line-delimited JSON client over one TCP connection.
+pub struct LineClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl LineClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<LineClient> {
+        let writer = TcpStream::connect(addr)?;
+        // Request/response lines are tiny; Nagle + delayed ACK would add
+        // tens of milliseconds per round-trip.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(LineClient { reader, writer })
+    }
+
+    /// Arms a read timeout, so a test can assert "the server answered (or
+    /// closed) within the deadline" instead of hanging on a regression.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one raw line (no trailing newline needed) and reads back one
+    /// raw response line.  `Ok(None)` means the server closed the
+    /// connection (EOF) — distinct from an error, because graceful shutdown
+    /// is *supposed* to close sockets.
+    pub fn request_raw(&mut self, line: &str) -> io::Result<Option<String>> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Sends one request and parses the response line into a
+    /// [`Value`]; EOF and unparseable responses surface as `io::Error`.
+    pub fn request(&mut self, line: &str) -> io::Result<Value> {
+        let response = self.request_raw(line)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Value::parse(&response)
+            .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error.to_string()))
+    }
+
+    /// Reads one line without sending anything (used to observe the EOF a
+    /// graceful shutdown delivers).  `Ok(None)` is EOF.
+    pub fn read_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line)? {
+            0 => Ok(None),
+            _ => Ok(Some(line.trim_end().to_string())),
+        }
+    }
+
+    /// Submits a plan document (the inner `{"worlds": …, "queries": […]}`
+    /// object as a JSON string) and returns the parsed response.
+    pub fn submit(&mut self, plan_json: &str) -> io::Result<Value> {
+        self.request(&format!(r#"{{"op": "submit", "plan": {plan_json}}}"#))
+    }
+
+    /// Polls a job once.
+    pub fn poll(&mut self, job: u64) -> io::Result<Value> {
+        self.request(&format!(r#"{{"op": "poll", "job": {job}}}"#))
+    }
+
+    /// Cancels a job.
+    pub fn cancel(&mut self, job: u64) -> io::Result<Value> {
+        self.request(&format!(r#"{{"op": "cancel", "job": {job}}}"#))
+    }
+
+    /// Polls `job` until its report arrives, sleeping briefly between
+    /// probes; returns the `report` field of the final response.  Errors on
+    /// any non-ok response.
+    pub fn wait_for_report(&mut self, job: u64) -> io::Result<Value> {
+        loop {
+            let response = self.poll(job)?;
+            if response.get_str("status") != Some("ok") {
+                return Err(io::Error::other(response.render()));
+            }
+            if response.get("done").and_then(Value::as_bool) == Some(true) {
+                let report = response.get("report").cloned().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "done poll without a report")
+                })?;
+                return Ok(report);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! A panic-free TCP query front-end for the uncertain-graph query service:
+//! thread-per-connection, line-delimited JSON, with a deterministic result
+//! cache, typed admission control and graceful shutdown.
+//!
+//! Start a server with [`serve`]; talk to it with [`LineClient`] (or any
+//! newline-framed socket client).  Every request is **one line** of JSON,
+//! every response is **one line** of JSON — no client input can panic a
+//! worker, hang a ticket, or kill the connection.
+//!
+//! # Wire protocol
+//!
+//! Requests are JSON objects with a string `op` field.  Unknown ops,
+//! unknown fields, malformed JSON and oversized lines (over
+//! [`protocol::MAX_LINE_BYTES`]) are answered with the error envelope and
+//! the connection stays up.
+//!
+//! | request | response on success |
+//! |---------|---------------------|
+//! | `{"op": "submit", "plan": {…}}` | `{"status": "ok", "job": N, "cached": bool}` |
+//! | `{"op": "poll", "job": N}` | `{"status": "ok", "job": N, "done": false}` or `{"status": "ok", "job": N, "done": true, "report": {…}}` |
+//! | `{"op": "cancel", "job": N}` | `{"status": "ok", "job": N, "cancelled": true}` |
+//! | `{"op": "stats"}` | `{"status": "ok", "graph": …, "jobs": {…}, "cache": {…}}` |
+//! | `{"op": "ping"}` | `{"status": "ok", "pong": true}` |
+//! | `{"op": "shutdown"}` | `{"status": "ok", "stopping": true}`, then sockets close |
+//!
+//! The `plan` document is a [`ugs_service::QueryPlan`] **without** a
+//! `graph` field (the server owns its graph): `worlds`, `threads`,
+//! `shards`, `mode`, `seed`, an optional adaptive `precision` block, and
+//! the `queries` array.  The `report` of a finished job is byte-identical
+//! to what `QueryPlan::run_report` prints for the same plan against the
+//! same graph, with the graph labelled `fingerprint:<hex>`.
+//!
+//! ## Error envelope
+//!
+//! Every failure is one line of
+//! `{"status": "error", "code": "<code>", "message": "…"}` with `code` one
+//! of `bad_request`, `unknown_op`, `plan`, `over_budget` (the connection's
+//! [`ServerConfig::max_inflight`] budget), `overloaded` (the bounded
+//! server-wide queue is full), `unknown_job`, `shutting_down`, `internal` —
+//! see [`protocol::ErrorCode`].  Job ids are per-connection; a delivered or
+//! cancelled job's id answers `unknown_job` afterwards.
+//!
+//! ## Result cache
+//!
+//! Answers are cached under their exact replay identity — graph
+//! fingerprint, seed, worlds/threads/shards/mode, precision block and the
+//! canonical query spec (adaptive plans additionally hash the whole query
+//! mix) — under an LRU byte budget.  A cache hit is **bit-identical** to a
+//! fresh run; see the [`cache`] module docs for the full key definition and
+//! why fixed-budget answers may be reused across plans while adaptive
+//! answers may not.
+//!
+//! # Example
+//!
+//! ```
+//! use uncertain_graph::UncertainGraph;
+//! use ugs_server::{serve, LineClient, ServerConfig};
+//!
+//! let graph = UncertainGraph::from_edges(3, [(0, 1, 0.9), (1, 2, 0.5)]).unwrap();
+//! let server = serve(graph, ServerConfig::default()).unwrap();
+//!
+//! let mut client = LineClient::connect(server.addr()).unwrap();
+//! let accepted = client
+//!     .submit(r#"{"worlds": 50, "seed": 7, "queries": [{"type": "connectivity"}]}"#)
+//!     .unwrap();
+//! assert_eq!(accepted.get_str("status"), Some("ok"));
+//! let job = accepted.get_usize("job").unwrap() as u64;
+//!
+//! let report = client.wait_for_report(job).unwrap();
+//! let results = report.get("results").unwrap().as_array().unwrap();
+//! assert_eq!(results[0].get_str("status"), Some("ok"));
+//!
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{query_key, CacheStats, ResultCache};
+pub use client::LineClient;
+pub use protocol::{ErrorCode, Request};
+pub use server::{serve, ServerConfig, ServerHandle};

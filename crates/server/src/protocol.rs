@@ -1,0 +1,290 @@
+//! The line-delimited minijson wire protocol: request parsing (strict about
+//! unknown fields) and response rendering; see the [crate docs](crate) for
+//! the full grammar.
+//!
+//! Every parse failure maps to an [`ErrorCode`] plus a human-readable
+//! message — a malformed line is answered, never dropped, and never kills
+//! the connection.
+
+use minijson::{ObjBuilder, Value};
+use ugs_service::QueryPlan;
+
+/// Hard cap on one request line; longer lines are answered with
+/// [`ErrorCode::BadRequest`] so a runaway client cannot balloon the
+/// connection thread's buffer.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Machine-readable error class of a `{"status": "error"}` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON, not an object, missing a required
+    /// field, carried an unknown field, or exceeded [`MAX_LINE_BYTES`].
+    BadRequest,
+    /// The `op` field named no known operation.
+    UnknownOp,
+    /// The submitted plan document failed to parse or validate.
+    Plan,
+    /// The connection already has `max_inflight` undelivered jobs.
+    OverBudget,
+    /// The server-wide submission queue is full; retry after draining.
+    Overloaded,
+    /// `poll`/`cancel` named a job this connection does not hold (unknown,
+    /// already delivered, or already cancelled).
+    UnknownJob,
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+    /// An internal invariant broke (a typed answer, never a panic).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::Plan => "plan",
+            ErrorCode::OverBudget => "over_budget",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::UnknownJob => "unknown_job",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `{"op": "submit", "plan": {...}}` — enqueue a plan, get a job id.
+    Submit(QueryPlan),
+    /// `{"op": "poll", "job": N}` — probe a job; a finished report is
+    /// delivered exactly once and frees the job's in-flight slot.
+    Poll(u64),
+    /// `{"op": "cancel", "job": N}` — abandon a job (queued jobs are never
+    /// executed; a running job's answer is discarded at delivery).
+    Cancel(u64),
+    /// `{"op": "stats"}` — server and cache counters.
+    Stats,
+    /// `{"op": "ping"}` — liveness probe.
+    Ping,
+    /// `{"op": "shutdown"}` — ask the server to stop gracefully.
+    Shutdown,
+}
+
+/// A typed protocol error: the code plus the message the client sees.
+pub type RequestError = (ErrorCode, String);
+
+/// Plan-document fields the server accepts.  `graph` is deliberately
+/// absent: the server owns its graph, a client cannot point it elsewhere.
+const PLAN_FIELDS: &[&str] = &[
+    "worlds",
+    "threads",
+    "shards",
+    "mode",
+    "seed",
+    "precision",
+    "queries",
+];
+
+fn check_fields(value: &Value, allowed: &[&str], what: &str) -> Result<(), RequestError> {
+    let Value::Obj(entries) = value else {
+        return Err((
+            ErrorCode::BadRequest,
+            format!("{what} must be a JSON object"),
+        ));
+    };
+    for (key, _) in entries {
+        if !allowed.contains(&key.as_str()) {
+            return Err((
+                ErrorCode::BadRequest,
+                format!(
+                    "unknown field {key:?} in {what} (allowed: {})",
+                    allowed.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn job_id(value: &Value) -> Result<u64, RequestError> {
+    value.get_usize("job").map(|job| job as u64).ok_or_else(|| {
+        (
+            ErrorCode::BadRequest,
+            "field \"job\" must be a non-negative integer".to_string(),
+        )
+    })
+}
+
+/// Parses one request line; every failure is a typed [`RequestError`].
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err((
+            ErrorCode::BadRequest,
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    let value = Value::parse(line).map_err(|error| (ErrorCode::BadRequest, error.to_string()))?;
+    let op = match &value {
+        Value::Obj(_) => value.get_str("op").ok_or_else(|| {
+            (
+                ErrorCode::BadRequest,
+                "a request requires a string field \"op\"".to_string(),
+            )
+        })?,
+        _ => {
+            return Err((
+                ErrorCode::BadRequest,
+                "a request must be a JSON object".to_string(),
+            ))
+        }
+    };
+    match op {
+        "submit" => {
+            check_fields(&value, &["op", "plan"], "a submit request")?;
+            let plan_value = value.get("plan").ok_or_else(|| {
+                (
+                    ErrorCode::BadRequest,
+                    "a submit request requires an object field \"plan\"".to_string(),
+                )
+            })?;
+            if plan_value.get("graph").is_some() {
+                return Err((
+                    ErrorCode::Plan,
+                    "the plan must not name a \"graph\": the server serves its own graph"
+                        .to_string(),
+                ));
+            }
+            check_fields(plan_value, PLAN_FIELDS, "a plan")?;
+            let plan = QueryPlan::parse(plan_value)
+                .map_err(|error| (ErrorCode::Plan, error.to_string()))?;
+            Ok(Request::Submit(plan))
+        }
+        "poll" => {
+            check_fields(&value, &["op", "job"], "a poll request")?;
+            Ok(Request::Poll(job_id(&value)?))
+        }
+        "cancel" => {
+            check_fields(&value, &["op", "job"], "a cancel request")?;
+            Ok(Request::Cancel(job_id(&value)?))
+        }
+        "stats" => {
+            check_fields(&value, &["op"], "a stats request")?;
+            Ok(Request::Stats)
+        }
+        "ping" => {
+            check_fields(&value, &["op"], "a ping request")?;
+            Ok(Request::Ping)
+        }
+        "shutdown" => {
+            check_fields(&value, &["op"], "a shutdown request")?;
+            Ok(Request::Shutdown)
+        }
+        other => Err((
+            ErrorCode::UnknownOp,
+            format!("unknown op {other:?}; expected submit|poll|cancel|stats|ping|shutdown"),
+        )),
+    }
+}
+
+/// Renders the `{"status": "error", ...}` envelope for one line.
+pub fn error_line(code: ErrorCode, message: &str) -> String {
+    ObjBuilder::new()
+        .field("status", "error")
+        .field("code", code.as_str())
+        .field("message", message)
+        .build()
+        .render()
+}
+
+/// Starts an `{"status": "ok"}` response; callers add their fields and
+/// render with [`finish_ok`].
+pub fn ok_builder() -> ObjBuilder {
+    ObjBuilder::new().field("status", "ok")
+}
+
+/// Renders an ok-response builder to its wire line.
+pub fn finish_ok(builder: ObjBuilder) -> String {
+    builder.build().render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_requests_parse() {
+        let submit = parse_request(
+            r#"{"op": "submit", "plan": {"worlds": 10, "queries": [{"type": "connectivity"}]}}"#,
+        )
+        .unwrap();
+        match submit {
+            Request::Submit(plan) => {
+                assert_eq!(plan.worlds, 10);
+                assert_eq!(plan.queries.len(), 1);
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+        assert_eq!(
+            parse_request(r#"{"op": "poll", "job": 3}"#).unwrap(),
+            Request::Poll(3)
+        );
+        assert_eq!(
+            parse_request(r#"{"op": "cancel", "job": 0}"#).unwrap(),
+            Request::Cancel(0)
+        );
+        assert_eq!(parse_request(r#"{"op": "ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op": "stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op": "shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_and_unknown_field_requests_are_typed_errors() {
+        let cases: [(&str, ErrorCode); 8] = [
+            ("{not json", ErrorCode::BadRequest),
+            ("[1, 2]", ErrorCode::BadRequest),
+            (r#"{"op": "warp"}"#, ErrorCode::UnknownOp),
+            (r#"{"op": "ping", "extra": 1}"#, ErrorCode::BadRequest),
+            (r#"{"op": "poll"}"#, ErrorCode::BadRequest),
+            (
+                r#"{"op": "submit", "plan": {"queries": []}}"#,
+                ErrorCode::Plan,
+            ),
+            (
+                r#"{"op": "submit", "plan": {"budget": 5, "queries": [{"type": "connectivity"}]}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"op": "submit", "plan": {"graph": "g.txt", "queries": [{"type": "connectivity"}]}}"#,
+                ErrorCode::Plan,
+            ),
+        ];
+        for (line, expected) in cases {
+            let (code, message) = parse_request(line).unwrap_err();
+            assert_eq!(code, expected, "{line}: {message}");
+        }
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected() {
+        let line = format!(
+            r#"{{"op": "ping", "pad": "{}"}}"#,
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        let (code, _) = parse_request(&line).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn error_lines_carry_the_envelope() {
+        let line = error_line(ErrorCode::Overloaded, "queue full");
+        let value = Value::parse(&line).unwrap();
+        assert_eq!(value.get_str("status"), Some("error"));
+        assert_eq!(value.get_str("code"), Some("overloaded"));
+        assert_eq!(value.get_str("message"), Some("queue full"));
+    }
+}

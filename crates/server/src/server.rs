@@ -1,0 +1,603 @@
+//! The TCP front-end: listener, connection handlers, executor pool,
+//! admission control and graceful shutdown; see the [crate docs](crate)
+//! for the wire protocol.
+//!
+//! ## Threading model
+//!
+//! * one **listener** thread accepting connections;
+//! * one **connection** thread per client, doing *only* non-blocking work
+//!   (parse, cache lookups, channel probes) — a connection thread never
+//!   parks on a ticket, so a slow job cannot wedge its client's other
+//!   requests;
+//! * a fixed pool of **executor** threads draining one bounded submission
+//!   queue; each job runs its plan through an isolated
+//!   [`QueryService`](ugs_service::QueryService) (the deterministic-replay
+//!   path), inserts the answers into the shared cache and hands them back
+//!   over a per-job channel.
+//!
+//! ## Admission control
+//!
+//! Two typed backpressure surfaces, checked in order at submit time:
+//! a per-connection in-flight budget ([`ServerConfig::max_inflight`],
+//! [`ErrorCode::OverBudget`]) and the bounded server-wide queue
+//! ([`ServerConfig::queue_capacity`], [`ErrorCode::Overloaded`] when
+//! `try_send` finds it full).  Nothing is silently dropped and no queue is
+//! unbounded.
+//!
+//! ## Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a client's `shutdown` op) sets the stop
+//! flag, wakes the listener with a loopback connect, closes every client
+//! socket (blocked readers see EOF — never a hang), joins the connection
+//! threads, then drops the queue senders so the executors drain: queued
+//! jobs whose clients are gone are discarded, the running job finishes.
+//! In-flight tickets are thereby either drained or cancelled, never
+//! stranded.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TryRecvError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use minijson::{ObjBuilder, Value};
+use ugs_service::{QueryAnswer, QueryPlan, ServiceError};
+use uncertain_graph::UncertainGraph;
+
+use crate::cache::{query_key, CacheStats, ResultCache};
+use crate::protocol::{error_line, finish_ok, ok_builder, parse_request, ErrorCode, Request};
+
+/// Tunables of one [`serve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address; `127.0.0.1:0` (the default) picks a free loopback
+    /// port — read it back from [`ServerHandle::addr`].
+    pub addr: String,
+    /// Executor threads draining the submission queue (min 1).
+    pub executors: usize,
+    /// Bound of the server-wide submission queue; a full queue answers
+    /// `overloaded` instead of buffering without limit (min 1).
+    pub queue_capacity: usize,
+    /// Per-connection budget of undelivered jobs; the budget frees when a
+    /// report is delivered or the job is cancelled.
+    pub max_inflight: usize,
+    /// Byte budget of the deterministic result cache; `0` disables it.
+    pub cache_bytes: usize,
+    /// Hard cap on a plan's `threads` field (a client must not be able to
+    /// spawn an arbitrary number of service workers).  Clamping happens
+    /// *before* cache-key computation, so the key always reflects the
+    /// thread count that actually ran.
+    pub max_plan_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            executors: 2,
+            queue_capacity: 64,
+            max_inflight: 8,
+            cache_bytes: 1 << 20,
+            max_plan_threads: 8,
+        }
+    }
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    graph: Arc<UncertainGraph>,
+    fingerprint: u64,
+    addr: SocketAddr,
+    config: ServerConfig,
+    cache: Mutex<ResultCache>,
+    stop: AtomicBool,
+    jobs_submitted: AtomicU64,
+    jobs_delivered: AtomicU64,
+    jobs_cancelled: AtomicU64,
+}
+
+impl Shared {
+    /// Flips the stop flag (idempotent) and wakes the blocked `accept`.
+    fn begin_shutdown(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn graph_label(&self) -> String {
+        format!("fingerprint:{:016x}", self.fingerprint)
+    }
+}
+
+/// One unit of executor work: the (sub-)plan to run, the cache key of each
+/// of its queries, and the reply channel back to the connection.
+struct ExecJob {
+    plan: QueryPlan,
+    keys: Vec<String>,
+    cancelled: Arc<AtomicBool>,
+    done_tx: Sender<Vec<Result<QueryAnswer, ServiceError>>>,
+}
+
+/// A connection-local job record.
+enum Job {
+    /// Every query answered from the cache (or already collected): the
+    /// rendered report waits for the next poll.
+    Ready(Value),
+    /// The executor owes the answers of `misses` (indices into the plan's
+    /// query list); everything else was a cache hit.
+    Running {
+        plan: QueryPlan,
+        hits: Vec<Option<Result<QueryAnswer, ServiceError>>>,
+        misses: Vec<usize>,
+        done_rx: Receiver<Vec<Result<QueryAnswer, ServiceError>>>,
+        cancelled: Arc<AtomicBool>,
+    },
+}
+
+/// A running server; dropping the handle shuts it down gracefully.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+    job_tx: Option<SyncSender<ExecJob>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The served graph's fingerprint (the `graph` label of every report).
+    pub fn fingerprint(&self) -> u64 {
+        self.shared.fingerprint
+    }
+
+    /// Current cache counters (also available over the wire via `stats`).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.lock().expect("cache poisoned").stats()
+    }
+
+    /// Stops the server gracefully and joins every thread; see the
+    /// [module docs](self) for the teardown order.  Equivalent to dropping
+    /// the handle, spelled out for call sites that want the intent visible.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+
+    /// Blocks until the server stops — i.e. until a client sends the
+    /// `shutdown` op (or the process is told to stop some other way), then
+    /// tears down like [`ServerHandle::shutdown`].  The CLI's `serve`
+    /// subcommand runs on this.
+    pub fn wait(mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        // Drop completes the teardown (executors, queue senders).
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        // All connection threads are joined by now (the listener joins
+        // them), so the last queue senders are this handle's and the
+        // executors drain to disconnect.
+        self.job_tx.take();
+        for executor in self.executors.drain(..) {
+            let _ = executor.join();
+        }
+    }
+}
+
+/// Binds the address in `config` and serves `graph` until shutdown.
+pub fn serve(
+    graph: impl Into<Arc<UncertainGraph>>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let graph = graph.into();
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let fingerprint = graph.fingerprint();
+    let shared = Arc::new(Shared {
+        graph,
+        fingerprint,
+        addr,
+        cache: Mutex::new(ResultCache::new(config.cache_bytes)),
+        config,
+        stop: AtomicBool::new(false),
+        jobs_submitted: AtomicU64::new(0),
+        jobs_delivered: AtomicU64::new(0),
+        jobs_cancelled: AtomicU64::new(0),
+    });
+    let (job_tx, job_rx) = mpsc::sync_channel(shared.config.queue_capacity.max(1));
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let executors = (0..shared.config.executors.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let job_rx = Arc::clone(&job_rx);
+            std::thread::spawn(move || executor_loop(&shared, &job_rx))
+        })
+        .collect();
+    let listener_handle = {
+        let shared = Arc::clone(&shared);
+        let job_tx = job_tx.clone();
+        std::thread::spawn(move || listener_loop(listener, &shared, &job_tx))
+    };
+    Ok(ServerHandle {
+        shared,
+        listener: Some(listener_handle),
+        executors,
+        job_tx: Some(job_tx),
+    })
+}
+
+/// Accepts connections until the stop flag flips, then closes every client
+/// socket and joins the connection threads.
+fn listener_loop(listener: TcpListener, shared: &Arc<Shared>, job_tx: &SyncSender<ExecJob>) {
+    let mut connections: Vec<(Option<TcpStream>, JoinHandle<()>)> = Vec::new();
+    for incoming in listener.incoming() {
+        if shared.stopping() {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        // One-line responses must not sit in Nagle's buffer waiting for an
+        // ACK of the request they answer.
+        let _ = stream.set_nodelay(true);
+        // Reap finished connection threads so a long-lived server does not
+        // accumulate handles.
+        let mut live = Vec::with_capacity(connections.len());
+        for (stream, handle) in connections.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                live.push((stream, handle));
+            }
+        }
+        connections = live;
+        let wakeup = stream.try_clone().ok();
+        let handle = {
+            let shared = Arc::clone(shared);
+            let job_tx = job_tx.clone();
+            std::thread::spawn(move || handle_connection(stream, &shared, &job_tx))
+        };
+        connections.push((wakeup, handle));
+    }
+    for (stream, handle) in connections {
+        if let Some(stream) = stream {
+            // Unblocks the connection thread's `read_line` with an EOF; a
+            // client blocked on a response read sees the socket close
+            // instead of hanging.
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let _ = handle.join();
+    }
+}
+
+/// Drains the submission queue; exits when every sender is gone.
+fn executor_loop(shared: &Arc<Shared>, job_rx: &Mutex<Receiver<ExecJob>>) {
+    loop {
+        // Holding the lock across `recv` is the queue hand-off: exactly one
+        // idle executor waits at a time, and it releases the lock before
+        // running the job so the others can pick up the next one.
+        let job = match job_rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        if job.cancelled.load(Ordering::SeqCst) || shared.stopping() {
+            // Cancelled while queued (or the server is draining for
+            // shutdown): never execute.  Dropping `done_tx` disconnects the
+            // job's channel, which polls surface as a typed error.
+            continue;
+        }
+        let answers = job.plan.execute_detailed(Arc::clone(&shared.graph));
+        {
+            let mut cache = shared.cache.lock().expect("cache poisoned");
+            for (key, outcome) in job.keys.iter().zip(&answers) {
+                if let Ok(answer) = outcome {
+                    cache.insert(key.clone(), answer.clone());
+                }
+            }
+        }
+        let _ = job.done_tx.send(answers);
+    }
+}
+
+/// One client connection: read a line, answer a line, forever; every
+/// failure is a typed error response and the loop continues.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSender<ExecJob>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut jobs: HashMap<u64, Job> = HashMap::new();
+    let mut next_job: u64 = 1;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let outcome = handle_request(trimmed, shared, job_tx, &mut jobs, &mut next_job);
+        let (response, stop_after) = match outcome {
+            Outcome::Reply(response) => (response, false),
+            Outcome::Shutdown(response) => (response, true),
+        };
+        let written = writeln!(writer, "{response}").and_then(|_| writer.flush());
+        if stop_after {
+            // Flip the flag only *after* the acknowledgement is on the wire,
+            // so the listener cannot close this socket under the response.
+            shared.begin_shutdown();
+            break;
+        }
+        if written.is_err() {
+            break;
+        }
+    }
+    // The client is gone: flag its queued jobs so no executor burns worlds
+    // on answers nobody will collect.
+    for job in jobs.into_values() {
+        if let Job::Running { cancelled, .. } = job {
+            cancelled.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// What a request leaves the connection loop to do: reply, or reply and
+/// then start the server-wide shutdown (acknowledgement before teardown).
+enum Outcome {
+    Reply(String),
+    Shutdown(String),
+}
+
+fn handle_request(
+    line: &str,
+    shared: &Arc<Shared>,
+    job_tx: &SyncSender<ExecJob>,
+    jobs: &mut HashMap<u64, Job>,
+    next_job: &mut u64,
+) -> Outcome {
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err((code, message)) => return Outcome::Reply(error_line(code, &message)),
+    };
+    Outcome::Reply(match request {
+        Request::Ping => finish_ok(ok_builder().field("pong", true)),
+        Request::Shutdown => {
+            return Outcome::Shutdown(finish_ok(ok_builder().field("stopping", true)));
+        }
+        Request::Stats => {
+            let cache = shared.cache.lock().expect("cache poisoned").stats();
+            let jobs_obj = ObjBuilder::new()
+                .field(
+                    "submitted",
+                    shared.jobs_submitted.load(Ordering::SeqCst) as usize,
+                )
+                .field(
+                    "delivered",
+                    shared.jobs_delivered.load(Ordering::SeqCst) as usize,
+                )
+                .field(
+                    "cancelled",
+                    shared.jobs_cancelled.load(Ordering::SeqCst) as usize,
+                )
+                .build();
+            let cache_obj = ObjBuilder::new()
+                .field("hits", cache.hits as usize)
+                .field("misses", cache.misses as usize)
+                .field("insertions", cache.insertions as usize)
+                .field("evictions", cache.evictions as usize)
+                .field("entries", cache.entries)
+                .field("bytes", cache.bytes)
+                .build();
+            finish_ok(
+                ok_builder()
+                    .field("graph", shared.graph_label())
+                    .field("jobs", jobs_obj)
+                    .field("cache", cache_obj),
+            )
+        }
+        Request::Submit(plan) => submit(plan, shared, job_tx, jobs, next_job),
+        Request::Poll(id) => poll(id, shared, jobs),
+        Request::Cancel(id) => match jobs.remove(&id) {
+            None => error_line(
+                ErrorCode::UnknownJob,
+                &format!("job {id} is not held by this connection"),
+            ),
+            Some(job) => {
+                if let Job::Running { cancelled, .. } = job {
+                    cancelled.store(true, Ordering::SeqCst);
+                }
+                shared.jobs_cancelled.fetch_add(1, Ordering::SeqCst);
+                finish_ok(
+                    ok_builder()
+                        .field("job", id as usize)
+                        .field("cancelled", true),
+                )
+            }
+        },
+    })
+}
+
+fn submit(
+    mut plan: QueryPlan,
+    shared: &Arc<Shared>,
+    job_tx: &SyncSender<ExecJob>,
+    jobs: &mut HashMap<u64, Job>,
+    next_job: &mut u64,
+) -> String {
+    if shared.stopping() {
+        return error_line(ErrorCode::ShuttingDown, "the server is shutting down");
+    }
+    if jobs.len() >= shared.config.max_inflight.max(1) {
+        return error_line(
+            ErrorCode::OverBudget,
+            &format!(
+                "connection budget of {} in-flight jobs reached; poll or cancel first",
+                shared.config.max_inflight.max(1)
+            ),
+        );
+    }
+    // Clamp *before* key computation so cache keys always name the thread
+    // count that actually runs.
+    plan.threads = plan.threads.clamp(1, shared.config.max_plan_threads.max(1));
+    let keys: Vec<String> = (0..plan.queries.len())
+        .map(|index| query_key(shared.fingerprint, &plan, index))
+        .collect();
+    let mut hits: Vec<Option<Result<QueryAnswer, ServiceError>>> = {
+        let mut cache = shared.cache.lock().expect("cache poisoned");
+        keys.iter().map(|key| cache.lookup(key).map(Ok)).collect()
+    };
+    // An adaptive batch's stopping point depends on the whole query mix
+    // (the keys are mix-qualified), so a partial hit cannot be assembled
+    // from a differently-mixed run: any miss re-runs the full plan.
+    let adaptive = plan.precision.is_some();
+    let mut misses: Vec<usize> = (0..plan.queries.len())
+        .filter(|&index| hits[index].is_none())
+        .collect();
+    if adaptive && !misses.is_empty() {
+        misses = (0..plan.queries.len()).collect();
+        hits.iter_mut().for_each(|hit| *hit = None);
+    }
+    let id = *next_job;
+    *next_job += 1;
+    let cached = misses.is_empty();
+    if cached {
+        let answers: Vec<Result<QueryAnswer, ServiceError>> = hits
+            .into_iter()
+            .map(|hit| hit.expect("all queries hit"))
+            .collect();
+        let report = plan.report_for(&shared.graph_label(), &answers);
+        jobs.insert(id, Job::Ready(report));
+    } else {
+        let exec_plan = QueryPlan {
+            queries: misses
+                .iter()
+                .map(|&index| plan.queries[index].clone())
+                .collect(),
+            ..plan.clone()
+        };
+        let exec_keys: Vec<String> = misses.iter().map(|&index| keys[index].clone()).collect();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let (done_tx, done_rx) = mpsc::channel();
+        let exec = ExecJob {
+            plan: exec_plan,
+            keys: exec_keys,
+            cancelled: Arc::clone(&cancelled),
+            done_tx,
+        };
+        match job_tx.try_send(exec) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                return error_line(
+                    ErrorCode::Overloaded,
+                    &format!(
+                        "submission queue of {} jobs is full; retry after polling",
+                        shared.config.queue_capacity.max(1)
+                    ),
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return error_line(ErrorCode::ShuttingDown, "the server is shutting down");
+            }
+        }
+        jobs.insert(
+            id,
+            Job::Running {
+                plan,
+                hits,
+                misses,
+                done_rx,
+                cancelled,
+            },
+        );
+    }
+    shared.jobs_submitted.fetch_add(1, Ordering::SeqCst);
+    finish_ok(
+        ok_builder()
+            .field("job", id as usize)
+            .field("cached", cached),
+    )
+}
+
+fn poll(id: u64, shared: &Arc<Shared>, jobs: &mut HashMap<u64, Job>) -> String {
+    match jobs.get_mut(&id) {
+        None => error_line(
+            ErrorCode::UnknownJob,
+            &format!("job {id} is not held by this connection"),
+        ),
+        Some(Job::Ready(_)) => {
+            let Some(Job::Ready(report)) = jobs.remove(&id) else {
+                unreachable!("entry checked above");
+            };
+            deliver(id, report, shared)
+        }
+        Some(Job::Running { done_rx, .. }) => match done_rx.try_recv() {
+            Err(TryRecvError::Empty) => {
+                finish_ok(ok_builder().field("job", id as usize).field("done", false))
+            }
+            Err(TryRecvError::Disconnected) => {
+                jobs.remove(&id);
+                if shared.stopping() {
+                    error_line(ErrorCode::ShuttingDown, "the server is shutting down")
+                } else {
+                    error_line(ErrorCode::Internal, "the job's executor is gone")
+                }
+            }
+            Ok(sub_answers) => {
+                let Some(Job::Running {
+                    plan,
+                    mut hits,
+                    misses,
+                    ..
+                }) = jobs.remove(&id)
+                else {
+                    unreachable!("entry checked above");
+                };
+                for (index, answer) in misses.into_iter().zip(sub_answers) {
+                    hits[index] = Some(answer);
+                }
+                let answers: Vec<Result<QueryAnswer, ServiceError>> = hits
+                    .into_iter()
+                    .map(|hit| {
+                        hit.unwrap_or_else(|| {
+                            Err(ServiceError::Internal(
+                                "executor returned too few answers".to_string(),
+                            ))
+                        })
+                    })
+                    .collect();
+                let report = plan.report_for(&shared.graph_label(), &answers);
+                deliver(id, report, shared)
+            }
+        },
+    }
+}
+
+/// Renders a done-poll response; delivery is exactly-once, freeing the
+/// job's in-flight slot.
+fn deliver(id: u64, report: Value, shared: &Arc<Shared>) -> String {
+    shared.jobs_delivered.fetch_add(1, Ordering::SeqCst);
+    finish_ok(
+        ok_builder()
+            .field("job", id as usize)
+            .field("done", true)
+            .field("report", report),
+    )
+}

@@ -227,17 +227,13 @@ impl QueryPlan {
         &self,
         graph: impl Into<Arc<UncertainGraph>>,
     ) -> Vec<Result<QueryAnswer, ServiceError>> {
-        let policy = BatchPolicy {
-            // The whole plan is one arrival window: flush on the exact
-            // query count, with a timer that cannot fire first.
-            max_wait: Duration::from_secs(3600),
-            max_queries: self.queries.len(),
-            num_worlds: self.worlds,
-            threads: self.threads,
-            mode: self.mode,
-            shards: self.shards,
-            precision: self.precision,
-        };
+        let graph = graph.into();
+        let policy = self.policy();
+        // Refuse a policy the scheduler could not run *before* starting the
+        // service: every query resolves with the same typed error.
+        if let Err(error) = policy.validate_for(&graph) {
+            return self.queries.iter().map(|_| Err(error.clone())).collect();
+        }
         let service = QueryService::start(graph, policy, self.seed);
         let tickets: Vec<_> = self
             .queries
@@ -252,15 +248,43 @@ impl QueryPlan {
         results
     }
 
+    /// The [`BatchPolicy`] the plan executes under: the whole plan is one
+    /// arrival window — flush on the exact query count, with a timer that
+    /// cannot fire first.
+    pub fn policy(&self) -> BatchPolicy {
+        BatchPolicy {
+            max_wait: Duration::from_secs(3600),
+            max_queries: self.queries.len(),
+            num_worlds: self.worlds,
+            threads: self.threads,
+            mode: self.mode,
+            shards: self.shards,
+            precision: self.precision,
+        }
+    }
+
     /// Executes the plan and renders the full JSON report the CLI prints:
     /// the configuration, then one entry per query with its spec and its
     /// result (or error).
     pub fn run_report(&self, graph: impl Into<Arc<UncertainGraph>>, graph_label: &str) -> Value {
         let results = self.execute_detailed(graph);
+        self.report_for(graph_label, &results)
+    }
+
+    /// Renders the report envelope for already-computed answers — the same
+    /// bytes [`QueryPlan::run_report`] produces for a fresh run.  This is
+    /// the seam a result cache needs: answers replayed from the cache and
+    /// answers from a live execution flow through one renderer, so
+    /// bit-identical answers yield bit-identical reports.
+    pub fn report_for(
+        &self,
+        graph_label: &str,
+        results: &[Result<QueryAnswer, ServiceError>],
+    ) -> Value {
         let entries = self
             .queries
             .iter()
-            .zip(&results)
+            .zip(results)
             .map(|(spec, outcome)| {
                 let entry = ObjBuilder::new().field("query", spec.to_json());
                 match outcome {

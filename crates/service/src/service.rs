@@ -56,7 +56,7 @@
 //! service-stream draw), and policies without a precision target take the
 //! fixed path untouched, bit for bit.
 
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -108,6 +108,23 @@ pub struct BatchPolicy {
     pub precision: Option<Precision>,
 }
 
+impl BatchPolicy {
+    /// Validates the policy against the graph it will serve — the same
+    /// checks the scheduler performs, surfaced at construction/submission
+    /// time so front-ends can refuse a misconfigured service up front
+    /// instead of having every ticket resolve with
+    /// [`ServiceError::Policy`].  For sharded policies this builds (and
+    /// discards) the contiguous partition, so it costs `O(|V| + |E|)`;
+    /// call it once per service, not per query.
+    pub fn validate_for(&self, graph: &UncertainGraph) -> Result<(), ServiceError> {
+        if self.shards > 1 {
+            GraphPartition::contiguous(graph, self.shards)
+                .map_err(|error| ServiceError::Policy(error.to_string()))?;
+        }
+        Ok(())
+    }
+}
+
 impl Default for BatchPolicy {
     /// 500 worlds, 1 worker, automatic sampling, monolithic graph, windows
     /// of up to 8 queries or 2 ms.
@@ -129,6 +146,10 @@ impl Default for BatchPolicy {
 pub enum ServiceError {
     /// The spec did not validate against the service's graph.
     Spec(SpecError),
+    /// The [`BatchPolicy`] does not fit the service's graph (e.g. its shard
+    /// count yields no valid partition); every submission to such a service
+    /// resolves with this error instead of panicking a worker thread.
+    Policy(String),
     /// The service shut down before answering.
     Stopped,
     /// An internal driver invariant broke (worker loss, redemption error).
@@ -139,6 +160,7 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::Spec(e) => write!(f, "{e}"),
+            ServiceError::Policy(m) => write!(f, "batch policy rejected: {m}"),
             ServiceError::Stopped => write!(f, "query service stopped before answering"),
             ServiceError::Internal(m) => write!(f, "internal query service error: {m}"),
         }
@@ -183,9 +205,17 @@ pub struct QueryAnswer {
 }
 
 /// Resolves to the [`QueryResult`] of one submission.
+///
+/// A ticket can never hang past its service: a scheduler or worker that
+/// dies drops the reply sender, which every waiting/polling path maps to a
+/// typed [`ServiceError::Stopped`] instead of blocking forever.  Once an
+/// outcome arrives it is latched, so [`ResultTicket::try_wait`] /
+/// [`ResultTicket::wait_timeout`] probes followed by a final
+/// [`ResultTicket::wait`] all see the same answer.
 #[derive(Debug)]
 pub struct ResultTicket {
     rx: Receiver<Result<QueryAnswer, ServiceError>>,
+    settled: Option<Result<QueryAnswer, ServiceError>>,
 }
 
 impl ResultTicket {
@@ -196,17 +226,53 @@ impl ResultTicket {
 
     /// Blocks like [`ResultTicket::wait`] but keeps the effort metadata
     /// (worlds consumed, achieved half-width) alongside the result.
-    pub fn wait_detailed(self) -> Result<QueryAnswer, ServiceError> {
-        self.rx.recv().unwrap_or(Err(ServiceError::Stopped))
+    pub fn wait_detailed(mut self) -> Result<QueryAnswer, ServiceError> {
+        match self.settled.take() {
+            Some(outcome) => outcome,
+            None => self.rx.recv().unwrap_or(Err(ServiceError::Stopped)),
+        }
     }
 
     /// Waits up to `timeout`; `None` means the result is not ready yet.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryResult, ServiceError>> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(answer) => Some(answer.map(|answer| answer.result)),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => Some(Err(ServiceError::Stopped)),
+    /// A ready outcome is latched, so later calls (and a final
+    /// [`ResultTicket::wait`]) return the same answer.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<QueryResult, ServiceError>> {
+        if self.settled.is_none() {
+            match self.rx.recv_timeout(timeout) {
+                Ok(outcome) => self.settled = Some(outcome),
+                Err(RecvTimeoutError::Timeout) => return None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.settled = Some(Err(ServiceError::Stopped))
+                }
+            }
         }
+        self.settled
+            .as_ref()
+            .map(|outcome| outcome.clone().map(|answer| answer.result))
+    }
+
+    /// Non-blocking probe: `None` while the micro-batch is still running,
+    /// `Some` once the outcome is available (latched thereafter).  The
+    /// polling loop a network front-end needs — it must never park a
+    /// connection thread on a ticket.
+    pub fn try_wait(&mut self) -> Option<&Result<QueryAnswer, ServiceError>> {
+        if self.settled.is_none() {
+            match self.rx.try_recv() {
+                Ok(outcome) => self.settled = Some(outcome),
+                Err(TryRecvError::Empty) => return None,
+                Err(TryRecvError::Disconnected) => self.settled = Some(Err(ServiceError::Stopped)),
+            }
+        }
+        self.settled.as_ref()
+    }
+
+    /// Abandons the submission.  The micro-batch still runs (its worlds are
+    /// shared with the window's other queries), but the answer is discarded:
+    /// the scheduler's reply send fails silently on the dropped channel.
+    /// Equivalent to dropping the ticket; spelled out for front-ends with an
+    /// explicit cancel surface.
+    pub fn cancel(self) {
+        drop(self);
     }
 }
 
@@ -262,7 +328,7 @@ impl QueryService {
             // sender makes the ticket resolve to `ServiceError::Stopped`.
             let _ = tx.send(Submission { spec, reply });
         }
-        ResultTicket { rx }
+        ResultTicket { rx, settled: None }
     }
 
     /// Flushes the pending window, stops the workers and returns the run's
@@ -298,14 +364,35 @@ fn scheduler_loop(
     submit_rx: Receiver<Submission>,
 ) -> ServiceStats {
     if policy.shards > 1 {
-        let partition = GraphPartition::contiguous(&graph, policy.shards)
-            .expect("shards > 1 always yields a valid contiguous partition");
+        // A labelling that yields no valid partition must not bring the
+        // scheduler thread down (that would strand every in-flight ticket
+        // behind a `Stopped` at best, a hang at worst in older revisions):
+        // the service stays up and answers each submission with the typed
+        // policy error instead.
+        let partition = match GraphPartition::contiguous(&graph, policy.shards) {
+            Ok(partition) => partition,
+            Err(error) => {
+                return refuse_all(submit_rx, &ServiceError::Policy(error.to_string()));
+            }
+        };
         let engine = ShardedWorldEngine::new(&graph, &partition).with_method(policy.mode);
         run_worker_pool(&graph, &engine, policy, seed, submit_rx)
     } else {
         let engine = WorldEngine::new(&graph).with_method(policy.mode);
         run_worker_pool(&graph, &engine, policy, seed, submit_rx)
     }
+}
+
+/// Degraded-mode scheduler loop for a service whose policy cannot run:
+/// resolves every submission with the same typed error until shutdown.
+fn refuse_all(submit_rx: Receiver<Submission>, error: &ServiceError) -> ServiceStats {
+    let mut stats = ServiceStats::default();
+    while let Ok(submission) = submit_rx.recv() {
+        stats.queries += 1;
+        stats.rejected += 1;
+        let _ = submission.reply.send(Err(error.clone()));
+    }
+    stats
 }
 
 /// The worker pool + micro-batching loop, generic over the
@@ -550,7 +637,16 @@ impl<S: WorldSource> Scheduler<'_, S> {
                 }
             }
             self.stats.worlds_sampled += num_worlds;
-            merged.expect("at least one worker ran")
+            match merged {
+                Some(merged) => merged,
+                // Unreachable with today's `workers >= 1` invariant, but a
+                // long-lived service resolves the tickets typed rather than
+                // betting a panic on it.
+                None => {
+                    fail_batch(submissions, "no worker produced a partial");
+                    return;
+                }
+            }
         };
         let worlds_used = adaptive.map_or(num_worlds, |report| report.worlds_used);
         let half_width = adaptive.map(|report| report.half_width);
@@ -785,6 +881,120 @@ mod tests {
         assert_eq!(answer.worlds_used, 120);
         assert_eq!(answer.half_width, None);
         service.shutdown();
+    }
+
+    #[test]
+    fn dead_reply_senders_resolve_tickets_typed_instead_of_hanging() {
+        // The regression the server depends on: a worker/scheduler death
+        // drops the reply sender, and every waiting or polling path must
+        // surface `ServiceError::Stopped` instead of blocking forever.
+        let dead_ticket = || {
+            let (reply, rx) = mpsc::channel::<Result<QueryAnswer, ServiceError>>();
+            drop(reply);
+            ResultTicket { rx, settled: None }
+        };
+        assert_eq!(dead_ticket().wait(), Err(ServiceError::Stopped));
+        assert_eq!(dead_ticket().wait_detailed(), Err(ServiceError::Stopped));
+        let mut ticket = dead_ticket();
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(1)),
+            Some(Err(ServiceError::Stopped))
+        );
+        let mut ticket = dead_ticket();
+        assert_eq!(ticket.try_wait(), Some(&Err(ServiceError::Stopped)));
+        // Latched: a second probe and the final wait agree.
+        assert_eq!(ticket.try_wait(), Some(&Err(ServiceError::Stopped)));
+        assert_eq!(ticket.wait(), Err(ServiceError::Stopped));
+    }
+
+    #[test]
+    fn fail_batch_resolves_every_ticket_with_the_typed_reason() {
+        let mut tickets = Vec::new();
+        let mut submissions = Vec::new();
+        for _ in 0..3 {
+            let (reply, rx) = mpsc::channel();
+            submissions.push(Submission {
+                spec: QuerySpec::Connectivity,
+                reply,
+            });
+            tickets.push(ResultTicket { rx, settled: None });
+        }
+        fail_batch(submissions, "a worker thread died mid-batch");
+        for ticket in tickets {
+            match ticket.wait() {
+                Err(ServiceError::Internal(reason)) => {
+                    assert_eq!(reason, "a worker thread died mid-batch")
+                }
+                other => panic!("expected a typed internal error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn broken_policies_refuse_submissions_with_a_typed_error() {
+        // `refuse_all` is the scheduler's degraded mode for a policy whose
+        // partition cannot be built: the service stays up, every ticket
+        // resolves typed, shutdown still returns stats.
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            refuse_all(rx, &ServiceError::Policy("no valid partition".into()))
+        });
+        let (reply, ticket_rx) = mpsc::channel();
+        tx.send(Submission {
+            spec: QuerySpec::Connectivity,
+            reply,
+        })
+        .unwrap();
+        let ticket = ResultTicket {
+            rx: ticket_rx,
+            settled: None,
+        };
+        assert!(matches!(ticket.wait(), Err(ServiceError::Policy(_))));
+        drop(tx);
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn policies_validate_against_their_graph() {
+        let g = toy();
+        assert!(policy(10, 1).validate_for(&g).is_ok());
+        let sharded = BatchPolicy {
+            shards: 3,
+            ..policy(10, 1)
+        };
+        assert!(sharded.validate_for(&g).is_ok());
+    }
+
+    #[test]
+    fn try_wait_polls_without_blocking_and_latches_the_answer() {
+        let service = QueryService::start(toy(), policy(80, 1), 17);
+        let mut ticket = service.submit(QuerySpec::Connectivity);
+        // Poll until the micro-batch resolves (bounded by the test harness
+        // timeout); the probe itself must never block.
+        let answer = loop {
+            if let Some(outcome) = ticket.try_wait() {
+                break outcome.clone();
+            }
+            std::thread::yield_now();
+        };
+        let answer = answer.unwrap();
+        assert_eq!(answer.worlds_used, 80);
+        // Latched: the blocking wait sees the identical answer.
+        assert_eq!(ticket.wait_detailed().unwrap(), answer);
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancelled_tickets_do_not_stall_the_batch() {
+        let service = QueryService::start(toy(), policy(60, 2), 23);
+        let cancelled = service.submit(QuerySpec::EdgeFrequency);
+        let kept = service.submit(QuerySpec::Connectivity);
+        cancelled.cancel();
+        assert!(kept.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.queries, 2, "the cancelled query still ran");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`baselines`] | `ugs-baselines` | the `NI` and `SS` baselines adapted from deterministic sparsification |
 //! | [`queries`] | `ugs-queries` | zero-allocation Monte-Carlo world engine, queries, estimator variance |
 //! | [`service`] | `ugs-service` | `QuerySpec`/`QueryResult` data API, JSON query plans, sharded streaming `QueryService` |
+//! | [`server`] | `ugs-server` | line-delimited JSON TCP front-end: deterministic result cache, admission control, graceful shutdown |
 //! | [`metrics`] | `ugs-metrics` | degree/cut discrepancy MAE, relative entropy, earth mover's distance |
 //! | [`datasets`] | `ugs-datasets` | Flickr/Twitter-shaped generators, density sweep, Forest Fire sampling |
 //!
@@ -87,6 +88,7 @@ pub use ugs_core as sparsify;
 pub use ugs_datasets as datasets;
 pub use ugs_metrics as metrics;
 pub use ugs_queries as queries;
+pub use ugs_server as server;
 pub use ugs_service as service;
 pub use uncertain_graph as graph;
 
