@@ -1,0 +1,256 @@
+//! Distributed critical path: a `ugs-dist` coordinator over 2 and 4 shard
+//! workers versus the in-process run of the same plan, on a 60k-vertex
+//! power-law graph in the paper's probability regime (p̄ = 0.09).  Also
+//! measures the boundary-exchange cost: encoded boundary-record bytes per
+//! sampled world, per fleet size.  Recorded in `BENCH_dist.json`.
+//!
+//! The workers here are in-process `ugs-server` instances (one listener +
+//! sampler per shard), so the numbers isolate the protocol + glue overhead
+//! from process scheduling noise; the wire format and the per-world record
+//! stream are byte-identical to separate-process workers.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uncertain_graph::UncertainGraph;
+
+use ugs_datasets::{preferential_attachment, ProbabilityModel};
+use ugs_dist::{CoordinatorConfig, DistCoordinator};
+use ugs_server::protocol::DEFAULT_BOUNDARY_PAGE;
+use ugs_server::{serve, LineClient, ServerConfig, ServerHandle};
+use ugs_service::QueryPlan;
+
+const VERTICES: usize = 60_000;
+const EDGES_PER_VERTEX: usize = 4;
+const MEAN_P: f64 = 0.09;
+const WORLDS: usize = 48;
+const SEED: u64 = 11;
+
+fn powerlaw_graph() -> Arc<UncertainGraph> {
+    let mut rng = SmallRng::seed_from_u64(0xBB);
+    Arc::new(preferential_attachment(
+        VERTICES,
+        EDGES_PER_VERTEX,
+        ProbabilityModel::Fixed(MEAN_P),
+        &mut rng,
+    ))
+}
+
+fn plan() -> QueryPlan {
+    QueryPlan::parse_str(&format!(
+        r#"{{"worlds": {WORLDS}, "threads": 2, "seed": {SEED},
+            "queries": [{{"type": "connectivity"}},
+                        {{"type": "degree_histogram"}},
+                        {{"type": "edge_frequency"}}]}}"#
+    ))
+    .expect("bench plan parses")
+}
+
+fn spawn_fleet(graph: &Arc<UncertainGraph>, workers: usize) -> (Vec<ServerHandle>, Vec<String>) {
+    let handles: Vec<ServerHandle> = (0..workers)
+        .map(|k| {
+            let config = ServerConfig {
+                shard: Some((k, workers)),
+                ..ServerConfig::default()
+            };
+            serve(graph.clone(), config).expect("bind loopback worker")
+        })
+        .collect();
+    let addrs = handles.iter().map(|h| h.addr().to_string()).collect();
+    (handles, addrs)
+}
+
+/// Total encoded boundary-record bytes one fleet ships for `WORLDS` worlds:
+/// submits a fresh job to every worker and pages the full record stream,
+/// summing the encoded record lengths (the payload the coordinator glues).
+fn boundary_bytes(addrs: &[String]) -> u64 {
+    // The coordinator derives the batch seed exactly like the in-process
+    // service: the first u64 drawn from the plan seed.
+    let batch_seed = SmallRng::seed_from_u64(SEED).gen::<u64>();
+    let mut total = 0u64;
+    for (k, addr) in addrs.iter().enumerate() {
+        let mut client = LineClient::connect(addr).expect("connect worker");
+        client
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        let submit = client
+            .request(&format!(
+                "{{\"op\": \"shard_submit\", \"job\": \"bytes\", \"shard\": {k}, \
+                 \"shards\": {}, \"worlds\": {WORLDS}, \"seed\": \"{batch_seed}\", \
+                 \"mode\": \"auto\"}}",
+                addrs.len()
+            ))
+            .expect("submit byte-measurement job");
+        assert_eq!(submit.get_str("status"), Some("ok"), "{}", submit.render());
+        let mut received = 0usize;
+        while received < WORLDS {
+            let page = client
+                .request(&format!(
+                    "{{\"op\": \"boundary\", \"job\": \"bytes\", \"from\": {received}, \
+                     \"max\": {DEFAULT_BOUNDARY_PAGE}}}"
+                ))
+                .expect("boundary page");
+            assert_eq!(page.get_str("status"), Some("ok"), "{}", page.render());
+            let records = page
+                .get("records")
+                .and_then(|r| r.as_array())
+                .expect("records array");
+            if records.is_empty() {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            for record in records {
+                total += record.as_str().expect("encoded record").len() as u64;
+            }
+            received += records.len();
+        }
+    }
+    total
+}
+
+struct FleetMeasurement {
+    workers: usize,
+    coordinator: Duration,
+    boundary_bytes_total: u64,
+}
+
+fn measure_fleet(
+    graph: &Arc<UncertainGraph>,
+    workers: usize,
+    plan: &QueryPlan,
+) -> FleetMeasurement {
+    let (handles, addrs) = spawn_fleet(graph, workers);
+    let mut coordinator =
+        DistCoordinator::connect(graph.clone(), &addrs, CoordinatorConfig::default())
+            .expect("assemble fleet");
+
+    // Warm pass (connection buffers, scratch allocation), then the timed run.
+    let warm = coordinator.execute(plan);
+    assert!(warm.iter().all(|outcome| outcome.is_ok()));
+    let started = Instant::now();
+    let answers = coordinator.execute(plan);
+    let coordinator_time = started.elapsed();
+    assert!(answers.iter().all(|outcome| outcome.is_ok()));
+
+    // Parity spot-check at benchmark scale: the distributed answers equal
+    // the in-process answers bitwise.
+    let monolithic = plan.execute_detailed(graph.clone());
+    assert_eq!(
+        answers, monolithic,
+        "distributed parity at {workers} workers"
+    );
+
+    let bytes = boundary_bytes(&addrs);
+    coordinator.shutdown();
+    for handle in handles {
+        handle.shutdown();
+    }
+    FleetMeasurement {
+        workers,
+        coordinator: coordinator_time,
+        boundary_bytes_total: bytes,
+    }
+}
+
+fn dist_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100));
+
+    let graph = powerlaw_graph();
+    let plan = plan();
+
+    // In-process baseline: same plan, same worlds, no sockets.
+    let warm = plan.execute_detailed(graph.clone());
+    assert!(warm.iter().all(|outcome| outcome.is_ok()));
+    let started = Instant::now();
+    black_box(plan.execute_detailed(graph.clone()));
+    let in_process = started.elapsed();
+
+    let fleets: Vec<FleetMeasurement> = [2usize, 4]
+        .iter()
+        .map(|&workers| measure_fleet(&graph, workers, &plan))
+        .collect();
+
+    group.bench_with_input(
+        BenchmarkId::new("in_process", MEAN_P),
+        &in_process,
+        |b, &d| {
+            b.iter(|| black_box(d));
+        },
+    );
+    for fleet in &fleets {
+        group.bench_with_input(
+            BenchmarkId::new("coordinator", fleet.workers),
+            &fleet.coordinator,
+            |b, &d| {
+                b.iter(|| black_box(d));
+            },
+        );
+    }
+    group.finish();
+
+    println!(
+        "p̄ = {MEAN_P}  |V| = {VERTICES}  |E| ≈ {}  worlds = {WORLDS}  in-process {:.2?}",
+        graph.num_edges(),
+        in_process,
+    );
+    for fleet in &fleets {
+        println!(
+            "  {} workers: coordinator {:.2?} ({:.2}x in-process), boundary {:.1} KiB/world",
+            fleet.workers,
+            fleet.coordinator,
+            fleet.coordinator.as_secs_f64() / in_process.as_secs_f64().max(1e-9),
+            fleet.boundary_bytes_total as f64 / WORLDS as f64 / 1024.0,
+        );
+    }
+    write_trajectory(graph.num_edges(), in_process, &fleets);
+}
+
+/// Persists the measured distributed critical path as `BENCH_dist.json` at
+/// the repo root.
+fn write_trajectory(edges: usize, in_process: Duration, fleets: &[FleetMeasurement]) {
+    let mut fleet_entries = String::new();
+    for (i, fleet) in fleets.iter().enumerate() {
+        if i > 0 {
+            fleet_entries.push_str(",\n");
+        }
+        fleet_entries.push_str(&format!(
+            "    {{\"workers\": {}, \"coordinator_ns\": {}, \
+             \"coordinator_over_in_process\": {:.2}, \
+             \"boundary_bytes_per_world\": {:.0}}}",
+            fleet.workers,
+            fleet.coordinator.as_nanos(),
+            fleet.coordinator.as_secs_f64() / in_process.as_secs_f64().max(1e-9),
+            fleet.boundary_bytes_total as f64 / WORLDS as f64,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"dist\",\n  \
+         \"graph\": \"preferential_attachment({VERTICES} vertices, m = {EDGES_PER_VERTEX}, \
+         p = {MEAN_P})\",\n  \
+         \"edges\": {edges},\n  \"worlds\": {WORLDS},\n  \
+         \"plan\": [\"connectivity\", \"degree_histogram\", \"edge_frequency\"],\n  \
+         \"notes\": \"critical path of one full plan: coordinator + N loopback shard workers \
+         (shard_submit/boundary/shard_result wire protocol, DSU glue, order-faithful merge) \
+         vs the in-process run; answers asserted bit-identical before timing is reported. \
+         boundary_bytes_per_world sums the encoded per-shard boundary records of one world \
+         across the fleet\",\n  \
+         \"in_process_ns\": {},\n  \"fleets\": [\n{fleet_entries}\n  ]\n}}\n",
+        in_process.as_nanos(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dist.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write BENCH_dist.json: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, dist_bench);
+criterion_main!(benches);

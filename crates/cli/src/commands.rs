@@ -157,8 +157,11 @@ const SERVE_OPTIONS: &[&str] = &[
     "cache-bytes",
     "max-plan-threads",
     "announce",
+    "shard",
+    "shards",
 ];
 const REQUEST_OPTIONS: &[&str] = &["op", "plan", "compact", "timeout-ms"];
+const COORDINATE_OPTIONS: &[&str] = &["workers", "timeout-ms", "retries", "compact"];
 const HELP_OPTIONS: &[&str] = &[];
 
 const COMMANDS: &[CommandHelp] = &[
@@ -264,14 +267,30 @@ const COMMANDS: &[CommandHelp] = &[
         name: "serve",
         usage: "serve      <graph.txt> [--addr HOST:PORT] [--executors N] [--queue N]
                [--max-inflight N] [--cache-bytes N] [--max-plan-threads N]
-               [--announce FILE]
+               [--announce FILE] [--shard K --shards W]
                Serve the graph over a line-delimited JSON TCP protocol
                (submit/poll/cancel on query-plan documents) with a
                deterministic result cache and typed admission control.
                --addr defaults to 127.0.0.1:0 (a free loopback port; the
                bound address is printed to stderr and, with --announce,
                written to FILE).  Runs until a client sends
-               {\"op\": \"shutdown\"}.",
+               {\"op\": \"shutdown\"}.  With --shard K --shards W the server
+               additionally acts as shard K of a W-shard worker fleet:
+               it holds only that shard's state and answers the
+               shard_submit / boundary / shard_result ops that
+               `ugs coordinate` drives.",
+    },
+    CommandHelp {
+        name: "coordinate",
+        usage: "coordinate <graph.txt> <plan.json> --workers HOST:PORT,HOST:PORT,...
+               [--timeout-ms MS] [--retries N] [--compact]
+               Execute a JSON query plan over a fleet of shard workers
+               (each an `ugs serve --shard K --shards W` process, one per
+               listed address, in order) and print the full report as
+               JSON — bit-identical to running the plan in-process.
+               Count queries only (connectivity|degree-hist|edge-freq);
+               a worker that stops responding degrades the plan to a
+               typed worker_lost error after bounded retries.",
     },
     CommandHelp {
         name: "request",
@@ -1115,6 +1134,15 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     args.expect_options(SERVE_OPTIONS)?;
     let path = args.positional(0, "graph.txt")?;
     let graph = load(path)?;
+    let shard = match (args.options.get("shard"), args.options.get("shards")) {
+        (None, None) => None,
+        (Some(_), None) | (None, Some(_)) => {
+            return Err(CliError::Message(
+                "--shard and --shards come as a pair (shard K of W workers)".to_string(),
+            ))
+        }
+        (Some(_), Some(_)) => Some((args.usize_or("shard", 0)?, args.usize_or("shards", 1)?)),
+    };
     let config = ugs_server::ServerConfig {
         addr: args.option_or("addr", "127.0.0.1:0"),
         executors: args.usize_or("executors", 2)?.max(1),
@@ -1122,6 +1150,7 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         max_inflight: args.usize_or("max-inflight", 8)?.max(1),
         cache_bytes: args.usize_or("cache-bytes", 1 << 20)?,
         max_plan_threads: args.usize_or("max-plan-threads", 8)?.max(1),
+        shard,
     };
     let handle = ugs_server::serve(graph, config)
         .map_err(|e| CliError::Message(format!("cannot serve: {e}")))?;
@@ -1135,6 +1164,49 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     );
     handle.wait();
     Ok(format!("server on {addr} stopped"))
+}
+
+/// `ugs coordinate`: execute a query plan over a fleet of shard workers
+/// and print the report — bit-identical to the in-process run.
+pub fn coordinate(args: &ParsedArgs) -> Result<String, CliError> {
+    use std::time::Duration;
+
+    args.expect_options(COORDINATE_OPTIONS)?;
+    let graph_path = args.positional(0, "graph.txt")?;
+    let plan_path = args.positional(1, "plan.json")?;
+    let text = std::fs::read_to_string(plan_path)
+        .map_err(|e| CliError::Message(format!("cannot read plan {plan_path:?}: {e}")))?;
+    let plan =
+        QueryPlan::parse_str(&text).map_err(|e| CliError::Message(format!("{plan_path}: {e}")))?;
+    let workers = args
+        .options
+        .get("workers")
+        .ok_or_else(|| CliError::Message("--workers HOST:PORT,... is required".to_string()))?;
+    let addrs: Vec<String> = workers
+        .split(',')
+        .map(|addr| addr.trim().to_string())
+        .filter(|addr| !addr.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err(CliError::Message(
+            "--workers names no addresses".to_string(),
+        ));
+    }
+    let graph = load(graph_path)?;
+    let config = ugs_dist::CoordinatorConfig {
+        timeout: Duration::from_millis(args.u64_or("timeout-ms", 10_000)?),
+        retries: args.usize_or("retries", 2)?,
+        ..ugs_dist::CoordinatorConfig::default()
+    };
+    let mut coordinator = ugs_dist::DistCoordinator::connect(graph, &addrs, config)
+        .map_err(|e| CliError::Message(format!("cannot assemble the fleet: {e}")))?;
+    let report = coordinator.run_report(&plan);
+    coordinator.shutdown();
+    Ok(if args.flag("compact") {
+        report.render()
+    } else {
+        report.pretty()
+    })
 }
 
 /// `ugs request`: one round-trip against a running `ugs serve` instance —
@@ -1212,6 +1284,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "partition" => partition(args),
         "session" => session(args),
         "serve" => serve(args),
+        "coordinate" => coordinate(args),
         "request" => request(args),
         "help" | "--help" | "-h" => {
             args.expect_options(HELP_OPTIONS)?;

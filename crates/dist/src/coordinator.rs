@@ -1,0 +1,771 @@
+//! The boundary-exchange coordinator: drives a fleet of `ugs serve --shard`
+//! worker processes through one [`QueryPlan`], glues their per-world
+//! boundary messages into global answers, and degrades to typed errors —
+//! never a hang — when workers die.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use minijson::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ugs_queries::boundary::{glue_records, GluedWorld, ShardWorldRecord};
+use ugs_queries::variance::{Precision, StoppingRule};
+use ugs_server::protocol::DEFAULT_BOUNDARY_PAGE;
+use ugs_server::LineClient;
+use ugs_service::{
+    mode_name, QueryAnswer, QueryPlan, QueryResult, QuerySpec, ResultTicket, ServiceError,
+    SpecError,
+};
+use uncertain_graph::{GraphPartition, UncertainGraph};
+
+use crate::merge::{block_owner, ConnAccumulator, FreqAccumulator, HistAccumulator};
+
+/// One shard's `(degree_histogram, intra_edge_presence)` cross-world
+/// aggregates, as returned by `shard_result`.
+type ShardAggregates = (Vec<u64>, Vec<u64>);
+
+/// Failure-model knobs of a [`DistCoordinator`].
+///
+/// Every worker exchange runs under `timeout` (read *and* write), a failed
+/// exchange is retried up to `retries` times per worker per plan by
+/// reconnecting and resubmitting (the fresh job deterministically resamples
+/// the identical world stream), and a worker whose sampling position stops
+/// advancing for `stale_after` while the coordinator still needs its records
+/// is treated as lost.  Together these bound every plan's worst-case wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordinatorConfig {
+    /// Per-request socket timeout, both directions.
+    pub timeout: Duration,
+    /// Reconnect-and-resubmit attempts per worker per plan before the plan
+    /// degrades to [`ServiceError::WorkerLost`].
+    pub retries: usize,
+    /// How long a worker's `pos` may sit still (while records are needed)
+    /// before the stale-worker detector burns one retry.
+    pub stale_after: Duration,
+    /// Sleep between progress probes when no worker has new records.
+    pub poll_interval: Duration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            timeout: Duration::from_secs(10),
+            retries: 2,
+            stale_after: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+/// The immutable identity of one in-flight distributed sampling job: a
+/// resubmission (after a reconnect, or to raise an adaptive target) must
+/// repeat every field except the world target.
+#[derive(Debug, Clone)]
+struct JobParams {
+    token: String,
+    seed: u64,
+    mode: &'static str,
+    target: usize,
+}
+
+/// One shard worker: its address, its (possibly dropped) connection, and
+/// the pager state of the current job.
+struct Worker {
+    addr: String,
+    client: Option<LineClient>,
+    retries_left: usize,
+    /// Boundary records received so far for the current job (consumed ones
+    /// plus the buffered tail) — the `from` cursor of the next page.
+    received: usize,
+    buffer: VecDeque<ShardWorldRecord>,
+    /// Worker-reported sampling position, for the stale detector.
+    last_pos: usize,
+    last_gain: Instant,
+}
+
+/// Coordinator-side accumulator for one validated query of the plan.
+enum Slot {
+    Connectivity(ConnAccumulator),
+    DegreeHistogram(HistAccumulator),
+    EdgeFrequency(FreqAccumulator),
+}
+
+impl Slot {
+    fn for_spec(spec: &QuerySpec, graph: &UncertainGraph, blocks: usize) -> Slot {
+        match spec {
+            QuerySpec::Connectivity => {
+                Slot::Connectivity(ConnAccumulator::new(graph.num_vertices(), blocks))
+            }
+            QuerySpec::DegreeHistogram => Slot::DegreeHistogram(HistAccumulator::new(graph)),
+            QuerySpec::EdgeFrequency => {
+                Slot::EdgeFrequency(FreqAccumulator::new(graph.num_edges()))
+            }
+            other => unreachable!("spec {} has no distributed slot", other.kind()),
+        }
+    }
+
+    fn tracked_range(&self) -> Option<(f64, f64)> {
+        match self {
+            Slot::Connectivity(acc) => acc.tracked_range(),
+            Slot::EdgeFrequency(acc) => acc.tracked_range(),
+            Slot::DegreeHistogram(_) => None,
+        }
+    }
+
+    /// The per-world increments of the matching observer.
+    fn observe(&mut self, block: usize, partition: &GraphPartition, world: &GluedWorld) {
+        match self {
+            Slot::Connectivity(acc) => acc.observe(block, world),
+            Slot::EdgeFrequency(acc) => acc.observe(partition, world),
+            Slot::DegreeHistogram(_) => {} // filled from worker aggregates
+        }
+    }
+
+    /// The tracked statistic of the world just observed — the same scalar
+    /// the in-process observer hands the stopping rule.
+    fn statistic(&self, world: &GluedWorld, records: &[ShardWorldRecord], num_edges: usize) -> f64 {
+        match self {
+            Slot::Connectivity(_) => f64::from(world.num_components == 1),
+            Slot::EdgeFrequency(_) => {
+                let present: usize = records
+                    .iter()
+                    .map(|record| record.intra_present as usize)
+                    .sum::<usize>()
+                    + world.present_cuts.len();
+                present as f64 / num_edges as f64
+            }
+            Slot::DegreeHistogram(_) => unreachable!("degree histogram is untracked"),
+        }
+    }
+
+    fn finalize(self, num_worlds: usize) -> QueryResult {
+        match self {
+            Slot::Connectivity(acc) => QueryResult::Connectivity(acc.finalize(num_worlds)),
+            Slot::DegreeHistogram(acc) => QueryResult::DegreeHistogram(acc.finalize(num_worlds)),
+            Slot::EdgeFrequency(acc) => QueryResult::EdgeFrequency(acc.finalize(num_worlds)),
+        }
+    }
+}
+
+/// Drives a fleet of shard workers through [`QueryPlan`]s, resolving each
+/// plan **bit-identically** to an in-process run of the same plan.
+///
+/// See the [crate docs](crate) for the protocol, the parity argument and
+/// the failure model.
+pub struct DistCoordinator {
+    graph: Arc<UncertainGraph>,
+    partition: Arc<GraphPartition>,
+    config: CoordinatorConfig,
+    workers: Vec<Worker>,
+    fingerprint: u64,
+    next_token: u64,
+    job: Option<JobParams>,
+}
+
+impl DistCoordinator {
+    /// Connects to one worker per shard (worker `k` must serve shard `k` of
+    /// `addrs.len()`), validating that every worker serves the same graph
+    /// (by fingerprint) under the matching shard role.
+    ///
+    /// Fails with [`ServiceError::Policy`] when the graph cannot be
+    /// partitioned into `addrs.len()` shards, and with
+    /// [`ServiceError::WorkerLost`] when a worker is unreachable or
+    /// mis-configured.
+    pub fn connect(
+        graph: impl Into<Arc<UncertainGraph>>,
+        addrs: &[impl ToString],
+        config: CoordinatorConfig,
+    ) -> Result<DistCoordinator, ServiceError> {
+        let graph = graph.into();
+        if addrs.is_empty() {
+            return Err(ServiceError::Policy(
+                "a distributed coordinator needs at least one worker address".to_string(),
+            ));
+        }
+        let partition = GraphPartition::contiguous(&graph, addrs.len())
+            .map_err(|error| ServiceError::Policy(error.to_string()))?;
+        let fingerprint = graph.fingerprint();
+        let mut coordinator = DistCoordinator {
+            graph,
+            partition: Arc::new(partition),
+            config,
+            workers: addrs
+                .iter()
+                .map(|addr| Worker {
+                    addr: addr.to_string(),
+                    client: None,
+                    retries_left: config.retries,
+                    received: 0,
+                    buffer: VecDeque::new(),
+                    last_pos: 0,
+                    last_gain: Instant::now(),
+                })
+                .collect(),
+            fingerprint,
+            next_token: 0,
+            job: None,
+        };
+        for k in 0..coordinator.workers.len() {
+            let client = coordinator
+                .open_client(k)
+                .map_err(ServiceError::WorkerLost)?;
+            coordinator.workers[k].client = Some(client);
+        }
+        Ok(coordinator)
+    }
+
+    /// Number of shard workers (= shards of the partition).
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The fingerprint of the coordinated graph.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The graph label every report carries (same rendering as the server's).
+    pub fn graph_label(&self) -> String {
+        format!("fingerprint:{:016x}", self.fingerprint)
+    }
+
+    /// Executes a plan across the fleet; one outcome per query, in plan
+    /// order.  Bit-identical to `plan.execute_detailed(graph)` for the
+    /// distributed-aggregate queries (`connectivity`, `degree_histogram`,
+    /// `edge_frequency`); any other query resolves with the typed
+    /// [`SpecError::Unsupported`] — the boundary messages carry no
+    /// per-vertex state to aggregate it from.
+    pub fn execute(&mut self, plan: &QueryPlan) -> Vec<Result<QueryAnswer, ServiceError>> {
+        let shards = self.workers.len();
+        // Per-query validation, mirroring the in-process scheduler's flush:
+        // invalid queries resolve individually, the valid remainder runs.
+        let mut slots: Vec<Slot> = Vec::new();
+        let worlds = plan.worlds;
+        let cap = match plan.precision {
+            Some(precision) => precision.cap(worlds),
+            None => worlds,
+        };
+        let blocks = plan.threads.max(1).clamp(1, cap.max(1));
+        let placed: Vec<Result<(), ServiceError>> = plan
+            .queries
+            .iter()
+            .map(|spec| {
+                spec.validate_sharded(&self.graph, shards)
+                    .and_then(|()| match spec {
+                        QuerySpec::Connectivity
+                        | QuerySpec::DegreeHistogram
+                        | QuerySpec::EdgeFrequency => Ok(()),
+                        other => Err(SpecError::Unsupported {
+                            query: other.kind().to_string(),
+                            shards,
+                        }),
+                    })
+                    .map(|()| slots.push(Slot::for_spec(spec, &self.graph, blocks)))
+                    .map_err(ServiceError::Spec)
+            })
+            .collect();
+        if slots.is_empty() {
+            return placed
+                .into_iter()
+                .map(|entry| entry.map(|()| unreachable!("no valid slots")))
+                .collect();
+        }
+        let run = self.run_valid(plan, &mut slots, blocks, cap);
+        let (worlds_used, half_width) = match run {
+            Ok(outcome) => outcome,
+            Err(error) => {
+                self.job = None;
+                return placed
+                    .into_iter()
+                    .map(|entry| entry.and(Err(error.clone())))
+                    .collect();
+            }
+        };
+        let mut finished = slots.into_iter();
+        placed
+            .into_iter()
+            .map(|entry| {
+                entry.map(|()| QueryAnswer {
+                    result: finished
+                        .next()
+                        .expect("one finished slot per valid query")
+                        .finalize(worlds_used),
+                    worlds_used,
+                    half_width,
+                })
+            })
+            .collect()
+    }
+
+    /// Like [`DistCoordinator::execute`], but hands back one
+    /// [`ResultTicket`] per query through the external-executor seam
+    /// ([`ResultTicket::pending`]) — the surface a service embeds when it
+    /// offloads plans to a fleet.
+    pub fn execute_ticketed(&mut self, plan: &QueryPlan) -> Vec<ResultTicket> {
+        self.execute(plan)
+            .into_iter()
+            .map(|outcome| {
+                let (reply, ticket) = ResultTicket::pending();
+                let _ = reply.send(outcome);
+                ticket
+            })
+            .collect()
+    }
+
+    /// Executes the plan and renders the same report envelope
+    /// [`QueryPlan::run_report`] prints for an in-process run, with the
+    /// graph labelled by fingerprint (byte-identical answers yield
+    /// byte-identical reports).
+    pub fn run_report(&mut self, plan: &QueryPlan) -> Value {
+        let results = self.execute(plan);
+        plan.report_for(&self.graph_label(), &results)
+    }
+
+    /// Drops every worker connection; the workers' sampler threads stop and
+    /// join as their connections close.  (Dropping the coordinator does the
+    /// same — this is the explicit spelling.)
+    pub fn shutdown(self) {}
+
+    /// Runs the sampling for the plan's valid queries; returns
+    /// `(worlds_used, half_width)`.
+    fn run_valid(
+        &mut self,
+        plan: &QueryPlan,
+        slots: &mut [Slot],
+        blocks: usize,
+        cap: usize,
+    ) -> Result<(usize, Option<f64>), ServiceError> {
+        let worlds = plan.worlds;
+        if worlds == 0 {
+            // Pristine finalize: no batch seed is drawn, no job started —
+            // mirrors the in-process scheduler's zero-world short-circuit.
+            return Ok((0, None));
+        }
+        // The in-process plan runs as one micro-batch of a fresh service
+        // stream: the batch seed is the stream's first draw.
+        let seed = SmallRng::seed_from_u64(plan.seed).gen::<u64>();
+        let mode = mode_name(plan.mode);
+        match &plan.precision {
+            None => {
+                self.start_job(seed, mode, worlds)?;
+                let partition = Arc::clone(&self.partition);
+                self.pump(0, worlds, |world, glued, _records| {
+                    let owner = block_owner(world, worlds, blocks);
+                    for slot in slots.iter_mut() {
+                        slot.observe(owner, &partition, glued);
+                    }
+                    Ok(())
+                })?;
+                self.finish_job(slots, worlds)?;
+                Ok((worlds, None))
+            }
+            Some(precision) => self.run_adaptive(seed, mode, precision, slots, blocks, cap),
+        }
+    }
+
+    /// The adaptive epoch loop, replicating `drive_adaptive` exactly: same
+    /// stopping rule, same per-world record order, same check order at each
+    /// epoch barrier — so `worlds_used` and `half_width` match the
+    /// in-process run bitwise.
+    fn run_adaptive(
+        &mut self,
+        seed: u64,
+        mode: &'static str,
+        precision: &Precision,
+        slots: &mut [Slot],
+        blocks: usize,
+        cap: usize,
+    ) -> Result<(usize, Option<f64>), ServiceError> {
+        let mut rule = StoppingRule::new(*precision);
+        let tracked: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.tracked_range().map(|(lo, hi)| (i, lo, hi)))
+            .map(|(i, lo, hi)| {
+                rule.register(lo, hi);
+                i
+            })
+            .collect();
+        if cap == 0 {
+            return Ok((0, Some(f64::INFINITY)));
+        }
+        let epoch = precision.epoch.max(1);
+        let started = Instant::now();
+        if rule.deadline_expired(started) {
+            return Ok((0, Some(f64::INFINITY)));
+        }
+        self.start_job(seed, mode, 0)?;
+        let partition = Arc::clone(&self.partition);
+        let num_edges = self.graph.num_edges();
+        let mut consumed = 0usize;
+        loop {
+            let block = epoch.min(cap - consumed);
+            self.raise_target(consumed + block)?;
+            let epoch_start = consumed;
+            self.pump(consumed, consumed + block, |world, glued, records| {
+                let owner = block_owner(world - epoch_start, block, blocks);
+                for slot in slots.iter_mut() {
+                    slot.observe(owner, &partition, glued);
+                }
+                for (s, &i) in tracked.iter().enumerate() {
+                    rule.record(s, slots[i].statistic(glued, records, num_edges));
+                }
+                Ok(())
+            })?;
+            consumed += block;
+            // Same verdict order as the in-process checkpoint: convergence,
+            // then budget, then deadline — a deadline can only shorten a
+            // run, never change a converged answer.
+            if rule.check() || consumed >= cap || rule.deadline_expired(started) {
+                break;
+            }
+        }
+        self.finish_job(slots, consumed)?;
+        Ok((consumed, Some(rule.half_width())))
+    }
+
+    /// Collects every worker's cross-world aggregates for the finished job
+    /// and folds them into the slots.
+    fn finish_job(&mut self, slots: &mut [Slot], target: usize) -> Result<(), ServiceError> {
+        let aggregates = self.collect_aggregates(target)?;
+        for (k, (hist, intra)) in aggregates.iter().enumerate() {
+            let shard = self.partition.shard(k);
+            for slot in slots.iter_mut() {
+                let folded = match slot {
+                    Slot::DegreeHistogram(acc) => acc.add_worker(hist),
+                    Slot::EdgeFrequency(acc) => acc.add_intra(shard, intra),
+                    Slot::Connectivity(_) => Ok(()),
+                };
+                folded.map_err(|why| {
+                    ServiceError::Internal(format!("shard {k} aggregates rejected: {why}"))
+                })?;
+            }
+        }
+        self.job = None;
+        Ok(())
+    }
+
+    /// Starts a fresh sampling job on every worker under a new token,
+    /// resetting all pager state and re-arming the retry budgets.
+    fn start_job(
+        &mut self,
+        seed: u64,
+        mode: &'static str,
+        target: usize,
+    ) -> Result<(), ServiceError> {
+        let token = format!("plan-{}", self.next_token);
+        self.next_token += 1;
+        self.job = Some(JobParams {
+            token,
+            seed,
+            mode,
+            target,
+        });
+        let now = Instant::now();
+        for worker in &mut self.workers {
+            worker.retries_left = self.config.retries;
+            worker.received = 0;
+            worker.buffer.clear();
+            worker.last_pos = 0;
+            worker.last_gain = now;
+        }
+        for k in 0..self.workers.len() {
+            let line = self.submit_line(k);
+            // Idempotent: the reconnect path may already have resubmitted —
+            // a matching resubmission just re-raises the same target.
+            self.request_worker(k, &line)?;
+        }
+        Ok(())
+    }
+
+    /// Raises every worker's world target for the in-flight job (the
+    /// adaptive per-epoch extension).
+    fn raise_target(&mut self, target: usize) -> Result<(), ServiceError> {
+        self.job
+            .as_mut()
+            .expect("raise_target outside a job")
+            .target = target;
+        for k in 0..self.workers.len() {
+            let line = self.submit_line(k);
+            self.request_worker(k, &line)?;
+        }
+        Ok(())
+    }
+
+    /// The `shard_submit` request line for worker `k` and the current job.
+    fn submit_line(&self, k: usize) -> String {
+        let job = self.job.as_ref().expect("submit_line outside a job");
+        format!(
+            "{{\"op\": \"shard_submit\", \"job\": \"{}\", \"shard\": {}, \"shards\": {}, \
+             \"worlds\": {}, \"seed\": \"{}\", \"mode\": \"{}\"}}",
+            job.token,
+            k,
+            self.workers.len(),
+            job.target,
+            job.seed,
+            job.mode
+        )
+    }
+
+    /// Glues worlds `from..upto` in world order, invoking `on_world` for
+    /// each: pages boundary records from every worker, buffers them, and
+    /// glues a world as soon as all shards have reported it.  Applies the
+    /// stale-worker detector whenever a pass makes no progress.
+    fn pump<F>(&mut self, from: usize, upto: usize, mut on_world: F) -> Result<(), ServiceError>
+    where
+        F: FnMut(usize, &GluedWorld, &[ShardWorldRecord]) -> Result<(), ServiceError>,
+    {
+        let shards = self.workers.len();
+        let mut next_world = from;
+        let mut records: Vec<ShardWorldRecord> = Vec::with_capacity(shards);
+        while next_world < upto {
+            let mut progressed = false;
+            for k in 0..shards {
+                let needed = upto - self.workers[k].received;
+                if needed == 0 {
+                    continue;
+                }
+                let gained = self.page_records(k, needed.min(DEFAULT_BOUNDARY_PAGE))?;
+                progressed |= gained > 0;
+            }
+            while next_world < upto && self.workers.iter().all(|w| !w.buffer.is_empty()) {
+                records.clear();
+                for worker in &mut self.workers {
+                    records.push(worker.buffer.pop_front().expect("checked non-empty"));
+                }
+                let glued = glue_records(&self.partition, &records).map_err(|why| {
+                    ServiceError::Internal(format!("glue failed at world {next_world}: {why}"))
+                })?;
+                on_world(next_world, &glued, &records)?;
+                next_world += 1;
+                progressed = true;
+            }
+            if !progressed {
+                self.check_stale(upto)?;
+                std::thread::sleep(self.config.poll_interval);
+            }
+        }
+        Ok(())
+    }
+
+    /// Requests one page of boundary records from worker `k`; returns how
+    /// many records arrived (possibly zero while the worker still samples).
+    fn page_records(&mut self, k: usize, max: usize) -> Result<usize, ServiceError> {
+        let job = self.job.as_ref().expect("page_records outside a job");
+        let line = format!(
+            "{{\"op\": \"boundary\", \"job\": \"{}\", \"from\": {}, \"max\": {}}}",
+            job.token, self.workers[k].received, max
+        );
+        let response = self.request_worker(k, &line)?;
+        let parsed: Result<Vec<ShardWorldRecord>, String> =
+            match response.get("records").and_then(Value::as_array) {
+                None => Err("boundary response without records".to_string()),
+                Some(entries) => entries
+                    .iter()
+                    .map(|entry| {
+                        entry
+                            .as_str()
+                            .ok_or_else(|| "non-string boundary record".to_string())
+                            .and_then(ShardWorldRecord::decode)
+                    })
+                    .collect(),
+            };
+        let decoded = match parsed {
+            Ok(decoded) => decoded,
+            Err(why) => {
+                // Transport-level corruption: burn a retry and re-page.
+                self.fail_worker(k, &why)?;
+                return Ok(0);
+            }
+        };
+        let gained = decoded.len();
+        let worker = &mut self.workers[k];
+        worker.received += gained;
+        worker.buffer.extend(decoded);
+        let pos = response.get_usize("pos").unwrap_or(worker.last_pos);
+        if gained > 0 || pos > worker.last_pos {
+            worker.last_pos = pos.max(worker.last_pos);
+            worker.last_gain = Instant::now();
+        }
+        Ok(gained)
+    }
+
+    /// Burns a retry on every worker whose sampling position has sat still
+    /// beyond the stale window while records are still owed.
+    fn check_stale(&mut self, upto: usize) -> Result<(), ServiceError> {
+        for k in 0..self.workers.len() {
+            if self.workers[k].received < upto
+                && self.workers[k].last_gain.elapsed() > self.config.stale_after
+            {
+                self.fail_worker(k, "sampling position stopped advancing")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Polls every worker's `shard_result` until done, returning each
+    /// shard's `(hist, intra)` cross-world aggregates.
+    fn collect_aggregates(&mut self, target: usize) -> Result<Vec<ShardAggregates>, ServiceError> {
+        let token = self
+            .job
+            .as_ref()
+            .expect("collect_aggregates outside a job")
+            .token
+            .clone();
+        let line = format!("{{\"op\": \"shard_result\", \"job\": \"{token}\"}}");
+        let mut aggregates = Vec::with_capacity(self.workers.len());
+        for k in 0..self.workers.len() {
+            loop {
+                let response = self.request_worker(k, &line)?;
+                if response.get("done").and_then(Value::as_bool) == Some(true) {
+                    let worlds = response.get_usize("worlds");
+                    if worlds != Some(target) {
+                        self.fail_worker(
+                            k,
+                            &format!("aggregates cover {worlds:?} worlds, expected {target}"),
+                        )?;
+                        continue;
+                    }
+                    match (
+                        u64_array(response.get("hist")),
+                        u64_array(response.get("intra")),
+                    ) {
+                        (Some(hist), Some(intra)) => {
+                            aggregates.push((hist, intra));
+                            break;
+                        }
+                        _ => {
+                            self.fail_worker(k, "malformed aggregate arrays")?;
+                            continue;
+                        }
+                    }
+                }
+                let pos = response.get_usize("pos").unwrap_or(0);
+                let worker = &mut self.workers[k];
+                if pos > worker.last_pos {
+                    worker.last_pos = pos;
+                    worker.last_gain = Instant::now();
+                } else if worker.last_gain.elapsed() > self.config.stale_after {
+                    self.fail_worker(k, "stalled before finishing its aggregates")?;
+                    continue;
+                }
+                std::thread::sleep(self.config.poll_interval);
+            }
+        }
+        Ok(aggregates)
+    }
+
+    /// Sends one request to worker `k`, transparently reconnecting,
+    /// re-validating and resubmitting the in-flight job after a failure.
+    /// Every failure burns one bounded retry; exhaustion degrades to
+    /// [`ServiceError::WorkerLost`].
+    fn request_worker(&mut self, k: usize, line: &str) -> Result<Value, ServiceError> {
+        loop {
+            if self.workers[k].client.is_none() {
+                match self.open_client(k) {
+                    Ok(client) => {
+                        self.workers[k].client = Some(client);
+                        self.workers[k].last_gain = Instant::now();
+                        if self.job.is_some() {
+                            let submit = self.submit_line(k);
+                            let resubmitted = self.raw_request(k, &submit);
+                            if let Err(why) = resubmitted {
+                                self.fail_worker(k, &why)?;
+                                continue;
+                            }
+                        }
+                    }
+                    Err(why) => {
+                        self.fail_worker(k, &why)?;
+                        continue;
+                    }
+                }
+            }
+            match self.raw_request(k, line) {
+                Ok(value) => return Ok(value),
+                Err(why) => self.fail_worker(k, &why)?,
+            }
+        }
+    }
+
+    /// One request on the live connection; any transport error or error
+    /// envelope comes back as a message (no retry logic here).
+    fn raw_request(&mut self, k: usize, line: &str) -> Result<Value, String> {
+        let client = self.workers[k]
+            .client
+            .as_mut()
+            .ok_or_else(|| "connection closed".to_string())?;
+        let response = client.request(line).map_err(|error| error.to_string())?;
+        if response.get_str("status") == Some("ok") {
+            Ok(response)
+        } else {
+            Err(format!("worker answered {}", response.render()))
+        }
+    }
+
+    /// Records one failed exchange with worker `k`: drops its connection
+    /// (the next request reconnects and resubmits) and burns one retry, or
+    /// degrades the plan to the typed [`ServiceError::WorkerLost`].
+    fn fail_worker(&mut self, k: usize, why: &str) -> Result<(), ServiceError> {
+        let worker = &mut self.workers[k];
+        worker.client = None;
+        if worker.retries_left == 0 {
+            return Err(ServiceError::WorkerLost(format!(
+                "shard {k} worker at {}: {why} (retries exhausted)",
+                worker.addr
+            )));
+        }
+        worker.retries_left -= 1;
+        worker.last_gain = Instant::now();
+        Ok(())
+    }
+
+    /// Opens and validates a connection to worker `k`: timeouts armed both
+    /// directions, graph fingerprint and shard role checked via `stats`.
+    fn open_client(&self, k: usize) -> Result<LineClient, String> {
+        let addr = &self.workers[k].addr;
+        let describe = |why: String| format!("shard {k} worker at {addr}: {why}");
+        let mut client =
+            LineClient::connect(addr.as_str()).map_err(|error| describe(error.to_string()))?;
+        client
+            .set_read_timeout(Some(self.config.timeout))
+            .and_then(|()| client.set_write_timeout(Some(self.config.timeout)))
+            .map_err(|error| describe(error.to_string()))?;
+        let stats = client
+            .request("{\"op\": \"stats\"}")
+            .map_err(|error| describe(error.to_string()))?;
+        if stats.get_str("status") != Some("ok") {
+            return Err(describe(format!("stats answered {}", stats.render())));
+        }
+        let label = self.graph_label();
+        if stats.get_str("graph") != Some(label.as_str()) {
+            return Err(describe(format!(
+                "serves graph {:?}, expected {label}",
+                stats.get_str("graph").unwrap_or("<missing>")
+            )));
+        }
+        let role = stats
+            .get("shard")
+            .ok_or_else(|| describe("runs no shard role (start it with --shard)".to_string()))?;
+        let (have_shard, have_shards) = (role.get_usize("shard"), role.get_usize("shards"));
+        if have_shard != Some(k) || have_shards != Some(self.workers.len()) {
+            return Err(describe(format!(
+                "serves shard {have_shard:?} of {have_shards:?}, expected shard {k} of {}",
+                self.workers.len()
+            )));
+        }
+        Ok(client)
+    }
+}
+
+/// Parses a JSON array of non-negative integers carried as `f64` (exact
+/// below 2⁵³, which world counts never approach).
+fn u64_array(value: Option<&Value>) -> Option<Vec<u64>> {
+    value?
+        .as_array()?
+        .iter()
+        .map(|entry| entry.as_f64().map(|f| f as u64))
+        .collect()
+}

@@ -1,0 +1,112 @@
+//! Multi-process distributed query execution: shard workers plus a
+//! boundary-exchange coordinator.
+//!
+//! A **worker** is an `ugs-server` started with
+//! [`ServerConfig::shard`](ugs_server::ServerConfig::shard)` = Some((k, w))`
+//! (the CLI spelling is `ugs serve --shard k --shards w`): it builds the
+//! contiguous `w`-shard partition of its graph and holds only shard `k`'s
+//! CSR and scratch state, plus the O(|E|) replay probability table that
+//! keeps the sampled world stream identical across every worker and the
+//! monolithic engine.  The **coordinator** ([`DistCoordinator`]) connects
+//! to one worker per shard, fans a [`QueryPlan`](ugs_service::QueryPlan)
+//! out over the line-delimited JSON protocol (`shard_submit` / `boundary`
+//! / `shard_result`), glues each world's per-shard boundary messages into
+//! the global component structure with a disjoint-set union, and resolves
+//! the plan **bit-identically** to an in-process
+//! `plan.execute_detailed(graph)` run of the same plan.
+//!
+//! # Why the answers are bit-identical
+//!
+//! Three invariants compose, none of them approximate:
+//!
+//! 1. **Replay sampling.**  Worker `k` samples world `i` by replaying the
+//!    full-graph edge stream from the shared batch seed (derived exactly
+//!    like the in-process service derives it: the first `u64` drawn from
+//!    `SmallRng::seed_from_u64(plan.seed)`), so every shard — and the
+//!    monolithic engine — sees the same coin for every edge of every
+//!    world.
+//! 2. **Exact glue.**  A world's global component structure decomposes
+//!    into per-shard structures joined across present cut edges; the
+//!    boundary message carries exactly the labels the union-find needs, so
+//!    component counts, largest-component sizes and isolated-vertex counts
+//!    come out equal to the in-process sharded observer's, not close to.
+//! 3. **Order-faithful accumulation.**  Integer-valued totals (degree
+//!    bins, edge presence counts) are order-insensitive and travel as
+//!    worker-side cross-world aggregates; the one float-ordered total (the
+//!    connectivity observer's isolated fraction) is accumulated per
+//!    worker-thread world block and folded in block order — the identical
+//!    `f64` addition sequence the in-process driver performs for the
+//!    plan's `threads` setting.  Adaptive plans re-run the in-process
+//!    stopping rule verbatim (same crate, same code) with the per-world
+//!    statistics recorded in world order, so `worlds_used` and
+//!    `half_width` match bitwise too.
+//!
+//! Distributed execution covers the cut-aware *count* queries —
+//! `connectivity`, `degree_histogram`, `edge_frequency`.  Anything else
+//! resolves with the typed
+//! [`SpecError::Unsupported`](ugs_service::SpecError::Unsupported):
+//! boundary messages carry no per-vertex state to aggregate a traversal
+//! query from.
+//!
+//! # Failure model
+//!
+//! Configured by [`CoordinatorConfig`]; the invariant is **bounded wait,
+//! typed degradation, never a hang**:
+//!
+//! * every worker socket carries read *and* write timeouts;
+//! * a failed exchange burns one of the worker's bounded retries and
+//!   reconnects, re-validates (fingerprint + shard role) and resubmits —
+//!   the fresh job deterministically resamples the identical stream, so a
+//!   retried worker cannot skew the answer;
+//! * a worker whose sampling position stops advancing while records are
+//!   owed is declared stale and retried the same way;
+//! * when a worker's retries run out the plan degrades to
+//!   [`ServiceError::WorkerLost`](ugs_service::ServiceError::WorkerLost)
+//!   for every pending query;
+//! * shutting down (or dropping) the coordinator closes every worker
+//!   connection, which stops and joins the workers' sampler threads.
+//!
+//! # Example
+//!
+//! ```
+//! use ugs_dist::{CoordinatorConfig, DistCoordinator};
+//! use ugs_server::{serve, ServerConfig};
+//! use ugs_service::QueryPlan;
+//! use uncertain_graph::UncertainGraph;
+//!
+//! let graph = UncertainGraph::from_edges(4, [(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.7)]).unwrap();
+//!
+//! // Two shard workers (in-process here; separate processes in production).
+//! let workers: Vec<_> = (0..2)
+//!     .map(|k| {
+//!         let config = ServerConfig { shard: Some((k, 2)), ..ServerConfig::default() };
+//!         serve(graph.clone(), config).unwrap()
+//!     })
+//!     .collect();
+//! let addrs: Vec<_> = workers.iter().map(|w| w.addr().to_string()).collect();
+//!
+//! let mut coordinator =
+//!     DistCoordinator::connect(graph.clone(), &addrs, CoordinatorConfig::default()).unwrap();
+//! let plan = QueryPlan::parse_str(
+//!     r#"{"worlds": 40, "seed": 7, "queries": [{"type": "connectivity"}]}"#,
+//! )
+//! .unwrap();
+//!
+//! // Bit-identical to the in-process run of the same plan.
+//! let distributed = coordinator.execute(&plan);
+//! let monolithic = plan.execute_detailed(graph);
+//! assert_eq!(distributed[0].as_ref().unwrap(), monolithic[0].as_ref().unwrap());
+//!
+//! coordinator.shutdown();
+//! for worker in workers {
+//!     worker.shutdown();
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+mod merge;
+
+pub use coordinator::{CoordinatorConfig, DistCoordinator};

@@ -1,0 +1,233 @@
+//! Coordinator-side accumulators replicating the count observers of
+//! `ugs-queries` — same per-world arithmetic, same merge order.
+//!
+//! Bit-identity with the in-process drivers is the whole contract here, and
+//! it has two halves:
+//!
+//! * **Integer-valued totals** (degree histogram bins, edge presence
+//!   counts) are order-insensitive sums of `1.0`s, so the coordinator can
+//!   accumulate them as `u64` from the workers' cross-world aggregates and
+//!   convert at finalize time — `t as f64 / w` equals the observer's
+//!   `x / w` exactly for any accumulation order (counts stay far below
+//!   2⁵³).
+//! * **Float-valued totals** (the connectivity observer's isolated
+//!   fraction) are *not* associative, so the coordinator reproduces the
+//!   in-process driver's block structure exactly: one accumulator per
+//!   worker-thread world block, fed in world order within the block,
+//!   folded in block order at the end — the identical sequence of `f64`
+//!   additions the monolithic and in-process sharded paths perform.
+
+use ugs_queries::boundary::GluedWorld;
+use ugs_queries::ConnectivityEstimate;
+use uncertain_graph::{GraphPartition, Shard, UncertainGraph};
+
+/// Which worker-thread block owns world `offset` of a contiguous block of
+/// `block` worlds split over `blocks` workers — the replay-partition formula
+/// of the in-process drivers (`base + usize::from(idx < extra)` worlds per
+/// worker, earlier workers first).
+pub(crate) fn block_owner(offset: usize, block: usize, blocks: usize) -> usize {
+    debug_assert!(offset < block, "world offset outside its block");
+    let base = block / blocks;
+    let extra = block % blocks;
+    let wide = extra * (base + 1);
+    if offset < wide {
+        offset / (base + 1)
+    } else {
+        // `base > 0` here: with `base == 0` every world of the block lies in
+        // the `wide` region above.
+        extra + (offset - wide) / base
+    }
+}
+
+/// Replica of `ConnectivityObserver`: four running totals per worker-thread
+/// block, folded in block order (float-order sensitive — see module docs).
+#[derive(Debug)]
+pub(crate) struct ConnAccumulator {
+    n: usize,
+    blocks: Vec<[f64; 4]>,
+}
+
+impl ConnAccumulator {
+    pub(crate) fn new(n: usize, blocks: usize) -> Self {
+        ConnAccumulator {
+            n,
+            blocks: vec![[0.0; 4]; blocks],
+        }
+    }
+
+    /// Same tracked-statistic gate as the observer.
+    pub(crate) fn tracked_range(&self) -> Option<(f64, f64)> {
+        (self.n > 0).then_some((0.0, 1.0))
+    }
+
+    /// The per-world increments of `ConnectivityObserver::observe_sharded`,
+    /// applied to the owning block's totals.
+    pub(crate) fn observe(&mut self, block: usize, world: &GluedWorld) {
+        let totals = &mut self.blocks[block];
+        totals[0] += world.num_components as f64;
+        totals[1] += world.largest as f64;
+        totals[2] += f64::from(world.num_components == 1);
+        totals[3] += world.isolated as f64 / self.n as f64;
+    }
+
+    pub(crate) fn finalize(self, num_worlds: usize) -> ConnectivityEstimate {
+        if num_worlds == 0 {
+            return ConnectivityEstimate {
+                expected_components: 0.0,
+                expected_largest_component: 0.0,
+                probability_connected: 0.0,
+                expected_isolated_fraction: 0.0,
+                num_worlds,
+            };
+        }
+        // Fold in block order, exactly like the driver merges its worker
+        // partials.  The totals are sums of non-negative terms, so the
+        // zero-initialised fold is bitwise equal to starting from block 0.
+        let mut totals = [0.0; 4];
+        for block in &self.blocks {
+            for (total, partial) in totals.iter_mut().zip(block) {
+                *total += partial;
+            }
+        }
+        let w = num_worlds as f64;
+        ConnectivityEstimate {
+            expected_components: totals[0] / w,
+            expected_largest_component: totals[1] / w,
+            probability_connected: totals[2] / w,
+            expected_isolated_fraction: totals[3] / w,
+            num_worlds,
+        }
+    }
+}
+
+/// Replica of `DegreeHistogramObserver`: integer bins sized for the maximum
+/// support degree, filled from the workers' cross-world aggregates.
+#[derive(Debug)]
+pub(crate) struct HistAccumulator {
+    totals: Vec<u64>,
+}
+
+impl HistAccumulator {
+    pub(crate) fn new(graph: &UncertainGraph) -> Self {
+        let max_degree = (0..graph.num_vertices())
+            .map(|u| graph.degree(u))
+            .max()
+            .unwrap_or(0);
+        HistAccumulator {
+            totals: vec![0; max_degree + 1],
+        }
+    }
+
+    /// Adds one worker's cross-world histogram (shard-local degrees plus
+    /// incident present cuts, already summed over its worlds).
+    pub(crate) fn add_worker(&mut self, hist: &[u64]) -> Result<(), String> {
+        if hist.len() > self.totals.len() {
+            return Err(format!(
+                "worker histogram has {} bins but the support graph allows degree {} at most",
+                hist.len(),
+                self.totals.len() - 1
+            ));
+        }
+        for (total, &bin) in self.totals.iter_mut().zip(hist) {
+            *total += bin;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finalize(self, num_worlds: usize) -> Vec<f64> {
+        if num_worlds == 0 {
+            return self.totals.iter().map(|&t| t as f64).collect();
+        }
+        let mut histogram: Vec<f64> = self
+            .totals
+            .iter()
+            .map(|&t| t as f64 / num_worlds as f64)
+            .collect();
+        while histogram.len() > 1 && histogram.last() == Some(&0.0) {
+            histogram.pop();
+        }
+        histogram
+    }
+}
+
+/// Replica of `EdgeFrequencyObserver`: integer presence counts per global
+/// edge id — intra-shard edges from the workers' aggregates, cut edges from
+/// the per-world glue.
+#[derive(Debug)]
+pub(crate) struct FreqAccumulator {
+    counts: Vec<u64>,
+}
+
+impl FreqAccumulator {
+    pub(crate) fn new(num_edges: usize) -> Self {
+        FreqAccumulator {
+            counts: vec![0; num_edges],
+        }
+    }
+
+    /// Same tracked-statistic gate as the observer.
+    pub(crate) fn tracked_range(&self) -> Option<(f64, f64)> {
+        (!self.counts.is_empty()).then_some((0.0, 1.0))
+    }
+
+    /// Counts this world's present cut edges (each exactly once — the glue
+    /// already deduplicated the two endpoint reports).
+    pub(crate) fn observe(&mut self, partition: &GraphPartition, world: &GluedWorld) {
+        for &c in &world.present_cuts {
+            self.counts[partition.cut_edge(c as usize).edge] += 1;
+        }
+    }
+
+    /// Adds one shard's cross-world intra-edge presence counts under their
+    /// stable global edge ids.
+    pub(crate) fn add_intra(&mut self, shard: &Shard, intra: &[u64]) -> Result<(), String> {
+        if intra.len() != shard.num_edges() {
+            return Err(format!(
+                "worker reported {} intra-edge counters for a shard with {} edges",
+                intra.len(),
+                shard.num_edges()
+            ));
+        }
+        for (e, &count) in intra.iter().enumerate() {
+            self.counts[shard.global_edge(e)] += count;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finalize(self, num_worlds: usize) -> Vec<f64> {
+        if num_worlds == 0 {
+            return self.counts.iter().map(|&c| c as f64).collect();
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / num_worlds as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_owner_matches_the_replay_partition_formula() {
+        // 10 worlds over 3 blocks: counts 4, 3, 3 — skips 0, 4, 7.
+        let owners: Vec<usize> = (0..10).map(|w| block_owner(w, 10, 3)).collect();
+        assert_eq!(owners, [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        // A block smaller than the worker count leaves trailing workers idle.
+        let owners: Vec<usize> = (0..3).map(|w| block_owner(w, 3, 8)).collect();
+        assert_eq!(owners, [0, 1, 2]);
+        // One block takes everything.
+        assert!((0..7).all(|w| block_owner(w, 7, 1) == 0));
+    }
+
+    #[test]
+    fn histogram_finalize_divides_then_truncates() {
+        let graph = UncertainGraph::from_edges(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)]).unwrap();
+        let mut acc = HistAccumulator::new(&graph);
+        // max support degree 2 → 3 bins.
+        acc.add_worker(&[2, 6, 0]).unwrap();
+        assert_eq!(acc.finalize(2), vec![1.0, 3.0]);
+        assert!(HistAccumulator::new(&graph).add_worker(&[0; 9]).is_err());
+    }
+}

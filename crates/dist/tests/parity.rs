@@ -1,0 +1,182 @@
+//! Distributed parity: a coordinator over {1, 2, 4} shard workers resolves
+//! every plan bit-identically to the monolithic in-process run *and* to the
+//! in-process sharded run — across sampling modes, seeds, thread counts and
+//! adaptive precision targets.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ugs_dist::{CoordinatorConfig, DistCoordinator};
+use ugs_server::{serve, ServerConfig, ServerHandle};
+use ugs_service::{QueryAnswer, QueryPlan, ServiceError};
+use uncertain_graph::UncertainGraph;
+
+/// A 60-vertex ring with deterministic long chords and pseudo-random edge
+/// probabilities: four contiguous shards each see plenty of cut edges.
+fn test_graph() -> UncertainGraph {
+    let n = 60;
+    let mut rng = SmallRng::seed_from_u64(0xD15);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n, 0.2 + 0.6 * rng.gen::<f64>()));
+    }
+    for i in (0..n).step_by(3) {
+        edges.push((i, (i + 7) % n, 0.1 + 0.8 * rng.gen::<f64>()));
+    }
+    UncertainGraph::from_edges(n, edges).unwrap()
+}
+
+fn spawn_workers(graph: &UncertainGraph, shards: usize) -> (Vec<ServerHandle>, Vec<String>) {
+    let workers: Vec<ServerHandle> = (0..shards)
+        .map(|k| {
+            let config = ServerConfig {
+                shard: Some((k, shards)),
+                ..ServerConfig::default()
+            };
+            serve(graph.clone(), config).unwrap()
+        })
+        .collect();
+    let addrs = workers.iter().map(|w| w.addr().to_string()).collect();
+    (workers, addrs)
+}
+
+fn plan(worlds: usize, threads: usize, shards: usize, mode: &str, seed: u64) -> QueryPlan {
+    QueryPlan::parse_str(&format!(
+        r#"{{"worlds": {worlds}, "threads": {threads}, "shards": {shards},
+            "mode": "{mode}", "seed": {seed},
+            "queries": [{{"type": "connectivity"}},
+                        {{"type": "degree_histogram"}},
+                        {{"type": "edge_frequency"}}]}}"#
+    ))
+    .unwrap()
+}
+
+fn answers(outcomes: Vec<Result<QueryAnswer, ServiceError>>) -> Vec<QueryAnswer> {
+    outcomes.into_iter().map(|o| o.unwrap()).collect()
+}
+
+#[test]
+fn fixed_plans_match_monolithic_and_sharded_runs_bitwise() {
+    let graph = test_graph();
+    for workers in [1, 2, 4] {
+        let (handles, addrs) = spawn_workers(&graph, workers);
+        let mut coordinator =
+            DistCoordinator::connect(graph.clone(), &addrs, CoordinatorConfig::default()).unwrap();
+        for mode in ["skip", "per-edge"] {
+            for seed in [1, 2, 3] {
+                let base = plan(120, 2, 1, mode, seed);
+                let distributed = answers(coordinator.execute(&base));
+                let monolithic = answers(base.execute_detailed(graph.clone()));
+                assert_eq!(
+                    distributed, monolithic,
+                    "coordinator({workers}) vs monolithic, mode {mode}, seed {seed}"
+                );
+                // The in-process sharded engine must agree too.
+                let sharded = plan(120, 2, workers, mode, seed);
+                let in_process = answers(sharded.execute_detailed(graph.clone()));
+                assert_eq!(
+                    distributed, in_process,
+                    "coordinator({workers}) vs in-process {workers}-sharded, \
+                     mode {mode}, seed {seed}"
+                );
+            }
+        }
+        coordinator.shutdown();
+        for handle in handles {
+            handle.shutdown();
+        }
+    }
+}
+
+#[test]
+fn adaptive_plans_match_worlds_used_and_half_width_bitwise() {
+    let graph = test_graph();
+    for workers in [1, 2, 4] {
+        let (handles, addrs) = spawn_workers(&graph, workers);
+        let mut coordinator =
+            DistCoordinator::connect(graph.clone(), &addrs, CoordinatorConfig::default()).unwrap();
+        for (mode, seed, threads) in [("skip", 1u64, 1), ("per-edge", 2, 3), ("skip", 3, 3)] {
+            let adaptive = QueryPlan::parse_str(&format!(
+                r#"{{"worlds": 4000, "threads": {threads}, "mode": "{mode}", "seed": {seed},
+                    "precision": {{"epsilon": 0.08}},
+                    "queries": [{{"type": "connectivity"}},
+                                {{"type": "degree_histogram"}},
+                                {{"type": "edge_frequency"}}]}}"#
+            ))
+            .unwrap();
+            let distributed = answers(coordinator.execute(&adaptive));
+            let monolithic = answers(adaptive.execute_detailed(graph.clone()));
+            assert_eq!(
+                distributed, monolithic,
+                "adaptive coordinator({workers}) vs monolithic, mode {mode}, seed {seed}"
+            );
+            // The adaptive driver stopped after >0 but < cap worlds, so the
+            // parity above covered a genuine mid-budget stop.
+            let used = distributed[0].worlds_used;
+            assert!(
+                used > 0 && used < 4000,
+                "expected a converged stop, used {used} worlds"
+            );
+            assert!(distributed[0].half_width.unwrap().is_finite());
+        }
+        coordinator.shutdown();
+        for handle in handles {
+            handle.shutdown();
+        }
+    }
+}
+
+#[test]
+fn unsupported_and_empty_plans_resolve_typed() {
+    let graph = test_graph();
+    let (handles, addrs) = spawn_workers(&graph, 2);
+    let mut coordinator =
+        DistCoordinator::connect(graph.clone(), &addrs, CoordinatorConfig::default()).unwrap();
+
+    // A traversal query has no distributed aggregation path: typed error,
+    // and the count query riding alongside still answers — bit-identical to
+    // the in-process sharded run, which rejects it the same way.
+    let mixed = QueryPlan::parse_str(
+        r#"{"worlds": 30, "seed": 5,
+            "queries": [{"type": "pagerank"}, {"type": "connectivity"}]}"#,
+    )
+    .unwrap();
+    let outcomes = coordinator.execute(&mixed);
+    match &outcomes[0] {
+        Err(ServiceError::Spec(error)) => {
+            assert!(error.to_string().contains("pagerank"), "typed spec error")
+        }
+        other => panic!("expected a typed Unsupported error, got {other:?}"),
+    }
+    let answer = outcomes[1].as_ref().unwrap();
+    assert_eq!(answer.worlds_used, 30);
+
+    // Zero worlds: pristine finalize, no sampling job at all.
+    let empty =
+        QueryPlan::parse_str(r#"{"worlds": 0, "seed": 5, "queries": [{"type": "connectivity"}]}"#)
+            .unwrap();
+    let outcomes = answers(coordinator.execute(&empty));
+    assert_eq!(outcomes, answers(empty.execute_detailed(graph.clone())));
+    assert_eq!(outcomes[0].worlds_used, 0);
+
+    coordinator.shutdown();
+    for handle in handles {
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn reports_render_byte_identical_to_the_in_process_renderer() {
+    let graph = test_graph();
+    let (handles, addrs) = spawn_workers(&graph, 2);
+    let mut coordinator =
+        DistCoordinator::connect(graph.clone(), &addrs, CoordinatorConfig::default()).unwrap();
+    let label = coordinator.graph_label();
+    let base = plan(80, 1, 1, "auto", 9);
+    let distributed = coordinator.run_report(&base).render();
+    let in_process = base.run_report(graph.clone(), &label).render();
+    assert_eq!(distributed, in_process);
+    coordinator.shutdown();
+    for handle in handles {
+        handle.shutdown();
+    }
+}

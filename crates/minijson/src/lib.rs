@@ -389,12 +389,24 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar from the remaining input.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.error("invalid utf-8 in string"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the whole run of unescaped bytes at once and
+                    // validate UTF-8 over just that run: a byte-at-a-time
+                    // loop that re-validates the remaining input per scalar
+                    // is quadratic, and protocol payloads (boundary
+                    // records) put 100 KB+ strings through this path.
+                    // Multi-byte UTF-8 units are all >= 0x80, so scanning
+                    // for the `"` / `\` delimiters bytewise is safe.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
+                        JsonError {
+                            offset: start,
+                            message: "invalid utf-8 in string".to_string(),
+                        }
+                    })?;
+                    out.push_str(run);
                 }
             }
         }

@@ -117,7 +117,7 @@
 
 use std::any::Any;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
@@ -686,10 +686,10 @@ impl<'g> QueryBatch<'g> {
                 let cap = precision.cap(num_worlds);
                 let (merged, report) = match &source {
                     BatchSource::Monolithic(engine) => {
-                        drive_adaptive(engine, cap, threads, observers, seed, &precision)
+                        drive_adaptive(engine, cap, threads, observers, seed, &precision, None)
                     }
                     BatchSource::Sharded(engine) => {
-                        drive_adaptive(*engine, cap, threads, observers, seed, &precision)
+                        drive_adaptive(*engine, cap, threads, observers, seed, &precision, None)
                     }
                 };
                 BatchResults {
@@ -793,9 +793,9 @@ pub struct AdaptiveReport {
 /// order (worker blocks are contiguous, so worker 0's block followed by
 /// worker 1's *is* the sequential order).  Every thread count therefore
 /// executes the identical sequence of `record`/`check` calls and consumes
-/// the same number of worlds.  The wall-clock deadline is consulted last at
-/// each checkpoint, so it can only shorten a run, never change a converged
-/// answer.
+/// the same number of worlds.  The wall-clock deadline and the cooperative
+/// `cancel` flag are consulted last at each checkpoint, so they can only
+/// shorten a run, never change a converged answer.
 fn drive_adaptive<S: WorldSource>(
     source: &S,
     cap: usize,
@@ -803,7 +803,9 @@ fn drive_adaptive<S: WorldSource>(
     mut observers: Vec<Box<dyn DynObserver>>,
     seed: u64,
     precision: &Precision,
+    cancel: Option<&AtomicBool>,
 ) -> (Vec<Box<dyn DynObserver>>, AdaptiveReport) {
+    let cancelled = || cancel.is_some_and(|flag| flag.load(Ordering::SeqCst));
     let tracked: Vec<usize> = observers
         .iter()
         .enumerate()
@@ -866,6 +868,9 @@ fn drive_adaptive<S: WorldSource>(
             }
             if rule.deadline_expired(started) {
                 break StopReason::DeadlineExpired;
+            }
+            if cancelled() {
+                break StopReason::Cancelled;
             }
         };
         let report = AdaptiveReport {
@@ -959,6 +964,8 @@ fn drive_adaptive<S: WorldSource>(
                                 2
                             } else if rule.deadline_expired(started) {
                                 3
+                            } else if cancelled() {
+                                4
                             } else {
                                 0
                             };
@@ -997,6 +1004,7 @@ fn drive_adaptive<S: WorldSource>(
         1 => StopReason::Converged,
         2 => StopReason::BudgetExhausted,
         3 => StopReason::DeadlineExpired,
+        4 => StopReason::Cancelled,
         other => unreachable!("adaptive run finished without a verdict ({other})"),
     };
     let report = AdaptiveReport {
@@ -1022,9 +1030,31 @@ pub fn run_adaptive_merged<S: WorldSource>(
     seed: u64,
     precision: &Precision,
 ) -> (Vec<BoxedObserver>, AdaptiveReport) {
+    run_adaptive_cancellable(
+        source, observers, num_worlds, threads, seed, precision, None,
+    )
+}
+
+/// [`run_adaptive_merged`] with a cooperative cancellation flag: when
+/// `cancel` is raised the run aborts at the **next epoch checkpoint**
+/// (after convergence, budget and deadline are consulted — cancellation can
+/// only shorten a run, never change a converged answer) and the report
+/// comes back with [`StopReason::Cancelled`].  The observers still reflect
+/// every world consumed before the abort, so partial results remain
+/// well-defined.  `cancel == None` never cancels.
+pub fn run_adaptive_cancellable<S: WorldSource>(
+    source: &S,
+    observers: Vec<BoxedObserver>,
+    num_worlds: usize,
+    threads: usize,
+    seed: u64,
+    precision: &Precision,
+    cancel: Option<&AtomicBool>,
+) -> (Vec<BoxedObserver>, AdaptiveReport) {
     let cap = precision.cap(num_worlds);
     let dyns: Vec<Box<dyn DynObserver>> = observers.into_iter().map(|o| o.0).collect();
-    let (merged, report) = drive_adaptive(source, cap, threads.max(1), dyns, seed, precision);
+    let (merged, report) =
+        drive_adaptive(source, cap, threads.max(1), dyns, seed, precision, cancel);
     (merged.into_iter().map(BoxedObserver).collect(), report)
 }
 

@@ -1,0 +1,611 @@
+//! Serializable boundary messages for distributed shard workers: the
+//! per-(world, shard) summary a worker ships to the coordinator, and the
+//! coordinator-side DSU glue that reassembles global component structure
+//! from those summaries.
+//!
+//! ## The exchange
+//!
+//! A worker owning shard `s` replays the full-graph edge stream
+//! ([`crate::sharded::ShardedWorldEngine::sample_shard_world`]) but
+//! materialises only its own shard.  For every sampled world it extracts a
+//! [`ShardWorldRecord`]: the shard-local component count, the present cut
+//! edges incident to the shard with the component **label** of the local
+//! endpoint of each, the sizes of the labelled boundary components, the
+//! largest interior (non-boundary) component, and the shard's isolated
+//! vertex count.  That record is everything the coordinator needs — the
+//! shard's CSR never crosses the wire.
+//!
+//! The coordinator collects one record per shard per world and runs
+//! [`glue_records`]: a disjoint-set union over the shards' local components,
+//! unioned across each present cut edge exactly as
+//! [`crate::sharded::ShardedComponents`] does in process.  Because a DSU's
+//! component structure is invariant to union order, the glued component
+//! count, largest-component size and isolated count are **bit-identical**
+//! to the in-process cut-aware path at equal seeds — that is the parity
+//! contract of the distributed suite.
+//!
+//! ## Wire format
+//!
+//! Records cross the line-delimited JSON protocol as compact ASCII strings
+//! ([`ShardWorldRecord::encode`] / [`ShardWorldRecord::decode`]) so this
+//! crate needs no JSON dependency: six `|`-separated fields, with the cut
+//! and size lists as comma-separated `key:value` pairs.  See `ugs-server`'s
+//! wire-grammar reference for where the strings are embedded.
+
+use graph_algos::dsu::UnionFind;
+use graph_algos::traversal::connected_components;
+use uncertain_graph::GraphPartition;
+
+use crate::sharded::ShardScratch;
+
+/// One shard's contribution to one sampled world: everything the
+/// coordinator's cross-shard glue needs, and nothing shard-sized.
+///
+/// Records are extracted with [`extract_shard_record`] and glued with
+/// [`glue_records`]; both sides of the exchange agree on the partition (the
+/// cut-edge indexing is the partition's
+/// [`GraphPartition::cut_edges`] order).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardWorldRecord {
+    /// Number of connected components of the shard-local world (isolated
+    /// vertices included).
+    pub comp_count: u32,
+    /// Present cut edges incident to the shard, as ascending
+    /// `(cut index, local component label)` pairs — the label is the
+    /// shard-local component of the cut's endpoint inside this shard.
+    pub cuts: Vec<(u32, u32)>,
+    /// Sizes of the distinct boundary components (labels that appear in
+    /// [`ShardWorldRecord::cuts`]), as ascending `(label, size)` pairs.
+    pub label_sizes: Vec<(u32, u32)>,
+    /// Size of the largest *interior* component — one touching no present
+    /// cut — or `0` if every component touches the boundary.
+    pub max_other: u32,
+    /// Vertices with local degree 0 and no incident present cut edge.
+    pub isolated: u32,
+    /// Present intra-shard edges of this world (the shard's share of the
+    /// world's edge count; cut edges are counted by the coordinator).
+    pub intra_present: u32,
+}
+
+impl ShardWorldRecord {
+    /// Renders the record as a compact single-line ASCII string:
+    /// `comp_count|cut:label,…|label:size,…|max_other|isolated|intra`.
+    /// Empty lists render as empty fields.
+    pub fn encode(&self) -> String {
+        let pairs = |list: &[(u32, u32)]| {
+            list.iter()
+                .map(|(k, v)| format!("{k}:{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.comp_count,
+            pairs(&self.cuts),
+            pairs(&self.label_sizes),
+            self.max_other,
+            self.isolated,
+            self.intra_present
+        )
+    }
+
+    /// Parses a string produced by [`ShardWorldRecord::encode`].  Malformed
+    /// input yields a typed error message (never a panic): the coordinator
+    /// surfaces it as an internal protocol error.
+    pub fn decode(text: &str) -> Result<ShardWorldRecord, String> {
+        let fields: Vec<&str> = text.split('|').collect();
+        if fields.len() != 6 {
+            return Err(format!(
+                "shard record must have 6 '|'-separated fields, got {}",
+                fields.len()
+            ));
+        }
+        let int = |s: &str, what: &str| -> Result<u32, String> {
+            s.parse::<u32>()
+                .map_err(|_| format!("shard record: invalid {what} {s:?}"))
+        };
+        let pairs = |s: &str, what: &str| -> Result<Vec<(u32, u32)>, String> {
+            if s.is_empty() {
+                return Ok(Vec::new());
+            }
+            s.split(',')
+                .map(|pair| {
+                    let (k, v) = pair
+                        .split_once(':')
+                        .ok_or_else(|| format!("shard record: {what} entry {pair:?} has no ':'"))?;
+                    Ok((int(k, what)?, int(v, what)?))
+                })
+                .collect()
+        };
+        Ok(ShardWorldRecord {
+            comp_count: int(fields[0], "component count")?,
+            cuts: pairs(fields[1], "cut list")?,
+            label_sizes: pairs(fields[2], "size list")?,
+            max_other: int(fields[3], "max_other")?,
+            isolated: int(fields[4], "isolated count")?,
+            intra_present: int(fields[5], "intra count")?,
+        })
+    }
+}
+
+/// Extracts the boundary record of the most recently sampled world in
+/// `scratch` (one [`crate::sharded::ShardedWorldEngine::sample_shard_world`]
+/// call).  Pure shard-local work: a component labelling of the shard world
+/// plus one pass over the incident present cuts.
+pub fn extract_shard_record(
+    partition: &GraphPartition,
+    scratch: &ShardScratch,
+) -> ShardWorldRecord {
+    let shard = scratch.shard();
+    let world = scratch.world();
+    let (labels, count) = connected_components(world);
+
+    // Ascending cut order: the sampler emits skip-order (descending
+    // probability); the coordinator's merge-walk and the wire format want a
+    // canonical order, and DSU glue is union-order-invariant.
+    let mut cut_ids: Vec<u32> = scratch.present_cuts().to_vec();
+    cut_ids.sort_unstable();
+    let cuts: Vec<(u32, u32)> = cut_ids
+        .iter()
+        .map(|&c| {
+            let cut = partition.cut_edge(c as usize);
+            let local = if cut.shard_u == shard {
+                cut.local_u
+            } else {
+                cut.local_v
+            };
+            (c, labels[local] as u32)
+        })
+        .collect();
+
+    let mut sizes = vec![0u32; count];
+    for &label in &labels {
+        sizes[label] += 1;
+    }
+    let mut boundary = vec![false; count];
+    for &(_, label) in &cuts {
+        boundary[label as usize] = true;
+    }
+    let label_sizes: Vec<(u32, u32)> = (0..count)
+        .filter(|&l| boundary[l])
+        .map(|l| (l as u32, sizes[l]))
+        .collect();
+    let max_other = (0..count)
+        .filter(|&l| !boundary[l])
+        .map(|l| sizes[l])
+        .max()
+        .unwrap_or(0);
+
+    // A local-degree-0 vertex is globally isolated iff no present cut
+    // touches it; every cut incident to the vertex is incident to the shard,
+    // so the incidence-filtered present list is exhaustive here.
+    let mut cut_touched = vec![false; world.num_vertices()];
+    for &c in &cut_ids {
+        let cut = partition.cut_edge(c as usize);
+        if cut.shard_u == shard {
+            cut_touched[cut.local_u] = true;
+        }
+        if cut.shard_v == shard {
+            cut_touched[cut.local_v] = true;
+        }
+    }
+    let isolated = (0..world.num_vertices())
+        .filter(|&v| world.degree(v) == 0 && !cut_touched[v])
+        .count() as u32;
+
+    ShardWorldRecord {
+        comp_count: count as u32,
+        cuts,
+        label_sizes,
+        max_other,
+        isolated,
+        intra_present: scratch.present_edges().len() as u32,
+    }
+}
+
+/// Folds the most recent world in `scratch` into a worker's running
+/// aggregates: the degree histogram (`hist[d]` = vertex-world observations
+/// at degree `d`, grown on demand — the worker does not know the parent
+/// graph's maximum support degree) and the per-local-edge appearance counts
+/// (`intra[e]` += 1 for each present intra-shard edge).
+///
+/// A vertex's degree in the world is its shard-local degree plus its
+/// incident present cut edges — the same sum the in-process
+/// `DegreeHistogramObserver` computes from the all-shard view.
+pub fn accumulate_shard_aggregates(
+    partition: &GraphPartition,
+    scratch: &ShardScratch,
+    hist: &mut Vec<u64>,
+    intra: &mut [u64],
+) {
+    let shard = scratch.shard();
+    let world = scratch.world();
+    let mut cut_degree = vec![0u32; world.num_vertices()];
+    for &c in scratch.present_cuts() {
+        let cut = partition.cut_edge(c as usize);
+        if cut.shard_u == shard {
+            cut_degree[cut.local_u] += 1;
+        }
+        if cut.shard_v == shard {
+            cut_degree[cut.local_v] += 1;
+        }
+    }
+    for (v, &cuts) in cut_degree.iter().enumerate() {
+        let degree = world.degree(v) + cuts as usize;
+        if degree >= hist.len() {
+            hist.resize(degree + 1, 0);
+        }
+        hist[degree] += 1;
+    }
+    for &e in scratch.present_edges() {
+        intra[e as usize] += 1;
+    }
+}
+
+/// The coordinator's view of one fully glued world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GluedWorld {
+    /// Global connected-component count (isolated vertices included).
+    pub num_components: usize,
+    /// Size of the largest global component.
+    pub largest: usize,
+    /// Globally isolated vertices.
+    pub isolated: usize,
+    /// Distinct present cut edges of this world, ascending — the
+    /// coordinator's share of the world's edge set (for edge-frequency
+    /// counting and the per-world present-edge total).
+    pub present_cuts: Vec<u32>,
+}
+
+impl GluedWorld {
+    /// Whether the world is connected (exactly one component).
+    pub fn connected(&self) -> bool {
+        self.num_components == 1
+    }
+}
+
+/// Glues one record per shard (indexed by shard) into the world's global
+/// component structure — the distributed counterpart of
+/// [`crate::sharded::ShardedComponents::compute`].
+///
+/// Every present cut edge must be reported by **both** of its endpoint
+/// shards with consistent indices; a record set that violates this (a
+/// worker answered for the wrong world, or the transport corrupted a
+/// message) yields a typed error instead of a wrong answer.
+pub fn glue_records(
+    partition: &GraphPartition,
+    records: &[ShardWorldRecord],
+) -> Result<GluedWorld, String> {
+    if records.len() != partition.num_shards() {
+        return Err(format!(
+            "expected one record per shard ({}), got {}",
+            partition.num_shards(),
+            records.len()
+        ));
+    }
+    let mut offsets = vec![0usize; records.len() + 1];
+    for (s, record) in records.iter().enumerate() {
+        offsets[s + 1] = offsets[s] + record.comp_count as usize;
+        let labels = record
+            .cuts
+            .iter()
+            .map(|&(_, label)| label)
+            .chain(record.label_sizes.iter().map(|&(label, _)| label));
+        for label in labels {
+            if label >= record.comp_count {
+                return Err(format!(
+                    "shard {s}: component label {label} out of range (count {})",
+                    record.comp_count
+                ));
+            }
+        }
+    }
+    // Pair up each present cut's two endpoint labels.  Each cut spans two
+    // distinct shards, so it must appear in exactly two records — and those
+    // records must be its endpoint shards.
+    let mut entries: Vec<(u32, usize, u32)> = Vec::new();
+    for (s, record) in records.iter().enumerate() {
+        for window in record.cuts.windows(2) {
+            if window[0].0 >= window[1].0 {
+                return Err(format!("shard {s}: cut list not strictly ascending"));
+            }
+        }
+        entries.extend(record.cuts.iter().map(|&(cut, label)| (cut, s, label)));
+    }
+    entries.sort_unstable();
+    if !entries.len().is_multiple_of(2) {
+        return Err("present cut reported by only one shard".to_string());
+    }
+    let mut dsu = UnionFind::new(offsets[records.len()]);
+    let mut present_cuts = Vec::with_capacity(entries.len() / 2);
+    for pair in entries.chunks(2) {
+        let (cut_id, shard_a, label_a) = pair[0];
+        let (cut_id_b, shard_b, label_b) = pair[1];
+        if cut_id != cut_id_b {
+            return Err(format!("present cut {cut_id} reported by only one shard"));
+        }
+        if cut_id as usize >= partition.cut_edges().len() {
+            return Err(format!("cut index {cut_id} out of range"));
+        }
+        let cut = partition.cut_edge(cut_id as usize);
+        if (shard_a, shard_b) != (cut.shard_u.min(cut.shard_v), cut.shard_u.max(cut.shard_v)) {
+            return Err(format!(
+                "cut {cut_id} reported by shards {shard_a}/{shard_b}, \
+                 expected {}/{}",
+                cut.shard_u, cut.shard_v
+            ));
+        }
+        dsu.union(
+            offsets[shard_a] + label_a as usize,
+            offsets[shard_b] + label_b as usize,
+        );
+        present_cuts.push(cut_id);
+    }
+    let num_components = dsu.num_sets();
+
+    // Glued sizes: every boundary component's size lands on its DSU root;
+    // interior components never union, so their maxima are the per-shard
+    // `max_other` fields.
+    let mut glued_sizes = vec![0usize; offsets[records.len()]];
+    let mut largest = 0usize;
+    for (s, record) in records.iter().enumerate() {
+        largest = largest.max(record.max_other as usize);
+        for &(label, size) in &record.label_sizes {
+            let root = dsu.find(offsets[s] + label as usize);
+            glued_sizes[root] += size as usize;
+            largest = largest.max(glued_sizes[root]);
+        }
+    }
+    let isolated = records.iter().map(|r| r.isolated as usize).sum();
+    Ok(GluedWorld {
+        num_components,
+        largest,
+        isolated,
+        present_cuts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SampleMethod;
+    use crate::sharded::{ShardedComponents, ShardedWorldEngine};
+    use crate::source::{WorldSource, WorldView};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use uncertain_graph::UncertainGraph;
+
+    fn toy() -> UncertainGraph {
+        UncertainGraph::from_edges(
+            9,
+            [
+                (0, 1, 0.9),
+                (1, 2, 0.8),
+                (0, 2, 0.7),
+                (3, 4, 0.6),
+                (4, 5, 0.5),
+                (3, 5, 0.4),
+                (2, 3, 0.3),
+                (0, 5, 0.2),
+                (6, 7, 0.55),
+                (5, 6, 0.35),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn records_round_trip_through_the_wire_encoding() {
+        let record = ShardWorldRecord {
+            comp_count: 4,
+            cuts: vec![(0, 1), (3, 2)],
+            label_sizes: vec![(1, 5), (2, 1)],
+            max_other: 7,
+            isolated: 2,
+            intra_present: 11,
+        };
+        let text = record.encode();
+        assert_eq!(ShardWorldRecord::decode(&text).unwrap(), record);
+        // Empty lists survive too.
+        let empty = ShardWorldRecord {
+            comp_count: 3,
+            isolated: 3,
+            ..ShardWorldRecord::default()
+        };
+        assert_eq!(ShardWorldRecord::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn malformed_records_decode_to_typed_errors() {
+        for bad in [
+            "",
+            "1|2|3",
+            "x|||0|0|0",
+            "1|0|0|0|0|0",
+            "1|0:1:2||0|0|0",
+            "1|0:x||0|0|0",
+            "1||1:2|0|0|0|extra",
+        ] {
+            assert!(ShardWorldRecord::decode(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn glue_matches_the_in_process_cut_aware_path() {
+        let g = toy();
+        for method in [SampleMethod::Skip, SampleMethod::PerEdge] {
+            for shards in [2usize, 3] {
+                let partition = GraphPartition::contiguous(&g, shards).unwrap();
+                let engine = ShardedWorldEngine::new(&g, &partition).with_method(method);
+                let mut full = WorldSource::make_scratch(&engine);
+                let mut singles: Vec<_> =
+                    (0..shards).map(|s| engine.make_shard_scratch(s)).collect();
+                let mut rng_full = SmallRng::seed_from_u64(99);
+                let mut rngs: Vec<SmallRng> =
+                    (0..shards).map(|_| SmallRng::seed_from_u64(99)).collect();
+                for world in 0..150 {
+                    let view = match engine.sample_world(&mut rng_full, &mut full) {
+                        WorldView::Sharded(view) => view,
+                        _ => unreachable!(),
+                    };
+                    let mut comps = ShardedComponents::compute(&view);
+                    let records: Vec<ShardWorldRecord> = singles
+                        .iter_mut()
+                        .zip(rngs.iter_mut())
+                        .map(|(scratch, rng)| {
+                            engine.sample_shard_world(rng, scratch);
+                            // Ship through the wire encoding to cover it.
+                            ShardWorldRecord::decode(
+                                &extract_shard_record(&partition, scratch).encode(),
+                            )
+                            .unwrap()
+                        })
+                        .collect();
+                    let glued = glue_records(&partition, &records).unwrap();
+                    assert_eq!(
+                        glued.num_components,
+                        comps.num_components(),
+                        "{method:?} shards={shards} world {world}"
+                    );
+                    assert_eq!(
+                        glued.largest,
+                        comps.largest_component(),
+                        "{method:?} shards={shards} world {world}"
+                    );
+                    // Isolated: a vertex with no present edge at all.
+                    let expected_isolated = (0..g.num_vertices())
+                        .filter(|&v| {
+                            let (s, local) = partition.locate(v);
+                            view.shard_world(s).degree(local) == 0 && view.cut_degree(v) == 0
+                        })
+                        .count();
+                    assert_eq!(glued.isolated, expected_isolated);
+                    // Present cuts: ascending distinct, same set as the view.
+                    let mut expected_cuts = view.present_cuts().to_vec();
+                    expected_cuts.sort_unstable();
+                    assert_eq!(glued.present_cuts, expected_cuts);
+                    // The per-world edge total reassembles from shard intra
+                    // counts plus the glued cut count.
+                    let total: usize = records.iter().map(|r| r.intra_present as usize).sum();
+                    let mut whole = 0;
+                    for s in 0..shards {
+                        whole += view.shard_present(s).len();
+                    }
+                    assert_eq!(total, whole);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_match_the_monolithic_per_world_tallies() {
+        let g = toy();
+        let partition = GraphPartition::contiguous(&g, 3).unwrap();
+        let engine = ShardedWorldEngine::new(&g, &partition).with_method(SampleMethod::Skip);
+        let mut full = WorldSource::make_scratch(&engine);
+        let mut singles: Vec<_> = (0..3).map(|s| engine.make_shard_scratch(s)).collect();
+        let mut rng_full = SmallRng::seed_from_u64(5);
+        let mut rngs: Vec<SmallRng> = (0..3).map(|_| SmallRng::seed_from_u64(5)).collect();
+        let worlds = 80usize;
+        let mut hists: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        let mut intras: Vec<Vec<u64>> = partition
+            .shards()
+            .iter()
+            .map(|shard| vec![0u64; shard.num_edges()])
+            .collect();
+        let mut cut_counts = vec![0u64; partition.cut_edges().len()];
+        let mut expected_hist: Vec<u64> = Vec::new();
+        let mut expected_edges = vec![0u64; g.num_edges()];
+        for _ in 0..worlds {
+            let view = match engine.sample_world(&mut rng_full, &mut full) {
+                WorldView::Sharded(view) => view,
+                _ => unreachable!(),
+            };
+            for v in 0..g.num_vertices() {
+                let (s, local) = partition.locate(v);
+                let degree = view.shard_world(s).degree(local) + view.cut_degree(v);
+                if degree >= expected_hist.len() {
+                    expected_hist.resize(degree + 1, 0);
+                }
+                expected_hist[degree] += 1;
+            }
+            for s in 0..3 {
+                let shard = partition.shard(s);
+                for &e in view.shard_present(s) {
+                    expected_edges[shard.global_edge(e as usize)] += 1;
+                }
+            }
+            for &c in view.present_cuts() {
+                expected_edges[partition.cut_edge(c as usize).edge] += 1;
+            }
+
+            let records: Vec<ShardWorldRecord> = singles
+                .iter_mut()
+                .zip(rngs.iter_mut())
+                .enumerate()
+                .map(|(s, (scratch, rng))| {
+                    engine.sample_shard_world(rng, scratch);
+                    accumulate_shard_aggregates(&partition, scratch, &mut hists[s], &mut intras[s]);
+                    extract_shard_record(&partition, scratch)
+                })
+                .collect();
+            for &c in &glue_records(&partition, &records).unwrap().present_cuts {
+                cut_counts[c as usize] += 1;
+            }
+        }
+        // Degree histogram: the shard hists partition the vertex set.
+        let width = hists.iter().map(Vec::len).max().unwrap();
+        let mut combined = vec![0u64; width];
+        for hist in &hists {
+            for (d, &count) in hist.iter().enumerate() {
+                combined[d] += count;
+            }
+        }
+        combined.resize(expected_hist.len().max(width), 0);
+        expected_hist.resize(combined.len(), 0);
+        assert_eq!(combined, expected_hist);
+        // Edge counts: shard intra counts scatter back by global edge id,
+        // cut counts by the partition's cut table.
+        let mut edges = vec![0u64; g.num_edges()];
+        for (s, intra) in intras.iter().enumerate() {
+            let shard = partition.shard(s);
+            for (e, &count) in intra.iter().enumerate() {
+                edges[shard.global_edge(e)] += count;
+            }
+        }
+        for (c, &count) in cut_counts.iter().enumerate() {
+            edges[partition.cut_edge(c).edge] += count;
+        }
+        assert_eq!(edges, expected_edges);
+    }
+
+    #[test]
+    fn inconsistent_record_sets_are_rejected() {
+        let g = toy();
+        let partition = GraphPartition::contiguous(&g, 2).unwrap();
+        let blank = |count: u32| ShardWorldRecord {
+            comp_count: count,
+            ..ShardWorldRecord::default()
+        };
+        // Wrong record count.
+        assert!(glue_records(&partition, &[blank(1)]).is_err());
+        // A cut reported by one shard only.
+        let mut one_sided = [blank(2), blank(2)];
+        one_sided[0].cuts = vec![(0, 0)];
+        assert!(glue_records(&partition, &[one_sided[0].clone(), one_sided[1].clone()]).is_err());
+        // Label out of range.
+        let mut bad_label = vec![blank(1), blank(1)];
+        bad_label[0].cuts = vec![(0, 5)];
+        assert!(glue_records(&partition, &bad_label).is_err());
+        // Cut index out of range (both shards agree on the bogus index).
+        let mut bad_cut = vec![blank(1), blank(1)];
+        let bogus = partition.cut_edges().len() as u32 + 7;
+        bad_cut[0].cuts = vec![(bogus, 0)];
+        bad_cut[1].cuts = vec![(bogus, 0)];
+        assert!(glue_records(&partition, &bad_cut).is_err());
+        // Unsorted cut list.
+        let mut unsorted = vec![blank(3), blank(3)];
+        unsorted[0].cuts = vec![(2, 0), (1, 1)];
+        assert!(glue_records(&partition, &unsorted).is_err());
+    }
+}

@@ -89,6 +89,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod boundary;
 pub mod components;
 pub mod cv;
 pub mod engine;
@@ -101,9 +102,14 @@ pub mod sharded;
 pub mod source;
 pub mod variance;
 
+pub use boundary::{
+    accumulate_shard_aggregates, extract_shard_record, glue_records, GluedWorld, ShardWorldRecord,
+};
+
 pub use batch::{
-    run_adaptive_merged, AdaptiveReport, BatchError, BatchResults, BoxedObserver, DynHandle,
-    DynObserver, EdgeFrequencyObserver, ObserverHandle, QueryBatch, WorldObserver,
+    run_adaptive_cancellable, run_adaptive_merged, AdaptiveReport, BatchError, BatchResults,
+    BoxedObserver, DynHandle, DynObserver, EdgeFrequencyObserver, ObserverHandle, QueryBatch,
+    WorldObserver,
 };
 pub use components::{
     connectivity_query, expected_degree_histogram, ConnectivityEstimate, ConnectivityObserver,
@@ -128,8 +134,12 @@ pub use variance::{
 /// Commonly used items, suitable for a glob import.
 pub mod prelude {
     pub use crate::batch::{
-        run_adaptive_merged, AdaptiveReport, BatchError, BatchResults, BoxedObserver, DynHandle,
-        EdgeFrequencyObserver, ObserverHandle, QueryBatch, WorldObserver,
+        run_adaptive_cancellable, run_adaptive_merged, AdaptiveReport, BatchError, BatchResults,
+        BoxedObserver, DynHandle, EdgeFrequencyObserver, ObserverHandle, QueryBatch, WorldObserver,
+    };
+    pub use crate::boundary::{
+        accumulate_shard_aggregates, extract_shard_record, glue_records, GluedWorld,
+        ShardWorldRecord,
     };
     pub use crate::components::{
         connectivity_query, ConnectivityEstimate, ConnectivityObserver, DegreeHistogramObserver,

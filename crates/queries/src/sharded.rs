@@ -133,6 +133,65 @@ impl<'g> ShardedWorldEngine<'g> {
         }
     }
 
+    /// Builds an engine for a **single-shard worker**: only `shard`'s
+    /// support template is materialised, every other shard gets an empty
+    /// placeholder.  The full-graph sampler and the O(|E|) scatter-class
+    /// table are still built — they are what keeps the replayed stream
+    /// identical across workers — but the per-shard CSR memory is O(shard),
+    /// which is the point of running one process per shard.
+    ///
+    /// The returned engine supports only [`Self::make_shard_scratch`] /
+    /// [`Self::sample_shard_world`] **for `shard`**; asking it for any other
+    /// shard's scratch (or for the all-shard `WorldSource` view) touches a
+    /// placeholder template and yields empty worlds.
+    ///
+    /// # Panics
+    /// Panics if the partition does not match `g` or `shard` is out of
+    /// range.
+    pub fn for_shard(g: &'g UncertainGraph, partition: &'g GraphPartition, shard: usize) -> Self {
+        assert!(
+            shard < partition.num_shards(),
+            "shard {shard} out of range for a {}-shard partition",
+            partition.num_shards()
+        );
+        assert!(
+            partition.matches(g),
+            "partition was built for a {}-vertex/{}-edge graph, got {}/{}",
+            partition.num_vertices(),
+            partition.num_edges(),
+            g.num_vertices(),
+            g.num_edges()
+        );
+        let mut class = vec![EdgeClass::cut(0); g.num_edges()];
+        for (s, sh) in partition.shards().iter().enumerate() {
+            for (local, &global) in sh.edges().iter().enumerate() {
+                class[global] = EdgeClass::local(s as u32, local as u32);
+            }
+        }
+        for (c, cut) in partition.cut_edges().iter().enumerate() {
+            class[cut.edge] = EdgeClass::cut(c as u32);
+        }
+        let empty = UncertainGraph::from_edges(0, std::iter::empty::<(usize, usize, f64)>())
+            .expect("the empty graph is valid");
+        let templates = (0..partition.num_shards())
+            .map(|s| {
+                if s == shard {
+                    WorldTemplate::new(partition.shard(s).graph())
+                } else {
+                    WorldTemplate::new(&empty)
+                }
+            })
+            .collect();
+        ShardedWorldEngine {
+            graph: g,
+            partition,
+            sampler: SkipSampler::new(g),
+            method: SampleMethod::Auto,
+            templates,
+            class,
+        }
+    }
+
     /// Overrides the sampling method (applies to the full-graph stream, as
     /// in the monolithic engine).
     pub fn with_method(mut self, method: SampleMethod) -> Self {
@@ -814,6 +873,38 @@ mod tests {
                     view.shard_world(s).num_edges(),
                     "shard {s}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn a_single_shard_worker_engine_matches_the_full_engine() {
+        let g = toy();
+        for method in [SampleMethod::Skip, SampleMethod::PerEdge] {
+            let partition = GraphPartition::contiguous(&g, 3).unwrap();
+            let full_engine = ShardedWorldEngine::new(&g, &partition).with_method(method);
+            for s in 0..3 {
+                let worker = ShardedWorldEngine::for_shard(&g, &partition, s).with_method(method);
+                assert_eq!(worker.effective_method(), full_engine.effective_method());
+                let mut full = full_engine.make_shard_scratch(s);
+                let mut lean = worker.make_shard_scratch(s);
+                let mut rng_a = SmallRng::seed_from_u64(1234);
+                let mut rng_b = SmallRng::seed_from_u64(1234);
+                for world in 0..60 {
+                    full_engine.sample_shard_world(&mut rng_a, &mut full);
+                    worker.sample_shard_world(&mut rng_b, &mut lean);
+                    assert_eq!(
+                        lean.present_edges(),
+                        full.present_edges(),
+                        "{method:?} shard {s} world {world}"
+                    );
+                    assert_eq!(
+                        lean.present_cuts(),
+                        full.present_cuts(),
+                        "{method:?} shard {s} world {world}"
+                    );
+                    assert_eq!(lean.world().num_edges(), full.world().num_edges());
+                }
             }
         }
     }

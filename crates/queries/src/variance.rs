@@ -301,6 +301,10 @@ pub enum StopReason {
     BudgetExhausted,
     /// The wall-clock [`Precision::deadline`] expired first.
     DeadlineExpired,
+    /// A cooperative cancellation flag was raised; the run aborted at the
+    /// next epoch checkpoint (partial results are still well-defined — the
+    /// worlds consumed so far were observed normally).
+    Cancelled,
 }
 
 /// Accuracy target for adaptive Monte-Carlo: stop as soon as every tracked

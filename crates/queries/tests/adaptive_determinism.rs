@@ -214,6 +214,55 @@ fn adaptive_runs_share_the_fixed_driver_world_stream() {
 }
 
 #[test]
+fn a_raised_cancel_flag_aborts_at_the_first_epoch_checkpoint() {
+    // Cooperative cancellation: the flag is consulted at epoch barriers
+    // only (after convergence, budget and deadline), so a pre-raised flag
+    // still pays exactly one epoch — deterministically, on every thread
+    // count — and the observers reflect that epoch's worlds.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let g = fixture();
+    let engine = WorldEngine::new(&g);
+    let precision = Precision::new(1e-9).with_epoch(64);
+    for threads in [1, 4] {
+        let cancel = AtomicBool::new(true);
+        let (observers, report) = run_adaptive_cancellable(
+            &engine,
+            vec![BoxedObserver::new(ConnectivityObserver::new(&g))],
+            100_000,
+            threads,
+            7,
+            &precision,
+            Some(&cancel),
+        );
+        assert_eq!(report.stopped, StopReason::Cancelled, "threads {threads}");
+        assert_eq!(report.worlds_used, 64, "threads {threads}");
+        assert_eq!(report.epochs, 1);
+        assert_eq!(observers.len(), 1);
+        assert!(cancel.load(Ordering::SeqCst), "flag is caller-owned");
+    }
+    // An unraised flag changes nothing: bit-identical to the plain driver.
+    let cancel = AtomicBool::new(false);
+    let (_, cancellable) = run_adaptive_cancellable(
+        &engine,
+        vec![BoxedObserver::new(ConnectivityObserver::new(&g))],
+        100_000,
+        1,
+        7,
+        &Precision::new(0.05).with_epoch(64),
+        Some(&cancel),
+    );
+    let (_, plain) = run_adaptive_merged(
+        &engine,
+        vec![BoxedObserver::new(ConnectivityObserver::new(&g))],
+        100_000,
+        1,
+        7,
+        &Precision::new(0.05).with_epoch(64),
+    );
+    assert_eq!(cancellable, plain);
+}
+
+#[test]
 fn fixed_budget_batches_ignore_precision_free_rng_discipline() {
     // Precision or not, run() draws exactly one u64 when there is work.
     let g = fixture();

@@ -31,6 +31,12 @@ impl LineClient {
         self.reader.get_ref().set_read_timeout(timeout)
     }
 
+    /// Arms a write timeout; a distributed coordinator arms both directions
+    /// so a wedged worker surfaces as a typed error instead of a hang.
+    pub fn set_write_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_write_timeout(timeout)
+    }
+
     /// Sends one raw line (no trailing newline needed) and reads back one
     /// raw response line.  `Ok(None)` means the server closed the
     /// connection (EOF) — distinct from an error, because graceful shutdown

@@ -19,9 +19,12 @@
 //! | `{"op": "submit", "plan": {…}}` | `{"status": "ok", "job": N, "cached": bool}` |
 //! | `{"op": "poll", "job": N}` | `{"status": "ok", "job": N, "done": false}` or `{"status": "ok", "job": N, "done": true, "report": {…}}` |
 //! | `{"op": "cancel", "job": N}` | `{"status": "ok", "job": N, "cancelled": true}` |
-//! | `{"op": "stats"}` | `{"status": "ok", "graph": …, "jobs": {…}, "cache": {…}}` |
+//! | `{"op": "stats"}` | `{"status": "ok", "graph": …, "jobs": {…}, "cache": {…}, "queue": {…}, "executors": […], "connections": N}` (plus `"shard": {…}` on a worker) |
 //! | `{"op": "ping"}` | `{"status": "ok", "pong": true}` |
 //! | `{"op": "shutdown"}` | `{"status": "ok", "stopping": true}`, then sockets close |
+//! | `{"op": "shard_submit", "job": "t", "shard": K, "shards": W, "worlds": N, "seed": "S", "mode": "skip"}` | `{"status": "ok", "job": "t", "accepted": true, "pos": P, "target": N}` (worker mode only) |
+//! | `{"op": "boundary", "job": "t", "from": F, "max": M}` | `{"status": "ok", "job": "t", "from": F, "records": ["…", …], "pos": P, "target": N}` |
+//! | `{"op": "shard_result", "job": "t"}` | `{"status": "ok", "job": "t", "done": false, "pos": P, "target": N}` or `{"status": "ok", "job": "t", "done": true, "worlds": N, "hist": […], "intra": […]}` |
 //!
 //! The `plan` document is a [`ugs_service::QueryPlan`] **without** a
 //! `graph` field (the server owns its graph): `worlds`, `threads`,
@@ -30,15 +33,50 @@
 //! to what `QueryPlan::run_report` prints for the same plan against the
 //! same graph, with the graph labelled `fingerprint:<hex>`.
 //!
+//! ## Worker mode (`shard_submit` / `boundary` / `shard_result`)
+//!
+//! A server started with [`ServerConfig::shard`]` = Some((k, w))` is a
+//! **shard worker**: it builds the contiguous `w`-shard partition of its
+//! graph and holds only shard `k`'s CSR state (plus the O(|E|) replay
+//! table that keeps the sampled world stream identical across workers).
+//! `shard_submit` starts a background sampling job under a client-chosen
+//! string token: the worker replays worlds from the submitted batch
+//! `seed` (a **decimal string** — JSON numbers here are f64 and cannot
+//! carry every u64), recording one boundary message per world (component
+//! count, present-cut labels, boundary component sizes) and folding each
+//! world into its running aggregates.  `boundary` pages the per-world
+//! records without blocking on sampling; `shard_result` reports progress
+//! until the target is reached, then the cross-world aggregates.
+//! Re-submitting the same token with a larger `worlds` raises the target
+//! of a running job (how an adaptive coordinator extends by epochs); any
+//! other parameter change is rejected — the replay identity is immutable.
+//! Shard jobs are scoped to their connection and bounded by the same
+//! [`ServerConfig::max_inflight`] budget; when the connection closes, its
+//! sampler threads are stopped and joined.
+//!
+//! ## Coordinator failure model
+//!
+//! A distributed coordinator (the `ugs-dist` crate) arms read *and* write
+//! timeouts on every worker connection, retries a failed exchange a
+//! bounded number of times by reconnecting and resubmitting (the fresh
+//! job deterministically resamples the identical stream), and treats a
+//! worker whose `pos` stops advancing across a deadline as stale.  When
+//! the retries are exhausted the plan degrades to the typed `worker_lost`
+//! error — a query against a degraded fleet **never hangs**.  Shutting
+//! the coordinator down drops every worker connection, which stops the
+//! workers' sampler threads.
+//!
 //! ## Error envelope
 //!
 //! Every failure is one line of
 //! `{"status": "error", "code": "<code>", "message": "…"}` with `code` one
 //! of `bad_request`, `unknown_op`, `plan`, `over_budget` (the connection's
 //! [`ServerConfig::max_inflight`] budget), `overloaded` (the bounded
-//! server-wide queue is full), `unknown_job`, `shutting_down`, `internal` —
-//! see [`protocol::ErrorCode`].  Job ids are per-connection; a delivered or
-//! cancelled job's id answers `unknown_job` afterwards.
+//! server-wide queue is full), `unknown_job`, `shutting_down`,
+//! `worker_lost` (a distributed worker died mid-plan and bounded retries
+//! ran out), `internal` — see [`protocol::ErrorCode`].  Job ids are
+//! per-connection; a delivered or cancelled job's id answers
+//! `unknown_job` afterwards.
 //!
 //! ## Result cache
 //!
@@ -80,6 +118,7 @@ pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod server;
+mod shard;
 
 pub use cache::{query_key, CacheStats, ResultCache};
 pub use client::LineClient;

@@ -7,7 +7,8 @@
 //! the connection.
 
 use minijson::{ObjBuilder, Value};
-use ugs_service::QueryPlan;
+use ugs_queries::SampleMethod;
+use ugs_service::{parse_mode, QueryPlan};
 
 /// Hard cap on one request line; longer lines are answered with
 /// [`ErrorCode::BadRequest`] so a runaway client cannot balloon the
@@ -33,6 +34,10 @@ pub enum ErrorCode {
     UnknownJob,
     /// The server is shutting down and accepts no new work.
     ShuttingDown,
+    /// A distributed worker process was lost mid-plan (connection died,
+    /// request timed out, or bounded retries ran out); the coordinator
+    /// degrades to this typed error instead of hanging.
+    WorkerLost,
     /// An internal invariant broke (a typed answer, never a panic).
     Internal,
 }
@@ -48,6 +53,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::UnknownJob => "unknown_job",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::WorkerLost => "worker_lost",
             ErrorCode::Internal => "internal",
         }
     }
@@ -70,6 +76,52 @@ pub enum Request {
     Ping,
     /// `{"op": "shutdown"}` — ask the server to stop gracefully.
     Shutdown,
+    /// `{"op": "shard_submit", "job": "t", "shard": K, "shards": W,
+    /// "worlds": N, "seed": "S", "mode": "skip"}` — start (or extend) a
+    /// shard sampling job on a worker; only accepted by servers running
+    /// with a shard role.
+    ShardSubmit(ShardJobRequest),
+    /// `{"op": "boundary", "job": "t", "from": F, "max": M}` — page the
+    /// per-world boundary records of a shard job, `M` records starting at
+    /// world `F` (idempotent reads; fewer may come back if sampling has not
+    /// reached `F + M` yet).
+    Boundary {
+        /// Job token named by the `shard_submit` that started the job.
+        job: String,
+        /// First world index requested.
+        from: usize,
+        /// Maximum records to return.
+        max: usize,
+    },
+    /// `{"op": "shard_result", "job": "t"}` — fetch the job's cross-world
+    /// aggregates (degree histogram, per-edge presence counts) once every
+    /// targeted world is sampled.
+    ShardResult {
+        /// Job token named by the `shard_submit` that started the job.
+        job: String,
+    },
+}
+
+/// The parsed body of a `shard_submit` request: which shard job to start or
+/// extend, and the exact replay identity it samples under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardJobRequest {
+    /// Client-chosen job token, scoped to the connection.
+    pub job: String,
+    /// Shard index this worker must own.
+    pub shard: usize,
+    /// Total shard count of the partition.
+    pub shards: usize,
+    /// Absolute world target (re-submitting with a larger target extends a
+    /// running job without resampling).
+    pub worlds: usize,
+    /// Batch seed of the shared replay stream.  Carried as a **decimal
+    /// string** on the wire: JSON numbers are f64 here, which cannot hold
+    /// every u64 seed bit-exactly.
+    pub seed: u64,
+    /// Sampling method; `auto` resolves on the worker through the same
+    /// shared rule as everywhere else, so all workers pick the same path.
+    pub mode: SampleMethod,
 }
 
 /// A typed protocol error: the code plus the message the client sees.
@@ -106,6 +158,28 @@ fn check_fields(value: &Value, allowed: &[&str], what: &str) -> Result<(), Reque
         }
     }
     Ok(())
+}
+
+/// Records returned by a `boundary` read when the request names no `max`.
+pub const DEFAULT_BOUNDARY_PAGE: usize = 512;
+
+fn job_token(value: &Value) -> Result<String, RequestError> {
+    match value.get_str("job") {
+        Some(token) if !token.is_empty() => Ok(token.to_string()),
+        _ => Err((
+            ErrorCode::BadRequest,
+            "field \"job\" must be a non-empty string token".to_string(),
+        )),
+    }
+}
+
+fn required_usize(value: &Value, field: &str) -> Result<usize, RequestError> {
+    value.get_usize(field).ok_or_else(|| {
+        (
+            ErrorCode::BadRequest,
+            format!("field {field:?} must be a non-negative integer"),
+        )
+    })
 }
 
 fn job_id(value: &Value) -> Result<u64, RequestError> {
@@ -181,9 +255,63 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             check_fields(&value, &["op"], "a shutdown request")?;
             Ok(Request::Shutdown)
         }
+        "shard_submit" => {
+            check_fields(
+                &value,
+                &["op", "job", "shard", "shards", "worlds", "seed", "mode"],
+                "a shard_submit request",
+            )?;
+            let job = job_token(&value)?;
+            let shard = required_usize(&value, "shard")?;
+            let shards = required_usize(&value, "shards")?;
+            let worlds = required_usize(&value, "worlds")?;
+            let seed = value
+                .get_str("seed")
+                .and_then(|text| text.parse::<u64>().ok())
+                .ok_or_else(|| {
+                    (
+                        ErrorCode::BadRequest,
+                        "field \"seed\" must be a decimal u64 carried as a string".to_string(),
+                    )
+                })?;
+            let mode_name = value.get_str("mode").unwrap_or("auto");
+            let mode = parse_mode(mode_name).ok_or_else(|| {
+                (
+                    ErrorCode::BadRequest,
+                    format!("unknown mode {mode_name:?}; expected auto|skip|per_edge"),
+                )
+            })?;
+            Ok(Request::ShardSubmit(ShardJobRequest {
+                job,
+                shard,
+                shards,
+                worlds,
+                seed,
+                mode,
+            }))
+        }
+        "boundary" => {
+            check_fields(&value, &["op", "job", "from", "max"], "a boundary request")?;
+            let job = job_token(&value)?;
+            let from = required_usize(&value, "from")?;
+            let max = match value.get("max") {
+                None => DEFAULT_BOUNDARY_PAGE,
+                Some(_) => required_usize(&value, "max")?,
+            };
+            Ok(Request::Boundary { job, from, max })
+        }
+        "shard_result" => {
+            check_fields(&value, &["op", "job"], "a shard_result request")?;
+            Ok(Request::ShardResult {
+                job: job_token(&value)?,
+            })
+        }
         other => Err((
             ErrorCode::UnknownOp,
-            format!("unknown op {other:?}; expected submit|poll|cancel|stats|ping|shutdown"),
+            format!(
+                "unknown op {other:?}; expected submit|poll|cancel|stats|ping|shutdown|\
+                 shard_submit|boundary|shard_result"
+            ),
         )),
     }
 }
@@ -240,6 +368,99 @@ mod tests {
             parse_request(r#"{"op": "shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn shard_ops_parse_with_string_seeds_and_defaults() {
+        let submit = parse_request(concat!(
+            r#"{"op": "shard_submit", "job": "t1", "shard": 1, "shards": 4,"#,
+            r#" "worlds": 200, "seed": "18446744073709551615", "mode": "skip"}"#,
+        ))
+        .unwrap();
+        assert_eq!(
+            submit,
+            Request::ShardSubmit(ShardJobRequest {
+                job: "t1".to_string(),
+                shard: 1,
+                shards: 4,
+                worlds: 200,
+                seed: u64::MAX,
+                mode: SampleMethod::Skip,
+            })
+        );
+        // `mode` defaults to auto; `max` defaults to the standard page size.
+        let submit = parse_request(concat!(
+            r#"{"op": "shard_submit", "job": "t2", "shard": 0, "shards": 1,"#,
+            r#" "worlds": 8, "seed": "7"}"#,
+        ))
+        .unwrap();
+        match submit {
+            Request::ShardSubmit(request) => assert_eq!(request.mode, SampleMethod::Auto),
+            other => panic!("unexpected request {other:?}"),
+        }
+        assert_eq!(
+            parse_request(r#"{"op": "boundary", "job": "t1", "from": 64, "max": 32}"#).unwrap(),
+            Request::Boundary {
+                job: "t1".to_string(),
+                from: 64,
+                max: 32,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op": "boundary", "job": "t1", "from": 0}"#).unwrap(),
+            Request::Boundary {
+                job: "t1".to_string(),
+                from: 0,
+                max: DEFAULT_BOUNDARY_PAGE,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op": "shard_result", "job": "t1"}"#).unwrap(),
+            Request::ShardResult {
+                job: "t1".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_shard_ops_are_typed_errors() {
+        let cases: [(&str, ErrorCode); 6] = [
+            // A numeric seed is rejected: it must travel as a decimal string.
+            (
+                concat!(
+                    r#"{"op": "shard_submit", "job": "t", "shard": 0, "shards": 1,"#,
+                    r#" "worlds": 8, "seed": 7}"#,
+                ),
+                ErrorCode::BadRequest,
+            ),
+            (
+                concat!(
+                    r#"{"op": "shard_submit", "job": "", "shard": 0, "shards": 1,"#,
+                    r#" "worlds": 8, "seed": "7"}"#,
+                ),
+                ErrorCode::BadRequest,
+            ),
+            (
+                concat!(
+                    r#"{"op": "shard_submit", "job": "t", "shard": 0, "shards": 1,"#,
+                    r#" "worlds": 8, "seed": "7", "mode": "warp"}"#,
+                ),
+                ErrorCode::BadRequest,
+            ),
+            (
+                concat!(
+                    r#"{"op": "shard_submit", "job": "t", "shard": 0, "shards": 1,"#,
+                    r#" "worlds": 8, "seed": "7", "budget": 5}"#,
+                ),
+                ErrorCode::BadRequest,
+            ),
+            (r#"{"op": "boundary", "job": "t"}"#, ErrorCode::BadRequest),
+            (r#"{"op": "shard_result"}"#, ErrorCode::BadRequest),
+        ];
+        for (line, expected) in cases {
+            let (code, message) = parse_request(line).unwrap_err();
+            assert_eq!(code, expected, "{line}: {message}");
+        }
     }
 
     #[test]

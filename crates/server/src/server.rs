@@ -37,17 +37,20 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use minijson::{ObjBuilder, Value};
 use ugs_service::{QueryAnswer, QueryPlan, ServiceError};
-use uncertain_graph::UncertainGraph;
+use uncertain_graph::{GraphPartition, UncertainGraph};
 
 use crate::cache::{query_key, CacheStats, ResultCache};
-use crate::protocol::{error_line, finish_ok, ok_builder, parse_request, ErrorCode, Request};
+use crate::protocol::{
+    error_line, finish_ok, ok_builder, parse_request, ErrorCode, Request, ShardJobRequest,
+};
+use crate::shard::{ShardJob, ShardOutcome};
 
 /// Tunables of one [`serve`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +73,12 @@ pub struct ServerConfig {
     /// *before* cache-key computation, so the key always reflects the
     /// thread count that actually ran.
     pub max_plan_threads: usize,
+    /// `Some((index, total))` runs the server as a **shard worker**: it
+    /// builds the contiguous `total`-shard partition of its graph, holds
+    /// shard `index`'s CSR state, and accepts the `shard_submit` /
+    /// `boundary` / `shard_result` ops.  `None` (the default) serves the
+    /// ordinary plan ops only.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl Default for ServerConfig {
@@ -81,8 +90,16 @@ impl Default for ServerConfig {
             max_inflight: 8,
             cache_bytes: 1 << 20,
             max_plan_threads: 8,
+            shard: None,
         }
     }
+}
+
+/// The worker identity of a server started with [`ServerConfig::shard`].
+struct ShardRole {
+    index: usize,
+    shards: usize,
+    partition: Arc<GraphPartition>,
 }
 
 /// State shared by every thread of one server.
@@ -96,6 +113,16 @@ struct Shared {
     jobs_submitted: AtomicU64,
     jobs_delivered: AtomicU64,
     jobs_cancelled: AtomicU64,
+    shard: Option<ShardRole>,
+    /// Jobs accepted by `try_send` and not yet picked up by an executor.
+    queue_depth: AtomicUsize,
+    /// One flag per executor thread, raised while it runs a plan.
+    executor_busy: Vec<AtomicBool>,
+    /// Live client connections (the `stats` gauge behind the
+    /// shutdown-closes-every-connection guarantee).
+    connections: AtomicUsize,
+    /// Live shard sampling jobs across all connections.
+    shard_jobs: AtomicUsize,
 }
 
 impl Shared {
@@ -205,9 +232,34 @@ pub fn serve(
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
     let graph = graph.into();
+    let shard = match config.shard {
+        None => None,
+        Some((index, total)) => {
+            if index >= total {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("shard index {index} out of range for {total} shards"),
+                ));
+            }
+            let partition = GraphPartition::contiguous(&graph, total).map_err(|error| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("cannot partition the graph into {total} shards: {error}"),
+                )
+            })?;
+            Some(ShardRole {
+                index,
+                shards: total,
+                partition: Arc::new(partition),
+            })
+        }
+    };
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let fingerprint = graph.fingerprint();
+    let executor_busy = (0..config.executors.max(1))
+        .map(|_| AtomicBool::new(false))
+        .collect();
     let shared = Arc::new(Shared {
         graph,
         fingerprint,
@@ -218,14 +270,19 @@ pub fn serve(
         jobs_submitted: AtomicU64::new(0),
         jobs_delivered: AtomicU64::new(0),
         jobs_cancelled: AtomicU64::new(0),
+        shard,
+        queue_depth: AtomicUsize::new(0),
+        executor_busy,
+        connections: AtomicUsize::new(0),
+        shard_jobs: AtomicUsize::new(0),
     });
     let (job_tx, job_rx) = mpsc::sync_channel(shared.config.queue_capacity.max(1));
     let job_rx = Arc::new(Mutex::new(job_rx));
     let executors = (0..shared.config.executors.max(1))
-        .map(|_| {
+        .map(|slot| {
             let shared = Arc::clone(&shared);
             let job_rx = Arc::clone(&job_rx);
-            std::thread::spawn(move || executor_loop(&shared, &job_rx))
+            std::thread::spawn(move || executor_loop(&shared, &job_rx, slot))
         })
         .collect();
     let listener_handle = {
@@ -284,7 +341,7 @@ fn listener_loop(listener: TcpListener, shared: &Arc<Shared>, job_tx: &SyncSende
 }
 
 /// Drains the submission queue; exits when every sender is gone.
-fn executor_loop(shared: &Arc<Shared>, job_rx: &Mutex<Receiver<ExecJob>>) {
+fn executor_loop(shared: &Arc<Shared>, job_rx: &Mutex<Receiver<ExecJob>>, slot: usize) {
     loop {
         // Holding the lock across `recv` is the queue hand-off: exactly one
         // idle executor waits at a time, and it releases the lock before
@@ -294,14 +351,25 @@ fn executor_loop(shared: &Arc<Shared>, job_rx: &Mutex<Receiver<ExecJob>>) {
             Err(_) => return,
         };
         let Ok(job) = job else { return };
+        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
         if job.cancelled.load(Ordering::SeqCst) || shared.stopping() {
             // Cancelled while queued (or the server is draining for
             // shutdown): never execute.  Dropping `done_tx` disconnects the
             // job's channel, which polls surface as a typed error.
             continue;
         }
-        let answers = job.plan.execute_detailed(Arc::clone(&shared.graph));
-        {
+        shared.executor_busy[slot].store(true, Ordering::SeqCst);
+        // The cancel flag reaches the adaptive driver's epoch checkpoints:
+        // cancelling a running adaptive plan aborts it between epochs
+        // instead of burning the full world budget.
+        let answers = job.plan.execute_detailed_with_cancel(
+            Arc::clone(&shared.graph),
+            Some(Arc::clone(&job.cancelled)),
+        );
+        shared.executor_busy[slot].store(false, Ordering::SeqCst);
+        if !job.cancelled.load(Ordering::SeqCst) {
+            // A cancelled adaptive run stopped early: its answers reflect a
+            // truncated world stream and must not be cached.
             let mut cache = shared.cache.lock().expect("cache poisoned");
             for (key, outcome) in job.keys.iter().zip(&answers) {
                 if let Ok(answer) = outcome {
@@ -319,9 +387,11 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSende
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    shared.connections.fetch_add(1, Ordering::SeqCst);
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut jobs: HashMap<u64, Job> = HashMap::new();
+    let mut shard_jobs: HashMap<String, ShardJob> = HashMap::new();
     let mut next_job: u64 = 1;
     let mut line = String::new();
     loop {
@@ -334,7 +404,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSende
         if trimmed.is_empty() {
             continue;
         }
-        let outcome = handle_request(trimmed, shared, job_tx, &mut jobs, &mut next_job);
+        let outcome = handle_request(
+            trimmed,
+            shared,
+            job_tx,
+            &mut jobs,
+            &mut shard_jobs,
+            &mut next_job,
+        );
         let (response, stop_after) = match outcome {
             Outcome::Reply(response) => (response, false),
             Outcome::Shutdown(response) => (response, true),
@@ -357,6 +434,13 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSende
             cancelled.store(true, Ordering::SeqCst);
         }
     }
+    // Shard jobs live and die with their connection: dropping the map stops
+    // and joins every sampler thread.
+    shared
+        .shard_jobs
+        .fetch_sub(shard_jobs.len(), Ordering::SeqCst);
+    drop(shard_jobs);
+    shared.connections.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// What a request leaves the connection loop to do: reply, or reply and
@@ -371,6 +455,7 @@ fn handle_request(
     shared: &Arc<Shared>,
     job_tx: &SyncSender<ExecJob>,
     jobs: &mut HashMap<u64, Job>,
+    shard_jobs: &mut HashMap<String, ShardJob>,
     next_job: &mut u64,
 ) -> Outcome {
     let request = match parse_request(line) {
@@ -382,37 +467,7 @@ fn handle_request(
         Request::Shutdown => {
             return Outcome::Shutdown(finish_ok(ok_builder().field("stopping", true)));
         }
-        Request::Stats => {
-            let cache = shared.cache.lock().expect("cache poisoned").stats();
-            let jobs_obj = ObjBuilder::new()
-                .field(
-                    "submitted",
-                    shared.jobs_submitted.load(Ordering::SeqCst) as usize,
-                )
-                .field(
-                    "delivered",
-                    shared.jobs_delivered.load(Ordering::SeqCst) as usize,
-                )
-                .field(
-                    "cancelled",
-                    shared.jobs_cancelled.load(Ordering::SeqCst) as usize,
-                )
-                .build();
-            let cache_obj = ObjBuilder::new()
-                .field("hits", cache.hits as usize)
-                .field("misses", cache.misses as usize)
-                .field("insertions", cache.insertions as usize)
-                .field("evictions", cache.evictions as usize)
-                .field("entries", cache.entries)
-                .field("bytes", cache.bytes)
-                .build();
-            finish_ok(
-                ok_builder()
-                    .field("graph", shared.graph_label())
-                    .field("jobs", jobs_obj)
-                    .field("cache", cache_obj),
-            )
-        }
+        Request::Stats => stats(shared),
         Request::Submit(plan) => submit(plan, shared, job_tx, jobs, next_job),
         Request::Poll(id) => poll(id, shared, jobs),
         Request::Cancel(id) => match jobs.remove(&id) {
@@ -432,7 +487,194 @@ fn handle_request(
                 )
             }
         },
+        Request::ShardSubmit(request) => shard_submit(request, shared, shard_jobs),
+        Request::Boundary { job, from, max } => match shard_jobs.get(&job) {
+            None => unknown_shard_job(&job),
+            Some(entry) => {
+                if let ShardOutcome::Failed(message) = entry.outcome() {
+                    return Outcome::Reply(error_line(ErrorCode::Internal, &message));
+                }
+                let (records, pos, target) = entry.page(from, max.max(1));
+                let records = Value::Arr(records.into_iter().map(Value::Str).collect());
+                finish_ok(
+                    ok_builder()
+                        .field("job", job.as_str())
+                        .field("from", from)
+                        .field("records", records)
+                        .field("pos", pos)
+                        .field("target", target),
+                )
+            }
+        },
+        Request::ShardResult { job } => match shard_jobs.get(&job) {
+            None => unknown_shard_job(&job),
+            Some(entry) => match entry.outcome() {
+                ShardOutcome::Failed(message) => error_line(ErrorCode::Internal, &message),
+                ShardOutcome::Pending { pos, target } => finish_ok(
+                    ok_builder()
+                        .field("job", job.as_str())
+                        .field("done", false)
+                        .field("pos", pos)
+                        .field("target", target),
+                ),
+                ShardOutcome::Done {
+                    worlds,
+                    hist,
+                    intra,
+                } => {
+                    let counts = |values: Vec<u64>| {
+                        Value::Arr(values.into_iter().map(|v| Value::Num(v as f64)).collect())
+                    };
+                    finish_ok(
+                        ok_builder()
+                            .field("job", job.as_str())
+                            .field("done", true)
+                            .field("worlds", worlds)
+                            .field("hist", counts(hist))
+                            .field("intra", counts(intra)),
+                    )
+                }
+            },
+        },
     })
+}
+
+fn unknown_shard_job(job: &str) -> String {
+    error_line(
+        ErrorCode::UnknownJob,
+        &format!("shard job {job:?} is not held by this connection"),
+    )
+}
+
+/// Renders the `stats` response: job and cache counters, queue depth,
+/// per-executor busy flags, the live-connection gauge, and the shard role
+/// (when the server runs as a worker).
+fn stats(shared: &Arc<Shared>) -> String {
+    let cache = shared.cache.lock().expect("cache poisoned").stats();
+    let jobs_obj = ObjBuilder::new()
+        .field(
+            "submitted",
+            shared.jobs_submitted.load(Ordering::SeqCst) as usize,
+        )
+        .field(
+            "delivered",
+            shared.jobs_delivered.load(Ordering::SeqCst) as usize,
+        )
+        .field(
+            "cancelled",
+            shared.jobs_cancelled.load(Ordering::SeqCst) as usize,
+        )
+        .build();
+    let cache_obj = ObjBuilder::new()
+        .field("hits", cache.hits as usize)
+        .field("misses", cache.misses as usize)
+        .field("insertions", cache.insertions as usize)
+        .field("evictions", cache.evictions as usize)
+        .field("entries", cache.entries)
+        .field("bytes", cache.bytes)
+        .build();
+    let queue_obj = ObjBuilder::new()
+        .field("depth", shared.queue_depth.load(Ordering::SeqCst))
+        .field("capacity", shared.config.queue_capacity.max(1))
+        .build();
+    let executors = Value::Arr(
+        shared
+            .executor_busy
+            .iter()
+            .map(|busy| Value::Bool(busy.load(Ordering::SeqCst)))
+            .collect(),
+    );
+    let mut builder = ok_builder()
+        .field("graph", shared.graph_label())
+        .field("jobs", jobs_obj)
+        .field("cache", cache_obj)
+        .field("queue", queue_obj)
+        .field("executors", executors)
+        .field("connections", shared.connections.load(Ordering::SeqCst));
+    if let Some(role) = &shared.shard {
+        let shard_obj = ObjBuilder::new()
+            .field("shard", role.index)
+            .field("shards", role.shards)
+            .field("jobs", shared.shard_jobs.load(Ordering::SeqCst))
+            .build();
+        builder = builder.field("shard", shard_obj);
+    }
+    finish_ok(builder)
+}
+
+/// Starts a shard sampling job (or extends a running one): validates the
+/// request against the worker's role, enforces the per-connection job
+/// budget, and spawns the sampler thread.
+fn shard_submit(
+    request: ShardJobRequest,
+    shared: &Arc<Shared>,
+    shard_jobs: &mut HashMap<String, ShardJob>,
+) -> String {
+    if shared.stopping() {
+        return error_line(ErrorCode::ShuttingDown, "the server is shutting down");
+    }
+    let Some(role) = &shared.shard else {
+        return error_line(
+            ErrorCode::BadRequest,
+            "this server runs no shard role; start it with a shard index to accept shard jobs",
+        );
+    };
+    if request.shards != role.shards || request.shard != role.index {
+        return error_line(
+            ErrorCode::BadRequest,
+            &format!(
+                "this worker owns shard {}/{}, the request names shard {}/{}",
+                role.index, role.shards, request.shard, request.shards
+            ),
+        );
+    }
+    if let Some(existing) = shard_jobs.get(&request.job) {
+        // Re-submitting the same token is how a coordinator raises the world
+        // target of an adaptive plan; any other parameter change is a
+        // protocol violation (the replay identity must stay fixed).
+        if !existing.matches(&request) {
+            return error_line(
+                ErrorCode::BadRequest,
+                &format!(
+                    "shard job {:?} is already running with different parameters; \
+                     only the world target may change on resubmission",
+                    request.job
+                ),
+            );
+        }
+        existing.raise_target(request.worlds);
+        let (pos, target) = existing.progress();
+        return finish_ok(
+            ok_builder()
+                .field("job", request.job.as_str())
+                .field("accepted", true)
+                .field("pos", pos)
+                .field("target", target),
+        );
+    }
+    let budget = shared.config.max_inflight.max(1);
+    if shard_jobs.len() >= budget {
+        return error_line(
+            ErrorCode::OverBudget,
+            &format!("connection budget of {budget} shard jobs reached"),
+        );
+    }
+    let token = request.job.clone();
+    let target = request.worlds;
+    let job = ShardJob::spawn(
+        Arc::clone(&shared.graph),
+        Arc::clone(&role.partition),
+        request,
+    );
+    shard_jobs.insert(token.clone(), job);
+    shared.shard_jobs.fetch_add(1, Ordering::SeqCst);
+    finish_ok(
+        ok_builder()
+            .field("job", token.as_str())
+            .field("accepted", true)
+            .field("pos", 0usize)
+            .field("target", target),
+    )
 }
 
 fn submit(
@@ -503,7 +745,9 @@ fn submit(
             done_tx,
         };
         match job_tx.try_send(exec) {
-            Ok(()) => {}
+            Ok(()) => {
+                shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+            }
             Err(TrySendError::Full(_)) => {
                 return error_line(
                     ErrorCode::Overloaded,

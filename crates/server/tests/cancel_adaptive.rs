@@ -1,0 +1,82 @@
+//! Cooperative cancellation end-to-end: cancelling a running **adaptive**
+//! job reaches the driver's epoch checkpoints and aborts the run — the
+//! executor frees within a bounded wait instead of burning the full world
+//! cap, and the truncated answer is never cached.
+
+use std::time::{Duration, Instant};
+
+use minijson::Value;
+use ugs_server::{serve, LineClient, ServerConfig};
+use uncertain_graph::UncertainGraph;
+
+/// A plan that can never converge (epsilon far below the estimator noise)
+/// with a world cap that would take minutes to exhaust: the only way the
+/// executor goes idle quickly is the cancel flag firing at an epoch
+/// checkpoint.
+const STUBBORN_PLAN: &str = concat!(
+    r#"{"worlds": 2000000000, "seed": 7, "threads": 1,"#,
+    r#" "precision": {"epsilon": 1e-9},"#,
+    r#" "queries": [{"type": "connectivity"}]}"#,
+);
+
+fn executor_running(stats: &Value) -> bool {
+    stats
+        .get("executors")
+        .and_then(Value::as_array)
+        .map(|flags| flags.iter().any(|flag| flag.as_bool() == Some(true)))
+        .unwrap_or(false)
+}
+
+#[test]
+fn cancelling_a_running_adaptive_job_aborts_between_epochs() {
+    let graph = UncertainGraph::from_edges(4, [(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.7)]).unwrap();
+    let server = serve(graph, ServerConfig::default()).unwrap();
+    let mut client = LineClient::connect(server.addr()).unwrap();
+
+    let accepted = client.submit(STUBBORN_PLAN).unwrap();
+    assert_eq!(accepted.get_str("status"), Some("ok"), "submit accepted");
+    let job = accepted.get_usize("job").unwrap() as u64;
+
+    // Wait for the plan to leave the queue and actually run, so the cancel
+    // exercises the mid-execution path, not the skip-while-queued path.
+    let started = Instant::now();
+    while !executor_running(&client.request(r#"{"op": "stats"}"#).unwrap()) {
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "the adaptive job never started running"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let cancelled = client.cancel(job).unwrap();
+    assert_eq!(
+        cancelled.get("cancelled").and_then(Value::as_bool),
+        Some(true)
+    );
+
+    // The abort lands at the next epoch checkpoint: far sooner than the
+    // 2-billion-world cap.  Watch the busy flags drop.
+    let cancelled_at = Instant::now();
+    loop {
+        let stats = client.request(r#"{"op": "stats"}"#).unwrap();
+        if !executor_running(&stats) {
+            // The truncated run must not have poisoned the cache.
+            let insertions = stats
+                .get("cache")
+                .and_then(|cache| cache.get_usize("insertions"))
+                .unwrap();
+            assert_eq!(insertions, 0, "a cancelled answer is never cached");
+            break;
+        }
+        assert!(
+            cancelled_at.elapsed() < Duration::from_secs(60),
+            "cancellation did not reach the adaptive driver"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The job slot was freed by the cancel.
+    let poll = client.poll(job).unwrap();
+    assert_eq!(poll.get_str("code"), Some("unknown_job"));
+    server.shutdown();
+}

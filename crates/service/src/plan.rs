@@ -227,6 +227,19 @@ impl QueryPlan {
         &self,
         graph: impl Into<Arc<UncertainGraph>>,
     ) -> Vec<Result<QueryAnswer, ServiceError>> {
+        self.execute_detailed_with_cancel(graph, None)
+    }
+
+    /// Like [`QueryPlan::execute_detailed`], with a caller-owned cooperative
+    /// cancellation flag.  Raising the flag aborts an **adaptive** plan at
+    /// its next epoch checkpoint: the answers still arrive (reflecting the
+    /// worlds consumed up to the abort) instead of running to the full
+    /// budget.  Fixed-budget plans ignore the flag.
+    pub fn execute_detailed_with_cancel(
+        &self,
+        graph: impl Into<Arc<UncertainGraph>>,
+        cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+    ) -> Vec<Result<QueryAnswer, ServiceError>> {
         let graph = graph.into();
         let policy = self.policy();
         // Refuse a policy the scheduler could not run *before* starting the
@@ -234,7 +247,7 @@ impl QueryPlan {
         if let Err(error) = policy.validate_for(&graph) {
             return self.queries.iter().map(|_| Err(error.clone())).collect();
         }
-        let service = QueryService::start(graph, policy, self.seed);
+        let service = QueryService::start_with_cancel(graph, policy, self.seed, cancel);
         let tickets: Vec<_> = self
             .queries
             .iter()

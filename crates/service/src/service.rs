@@ -56,6 +56,7 @@
 //! service-stream draw), and policies without a precision target take the
 //! fixed path untouched, bit for bit.
 
+use std::sync::atomic::AtomicBool;
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -65,7 +66,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use uncertain_graph::{GraphPartition, UncertainGraph};
 
-use ugs_queries::batch::{run_adaptive_merged, AdaptiveReport, BatchResults, BoxedObserver};
+use ugs_queries::batch::{run_adaptive_cancellable, AdaptiveReport, BatchResults, BoxedObserver};
 use ugs_queries::engine::{SampleMethod, WorldEngine};
 use ugs_queries::sharded::ShardedWorldEngine;
 use ugs_queries::source::{ShardSupport, WorldSource};
@@ -152,6 +153,10 @@ pub enum ServiceError {
     Policy(String),
     /// The service shut down before answering.
     Stopped,
+    /// A distributed worker process was lost (connection died, timed out,
+    /// or exhausted its bounded retries) and the plan could not complete.
+    /// The coordinator degrades to this typed error instead of hanging.
+    WorkerLost(String),
     /// An internal driver invariant broke (worker loss, redemption error).
     Internal(String),
 }
@@ -162,6 +167,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Spec(e) => write!(f, "{e}"),
             ServiceError::Policy(m) => write!(f, "batch policy rejected: {m}"),
             ServiceError::Stopped => write!(f, "query service stopped before answering"),
+            ServiceError::WorkerLost(m) => write!(f, "worker_lost: {m}"),
             ServiceError::Internal(m) => write!(f, "internal query service error: {m}"),
         }
     }
@@ -219,6 +225,16 @@ pub struct ResultTicket {
 }
 
 impl ResultTicket {
+    /// Creates an unresolved ticket plus the sender that settles it — the
+    /// seam an **external executor** (e.g. the distributed coordinator)
+    /// needs to answer through the same ticket surface as the in-process
+    /// service.  Dropping the sender unresolved settles the ticket with
+    /// [`ServiceError::Stopped`], preserving the no-hang contract.
+    pub fn pending() -> (Sender<Result<QueryAnswer, ServiceError>>, ResultTicket) {
+        let (reply, rx) = mpsc::channel();
+        (reply, ResultTicket { rx, settled: None })
+    }
+
     /// Blocks until the submission's micro-batch completes.
     pub fn wait(self) -> Result<QueryResult, ServiceError> {
         self.wait_detailed().map(|answer| answer.result)
@@ -309,9 +325,25 @@ impl QueryService {
         policy: BatchPolicy,
         seed: u64,
     ) -> QueryService {
+        QueryService::start_with_cancel(graph, policy, seed, None)
+    }
+
+    /// [`QueryService::start`] with a cooperative cancellation flag shared
+    /// with the caller: while the flag is raised, **adaptive** micro-batches
+    /// abort at their next epoch checkpoint (worlds consumed so far are
+    /// still observed and reported with [`ugs_queries::StopReason::Cancelled`]);
+    /// fixed-budget batches run to completion as before.  The caller owns
+    /// the flag and may clear it again between submissions.
+    pub fn start_with_cancel(
+        graph: impl Into<Arc<UncertainGraph>>,
+        policy: BatchPolicy,
+        seed: u64,
+        cancel: Option<Arc<AtomicBool>>,
+    ) -> QueryService {
         let graph = graph.into();
         let (submit_tx, submit_rx) = mpsc::channel();
-        let scheduler = std::thread::spawn(move || scheduler_loop(graph, policy, seed, submit_rx));
+        let scheduler =
+            std::thread::spawn(move || scheduler_loop(graph, policy, seed, submit_rx, cancel));
         QueryService {
             submit_tx: Some(submit_tx),
             scheduler: Some(scheduler),
@@ -362,6 +394,7 @@ fn scheduler_loop(
     policy: BatchPolicy,
     seed: u64,
     submit_rx: Receiver<Submission>,
+    cancel: Option<Arc<AtomicBool>>,
 ) -> ServiceStats {
     if policy.shards > 1 {
         // A labelling that yields no valid partition must not bring the
@@ -376,10 +409,10 @@ fn scheduler_loop(
             }
         };
         let engine = ShardedWorldEngine::new(&graph, &partition).with_method(policy.mode);
-        run_worker_pool(&graph, &engine, policy, seed, submit_rx)
+        run_worker_pool(&graph, &engine, policy, seed, submit_rx, cancel)
     } else {
         let engine = WorldEngine::new(&graph).with_method(policy.mode);
-        run_worker_pool(&graph, &engine, policy, seed, submit_rx)
+        run_worker_pool(&graph, &engine, policy, seed, submit_rx, cancel)
     }
 }
 
@@ -403,6 +436,7 @@ fn run_worker_pool<S: WorldSource>(
     policy: BatchPolicy,
     seed: u64,
     submit_rx: Receiver<Submission>,
+    cancel: Option<Arc<AtomicBool>>,
 ) -> ServiceStats {
     let worker_count = policy.threads.max(1);
     std::thread::scope(|scope| {
@@ -449,6 +483,7 @@ fn run_worker_pool<S: WorldSource>(
             partial_rxs,
             next_seq: 0,
             stats: ServiceStats::default(),
+            cancel,
         };
         // `run` consumes the scheduler, so the job senders drop on return,
         // the workers' recv loops end, and the scope joins them.
@@ -472,6 +507,9 @@ struct Scheduler<'e, S: WorldSource> {
     /// Sequence number of the next micro-batch (tags jobs and partials).
     next_seq: u64,
     stats: ServiceStats,
+    /// Caller-owned cooperative cancellation flag; consulted by adaptive
+    /// micro-batches at their epoch checkpoints.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<S: WorldSource> Scheduler<'_, S> {
@@ -569,13 +607,14 @@ impl<S: WorldSource> Scheduler<'_, S> {
             // does not know.
             self.next_seq += 1;
             let seed = self.rng.gen::<u64>();
-            let (merged, report) = run_adaptive_merged(
+            let (merged, report) = run_adaptive_cancellable(
                 self.source,
                 observers,
                 num_worlds,
                 self.policy.threads.max(1),
                 seed,
                 &precision,
+                self.cancel.as_deref(),
             );
             self.stats.worlds_sampled += report.worlds_used;
             adaptive = Some(report);

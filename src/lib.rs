@@ -24,6 +24,7 @@
 //! | [`queries`] | `ugs-queries` | zero-allocation Monte-Carlo world engine, queries, estimator variance |
 //! | [`service`] | `ugs-service` | `QuerySpec`/`QueryResult` data API, JSON query plans, sharded streaming `QueryService` |
 //! | [`server`] | `ugs-server` | line-delimited JSON TCP front-end: deterministic result cache, admission control, graceful shutdown |
+//! | [`dist`] | `ugs-dist` | multi-process shard workers with a boundary-exchange coordinator, bit-identical to in-process runs |
 //! | [`metrics`] | `ugs-metrics` | degree/cut discrepancy MAE, relative entropy, earth mover's distance |
 //! | [`datasets`] | `ugs-datasets` | Flickr/Twitter-shaped generators, density sweep, Forest Fire sampling |
 //!
@@ -86,6 +87,7 @@ pub use lp_solver as lp;
 pub use ugs_baselines as baselines;
 pub use ugs_core as sparsify;
 pub use ugs_datasets as datasets;
+pub use ugs_dist as dist;
 pub use ugs_metrics as metrics;
 pub use ugs_queries as queries;
 pub use ugs_server as server;
