@@ -18,10 +18,10 @@ use rand::{Rng, SeedableRng};
 use uncertain_graph::UncertainGraph;
 
 use ugs_datasets::{preferential_attachment, ProbabilityModel};
-use ugs_dist::{CoordinatorConfig, DistCoordinator};
+use ugs_dist::{CoordinatorConfig, DistCoordinator, FaultKind, FaultPlan};
 use ugs_server::protocol::DEFAULT_BOUNDARY_PAGE;
 use ugs_server::{serve, LineClient, ServerConfig, ServerHandle};
-use ugs_service::QueryPlan;
+use ugs_service::{QueryAnswer, QueryPlan, ServiceError};
 
 const VERTICES: usize = 60_000;
 const EDGES_PER_VERTEX: usize = 4;
@@ -155,6 +155,67 @@ fn measure_fleet(
     }
 }
 
+struct RecoveryMeasurement {
+    workers: usize,
+    recovered: Duration,
+}
+
+/// Times the plan with shard 1's worker wedged into a terminal disconnect a
+/// few exchanges in: the coordinator burns its retry budget, fails over to
+/// a standby, and the answers must still come out bit-identical.  The gap
+/// to the clean coordinator time is the recovery latency (one cold pass —
+/// the wedge is terminal, so there is no warm faulted pass to time).
+fn measure_recovery(
+    graph: &Arc<UncertainGraph>,
+    workers: usize,
+    plan: &QueryPlan,
+    expected: &[Result<QueryAnswer, ServiceError>],
+) -> RecoveryMeasurement {
+    let handles: Vec<ServerHandle> = (0..workers)
+        .map(|k| {
+            let fault_plan = (k == 1).then(|| FaultPlan::wedge_after(4, FaultKind::Disconnect));
+            let config = ServerConfig {
+                shard: Some((k, workers)),
+                fault_plan,
+                ..ServerConfig::default()
+            };
+            serve(graph.clone(), config).expect("bind loopback worker")
+        })
+        .collect();
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    let standby = serve(
+        graph.clone(),
+        ServerConfig {
+            shard: Some((1, workers)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind standby");
+    let config = CoordinatorConfig {
+        retries: 1,
+        reconnect_backoff: Duration::from_millis(1),
+        standbys: vec![standby.addr().to_string()],
+        ..CoordinatorConfig::default()
+    };
+    let mut coordinator =
+        DistCoordinator::connect(graph.clone(), &addrs, config).expect("assemble fleet");
+    let started = Instant::now();
+    let answers = coordinator.execute(plan);
+    let recovered = started.elapsed();
+    assert_eq!(answers, *expected, "recovered parity at {workers} workers");
+    assert_eq!(
+        coordinator.recovery_report().failovers.len(),
+        1,
+        "exactly one failover at {workers} workers"
+    );
+    coordinator.shutdown();
+    standby.shutdown();
+    for handle in handles {
+        handle.shutdown();
+    }
+    RecoveryMeasurement { workers, recovered }
+}
+
 fn dist_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("dist");
     group
@@ -176,6 +237,10 @@ fn dist_bench(c: &mut Criterion) {
         .iter()
         .map(|&workers| measure_fleet(&graph, workers, &plan))
         .collect();
+    let recoveries: Vec<RecoveryMeasurement> = [2usize, 4]
+        .iter()
+        .map(|&workers| measure_recovery(&graph, workers, &plan, &warm))
+        .collect();
 
     group.bench_with_input(
         BenchmarkId::new("in_process", MEAN_P),
@@ -188,6 +253,15 @@ fn dist_bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("coordinator", fleet.workers),
             &fleet.coordinator,
+            |b, &d| {
+                b.iter(|| black_box(d));
+            },
+        );
+    }
+    for recovery in &recoveries {
+        group.bench_with_input(
+            BenchmarkId::new("recovery", recovery.workers),
+            &recovery.recovered,
             |b, &d| {
                 b.iter(|| black_box(d));
             },
@@ -209,12 +283,31 @@ fn dist_bench(c: &mut Criterion) {
             fleet.boundary_bytes_total as f64 / WORLDS as f64 / 1024.0,
         );
     }
-    write_trajectory(graph.num_edges(), in_process, &fleets);
+    for recovery in &recoveries {
+        let clean = fleets
+            .iter()
+            .find(|fleet| fleet.workers == recovery.workers)
+            .map(|fleet| fleet.coordinator)
+            .unwrap_or_default();
+        println!(
+            "  {} workers: lost shard 1 mid-plan, recovered via standby in {:.2?} \
+             (+{:.2?} over the clean run), bit-identical",
+            recovery.workers,
+            recovery.recovered,
+            recovery.recovered.saturating_sub(clean),
+        );
+    }
+    write_trajectory(graph.num_edges(), in_process, &fleets, &recoveries);
 }
 
 /// Persists the measured distributed critical path as `BENCH_dist.json` at
 /// the repo root.
-fn write_trajectory(edges: usize, in_process: Duration, fleets: &[FleetMeasurement]) {
+fn write_trajectory(
+    edges: usize,
+    in_process: Duration,
+    fleets: &[FleetMeasurement],
+    recoveries: &[RecoveryMeasurement],
+) {
     let mut fleet_entries = String::new();
     for (i, fleet) in fleets.iter().enumerate() {
         if i > 0 {
@@ -230,6 +323,23 @@ fn write_trajectory(edges: usize, in_process: Duration, fleets: &[FleetMeasureme
             fleet.boundary_bytes_total as f64 / WORLDS as f64,
         ));
     }
+    let mut recovery_entries = String::new();
+    for (i, recovery) in recoveries.iter().enumerate() {
+        if i > 0 {
+            recovery_entries.push_str(",\n");
+        }
+        let clean = fleets
+            .iter()
+            .find(|fleet| fleet.workers == recovery.workers)
+            .map(|fleet| fleet.coordinator)
+            .unwrap_or_default();
+        recovery_entries.push_str(&format!(
+            "    {{\"workers\": {}, \"recovered_ns\": {}, \"recovery_overhead_ns\": {}}}",
+            recovery.workers,
+            recovery.recovered.as_nanos(),
+            recovery.recovered.saturating_sub(clean).as_nanos(),
+        ));
+    }
     let json = format!(
         "{{\n  \"benchmark\": \"dist\",\n  \
          \"graph\": \"preferential_attachment({VERTICES} vertices, m = {EDGES_PER_VERTEX}, \
@@ -240,8 +350,12 @@ fn write_trajectory(edges: usize, in_process: Duration, fleets: &[FleetMeasureme
          (shard_submit/boundary/shard_result wire protocol, DSU glue, order-faithful merge) \
          vs the in-process run; answers asserted bit-identical before timing is reported. \
          boundary_bytes_per_world sums the encoded per-shard boundary records of one world \
-         across the fleet\",\n  \
-         \"in_process_ns\": {},\n  \"fleets\": [\n{fleet_entries}\n  ]\n}}\n",
+         across the fleet. recovery entries time the same plan with shard 1 wedged into a \
+         terminal disconnect mid-plan: one retry burns, a standby is promoted, the shard \
+         replays deterministically, and answers are again asserted bit-identical; \
+         recovery_overhead_ns is the cold faulted pass minus the clean coordinator pass\",\n  \
+         \"in_process_ns\": {},\n  \"fleets\": [\n{fleet_entries}\n  ],\n  \
+         \"recovery\": [\n{recovery_entries}\n  ]\n}}\n",
         in_process.as_nanos(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dist.json");

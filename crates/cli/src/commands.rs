@@ -156,12 +156,35 @@ const SERVE_OPTIONS: &[&str] = &[
     "max-inflight",
     "cache-bytes",
     "max-plan-threads",
+    "max-line-bytes",
     "announce",
     "shard",
     "shards",
+    "fault-plan",
 ];
 const REQUEST_OPTIONS: &[&str] = &["op", "plan", "compact", "timeout-ms"];
-const COORDINATE_OPTIONS: &[&str] = &["workers", "timeout-ms", "retries", "compact"];
+const COORDINATE_OPTIONS: &[&str] = &[
+    "workers",
+    "standbys",
+    "timeout-ms",
+    "retries",
+    "backoff-ms",
+    "fault-plan",
+    "compact",
+];
+const SUPERVISE_OPTIONS: &[&str] = &[
+    "ports",
+    "shards",
+    "shard-base",
+    "host",
+    "announce",
+    "max-respawns",
+    "backoff-ms",
+    "max-backoff-ms",
+    "crash-loop",
+    "ping-ms",
+    "compact",
+];
 const HELP_OPTIONS: &[&str] = &[];
 
 const COMMANDS: &[CommandHelp] = &[
@@ -278,19 +301,53 @@ const COMMANDS: &[CommandHelp] = &[
                additionally acts as shard K of a W-shard worker fleet:
                it holds only that shard's state and answers the
                shard_submit / boundary / shard_result ops that
-               `ugs coordinate` drives.",
+               `ugs coordinate` drives.  --max-line-bytes caps the accepted
+               request-line length (oversized lines get a typed bad_request
+               and the connection survives).  --fault-plan SPEC (requires
+               UGS_FAULTS=1; see `ugs help coordinate`) arms seeded wire
+               fault injection for chaos tests.",
     },
     CommandHelp {
         name: "coordinate",
         usage: "coordinate <graph.txt> <plan.json> --workers HOST:PORT,HOST:PORT,...
-               [--timeout-ms MS] [--retries N] [--compact]
+               [--standbys HOST:PORT,...] [--timeout-ms MS] [--retries N]
+               [--backoff-ms MS] [--compact]
                Execute a JSON query plan over a fleet of shard workers
                (each an `ugs serve --shard K --shards W` process, one per
                listed address, in order) and print the full report as
                JSON — bit-identical to running the plan in-process.
-               Count queries only (connectivity|degree-hist|edge-freq);
-               a worker that stops responding degrades the plan to a
-               typed worker_lost error after bounded retries.",
+               Count queries only (connectivity|degree-hist|edge-freq).
+               A worker that stops responding is retried (reconnect +
+               deterministic resubmit, --backoff-ms between attempts);
+               when its retries run out the shard fails over to the first
+               --standbys address that validates, still bit-identically.
+               Only an exhausted standby pool degrades the plan to a typed
+               worker_lost error.  --fault-plan SPEC (requires UGS_FAULTS=1)
+               arms seeded coordinator-side fault injection; SPEC is
+               comma-separated key=value pairs: seed=N,count=N,horizon=N
+               for a seeded schedule, at=N / wedge=N for explicit ops,
+               kind=drop|delay|disconnect|garble, delay-ms=N.",
+    },
+    CommandHelp {
+        name: "supervise",
+        usage: "supervise  <graph.txt> --ports P1,P2,... [--shards W] [--shard-base B]
+               [--host H] [--announce FILE] [--max-respawns N] [--backoff-ms MS]
+               [--max-backoff-ms MS] [--crash-loop N] [--ping-ms MS] [--compact]
+               Launch one `ugs serve --shard K --shards W` worker per listed
+               port (shards B.., W defaulting to B + the port count — so on a
+               single host just list the ports; across hosts give each
+               supervisor its --shard-base slice of the fleet-wide --shards W)
+               and babysit the fleet: liveness is
+               watched via process exits and periodic pings (--ping-ms 0
+               disables probes), a crashed or wedged worker is respawned on
+               its fixed port with exponential backoff (--backoff-ms base,
+               capped by --max-backoff-ms) up to --max-respawns times, and
+               --crash-loop consecutive fast exits give a worker up as
+               crash-looping.  A worker that exits 0 (a client sent
+               {\"op\": \"shutdown\"}) is done and never respawned.
+               --announce FILE is rewritten atomically with one
+               `name addr pid` line per running worker on every membership
+               change.  Prints a JSON report once every worker is terminal.",
     },
     CommandHelp {
         name: "request",
@@ -1128,6 +1185,36 @@ pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
+/// Parses a `--fault-plan SPEC` option, gated behind `UGS_FAULTS=1`: fault
+/// injection is a test/bench surface and must not be reachable by a stray
+/// flag in production.
+fn fault_plan_option(args: &ParsedArgs) -> Result<Option<ugs_server::FaultPlan>, CliError> {
+    let Some(spec) = args.options.get("fault-plan") else {
+        return Ok(None);
+    };
+    if std::env::var("UGS_FAULTS").as_deref() != Ok("1") {
+        return Err(CliError::Message(
+            "--fault-plan is a test/bench surface; set UGS_FAULTS=1 to enable it".to_string(),
+        ));
+    }
+    ugs_server::FaultPlan::parse(spec)
+        .map(Some)
+        .map_err(CliError::Message)
+}
+
+/// Parses a comma-separated address list option.
+fn addr_list(args: &ParsedArgs, option: &str) -> Vec<String> {
+    args.options
+        .get(option)
+        .map(|list| {
+            list.split(',')
+                .map(|addr| addr.trim().to_string())
+                .filter(|addr| !addr.is_empty())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 /// `ugs serve`: run the TCP query front-end over a graph until a client
 /// sends `{"op": "shutdown"}`.
 pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
@@ -1150,7 +1237,11 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         max_inflight: args.usize_or("max-inflight", 8)?.max(1),
         cache_bytes: args.usize_or("cache-bytes", 1 << 20)?,
         max_plan_threads: args.usize_or("max-plan-threads", 8)?.max(1),
+        max_line_bytes: args
+            .usize_or("max-line-bytes", ugs_server::protocol::MAX_LINE_BYTES)?
+            .max(64),
         shard,
+        fault_plan: fault_plan_option(args)?,
     };
     let handle = ugs_server::serve(graph, config)
         .map_err(|e| CliError::Message(format!("cannot serve: {e}")))?;
@@ -1196,6 +1287,9 @@ pub fn coordinate(args: &ParsedArgs) -> Result<String, CliError> {
     let config = ugs_dist::CoordinatorConfig {
         timeout: Duration::from_millis(args.u64_or("timeout-ms", 10_000)?),
         retries: args.usize_or("retries", 2)?,
+        reconnect_backoff: Duration::from_millis(args.u64_or("backoff-ms", 25)?),
+        standbys: addr_list(args, "standbys"),
+        faults: fault_plan_option(args)?,
         ..ugs_dist::CoordinatorConfig::default()
     };
     let mut coordinator = ugs_dist::DistCoordinator::connect(graph, &addrs, config)
@@ -1206,6 +1300,105 @@ pub fn coordinate(args: &ParsedArgs) -> Result<String, CliError> {
         report.render()
     } else {
         report.pretty()
+    })
+}
+
+/// `ugs supervise`: launch one `ugs serve --shard` worker per port and
+/// babysit the fleet — respawn crashes with backoff, detect crash loops,
+/// kill and respawn workers that stop answering pings.
+pub fn supervise(args: &ParsedArgs) -> Result<String, CliError> {
+    use std::time::Duration;
+
+    args.expect_options(SUPERVISE_OPTIONS)?;
+    let graph_path = args.positional(0, "graph.txt")?;
+    // Validate the graph up front: an unreadable file should be one typed
+    // error here, not a fleet of crash-looping workers.
+    load(graph_path)?;
+    let ports = args
+        .options
+        .get("ports")
+        .ok_or_else(|| CliError::Message("--ports P1,P2,... is required".to_string()))?;
+    let ports: Vec<u16> = ports
+        .split(',')
+        .map(|port| port.trim())
+        .filter(|port| !port.is_empty())
+        .map(|port| {
+            port.parse::<u16>()
+                .map_err(|_| CliError::Message(format!("--ports entry {port:?} is not a port")))
+        })
+        .collect::<Result<_, _>>()?;
+    if ports.is_empty() {
+        return Err(CliError::Message("--ports names no ports".to_string()));
+    }
+    // One host may supervise a slice of a wider fleet: --shard-base is the
+    // first shard index here, --shards the fleet-wide count (defaulting to
+    // base + port count, i.e. this host completes the fleet).
+    let base = args.usize_or("shard-base", 0)?;
+    let shards = match args.options.get("shards") {
+        None => base + ports.len(),
+        Some(declared) => {
+            let declared: usize = declared
+                .parse()
+                .map_err(|_| CliError::Message(format!("--shards {declared:?} is not a count")))?;
+            if declared < base + ports.len() {
+                return Err(CliError::Message(format!(
+                    "--shards {declared} cannot hold shards {base}..{} \
+                     (shard-base {base} + {} listed ports)",
+                    base + ports.len(),
+                    ports.len()
+                )));
+            }
+            declared
+        }
+    };
+    let host = args.option_or("host", "127.0.0.1");
+    let program = std::env::current_exe()
+        .map_err(|e| CliError::Message(format!("cannot locate the ugs binary: {e}")))?;
+    let specs: Vec<ugs_dist::WorkerSpec> = ports
+        .iter()
+        .enumerate()
+        .map(|(i, port)| {
+            let k = base + i;
+            let addr = format!("{host}:{port}");
+            ugs_dist::WorkerSpec {
+                name: format!("shard-{k}"),
+                addr: addr.clone(),
+                program: program.clone(),
+                args: vec![
+                    "serve".to_string(),
+                    graph_path.to_string(),
+                    "--shard".to_string(),
+                    k.to_string(),
+                    "--shards".to_string(),
+                    shards.to_string(),
+                    "--addr".to_string(),
+                    addr,
+                ],
+            }
+        })
+        .collect();
+    let ping_ms = args.u64_or("ping-ms", 500)?;
+    let defaults = ugs_dist::SupervisorConfig::default();
+    let config = ugs_dist::SupervisorConfig {
+        ping_interval: (ping_ms > 0).then(|| Duration::from_millis(ping_ms)),
+        backoff: Duration::from_millis(args.u64_or("backoff-ms", 200)?),
+        max_backoff: Duration::from_millis(args.u64_or("max-backoff-ms", 5_000)?),
+        max_respawns: args.usize_or("max-respawns", defaults.max_respawns)?,
+        crash_loop_limit: args
+            .usize_or("crash-loop", defaults.crash_loop_limit)?
+            .max(1),
+        ..defaults
+    };
+    let announce = args.options.get("announce").map(std::path::PathBuf::from);
+    let report = ugs_dist::supervise(specs, config, announce.as_deref(), |line| {
+        eprintln!("{line}")
+    })
+    .map_err(|e| CliError::Message(format!("supervisor failed: {e}")))?;
+    let rendered = report.render();
+    Ok(if args.flag("compact") {
+        rendered.render()
+    } else {
+        rendered.pretty()
     })
 }
 
@@ -1285,6 +1478,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "session" => session(args),
         "serve" => serve(args),
         "coordinate" => coordinate(args),
+        "supervise" => supervise(args),
         "request" => request(args),
         "help" | "--help" | "-h" => {
             args.expect_options(HELP_OPTIONS)?;
@@ -2114,5 +2308,25 @@ mod tests {
         let unknown_option =
             ParsedArgs::parse(["request", "127.0.0.1:1", "--frobnicate", "yes"]).unwrap();
         assert!(run(&unknown_option).is_err());
+    }
+
+    #[test]
+    fn supervise_rejects_a_fleet_its_shard_slice_cannot_fit() {
+        let input = write_toy_graph("supervise-slice.txt");
+        // shard-base 3 + 2 ports needs shards >= 5; declaring 4 is typed.
+        let args = ParsedArgs::parse([
+            "supervise",
+            input.as_str(),
+            "--ports",
+            "7991,7992",
+            "--shards",
+            "4",
+            "--shard-base",
+            "3",
+        ])
+        .unwrap();
+        let message = run(&args).unwrap_err().to_string();
+        assert!(message.contains("cannot hold shards 3..5"), "{message}");
+        std::fs::remove_file(&input).ok();
     }
 }

@@ -20,7 +20,9 @@ use ugs_service::{
 };
 use uncertain_graph::{GraphPartition, UncertainGraph};
 
+use crate::fault::{FaultClock, FaultKind, FaultPlan};
 use crate::merge::{block_owner, ConnAccumulator, FreqAccumulator, HistAccumulator};
+use crate::recovery::{Failover, RecoveryReport, StandbyPool};
 
 /// One shard's `(degree_histogram, intra_edge_presence)` cross-world
 /// aggregates, as returned by `shard_result`.
@@ -33,19 +35,38 @@ type ShardAggregates = (Vec<u64>, Vec<u64>);
 /// reconnecting and resubmitting (the fresh job deterministically resamples
 /// the identical world stream), and a worker whose sampling position stops
 /// advancing for `stale_after` while the coordinator still needs its records
-/// is treated as lost.  Together these bound every plan's worst-case wait.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// is treated as lost.  When a worker's retry budget runs dry the
+/// coordinator **fails over**: the first `standbys` address that validates
+/// (same graph fingerprint, the lost shard's role) is promoted, consuming
+/// it from the pool and re-arming the shard's retry budget — so the
+/// worst-case wait stays bounded by `(standbys + 1) × (retries + 1)`
+/// exchanges per shard per plan.  Only when no standby validates does the
+/// plan degrade to [`ServiceError::WorkerLost`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoordinatorConfig {
-    /// Per-request socket timeout, both directions.
+    /// Per-request socket timeout, both directions (and the connect bound).
     pub timeout: Duration,
-    /// Reconnect-and-resubmit attempts per worker per plan before the plan
-    /// degrades to [`ServiceError::WorkerLost`].
+    /// Reconnect-and-resubmit attempts per worker per plan before the
+    /// shard fails over (or, with no standby left, the plan degrades to
+    /// [`ServiceError::WorkerLost`]).
     pub retries: usize,
     /// How long a worker's `pos` may sit still (while records are needed)
     /// before the stale-worker detector burns one retry.
     pub stale_after: Duration,
     /// Sleep between progress probes when no worker has new records.
     pub poll_interval: Duration,
+    /// Sleep after a failed exchange before the reconnect attempt — gives
+    /// a supervisor's respawn (or a restarting host) time to re-bind
+    /// instead of burning the whole retry budget in microseconds.
+    pub reconnect_backoff: Duration,
+    /// Standby worker addresses for failover; see [`crate::recovery`].
+    /// Every standby must serve the same graph; its shard role is
+    /// validated at promotion time.
+    pub standbys: Vec<String>,
+    /// Test/bench-only seeded fault injection over the coordinator's
+    /// request path; see [`crate::fault`].  `None` (the default) sends
+    /// every exchange faithfully.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for CoordinatorConfig {
@@ -55,6 +76,9 @@ impl Default for CoordinatorConfig {
             retries: 2,
             stale_after: Duration::from_secs(30),
             poll_interval: Duration::from_millis(1),
+            reconnect_backoff: Duration::from_millis(25),
+            standbys: Vec::new(),
+            faults: None,
         }
     }
 }
@@ -159,6 +183,9 @@ pub struct DistCoordinator {
     partition: Arc<GraphPartition>,
     config: CoordinatorConfig,
     workers: Vec<Worker>,
+    standbys: StandbyPool,
+    faults: Option<FaultClock>,
+    recovery: RecoveryReport,
     fingerprint: u64,
     next_token: u64,
     job: Option<JobParams>,
@@ -187,31 +214,44 @@ impl DistCoordinator {
         let partition = GraphPartition::contiguous(&graph, addrs.len())
             .map_err(|error| ServiceError::Policy(error.to_string()))?;
         let fingerprint = graph.fingerprint();
+        let retries = config.retries;
+        let standbys = StandbyPool::new(config.standbys.clone());
+        let faults = config
+            .faults
+            .clone()
+            .filter(|plan| !plan.is_empty())
+            .map(FaultClock::new);
         let mut coordinator = DistCoordinator {
             graph,
             partition: Arc::new(partition),
-            config,
             workers: addrs
                 .iter()
                 .map(|addr| Worker {
                     addr: addr.to_string(),
                     client: None,
-                    retries_left: config.retries,
+                    retries_left: retries,
                     received: 0,
                     buffer: VecDeque::new(),
                     last_pos: 0,
                     last_gain: Instant::now(),
                 })
                 .collect(),
+            standbys,
+            faults,
+            recovery: RecoveryReport::default(),
+            config,
             fingerprint,
             next_token: 0,
             job: None,
         };
         for k in 0..coordinator.workers.len() {
-            let client = coordinator
-                .open_client(k)
-                .map_err(ServiceError::WorkerLost)?;
-            coordinator.workers[k].client = Some(client);
+            // A worker that is dead or mis-configured at connect fails over
+            // immediately (promotion validates a standby); only an empty or
+            // exhausted pool degrades to the typed error.
+            match coordinator.open_client(k) {
+                Ok(client) => coordinator.workers[k].client = Some(client),
+                Err(why) => coordinator.promote(k, why)?,
+            }
         }
         Ok(coordinator)
     }
@@ -219,6 +259,17 @@ impl DistCoordinator {
     /// Number of shard workers (= shards of the partition).
     pub fn num_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Cumulative recovery activity — retries burned and standby
+    /// promotions — across this coordinator's lifetime.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Standby addresses not yet consumed by a promotion.
+    pub fn standbys_left(&self) -> usize {
+        self.standbys.len()
     }
 
     /// The fingerprint of the coordinated graph.
@@ -447,6 +498,19 @@ impl DistCoordinator {
         Ok(())
     }
 
+    /// Pings every worker once through the ordinary retry/reconnect/
+    /// failover path.  Runs **before** a plan fans out, while no job is in
+    /// flight, so a dead-at-connect worker is detected — and failed over —
+    /// before any shard work starts instead of surfacing as a mid-plan
+    /// timeout.
+    fn probe_fleet(&mut self) -> Result<(), ServiceError> {
+        debug_assert!(self.job.is_none(), "probe with a job in flight");
+        for k in 0..self.workers.len() {
+            self.request_worker(k, "{\"op\": \"ping\"}")?;
+        }
+        Ok(())
+    }
+
     /// Starts a fresh sampling job on every worker under a new token,
     /// resetting all pager state and re-arming the retry budgets.
     fn start_job(
@@ -455,6 +519,7 @@ impl DistCoordinator {
         mode: &'static str,
         target: usize,
     ) -> Result<(), ServiceError> {
+        self.probe_fleet()?;
         let token = format!("plan-{}", self.next_token);
         self.next_token += 1;
         self.job = Some(JobParams {
@@ -691,8 +756,31 @@ impl DistCoordinator {
     }
 
     /// One request on the live connection; any transport error or error
-    /// envelope comes back as a message (no retry logic here).
+    /// envelope comes back as a message (no retry logic here).  This is
+    /// also the coordinator-side fault injection seam: an armed
+    /// [`CoordinatorConfig::faults`] clock ticks once per call and may
+    /// misbehave instead — every injected failure then flows through the
+    /// ordinary retry/failover model like a real one.
     fn raw_request(&mut self, k: usize, line: &str) -> Result<Value, String> {
+        let line = match crate::fault::verdict(self.faults.as_ref()) {
+            None => line,
+            Some(FaultKind::Delay) => {
+                let delay = self.faults.as_ref().expect("delay needs a clock").delay();
+                std::thread::sleep(delay);
+                line
+            }
+            Some(FaultKind::Drop) => {
+                self.workers[k].client = None;
+                return Err("injected fault: request dropped".to_string());
+            }
+            Some(FaultKind::Disconnect) => {
+                self.workers[k].client = None;
+                return Err("injected fault: connection torn down".to_string());
+            }
+            // The worker answers a garbled request with a typed
+            // `bad_request` — reported below like any error envelope.
+            Some(FaultKind::Garble) => "#!garbled<injected-request>",
+        };
         let client = self.workers[k]
             .client
             .as_mut()
@@ -706,29 +794,98 @@ impl DistCoordinator {
     }
 
     /// Records one failed exchange with worker `k`: drops its connection
-    /// (the next request reconnects and resubmits) and burns one retry, or
-    /// degrades the plan to the typed [`ServiceError::WorkerLost`].
+    /// (the next request reconnects and resubmits) and burns one retry;
+    /// an exhausted budget fails the shard over to a standby, and only
+    /// when no standby validates does the plan degrade to the typed
+    /// [`ServiceError::WorkerLost`].
     fn fail_worker(&mut self, k: usize, why: &str) -> Result<(), ServiceError> {
         let worker = &mut self.workers[k];
         worker.client = None;
         if worker.retries_left == 0 {
-            return Err(ServiceError::WorkerLost(format!(
+            let exhausted = format!(
                 "shard {k} worker at {}: {why} (retries exhausted)",
                 worker.addr
-            )));
+            );
+            return self.promote(k, exhausted);
         }
         worker.retries_left -= 1;
         worker.last_gain = Instant::now();
+        self.recovery.retries_burned += 1;
+        if !self.config.reconnect_backoff.is_zero() {
+            std::thread::sleep(self.config.reconnect_backoff);
+        }
         Ok(())
     }
 
-    /// Opens and validates a connection to worker `k`: timeouts armed both
-    /// directions, graph fingerprint and shard role checked via `stats`.
+    /// Fails shard `k` over to the first standby that validates: the
+    /// candidate must serve the same graph under shard `k`'s role, and the
+    /// in-flight job (if any) is resubmitted to it before it takes over —
+    /// the job deterministically resamples the identical world stream from
+    /// world 0, and the pager's `received` cursor keeps gluing exactly
+    /// where it stopped, so recovered answers stay bit-identical (see
+    /// [`crate::recovery`]).  A promoted (or failed) candidate is consumed
+    /// from the pool; promotion re-arms the shard's retry budget.
+    ///
+    /// `trail` carries the failure story so far; candidates that do not
+    /// validate append to it, and the terminal
+    /// [`ServiceError::WorkerLost`] reports the whole chain.
+    fn promote(&mut self, k: usize, trail: String) -> Result<(), ServiceError> {
+        let mut trail = trail;
+        for addr in self.standbys.candidates() {
+            self.standbys.remove(&addr);
+            let mut client = match self.open_client_to(k, &addr) {
+                Ok(client) => client,
+                Err(why) => {
+                    trail = format!("{trail}; standby {why}");
+                    continue;
+                }
+            };
+            if self.job.is_some() {
+                let submit = self.submit_line(k);
+                let resubmitted = client
+                    .request(&submit)
+                    .map_err(|error| error.to_string())
+                    .and_then(|response| {
+                        if response.get_str("status") == Some("ok") {
+                            Ok(())
+                        } else {
+                            Err(format!("answered {}", response.render()))
+                        }
+                    });
+                if let Err(why) = resubmitted {
+                    trail = format!("{trail}; standby at {addr} rejected the resubmission: {why}");
+                    continue;
+                }
+            }
+            let retries = self.config.retries;
+            let worker = &mut self.workers[k];
+            let from = std::mem::replace(&mut worker.addr, addr.clone());
+            worker.client = Some(client);
+            worker.retries_left = retries;
+            worker.last_gain = Instant::now();
+            self.recovery.failovers.push(Failover {
+                shard: k,
+                from,
+                to: addr,
+            });
+            return Ok(());
+        }
+        Err(ServiceError::WorkerLost(trail))
+    }
+
+    /// Opens and validates a connection to worker `k`'s current address.
     fn open_client(&self, k: usize) -> Result<LineClient, String> {
-        let addr = &self.workers[k].addr;
+        let addr = self.workers[k].addr.clone();
+        self.open_client_to(k, &addr)
+    }
+
+    /// Opens and validates a connection for shard `k` at `addr`: connect
+    /// bounded by the timeout, timeouts armed both directions, graph
+    /// fingerprint and shard role checked via `stats`.
+    fn open_client_to(&self, k: usize, addr: &str) -> Result<LineClient, String> {
         let describe = |why: String| format!("shard {k} worker at {addr}: {why}");
-        let mut client =
-            LineClient::connect(addr.as_str()).map_err(|error| describe(error.to_string()))?;
+        let mut client = LineClient::connect_timeout(addr, self.config.timeout)
+            .map_err(|error| describe(error.to_string()))?;
         client
             .set_read_timeout(Some(self.config.timeout))
             .and_then(|()| client.set_write_timeout(Some(self.config.timeout)))

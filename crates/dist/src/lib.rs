@@ -60,11 +60,32 @@
 //!   retried worker cannot skew the answer;
 //! * a worker whose sampling position stops advancing while records are
 //!   owed is declared stale and retried the same way;
-//! * when a worker's retries run out the plan degrades to
+//! * every plan is preceded by a **pre-submit probe** (`ping` per worker
+//!   through the same retry path), so a dead-at-connect worker surfaces —
+//!   and fails over — before any shard work starts;
+//! * when a worker's retries run out the shard **fails over**: the first
+//!   [`CoordinatorConfig::standbys`] address that validates (fingerprint +
+//!   shard role) is promoted and the job resubmitted to it — recovery is
+//!   bit-identical because a fresh job deterministically resamples the
+//!   identical stream while the pager keeps its glue cursor (see
+//!   [`recovery`]);
+//! * only when no standby validates does the plan degrade to
 //!   [`ServiceError::WorkerLost`](ugs_service::ServiceError::WorkerLost)
-//!   for every pending query;
+//!   ([`retryable`](ugs_service::ServiceError::retryable), because a
+//!   supervisor may since have respawned the fleet) for every pending
+//!   query;
 //! * shutting down (or dropping) the coordinator closes every worker
 //!   connection, which stops and joins the workers' sampler threads.
+//!
+//! Chaos-testing all of the above is deterministic: a seeded [`FaultPlan`]
+//! ([`CoordinatorConfig::faults`] coordinator-side,
+//! [`ServerConfig::fault_plan`](ugs_server::ServerConfig::fault_plan)
+//! worker-side) schedules drop/delay/disconnect/garble faults at exact
+//! operation counts — see [`fault`].  Process-level resilience is the
+//! [`supervisor`] module: it launches a worker fleet, watches liveness via
+//! `ping`, and respawns dead workers with bounded backoff and crash-loop
+//! detection (the CLI spelling is `ugs supervise`).  See
+//! `docs/deployment.md` for the multi-host walkthrough.
 //!
 //! # Example
 //!
@@ -107,6 +128,14 @@
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod fault;
 mod merge;
+pub mod recovery;
+pub mod supervisor;
 
 pub use coordinator::{CoordinatorConfig, DistCoordinator};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use recovery::{Failover, RecoveryReport};
+pub use supervisor::{
+    supervise, SupervisorConfig, SupervisorReport, WorkerOutcome, WorkerReport, WorkerSpec,
+};

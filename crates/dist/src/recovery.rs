@@ -1,0 +1,103 @@
+//! Failover bookkeeping: the standby address pool a coordinator promotes
+//! from when a shard's retry budget runs dry, and the report of what
+//! recovery work a coordinator has done.
+//!
+//! ## Why promotion preserves bit-identity
+//!
+//! Workers are stateless per plan beyond the O(|E|) replay table: the
+//! `shard_submit` request carries the batch seed, and a shard job replays
+//! the **identical world stream from world 0** regardless of which process
+//! runs it.  The coordinator's pager keeps a `received` cursor per shard;
+//! a promoted standby is validated (graph fingerprint + shard role),
+//! resubmitted the same job line, and paged **from that cursor** — the
+//! records below it were already glued, and the standby's records at and
+//! above it are bitwise the records the lost worker would have produced.
+//! Adaptive plans need nothing extra: the stopping rule lives coordinator-
+//! side and consumes the glued record stream, which failover leaves
+//! unchanged.
+
+/// One completed shard failover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failover {
+    /// The shard whose worker was replaced.
+    pub shard: usize,
+    /// Address of the worker that was lost.
+    pub from: String,
+    /// Standby address that took the shard over.
+    pub to: String,
+}
+
+/// Cumulative recovery activity of one coordinator (across plans): how
+/// often an exchange failed and burned a retry, and every standby
+/// promotion that kept a plan alive.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Failed exchanges absorbed by the per-worker retry budgets.
+    pub retries_burned: usize,
+    /// Standby promotions, in the order they happened.
+    pub failovers: Vec<Failover>,
+}
+
+impl RecoveryReport {
+    /// Whether any recovery work happened at all.
+    pub fn is_clean(&self) -> bool {
+        self.retries_burned == 0 && self.failovers.is_empty()
+    }
+}
+
+/// The pool of standby worker addresses a coordinator may promote.  Any
+/// standby must serve the **same graph** (checked by fingerprint at
+/// promotion) and be started with the shard role it is meant to cover —
+/// promotion validates the role for the lost shard, so a pool can mix
+/// standbys pre-armed for different shards and each loss consumes the
+/// first candidate that validates.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StandbyPool {
+    addrs: Vec<String>,
+}
+
+impl StandbyPool {
+    pub(crate) fn new(addrs: Vec<String>) -> StandbyPool {
+        StandbyPool { addrs }
+    }
+
+    /// Number of unconsumed standby addresses.
+    pub(crate) fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The candidate addresses, in promotion order.
+    pub(crate) fn candidates(&self) -> Vec<String> {
+        self.addrs.clone()
+    }
+
+    /// Consumes a promoted (or invalidated) address: a standby serves at
+    /// most one shard, and one that failed validation is not offered again.
+    pub(crate) fn remove(&mut self, addr: &str) {
+        self.addrs.retain(|candidate| candidate != addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_pool_consumes_promoted_addresses() {
+        let mut pool = StandbyPool::new(vec!["a:1".to_string(), "b:2".to_string()]);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.candidates(), vec!["a:1", "b:2"]);
+        pool.remove("a:1");
+        assert_eq!(pool.candidates(), vec!["b:2"]);
+        pool.remove("missing:9");
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn a_fresh_report_is_clean() {
+        let mut report = RecoveryReport::default();
+        assert!(report.is_clean());
+        report.retries_burned += 1;
+        assert!(!report.is_clean());
+    }
+}

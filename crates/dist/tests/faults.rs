@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use ugs_dist::{CoordinatorConfig, DistCoordinator};
+use ugs_dist::{CoordinatorConfig, DistCoordinator, FaultKind, FaultPlan};
 use ugs_server::{serve, LineClient, ServerConfig, ServerHandle};
 use ugs_service::{QueryPlan, ServiceError};
 use uncertain_graph::UncertainGraph;
@@ -41,6 +41,8 @@ fn fast_failure() -> CoordinatorConfig {
         retries: 1,
         stale_after: Duration::from_secs(2),
         poll_interval: Duration::from_millis(1),
+        reconnect_backoff: Duration::from_millis(5),
+        ..CoordinatorConfig::default()
     }
 }
 
@@ -188,4 +190,155 @@ fn coordinator_shutdown_closes_every_worker_connection() {
     for worker in workers {
         worker.shutdown();
     }
+}
+
+#[test]
+fn a_listener_that_accepts_but_never_responds_fails_typed_and_bounded() {
+    let graph = test_graph();
+    let (workers, mut addrs) = spawn_workers(&graph, 2);
+    // A bound listener that is never accepted from: the kernel backlog
+    // completes the TCP handshake, so `connect` succeeds and the request
+    // is buffered — but no response ever comes.  Every exchange must
+    // resolve through the read timeout, not hang.
+    let silent = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    addrs[1] = silent.local_addr().unwrap().to_string();
+    let started = Instant::now();
+    match DistCoordinator::connect(graph, &addrs, fast_failure()) {
+        Err(ServiceError::WorkerLost(why)) => {
+            assert!(why.contains("shard 1"), "names the silent worker: {why}")
+        }
+        Err(other) => panic!("expected WorkerLost, got {other:?}"),
+        Ok(_) => panic!("expected WorkerLost, got a connected coordinator"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "silent-listener degradation must be bounded, took {:?}",
+        started.elapsed()
+    );
+    drop(silent);
+    for worker in workers {
+        worker.shutdown();
+    }
+}
+
+#[test]
+fn a_worker_that_goes_silent_mid_plan_degrades_through_the_read_timeout_loop() {
+    let graph = test_graph();
+    // Worker 1 wedges into Drop early: from that operation on it keeps
+    // accepting requests (and reconnections) but never answers again —
+    // the accepts-but-never-responds shape, hit *mid-plan*.
+    let worker0 = serve(
+        graph.clone(),
+        ServerConfig {
+            shard: Some((0, 2)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let worker1 = serve(
+        graph.clone(),
+        ServerConfig {
+            shard: Some((1, 2)),
+            fault_plan: Some(FaultPlan::wedge_after(3, FaultKind::Drop)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addrs = [worker0.addr().to_string(), worker1.addr().to_string()];
+    let mut coordinator = DistCoordinator::connect(graph, &addrs, fast_failure()).unwrap();
+    let plan = QueryPlan::parse_str(
+        r#"{"worlds": 200, "seed": 5, "queries": [{"type": "connectivity"}]}"#,
+    )
+    .unwrap();
+    let started = Instant::now();
+    let outcomes = coordinator.execute(&plan);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "mid-plan silence must resolve through bounded timeouts, took {:?}",
+        started.elapsed()
+    );
+    match &outcomes[0] {
+        Err(ServiceError::WorkerLost(why)) => {
+            assert!(why.contains("shard 1"), "names the wedged worker: {why}")
+        }
+        other => panic!("expected WorkerLost, got {other:?}"),
+    }
+    coordinator.shutdown();
+    worker0.shutdown();
+    worker1.shutdown();
+}
+
+#[test]
+fn a_standby_with_the_wrong_fingerprint_is_rejected_typed_and_bounded() {
+    let graph = test_graph();
+    let worker0 = serve(
+        graph.clone(),
+        ServerConfig {
+            shard: Some((0, 2)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // Worker 1 wedges into Disconnect mid-plan, exhausting its retries.
+    let worker1 = serve(
+        graph.clone(),
+        ServerConfig {
+            shard: Some((1, 2)),
+            fault_plan: Some(FaultPlan::wedge_after(3, FaultKind::Disconnect)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // The only standby serves a *different* graph under the right role: it
+    // must fail fingerprint validation at promotion — the coordinator must
+    // degrade typed rather than glue mismatched records.
+    let other_graph = {
+        let mut rng = SmallRng::seed_from_u64(0xFB);
+        let edges: Vec<_> = (0..40)
+            .map(|i| (i, (i + 1) % 40, 0.3 + 0.5 * rng.gen::<f64>()))
+            .collect();
+        UncertainGraph::from_edges(40, edges).unwrap()
+    };
+    let imposter = serve(
+        other_graph,
+        ServerConfig {
+            shard: Some((1, 2)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut config = fast_failure();
+    config.standbys = vec![imposter.addr().to_string()];
+    let addrs = [worker0.addr().to_string(), worker1.addr().to_string()];
+    let mut coordinator = DistCoordinator::connect(graph, &addrs, config).unwrap();
+    let plan = QueryPlan::parse_str(
+        r#"{"worlds": 200, "seed": 5, "queries": [{"type": "connectivity"}]}"#,
+    )
+    .unwrap();
+    let started = Instant::now();
+    let outcomes = coordinator.execute(&plan);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "rejected-standby degradation must be bounded, took {:?}",
+        started.elapsed()
+    );
+    match &outcomes[0] {
+        Err(ServiceError::WorkerLost(why)) => {
+            assert!(why.contains("shard 1"), "names the lost shard: {why}");
+            assert!(
+                why.contains("graph"),
+                "names the fingerprint mismatch: {why}"
+            );
+        }
+        other => panic!("expected WorkerLost, got {other:?}"),
+    }
+    assert_eq!(
+        coordinator.standbys_left(),
+        0,
+        "the bad standby is consumed"
+    );
+    coordinator.shutdown();
+    worker0.shutdown();
+    worker1.shutdown();
+    imposter.shutdown();
 }

@@ -2,27 +2,65 @@
 //! back.  The integration suite, the CLI's `request` subcommand and the
 //! benches all speak through this.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use minijson::Value;
 
+use crate::line::{read_limited_line, LineRead};
+
+/// Byte cap on one response line a [`LineClient`] will buffer.  Far larger
+/// than the server's request cap: a report carrying a frequency array over
+/// hundreds of thousands of edges is legitimately megabytes.
+pub const MAX_RESPONSE_BYTES: usize = 64 << 20;
+
 /// A blocking line-delimited JSON client over one TCP connection.
 pub struct LineClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    max_line_bytes: usize,
 }
 
 impl LineClient {
     /// Connects to a server.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<LineClient> {
-        let writer = TcpStream::connect(addr)?;
+        LineClient::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with a bound on the connect itself — a routable-but-dead
+    /// host fails within `timeout` instead of the OS's multi-minute SYN
+    /// retry budget.  `addr` must resolve to at least one socket address;
+    /// each is tried in turn.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<LineClient> {
+        let mut last = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => return LineClient::from_stream(stream),
+                Err(error) => last = Some(error),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn from_stream(writer: TcpStream) -> io::Result<LineClient> {
         // Request/response lines are tiny; Nagle + delayed ACK would add
         // tens of milliseconds per round-trip.
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(LineClient { reader, writer })
+        Ok(LineClient {
+            reader,
+            writer,
+            max_line_bytes: MAX_RESPONSE_BYTES,
+        })
+    }
+
+    /// Lowers (or raises) the response-line byte cap; an over-long response
+    /// surfaces as an `InvalidData` error instead of unbounded buffering.
+    pub fn set_max_line_bytes(&mut self, cap: usize) {
+        self.max_line_bytes = cap.max(1);
     }
 
     /// Arms a read timeout, so a test can assert "the server answered (or
@@ -59,12 +97,16 @@ impl LineClient {
     }
 
     /// Reads one line without sending anything (used to observe the EOF a
-    /// graceful shutdown delivers).  `Ok(None)` is EOF.
+    /// graceful shutdown delivers).  `Ok(None)` is EOF; a response beyond
+    /// the byte cap is an `InvalidData` error.
     pub fn read_line(&mut self) -> io::Result<Option<String>> {
-        let mut line = String::new();
-        match self.reader.read_line(&mut line)? {
-            0 => Ok(None),
-            _ => Ok(Some(line.trim_end().to_string())),
+        match read_limited_line(&mut self.reader, self.max_line_bytes)? {
+            LineRead::Eof => Ok(None),
+            LineRead::Line(line) => Ok(Some(line.trim_end().to_string())),
+            LineRead::Overflow => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response line exceeds {} bytes", self.max_line_bytes),
+            )),
         }
     }
 

@@ -69,14 +69,23 @@
 //! ## Error envelope
 //!
 //! Every failure is one line of
-//! `{"status": "error", "code": "<code>", "message": "…"}` with `code` one
+//! `{"status": "error", "code": "<code>", "retryable": <bool>,
+//! "message": "…"}` with `code` one
 //! of `bad_request`, `unknown_op`, `plan`, `over_budget` (the connection's
 //! [`ServerConfig::max_inflight`] budget), `overloaded` (the bounded
 //! server-wide queue is full), `unknown_job`, `shutting_down`,
 //! `worker_lost` (a distributed worker died mid-plan and bounded retries
-//! ran out), `internal` — see [`protocol::ErrorCode`].  Job ids are
+//! ran out), `internal` — see [`protocol::ErrorCode`].  The `retryable`
+//! flag ([`ErrorCode::retryable`]) marks the transient codes
+//! (`worker_lost`, `overloaded`, `over_budget`) a client may usefully
+//! retry after a backoff.  Job ids are
 //! per-connection; a delivered or cancelled job's id answers
 //! `unknown_job` afterwards.
+//!
+//! Request lines are read under a byte cap
+//! ([`ServerConfig::max_line_bytes`]): an oversized line is drained —
+//! never buffered whole — answered with `bad_request`, and the connection
+//! stays alive.
 //!
 //! ## Result cache
 //!
@@ -116,11 +125,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
+mod line;
 pub mod protocol;
 pub mod server;
 mod shard;
 
 pub use cache::{query_key, CacheStats, ResultCache};
 pub use client::LineClient;
+pub use fault::{FaultClock, FaultEvent, FaultKind, FaultPlan};
 pub use protocol::{ErrorCode, Request};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -57,6 +57,20 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
         }
     }
+
+    /// Whether a client may usefully retry the failed request as-is.
+    ///
+    /// `worker_lost` names a transient fleet condition (a worker died and
+    /// may be respawned or failed over), `overloaded` and `over_budget`
+    /// clear as jobs drain — all three are worth retrying after a backoff.
+    /// Everything else (malformed requests, plan errors, unknown jobs,
+    /// shutdown, internal invariants) would fail identically again.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::WorkerLost | ErrorCode::Overloaded | ErrorCode::OverBudget
+        )
+    }
 }
 
 /// A parsed request line.
@@ -316,11 +330,14 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     }
 }
 
-/// Renders the `{"status": "error", ...}` envelope for one line.
+/// Renders the `{"status": "error", ...}` envelope for one line.  The
+/// `retryable` field mirrors [`ErrorCode::retryable`] so clients can route
+/// transient failures to a retry loop without a code table of their own.
 pub fn error_line(code: ErrorCode, message: &str) -> String {
     ObjBuilder::new()
         .field("status", "error")
         .field("code", code.as_str())
+        .field("retryable", code.retryable())
         .field("message", message)
         .build()
         .render()
@@ -507,5 +524,29 @@ mod tests {
         assert_eq!(value.get_str("status"), Some("error"));
         assert_eq!(value.get_str("code"), Some("overloaded"));
         assert_eq!(value.get_str("message"), Some("queue full"));
+        assert_eq!(value.get("retryable").and_then(Value::as_bool), Some(true));
+        let fatal = Value::parse(&error_line(ErrorCode::Plan, "bad plan")).unwrap();
+        assert_eq!(fatal.get("retryable").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn retryable_codes_name_transient_conditions_only() {
+        for code in [
+            ErrorCode::WorkerLost,
+            ErrorCode::Overloaded,
+            ErrorCode::OverBudget,
+        ] {
+            assert!(code.retryable(), "{} is transient", code.as_str());
+        }
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownOp,
+            ErrorCode::Plan,
+            ErrorCode::UnknownJob,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert!(!code.retryable(), "{} is fatal", code.as_str());
+        }
     }
 }

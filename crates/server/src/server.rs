@@ -35,7 +35,7 @@
 //! stranded.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TryRecvError, TrySendError};
@@ -47,8 +47,11 @@ use ugs_service::{QueryAnswer, QueryPlan, ServiceError};
 use uncertain_graph::{GraphPartition, UncertainGraph};
 
 use crate::cache::{query_key, CacheStats, ResultCache};
+use crate::fault::{FaultClock, FaultKind, FaultPlan};
+use crate::line::{read_limited_line, LineRead};
 use crate::protocol::{
     error_line, finish_ok, ok_builder, parse_request, ErrorCode, Request, ShardJobRequest,
+    MAX_LINE_BYTES,
 };
 use crate::shard::{ShardJob, ShardOutcome};
 
@@ -79,6 +82,13 @@ pub struct ServerConfig {
     /// `boundary` / `shard_result` ops.  `None` (the default) serves the
     /// ordinary plan ops only.
     pub shard: Option<(usize, usize)>,
+    /// Byte cap on one request line (excluding the newline).  A longer
+    /// line is answered with a typed `bad_request` — without ever being
+    /// buffered whole — and the connection stays alive.
+    pub max_line_bytes: usize,
+    /// Test/bench-only seeded fault injection over this server's wire
+    /// path; see [`crate::fault`].  `None` (the default) serves faithfully.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +101,8 @@ impl Default for ServerConfig {
             cache_bytes: 1 << 20,
             max_plan_threads: 8,
             shard: None,
+            max_line_bytes: MAX_LINE_BYTES,
+            fault_plan: None,
         }
     }
 }
@@ -123,6 +135,9 @@ struct Shared {
     connections: AtomicUsize,
     /// Live shard sampling jobs across all connections.
     shard_jobs: AtomicUsize,
+    /// Armed fault schedule ([`ServerConfig::fault_plan`]); server-global
+    /// so reconnecting clients cannot rewind the op counter.
+    faults: Option<FaultClock>,
 }
 
 impl Shared {
@@ -260,6 +275,11 @@ pub fn serve(
     let executor_busy = (0..config.executors.max(1))
         .map(|_| AtomicBool::new(false))
         .collect();
+    let faults = config
+        .fault_plan
+        .clone()
+        .filter(|plan| !plan.is_empty())
+        .map(FaultClock::new);
     let shared = Arc::new(Shared {
         graph,
         fingerprint,
@@ -275,6 +295,7 @@ pub fn serve(
         executor_busy,
         connections: AtomicUsize::new(0),
         shard_jobs: AtomicUsize::new(0),
+        faults,
     });
     let (job_tx, job_rx) = mpsc::sync_channel(shared.config.queue_capacity.max(1));
     let job_rx = Arc::new(Mutex::new(job_rx));
@@ -393,16 +414,42 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSende
     let mut jobs: HashMap<u64, Job> = HashMap::new();
     let mut shard_jobs: HashMap<String, ShardJob> = HashMap::new();
     let mut next_job: u64 = 1;
-    let mut line = String::new();
+    let cap = shared.config.max_line_bytes.max(1);
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
+        let line = match read_limited_line(&mut reader, cap) {
+            Ok(LineRead::Eof) | Err(_) => break,
+            Ok(LineRead::Overflow) => {
+                // The oversized line was drained, never buffered whole; the
+                // typed answer keeps the connection usable.
+                let response = error_line(
+                    ErrorCode::BadRequest,
+                    &format!("request line exceeds {cap} bytes"),
+                );
+                if writeln!(writer, "{response}")
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+            Ok(LineRead::Line(line)) => line,
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
+        }
+        // Injected faults tick once per parsed request line (server-global
+        // op counter) and misbehave *instead of* answering faithfully.
+        let mut garble = false;
+        if let Some(clock) = &shared.faults {
+            match clock.next() {
+                None => {}
+                Some(FaultKind::Delay) => std::thread::sleep(clock.delay()),
+                Some(FaultKind::Drop) => continue,
+                Some(FaultKind::Disconnect) => break,
+                Some(FaultKind::Garble) => garble = true,
+            }
         }
         let outcome = handle_request(
             trimmed,
@@ -412,10 +459,13 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSende
             &mut shard_jobs,
             &mut next_job,
         );
-        let (response, stop_after) = match outcome {
+        let (mut response, stop_after) = match outcome {
             Outcome::Reply(response) => (response, false),
             Outcome::Shutdown(response) => (response, true),
         };
+        if garble {
+            response = format!("#!garbled<{response}");
+        }
         let written = writeln!(writer, "{response}").and_then(|_| writer.flush());
         if stop_after {
             // Flip the flag only *after* the acknowledgement is on the wire,
@@ -427,6 +477,12 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSende
             break;
         }
     }
+    // The listener keeps a wakeup clone of this socket (to deliver EOF on
+    // server shutdown), so dropping our halves alone sends no FIN until
+    // that clone is reaped at the next accept.  Shut the socket down
+    // explicitly: a client blocked on a response read sees EOF now, not
+    // its read timeout.
+    let _ = writer.shutdown(Shutdown::Both);
     // The client is gone: flag its queued jobs so no executor burns worlds
     // on answers nobody will collect.
     for job in jobs.into_values() {
@@ -598,6 +654,9 @@ fn stats(shared: &Arc<Shared>) -> String {
             .field("jobs", shared.shard_jobs.load(Ordering::SeqCst))
             .build();
         builder = builder.field("shard", shard_obj);
+    }
+    if let Some(clock) = &shared.faults {
+        builder = builder.field("faults", clock.fired());
     }
     finish_ok(builder)
 }

@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use minijson::Value;
-use ugs_server::{serve, LineClient, ServerConfig, ServerHandle};
+use ugs_server::{serve, FaultEvent, FaultKind, FaultPlan, LineClient, ServerConfig, ServerHandle};
 use uncertain_graph::UncertainGraph;
 
 /// Every client arms a generous read timeout: a regression that hangs a
@@ -420,5 +420,77 @@ fn plan_thread_counts_are_clamped_to_the_server_cap() {
         clamped.get("results").unwrap().render(),
         explicit.get("results").unwrap().render()
     );
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_lines_get_typed_errors_and_the_connection_survives() {
+    let server = start(ServerConfig {
+        max_line_bytes: 4096,
+        ..ServerConfig::default()
+    });
+    let mut c = client(&server);
+
+    // A single request line past the cap: typed bad_request naming the
+    // limit, and the connection keeps serving.
+    let huge = format!(r#"{{"op": "ping", "pad": "{}"}}"#, "x".repeat(8192));
+    let refused = c.request(&huge).unwrap();
+    assert_eq!(refused.get_str("status"), Some("error"));
+    assert_eq!(refused.get_str("code"), Some("bad_request"));
+    assert!(
+        refused.get_str("message").unwrap().contains("4096"),
+        "the error names the cap: {}",
+        refused.render()
+    );
+    let pong = c.request(r#"{"op": "ping"}"#).unwrap();
+    assert_eq!(pong.get("pong").and_then(Value::as_bool), Some(true));
+
+    // A newline-free flood well past the cap: the server refuses it as
+    // soon as the overflow is certain, drains to the eventual newline,
+    // and the next line is served normally — no unbounded buffering.
+    let flood = "y".repeat(64 * 1024);
+    let refused = c.request(&flood).unwrap();
+    assert_eq!(refused.get_str("code"), Some("bad_request"));
+    let (job, _) = submit_job(
+        &mut c,
+        r#"{"worlds": 30, "seed": 2, "queries": [{"type": "connectivity"}]}"#,
+    );
+    c.wait_for_report(job).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn a_seeded_fault_plan_misbehaves_deterministically_over_the_wire() {
+    // One Disconnect at op 2, then a wedge-free schedule: ops 0 and 1
+    // answer, op 2 closes the connection, everything after serves again.
+    let server = start(ServerConfig {
+        fault_plan: Some(FaultPlan {
+            events: vec![FaultEvent {
+                at_op: 2,
+                kind: FaultKind::Disconnect,
+            }],
+            wedge: None,
+            delay: Duration::from_millis(1),
+        }),
+        ..ServerConfig::default()
+    });
+    let mut c = client(&server);
+    for _ in 0..2 {
+        let pong = c.request(r#"{"op": "ping"}"#).unwrap();
+        assert_eq!(pong.get("pong").and_then(Value::as_bool), Some(true));
+    }
+    // Op 2: the injected disconnect surfaces as EOF (or a reset), never a
+    // hang — the read timeout would fail the test loudly.
+    match c.request_raw(r#"{"op": "ping"}"#) {
+        Ok(None) | Err(_) => {}
+        Ok(Some(line)) => panic!("expected the injected disconnect, got {line}"),
+    }
+    // The schedule is server-global: a fresh connection does NOT replay
+    // op 0 — it picks up at op 3, serves normally, and the stats gauge
+    // records exactly one fired fault.
+    let mut fresh = client(&server);
+    let stats = fresh.request(r#"{"op": "stats"}"#).unwrap();
+    assert_eq!(stats.get_str("status"), Some("ok"));
+    assert_eq!(stats.get_usize("faults"), Some(1));
     server.shutdown();
 }

@@ -161,6 +161,20 @@ pub enum ServiceError {
     Internal(String),
 }
 
+impl ServiceError {
+    /// Whether re-running the same submission may succeed.
+    ///
+    /// [`ServiceError::WorkerLost`] names a **transient fleet condition**:
+    /// the worker may be respawned by a supervisor or its shard failed over
+    /// to a standby, so a caller (or an outer retry loop) may usefully
+    /// resubmit.  Every other variant is deterministic — the same spec,
+    /// policy or invariant would fail identically again — and must surface
+    /// to the caller as fatal.
+    pub fn retryable(&self) -> bool {
+        matches!(self, ServiceError::WorkerLost(_))
+    }
+}
+
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
