@@ -1,0 +1,433 @@
+//! Ghost-halo critical path: PageRank and k-NN through the superstep
+//! exchange over 2 and 4 loopback shard workers versus the monolithic
+//! in-process run, on a 60k-vertex power-law graph in the paper's
+//! probability regime (p̄ = 0.09).  Also measures the halo wire volume —
+//! bytes exchanged per sampled world (ghost feeds, chained superstep
+//! reports, owned collects) — by driving the `halo` op directly with a
+//! byte-counting client.  Recorded in `BENCH_halo.json`.
+//!
+//! The workers are in-process `ugs-server` instances (one listener per
+//! shard), so the numbers isolate the superstep protocol + exchange cost
+//! from process scheduling noise; the wire format is byte-identical to
+//! separate-process workers.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_algos::pagerank::PageRankConfig;
+use minijson::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uncertain_graph::{GraphPartition, HaloPlan, UncertainGraph};
+
+use ugs_datasets::{preferential_attachment, ProbabilityModel};
+use ugs_dist::{CoordinatorConfig, DistCoordinator};
+use ugs_queries::halo::{
+    decode_level, decode_rank, encode_level, encode_rank, f64_from_hex, f64_to_hex,
+};
+use ugs_server::protocol::DEFAULT_BOUNDARY_PAGE;
+use ugs_server::{serve, LineClient, ServerConfig, ServerHandle};
+use ugs_service::QueryPlan;
+
+const VERTICES: usize = 60_000;
+const EDGES_PER_VERTEX: usize = 4;
+const MEAN_P: f64 = 0.09;
+const WORLDS: usize = 4;
+const SEED: u64 = 17;
+/// Loose enough to keep superstep counts in the tens at benchmark scale,
+/// tight enough that the convergence accumulator genuinely stops the loop.
+const TOLERANCE: f64 = 1e-4;
+const KNN_SOURCE: usize = 0;
+
+fn powerlaw_graph() -> Arc<UncertainGraph> {
+    let mut rng = SmallRng::seed_from_u64(0xBB);
+    Arc::new(preferential_attachment(
+        VERTICES,
+        EDGES_PER_VERTEX,
+        ProbabilityModel::Fixed(MEAN_P),
+        &mut rng,
+    ))
+}
+
+fn plan() -> QueryPlan {
+    QueryPlan::parse_str(&format!(
+        r#"{{"worlds": {WORLDS}, "threads": 2, "seed": {SEED},
+            "queries": [{{"type": "pagerank", "tolerance": {TOLERANCE}}},
+                        {{"type": "knn", "source": {KNN_SOURCE}, "k": 10}}]}}"#
+    ))
+    .expect("bench plan parses")
+}
+
+fn spawn_fleet(graph: &Arc<UncertainGraph>, workers: usize) -> (Vec<ServerHandle>, Vec<String>) {
+    let handles: Vec<ServerHandle> = (0..workers)
+        .map(|k| {
+            let config = ServerConfig {
+                shard: Some((k, workers)),
+                ..ServerConfig::default()
+            };
+            serve(graph.clone(), config).expect("bind loopback worker")
+        })
+        .collect();
+    let addrs = handles.iter().map(|h| h.addr().to_string()).collect();
+    (handles, addrs)
+}
+
+struct FleetMeasurement {
+    workers: usize,
+    coordinator: Duration,
+    wire: HaloWire,
+}
+
+fn measure_fleet(
+    graph: &Arc<UncertainGraph>,
+    workers: usize,
+    plan: &QueryPlan,
+) -> FleetMeasurement {
+    let (handles, addrs) = spawn_fleet(graph, workers);
+    let mut coordinator =
+        DistCoordinator::connect(graph.clone(), &addrs, CoordinatorConfig::default())
+            .expect("assemble fleet");
+
+    // Warm pass (connections, halo plan construction), then the timed run.
+    let warm = coordinator.execute(plan);
+    for outcome in &warm {
+        if let Err(e) = outcome {
+            panic!("warm pass failed at {workers} workers: {e}");
+        }
+    }
+    let started = Instant::now();
+    let answers = coordinator.execute(plan);
+    let coordinator_time = started.elapsed();
+
+    // Parity spot-check at benchmark scale: the halo answers equal the
+    // in-process answers bitwise.
+    let monolithic = plan.execute_detailed(graph.clone());
+    assert_eq!(answers, monolithic, "halo parity at {workers} workers");
+
+    let wire = measure_halo_wire(graph, &addrs);
+    coordinator.shutdown();
+    for handle in handles {
+        handle.shutdown();
+    }
+    FleetMeasurement {
+        workers,
+        coordinator: coordinator_time,
+        wire,
+    }
+}
+
+/// A [`LineClient`] that counts every byte crossing the wire (request and
+/// response lines, newline framing included).
+struct WireTap {
+    client: LineClient,
+    bytes: u64,
+}
+
+impl WireTap {
+    fn connect(addr: &str) -> WireTap {
+        let mut client = LineClient::connect(addr).expect("connect worker");
+        client
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        WireTap { client, bytes: 0 }
+    }
+
+    fn request(&mut self, line: &str) -> Value {
+        self.bytes += line.len() as u64 + 1;
+        let raw = self
+            .client
+            .request_raw(line)
+            .expect("halo exchange")
+            .expect("worker answered");
+        self.bytes += raw.len() as u64 + 1;
+        let value = Value::parse(&raw).expect("worker answers JSON");
+        assert_eq!(value.get_str("status"), Some("ok"), "{raw}");
+        value
+    }
+}
+
+/// One paged halo window: `(entries, total)`.
+fn window(response: &Value) -> (Vec<String>, usize) {
+    let total = response.get_usize("total").expect("report total");
+    let entries = response
+        .get("values")
+        .and_then(|v| v.as_array())
+        .expect("report values")
+        .iter()
+        .map(|v| v.as_str().expect("string entry").to_string())
+        .collect();
+    (entries, total)
+}
+
+/// Drains a paged report whose first window is `first`, issuing `phase`
+/// requests (`page` for step reports, `collect` for collects) until the
+/// report's `total` entries arrived.
+fn drain(
+    tap: &mut WireTap,
+    identity: &str,
+    world: usize,
+    phase: &str,
+    first: Value,
+) -> Vec<String> {
+    let (mut entries, total) = window(&first);
+    while entries.len() < total {
+        let line = format!(
+            "{identity}, \"world\": {world}, \"phase\": \"{phase}\", \"from\": {}, \
+             \"max\": {DEFAULT_BOUNDARY_PAGE}}}",
+            entries.len()
+        );
+        let (page, _) = window(&tap.request(&line));
+        assert!(!page.is_empty(), "report window advances");
+        entries.extend(page);
+    }
+    entries
+}
+
+struct HaloWire {
+    bytes_per_world: f64,
+    pagerank_supersteps_per_world: f64,
+    ghost_vertices: usize,
+    replication_factor: f64,
+}
+
+/// Replays the coordinator's halo recipe for all `WORLDS` worlds — ghost
+/// feeds, chained PageRank supersteps, owned collects, routed BFS
+/// settlements — through byte-counting clients, and reports the measured
+/// wire volume per sampled world.
+fn measure_halo_wire(graph: &Arc<UncertainGraph>, addrs: &[String]) -> HaloWire {
+    let shards = addrs.len();
+    let partition = GraphPartition::contiguous(graph, shards).expect("partition");
+    let halo = HaloPlan::new(graph, &partition);
+    let stats = halo.stats();
+    let ghost_vertices: usize = stats.shards.iter().map(|s| s.ghost_vertices).sum();
+    let mut taps: Vec<WireTap> = addrs.iter().map(|addr| WireTap::connect(addr)).collect();
+
+    // Same replay identity the coordinator derives for this plan.
+    let batch_seed = SmallRng::seed_from_u64(SEED).gen::<u64>();
+    let config = PageRankConfig {
+        tolerance: TOLERANCE,
+        ..PageRankConfig::default()
+    };
+    let identity = |token: &str, k: usize, kernel: &str| {
+        format!(
+            "{{\"op\": \"halo\", \"job\": \"{token}\", \"shard\": {k}, \"shards\": {shards}, \
+             \"seed\": \"{batch_seed}\", \"mode\": \"auto\", \"kernel\": {kernel}"
+        )
+    };
+    let pr_kernel = format!(
+        "{{\"type\": \"pagerank\", \"damping\": \"{}\"}}",
+        f64_to_hex(config.damping)
+    );
+    let bfs_kernel = format!("{{\"type\": \"bfs\", \"source\": {KNN_SOURCE}}}");
+
+    let n = graph.num_vertices();
+    let mut supersteps = 0u64;
+    for world in 0..WORLDS {
+        // PageRank: feed ghosts, step shards ascending threading the
+        // convergence accumulator, install reported boundary ranks.
+        let mut board = vec![1.0 / n as f64; n];
+        for step in 0..config.max_iterations {
+            if step > 0 {
+                for (k, tap) in taps.iter_mut().enumerate() {
+                    // Chunked exactly like the coordinator, so a hub
+                    // shard's halo never exceeds the request-line bound.
+                    for chunk in halo.shard(k).ghosts().chunks(8_192) {
+                        let values = chunk
+                            .iter()
+                            .map(|&gv| format!("\"{}\"", encode_rank(gv as u32, board[gv])))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let line = format!(
+                            "{}, \"world\": {world}, \"phase\": \"feed\", \"values\": [{values}]}}",
+                            identity("bytes-pr", k, &pr_kernel)
+                        );
+                        tap.request(&line);
+                    }
+                }
+            }
+            let mut acc = 0.0f64;
+            for (k, tap) in taps.iter_mut().enumerate() {
+                let id = identity("bytes-pr", k, &pr_kernel);
+                let line = format!(
+                    "{id}, \"world\": {world}, \"phase\": \"step\", \"step\": {step}, \
+                     \"acc\": \"{}\"}}",
+                    f64_to_hex(acc)
+                );
+                let response = tap.request(&line);
+                acc = f64_from_hex(response.get_str("acc").expect("folded acc")).unwrap();
+                for entry in drain(tap, &id, world, "page", response) {
+                    let (gid, rank) = decode_rank(&entry).expect("boundary rank");
+                    board[gid as usize] = rank;
+                }
+            }
+            supersteps += 1;
+            if acc < config.tolerance {
+                break;
+            }
+        }
+        for (k, tap) in taps.iter_mut().enumerate() {
+            let id = identity("bytes-pr", k, &pr_kernel);
+            let line = format!(
+                "{id}, \"world\": {world}, \"phase\": \"collect\", \"from\": 0, \
+                 \"max\": {DEFAULT_BOUNDARY_PAGE}}}"
+            );
+            let first = tap.request(&line);
+            let owned = drain(tap, &id, world, "collect", first);
+            assert_eq!(owned.len(), partition.shard(k).num_vertices());
+        }
+
+        // BFS (the k-NN core): route frontier settlements to their owner
+        // shards level by level; first report wins.
+        let mut dist = vec![u32::MAX; n];
+        dist[KNN_SOURCE] = 0;
+        let mut settlements: Vec<(u32, u32)> = vec![(KNN_SOURCE as u32, 0)];
+        let mut step = 0usize;
+        while !settlements.is_empty() && step < n {
+            let mut next: Vec<(u32, u32)> = Vec::new();
+            for (k, tap) in taps.iter_mut().enumerate() {
+                let routed = settlements
+                    .iter()
+                    .filter(|&&(v, _)| partition.shard_of(v as usize) == k)
+                    .map(|&(v, level)| format!("\"{}\"", encode_level(v, level)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let id = identity("bytes-bfs", k, &bfs_kernel);
+                let line = format!(
+                    "{id}, \"world\": {world}, \"phase\": \"step\", \"step\": {step}, \
+                     \"values\": [{routed}]}}"
+                );
+                let response = tap.request(&line);
+                for entry in drain(tap, &id, world, "page", response) {
+                    let (gid, level) = decode_level(&entry).expect("settlement");
+                    if dist[gid as usize] == u32::MAX {
+                        dist[gid as usize] = level;
+                        next.push((gid, level));
+                    }
+                }
+            }
+            settlements = next;
+            step += 1;
+        }
+    }
+
+    let total: u64 = taps.iter().map(|tap| tap.bytes).sum();
+    HaloWire {
+        bytes_per_world: total as f64 / WORLDS as f64,
+        pagerank_supersteps_per_world: supersteps as f64 / WORLDS as f64,
+        ghost_vertices,
+        replication_factor: stats.replication_factor,
+    }
+}
+
+fn halo_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100));
+
+    let graph = powerlaw_graph();
+    let plan = plan();
+
+    // In-process monolithic baseline: same plan, same worlds, no halo.
+    let warm = plan.execute_detailed(graph.clone());
+    assert!(warm.iter().all(|outcome| outcome.is_ok()));
+    let started = Instant::now();
+    black_box(plan.execute_detailed(graph.clone()));
+    let in_process = started.elapsed();
+
+    let fleets: Vec<FleetMeasurement> = [2usize, 4]
+        .iter()
+        .map(|&workers| measure_fleet(&graph, workers, &plan))
+        .collect();
+
+    group.bench_with_input(
+        BenchmarkId::new("in_process", MEAN_P),
+        &in_process,
+        |b, &d| {
+            b.iter(|| black_box(d));
+        },
+    );
+    for fleet in &fleets {
+        group.bench_with_input(
+            BenchmarkId::new("coordinator", fleet.workers),
+            &fleet.coordinator,
+            |b, &d| {
+                b.iter(|| black_box(d));
+            },
+        );
+    }
+    group.finish();
+
+    println!(
+        "p̄ = {MEAN_P}  |V| = {VERTICES}  |E| ≈ {}  worlds = {WORLDS}  in-process {:.2?}",
+        graph.num_edges(),
+        in_process,
+    );
+    for fleet in &fleets {
+        println!(
+            "  {} workers: coordinator {:.2?} ({:.2}x in-process), halo {:.1} KiB/world, \
+             {:.1} pagerank supersteps/world, {} ghosts, replication {:.3}",
+            fleet.workers,
+            fleet.coordinator,
+            fleet.coordinator.as_secs_f64() / in_process.as_secs_f64().max(1e-9),
+            fleet.wire.bytes_per_world / 1024.0,
+            fleet.wire.pagerank_supersteps_per_world,
+            fleet.wire.ghost_vertices,
+            fleet.wire.replication_factor,
+        );
+    }
+    write_trajectory(graph.num_edges(), in_process, &fleets);
+}
+
+/// Persists the measured halo critical path as `BENCH_halo.json` at the
+/// repo root.
+fn write_trajectory(edges: usize, in_process: Duration, fleets: &[FleetMeasurement]) {
+    let mut fleet_entries = String::new();
+    for (i, fleet) in fleets.iter().enumerate() {
+        if i > 0 {
+            fleet_entries.push_str(",\n");
+        }
+        fleet_entries.push_str(&format!(
+            "    {{\"workers\": {}, \"coordinator_ns\": {}, \
+             \"coordinator_over_in_process\": {:.2}, \
+             \"halo_bytes_per_world\": {:.0}, \
+             \"pagerank_supersteps_per_world\": {:.2}, \
+             \"ghost_vertices\": {}, \"replication_factor\": {:.4}}}",
+            fleet.workers,
+            fleet.coordinator.as_nanos(),
+            fleet.coordinator.as_secs_f64() / in_process.as_secs_f64().max(1e-9),
+            fleet.wire.bytes_per_world,
+            fleet.wire.pagerank_supersteps_per_world,
+            fleet.wire.ghost_vertices,
+            fleet.wire.replication_factor,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"halo\",\n  \
+         \"graph\": \"preferential_attachment({VERTICES} vertices, m = {EDGES_PER_VERTEX}, \
+         p = {MEAN_P})\",\n  \
+         \"edges\": {edges},\n  \"worlds\": {WORLDS},\n  \
+         \"plan\": [\"pagerank(tolerance {TOLERANCE})\", \"knn(source {KNN_SOURCE}, k 10)\"],\n  \
+         \"notes\": \"critical path of one ghost-halo plan: coordinator + N loopback shard \
+         workers (halo wire op: ghost feeds, chained supersteps, paged collects) vs the \
+         monolithic in-process run; answers asserted bit-identical before timing is reported. \
+         halo_bytes_per_world counts every request and response byte of one world's full \
+         exchange (PageRank supersteps until the convergence accumulator drops under \
+         tolerance, plus the k-NN BFS settlement routing), averaged over the sampled worlds. \
+         ghost_vertices and replication_factor describe the static halo layout \
+         (ugs partition reports the same numbers per shard)\",\n  \
+         \"in_process_ns\": {},\n  \"fleets\": [\n{fleet_entries}\n  ]\n}}\n",
+        in_process.as_nanos(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_halo.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write BENCH_halo.json: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, halo_bench);
+criterion_main!(benches);

@@ -916,7 +916,7 @@ pub fn plan(args: &ParsedArgs) -> Result<String, CliError> {
 /// shard sizes and the cut structure as JSON.
 pub fn partition(args: &ParsedArgs) -> Result<String, CliError> {
     use minijson::{ObjBuilder, Value};
-    use uncertain_graph::GraphPartition;
+    use uncertain_graph::{GraphPartition, HaloPlan};
 
     args.expect_options(PARTITION_OPTIONS)?;
     let path = args.positional(0, "graph.txt")?;
@@ -940,16 +940,31 @@ pub fn partition(args: &ParsedArgs) -> Result<String, CliError> {
     }
     .map_err(|e| CliError::Message(e.to_string()))?;
 
+    // The ghost-halo layout the neighbourhood queries (pagerank,
+    // clustering, knn) would replicate into each shard: operators read the
+    // replication factor and per-shard ghost counts to judge a labelling
+    // before deploying it.
+    let halo_stats = HaloPlan::new(&graph, &partition).stats();
     let shard_entries: Vec<Value> = partition
         .shards()
         .iter()
+        .zip(&halo_stats.shards)
         .enumerate()
-        .map(|(s, shard)| {
+        .map(|(s, (shard, halo))| {
             ObjBuilder::new()
                 .field("shard", s)
                 .field("vertices", shard.num_vertices())
                 .field("edges", shard.num_edges())
                 .field("expected_edges", shard.graph().expected_num_edges())
+                .field(
+                    "halo",
+                    ObjBuilder::new()
+                        .field("ghost_vertices", halo.ghost_vertices)
+                        .field("boundary_vertices", halo.boundary_vertices)
+                        .field("halo_edges", halo.halo_edges)
+                        .field("expected_halo_mass", halo.expected_halo_mass)
+                        .build(),
+                )
                 .build()
         })
         .collect();
@@ -970,6 +985,12 @@ pub fn partition(args: &ParsedArgs) -> Result<String, CliError> {
                     cut_count as f64 / graph.num_edges().max(1) as f64,
                 )
                 .field("probability_mass", partition.cut_probability_mass())
+                .build(),
+        )
+        .field(
+            "halo",
+            ObjBuilder::new()
+                .field("replication_factor", halo_stats.replication_factor)
                 .build(),
         )
         .build();
@@ -1821,6 +1842,28 @@ mod tests {
             let cut = doc.get("cut").unwrap();
             assert_eq!(shard_edges + cut.get_usize("edges").unwrap(), 10);
             assert!(cut.get_f64("probability_mass").unwrap() >= 0.0);
+            // Halo statistics: every shard reports its ghost layout, and
+            // the aggregate replication factor accounts for every replica
+            // ((owned + ghosts summed over shards) / |V|, at least 1.0).
+            let mut replicas = 0usize;
+            for shard in shards {
+                let halo = shard.get("halo").unwrap();
+                assert!(halo.get_usize("halo_edges").is_some());
+                assert!(halo.get_f64("expected_halo_mass").unwrap() >= 0.0);
+                assert!(
+                    halo.get_usize("ghost_vertices").unwrap()
+                        >= halo.get_usize("boundary_vertices").unwrap().min(1)
+                );
+                replicas += shard.get_usize("vertices").unwrap()
+                    + halo.get_usize("ghost_vertices").unwrap();
+            }
+            let replication = doc
+                .get("halo")
+                .unwrap()
+                .get_f64("replication_factor")
+                .unwrap();
+            assert!((replication - replicas as f64 / 6.0).abs() < 1e-12);
+            assert!(replication >= 1.0);
         }
         let bad = ParsedArgs::parse(["partition", &input, "--strategy", "psychic"]).unwrap();
         assert!(run(&bad).is_err());
@@ -1837,11 +1880,13 @@ mod tests {
                 "batch",
                 &input,
                 "--queries",
-                "connectivity,degree-hist,edge-freq,sp",
+                "connectivity,degree-hist,edge-freq,sp,pagerank,clustering,knn",
                 "--worlds",
                 "80",
                 "--pairs",
                 "4",
+                "--source",
+                "2",
                 "--sequential",
                 "--shards",
                 shards,
@@ -1849,18 +1894,13 @@ mod tests {
             .unwrap();
             run(&args).unwrap()
         };
-        // The sharded engine replays the monolithic edge stream, so the
-        // whole JSON report is byte-identical across shard counts.
+        // The sharded engine replays the monolithic edge stream — through
+        // the cut correction for the count queries and the ghost-halo
+        // exchange for pagerank/clustering/knn — so the whole JSON report
+        // is byte-identical across shard counts.
         let monolithic = report_with("1");
         assert_eq!(monolithic, report_with("2"));
         assert_eq!(monolithic, report_with("4"));
-        // Queries without a cut correction fail the command with the typed
-        // message at validation time.
-        let bad =
-            ParsedArgs::parse(["batch", &input, "--queries", "pagerank", "--shards", "2"]).unwrap();
-        let error = run(&bad).unwrap_err().to_string();
-        assert!(error.contains("graph-sharded"), "{error}");
-        assert!(error.contains("pagerank"), "{error}");
         // --shards 0 is rejected, consistently with `ugs partition`.
         let zero = ParsedArgs::parse([
             "batch",
@@ -1913,20 +1953,18 @@ mod tests {
         let doc = minijson::Value::parse(&report).unwrap();
         let results = doc.get("results").unwrap().as_array().unwrap();
         assert!(results.iter().all(|r| r.get_str("status") == Some("ok")));
-        // --shards 2: connectivity still answers, pagerank is rejected with
-        // the typed unsupported error, per query.
+        let monolithic: Vec<String> = results.iter().map(|r| r.render()).collect();
+        // --shards 2: connectivity runs through the cut correction,
+        // pagerank through the ghost-halo exchange — both answer, and both
+        // answers render byte-identically to the monolithic run.
         let report =
             run(&ParsedArgs::parse(["plan", plan_path.as_str(), "--shards", "2"]).unwrap())
                 .unwrap();
         let doc = minijson::Value::parse(&report).unwrap();
         assert_eq!(doc.get_usize("shards"), Some(2));
         let results = doc.get("results").unwrap().as_array().unwrap();
-        assert_eq!(results[0].get_str("status"), Some("ok"));
-        assert_eq!(results[1].get_str("status"), Some("error"));
-        assert!(results[1]
-            .get_str("error")
-            .unwrap()
-            .contains("graph-sharded"));
+        let sharded: Vec<String> = results.iter().map(|r| r.render()).collect();
+        assert_eq!(sharded, monolithic);
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&plan_path).ok();
     }

@@ -7,18 +7,23 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use graph_algos::pagerank::PageRankConfig;
 use minijson::Value;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use ugs_queries::batch::WorldObserver;
 use ugs_queries::boundary::{glue_records, GluedWorld, ShardWorldRecord};
+use ugs_queries::halo::{
+    decode_level, decode_rank, encode_level, encode_rank, f64_from_hex, f64_to_hex,
+};
 use ugs_queries::variance::{Precision, StoppingRule};
+use ugs_queries::{ClusteringObserver, KnnObserver, PageRankObserver};
 use ugs_server::protocol::DEFAULT_BOUNDARY_PAGE;
 use ugs_server::LineClient;
 use ugs_service::{
     mode_name, QueryAnswer, QueryPlan, QueryResult, QuerySpec, ResultTicket, ServiceError,
-    SpecError,
 };
-use uncertain_graph::{GraphPartition, UncertainGraph};
+use uncertain_graph::{GraphPartition, HaloPlan, UncertainGraph};
 
 use crate::fault::{FaultClock, FaultKind, FaultPlan};
 use crate::merge::{block_owner, ConnAccumulator, FreqAccumulator, HistAccumulator};
@@ -27,6 +32,12 @@ use crate::recovery::{Failover, RecoveryReport, StandbyPool};
 /// One shard's `(degree_histogram, intra_edge_presence)` cross-world
 /// aggregates, as returned by `shard_result`.
 type ShardAggregates = (Vec<u64>, Vec<u64>);
+
+/// Ghost-rank entries per `feed` line.  Each entry is at most ~31 bytes
+/// on the wire, so a chunk stays around 250 KiB — comfortably inside the
+/// worker's default 1 MiB request-line bound even for hub shards whose
+/// halo spans most of the graph.
+const FEED_CHUNK_ENTRIES: usize = 8_192;
 
 /// Failure-model knobs of a [`DistCoordinator`].
 ///
@@ -173,6 +184,160 @@ impl Slot {
     }
 }
 
+/// Coordinator-side driver state for one ghost-halo query of the plan:
+/// the kernel parameters plus one observer per world block (the same
+/// block-ascending merge order the in-process threaded driver uses, so the
+/// accumulated `f64` sums match bitwise).
+enum HaloSlot {
+    PageRank {
+        index: usize,
+        config: PageRankConfig,
+        blocks: Vec<PageRankObserver>,
+    },
+    Clustering {
+        index: usize,
+        blocks: Vec<ClusteringObserver>,
+    },
+    Knn {
+        index: usize,
+        source: usize,
+        blocks: Vec<KnnObserver>,
+    },
+}
+
+/// Merges per-block observers in ascending block order — the identical
+/// fold the in-process driver performs after its worker threads join.
+fn merge_blocks<O: WorldObserver>(blocks: Vec<O>) -> O {
+    let mut blocks = blocks.into_iter();
+    let mut merged = blocks.next().expect("at least one world block");
+    for other in blocks {
+        merged.merge(other);
+    }
+    merged
+}
+
+impl HaloSlot {
+    fn for_spec(spec: &QuerySpec, index: usize, graph: &UncertainGraph, blocks: usize) -> HaloSlot {
+        match spec {
+            QuerySpec::PageRank {
+                damping,
+                max_iterations,
+                tolerance,
+            } => {
+                let config = PageRankConfig {
+                    damping: *damping,
+                    max_iterations: *max_iterations,
+                    tolerance: *tolerance,
+                };
+                HaloSlot::PageRank {
+                    index,
+                    config,
+                    blocks: (0..blocks)
+                        .map(|_| PageRankObserver::with_config(graph, config))
+                        .collect(),
+                }
+            }
+            QuerySpec::Clustering => HaloSlot::Clustering {
+                index,
+                blocks: (0..blocks)
+                    .map(|_| ClusteringObserver::new(graph))
+                    .collect(),
+            },
+            QuerySpec::Knn { source, k } => HaloSlot::Knn {
+                index,
+                source: *source,
+                blocks: (0..blocks)
+                    .map(|_| KnnObserver::new(graph, *source, *k))
+                    .collect(),
+            },
+            other => unreachable!("spec {} has no halo driver", other.kind()),
+        }
+    }
+
+    /// The plan position of this query — names the worker session token, so
+    /// two queries of the same kind never share superstep state.
+    fn index(&self) -> usize {
+        match self {
+            HaloSlot::PageRank { index, .. }
+            | HaloSlot::Clustering { index, .. }
+            | HaloSlot::Knn { index, .. } => *index,
+        }
+    }
+
+    /// The kernel object every `halo` line of this query carries.  The
+    /// damping factor travels as IEEE-754 bits so the worker runs exactly
+    /// the coordinator's parameters.
+    fn kernel_json(&self) -> String {
+        match self {
+            HaloSlot::PageRank { config, .. } => format!(
+                r#"{{"type": "pagerank", "damping": "{}"}}"#,
+                f64_to_hex(config.damping)
+            ),
+            HaloSlot::Clustering { .. } => r#"{"type": "clustering"}"#.to_string(),
+            HaloSlot::Knn { source, .. } => format!(r#"{{"type": "bfs", "source": {source}}}"#),
+        }
+    }
+
+    fn finalize(self, num_worlds: usize) -> QueryResult {
+        match self {
+            HaloSlot::PageRank { blocks, .. } => {
+                QueryResult::PageRank(merge_blocks(blocks).finalize(num_worlds))
+            }
+            HaloSlot::Clustering { blocks, .. } => {
+                QueryResult::Clustering(merge_blocks(blocks).finalize(num_worlds))
+            }
+            HaloSlot::Knn { blocks, .. } => {
+                QueryResult::Knn(merge_blocks(blocks).finalize(num_worlds))
+            }
+        }
+    }
+}
+
+/// The immutable wire identity of one halo query's sessions: every `halo`
+/// line repeats it verbatim, so a freshly promoted standby can rebuild the
+/// session from whatever line reaches it first.
+struct HaloCtx {
+    token: String,
+    seed: u64,
+    mode: &'static str,
+    kernel: String,
+}
+
+/// Which execution path a validly placed query runs on.
+#[derive(Clone, Copy)]
+enum Placed {
+    /// Boundary-exchange aggregate (connectivity, histogram, frequency).
+    Aggregate,
+    /// Ghost-halo superstep exchange (pagerank, clustering, k-NN).
+    Halo,
+}
+
+/// Validates one paged halo window: `values` must be strings, `from` must
+/// match the cursor we asked for, `total` must be present.  Returns the
+/// window's entries and the report's total size.
+fn halo_window(response: &Value, expect_from: usize) -> Result<(Vec<String>, usize), String> {
+    let total = response
+        .get_usize("total")
+        .ok_or_else(|| format!("halo window without a total: {}", response.render()))?;
+    let from = response
+        .get_usize("from")
+        .ok_or_else(|| format!("halo window without a cursor: {}", response.render()))?;
+    if from != expect_from {
+        return Err(format!(
+            "halo window starts at {from}, expected {expect_from}"
+        ));
+    }
+    let entries = response
+        .get("values")
+        .and_then(|value| value.as_array())
+        .ok_or_else(|| format!("halo window without values: {}", response.render()))?
+        .iter()
+        .map(|entry| entry.as_str().map(str::to_string))
+        .collect::<Option<Vec<String>>>()
+        .ok_or_else(|| "halo window carries non-string values".to_string())?;
+    Ok((entries, total))
+}
+
 /// Drives a fleet of shard workers through [`QueryPlan`]s, resolving each
 /// plan **bit-identically** to an in-process run of the same plan.
 ///
@@ -181,6 +346,10 @@ impl Slot {
 pub struct DistCoordinator {
     graph: Arc<UncertainGraph>,
     partition: Arc<GraphPartition>,
+    /// Per-shard ghost layout, built lazily on the first halo query (the
+    /// coordinator only needs the ghost lists and boundary routing; workers
+    /// derive the same plan from the same partition).
+    halo: Option<Arc<HaloPlan>>,
     config: CoordinatorConfig,
     workers: Vec<Worker>,
     standbys: StandbyPool,
@@ -224,6 +393,7 @@ impl DistCoordinator {
         let mut coordinator = DistCoordinator {
             graph,
             partition: Arc::new(partition),
+            halo: None,
             workers: addrs
                 .iter()
                 .map(|addr| Worker {
@@ -285,45 +455,59 @@ impl DistCoordinator {
     /// Executes a plan across the fleet; one outcome per query, in plan
     /// order.  Bit-identical to `plan.execute_detailed(graph)` for the
     /// distributed-aggregate queries (`connectivity`, `degree_histogram`,
-    /// `edge_frequency`); any other query resolves with the typed
-    /// [`SpecError::Unsupported`] — the boundary messages carry no
-    /// per-vertex state to aggregate it from.
+    /// `edge_frequency` — glued from boundary records) **and** for the
+    /// ghost-halo queries (`pagerank`, `clustering`, `knn` — driven as
+    /// supersteps over the workers' halo sessions, exchanging values as
+    /// IEEE-754 bit patterns).  Only `pair_queries` has no distributed
+    /// path and resolves with a typed [`ServiceError::Policy`].
     pub fn execute(&mut self, plan: &QueryPlan) -> Vec<Result<QueryAnswer, ServiceError>> {
         let shards = self.workers.len();
         // Per-query validation, mirroring the in-process scheduler's flush:
         // invalid queries resolve individually, the valid remainder runs.
         let mut slots: Vec<Slot> = Vec::new();
+        let mut halos: Vec<HaloSlot> = Vec::new();
         let worlds = plan.worlds;
         let cap = match plan.precision {
             Some(precision) => precision.cap(worlds),
             None => worlds,
         };
         let blocks = plan.threads.max(1).clamp(1, cap.max(1));
-        let placed: Vec<Result<(), ServiceError>> = plan
+        let placed: Vec<Result<Placed, ServiceError>> = plan
             .queries
             .iter()
-            .map(|spec| {
+            .enumerate()
+            .map(|(index, spec)| {
                 spec.validate_sharded(&self.graph, shards)
+                    .map_err(ServiceError::Spec)
                     .and_then(|()| match spec {
                         QuerySpec::Connectivity
                         | QuerySpec::DegreeHistogram
-                        | QuerySpec::EdgeFrequency => Ok(()),
-                        other => Err(SpecError::Unsupported {
-                            query: other.kind().to_string(),
-                            shards,
-                        }),
+                        | QuerySpec::EdgeFrequency => {
+                            slots.push(Slot::for_spec(spec, &self.graph, blocks));
+                            Ok(Placed::Aggregate)
+                        }
+                        QuerySpec::PageRank { .. }
+                        | QuerySpec::Clustering
+                        | QuerySpec::Knn { .. } => {
+                            halos.push(HaloSlot::for_spec(spec, index, &self.graph, blocks));
+                            Ok(Placed::Halo)
+                        }
+                        QuerySpec::PairQueries { .. } => Err(ServiceError::Policy(
+                            "pair_queries has no distributed execution path: its cut-corrected \
+                             observer needs the full per-world edge stream, which neither \
+                             boundary records nor the ghost-halo exchange carry across workers"
+                                .to_string(),
+                        )),
                     })
-                    .map(|()| slots.push(Slot::for_spec(spec, &self.graph, blocks)))
-                    .map_err(ServiceError::Spec)
             })
             .collect();
-        if slots.is_empty() {
+        if slots.is_empty() && halos.is_empty() {
             return placed
                 .into_iter()
-                .map(|entry| entry.map(|()| unreachable!("no valid slots")))
+                .map(|entry| entry.map(|_| unreachable!("no valid queries placed")))
                 .collect();
         }
-        let run = self.run_valid(plan, &mut slots, blocks, cap);
+        let run = self.run_valid(plan, &mut slots, &mut halos, blocks, cap);
         let (worlds_used, half_width) = match run {
             Ok(outcome) => outcome,
             Err(error) => {
@@ -335,16 +519,26 @@ impl DistCoordinator {
             }
         };
         let mut finished = slots.into_iter();
+        let mut finished_halos = halos.into_iter();
         placed
             .into_iter()
             .map(|entry| {
-                entry.map(|()| QueryAnswer {
-                    result: finished
-                        .next()
-                        .expect("one finished slot per valid query")
-                        .finalize(worlds_used),
-                    worlds_used,
-                    half_width,
+                entry.map(|kind| {
+                    let result = match kind {
+                        Placed::Aggregate => finished
+                            .next()
+                            .expect("one finished slot per aggregate query")
+                            .finalize(worlds_used),
+                        Placed::Halo => finished_halos
+                            .next()
+                            .expect("one finished halo slot per halo query")
+                            .finalize(worlds_used),
+                    };
+                    QueryAnswer {
+                        result,
+                        worlds_used,
+                        half_width,
+                    }
                 })
             })
             .collect()
@@ -380,11 +574,15 @@ impl DistCoordinator {
     pub fn shutdown(self) {}
 
     /// Runs the sampling for the plan's valid queries; returns
-    /// `(worlds_used, half_width)`.
+    /// `(worlds_used, half_width)`.  Aggregate slots run first as one
+    /// boundary-exchange job; the halo slots then walk the same world
+    /// stream through the workers' halo sessions, block-attributed exactly
+    /// as the in-process thread fold would attribute them.
     fn run_valid(
         &mut self,
         plan: &QueryPlan,
         slots: &mut [Slot],
+        halos: &mut [HaloSlot],
         blocks: usize,
         cap: usize,
     ) -> Result<(usize, Option<f64>), ServiceError> {
@@ -400,19 +598,26 @@ impl DistCoordinator {
         let mode = mode_name(plan.mode);
         match &plan.precision {
             None => {
-                self.start_job(seed, mode, worlds)?;
-                let partition = Arc::clone(&self.partition);
-                self.pump(0, worlds, |world, glued, _records| {
-                    let owner = block_owner(world, worlds, blocks);
-                    for slot in slots.iter_mut() {
-                        slot.observe(owner, &partition, glued);
-                    }
-                    Ok(())
+                if slots.is_empty() {
+                    self.probe_fleet()?;
+                } else {
+                    self.start_job(seed, mode, worlds)?;
+                    let partition = Arc::clone(&self.partition);
+                    self.pump(0, worlds, |world, glued, _records| {
+                        let owner = block_owner(world, worlds, blocks);
+                        for slot in slots.iter_mut() {
+                            slot.observe(owner, &partition, glued);
+                        }
+                        Ok(())
+                    })?;
+                    self.finish_job(slots, worlds)?;
+                }
+                self.run_halo(halos, seed, mode, 0, worlds, |world| {
+                    block_owner(world, worlds, blocks)
                 })?;
-                self.finish_job(slots, worlds)?;
                 Ok((worlds, None))
             }
-            Some(precision) => self.run_adaptive(seed, mode, precision, slots, blocks, cap),
+            Some(precision) => self.run_adaptive(seed, mode, precision, slots, halos, blocks, cap),
         }
     }
 
@@ -420,12 +625,14 @@ impl DistCoordinator {
     /// stopping rule, same per-world record order, same check order at each
     /// epoch barrier — so `worlds_used` and `half_width` match the
     /// in-process run bitwise.
+    #[allow(clippy::too_many_arguments)] // one call site; mirrors drive_adaptive's knobs
     fn run_adaptive(
         &mut self,
         seed: u64,
         mode: &'static str,
         precision: &Precision,
         slots: &mut [Slot],
+        halos: &mut [HaloSlot],
         blocks: usize,
         cap: usize,
     ) -> Result<(usize, Option<f64>), ServiceError> {
@@ -447,24 +654,37 @@ impl DistCoordinator {
         if rule.deadline_expired(started) {
             return Ok((0, Some(f64::INFINITY)));
         }
-        self.start_job(seed, mode, 0)?;
+        let drive_slots = !slots.is_empty();
+        if drive_slots {
+            self.start_job(seed, mode, 0)?;
+        } else {
+            self.probe_fleet()?;
+        }
         let partition = Arc::clone(&self.partition);
         let num_edges = self.graph.num_edges();
         let mut consumed = 0usize;
+        // Epoch extents, replayed below for the halo queries: block
+        // attribution inside an epoch is relative to the epoch start, so
+        // the halo observers must see the exact same epoch boundaries the
+        // stopping rule produced.
+        let mut epochs: Vec<(usize, usize)> = Vec::new();
         loop {
             let block = epoch.min(cap - consumed);
-            self.raise_target(consumed + block)?;
-            let epoch_start = consumed;
-            self.pump(consumed, consumed + block, |world, glued, records| {
-                let owner = block_owner(world - epoch_start, block, blocks);
-                for slot in slots.iter_mut() {
-                    slot.observe(owner, &partition, glued);
-                }
-                for (s, &i) in tracked.iter().enumerate() {
-                    rule.record(s, slots[i].statistic(glued, records, num_edges));
-                }
-                Ok(())
-            })?;
+            epochs.push((consumed, block));
+            if drive_slots {
+                self.raise_target(consumed + block)?;
+                let epoch_start = consumed;
+                self.pump(consumed, consumed + block, |world, glued, records| {
+                    let owner = block_owner(world - epoch_start, block, blocks);
+                    for slot in slots.iter_mut() {
+                        slot.observe(owner, &partition, glued);
+                    }
+                    for (s, &i) in tracked.iter().enumerate() {
+                        rule.record(s, slots[i].statistic(glued, records, num_edges));
+                    }
+                    Ok(())
+                })?;
+            }
             consumed += block;
             // Same verdict order as the in-process checkpoint: convergence,
             // then budget, then deadline — a deadline can only shorten a
@@ -473,7 +693,14 @@ impl DistCoordinator {
                 break;
             }
         }
-        self.finish_job(slots, consumed)?;
+        if drive_slots {
+            self.finish_job(slots, consumed)?;
+        }
+        for &(start, size) in &epochs {
+            self.run_halo(halos, seed, mode, start, start + size, |world| {
+                block_owner(world - start, size, blocks)
+            })?;
+        }
         Ok((consumed, Some(rule.half_width())))
     }
 
@@ -496,6 +723,394 @@ impl DistCoordinator {
         }
         self.job = None;
         Ok(())
+    }
+
+    /// The fleet-side ghost layout, built once on the first halo query and
+    /// reused for every later plan (it depends only on the partition).
+    fn halo_plan(&mut self) -> Arc<HaloPlan> {
+        if self.halo.is_none() {
+            self.halo = Some(Arc::new(HaloPlan::new(&self.graph, &self.partition)));
+        }
+        Arc::clone(self.halo.as_ref().expect("halo plan built above"))
+    }
+
+    /// Drives the halo queries over worlds `from..upto`, attributing world
+    /// `w` to observer block `owner(w)` — the caller picks the same block
+    /// function the in-process engine would use, so the merged observers
+    /// fold world values in the identical order.
+    ///
+    /// Runs **after** the aggregate job finished (no job in flight), so a
+    /// reconnect inside the halo exchange never resubmits a boundary job.
+    /// A failed exchange restarts the *current world* of the affected query
+    /// from step 0 on every shard: surviving workers restart their kernel
+    /// without resampling, a reconnected (or freshly promoted) worker
+    /// rebuilds its session from the line's identity and replays the shared
+    /// stream up to the world — either way the superstep values are
+    /// bit-identical to an undisturbed run.  The restart loop terminates
+    /// because every restart burned a retry first, and [`Self::fail_worker`]
+    /// bounds total failures per shard before degrading to the typed
+    /// [`ServiceError::WorkerLost`].
+    fn run_halo(
+        &mut self,
+        halos: &mut [HaloSlot],
+        seed: u64,
+        mode: &'static str,
+        from: usize,
+        upto: usize,
+        owner: impl Fn(usize) -> usize,
+    ) -> Result<(), ServiceError> {
+        if halos.is_empty() || from >= upto {
+            return Ok(());
+        }
+        debug_assert!(self.job.is_none(), "halo exchange with a job in flight");
+        if from == 0 {
+            // The halo exchange is a fresh phase of the plan: re-arm the
+            // per-job retry budgets exactly as `start_job` does.
+            for worker in &mut self.workers {
+                worker.retries_left = self.config.retries;
+            }
+        }
+        let plan = self.halo_plan();
+        for world in from..upto {
+            let block = owner(world);
+            for slot in halos.iter_mut() {
+                // Session tokens are stable per plan position: a later plan
+                // with a different replay identity *replaces* the worker's
+                // session under the same token, so a long-lived connection
+                // never accumulates sessions past the per-query count.
+                let ctx = HaloCtx {
+                    token: format!("halo-q{}", slot.index()),
+                    seed,
+                    mode,
+                    kernel: slot.kernel_json(),
+                };
+                match slot {
+                    HaloSlot::PageRank { config, blocks, .. } => {
+                        let config = *config;
+                        loop {
+                            if let Some(scores) =
+                                self.halo_pagerank_world(&ctx, &config, &plan, world)?
+                            {
+                                blocks[block].record_scores(&scores);
+                                break;
+                            }
+                        }
+                    }
+                    HaloSlot::Clustering { blocks, .. } => loop {
+                        if let Some(coefficients) = self.halo_collect_owned(&ctx, world)? {
+                            blocks[block].record_coefficients(&coefficients);
+                            break;
+                        }
+                    },
+                    HaloSlot::Knn { source, blocks, .. } => {
+                        let source = *source;
+                        loop {
+                            if let Some(distances) = self.halo_bfs_world(&ctx, source, world)? {
+                                blocks[block].record_distances(&distances);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One world of the PageRank superstep exchange, following the kernel
+    /// loop of `graph_algos::pagerank` exactly: per iteration, feed every
+    /// shard the ghost ranks it reads (from iteration 1 on), run one
+    /// chained step through the shards ascending (threading the L1
+    /// convergence accumulator), install the reported boundary ranks on the
+    /// coordinator's board, and stop when the accumulated delta drops under
+    /// the configured tolerance.  `Ok(None)` means a worker failed and the
+    /// world must restart from step 0.
+    fn halo_pagerank_world(
+        &mut self,
+        ctx: &HaloCtx,
+        config: &PageRankConfig,
+        plan: &HaloPlan,
+        world: usize,
+    ) -> Result<Option<Vec<f64>>, ServiceError> {
+        let n = self.graph.num_vertices();
+        let shards = self.workers.len();
+        let mut board = vec![1.0 / n.max(1) as f64; n];
+        for step in 0..config.max_iterations {
+            if step > 0 {
+                for k in 0..shards {
+                    // Feeds are chunked so a shard with a large halo (the
+                    // hub shard of a power-law graph can ghost most of the
+                    // graph) never exceeds the worker's request-line bound;
+                    // the worker installs each chunk incrementally.
+                    for chunk in plan.shard(k).ghosts().chunks(FEED_CHUNK_ENTRIES) {
+                        let values = chunk
+                            .iter()
+                            .map(|&gv| format!("\"{}\"", encode_rank(gv as u32, board[gv])))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let tail = format!("\"phase\": \"feed\", \"values\": [{values}]");
+                        let line = self.halo_line(ctx, k, world, &tail);
+                        if self.halo_request(k, &line)?.is_none() {
+                            return Ok(None);
+                        }
+                    }
+                }
+            }
+            let mut acc = 0.0f64;
+            for k in 0..shards {
+                let tail = format!(
+                    "\"phase\": \"step\", \"step\": {step}, \"acc\": \"{}\"",
+                    f64_to_hex(acc)
+                );
+                let line = self.halo_line(ctx, k, world, &tail);
+                let response = match self.halo_request(k, &line)? {
+                    Some(response) => response,
+                    None => return Ok(None),
+                };
+                acc = match response.get_str("acc").map(f64_from_hex) {
+                    Some(Ok(acc)) => acc,
+                    _ => {
+                        self.fail_worker(k, "pagerank step response without a folded acc")?;
+                        return Ok(None);
+                    }
+                };
+                let entries = match self.halo_entries(ctx, k, world, response)? {
+                    Some(entries) => entries,
+                    None => return Ok(None),
+                };
+                for entry in &entries {
+                    match decode_rank(entry) {
+                        Ok((gid, rank)) if (gid as usize) < n => board[gid as usize] = rank,
+                        _ => {
+                            let why = format!("unparseable boundary rank {entry:?}");
+                            self.fail_worker(k, &why)?;
+                            return Ok(None);
+                        }
+                    }
+                }
+            }
+            if acc < config.tolerance {
+                break;
+            }
+        }
+        self.halo_collect_owned(ctx, world)
+    }
+
+    /// One world of the BFS (k-NN core) superstep exchange: level by level,
+    /// route the frontier's settlements to their owner shards, step every
+    /// shard, and absorb the newly settled vertices (first report wins, as
+    /// in the monolithic BFS).  `Ok(None)` restarts the world.
+    fn halo_bfs_world(
+        &mut self,
+        ctx: &HaloCtx,
+        source: usize,
+        world: usize,
+    ) -> Result<Option<Vec<u32>>, ServiceError> {
+        let n = self.graph.num_vertices();
+        let shards = self.workers.len();
+        let partition = Arc::clone(&self.partition);
+        let mut dist = vec![u32::MAX; n];
+        dist[source] = 0;
+        let mut settlements: Vec<(u32, u32)> = vec![(source as u32, 0)];
+        let mut step = 0usize;
+        while !settlements.is_empty() && step < n.max(1) {
+            let mut next: Vec<(u32, u32)> = Vec::new();
+            for k in 0..shards {
+                let routed = settlements
+                    .iter()
+                    .filter(|&&(v, _)| partition.shard_of(v as usize) == k)
+                    .map(|&(v, level)| format!("\"{}\"", encode_level(v, level)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let tail = format!("\"phase\": \"step\", \"step\": {step}, \"values\": [{routed}]");
+                let line = self.halo_line(ctx, k, world, &tail);
+                let response = match self.halo_request(k, &line)? {
+                    Some(response) => response,
+                    None => return Ok(None),
+                };
+                let entries = match self.halo_entries(ctx, k, world, response)? {
+                    Some(entries) => entries,
+                    None => return Ok(None),
+                };
+                for entry in &entries {
+                    match decode_level(entry) {
+                        Ok((gid, level)) if (gid as usize) < n => {
+                            if dist[gid as usize] == u32::MAX {
+                                dist[gid as usize] = level;
+                                next.push((gid, level));
+                            }
+                        }
+                        _ => {
+                            let why = format!("unparseable settlement {entry:?}");
+                            self.fail_worker(k, &why)?;
+                            return Ok(None);
+                        }
+                    }
+                }
+            }
+            settlements = next;
+            step += 1;
+        }
+        Ok(Some(dist))
+    }
+
+    /// Collects the owned per-vertex values of the current world from every
+    /// shard into one global vector (clustering computes its coefficients
+    /// lazily on the first collect).  `Ok(None)` restarts the world.
+    fn halo_collect_owned(
+        &mut self,
+        ctx: &HaloCtx,
+        world: usize,
+    ) -> Result<Option<Vec<f64>>, ServiceError> {
+        let n = self.graph.num_vertices();
+        let shards = self.workers.len();
+        let partition = Arc::clone(&self.partition);
+        let mut values = vec![0.0f64; n];
+        for k in 0..shards {
+            let tail =
+                format!("\"phase\": \"collect\", \"from\": 0, \"max\": {DEFAULT_BOUNDARY_PAGE}");
+            let line = self.halo_line(ctx, k, world, &tail);
+            let response = match self.halo_request(k, &line)? {
+                Some(response) => response,
+                None => return Ok(None),
+            };
+            let entries = match self.halo_collected(ctx, k, world, response)? {
+                Some(entries) => entries,
+                None => return Ok(None),
+            };
+            let vertices = partition.shard(k).vertices();
+            if entries.len() != vertices.len() {
+                let why = format!(
+                    "shard {k} collected {} values for {} owned vertices",
+                    entries.len(),
+                    vertices.len()
+                );
+                self.fail_worker(k, &why)?;
+                return Ok(None);
+            }
+            for (local, entry) in entries.iter().enumerate() {
+                match f64_from_hex(entry) {
+                    Ok(value) => values[vertices[local]] = value,
+                    Err(_) => {
+                        let why = format!("unparseable collected value {entry:?}");
+                        self.fail_worker(k, &why)?;
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        Ok(Some(values))
+    }
+
+    /// Pages the remainder of a step report whose first window is
+    /// `response`; `Ok(None)` restarts the world.
+    fn halo_entries(
+        &mut self,
+        ctx: &HaloCtx,
+        k: usize,
+        world: usize,
+        response: Value,
+    ) -> Result<Option<Vec<String>>, ServiceError> {
+        self.halo_pages(ctx, k, world, response, "page")
+    }
+
+    /// Pages the remainder of a collect whose first window is `response`.
+    fn halo_collected(
+        &mut self,
+        ctx: &HaloCtx,
+        k: usize,
+        world: usize,
+        response: Value,
+    ) -> Result<Option<Vec<String>>, ServiceError> {
+        self.halo_pages(ctx, k, world, response, "collect")
+    }
+
+    /// Drains a paged halo report: validates the first window, then issues
+    /// `phase` requests until `total` entries arrived.  Pages are
+    /// idempotent re-reads of session state, so re-requesting a window
+    /// after a hiccup is safe; a window that fails to advance fails the
+    /// worker instead of spinning.
+    fn halo_pages(
+        &mut self,
+        ctx: &HaloCtx,
+        k: usize,
+        world: usize,
+        first: Value,
+        phase: &str,
+    ) -> Result<Option<Vec<String>>, ServiceError> {
+        let (mut entries, total) = match halo_window(&first, 0) {
+            Ok(window) => window,
+            Err(why) => {
+                self.fail_worker(k, &why)?;
+                return Ok(None);
+            }
+        };
+        while entries.len() < total {
+            let tail = format!(
+                "\"phase\": \"{phase}\", \"from\": {}, \"max\": {DEFAULT_BOUNDARY_PAGE}",
+                entries.len()
+            );
+            let line = self.halo_line(ctx, k, world, &tail);
+            let response = match self.halo_request(k, &line)? {
+                Some(response) => response,
+                None => return Ok(None),
+            };
+            let (page, page_total) = match halo_window(&response, entries.len()) {
+                Ok(window) => window,
+                Err(why) => {
+                    self.fail_worker(k, &why)?;
+                    return Ok(None);
+                }
+            };
+            if page_total != total || page.is_empty() {
+                self.fail_worker(k, "halo report window did not advance")?;
+                return Ok(None);
+            }
+            entries.extend(page);
+        }
+        Ok(Some(entries))
+    }
+
+    /// One halo exchange with worker `k` — **single attempt**.  A halo
+    /// superstep is stateful, so a line must never be retried verbatim the
+    /// way [`Self::request_worker`] retries idempotent exchanges; instead a
+    /// failure burns the ordinary retry/failover budget and reports
+    /// `Ok(None)`: *restart the current world from step 0 on every shard*.
+    fn halo_request(&mut self, k: usize, line: &str) -> Result<Option<Value>, ServiceError> {
+        if self.workers[k].client.is_none() {
+            match self.open_client(k) {
+                Ok(client) => {
+                    self.workers[k].client = Some(client);
+                    self.workers[k].last_gain = Instant::now();
+                }
+                Err(why) => {
+                    self.fail_worker(k, &why)?;
+                    return Ok(None);
+                }
+            }
+        }
+        match self.raw_request(k, line) {
+            Ok(value) => Ok(Some(value)),
+            Err(why) => {
+                self.fail_worker(k, &why)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Renders one `halo` line: the full session identity (so any worker —
+    /// original, reconnected, or promoted standby — can rebuild the session
+    /// from this line alone) plus the phase-specific `tail`.
+    fn halo_line(&self, ctx: &HaloCtx, k: usize, world: usize, tail: &str) -> String {
+        format!(
+            "{{\"op\": \"halo\", \"job\": \"{}\", \"shard\": {k}, \"shards\": {}, \
+             \"seed\": \"{}\", \"mode\": \"{}\", \"kernel\": {}, \"world\": {world}, {tail}}}",
+            ctx.token,
+            self.workers.len(),
+            ctx.seed,
+            ctx.mode,
+            ctx.kernel
+        )
     }
 
     /// Pings every worker once through the ordinary retry/reconnect/

@@ -42,11 +42,25 @@
 //!    `half_width` match bitwise too.
 //!
 //! Distributed execution covers the cut-aware *count* queries —
-//! `connectivity`, `degree_histogram`, `edge_frequency`.  Anything else
-//! resolves with the typed
-//! [`SpecError::Unsupported`](ugs_service::SpecError::Unsupported):
-//! boundary messages carry no per-vertex state to aggregate a traversal
-//! query from.
+//! `connectivity`, `degree_histogram`, `edge_frequency` — through the
+//! boundary exchange above, and the neighbourhood queries — `pagerank`,
+//! `clustering`, `knn` — through the **ghost-halo exchange** (the
+//! server's `halo` op): after the aggregate job finishes, the coordinator
+//! walks the same world stream again, driving each world as Pregel-style
+//! supersteps over per-worker halo sessions.  PageRank feeds every shard
+//! the ghost ranks it reads, threads the L1 convergence accumulator
+//! through the shards in ascending order, and stops at the monolithic
+//! kernel's exact break; k-NN routes BFS settlements level by level;
+//! clustering is a one-shot halo collect.  All values cross the wire as
+//! IEEE-754 bit patterns and land in per-thread-block observer clones
+//! merged in block order, so the halo answers replicate the in-process
+//! `f64` fold bitwise — the same argument as invariant 3, extended to
+//! per-vertex state (see [`ugs_queries::halo`] for the iteration-
+//! equivalence argument).  Only `pair_queries` has no distributed path
+//! and resolves with a typed
+//! [`ServiceError::Policy`](ugs_service::ServiceError::Policy): its
+//! cut-corrected observer needs the full per-world edge stream, which
+//! neither boundary records nor the halo exchange carry.
 //!
 //! # Failure model
 //!
@@ -60,6 +74,14 @@
 //!   retried worker cannot skew the answer;
 //! * a worker whose sampling position stops advancing while records are
 //!   owed is declared stale and retried the same way;
+//! * a halo superstep is **stateful**, so a failed halo exchange is never
+//!   retried verbatim: the failure burns the same bounded retry budget,
+//!   and the coordinator restarts the affected query's *current world*
+//!   from step 0 — surviving workers restart their kernel without
+//!   resampling, while a reconnected (or freshly promoted) worker rebuilds
+//!   its session from the line's full identity and replays the shared
+//!   stream up to the world, either way bit-identical to an undisturbed
+//!   run;
 //! * every plan is preceded by a **pre-submit probe** (`ping` per worker
 //!   through the same retry path), so a dead-at-connect worker surfaces —
 //!   and fails over — before any shard work starts;

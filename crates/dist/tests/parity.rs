@@ -125,6 +125,98 @@ fn adaptive_plans_match_worlds_used_and_half_width_bitwise() {
     }
 }
 
+/// A plan exercising every halo kernel: PageRank with a loose tolerance
+/// (so the convergence accumulator genuinely stops the superstep loop
+/// mid-budget), clustering coefficients, and k-NN.
+fn halo_plan(worlds: usize, threads: usize, shards: usize, mode: &str, seed: u64) -> QueryPlan {
+    QueryPlan::parse_str(&format!(
+        r#"{{"worlds": {worlds}, "threads": {threads}, "shards": {shards},
+            "mode": "{mode}", "seed": {seed},
+            "queries": [{{"type": "pagerank", "tolerance": 0.01}},
+                        {{"type": "clustering"}},
+                        {{"type": "knn", "source": 3, "k": 5}}]}}"#
+    ))
+    .unwrap()
+}
+
+#[test]
+fn halo_plans_match_monolithic_and_sharded_runs_bitwise() {
+    let graph = test_graph();
+    for workers in [1, 2, 4] {
+        let (handles, addrs) = spawn_workers(&graph, workers);
+        let mut coordinator =
+            DistCoordinator::connect(graph.clone(), &addrs, CoordinatorConfig::default()).unwrap();
+        for mode in ["skip", "per-edge"] {
+            for seed in [1, 2] {
+                let base = halo_plan(16, 2, 1, mode, seed);
+                let distributed = answers(coordinator.execute(&base));
+                let monolithic = answers(base.execute_detailed(graph.clone()));
+                assert_eq!(
+                    distributed, monolithic,
+                    "halo coordinator({workers}) vs monolithic, mode {mode}, seed {seed}"
+                );
+                let sharded = halo_plan(16, 2, workers, mode, seed);
+                let in_process = answers(sharded.execute_detailed(graph.clone()));
+                assert_eq!(
+                    distributed, in_process,
+                    "halo coordinator({workers}) vs in-process {workers}-sharded, \
+                     mode {mode}, seed {seed}"
+                );
+            }
+        }
+        coordinator.shutdown();
+        for handle in handles {
+            handle.shutdown();
+        }
+    }
+}
+
+#[test]
+fn mixed_aggregate_and_halo_plans_stay_bit_identical() {
+    // One plan mixing both mechanisms: the aggregate queries run as a
+    // boundary-exchange job, the halo queries replay the same worlds as
+    // supersteps — answers interleave back in plan order, bit-identical.
+    let graph = test_graph();
+    let (handles, addrs) = spawn_workers(&graph, 2);
+    let mut coordinator =
+        DistCoordinator::connect(graph.clone(), &addrs, CoordinatorConfig::default()).unwrap();
+    let mixed = QueryPlan::parse_str(
+        r#"{"worlds": 24, "threads": 3, "seed": 11,
+            "queries": [{"type": "connectivity"},
+                        {"type": "pagerank", "tolerance": 0.01},
+                        {"type": "degree_histogram"},
+                        {"type": "knn", "source": 7, "k": 4}]}"#,
+    )
+    .unwrap();
+    let distributed = answers(coordinator.execute(&mixed));
+    let monolithic = answers(mixed.execute_detailed(graph.clone()));
+    assert_eq!(distributed, monolithic);
+
+    // An adaptive plan where a tracked aggregate drives the stopping rule
+    // and an untracked halo query rides along: the halo observers must see
+    // the exact epoch extents the rule consumed.
+    let adaptive = QueryPlan::parse_str(
+        r#"{"worlds": 4000, "threads": 2, "seed": 3,
+            "precision": {"epsilon": 0.08},
+            "queries": [{"type": "connectivity"},
+                        {"type": "clustering"}]}"#,
+    )
+    .unwrap();
+    let distributed = answers(coordinator.execute(&adaptive));
+    let monolithic = answers(adaptive.execute_detailed(graph.clone()));
+    assert_eq!(distributed, monolithic);
+    let used = distributed[0].worlds_used;
+    assert!(
+        used > 0 && used < 4000,
+        "expected a converged stop, used {used} worlds"
+    );
+
+    coordinator.shutdown();
+    for handle in handles {
+        handle.shutdown();
+    }
+}
+
 #[test]
 fn unsupported_and_empty_plans_resolve_typed() {
     let graph = test_graph();
@@ -132,31 +224,36 @@ fn unsupported_and_empty_plans_resolve_typed() {
     let mut coordinator =
         DistCoordinator::connect(graph.clone(), &addrs, CoordinatorConfig::default()).unwrap();
 
-    // A traversal query has no distributed aggregation path: typed error,
-    // and the count query riding alongside still answers — bit-identical to
-    // the in-process sharded run, which rejects it the same way.
+    // Pair queries have no distributed execution path (neither boundary
+    // records nor the halo exchange carry the full per-world edge stream):
+    // typed error, and the queries riding alongside still answer.
     let mixed = QueryPlan::parse_str(
         r#"{"worlds": 30, "seed": 5,
-            "queries": [{"type": "pagerank"}, {"type": "connectivity"}]}"#,
+            "queries": [{"type": "pair_queries", "pairs": [[0, 9]]},
+                        {"type": "connectivity"}]}"#,
     )
     .unwrap();
     let outcomes = coordinator.execute(&mixed);
     match &outcomes[0] {
-        Err(ServiceError::Spec(error)) => {
-            assert!(error.to_string().contains("pagerank"), "typed spec error")
+        Err(ServiceError::Policy(why)) => {
+            assert!(why.contains("pair_queries"), "typed policy error: {why}")
         }
-        other => panic!("expected a typed Unsupported error, got {other:?}"),
+        other => panic!("expected a typed Policy error, got {other:?}"),
     }
     let answer = outcomes[1].as_ref().unwrap();
     assert_eq!(answer.worlds_used, 30);
 
-    // Zero worlds: pristine finalize, no sampling job at all.
-    let empty =
-        QueryPlan::parse_str(r#"{"worlds": 0, "seed": 5, "queries": [{"type": "connectivity"}]}"#)
-            .unwrap();
+    // Zero worlds: pristine finalize, no sampling job at all — for the
+    // halo queries too.
+    let empty = QueryPlan::parse_str(
+        r#"{"worlds": 0, "seed": 5,
+            "queries": [{"type": "connectivity"}, {"type": "pagerank"}]}"#,
+    )
+    .unwrap();
     let outcomes = answers(coordinator.execute(&empty));
     assert_eq!(outcomes, answers(empty.execute_detailed(graph.clone())));
     assert_eq!(outcomes[0].worlds_used, 0);
+    assert_eq!(outcomes[1].worlds_used, 0);
 
     coordinator.shutdown();
     for handle in handles {

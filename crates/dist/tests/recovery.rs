@@ -182,6 +182,53 @@ fn adaptive_plans_recover_bit_identically_after_mid_plan_worker_death() {
 }
 
 #[test]
+fn halo_plans_recover_bit_identically_after_a_mid_superstep_worker_death() {
+    // The victim's fault clock ticks: stats (connect validation), ping
+    // (pre-plan probe), then halo exchanges — wedging at operation 6 lands
+    // the terminal disconnect inside world 0's PageRank superstep loop.
+    // The coordinator must burn the retry, promote the standby, restart
+    // the *current world* from step 0 (surviving workers restart their
+    // kernels without resampling; the standby rebuilds the session from
+    // the line identity and replays the stream), and still answer
+    // bit-identically for every halo kernel.
+    let graph = test_graph();
+    for workers in [2usize, 4] {
+        for seed in [1u64, 2] {
+            let mode = if seed % 2 == 1 { "skip" } else { "per-edge" };
+            let (handles, addrs) = doomed_fleet(&graph, workers, 1, 6);
+            let standby = shard_server(&graph, 1, workers);
+            let config = recovery_config(vec![standby.addr().to_string()]);
+            let mut coordinator = DistCoordinator::connect(graph.clone(), &addrs, config).unwrap();
+
+            let plan = QueryPlan::parse_str(&format!(
+                r#"{{"worlds": 10, "threads": 2, "mode": "{mode}", "seed": {seed},
+                    "queries": [{{"type": "pagerank", "tolerance": 0.01}},
+                                {{"type": "clustering"}},
+                                {{"type": "knn", "source": 3, "k": 5}}]}}"#
+            ))
+            .unwrap();
+            let recovered = answers(coordinator.execute(&plan));
+            let monolithic = answers(plan.execute_detailed(graph.clone()));
+            assert_eq!(
+                recovered, monolithic,
+                "halo recovered({workers} workers) vs fault-free, mode {mode}, seed {seed}"
+            );
+
+            let report = coordinator.recovery_report();
+            assert_eq!(report.failovers.len(), 1, "exactly one promotion");
+            assert_eq!(report.failovers[0].shard, 1, "the wedged shard failed over");
+            assert_eq!(report.failovers[0].to, standby.addr().to_string());
+
+            coordinator.shutdown();
+            standby.shutdown();
+            for handle in handles {
+                handle.shutdown();
+            }
+        }
+    }
+}
+
+#[test]
 fn coordinator_side_seeded_faults_leave_answers_bit_identical() {
     let graph = test_graph();
     for workers in [2usize, 4] {

@@ -166,7 +166,9 @@ pub trait WorldObserver: Send + Clone + 'static {
     /// Which world views the observer can consume (see
     /// [`ShardSupport`]).  The default is [`ShardSupport::MonolithicOnly`];
     /// observers whose accumulation is exact under a per-shard + cut
-    /// decomposition override this to [`ShardSupport::CutAware`] and
+    /// decomposition override this to [`ShardSupport::CutAware`], and
+    /// observers that are exact through the ghost-halo exchange
+    /// ([`crate::halo`]) override it to [`ShardSupport::Halo`]; both
     /// implement [`WorldObserver::observe_sharded`].
     fn shard_support(&self) -> ShardSupport {
         ShardSupport::MonolithicOnly
@@ -181,7 +183,8 @@ pub trait WorldObserver: Send + Clone + 'static {
     /// makes count-style results bit-identical across shard counts.
     ///
     /// The default implementation panics; drivers never call it unless
-    /// [`WorldObserver::shard_support`] returned [`ShardSupport::CutAware`].
+    /// [`WorldObserver::shard_support`] declared a sharded path
+    /// ([`ShardSupport::CutAware`] or [`ShardSupport::Halo`]).
     fn observe_sharded(&mut self, world: &ShardedWorld<'_>) {
         let _ = world;
         panic!("observer has no cut-aware path (shard_support() is MonolithicOnly)");
@@ -425,9 +428,9 @@ pub enum BatchError {
         index: usize,
     },
     /// The observer cannot register with this batch: the batch is sharded
-    /// ([`QueryBatch::from_sharded`]) and the observer has no cut-aware
-    /// path. Returned by [`QueryBatch::try_register`] /
-    /// [`QueryBatch::try_register_boxed`].
+    /// ([`QueryBatch::from_sharded`]) and the observer has no sharded path
+    /// (neither a cut correction nor the ghost-halo exchange). Returned by
+    /// [`QueryBatch::try_register`] / [`QueryBatch::try_register_boxed`].
     Unsupported {
         /// The observer's declared [`ShardSupport`].
         support: ShardSupport,
@@ -447,8 +450,9 @@ impl std::fmt::Display for BatchError {
             }
             BatchError::Unsupported { support } => write!(
                 f,
-                "observer has no cut-aware path and cannot register with a sharded batch \
-                 (declared {support:?}; validate the query against the shard configuration first)"
+                "observer has no sharded path (cut correction or ghost halo) and cannot \
+                 register with a sharded batch (declared {support:?}; validate the query \
+                 against the shard configuration first)"
             ),
         }
     }
@@ -503,15 +507,17 @@ impl<'g> QueryBatch<'g> {
     }
 
     /// Creates a batch over a **shard-aware** world source: every sampled
-    /// world reaches the observers as a [`ShardedWorld`] (per-shard
-    /// partials plus cut correction), so only [`ShardSupport::CutAware`]
-    /// observers can register — [`QueryBatch::register`] /
-    /// [`QueryBatch::register_boxed`] panic on any other (validate specs up
-    /// front, as `ugs-service` does, to get a typed error instead).
+    /// world reaches the observers as a [`ShardedWorld`], so only observers
+    /// with an exact sharded path — a cut correction
+    /// ([`ShardSupport::CutAware`]) or the ghost-halo exchange
+    /// ([`ShardSupport::Halo`], see [`crate::halo`]) — can register;
+    /// [`QueryBatch::register`] / [`QueryBatch::register_boxed`] panic on
+    /// any other (validate specs up front, as `ugs-service` does, to get a
+    /// typed error instead).
     ///
     /// The replay-partitioned world stream is the same as a monolithic
-    /// batch's at equal seeds, so cut-aware count observers produce
-    /// bit-identical results here and in [`QueryBatch::new`].
+    /// batch's at equal seeds, so both mechanisms produce bit-identical
+    /// results here and in [`QueryBatch::new`].
     pub fn from_sharded(
         engine: &'g ShardedWorldEngine<'g>,
         num_worlds: usize,
@@ -1423,7 +1429,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no cut-aware path")]
+    #[should_panic(expected = "no sharded path")]
     fn register_shim_still_panics_on_unsupported_observers() {
         use crate::sharded::ShardedWorldEngine;
         use uncertain_graph::GraphPartition;

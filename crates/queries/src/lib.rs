@@ -93,6 +93,7 @@ pub mod boundary;
 pub mod components;
 pub mod cv;
 pub mod engine;
+pub mod halo;
 pub mod knn;
 pub mod mc;
 pub mod node_queries;
@@ -117,6 +118,7 @@ pub use components::{
 };
 pub use cv::{ControlVariate, CvConfig, CvError, CvEstimate};
 pub use engine::{SampleMethod, WorldEngine, WorldScratch};
+pub use halo::{HaloClustering, HaloPageRank, ShardBfs, ShardPageRank, WorldPresence};
 pub use knn::{k_nearest_neighbors, knn_overlap, KnnObserver, Neighbor};
 pub use mc::MonteCarlo;
 pub use node_queries::{
@@ -146,6 +148,7 @@ pub mod prelude {
     };
     pub use crate::cv::{ControlVariate, CvConfig, CvError, CvEstimate};
     pub use crate::engine::{SampleMethod, WorldEngine, WorldScratch};
+    pub use crate::halo::{HaloClustering, HaloPageRank, ShardBfs, ShardPageRank, WorldPresence};
     pub use crate::knn::{k_nearest_neighbors, knn_overlap, KnnObserver, Neighbor};
     pub use crate::mc::MonteCarlo;
     pub use crate::node_queries::{

@@ -14,16 +14,26 @@ use uncertain_graph::UncertainGraph;
 
 use crate::batch::{QueryBatch, WorldObserver};
 use crate::engine::WorldScratch;
+use crate::halo::{HaloClustering, HaloPageRank};
 use crate::mc::MonteCarlo;
+use crate::sharded::ShardedWorld;
+use crate::source::ShardSupport;
 use graph_algos::clustering::local_clustering_coefficients;
 use graph_algos::pagerank::{pagerank, PageRankConfig};
 
 /// Observer accumulating deterministic PageRank over sampled worlds;
 /// finalises to the per-vertex expected PageRank.
+///
+/// Sharded sources are supported through the ghost-halo exchange
+/// ([`crate::halo`]): per-world ranks are bit-identical to the monolithic
+/// kernel's, so the accumulated expectation is too.
 #[derive(Debug, Clone)]
 pub struct PageRankObserver {
     config: PageRankConfig,
     totals: Vec<f64>,
+    /// Superstep scratch for sharded views (lazily sized; not part of the
+    /// accumulated state).
+    halo: HaloPageRank,
 }
 
 impl PageRankObserver {
@@ -37,7 +47,21 @@ impl PageRankObserver {
         PageRankObserver {
             config,
             totals: vec![0.0; g.num_vertices()],
+            halo: HaloPageRank::new(),
         }
+    }
+
+    /// Accumulates one world's per-vertex ranks (the seam shared by the
+    /// in-process paths and the distributed coordinator).
+    pub fn record_scores(&mut self, scores: &[f64]) {
+        for (t, p) in self.totals.iter_mut().zip(scores.iter()) {
+            *t += p;
+        }
+    }
+
+    /// The PageRank configuration this observer runs.
+    pub fn config(&self) -> PageRankConfig {
+        self.config
     }
 }
 
@@ -46,8 +70,25 @@ impl WorldObserver for PageRankObserver {
 
     fn observe(&mut self, world: &WorldScratch) {
         let pr = pagerank(world.world(), &self.config);
-        for (t, p) in self.totals.iter_mut().zip(pr.iter()) {
-            *t += p;
+        self.record_scores(&pr);
+    }
+
+    fn shard_support(&self) -> ShardSupport {
+        ShardSupport::Halo
+    }
+
+    fn observe_sharded(&mut self, world: &ShardedWorld<'_>) {
+        if world.num_shards() == 1 {
+            // Trivial partitions skip the full-graph scatter (no
+            // `all_present` list); shard 0 *is* the monolithic world.
+            let pr = pagerank(world.shard_world(0), &self.config);
+            self.record_scores(&pr);
+        } else {
+            let config = self.config;
+            let pr = self.halo.run(world, &config);
+            for (t, p) in self.totals.iter_mut().zip(pr.iter()) {
+                *t += p;
+            }
         }
     }
 
@@ -70,9 +111,16 @@ impl WorldObserver for PageRankObserver {
 
 /// Observer accumulating local clustering coefficients over sampled worlds;
 /// finalises to the per-vertex expected coefficient.
+///
+/// Sharded sources are supported through a one-shot halo materialisation
+/// per world ([`crate::halo::HaloClustering`]), bit-identical to the
+/// monolithic kernel.
 #[derive(Debug, Clone)]
 pub struct ClusteringObserver {
     totals: Vec<f64>,
+    /// Halo materialisation scratch for sharded views (lazily sized; not
+    /// part of the accumulated state).
+    halo: HaloClustering,
 }
 
 impl ClusteringObserver {
@@ -80,6 +128,15 @@ impl ClusteringObserver {
     pub fn new(g: &UncertainGraph) -> Self {
         ClusteringObserver {
             totals: vec![0.0; g.num_vertices()],
+            halo: HaloClustering::new(),
+        }
+    }
+
+    /// Accumulates one world's per-vertex coefficients (the seam shared by
+    /// the in-process paths and the distributed coordinator).
+    pub fn record_coefficients(&mut self, coefficients: &[f64]) {
+        for (t, c) in self.totals.iter_mut().zip(coefficients.iter()) {
+            *t += c;
         }
     }
 }
@@ -89,8 +146,23 @@ impl WorldObserver for ClusteringObserver {
 
     fn observe(&mut self, world: &WorldScratch) {
         let cc = local_clustering_coefficients(world.world());
-        for (t, c) in self.totals.iter_mut().zip(cc.iter()) {
-            *t += c;
+        self.record_coefficients(&cc);
+    }
+
+    fn shard_support(&self) -> ShardSupport {
+        ShardSupport::Halo
+    }
+
+    fn observe_sharded(&mut self, world: &ShardedWorld<'_>) {
+        if world.num_shards() == 1 {
+            // See `PageRankObserver::observe_sharded`.
+            let cc = local_clustering_coefficients(world.shard_world(0));
+            self.record_coefficients(&cc);
+        } else {
+            let cc = self.halo.run(world);
+            for (t, c) in self.totals.iter_mut().zip(cc.iter()) {
+                *t += c;
+            }
         }
     }
 

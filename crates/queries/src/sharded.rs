@@ -39,8 +39,12 @@
 //! Steady-state sampling is allocation-free in both modes (guarded by the
 //! counting-allocator proof in `crates/bench/tests/zero_alloc.rs`).
 
+use std::sync::OnceLock;
+
 use rand::Rng;
-use uncertain_graph::{GraphPartition, SkipSampler, UncertainGraph, VertexId, WorldSampler};
+use uncertain_graph::{
+    GraphPartition, HaloPlan, SkipSampler, UncertainGraph, VertexId, WorldSampler,
+};
 
 use graph_algos::dsu::UnionFind;
 use graph_algos::traversal::connected_components;
@@ -92,6 +96,9 @@ pub struct ShardedWorldEngine<'g> {
     templates: Vec<WorldTemplate>,
     /// `global edge id -> scatter class`.
     class: Vec<EdgeClass>,
+    /// Lazily built ghost-halo replication plan (shared by every
+    /// halo-capable observer; see [`crate::halo`]).
+    halo: OnceLock<HaloPlan>,
 }
 
 impl<'g> ShardedWorldEngine<'g> {
@@ -130,6 +137,7 @@ impl<'g> ShardedWorldEngine<'g> {
             method: SampleMethod::Auto,
             templates,
             class,
+            halo: OnceLock::new(),
         }
     }
 
@@ -189,6 +197,7 @@ impl<'g> ShardedWorldEngine<'g> {
             method: SampleMethod::Auto,
             templates,
             class,
+            halo: OnceLock::new(),
         }
     }
 
@@ -207,6 +216,13 @@ impl<'g> ShardedWorldEngine<'g> {
     /// The partition this engine scatters into.
     pub fn partition(&self) -> &'g GraphPartition {
         self.partition
+    }
+
+    /// The ghost-halo replication plan for this partition, built on first
+    /// use and shared thereafter (see [`crate::halo`]).
+    pub fn halo_plan(&self) -> &HaloPlan {
+        self.halo
+            .get_or_init(|| HaloPlan::new(self.graph, self.partition))
     }
 
     /// The method the engine will actually use: [`SampleMethod::Auto`]
@@ -304,6 +320,34 @@ impl<'g> ShardedWorldEngine<'g> {
             .world
             .materialize_from_endpoints(template.num_vertices(), &scratch.endpoints);
         &scratch.world
+    }
+
+    /// Advances the shared world stream by one world without materialising
+    /// anything.  Consumes the RNG exactly like [`Self::sample_shard_world`]
+    /// (one presence pass over the edge stream), so a worker that joins at
+    /// world `w` can replay worlds `0..w` cheaply and stay in lockstep with
+    /// the rest of the fleet.  The scratch's materialised world becomes
+    /// stale; call [`Self::sample_shard_world`] before reading it again.
+    pub fn advance_shard_world<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut ShardScratch) {
+        if self.is_trivial() {
+            self.sample_present(rng, &mut scratch.present);
+        } else {
+            self.sample_present(rng, &mut scratch.all_present);
+        }
+    }
+
+    /// The **global** edge ids present in the whole current world, regardless
+    /// of partition arity.  On a non-trivial partition this is the scratch's
+    /// [`ShardScratch::all_present`] list; on a trivial (1-shard) partition
+    /// the scatter pass is skipped and samples land straight in the local
+    /// present list, whose local ids equal global ids — so both arms return
+    /// the same ascending global stream the monolithic engine would sample.
+    pub fn world_edges<'s>(&self, scratch: &'s ShardScratch) -> &'s [u32] {
+        if self.is_trivial() {
+            &scratch.present
+        } else {
+            &scratch.all_present
+        }
     }
 
     /// Fills the all-shard scratch for the current world.
@@ -475,6 +519,13 @@ impl ShardScratch {
     pub fn present_cuts(&self) -> &[u32] {
         &self.present_cuts
     }
+
+    /// Present **global** edge ids of the most recent world (the replayed
+    /// full-graph outcome).  Empty on trivial (1-shard) partitions, which
+    /// skip the scatter pass — see [`ShardedWorld::all_present`].
+    pub fn all_present(&self) -> &[u32] {
+        &self.all_present
+    }
 }
 
 /// A borrowed view of one sampled world, decomposed by the partition: the
@@ -486,9 +537,30 @@ pub struct ShardedWorld<'a> {
 }
 
 impl<'a> ShardedWorld<'a> {
+    /// The parent uncertain graph.
+    pub fn graph(&self) -> &'a UncertainGraph {
+        self.engine.graph
+    }
+
     /// The partition the world is decomposed by.
     pub fn partition(&self) -> &'a GraphPartition {
         self.engine.partition
+    }
+
+    /// The engine's ghost-halo replication plan (built on first use).
+    pub fn halo_plan(&self) -> &'a HaloPlan {
+        self.engine.halo_plan()
+    }
+
+    /// Present **global** edge ids of this world — the replayed full-graph
+    /// outcome the scatter pass decomposed.
+    ///
+    /// Only filled on multi-shard partitions: a trivial (1-shard) engine
+    /// samples straight into shard 0's present list and leaves this empty,
+    /// which is why halo consumers must short-circuit 1-shard views to the
+    /// monolithic kernel over [`ShardedWorld::shard_world`]`(0)`.
+    pub fn all_present(&self) -> &'a [u32] {
+        &self.scratch.all_present
     }
 
     /// Number of shards.
@@ -756,6 +828,37 @@ mod tests {
                 rng_advance.gen::<u64>(),
                 "{method:?}"
             );
+        }
+    }
+
+    #[test]
+    fn shard_world_advance_and_world_edges_replay_the_monolithic_stream() {
+        let g = toy();
+        for method in [SampleMethod::Skip, SampleMethod::PerEdge] {
+            let reference = monolithic_present(&g, method, 23, 60);
+            for shards in [1usize, 2, 3] {
+                let partition = GraphPartition::contiguous(&g, shards).unwrap();
+                let engine = ShardedWorldEngine::for_shard(&g, &partition, 0).with_method(method);
+                let mut sampled = engine.make_shard_scratch(0);
+                let mut advanced = engine.make_shard_scratch(0);
+                let mut rng_sample = SmallRng::seed_from_u64(23);
+                let mut rng_advance = SmallRng::seed_from_u64(23);
+                for expected in &reference {
+                    engine.sample_shard_world(&mut rng_sample, &mut sampled);
+                    engine.advance_shard_world(&mut rng_advance, &mut advanced);
+                    assert_eq!(
+                        engine.world_edges(&sampled),
+                        expected.as_slice(),
+                        "{method:?} shards={shards}"
+                    );
+                }
+                // Advancing consumed the RNG exactly like sampling did.
+                assert_eq!(
+                    rng_sample.gen::<u64>(),
+                    rng_advance.gen::<u64>(),
+                    "{method:?} shards={shards}"
+                );
+            }
         }
     }
 

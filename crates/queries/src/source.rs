@@ -22,9 +22,14 @@
 //!
 //! Observers declare which views they can consume through
 //! [`crate::batch::WorldObserver::shard_support`]; drivers check
-//! [`WorldSource::admits`] before accepting an observer, so a query without
-//! a cut correction (PageRank, k-NN) is rejected up front rather than
-//! silently answered wrong.
+//! [`WorldSource::admits`] before accepting an observer, so an observer
+//! without any exact sharded path is rejected up front rather than silently
+//! answered wrong.  Two exact mechanisms exist: a **cut correction**
+//! ([`ShardSupport::CutAware`] — per-shard partials glued across the
+//! sampled cut edges, used by count-style queries) and the **ghost-halo
+//! exchange** ([`ShardSupport::Halo`] — replicate cut endpoints into every
+//! shard and run superstep kernels, used by PageRank, clustering and k-NN;
+//! see [`crate::halo`]).
 //!
 //! # Example
 //!
@@ -82,6 +87,12 @@ pub enum ShardSupport {
     /// of per-shard partials and boundary correction is exact, so it can
     /// consume either view.
     CutAware,
+    /// The observer's sharded path is exact through the ghost-halo exchange
+    /// ([`crate::halo`]): cut endpoints (and the present edges among them)
+    /// are replicated into every shard and the kernel runs as supersteps
+    /// with boundary-value exchange.  Like [`ShardSupport::CutAware`], it
+    /// can consume either view.
+    Halo,
 }
 
 /// One sampled possible world, in whatever representation the source
@@ -119,7 +130,8 @@ pub trait WorldSource: Sync {
     /// Whether an observer with the given [`ShardSupport`] can consume this
     /// source's views.
     fn admits(&self, support: ShardSupport) -> bool {
-        !self.produces_sharded_views() || support == ShardSupport::CutAware
+        !self.produces_sharded_views()
+            || matches!(support, ShardSupport::CutAware | ShardSupport::Halo)
     }
 
     /// Advances the RNG past one world without materialising it, consuming

@@ -307,12 +307,150 @@ fn zero_world_sharded_batches_finalise_empty() {
     assert_eq!(results.take(handle), vec![0.0; g.num_edges()]);
 }
 
+/// A probe with no sharded path at all (the built-in observers now all
+/// have one — cut correction or ghost halo — so the rejection seam needs a
+/// dedicated monolithic-only observer to stay covered).
+#[derive(Debug, Clone)]
+struct MonolithicProbe;
+
+impl WorldObserver for MonolithicProbe {
+    type Output = ();
+
+    fn observe(&mut self, _world: &WorldScratch) {}
+
+    fn merge(&mut self, _other: Self) {}
+
+    fn finalize(self, _num_worlds: usize) {}
+}
+
 #[test]
-#[should_panic(expected = "no cut-aware path")]
+#[should_panic(expected = "no sharded path")]
 fn monolithic_only_observers_cannot_register_with_a_sharded_batch() {
     let g = fixture();
     let partition = GraphPartition::contiguous(&g, 2).unwrap();
     let engine = ShardedWorldEngine::new(&g, &partition);
     let mut batch = QueryBatch::from_sharded(&engine, 10, 1);
-    let _ = batch.register(PageRankObserver::new(&g));
+    let _ = batch.register(MonolithicProbe);
+}
+
+// ---------------------------------------------------------------------------
+// Halo kernels: PageRank, clustering coefficients, k-NN.
+// ---------------------------------------------------------------------------
+
+/// The halo grid from the issue: {Skip, PerEdge} × 3 seeds × shards
+/// {1, 2, 4} × threads {1, 2, 4}.  (`Auto` resolves to one of the two
+/// explicit modes, so it adds no new code path here.)
+const HALO_MODES: [SampleMethod; 2] = [SampleMethod::Skip, SampleMethod::PerEdge];
+const HALO_WORLDS: usize = 120;
+
+struct HaloResults {
+    pagerank: Vec<f64>,
+    clustering: Vec<f64>,
+    knn: Vec<Neighbor>,
+}
+
+const KNN_SOURCE: usize = 7;
+const KNN_K: usize = 10;
+
+fn run_halo_monolithic(
+    g: &UncertainGraph,
+    mode: SampleMethod,
+    threads: usize,
+    seed: u64,
+) -> HaloResults {
+    let mc = MonteCarlo::worlds(HALO_WORLDS)
+        .with_method(mode)
+        .with_threads(threads);
+    let mut batch = QueryBatch::new(g, &mc);
+    let h_pr = batch.register(PageRankObserver::new(g));
+    let h_cc = batch.register(ClusteringObserver::new(g));
+    let h_knn = batch.register(KnnObserver::new(g, KNN_SOURCE, KNN_K));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut results = batch.run(&mut rng);
+    HaloResults {
+        pagerank: results.take(h_pr),
+        clustering: results.take(h_cc),
+        knn: results.take(h_knn),
+    }
+}
+
+fn run_halo_sharded(
+    g: &UncertainGraph,
+    partition: &GraphPartition,
+    mode: SampleMethod,
+    threads: usize,
+    seed: u64,
+) -> HaloResults {
+    let engine = ShardedWorldEngine::new(g, partition).with_method(mode);
+    let mut batch = QueryBatch::from_sharded(&engine, HALO_WORLDS, threads);
+    let h_pr = batch.register(PageRankObserver::new(g));
+    let h_cc = batch.register(ClusteringObserver::new(g));
+    let h_knn = batch.register(KnnObserver::new(g, KNN_SOURCE, KNN_K));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut results = batch.run(&mut rng);
+    HaloResults {
+        pagerank: results.take(h_pr),
+        clustering: results.take(h_cc),
+        knn: results.take(h_knn),
+    }
+}
+
+fn assert_halo_results_eq(a: &HaloResults, b: &HaloResults, context: &str) {
+    assert_bits_eq(&a.pagerank, &b.pagerank, "pagerank", context);
+    assert_bits_eq(&a.clustering, &b.clustering, "clustering", context);
+    assert_eq!(a.knn.len(), b.knn.len(), "knn length ({context})");
+    for (i, (x, y)) in a.knn.iter().zip(b.knn.iter()).enumerate() {
+        assert_eq!(x.vertex, y.vertex, "knn[{i}].vertex ({context})");
+        assert_eq!(
+            x.expected_distance.to_bits(),
+            y.expected_distance.to_bits(),
+            "knn[{i}].expected_distance ({context})"
+        );
+        assert_eq!(
+            x.reachability.to_bits(),
+            y.reachability.to_bits(),
+            "knn[{i}].reachability ({context})"
+        );
+    }
+}
+
+#[test]
+fn halo_observers_are_bit_identical_over_the_grid() {
+    let g = fixture();
+    for mode in HALO_MODES {
+        for seed in SEEDS {
+            for threads in THREADS {
+                let monolithic = run_halo_monolithic(&g, mode, threads, seed);
+                for shards in SHARDS {
+                    let partition = GraphPartition::contiguous(&g, shards).unwrap();
+                    let sharded = run_halo_sharded(&g, &partition, mode, threads, seed);
+                    assert_halo_results_eq(
+                        &monolithic,
+                        &sharded,
+                        &format!("{mode:?} seed={seed} threads={threads} shards={shards}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn halo_parity_holds_for_arbitrary_labellings() {
+    // Interleaved labels maximise the cut and produce non-contiguous
+    // shards, so ghost/push index remapping is exercised hard.
+    let g = fixture();
+    let labels: Vec<usize> = (0..g.num_vertices()).map(|v| v % 3).collect();
+    let partition = GraphPartition::from_labels(&g, &labels, 3).unwrap();
+    for mode in HALO_MODES {
+        for seed in SEEDS {
+            let monolithic = run_halo_monolithic(&g, mode, 2, seed);
+            let sharded = run_halo_sharded(&g, &partition, mode, 2, seed);
+            assert_halo_results_eq(
+                &monolithic,
+                &sharded,
+                &format!("interleaved {mode:?} seed={seed}"),
+            );
+        }
+    }
 }

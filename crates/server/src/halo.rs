@@ -1,0 +1,500 @@
+//! Worker half of the `halo` wire op: connection-local ghost-halo exchange
+//! sessions driving PageRank, clustering, and BFS supersteps over the
+//! shard this server owns.
+//!
+//! A session is plain data — no background thread.  Each request line
+//! carries the full session identity (token, shard role, replay seed and
+//! mode, kernel), so a freshly promoted standby rebuilds the session from
+//! whatever line arrives first: it replays the shared world stream up to
+//! the named world (`advance` consumes the RNG without materialising
+//! anything) and re-initialises the kernel.  Supersteps are restartable —
+//! `step 0` on the current world resets the kernel *without* resampling,
+//! which is how the coordinator recovers a world after a mid-superstep
+//! worker loss.
+//!
+//! Values cross the wire as IEEE-754 bit strings
+//! ([`ugs_queries::halo::f64_to_hex`]), so the exchange adds no rounding:
+//! the distributed kernels stay bit-identical to the monolithic ones (see
+//! [`ugs_queries::halo`] for the iteration-equivalence argument).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use graph_algos::clustering::local_clustering_coefficients;
+use graph_algos::DeterministicGraph;
+use minijson::Value;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ugs_queries::halo::{
+    dangling_mass, decode_level, decode_rank, encode_level, encode_rank, f64_to_hex, ShardBfs,
+    ShardPageRank, WorldPresence,
+};
+use ugs_queries::sharded::{ShardScratch, ShardedWorldEngine};
+use ugs_queries::SampleMethod;
+use uncertain_graph::{GraphPartition, UncertainGraph, NOT_IN_HALO};
+
+use crate::protocol::{
+    error_line, finish_ok, ok_builder, ErrorCode, HaloKernel, HaloPhase, HaloRequest, RequestError,
+};
+
+/// What the connection hands the halo dispatcher: the served graph, the
+/// worker's shard role, the per-connection session budget, and the
+/// server-wide live-session gauge.
+pub(crate) struct HaloEnv<'g> {
+    pub graph: &'g UncertainGraph,
+    pub partition: &'g GraphPartition,
+    pub shard: usize,
+    pub shards: usize,
+    pub budget: usize,
+    pub gauge: &'g AtomicUsize,
+}
+
+/// Kernel-specific superstep state of one session.
+enum Kernel {
+    PageRank {
+        damping: f64,
+        state: ShardPageRank,
+        /// The shared dangling rank: `1/n` at iteration 0, the previous
+        /// iteration's `base` thereafter (see [`ugs_queries::halo`]).
+        rank_d: f64,
+        step: usize,
+    },
+    Clustering {
+        /// Owned coefficients of the current world, computed lazily on the
+        /// first `collect`.
+        coefficients: Option<Vec<f64>>,
+    },
+    Bfs {
+        state: ShardBfs,
+        step: usize,
+    },
+}
+
+/// One live ghost-halo exchange session (connection-local, keyed by the
+/// request's job token).
+pub(crate) struct HaloSession<'g> {
+    engine: ShardedWorldEngine<'g>,
+    scratch: ShardScratch,
+    presence: WorldPresence,
+    rng: SmallRng,
+    shard: usize,
+    seed: u64,
+    mode: SampleMethod,
+    kernel_id: HaloKernel,
+    /// Worlds consumed from the replay stream; the current world is
+    /// `sampled - 1` once positive.
+    sampled: usize,
+    kernel: Kernel,
+    /// Rendered entries of the last superstep's report, kept for `page`.
+    report: Vec<String>,
+}
+
+impl<'g> HaloSession<'g> {
+    fn new(request: &HaloRequest, env: &HaloEnv<'g>) -> Self {
+        let engine = ShardedWorldEngine::for_shard(env.graph, env.partition, env.shard)
+            .with_method(request.mode);
+        let scratch = engine.make_shard_scratch(env.shard);
+        let kernel = match &request.kernel {
+            HaloKernel::PageRank { damping } => Kernel::PageRank {
+                damping: *damping,
+                state: ShardPageRank::new(engine.halo_plan().shard(env.shard)),
+                rank_d: 0.0,
+                step: 0,
+            },
+            HaloKernel::Clustering => Kernel::Clustering { coefficients: None },
+            // The source vertex lives in the identity (`kernel_id`); the
+            // coordinator routes the seed settlement through step 0.
+            HaloKernel::Bfs { .. } => Kernel::Bfs {
+                state: ShardBfs::new(),
+                step: 0,
+            },
+        };
+        HaloSession {
+            presence: WorldPresence::new(env.graph),
+            rng: SmallRng::seed_from_u64(request.seed),
+            shard: env.shard,
+            seed: request.seed,
+            mode: request.mode,
+            kernel_id: request.kernel.clone(),
+            sampled: 0,
+            kernel,
+            report: Vec::new(),
+            scratch,
+            engine,
+        }
+    }
+
+    /// Whether the session already runs exactly this request's identity.
+    fn matches(&self, request: &HaloRequest) -> bool {
+        self.seed == request.seed && self.mode == request.mode && self.kernel_id == request.kernel
+    }
+
+    /// Whether the kernel has run past its initial state on the current
+    /// world (a step-0 request then means "restart this world").
+    fn kernel_started(&self) -> bool {
+        match &self.kernel {
+            Kernel::PageRank { step, .. } | Kernel::Bfs { step, .. } => *step > 0,
+            Kernel::Clustering { coefficients } => coefficients.is_some(),
+        }
+    }
+
+    /// Resets the kernel for the current (already sampled) world.
+    fn init_kernel(&mut self) {
+        let halo = self.engine.halo_plan().shard(self.shard);
+        let n = self.engine.graph().num_vertices();
+        match &mut self.kernel {
+            Kernel::PageRank {
+                state,
+                rank_d,
+                step,
+                ..
+            } => {
+                let uniform = 1.0 / n as f64;
+                state.reset(uniform);
+                *rank_d = uniform;
+                *step = 0;
+            }
+            Kernel::Clustering { coefficients } => *coefficients = None,
+            Kernel::Bfs { state, step, .. } => {
+                state.reset(halo);
+                *step = 0;
+            }
+        }
+        self.report.clear();
+    }
+
+    /// Moves the session to `request.world`: replays skipped worlds, samples
+    /// the target, stamps presence, and (re-)initialises the kernel.  On the
+    /// current world, a step-0 request restarts the kernel *without*
+    /// resampling — the failover recovery path.
+    fn ensure_world(&mut self, request: &HaloRequest) -> Result<(), RequestError> {
+        let target = request.world;
+        if self.sampled == 0 || target >= self.sampled {
+            while self.sampled < target {
+                self.engine
+                    .advance_shard_world(&mut self.rng, &mut self.scratch);
+                self.sampled += 1;
+            }
+            self.engine
+                .sample_shard_world(&mut self.rng, &mut self.scratch);
+            self.sampled = target + 1;
+            self.presence
+                .stamp(self.engine.graph(), self.engine.world_edges(&self.scratch));
+            self.init_kernel();
+        } else if target + 1 == self.sampled {
+            if matches!(request.phase, HaloPhase::Step { step: 0, .. }) && self.kernel_started() {
+                self.init_kernel();
+            }
+        } else {
+            return Err((
+                ErrorCode::BadRequest,
+                format!(
+                    "halo worlds are monotone: the session is at world {}, the request names world {target}",
+                    self.sampled - 1
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, request: &HaloRequest) -> Result<String, RequestError> {
+        self.ensure_world(request)?;
+        match &request.phase {
+            HaloPhase::Feed { values } => self.feed(request, values),
+            HaloPhase::Step { step, acc, values } => self.step(request, *step, *acc, values),
+            HaloPhase::Page { from, max } => Ok(self.page_response(request, *from, *max)),
+            HaloPhase::Collect { from, max } => self.collect(request, *from, *max),
+        }
+    }
+
+    /// Installs exchanged ghost ranks (global-id addressed) for the next
+    /// PageRank superstep.
+    fn feed(&mut self, request: &HaloRequest, values: &[String]) -> Result<String, RequestError> {
+        let halo = self.engine.halo_plan().shard(self.shard);
+        let Kernel::PageRank { state, .. } = &mut self.kernel else {
+            return Err((
+                ErrorCode::BadRequest,
+                format!(
+                    "a {} halo kernel exchanges no ghost ranks; feed applies to pagerank only",
+                    self.kernel_id.type_name()
+                ),
+            ));
+        };
+        for entry in values {
+            let (gid, rank) = decode_rank(entry).map_err(|error| (ErrorCode::BadRequest, error))?;
+            let halo_local = halo.halo_index(gid as usize);
+            if halo_local == NOT_IN_HALO || (halo_local as usize) < halo.owned() {
+                return Err((
+                    ErrorCode::BadRequest,
+                    format!("vertex {gid} is not a ghost of shard {}", self.shard),
+                ));
+            }
+            state.set_halo_rank(halo_local as usize, rank);
+        }
+        Ok(finish_ok(
+            ok_builder()
+                .field("job", request.job.as_str())
+                .field("world", request.world)
+                .field("fed", values.len()),
+        ))
+    }
+
+    fn step(
+        &mut self,
+        request: &HaloRequest,
+        step: usize,
+        acc: Option<f64>,
+        values: &[String],
+    ) -> Result<String, RequestError> {
+        let halo = self.engine.halo_plan().shard(self.shard);
+        let n = self.engine.graph().num_vertices();
+        let partition = self.engine.partition();
+        match &mut self.kernel {
+            Kernel::PageRank {
+                damping,
+                state,
+                rank_d,
+                step: at,
+            } => {
+                if step != *at {
+                    return Err((
+                        ErrorCode::BadRequest,
+                        format!("pagerank session is at step {at}, the request names step {step}"),
+                    ));
+                }
+                let Some(acc) = acc else {
+                    return Err((
+                        ErrorCode::BadRequest,
+                        "a pagerank step threads the delta accumulator: field \"acc\" is required"
+                            .to_string(),
+                    ));
+                };
+                if !values.is_empty() {
+                    return Err((
+                        ErrorCode::BadRequest,
+                        "a pagerank step carries no settlements; exchange ranks via feed"
+                            .to_string(),
+                    ));
+                }
+                let uniform = 1.0 / n as f64;
+                let mass = dangling_mass(*rank_d, self.presence.dangling());
+                let base = (1.0 - *damping) * uniform + *damping * mass * uniform;
+                state.superstep(halo, &self.presence, *damping, base);
+                let acc_out = state.fold_delta(acc);
+                state.commit();
+                *rank_d = base;
+                *at += 1;
+                self.report.clear();
+                for &gv in halo.boundary() {
+                    let local = halo.halo_index(gv) as usize;
+                    self.report
+                        .push(encode_rank(gv as u32, state.owned_ranks()[local]));
+                }
+                let mut builder = ok_builder()
+                    .field("job", request.job.as_str())
+                    .field("world", request.world)
+                    .field("step", step)
+                    .field("acc", f64_to_hex(acc_out));
+                builder = page_fields(
+                    builder,
+                    &self.report,
+                    0,
+                    crate::protocol::DEFAULT_BOUNDARY_PAGE,
+                );
+                Ok(finish_ok(builder))
+            }
+            Kernel::Bfs {
+                state, step: at, ..
+            } => {
+                if step != *at {
+                    return Err((
+                        ErrorCode::BadRequest,
+                        format!("bfs session is at step {at}, the request names step {step}"),
+                    ));
+                }
+                if acc.is_some() {
+                    return Err((
+                        ErrorCode::BadRequest,
+                        "a bfs step threads no accumulator; field \"acc\" applies to pagerank"
+                            .to_string(),
+                    ));
+                }
+                for entry in values {
+                    let (gid, level) =
+                        decode_level(entry).map_err(|error| (ErrorCode::BadRequest, error))?;
+                    let halo_local = halo.halo_index(gid as usize);
+                    if halo_local == NOT_IN_HALO || (halo_local as usize) >= halo.owned() {
+                        return Err((
+                            ErrorCode::BadRequest,
+                            format!(
+                                "vertex {gid} is not owned by shard {}; settlements route to owners",
+                                self.shard
+                            ),
+                        ));
+                    }
+                    state.absorb(halo_local, level);
+                }
+                let mut settled: Vec<(u32, u32)> = Vec::new();
+                state.expand(halo, &self.presence, step as u32, &mut settled);
+                *at += 1;
+                self.report.clear();
+                for (halo_local, level) in settled {
+                    let gid = if (halo_local as usize) < halo.owned() {
+                        partition
+                            .shard(self.shard)
+                            .global_vertex(halo_local as usize) as u32
+                    } else {
+                        halo.ghosts()[halo_local as usize - halo.owned()] as u32
+                    };
+                    self.report.push(encode_level(gid, level));
+                }
+                let mut builder = ok_builder()
+                    .field("job", request.job.as_str())
+                    .field("world", request.world)
+                    .field("step", step);
+                builder = page_fields(
+                    builder,
+                    &self.report,
+                    0,
+                    crate::protocol::DEFAULT_BOUNDARY_PAGE,
+                );
+                Ok(finish_ok(builder))
+            }
+            Kernel::Clustering { .. } => Err((
+                ErrorCode::BadRequest,
+                "clustering is a pure collect kernel; it runs no supersteps".to_string(),
+            )),
+        }
+    }
+
+    /// Re-reads a page of the last superstep's report (idempotent).
+    fn page_response(&self, request: &HaloRequest, from: usize, max: usize) -> String {
+        let mut builder = ok_builder()
+            .field("job", request.job.as_str())
+            .field("world", request.world);
+        builder = page_fields(builder, &self.report, from, max);
+        finish_ok(builder)
+    }
+
+    /// Pages the owned final values of the current world.
+    fn collect(
+        &mut self,
+        request: &HaloRequest,
+        from: usize,
+        max: usize,
+    ) -> Result<String, RequestError> {
+        let halo = self.engine.halo_plan().shard(self.shard);
+        let presence = &self.presence;
+        let owned: Vec<String> = match &mut self.kernel {
+            Kernel::PageRank { state, .. } => {
+                state.owned_ranks().iter().map(|&r| f64_to_hex(r)).collect()
+            }
+            Kernel::Clustering { coefficients } => {
+                let cc = coefficients.get_or_insert_with(|| {
+                    // One-shot halo materialisation: filter the halo edge
+                    // set by world presence, run the monolithic kernel on
+                    // the halo world, keep the owned coefficients.
+                    let endpoints: Vec<(u32, u32)> = halo
+                        .halo_edges()
+                        .iter()
+                        .filter(|&&(_, _, e)| presence.edge_present(e))
+                        .map(|&(a, b, _)| (a, b))
+                        .collect();
+                    let mut world = DeterministicGraph::from_edges(0, &[]);
+                    world.materialize_from_endpoints(halo.halo_len(), &endpoints);
+                    let mut cc = local_clustering_coefficients(&world);
+                    cc.truncate(halo.owned());
+                    cc
+                });
+                cc.iter().map(|&c| f64_to_hex(c)).collect()
+            }
+            Kernel::Bfs { .. } => {
+                return Err((
+                    ErrorCode::BadRequest,
+                    "a bfs session reports settlements in step responses; nothing to collect"
+                        .to_string(),
+                ))
+            }
+        };
+        let mut builder = ok_builder()
+            .field("job", request.job.as_str())
+            .field("world", request.world);
+        builder = page_fields(builder, &owned, from, max);
+        Ok(finish_ok(builder))
+    }
+}
+
+/// Appends the standard paging fields: the requested window of `entries`
+/// plus the total count (so the reader knows whether to page on).
+fn page_fields(
+    builder: minijson::ObjBuilder,
+    entries: &[String],
+    from: usize,
+    max: usize,
+) -> minijson::ObjBuilder {
+    let end = from.saturating_add(max.max(1)).min(entries.len());
+    let window = entries.get(from..end).unwrap_or(&[]);
+    builder
+        .field("from", from)
+        .field("total", entries.len())
+        .field(
+            "values",
+            Value::Arr(window.iter().cloned().map(Value::Str).collect()),
+        )
+}
+
+/// Dispatches one `halo` request against the connection's session map.
+/// Identity mismatches under a live token replace the session (the
+/// coordinator reuses tokens across plans); a kernel panic drops the
+/// session and answers a typed `internal` error.
+pub(crate) fn handle<'g>(
+    request: HaloRequest,
+    env: &HaloEnv<'g>,
+    sessions: &mut HashMap<String, HaloSession<'g>>,
+) -> String {
+    if request.shard != env.shard || request.shards != env.shards {
+        return error_line(
+            ErrorCode::BadRequest,
+            &format!(
+                "halo names shard {}/{} but this worker serves shard {}/{}",
+                request.shard, request.shards, env.shard, env.shards
+            ),
+        );
+    }
+    let fresh = match sessions.get(&request.job) {
+        Some(session) => !session.matches(&request),
+        None => true,
+    };
+    if fresh {
+        if !sessions.contains_key(&request.job) && sessions.len() >= env.budget {
+            return error_line(
+                ErrorCode::OverBudget,
+                &format!(
+                    "this connection already holds {} halo sessions (budget {})",
+                    sessions.len(),
+                    env.budget
+                ),
+            );
+        }
+        let session = HaloSession::new(&request, env);
+        if sessions.insert(request.job.clone(), session).is_none() {
+            env.gauge.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    let session = sessions
+        .get_mut(&request.job)
+        .expect("session inserted above");
+    match catch_unwind(AssertUnwindSafe(|| session.apply(&request))) {
+        Ok(Ok(response)) => response,
+        Ok(Err((code, message))) => error_line(code, &message),
+        Err(_) => {
+            sessions.remove(&request.job);
+            env.gauge.fetch_sub(1, Ordering::SeqCst);
+            error_line(
+                ErrorCode::Internal,
+                "the halo kernel panicked; the session was dropped",
+            )
+        }
+    }
+}

@@ -25,6 +25,10 @@
 //! | `{"op": "shard_submit", "job": "t", "shard": K, "shards": W, "worlds": N, "seed": "S", "mode": "skip"}` | `{"status": "ok", "job": "t", "accepted": true, "pos": P, "target": N}` (worker mode only) |
 //! | `{"op": "boundary", "job": "t", "from": F, "max": M}` | `{"status": "ok", "job": "t", "from": F, "records": ["…", …], "pos": P, "target": N}` |
 //! | `{"op": "shard_result", "job": "t"}` | `{"status": "ok", "job": "t", "done": false, "pos": P, "target": N}` or `{"status": "ok", "job": "t", "done": true, "worlds": N, "hist": […], "intra": […]}` |
+//! | `{"op": "halo", "job": "t", "shard": K, "shards": W, "seed": "S", "mode": "skip", "kernel": {…}, "world": N, "phase": "feed", "values": ["gid:hex", …]}` | `{"status": "ok", "job": "t", "world": N, "fed": F}` (worker mode only) |
+//! | `{"op": "halo", …, "phase": "step", "step": T, "acc": "hex", "values": […]}` | `{"status": "ok", "job": "t", "world": N, "step": T, ("acc": "hex",) "from": 0, "total": C, "values": […]}` |
+//! | `{"op": "halo", …, "phase": "page", "from": F, "max": M}` | `{"status": "ok", "job": "t", "world": N, "from": F, "total": C, "values": […]}` |
+//! | `{"op": "halo", …, "phase": "collect", "from": F, "max": M}` | `{"status": "ok", "job": "t", "world": N, "from": F, "total": C, "values": […]}` |
 //!
 //! The `plan` document is a [`ugs_service::QueryPlan`] **without** a
 //! `graph` field (the server owns its graph): `worlds`, `threads`,
@@ -53,6 +57,31 @@
 //! Shard jobs are scoped to their connection and bounded by the same
 //! [`ServerConfig::max_inflight`] budget; when the connection closes, its
 //! sampler threads are stopped and joined.
+//!
+//! ## Ghost-halo exchange (`halo`)
+//!
+//! Neighbourhood queries (PageRank, clustering coefficients, the BFS core
+//! of k-NN) cannot be answered from boundary records alone; a worker runs
+//! them through connection-local **halo sessions** instead.  Every `halo`
+//! line carries the full session identity — job token, shard role, replay
+//! `seed`/`mode` (decimal-string seed, as above), and a `kernel` object
+//! (`{"type": "pagerank", "damping": "<16 hex digits>"}` with the damping
+//! factor as IEEE-754 bits, `{"type": "clustering"}`, or `{"type": "bfs",
+//! "source": V}`) — so a freshly promoted standby rebuilds the session
+//! from whatever line arrives first, replaying the shared world stream up
+//! to the named `world`.  A world then runs as supersteps: `feed` installs
+//! exchanged ghost ranks (`"gid:hex"` entries), `step T` runs one
+//! superstep (PageRank threads the convergence accumulator `acc` through
+//! shards and reports its boundary ranks; BFS absorbs routed `"gid:level"`
+//! settlements and reports the newly settled vertices), `page` re-reads a
+//! step report window idempotently, and `collect` pages the owned final
+//! values (for clustering, `collect` triggers the one-shot halo
+//! computation).  **`step 0` on the current world restarts its kernel
+//! without resampling** — the coordinator's recovery move after a
+//! mid-superstep worker loss.  All values cross the wire as f64 bit
+//! patterns, so distributed results stay bit-identical to the monolithic
+//! engine.  Sessions are plain connection-local data bounded by the same
+//! [`ServerConfig::max_inflight`] budget and die with their connection.
 //!
 //! ## Coordinator failure model
 //!
@@ -126,6 +155,7 @@
 pub mod cache;
 pub mod client;
 pub mod fault;
+mod halo;
 mod line;
 pub mod protocol;
 pub mod server;

@@ -7,6 +7,7 @@
 //! the connection.
 
 use minijson::{ObjBuilder, Value};
+use ugs_queries::halo::f64_from_hex;
 use ugs_queries::SampleMethod;
 use ugs_service::{parse_mode, QueryPlan};
 
@@ -114,6 +115,12 @@ pub enum Request {
         /// Job token named by the `shard_submit` that started the job.
         job: String,
     },
+    /// `{"op": "halo", "job": "t", "shard": K, "shards": W, "seed": "S",
+    /// "mode": "skip", "kernel": {...}, "world": N, "phase": "...", ...}` —
+    /// one superstep interaction of the ghost-halo exchange (PageRank /
+    /// clustering / BFS over a sharded world); only accepted by servers
+    /// running with a shard role.  See [`HaloRequest`].
+    Halo(HaloRequest),
 }
 
 /// The parsed body of a `shard_submit` request: which shard job to start or
@@ -136,6 +143,107 @@ pub struct ShardJobRequest {
     /// Sampling method; `auto` resolves on the worker through the same
     /// shared rule as everywhere else, so all workers pick the same path.
     pub mode: SampleMethod,
+}
+
+/// The superstep kernel a `halo` request drives.  Carried on the wire as a
+/// nested object: `{"type": "pagerank", "damping": "<16-hex f64 bits>"}`,
+/// `{"type": "clustering"}`, or `{"type": "bfs", "source": N}`.  PageRank's
+/// damping factor travels as IEEE-754 bits ([`ugs_queries::halo::f64_to_hex`])
+/// so every worker computes with exactly the coordinator's value; the
+/// iteration cap and tolerance stay coordinator-side (the coordinator owns
+/// the stop decision).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HaloKernel {
+    /// Push-style PageRank; one `step` per iteration.
+    PageRank {
+        /// Damping factor, decoded from its wire hex form.
+        damping: f64,
+    },
+    /// Local clustering coefficients; a pure `collect` kernel (no steps).
+    Clustering,
+    /// Level-synchronous BFS from `source` (the k-NN traversal core).
+    Bfs {
+        /// Global id of the traversal source.
+        source: usize,
+    },
+}
+
+impl HaloKernel {
+    /// The wire spelling of the kernel type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            HaloKernel::PageRank { .. } => "pagerank",
+            HaloKernel::Clustering => "clustering",
+            HaloKernel::Bfs { .. } => "bfs",
+        }
+    }
+}
+
+/// The phase of one `halo` interaction.  A world runs as: optional `feed`
+/// lines installing exchanged ghost values, `step` lines running supersteps
+/// (paged via `page` when a report overflows one line), and `collect` lines
+/// paging the owned final values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HaloPhase {
+    /// `{"phase": "feed", "values": ["gid:hex", ...]}` — install exchanged
+    /// ghost ranks (global-id addressed) for the upcoming superstep.
+    Feed {
+        /// `id:value` entries ([`ugs_queries::halo::encode_rank`] form).
+        values: Vec<String>,
+    },
+    /// `{"phase": "step", "step": T, "acc": "hex", "values": [...]}` — run
+    /// superstep `T`.  PageRank threads the convergence accumulator `acc`
+    /// through shards; BFS carries routed settlements in `values`.
+    Step {
+        /// Superstep index (step 0 (re-)initialises the world's kernel).
+        step: usize,
+        /// PageRank delta accumulator chained from lower shards.
+        acc: Option<f64>,
+        /// BFS settlements routed to this shard (`id:level` entries).
+        values: Vec<String>,
+    },
+    /// `{"phase": "page", "from": F, "max": M}` — re-read a page of the
+    /// last step's report (idempotent).
+    Page {
+        /// First entry requested.
+        from: usize,
+        /// Maximum entries to return.
+        max: usize,
+    },
+    /// `{"phase": "collect", "from": F, "max": M}` — page the owned final
+    /// values of the current world (triggers the compute for clustering).
+    Collect {
+        /// First entry requested.
+        from: usize,
+        /// Maximum entries to return.
+        max: usize,
+    },
+}
+
+/// The parsed body of a `halo` request: the session identity (job token,
+/// shard role, replay seed/mode, kernel) plus the world cursor and phase.
+/// Every line carries the full identity so a promoted standby can rebuild
+/// the session from any point of the exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaloRequest {
+    /// Client-chosen session token, scoped to the connection.
+    pub job: String,
+    /// Shard index this worker must own.
+    pub shard: usize,
+    /// Total shard count of the partition.
+    pub shards: usize,
+    /// Batch seed of the shared replay stream (decimal string on the wire,
+    /// as in [`ShardJobRequest::seed`]).
+    pub seed: u64,
+    /// Sampling method of the replayed stream.
+    pub mode: SampleMethod,
+    /// The superstep kernel to drive.
+    pub kernel: HaloKernel,
+    /// World index the phase applies to (monotone per session; a jump
+    /// forward replays the stream, step 0 on the current world restarts it).
+    pub world: usize,
+    /// What to do in this interaction.
+    pub phase: HaloPhase,
 }
 
 /// A typed protocol error: the code plus the message the client sees.
@@ -203,6 +311,171 @@ fn job_id(value: &Value) -> Result<u64, RequestError> {
             "field \"job\" must be a non-negative integer".to_string(),
         )
     })
+}
+
+fn page_window(value: &Value) -> Result<(usize, usize), RequestError> {
+    let from = required_usize(value, "from")?;
+    let max = match value.get("max") {
+        None => DEFAULT_BOUNDARY_PAGE,
+        Some(_) => required_usize(value, "max")?,
+    };
+    Ok((from, max))
+}
+
+fn string_array(value: &Value, field: &str) -> Result<Vec<String>, RequestError> {
+    let Some(entries) = value.get(field) else {
+        return Ok(Vec::new());
+    };
+    entries
+        .as_array()
+        .and_then(|items| {
+            items
+                .iter()
+                .map(|item| item.as_str().map(str::to_string))
+                .collect::<Option<Vec<String>>>()
+        })
+        .ok_or_else(|| {
+            (
+                ErrorCode::BadRequest,
+                format!("field {field:?} must be an array of strings"),
+            )
+        })
+}
+
+fn wire_seed(value: &Value) -> Result<u64, RequestError> {
+    value
+        .get_str("seed")
+        .and_then(|text| text.parse::<u64>().ok())
+        .ok_or_else(|| {
+            (
+                ErrorCode::BadRequest,
+                "field \"seed\" must be a decimal u64 carried as a string".to_string(),
+            )
+        })
+}
+
+fn wire_mode(value: &Value) -> Result<SampleMethod, RequestError> {
+    let mode_name = value.get_str("mode").unwrap_or("auto");
+    parse_mode(mode_name).ok_or_else(|| {
+        (
+            ErrorCode::BadRequest,
+            format!("unknown mode {mode_name:?}; expected auto|skip|per-edge"),
+        )
+    })
+}
+
+fn halo_kernel(value: &Value) -> Result<HaloKernel, RequestError> {
+    let kernel = value.get("kernel").ok_or_else(|| {
+        (
+            ErrorCode::BadRequest,
+            "a halo request requires an object field \"kernel\"".to_string(),
+        )
+    })?;
+    let kind = kernel.get_str("type").ok_or_else(|| {
+        (
+            ErrorCode::BadRequest,
+            "a halo kernel requires a string field \"type\"".to_string(),
+        )
+    })?;
+    match kind {
+        "pagerank" => {
+            check_fields(kernel, &["type", "damping"], "a pagerank halo kernel")?;
+            let damping = kernel
+                .get_str("damping")
+                .ok_or(())
+                .and_then(|hex| f64_from_hex(hex).map_err(|_| ()))
+                .map_err(|()| {
+                    (
+                        ErrorCode::BadRequest,
+                        "field \"damping\" must be 16 hex digits of f64 bits".to_string(),
+                    )
+                })?;
+            Ok(HaloKernel::PageRank { damping })
+        }
+        "clustering" => {
+            check_fields(kernel, &["type"], "a clustering halo kernel")?;
+            Ok(HaloKernel::Clustering)
+        }
+        "bfs" => {
+            check_fields(kernel, &["type", "source"], "a bfs halo kernel")?;
+            Ok(HaloKernel::Bfs {
+                source: required_usize(kernel, "source")?,
+            })
+        }
+        other => Err((
+            ErrorCode::BadRequest,
+            format!("unknown halo kernel {other:?}; expected pagerank|clustering|bfs"),
+        )),
+    }
+}
+
+/// Fields common to every `halo` phase.
+const HALO_FIELDS: &[&str] = &[
+    "op", "job", "shard", "shards", "seed", "mode", "kernel", "world", "phase",
+];
+
+fn halo_request(value: &Value) -> Result<Request, RequestError> {
+    let phase_name = value.get_str("phase").ok_or_else(|| {
+        (
+            ErrorCode::BadRequest,
+            "a halo request requires a string field \"phase\"".to_string(),
+        )
+    })?;
+    // Per-phase strict field lists: the phase decides which extras exist.
+    let (extra, what): (&[&str], &str) = match phase_name {
+        "feed" => (&["values"], "a halo feed request"),
+        "step" => (&["step", "acc", "values"], "a halo step request"),
+        "page" => (&["from", "max"], "a halo page request"),
+        "collect" => (&["from", "max"], "a halo collect request"),
+        other => {
+            return Err((
+                ErrorCode::BadRequest,
+                format!("unknown halo phase {other:?}; expected feed|step|page|collect"),
+            ))
+        }
+    };
+    let allowed: Vec<&str> = HALO_FIELDS.iter().chain(extra.iter()).copied().collect();
+    check_fields(value, &allowed, what)?;
+    let phase = match phase_name {
+        "feed" => HaloPhase::Feed {
+            values: string_array(value, "values")?,
+        },
+        "step" => {
+            let acc = match value.get_str("acc") {
+                None => None,
+                Some(hex) => Some(f64_from_hex(hex).map_err(|_| {
+                    (
+                        ErrorCode::BadRequest,
+                        "field \"acc\" must be 16 hex digits of f64 bits".to_string(),
+                    )
+                })?),
+            };
+            HaloPhase::Step {
+                step: required_usize(value, "step")?,
+                acc,
+                values: string_array(value, "values")?,
+            }
+        }
+        "page" => {
+            let (from, max) = page_window(value)?;
+            HaloPhase::Page { from, max }
+        }
+        "collect" => {
+            let (from, max) = page_window(value)?;
+            HaloPhase::Collect { from, max }
+        }
+        _ => unreachable!("phase name matched above"),
+    };
+    Ok(Request::Halo(HaloRequest {
+        job: job_token(value)?,
+        shard: required_usize(value, "shard")?,
+        shards: required_usize(value, "shards")?,
+        seed: wire_seed(value)?,
+        mode: wire_mode(value)?,
+        kernel: halo_kernel(value)?,
+        world: required_usize(value, "world")?,
+        phase,
+    }))
 }
 
 /// Parses one request line; every failure is a typed [`RequestError`].
@@ -275,35 +548,16 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 &["op", "job", "shard", "shards", "worlds", "seed", "mode"],
                 "a shard_submit request",
             )?;
-            let job = job_token(&value)?;
-            let shard = required_usize(&value, "shard")?;
-            let shards = required_usize(&value, "shards")?;
-            let worlds = required_usize(&value, "worlds")?;
-            let seed = value
-                .get_str("seed")
-                .and_then(|text| text.parse::<u64>().ok())
-                .ok_or_else(|| {
-                    (
-                        ErrorCode::BadRequest,
-                        "field \"seed\" must be a decimal u64 carried as a string".to_string(),
-                    )
-                })?;
-            let mode_name = value.get_str("mode").unwrap_or("auto");
-            let mode = parse_mode(mode_name).ok_or_else(|| {
-                (
-                    ErrorCode::BadRequest,
-                    format!("unknown mode {mode_name:?}; expected auto|skip|per_edge"),
-                )
-            })?;
             Ok(Request::ShardSubmit(ShardJobRequest {
-                job,
-                shard,
-                shards,
-                worlds,
-                seed,
-                mode,
+                job: job_token(&value)?,
+                shard: required_usize(&value, "shard")?,
+                shards: required_usize(&value, "shards")?,
+                worlds: required_usize(&value, "worlds")?,
+                seed: wire_seed(&value)?,
+                mode: wire_mode(&value)?,
             }))
         }
+        "halo" => halo_request(&value),
         "boundary" => {
             check_fields(&value, &["op", "job", "from", "max"], "a boundary request")?;
             let job = job_token(&value)?;
@@ -324,7 +578,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             ErrorCode::UnknownOp,
             format!(
                 "unknown op {other:?}; expected submit|poll|cancel|stats|ping|shutdown|\
-                 shard_submit|boundary|shard_result"
+                 shard_submit|boundary|shard_result|halo"
             ),
         )),
     }
@@ -477,6 +731,128 @@ mod tests {
         for (line, expected) in cases {
             let (code, message) = parse_request(line).unwrap_err();
             assert_eq!(code, expected, "{line}: {message}");
+        }
+    }
+
+    #[test]
+    fn halo_requests_parse_with_typed_kernels_and_phases() {
+        let step = parse_request(concat!(
+            r#"{"op": "halo", "job": "h0", "shard": 1, "shards": 2, "seed": "9","#,
+            r#" "mode": "skip", "kernel": {"type": "pagerank", "damping": "3feb333333333333"},"#,
+            r#" "world": 4, "phase": "step", "step": 0, "acc": "0000000000000000"}"#,
+        ))
+        .unwrap();
+        match step {
+            Request::Halo(request) => {
+                assert_eq!(request.job, "h0");
+                assert_eq!((request.shard, request.shards, request.world), (1, 2, 4));
+                assert_eq!(request.seed, 9);
+                assert_eq!(request.mode, SampleMethod::Skip);
+                match request.kernel {
+                    HaloKernel::PageRank { damping } => {
+                        assert_eq!(damping.to_bits(), 0.85f64.to_bits());
+                    }
+                    other => panic!("unexpected kernel {other:?}"),
+                }
+                assert_eq!(
+                    request.phase,
+                    HaloPhase::Step {
+                        step: 0,
+                        acc: Some(0.0),
+                        values: Vec::new(),
+                    }
+                );
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+        let feed = parse_request(concat!(
+            r#"{"op": "halo", "job": "h0", "shard": 0, "shards": 2, "seed": "9","#,
+            r#" "mode": "auto", "kernel": {"type": "bfs", "source": 3}, "world": 0,"#,
+            r#" "phase": "step", "step": 2, "values": ["5:1", "7:2"]}"#,
+        ))
+        .unwrap();
+        match feed {
+            Request::Halo(request) => {
+                assert_eq!(request.kernel, HaloKernel::Bfs { source: 3 });
+                assert_eq!(
+                    request.phase,
+                    HaloPhase::Step {
+                        step: 2,
+                        acc: None,
+                        values: vec!["5:1".to_string(), "7:2".to_string()],
+                    }
+                );
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+        let collect = parse_request(concat!(
+            r#"{"op": "halo", "job": "cc", "shard": 0, "shards": 2, "seed": "1","#,
+            r#" "mode": "per-edge", "kernel": {"type": "clustering"}, "world": 7,"#,
+            r#" "phase": "collect", "from": 0}"#,
+        ))
+        .unwrap();
+        match collect {
+            Request::Halo(request) => {
+                assert_eq!(request.kernel, HaloKernel::Clustering);
+                assert_eq!(
+                    request.phase,
+                    HaloPhase::Collect {
+                        from: 0,
+                        max: DEFAULT_BOUNDARY_PAGE,
+                    }
+                );
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_halo_requests_are_typed_errors() {
+        let cases: &[&str] = &[
+            // Phase-inappropriate extras are rejected per phase.
+            concat!(
+                r#"{"op": "halo", "job": "h", "shard": 0, "shards": 1, "seed": "1","#,
+                r#" "kernel": {"type": "clustering"}, "world": 0, "phase": "collect","#,
+                r#" "from": 0, "acc": "0000000000000000"}"#,
+            ),
+            // Unknown phase.
+            concat!(
+                r#"{"op": "halo", "job": "h", "shard": 0, "shards": 1, "seed": "1","#,
+                r#" "kernel": {"type": "clustering"}, "world": 0, "phase": "warp"}"#,
+            ),
+            // Unknown kernel, unknown kernel field, malformed damping.
+            concat!(
+                r#"{"op": "halo", "job": "h", "shard": 0, "shards": 1, "seed": "1","#,
+                r#" "kernel": {"type": "warp"}, "world": 0, "phase": "step", "step": 0}"#,
+            ),
+            concat!(
+                r#"{"op": "halo", "job": "h", "shard": 0, "shards": 1, "seed": "1","#,
+                r#" "kernel": {"type": "clustering", "k": 2}, "world": 0, "phase": "step","#,
+                r#" "step": 0}"#,
+            ),
+            concat!(
+                r#"{"op": "halo", "job": "h", "shard": 0, "shards": 1, "seed": "1","#,
+                r#" "kernel": {"type": "pagerank", "damping": "0.85"}, "world": 0,"#,
+                r#" "phase": "step", "step": 0}"#,
+            ),
+            // A numeric seed, a missing world, a non-string values entry.
+            concat!(
+                r#"{"op": "halo", "job": "h", "shard": 0, "shards": 1, "seed": 1,"#,
+                r#" "kernel": {"type": "clustering"}, "world": 0, "phase": "collect", "from": 0}"#,
+            ),
+            concat!(
+                r#"{"op": "halo", "job": "h", "shard": 0, "shards": 1, "seed": "1","#,
+                r#" "kernel": {"type": "clustering"}, "phase": "collect", "from": 0}"#,
+            ),
+            concat!(
+                r#"{"op": "halo", "job": "h", "shard": 0, "shards": 1, "seed": "1","#,
+                r#" "kernel": {"type": "bfs", "source": 0}, "world": 0, "phase": "step","#,
+                r#" "step": 0, "values": [5]}"#,
+            ),
+        ];
+        for line in cases {
+            let (code, message) = parse_request(line).unwrap_err();
+            assert_eq!(code, ErrorCode::BadRequest, "{line}: {message}");
         }
     }
 

@@ -48,6 +48,7 @@ use uncertain_graph::{GraphPartition, UncertainGraph};
 
 use crate::cache::{query_key, CacheStats, ResultCache};
 use crate::fault::{FaultClock, FaultKind, FaultPlan};
+use crate::halo::{HaloEnv, HaloSession};
 use crate::line::{read_limited_line, LineRead};
 use crate::protocol::{
     error_line, finish_ok, ok_builder, parse_request, ErrorCode, Request, ShardJobRequest,
@@ -135,6 +136,8 @@ struct Shared {
     connections: AtomicUsize,
     /// Live shard sampling jobs across all connections.
     shard_jobs: AtomicUsize,
+    /// Live ghost-halo exchange sessions across all connections.
+    halo_sessions: AtomicUsize,
     /// Armed fault schedule ([`ServerConfig::fault_plan`]); server-global
     /// so reconnecting clients cannot rewind the op counter.
     faults: Option<FaultClock>,
@@ -295,6 +298,7 @@ pub fn serve(
         executor_busy,
         connections: AtomicUsize::new(0),
         shard_jobs: AtomicUsize::new(0),
+        halo_sessions: AtomicUsize::new(0),
         faults,
     });
     let (job_tx, job_rx) = mpsc::sync_channel(shared.config.queue_capacity.max(1));
@@ -413,6 +417,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSende
     let mut writer = stream;
     let mut jobs: HashMap<u64, Job> = HashMap::new();
     let mut shard_jobs: HashMap<String, ShardJob> = HashMap::new();
+    let mut halo_sessions: HashMap<String, HaloSession<'_>> = HashMap::new();
     let mut next_job: u64 = 1;
     let cap = shared.config.max_line_bytes.max(1);
     loop {
@@ -457,6 +462,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSende
             job_tx,
             &mut jobs,
             &mut shard_jobs,
+            &mut halo_sessions,
             &mut next_job,
         );
         let (mut response, stop_after) = match outcome {
@@ -496,6 +502,12 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSende
         .shard_jobs
         .fetch_sub(shard_jobs.len(), Ordering::SeqCst);
     drop(shard_jobs);
+    // Halo sessions are plain connection-local data: drop them, settle the
+    // gauge.
+    shared
+        .halo_sessions
+        .fetch_sub(halo_sessions.len(), Ordering::SeqCst);
+    drop(halo_sessions);
     shared.connections.fetch_sub(1, Ordering::SeqCst);
 }
 
@@ -506,12 +518,13 @@ enum Outcome {
     Shutdown(String),
 }
 
-fn handle_request(
+fn handle_request<'g>(
     line: &str,
-    shared: &Arc<Shared>,
+    shared: &'g Arc<Shared>,
     job_tx: &SyncSender<ExecJob>,
     jobs: &mut HashMap<u64, Job>,
     shard_jobs: &mut HashMap<String, ShardJob>,
+    halo_sessions: &mut HashMap<String, HaloSession<'g>>,
     next_job: &mut u64,
 ) -> Outcome {
     let request = match parse_request(line) {
@@ -544,6 +557,24 @@ fn handle_request(
             }
         },
         Request::ShardSubmit(request) => shard_submit(request, shared, shard_jobs),
+        Request::Halo(request) => match &shared.shard {
+            None => error_line(
+                ErrorCode::BadRequest,
+                "this server runs no shard role; halo requires a worker (--shard K/N)",
+            ),
+            Some(role) => crate::halo::handle(
+                request,
+                &HaloEnv {
+                    graph: &shared.graph,
+                    partition: &role.partition,
+                    shard: role.index,
+                    shards: role.shards,
+                    budget: shared.config.max_inflight.max(1),
+                    gauge: &shared.halo_sessions,
+                },
+                halo_sessions,
+            ),
+        },
         Request::Boundary { job, from, max } => match shard_jobs.get(&job) {
             None => unknown_shard_job(&job),
             Some(entry) => {
@@ -652,6 +683,7 @@ fn stats(shared: &Arc<Shared>) -> String {
             .field("shard", role.index)
             .field("shards", role.shards)
             .field("jobs", shared.shard_jobs.load(Ordering::SeqCst))
+            .field("halo", shared.halo_sessions.load(Ordering::SeqCst))
             .build();
         builder = builder.field("shard", shard_obj);
     }

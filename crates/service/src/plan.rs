@@ -416,19 +416,20 @@ mod tests {
     }
 
     #[test]
-    fn sharded_plans_reject_unsupported_queries_per_entry() {
+    fn sharded_plans_answer_halo_queries_too() {
+        // Since the ghost-halo exchange every built-in query runs on a
+        // sharded plan: the former per-entry Unsupported rejection is gone.
         let g = UncertainGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 0.5)]).unwrap();
         let plan = QueryPlan::parse_str(
             r#"{"worlds": 40, "seed": 1, "shards": 2,
-                "queries": [{"type": "pagerank"}, {"type": "degree_histogram"}]}"#,
+                "queries": [{"type": "pagerank"}, {"type": "degree_histogram"},
+                            {"type": "clustering"}, {"type": "knn", "source": 0}]}"#,
         )
         .unwrap();
         let results = plan.execute(g);
-        assert!(matches!(
-            &results[0],
-            Err(ServiceError::Spec(SpecError::Unsupported { .. }))
-        ));
-        assert!(results[1].is_ok());
+        for (i, result) in results.iter().enumerate() {
+            assert!(result.is_ok(), "entry {i}: {result:?}");
+        }
     }
 
     #[test]

@@ -579,11 +579,11 @@ impl<S: WorldSource> Scheduler<'_, S> {
                 .and_then(|_| submission.spec.make_observer(self.graph))
                 .and_then(|observer| {
                     // Belt and braces against drift between the spec-level
-                    // allowlist and the observer's actual capability: an
-                    // observer without a cut-aware path must never reach a
-                    // sharded worker (it would panic there instead of
-                    // erroring here).
-                    if shards > 1 && observer.shard_support() != ShardSupport::CutAware {
+                    // capability and the observer's actual one: an observer
+                    // with no sharded path at all (neither cut correction
+                    // nor ghost halo) must never reach a sharded worker (it
+                    // would panic there instead of erroring here).
+                    if shards > 1 && observer.shard_support() == ShardSupport::MonolithicOnly {
                         Err(SpecError::Unsupported {
                             query: submission.spec.kind().to_string(),
                             shards,
@@ -1051,29 +1051,31 @@ mod tests {
     }
 
     #[test]
-    fn sharded_service_rejects_unsupported_queries_with_a_typed_error() {
-        let service = QueryService::start(
-            toy(),
-            BatchPolicy {
-                shards: 2,
-                ..policy(50, 1)
-            },
-            7,
-        );
-        let pagerank = service.submit(QuerySpec::pagerank());
-        let knn = service.submit(QuerySpec::Knn { source: 0, k: 2 });
-        let good = service.submit(QuerySpec::Connectivity);
-        for (ticket, kind) in [(pagerank, "pagerank"), (knn, "knn")] {
-            match ticket.wait() {
-                Err(ServiceError::Spec(SpecError::Unsupported { query, shards })) => {
-                    assert_eq!(query, kind);
-                    assert_eq!(shards, 2);
-                }
-                other => panic!("expected a typed Unsupported error, got {other:?}"),
-            }
-        }
-        assert!(good.wait().is_ok());
-        let stats = service.shutdown();
-        assert_eq!(stats.rejected, 2);
+    fn sharded_service_answers_halo_queries_bit_identically() {
+        // Since the ghost-halo exchange, pagerank/clustering/knn run on
+        // sharded services too — no Unsupported rejections — and the same
+        // seed yields bitwise the monolithic answers.
+        let answers = |shards: usize| {
+            let service = QueryService::start(
+                toy(),
+                BatchPolicy {
+                    shards,
+                    ..policy(120, 2)
+                },
+                7,
+            );
+            let pagerank = service.submit(QuerySpec::pagerank());
+            let clustering = service.submit(QuerySpec::Clustering);
+            let knn = service.submit(QuerySpec::Knn { source: 0, k: 3 });
+            let results = (
+                pagerank.wait().unwrap(),
+                clustering.wait().unwrap(),
+                knn.wait().unwrap(),
+            );
+            let stats = service.shutdown();
+            assert_eq!(stats.rejected, 0, "{shards} shards rejected a query");
+            results
+        };
+        assert_eq!(answers(1), answers(2));
     }
 }

@@ -124,7 +124,9 @@ impl std::fmt::Display for SpecError {
             SpecError::Unsupported { query, shards } => write!(
                 f,
                 "query \"{query}\" does not support graph-sharded evaluation \
-                 ({shards} shards): it has no exact cut correction yet"
+                 ({shards} shards); every supported query declares its exact mechanism: \
+                 pair_queries/connectivity/degree_histogram/edge_frequency run via \
+                 cut-correction, pagerank/clustering/knn run via halo"
             ),
         }
     }
@@ -303,25 +305,44 @@ impl QuerySpec {
         }
     }
 
-    /// Whether this query has a shard-aware (cut-corrected) evaluation
-    /// path.  Count-style queries do — their per-shard partials plus the
-    /// boundary correction are exact; traversal-style PageRank / clustering
-    /// / k-NN do not (they would need ghost-vertex iteration or boundary
-    /// exchange) and must run monolithically.
+    /// Whether this query has an exact shard-aware evaluation path.  Every
+    /// spec now does: count-style queries through the cut correction
+    /// (per-shard partials glued across the sampled cut edges), and the
+    /// traversal-style PageRank / clustering / k-NN through the ghost-halo
+    /// exchange ([`ugs_queries::halo`]).  [`QuerySpec::shard_mechanism`]
+    /// names which of the two a spec uses.
     pub fn supports_sharded(&self) -> bool {
         match self {
             QuerySpec::PairQueries { .. }
             | QuerySpec::Connectivity
             | QuerySpec::DegreeHistogram
-            | QuerySpec::EdgeFrequency => true,
-            QuerySpec::PageRank { .. } | QuerySpec::Clustering | QuerySpec::Knn { .. } => false,
+            | QuerySpec::EdgeFrequency
+            | QuerySpec::PageRank { .. }
+            | QuerySpec::Clustering
+            | QuerySpec::Knn { .. } => true,
+        }
+    }
+
+    /// The exact mechanism this query's observer uses on sharded sources:
+    /// `"cut-correction"` (per-shard partials plus boundary gluing) or
+    /// `"halo"` (ghost-halo replication with superstep exchange).  Mirrors
+    /// the observer's [`ugs_queries::source::ShardSupport`] declaration —
+    /// the capability test keeps the two from drifting.
+    pub fn shard_mechanism(&self) -> &'static str {
+        match self {
+            QuerySpec::PairQueries { .. }
+            | QuerySpec::Connectivity
+            | QuerySpec::DegreeHistogram
+            | QuerySpec::EdgeFrequency => "cut-correction",
+            QuerySpec::PageRank { .. } | QuerySpec::Clustering | QuerySpec::Knn { .. } => "halo",
         }
     }
 
     /// [`QuerySpec::validate`] plus the shard-awareness check: with
-    /// `num_shards > 1`, queries without a cut correction are rejected with
-    /// the typed [`SpecError::Unsupported`] — at validation time, never as
-    /// a panic or a silently wrong answer.
+    /// `num_shards > 1`, a spec without an exact sharded mechanism would be
+    /// rejected with the typed [`SpecError::Unsupported`] — at validation
+    /// time, never as a panic or a silently wrong answer.  (Every built-in
+    /// spec currently has one, so the rejection arm guards future specs.)
     pub fn validate_sharded(&self, g: &UncertainGraph, num_shards: usize) -> Result<(), SpecError> {
         self.validate(g)?;
         if num_shards > 1 && !self.supports_sharded() {
@@ -628,39 +649,27 @@ mod tests {
     }
 
     #[test]
-    fn sharded_validation_rejects_queries_without_a_cut_correction() {
+    fn every_spec_passes_sharded_validation() {
+        // Since the ghost-halo exchange, every built-in query has an exact
+        // sharded mechanism — nothing is Unsupported on sharded sources.
         let g = toy();
-        let supported = [
+        let specs = [
             QuerySpec::Connectivity,
             QuerySpec::DegreeHistogram,
             QuerySpec::EdgeFrequency,
             QuerySpec::PairQueries {
                 pairs: vec![(0, 3)],
             },
-        ];
-        let unsupported = [
             QuerySpec::pagerank(),
             QuerySpec::Clustering,
             QuerySpec::Knn { source: 0, k: 2 },
         ];
-        for spec in &supported {
+        for spec in &specs {
             assert!(spec.supports_sharded(), "{}", spec.kind());
+            assert!(spec.validate_sharded(&g, 1).is_ok(), "{}", spec.kind());
             assert!(spec.validate_sharded(&g, 4).is_ok(), "{}", spec.kind());
         }
-        for spec in &unsupported {
-            assert!(!spec.supports_sharded(), "{}", spec.kind());
-            // Monolithic contexts still accept them…
-            assert!(spec.validate_sharded(&g, 1).is_ok(), "{}", spec.kind());
-            // …sharded ones reject them with the typed error.
-            match spec.validate_sharded(&g, 4) {
-                Err(SpecError::Unsupported { query, shards }) => {
-                    assert_eq!(query, spec.kind());
-                    assert_eq!(shards, 4);
-                }
-                other => panic!("{}: expected Unsupported, got {other:?}", spec.kind()),
-            }
-        }
-        // Ordinary validation errors still win over shard support.
+        // Ordinary validation errors still surface under sharded contexts.
         assert!(matches!(
             QuerySpec::PairQueries {
                 pairs: vec![(0, 99)]
@@ -671,12 +680,54 @@ mod tests {
     }
 
     #[test]
+    fn unsupported_error_names_the_mechanism_of_every_supported_query() {
+        // Snapshot of the typed Unsupported message (raised only for future
+        // shard-incompatible specs): operators must see which mechanism the
+        // supported queries use, verbatim, on the service/plan error paths.
+        let err = SpecError::Unsupported {
+            query: "some_future_query".to_string(),
+            shards: 4,
+        };
+        assert_eq!(
+            err.to_string(),
+            "query \"some_future_query\" does not support graph-sharded evaluation \
+             (4 shards); every supported query declares its exact mechanism: \
+             pair_queries/connectivity/degree_histogram/edge_frequency run via \
+             cut-correction, pagerank/clustering/knn run via halo"
+        );
+    }
+
+    #[test]
+    fn shard_mechanism_names_cut_correction_or_halo() {
+        let cut = [
+            QuerySpec::PairQueries {
+                pairs: vec![(0, 1)],
+            },
+            QuerySpec::Connectivity,
+            QuerySpec::DegreeHistogram,
+            QuerySpec::EdgeFrequency,
+        ];
+        let halo = [
+            QuerySpec::pagerank(),
+            QuerySpec::Clustering,
+            QuerySpec::Knn { source: 0, k: 2 },
+        ];
+        for spec in &cut {
+            assert_eq!(spec.shard_mechanism(), "cut-correction", "{}", spec.kind());
+        }
+        for spec in &halo {
+            assert_eq!(spec.shard_mechanism(), "halo", "{}", spec.kind());
+        }
+    }
+
+    #[test]
     fn supports_sharded_matches_the_observer_capability() {
         // `supports_sharded` is the validation-time answer; the observer's
         // `shard_support` is what the driver actually dispatches on.  They
         // must never drift: a mismatch would turn the typed Unsupported
         // error into a worker panic (spec says yes, observer says no) or
-        // needlessly reject a capable query (the reverse).
+        // needlessly reject a capable query (the reverse).  The declared
+        // mechanism string must match the capability too.
         use ugs_queries::source::ShardSupport;
         let g = toy();
         let specs = [
@@ -692,10 +743,11 @@ mod tests {
         ];
         for spec in specs {
             let observer = spec.make_observer(&g).unwrap();
-            let expected = if spec.supports_sharded() {
-                ShardSupport::CutAware
-            } else {
-                ShardSupport::MonolithicOnly
+            assert!(spec.supports_sharded(), "{}", spec.kind());
+            let expected = match spec.shard_mechanism() {
+                "cut-correction" => ShardSupport::CutAware,
+                "halo" => ShardSupport::Halo,
+                other => panic!("unknown mechanism {other}"),
             };
             assert_eq!(observer.shard_support(), expected, "{}", spec.kind());
         }

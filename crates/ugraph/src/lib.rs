@@ -64,7 +64,10 @@ pub mod worlds;
 pub use builder::UncertainGraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeId, EdgeRef, UncertainGraph, VertexId};
-pub use partition::{CutEdge, GraphPartition, PartitionError, Shard};
+pub use partition::{
+    CutEdge, GraphPartition, HaloPlan, HaloStats, PartitionError, PushEdge, Shard, ShardHalo,
+    ShardHaloStats, NOT_IN_HALO,
+};
 pub use stats::GraphStatistics;
 pub use worlds::{PossibleWorld, SkipSampler, WorldSampler};
 
@@ -74,7 +77,10 @@ pub mod prelude {
     pub use crate::entropy::{edge_entropy, graph_entropy, relative_entropy};
     pub use crate::error::GraphError;
     pub use crate::graph::{EdgeId, EdgeRef, UncertainGraph, VertexId};
-    pub use crate::partition::{CutEdge, GraphPartition, PartitionError, Shard};
+    pub use crate::partition::{
+        CutEdge, GraphPartition, HaloPlan, HaloStats, PartitionError, PushEdge, Shard, ShardHalo,
+        ShardHaloStats, NOT_IN_HALO,
+    };
     pub use crate::stats::GraphStatistics;
     pub use crate::worlds::{PossibleWorld, SkipSampler, WorldSampler};
 }

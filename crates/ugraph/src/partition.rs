@@ -374,6 +374,301 @@ impl GraphPartition {
     }
 }
 
+/// Sentinel in [`ShardHalo::halo_index`]: the vertex is outside the shard's
+/// halo (neither owned nor a ghost).
+pub const NOT_IN_HALO: u32 = u32::MAX;
+
+/// One contribution edge of a shard's PageRank push pass: when the support
+/// edge `edge` is present in a world, halo vertex `source_halo` pushes mass
+/// into the owned vertex `target_local`.
+///
+/// Push lists are sorted by `(source, edge)` — ascending *global* source
+/// id — so that, for any fixed target, contributions fold in exactly the
+/// order the monolithic kernel adds them (ascending source vertex, then
+/// ascending edge id).  That ordering is what makes the sharded per-target
+/// sums bit-identical to the monolithic ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushEdge {
+    /// Global id of the pushing vertex (degree lookups are global).
+    pub source: u32,
+    /// Halo-local id of the pushing vertex (rank lookups are halo-local).
+    pub source_halo: u32,
+    /// Shard-local id of the owned target vertex.
+    pub target_local: u32,
+    /// Global edge id (world-presence lookups are global).
+    pub edge: u32,
+}
+
+/// The ghost halo of one shard: the shard's owned vertices plus every
+/// cut-edge endpoint owned elsewhere (its *ghosts*), with a stable
+/// halo-local numbering (`owned locals first, then ghosts in ascending
+/// global order`) and the support edges running inside that vertex set.
+///
+/// The halo edge set deliberately includes ghost–ghost edges (edges of
+/// *other* shards whose both endpoints happen to be ghosts here): clustering
+/// coefficients of owned boundary vertices need the edges *among* their
+/// 1-hop neighbours, which is exactly that second hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHalo {
+    owned: usize,
+    ghosts: Vec<VertexId>,
+    /// `global vertex -> halo-local id`, [`NOT_IN_HALO`] outside the halo.
+    halo_index: Vec<u32>,
+    /// PageRank contribution edges, sorted by `(source, edge)`.
+    push: Vec<PushEdge>,
+    /// `(halo-local a, halo-local b, global edge id)` for every support edge
+    /// with both endpoints in the halo, in ascending global-edge order.
+    halo_edges: Vec<(u32, u32, u32)>,
+    /// Owned vertices incident to at least one cut edge (ascending global
+    /// ids) — the values other shards need from this one each superstep.
+    boundary: Vec<VertexId>,
+    /// CSR over halo-local vertices: `(neighbour halo-local, global edge)`.
+    csr_offsets: Vec<u32>,
+    csr_adj: Vec<(u32, u32)>,
+    expected_halo_mass: f64,
+}
+
+impl ShardHalo {
+    /// Number of owned vertices (halo-local ids `0..owned()`).
+    pub fn owned(&self) -> usize {
+        self.owned
+    }
+
+    /// Ghost vertices in ascending global order; ghost `j` has halo-local
+    /// id `owned() + j`.
+    pub fn ghosts(&self) -> &[VertexId] {
+        &self.ghosts
+    }
+
+    /// Total halo size (owned + ghosts).
+    pub fn halo_len(&self) -> usize {
+        self.owned + self.ghosts.len()
+    }
+
+    /// Halo-local id of global vertex `v`, or [`NOT_IN_HALO`].
+    #[inline]
+    pub fn halo_index(&self, v: VertexId) -> u32 {
+        self.halo_index[v]
+    }
+
+    /// The PageRank push list (sorted by ascending global source, then
+    /// edge id; see [`PushEdge`]).
+    pub fn push_edges(&self) -> &[PushEdge] {
+        &self.push
+    }
+
+    /// Support edges inside the halo as `(halo-local a, halo-local b,
+    /// global edge id)`, ascending by global edge id.
+    pub fn halo_edges(&self) -> &[(u32, u32, u32)] {
+        &self.halo_edges
+    }
+
+    /// Owned cut-edge endpoints (ascending global ids).
+    pub fn boundary(&self) -> &[VertexId] {
+        &self.boundary
+    }
+
+    /// Halo support adjacency of halo-local vertex `v`:
+    /// `(neighbour halo-local id, global edge id)` pairs.
+    #[inline]
+    pub fn halo_neighbors(&self, v: usize) -> &[(u32, u32)] {
+        &self.csr_adj[self.csr_offsets[v] as usize..self.csr_offsets[v + 1] as usize]
+    }
+
+    /// Sum of existence probabilities over the halo edge set — the expected
+    /// number of halo edges present per sampled world.
+    pub fn expected_halo_mass(&self) -> f64 {
+        self.expected_halo_mass
+    }
+}
+
+/// Per-shard halo statistics for operators judging a labelling; see
+/// [`HaloPlan::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHaloStats {
+    /// Vertices owned by the shard.
+    pub owned_vertices: usize,
+    /// Ghost vertices replicated into the shard.
+    pub ghost_vertices: usize,
+    /// Owned vertices whose value is exported each superstep.
+    pub boundary_vertices: usize,
+    /// Support edges inside the halo (owned + ghost endpoints).
+    pub halo_edges: usize,
+    /// Expected number of halo edges present per sampled world.
+    pub expected_halo_mass: f64,
+}
+
+/// Aggregate halo statistics of a partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaloStats {
+    /// One entry per shard.
+    pub shards: Vec<ShardHaloStats>,
+    /// `Σ (owned + ghosts) / |V|` — how many copies of a vertex the halo
+    /// scheme stores on average (1.0 means no replication).
+    pub replication_factor: f64,
+}
+
+/// Ghost-halo replication plan for every shard of a [`GraphPartition`]:
+/// the static (world-independent) side of the ghost-halo exchange
+/// subsystem.  Per-world presence filtering happens in `ugs-queries`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaloPlan {
+    num_vertices: usize,
+    shards: Vec<ShardHalo>,
+}
+
+impl HaloPlan {
+    /// Builds the halo plan of `partition` over `g`.
+    ///
+    /// # Panics
+    /// Panics if `partition` was not built from a graph shaped like `g`.
+    pub fn new(g: &UncertainGraph, partition: &GraphPartition) -> Self {
+        assert!(
+            partition.matches(g),
+            "partition was built for a {}-vertex/{}-edge graph, got {}/{}",
+            partition.num_vertices(),
+            partition.num_edges(),
+            g.num_vertices(),
+            g.num_edges()
+        );
+        let n = g.num_vertices();
+        let shards = (0..partition.num_shards())
+            .map(|s| {
+                let shard = partition.shard(s);
+                let owned = shard.num_vertices();
+                let mut ghosts: Vec<VertexId> = Vec::new();
+                let mut boundary: Vec<VertexId> = Vec::new();
+                for cut in partition.cut_edges() {
+                    if cut.shard_u == s {
+                        ghosts.push(cut.v);
+                        boundary.push(cut.u);
+                    } else if cut.shard_v == s {
+                        ghosts.push(cut.u);
+                        boundary.push(cut.v);
+                    }
+                }
+                ghosts.sort_unstable();
+                ghosts.dedup();
+                boundary.sort_unstable();
+                boundary.dedup();
+                let mut halo_index = vec![NOT_IN_HALO; n];
+                for (local, &global) in shard.vertices().iter().enumerate() {
+                    halo_index[global] = local as u32;
+                }
+                for (j, &global) in ghosts.iter().enumerate() {
+                    halo_index[global] = (owned + j) as u32;
+                }
+                let mut halo_edges = Vec::new();
+                let mut push = Vec::new();
+                let mut expected_halo_mass = 0.0f64;
+                for e in g.edges() {
+                    let a = halo_index[e.u];
+                    let b = halo_index[e.v];
+                    if a != NOT_IN_HALO && b != NOT_IN_HALO {
+                        halo_edges.push((a, b, e.id as u32));
+                        expected_halo_mass += e.p;
+                    }
+                    if partition.shard_of(e.u) == s {
+                        push.push(PushEdge {
+                            source: e.v as u32,
+                            source_halo: b,
+                            target_local: a,
+                            edge: e.id as u32,
+                        });
+                    }
+                    if partition.shard_of(e.v) == s {
+                        push.push(PushEdge {
+                            source: e.u as u32,
+                            source_halo: a,
+                            target_local: b,
+                            edge: e.id as u32,
+                        });
+                    }
+                }
+                push.sort_unstable_by_key(|p| (p.source, p.edge));
+                let halo_len = owned + ghosts.len();
+                let mut csr_offsets = vec![0u32; halo_len + 1];
+                for &(a, b, _) in &halo_edges {
+                    csr_offsets[a as usize + 1] += 1;
+                    csr_offsets[b as usize + 1] += 1;
+                }
+                for v in 0..halo_len {
+                    csr_offsets[v + 1] += csr_offsets[v];
+                }
+                let mut cursor: Vec<u32> = csr_offsets[..halo_len].to_vec();
+                let mut csr_adj = vec![(0u32, 0u32); 2 * halo_edges.len()];
+                for &(a, b, e) in &halo_edges {
+                    csr_adj[cursor[a as usize] as usize] = (b, e);
+                    cursor[a as usize] += 1;
+                    csr_adj[cursor[b as usize] as usize] = (a, e);
+                    cursor[b as usize] += 1;
+                }
+                ShardHalo {
+                    owned,
+                    ghosts,
+                    halo_index,
+                    push,
+                    halo_edges,
+                    boundary,
+                    csr_offsets,
+                    csr_adj,
+                    expected_halo_mass,
+                }
+            })
+            .collect();
+        HaloPlan {
+            num_vertices: n,
+            shards,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of vertices of the parent graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The halo of one shard.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &ShardHalo {
+        &self.shards[shard]
+    }
+
+    /// Per-shard and aggregate halo statistics.
+    pub fn stats(&self) -> HaloStats {
+        let shards: Vec<ShardHaloStats> = self
+            .shards
+            .iter()
+            .map(|s| ShardHaloStats {
+                owned_vertices: s.owned,
+                ghost_vertices: s.ghosts.len(),
+                boundary_vertices: s.boundary.len(),
+                halo_edges: s.halo_edges.len(),
+                expected_halo_mass: s.expected_halo_mass,
+            })
+            .collect();
+        let replicated: usize = shards
+            .iter()
+            .map(|s| s.owned_vertices + s.ghost_vertices)
+            .sum();
+        let replication_factor = if self.num_vertices == 0 {
+            1.0
+        } else {
+            replicated as f64 / self.num_vertices as f64
+        };
+        HaloStats {
+            shards,
+            replication_factor,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +778,98 @@ mod tests {
         let p = GraphPartition::contiguous(&empty, 2).unwrap();
         assert_eq!(p.num_shards(), 2);
         assert!(p.cut_edges().is_empty());
+    }
+
+    #[test]
+    fn halo_plan_replicates_cut_endpoints_with_their_second_hop() {
+        let g = two_triangles_bridge();
+        let p = GraphPartition::from_labels(&g, &[0, 0, 0, 1, 1, 1], 2).unwrap();
+        let plan = HaloPlan::new(&g, &p);
+        assert_eq!(plan.num_shards(), 2);
+        // Shard 0 owns {0,1,2}; vertex 3 is its only ghost (via the bridge).
+        let h0 = plan.shard(0);
+        assert_eq!(h0.owned(), 3);
+        assert_eq!(h0.ghosts(), &[3]);
+        assert_eq!(h0.boundary(), &[2]);
+        assert_eq!(h0.halo_index(3), 3);
+        assert_eq!(h0.halo_index(4), NOT_IN_HALO);
+        // Halo edges of shard 0: the three intra edges plus the bridge.
+        assert_eq!(h0.halo_edges().len(), 4);
+        // Shard 1's halo sees vertex 2 as a ghost, and no edge among its
+        // (single) ghost beyond the bridge itself.
+        let h1 = plan.shard(1);
+        assert_eq!(h1.ghosts(), &[2]);
+        assert_eq!(h1.boundary(), &[3]);
+        assert_eq!(h1.halo_edges().len(), 4);
+        let stats = plan.stats();
+        assert_eq!(stats.shards[0].ghost_vertices, 1);
+        assert_eq!(stats.shards[1].ghost_vertices, 1);
+        assert!((stats.replication_factor - 8.0 / 6.0).abs() < 1e-12);
+        let mass: f64 = [0.9, 0.8, 0.7, 0.25].iter().sum();
+        assert!((stats.shards[0].expected_halo_mass - mass).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halo_ghost_ghost_edges_are_included() {
+        // Triangle 0-1-2 with each vertex in its own shard: every shard's
+        // halo contains the other two vertices AND the edge between them.
+        let g = UncertainGraph::from_edges(3, [(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.5)]).unwrap();
+        let p = GraphPartition::from_labels(&g, &[0, 1, 2], 3).unwrap();
+        let plan = HaloPlan::new(&g, &p);
+        for s in 0..3 {
+            let h = plan.shard(s);
+            assert_eq!(h.owned(), 1);
+            assert_eq!(h.ghosts().len(), 2);
+            // All three edges lie inside every shard's halo.
+            assert_eq!(h.halo_edges().len(), 3);
+            // Exactly two pushes target the single owned vertex.
+            assert_eq!(h.push_edges().len(), 2);
+            assert!(h
+                .push_edges()
+                .windows(2)
+                .all(|w| (w[0].source, w[0].edge) <= (w[1].source, w[1].edge)));
+        }
+    }
+
+    #[test]
+    fn halo_push_lists_cover_every_owned_incidence_in_source_order() {
+        let g = two_triangles_bridge();
+        let p = GraphPartition::from_labels(&g, &[0, 1, 0, 1, 0, 1], 2).unwrap();
+        let plan = HaloPlan::new(&g, &p);
+        let mut covered = vec![0usize; g.num_edges()];
+        for s in 0..2 {
+            let h = plan.shard(s);
+            let mut last = (0u32, 0u32);
+            for (i, push) in h.push_edges().iter().enumerate() {
+                let key = (push.source, push.edge);
+                assert!(i == 0 || last <= key, "push list out of order");
+                last = key;
+                // The target really is owned and the source is its halo id.
+                let target_global = p.shard(s).global_vertex(push.target_local as usize);
+                let (eu, ev) = g.edge_endpoints(push.edge as usize);
+                assert!(
+                    (eu == target_global && ev == push.source as usize)
+                        || (ev == target_global && eu == push.source as usize)
+                );
+                assert_eq!(h.halo_index(push.source as usize), push.source_halo);
+                covered[push.edge as usize] += 1;
+            }
+        }
+        // Every edge contributes one push per owned endpoint: intra edges
+        // twice in their own shard, cut edges once per side.
+        assert!(covered.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn single_shard_halo_has_no_ghosts() {
+        let g = two_triangles_bridge();
+        let p = GraphPartition::contiguous(&g, 1).unwrap();
+        let plan = HaloPlan::new(&g, &p);
+        let h = plan.shard(0);
+        assert!(h.ghosts().is_empty());
+        assert!(h.boundary().is_empty());
+        assert_eq!(h.halo_edges().len(), g.num_edges());
+        assert!((plan.stats().replication_factor - 1.0).abs() < 1e-12);
     }
 
     #[test]
